@@ -1,0 +1,108 @@
+// E1 — Bandwidth: agent-based filtering vs client/server raw transfer.
+//
+// Paper §1: "By structuring a system in terms of agents, applications can be
+// constructed in which communication-network bandwidth is conserved.  Data
+// may be accessed only by an agent executing at the same site as the data
+// resides.  An agent typically will filter or otherwise reduce the data it
+// reads, carrying with it only the relevant information as it roams the
+// network; there is rarely a need to transmit raw data from one site to
+// another."
+//
+// The StormCast pipeline measures exactly this: identical sensor data is
+// collected by (a) a filtering agent walking the sensors and (b) every sensor
+// shipping its raw series to the home site.  Both must produce the same storm
+// verdict; the bytes each puts on the wire differ.
+#include "bench/bench_util.h"
+#include "stormcast/scenario.h"
+
+namespace tacoma {
+namespace {
+
+using stormcast::CollectionResult;
+using stormcast::Scenario;
+using stormcast::ScenarioOptions;
+using stormcast::Thresholds;
+using stormcast::Topology;
+
+void SweepSites(Topology topology, const char* topology_name) {
+  // The paper's regime: raw data much larger than the agent.  The agent
+  // carries per-site summaries home (the expert system's inputs); the
+  // selectivity sweep below maps what happens as it hauls more raw readings.
+  bench::Table table({"sites", "samples/site", "agent bytes", "c/s bytes", "ratio",
+                      "agent msgs", "c/s msgs", "verdicts agree"});
+  for (size_t sites : {4u, 8u, 16u, 32u, 64u}) {
+    ScenarioOptions options;
+    options.sensor_count = sites;
+    options.samples_per_site = 384;
+    options.storm_events = 2;
+    options.seed = 1995;
+    options.topology = topology;
+    Thresholds thresholds;
+    thresholds.filter_wind_ms = 1000.0;  // Summaries only; no raw readings travel.
+
+    Scenario agent_scenario(options);
+    CollectionResult agent = agent_scenario.RunAgentCollection(thresholds);
+    Scenario cs_scenario(options);
+    CollectionResult cs = cs_scenario.RunClientServerCollection(thresholds);
+
+    table.AddRow({bench::Fmt("%zu", sites), bench::Fmt("%zu", options.samples_per_site),
+                  bench::Fmt("%llu", (unsigned long long)agent.bytes_on_wire),
+                  bench::Fmt("%llu", (unsigned long long)cs.bytes_on_wire),
+                  bench::Fmt("%.2fx", static_cast<double>(cs.bytes_on_wire) /
+                                          std::max<uint64_t>(1, agent.bytes_on_wire)),
+                  bench::Fmt("%llu", (unsigned long long)agent.messages),
+                  bench::Fmt("%llu", (unsigned long long)cs.messages),
+                  agent.prediction.storm == cs.prediction.storm ? "yes" : "NO"});
+  }
+  std::printf("\nTopology: %s (c/s ratio > 1 means the agent conserved bandwidth)\n",
+              topology_name);
+  table.Print();
+}
+
+void SweepSelectivity() {
+  // Crossover analysis: as the filter admits more of the raw data, the agent
+  // hauls more with it and its advantage shrinks — eventually the agent can
+  // lose (it re-carries accumulated matches over every remaining hop).
+  bench::Table table({"wind filter (m/s)", "selectivity", "agent bytes", "c/s bytes",
+                      "agent wins"});
+  ScenarioOptions options;
+  options.sensor_count = 12;
+  options.samples_per_site = 96;
+  options.storm_events = 2;
+  options.seed = 1995;
+  options.topology = Topology::kStar;
+
+  for (double filter : {100.0, 26.0, 18.0, 10.0, 4.0, 0.0}) {
+    Thresholds thresholds;
+    thresholds.filter_wind_ms = filter;
+
+    Scenario agent_scenario(options);
+    CollectionResult agent = agent_scenario.RunAgentCollection(thresholds);
+    Scenario cs_scenario(options);
+    CollectionResult cs = cs_scenario.RunClientServerCollection(thresholds);
+
+    double selectivity =
+        static_cast<double>(agent.prediction.matches_carried) /
+        static_cast<double>(options.sensor_count * options.samples_per_site);
+    table.AddRow({bench::Fmt("%.1f", filter), bench::Fmt("%.1f%%", selectivity * 100),
+                  bench::Fmt("%llu", (unsigned long long)agent.bytes_on_wire),
+                  bench::Fmt("%llu", (unsigned long long)cs.bytes_on_wire),
+                  agent.bytes_on_wire < cs.bytes_on_wire ? "yes" : "no"});
+  }
+  std::printf("\nSelectivity sweep (12 sensors, star): where does filtering stop paying?\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+int main() {
+  tacoma::bench::PrintHeader(
+      "E1 — Bandwidth: mobile agent vs client/server collection (StormCast)",
+      "agents conserve network bandwidth by filtering at the data (paper S1)");
+  tacoma::SweepSites(tacoma::stormcast::Topology::kStar, "star (home is hub)");
+  tacoma::SweepSites(tacoma::stormcast::Topology::kLine,
+                     "line (home at one end; c/s data crosses many links)");
+  tacoma::SweepSelectivity();
+  return 0;
+}

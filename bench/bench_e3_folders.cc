@@ -1,0 +1,169 @@
+// E3 — The folder/cabinet trade-off: mobility vs access time.
+//
+// Paper §2: "Unlike files in a traditional operating system, folders must be
+// easy to transfer from one computing system to another ... elaborate index
+// structures are not suitable" — while file cabinets "can be implemented
+// using techniques that optimize access times even if this increases the
+// cost of moving the file cabinet from one site to another."
+//
+// Micro-benchmarks (google-benchmark) measure both sides:
+//   - folders: push/pop, serialize+deserialize (the move cost) — flat and fast;
+//   - cabinets: O(1) indexed membership vs a folder's linear scan (the access
+//     win), and the larger serialized-move cost of rebuilding the index.
+#include <benchmark/benchmark.h>
+
+#include "core/briefcase.h"
+#include "core/cabinet.h"
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+std::vector<std::string> MakeElements(size_t count, size_t size) {
+  Rng rng(99);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string e = "element-" + std::to_string(i) + "-";
+    while (e.size() < size) {
+      e.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void BM_FolderPushPop(benchmark::State& state) {
+  size_t count = static_cast<size_t>(state.range(0));
+  auto elements = MakeElements(count, 32);
+  for (auto _ : state) {
+    Folder f;
+    for (const auto& e : elements) {
+      f.PushBackString(e);
+    }
+    while (!f.empty()) {
+      benchmark::DoNotOptimize(f.PopFront());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * count * 2));
+}
+BENCHMARK(BM_FolderPushPop)->Range(8, 4096);
+
+void BM_FolderSerializeMove(benchmark::State& state) {
+  // The cost of moving a folder: encode + decode (what rexec pays per folder).
+  size_t count = static_cast<size_t>(state.range(0));
+  Folder f;
+  for (const auto& e : MakeElements(count, 64)) {
+    f.PushBackString(e);
+  }
+  for (auto _ : state) {
+    Encoder enc;
+    f.Encode(&enc);
+    Decoder dec(enc.buffer());
+    auto restored = Folder::Decode(&dec);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * f.ByteSize()));
+}
+BENCHMARK(BM_FolderSerializeMove)->Range(8, 4096);
+
+void BM_BriefcaseSerializeMove(benchmark::State& state) {
+  size_t folders = static_cast<size_t>(state.range(0));
+  Briefcase bc;
+  for (size_t i = 0; i < folders; ++i) {
+    Folder& f = bc.folder("folder" + std::to_string(i));
+    for (const auto& e : MakeElements(16, 64)) {
+      f.PushBackString(e);
+    }
+  }
+  for (auto _ : state) {
+    Bytes wire = bc.Serialize();
+    auto restored = Briefcase::Deserialize(wire);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bc.ByteSize()));
+}
+BENCHMARK(BM_BriefcaseSerializeMove)->Range(1, 64);
+
+void BM_FolderLinearContains(benchmark::State& state) {
+  // Folders are deliberately unindexed: membership is a scan.
+  size_t count = static_cast<size_t>(state.range(0));
+  Folder f;
+  auto elements = MakeElements(count, 32);
+  for (const auto& e : elements) {
+    f.PushBackString(e);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ContainsString(elements[i++ % count]));
+  }
+}
+BENCHMARK(BM_FolderLinearContains)->Range(8, 4096);
+
+void BM_CabinetIndexedContains(benchmark::State& state) {
+  // The access-time optimization the paper allows cabinets: O(1) membership.
+  size_t count = static_cast<size_t>(state.range(0));
+  FileCabinet cab("bench");
+  auto elements = MakeElements(count, 32);
+  for (const auto& e : elements) {
+    cab.AppendString("F", e);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cab.ContainsString("F", elements[i++ % count]));
+  }
+}
+BENCHMARK(BM_CabinetIndexedContains)->Range(8, 4096);
+
+void BM_CabinetMove(benchmark::State& state) {
+  // Moving a cabinet means serializing AND rebuilding the index on arrival —
+  // the cost the paper accepts in exchange for access speed.
+  size_t count = static_cast<size_t>(state.range(0));
+  FileCabinet cab("bench");
+  for (const auto& e : MakeElements(count, 64)) {
+    cab.AppendString("F", e);
+  }
+  for (auto _ : state) {
+    Bytes wire = cab.Serialize();
+    FileCabinet restored("copy");
+    benchmark::DoNotOptimize(restored.RestoreFrom(wire));
+  }
+}
+BENCHMARK(BM_CabinetMove)->Range(8, 4096);
+
+void BM_CabinetAppend(benchmark::State& state) {
+  auto elements = MakeElements(256, 32);
+  size_t i = 0;
+  FileCabinet cab("bench");
+  for (auto _ : state) {
+    cab.AppendString("F", elements[i++ % elements.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CabinetAppend);
+
+void BM_FolderAppend(benchmark::State& state) {
+  auto elements = MakeElements(256, 32);
+  size_t i = 0;
+  Folder f;
+  for (auto _ : state) {
+    f.PushBackString(elements[i++ % elements.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FolderAppend);
+
+}  // namespace
+}  // namespace tacoma
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E3 — Folder mobility vs cabinet access (paper S2 trade-off)\n"
+      "Folders: flat wire format, linear membership.  Cabinets: hash-indexed\n"
+      "membership, costlier to move (index rebuild).  Compare\n"
+      "BM_FolderLinearContains vs BM_CabinetIndexedContains (access) and\n"
+      "BM_FolderSerializeMove vs BM_CabinetMove (mobility).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

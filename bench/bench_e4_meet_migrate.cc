@@ -1,0 +1,118 @@
+// E4 — meet dispatch cost and agent migration latency.
+//
+// Paper §2: "the meet operation is thus analogous to a procedure call" —
+// so its cost should be procedure-call-like (measured here in real ns), and
+// migration cost should be dominated by the briefcase data, since TACOMA
+// ships state, not interpreter stacks (measured in simulated time vs
+// briefcase size and hop count).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/kernel.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+void BM_MeetNativeAgent(benchmark::State& state) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  kernel.place(site)->RegisterAgent("noop", [](Place&, Briefcase&) {
+    return OkStatus();
+  });
+  Briefcase bc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.place(site)->Meet("noop", bc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeetNativeAgent);
+
+void BM_MeetTaclAgent(benchmark::State& state) {
+  // A TACL resident pays interpreter setup per meet.
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  kernel.place(site)->RegisterTaclAgent("tacl_noop", "bc_set OUT done");
+  Briefcase bc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.place(site)->Meet("tacl_noop", bc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeetTaclAgent);
+
+void BM_AgentActivation(benchmark::State& state) {
+  // Full ag_tacl activation: pop CODE, fresh interpreter, bind primitives.
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  for (auto _ : state) {
+    Briefcase bc;
+    bc.folder(kCodeFolder).PushBackString("set x 1");
+    benchmark::DoNotOptimize(kernel.place(site)->Meet("ag_tacl", bc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentActivation);
+
+void BM_TransferSerialization(benchmark::State& state) {
+  // The real-time cost of one rexec hop: serialize + route + deserialize.
+  Kernel kernel;
+  SiteId a = kernel.AddSite("a");
+  SiteId b = kernel.AddSite("b");
+  kernel.net().AddLink(a, b);
+  kernel.place(b)->RegisterAgent("sink", [](Place&, Briefcase&) {
+    return OkStatus();
+  });
+  Briefcase bc;
+  bc.folder("PAYLOAD").PushBack(Bytes(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.TransferAgent(a, b, "sink", bc));
+    kernel.sim().Run();
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransferSerialization)->Range(1 << 10, 1 << 20);
+
+// Simulated migration latency vs briefcase size and hop count.
+void MigrationLatencyTable() {
+  bench::Table table({"briefcase", "hops", "sim latency (ms)", "bytes on wire"});
+  for (size_t kib : {1u, 16u, 256u, 1024u}) {
+    for (size_t hops : {1u, 2u, 4u, 8u}) {
+      Kernel kernel;
+      // 10 MB/s links with 1 ms latency.
+      auto ids = BuildLine(&kernel.net(), hops + 1,
+                           LinkParams{1 * kMillisecond, 10'000'000});
+      kernel.AdoptNetworkSites();
+      kernel.net().ResetStats();
+
+      Briefcase bc;
+      bc.folder("PAYLOAD").PushBack(Bytes(kib * 1024));
+      bc.folder(kCodeFolder).PushBackString("cab_set t ARRIVED [now_us]");
+      SimTime start = kernel.sim().Now();
+      (void)kernel.TransferAgent(ids[0], ids[hops], "ag_tacl", bc);
+      kernel.sim().Run();
+      SimTime latency = kernel.sim().Now() - start;
+
+      table.AddRow({bench::Fmt("%zu KiB", kib), bench::Fmt("%zu", hops),
+                    bench::Fmt("%.2f", static_cast<double>(latency) / kMillisecond),
+                    bench::Fmt("%llu",
+                               (unsigned long long)kernel.net().stats().bytes_on_wire)});
+    }
+  }
+  std::printf(
+      "\nSimulated migration latency (1 ms + 10 MB/s per hop; latency should\n"
+      "scale linearly in both briefcase size and hop count — data cost only,\n"
+      "since TACOMA restarts code rather than shipping stacks):\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+int main(int argc, char** argv) {
+  std::printf("E4 — meet dispatch cost and migration latency (paper S2)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tacoma::MigrationLatencyTable();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// E5 — Electronic cash: validation foils double-spending; mint throughput.
+//
+// Paper §3: "An attempt by an agent to spend retired or copied ECUs will be
+// foiled if a validation agent is always consulted before any service is
+// rendered."  The sweep runs marketplaces with a rising fraction of
+// double-spending customers against (a) validate-first providers (zero goods
+// lost) and (b) trusting providers (goods lost to every fraud, recovered only
+// in court).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "cash/exchange.h"
+
+namespace tacoma {
+namespace {
+
+using namespace tacoma::cash;
+
+void BM_MintIssue(benchmark::State& state) {
+  Mint mint(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mint.Issue(10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MintIssue);
+
+void BM_MintValidate(benchmark::State& state) {
+  Mint mint(1);
+  Ecu note = mint.Issue(10);
+  for (auto _ : state) {
+    auto fresh = mint.Validate(note);
+    benchmark::DoNotOptimize(fresh);
+    note = std::move(fresh).value();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MintValidate);
+
+void BM_MintRejectForgery(benchmark::State& state) {
+  Mint mint(1);
+  Ecu forged;
+  forged.amount = 10;
+  forged.serial = Bytes(32, 0x7f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mint.Validate(forged));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MintRejectForgery);
+
+void BM_WalletPayCollect(benchmark::State& state) {
+  Mint mint(1);
+  Wallet a;
+  Wallet b;
+  for (int i = 0; i < 64; ++i) {
+    a.Add(mint.Issue(10));
+  }
+  for (auto _ : state) {
+    Briefcase bc;
+    benchmark::DoNotOptimize(a.PayInto(&bc, 10));
+    benchmark::DoNotOptimize(b.CollectFrom(&bc));
+    // Swap roles to keep balances stable.
+    std::swap(a, b);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WalletPayCollect);
+
+struct FraudOutcome {
+  int exchanges = 0;
+  int frauds_attempted = 0;
+  int frauds_blocked = 0;   // Aborted before goods shipped.
+  int goods_lost = 0;       // Shipped without valid payment.
+  int court_convictions = 0;
+};
+
+FraudOutcome RunFraudSweep(double fraud_rate, ProviderPolicy policy, uint64_t seed) {
+  Kernel kernel(KernelOptions{seed, 5'000'000, false});
+  SiteId customer = kernel.AddSite("customer");
+  SiteId provider = kernel.AddSite("provider");
+  SiteId bank = kernel.AddSite("bank");
+  SiteId court = kernel.AddSite("court");
+  for (SiteId a : {customer, provider, bank}) {
+    for (SiteId b : {provider, bank, court}) {
+      if (a != b) {
+        kernel.net().AddLink(a, b);
+      }
+    }
+  }
+  SignatureAuthority auth(seed);
+  Mint mint(seed);
+  Notary notary(&auth);
+  InstallMintAgent(&kernel, bank, &mint, &auth);
+  InstallNotaryAgent(&kernel, court, &notary);
+
+  MarketConfig config;
+  config.customer_site = customer;
+  config.provider_site = provider;
+  config.mint_site = bank;
+  config.notary_site = court;
+  config.policy = policy;
+  Marketplace market(&kernel, &auth, &mint, &notary, config);
+
+  FraudOutcome out;
+  Rng rng(seed);
+  const int kExchanges = 40;
+  market.FundCustomer(kExchanges * 2, 10);
+  for (int i = 0; i < kExchanges; ++i) {
+    bool fraud = rng.Bernoulli(fraud_rate);
+    // Double-spend: the cheat mode pays honestly first, then replays copies.
+    CheatMode mode =
+        fraud ? CheatMode::kCustomerDoubleSpends : CheatMode::kHonest;
+    std::string xid = "x" + std::to_string(i);
+    if (market.StartExchange(xid, 10, mode).ok()) {
+      ++out.exchanges;
+    }
+    kernel.sim().Run();
+
+    const ExchangeRecord* rec = market.record(xid);
+    bool replayed_copies = fraud && i > 0 && rec != nullptr;
+    if (replayed_copies) {
+      ++out.frauds_attempted;
+      if (rec->aborted) {
+        ++out.frauds_blocked;
+      }
+      if (rec->goods_delivered && !rec->payment_collected) {
+        ++out.goods_lost;
+        if (market.AuditExchange(xid).verdict == Verdict::kCustomerViolated) {
+          ++out.court_convictions;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void FraudTable() {
+  bench::Table table({"fraud rate", "policy", "frauds", "blocked", "goods lost",
+                      "court convictions"});
+  for (double rate : {0.0, 0.1, 0.25, 0.5}) {
+    for (ProviderPolicy policy :
+         {ProviderPolicy::kValidateFirst, ProviderPolicy::kTrusting}) {
+      FraudOutcome out = RunFraudSweep(rate, policy, 1995);
+      table.AddRow(
+          {bench::Fmt("%.0f%%", rate * 100),
+           policy == ProviderPolicy::kValidateFirst ? "validate-first" : "trusting",
+           bench::Fmt("%d", out.frauds_attempted),
+           bench::Fmt("%d", out.frauds_blocked), bench::Fmt("%d", out.goods_lost),
+           bench::Fmt("%d", out.court_convictions)});
+    }
+  }
+  std::printf(
+      "\nDouble-spend sweep, 40 exchanges each (validate-first providers block\n"
+      "every replay; trusting providers lose goods but win every audit):\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E5 — Electronic cash: mint throughput and double-spend detection "
+      "(paper S3)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tacoma::FraudTable();
+  return 0;
+}

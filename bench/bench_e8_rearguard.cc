@@ -1,0 +1,225 @@
+// E8 — Rear guards: surviving site failures (§5).
+//
+// Paper: "we have been investigating ways to ensure that a computation can
+// proceed, even though one or more of its agents is the victim of a site
+// failure.  The solutions we have studied involve leaving a rear guard agent
+// behind whenever execution moves from one site to another."
+//
+// An itinerary agent walks N data sites and returns home.  Each non-home
+// site crashes with probability p at a random moment during the walk (and
+// restarts later).  Completion rate, completion time, and message overhead
+// are compared with and without rear guards, over R independent trials.
+#include "bench/bench_util.h"
+#include "ft/rearguard.h"
+
+namespace tacoma {
+namespace {
+
+constexpr char kGuardedAgent[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    ft_jump [bc_pop ITINERARY]
+  } else {
+    cab_set t DONE [now_us]
+    ft_retire
+  }
+)";
+
+constexpr char kUnguardedAgent[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    jump [bc_pop ITINERARY]
+  } else {
+    cab_set t DONE [now_us]
+  }
+)";
+
+struct TrialOutcome {
+  bool completed = false;
+  SimTime completion_time = 0;
+  uint64_t transfers = 0;
+  uint64_t relaunches = 0;
+};
+
+TrialOutcome RunTrial(bool guarded, size_t hops, double crash_prob, uint64_t seed,
+                      SimTime heartbeat = 25 * kMillisecond) {
+  Kernel kernel(KernelOptions{seed, 5'000'000, false});
+  SiteId home = kernel.AddSite("home");
+  std::vector<SiteId> sites;
+  for (size_t i = 0; i < hops; ++i) {
+    sites.push_back(kernel.AddSite("d" + std::to_string(i)));
+  }
+  // Full mesh so recovery can always route around dead sites.
+  kernel.net().AddLink(home, sites[0]);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    kernel.net().AddLink(home, sites[i]);
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      kernel.net().AddLink(sites[i], sites[j]);
+    }
+  }
+
+  ft::RearGuard guard(&kernel, ft::GuardOptions{heartbeat, 3, 6});
+  if (guarded) {
+    guard.Install();
+  }
+
+  // Failure injection: each data site may crash once during the walk window
+  // and restarts 300ms later.
+  Rng rng(seed * 7919 + 13);
+  for (SiteId site : sites) {
+    if (rng.Bernoulli(crash_prob)) {
+      SimTime when = rng.Uniform(static_cast<uint64_t>(hops) * 2 * kMillisecond) + 1;
+      kernel.sim().At(when, [&kernel, site] { kernel.CrashSite(site); });
+      kernel.sim().At(when + 300 * kMillisecond,
+                      [&kernel, site] { kernel.RestartSite(site); });
+    }
+  }
+
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  for (SiteId site : sites) {
+    bc.folder("ITINERARY").PushBackString(kernel.net().site_name(site));
+  }
+  bc.folder("ITINERARY").PushBackString("home");
+  (void)kernel.LaunchAgent(home, guarded ? kGuardedAgent : kUnguardedAgent, bc);
+  kernel.sim().RunUntil(10 * kSecond);
+
+  TrialOutcome out;
+  Place* home_place = kernel.place(home);
+  if (home_place != nullptr && home_place->Cabinet("t").HasFolder("DONE")) {
+    out.completed = true;
+    out.completion_time = static_cast<SimTime>(std::strtoull(
+        home_place->Cabinet("t").GetSingleString("DONE")->c_str(), nullptr, 10));
+  }
+  out.transfers = kernel.stats().transfers_sent;
+  out.relaunches = guard.stats().relaunches;
+  return out;
+}
+
+void SweepFailureRate() {
+  const size_t kHops = 6;
+  const int kTrials = 25;
+  bench::Table table({"crash prob/site", "variant", "completed", "mean msgs",
+                      "relaunches (total)"});
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    for (bool guarded : {false, true}) {
+      int completed = 0;
+      uint64_t messages = 0;
+      uint64_t relaunches = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        TrialOutcome out =
+            RunTrial(guarded, kHops, p, 1000 + static_cast<uint64_t>(trial));
+        completed += out.completed ? 1 : 0;
+        messages += out.transfers;
+        relaunches += out.relaunches;
+      }
+      table.AddRow({bench::Fmt("%.0f%%", p * 100), guarded ? "rear guards" : "bare",
+                    bench::Fmt("%d/%d", completed, kTrials),
+                    bench::Fmt("%.1f", static_cast<double>(messages) / kTrials),
+                    bench::Fmt("%llu", (unsigned long long)relaunches)});
+    }
+  }
+  std::printf("\n%zu-hop itinerary, %d trials per cell; crashed sites restart after\n"
+              "300ms.  Bare agents vanish with the first lost hop; guarded agents\n"
+              "relaunch from checkpoints (at-least-once semantics):\n",
+              kHops, kTrials);
+  table.Print();
+}
+
+void OverheadTable() {
+  // The price of protection in the failure-free case.
+  bench::Table table({"hops", "variant", "sim time (ms)", "messages"});
+  for (size_t hops : {2u, 4u, 8u, 16u}) {
+    for (bool guarded : {false, true}) {
+      TrialOutcome out = RunTrial(guarded, hops, 0.0, 555);
+      table.AddRow({bench::Fmt("%zu", hops), guarded ? "rear guards" : "bare",
+                    bench::Fmt("%.1f",
+                               static_cast<double>(out.completion_time) / kMillisecond),
+                    bench::Fmt("%llu", (unsigned long long)out.transfers)});
+    }
+  }
+  std::printf("\nFailure-free overhead (guard heartbeats and retirement waves cost\n"
+              "messages; sim time includes the post-completion guard wind-down):\n");
+  table.Print();
+}
+
+void HeartbeatAblation() {
+  // Design-choice ablation: the heartbeat sets the failure-detection latency
+  // vs message-overhead trade-off (recovery fires after max_misses+1 ticks).
+  const size_t kHops = 6;
+  const int kTrials = 20;
+  const double kCrashProb = 0.3;
+  bench::Table table({"heartbeat", "completed", "mean completion (ms)",
+                      "mean msgs"});
+  for (SimTime heartbeat : {10 * kMillisecond, 25 * kMillisecond,
+                            50 * kMillisecond, 100 * kMillisecond,
+                            200 * kMillisecond}) {
+    int completed = 0;
+    uint64_t messages = 0;
+    std::vector<SimTime> times;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      TrialOutcome out = RunTrial(true, kHops, kCrashProb,
+                                  2000 + static_cast<uint64_t>(trial), heartbeat);
+      completed += out.completed ? 1 : 0;
+      messages += out.transfers;
+      if (out.completed) {
+        times.push_back(out.completion_time);
+      }
+    }
+    table.AddRow({bench::Fmt("%llu ms", (unsigned long long)(heartbeat / kMillisecond)),
+                  bench::Fmt("%d/%d", completed, kTrials),
+                  bench::Fmt("%.0f", bench::Mean(times) / kMillisecond),
+                  bench::Fmt("%.1f", static_cast<double>(messages) / kTrials)});
+  }
+  std::printf("\nHeartbeat ablation at 30%% crash probability: faster heartbeats\n"
+              "detect failures sooner (lower completion time) but cost messages:\n");
+  table.Print();
+}
+
+void CyclicTable() {
+  // §5's hard case: cyclic itineraries.  home -> d0 -> d1 -> d0 -> d1 -> home.
+  Kernel kernel(KernelOptions{77, 5'000'000, false});
+  SiteId home = kernel.AddSite("home");
+  SiteId d0 = kernel.AddSite("d0");
+  SiteId d1 = kernel.AddSite("d1");
+  kernel.net().AddLink(home, d0);
+  kernel.net().AddLink(d0, d1);
+  kernel.net().AddLink(d1, home);
+  ft::RearGuard guard(&kernel, ft::GuardOptions{25 * kMillisecond, 3, 6});
+  guard.Install();
+
+  Briefcase bc;
+  bc.SetString("AGENT", "cyclist");
+  for (const char* s : {"d0", "d1", "d0", "d1", "home"}) {
+    bc.folder("ITINERARY").PushBackString(s);
+  }
+  (void)kernel.LaunchAgent(home, kGuardedAgent, bc);
+  kernel.sim().RunUntil(5 * kSecond);
+
+  bench::Table table({"metric", "value"});
+  table.AddRow({"completed", kernel.place(home)->Cabinet("t").HasFolder("DONE")
+                                 ? "yes"
+                                 : "no"});
+  table.AddRow({"guard deposits (5 hops, revisits distinct)",
+                bench::Fmt("%llu", (unsigned long long)guard.stats().deposits)});
+  table.AddRow({"guards left after retirement wave",
+                bench::Fmt("%zu", guard.TotalGuards())});
+  std::printf("\nCyclic itinerary (home,d0,d1,d0,d1,home) — revisit guards are keyed\n"
+              "by hop sequence so the wave still terminates:\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+int main() {
+  tacoma::bench::PrintHeader(
+      "E8 — Rear guards: computations survive site failures",
+      "a rear guard left at each hop relaunches vanished agents and retires "
+      "when no longer needed (paper S5)");
+  tacoma::SweepFailureRate();
+  tacoma::OverheadTable();
+  tacoma::HeartbeatAblation();
+  tacoma::CyclicTable();
+  return 0;
+}

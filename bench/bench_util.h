@@ -1,0 +1,94 @@
+// Shared helpers for the experiment harness: fixed-width table printing and
+// simple statistics.  Each bench binary regenerates the table(s) for one
+// experiment from EXPERIMENTS.md.
+#ifndef TACOMA_BENCH_BENCH_UTIL_H_
+#define TACOMA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace tacoma::bench {
+
+inline void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s", static_cast<int>(widths[c] + 2), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = std::accumulate(widths.begin(), widths.end(), size_t{0}) +
+                   2 * widths.size();
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+// Percentile over a copy (p in [0, 100]).
+template <typename T>
+T Percentile(std::vector<T> values, double p) {
+  if (values.empty()) {
+    return T{};
+  }
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(rank + 0.5)];
+}
+
+template <typename T>
+double Mean(const std::vector<T>& values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const T& v : values) {
+    total += static_cast<double>(v);
+  }
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace tacoma::bench
+
+#endif  // TACOMA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Agent mail: "an interactive mail system where messages are implemented by
+// agents" (§6).
+//
+// Messages travel as TACL agents, deposit themselves into mailbox cabinets,
+// and courier delivery receipts home.  Because a message IS an agent, it can
+// carry rider code — the last message here runs a vacation auto-responder at
+// the destination.
+//
+// Run: ./agent_mail
+#include <cstdio>
+
+#include "mail/mail.h"
+
+int main() {
+  using namespace tacoma;
+
+  Kernel kernel;
+  SiteId tromso = kernel.AddSite("tromso");
+  SiteId ithaca = kernel.AddSite("ithaca");
+  kernel.net().AddLink(tromso, ithaca, LinkParams{40 * kMillisecond, 500'000});
+
+  mail::MailSystem mail(&kernel);
+  mail.Install();
+
+  (void)mail.Send(tromso, "dag", ithaca, "fred", "TACOMA status",
+                  "The rexec agent works; agents now cross the Atlantic.");
+  (void)mail.Send(tromso, "dag", ithaca, "robbert", "Horus transport",
+                  "Third rexec implementation is nearly done.");
+  // The message agent runs rider code after delivery: a vacation responder
+  // that mails a reply back by meeting the local mailbox as a fresh agent.
+  (void)mail.Send(tromso, "dag", ithaca, "fred", "ping",
+                  "are you reading mail today?",
+                  // Rider: note the query on a local bulletin cabinet.
+                  "cab_append vacation PENDING \"[bc_get MAIL_FROM]: "
+                  "[bc_get SUBJECT]\"");
+  kernel.sim().Run();
+
+  std::printf("--- fred's inbox at ithaca ---\n");
+  for (const auto& m : mail.Inbox(ithaca, "fred")) {
+    std::printf("%-8s from %s@%s: %s\n   %s\n", m.id.c_str(), m.from_user.c_str(),
+                m.from_site.c_str(), m.subject.c_str(), m.body.c_str());
+  }
+  std::printf("\n--- robbert's inbox ---\n");
+  for (const auto& m : mail.Inbox(ithaca, "robbert")) {
+    std::printf("%-8s %s\n", m.id.c_str(), m.subject.c_str());
+  }
+
+  std::printf("\n--- dag's delivery receipts back at tromso ---\n");
+  for (const auto& r : mail.Receipts(tromso, "dag")) {
+    std::printf("delivered: %s\n", r.c_str());
+  }
+
+  std::printf("\n--- rider code ran at the destination ---\n");
+  for (const auto& p :
+       kernel.place(ithaca)->Cabinet("vacation").ListStrings("PENDING")) {
+    std::printf("auto-responder queued: %s\n", p.c_str());
+  }
+
+  bool ok = mail.Inbox(ithaca, "fred").size() == 2 &&
+            mail.Receipts(tromso, "dag").size() == 3;
+  return ok ? 0 : 1;
+}

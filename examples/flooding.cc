@@ -1,0 +1,74 @@
+// Flooding: the paper's §2 worked example, live.
+//
+// A diffusion agent delivers a bulletin to every site of a grid.  Two ways:
+//   1. visit-records (the paper's fix): each site remembers the message in a
+//      site-local folder and clones only toward unvisited sites — the agent
+//      population stays bounded;
+//   2. naive cloning: clone to every neighbour, always — the population
+//      explodes (bounded here only by a hop TTL).
+//
+// Run: ./flooding
+#include <cstdio>
+
+#include "core/kernel.h"
+#include "sim/topology.h"
+
+namespace {
+
+struct Outcome {
+  size_t reached = 0;
+  uint64_t activations = 0;
+  uint64_t transfers = 0;
+};
+
+Outcome Flood(bool naive) {
+  using namespace tacoma;
+  Kernel kernel;
+  auto ids = BuildGrid(&kernel.net(), 4, 4);
+  kernel.AdoptNetworkSites();
+  kernel.sim().set_event_limit(100'000);
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString(
+      "cab_append board NOTICE \"all hands: storm drill at noon\"");
+  if (naive) {
+    bc.SetString("MODE", "naive");
+    bc.SetString("TTL", "8");
+  }
+  (void)kernel.place(ids[5])->Meet("diffusion", bc);
+  kernel.sim().Run();
+
+  Outcome out;
+  out.transfers = kernel.stats().transfers_sent;
+  for (SiteId s : ids) {
+    Place* place = kernel.place(s);
+    if (place->Cabinet("board").Size("NOTICE") > 0) {
+      ++out.reached;
+    }
+    out.activations += place->stats().activations;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Flooding a 4x4 grid with one bulletin (paper S2's example)\n\n");
+
+  Outcome smart = Flood(/*naive=*/false);
+  std::printf("visit-records: reached %zu/16 sites using %llu agent activations "
+              "and %llu transfers\n",
+              smart.reached, (unsigned long long)smart.activations,
+              (unsigned long long)smart.transfers);
+
+  Outcome naive = Flood(/*naive=*/true);
+  std::printf("naive cloning: reached %zu/16 sites using %llu agent activations "
+              "and %llu transfers (TTL-bounded!)\n",
+              naive.reached, (unsigned long long)naive.activations,
+              (unsigned long long)naive.transfers);
+
+  std::printf("\n\"If, instead, an agent also records its visit in a site-local\n"
+              "folder, then an agent can simply terminate — rather than clone —\n"
+              "when it finds itself at a site that has already been visited.\"\n");
+  return smart.reached == 16 ? 0 : 1;
+}

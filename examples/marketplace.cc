@@ -1,0 +1,106 @@
+// Marketplace: electronic commerce with agents (§3), end to end.
+//
+// Wallets hold ECUs (amount + unforgeable serial).  A purchase: the customer
+// puts cash records in a briefcase and orders; the shop has the mint validate
+// (retire + reissue) before serving; every step files a signed receipt with
+// the notary.  Then two frauds: a double-spender (foiled by the mint) and a
+// shop that keeps the money (convicted by the court).
+//
+// Run: ./marketplace
+#include <cstdio>
+
+#include "cash/exchange.h"
+#include "cash/negotiate.h"
+
+int main() {
+  using namespace tacoma;
+  using namespace tacoma::cash;
+
+  Kernel kernel;
+  SiteId customer = kernel.AddSite("customer");
+  SiteId shop = kernel.AddSite("shop");
+  SiteId bank = kernel.AddSite("bank");
+  SiteId court = kernel.AddSite("court");
+  for (SiteId a : {customer, shop, bank, court}) {
+    for (SiteId b : {customer, shop, bank, court}) {
+      if (a < b) {
+        kernel.net().AddLink(a, b);
+      }
+    }
+  }
+
+  SignatureAuthority authority(2026);
+  Mint mint(2026);
+  Notary notary(&authority);
+  InstallMintAgent(&kernel, bank, &mint, &authority);
+  InstallNotaryAgent(&kernel, court, &notary);
+
+  MarketConfig config;
+  config.customer_site = customer;
+  config.provider_site = shop;
+  config.mint_site = bank;
+  config.notary_site = court;
+  Marketplace market(&kernel, &authority, &mint, &notary, config);
+  market.FundCustomer(/*notes=*/30, /*denomination=*/5);
+  std::printf("customer funded: %llu ECU in %zu notes\n\n",
+              (unsigned long long)market.customer_wallet().Balance(),
+              market.customer_wallet().count());
+
+  auto report = [&](const char* title, const std::string& xid) {
+    const ExchangeRecord* rec = market.record(xid);
+    AuditReport audit = market.AuditExchange(xid);
+    std::printf("%s\n", title);
+    std::printf("  goods delivered: %s   payment collected: %s\n",
+                rec->goods_delivered ? "yes" : "no",
+                rec->payment_collected ? "yes" : "no");
+    std::printf("  court verdict:   %s (%s)\n\n",
+                std::string(VerdictName(audit.verdict)).c_str(),
+                audit.explanation.c_str());
+  };
+
+  // 0. Haggle first — "use a service (perhaps after some negotiation)".
+  NegotiationConfig haggle;
+  haggle.customer_site = customer;
+  haggle.provider_site = shop;
+  haggle.ask = 80;      // Shop asks 80...
+  haggle.floor = 45;    // ...would go as low as 45.
+  haggle.budget = 60;   // Customer will pay at most 60.
+  haggle.step = 10;
+  Negotiator negotiator(&kernel, haggle);
+  (void)negotiator.Start("haggle-1");
+  kernel.sim().Run();
+  const NegotiationRecord* deal = negotiator.record("haggle-1");
+  std::printf("negotiation: ask 80, %d rounds of haggling -> %s at %llu ECU\n\n",
+              deal->rounds, deal->agreed ? "DEAL" : "no deal",
+              (unsigned long long)deal->price);
+  uint64_t price = deal->agreed ? deal->price : 50;
+
+  // 1. An honest purchase at the negotiated price.
+  (void)market.StartExchange("order-1", price, CheatMode::kHonest);
+  kernel.sim().Run();
+  report("order-1: honest purchase at the negotiated price", "order-1");
+
+  // 2. A double-spender: pays with copies of the notes spent in order-2a.
+  (void)market.StartExchange("order-2a", 25, CheatMode::kCustomerDoubleSpends);
+  kernel.sim().Run();
+  (void)market.StartExchange("order-2b", 25, CheatMode::kCustomerDoubleSpends);
+  kernel.sim().Run();
+  report("order-2b: paying again with COPIES of order-2a's notes", "order-2b");
+  std::printf("  (mint rejected %llu forged/spent presentations so far)\n\n",
+              (unsigned long long)mint.stats().rejected);
+
+  // 3. A crooked shop: takes the money, ships nothing.
+  (void)market.StartExchange("order-3", 25, CheatMode::kProviderSkipsDelivery);
+  kernel.sim().Run();
+  report("order-3: the shop keeps the money and ships nothing", "order-3");
+
+  std::printf("final balances: customer %llu ECU, shop %llu ECU, outstanding %llu\n",
+              (unsigned long long)market.customer_wallet().Balance(),
+              (unsigned long long)market.provider_wallet().Balance(),
+              (unsigned long long)mint.Outstanding());
+
+  bool ok = market.AuditExchange("order-1").verdict == Verdict::kClean &&
+            market.AuditExchange("order-2b").verdict == Verdict::kAborted &&
+            market.AuditExchange("order-3").verdict == Verdict::kProviderViolated;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "cash/court.h"
+
+namespace tacoma::cash {
+
+std::string_view VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kNoContract:
+      return "NO_CONTRACT";
+    case Verdict::kAborted:
+      return "ABORTED";
+    case Verdict::kClean:
+      return "CLEAN";
+    case Verdict::kCustomerViolated:
+      return "CUSTOMER_VIOLATED";
+    case Verdict::kProviderViolated:
+      return "PROVIDER_VIOLATED";
+  }
+  return "UNKNOWN";
+}
+
+AuditReport Audit(const SignatureAuthority& authority,
+                  const std::vector<Receipt>& receipts,
+                  const std::string& exchange_id) {
+  AuditReport report;
+  std::string customer;
+  std::string provider;
+
+  for (const Receipt& r : receipts) {
+    if (r.exchange_id != exchange_id) {
+      continue;
+    }
+    ++report.receipts_considered;
+    if (!VerifyReceipt(authority, r)) {
+      ++report.receipts_rejected;
+      continue;
+    }
+    switch (r.kind) {
+      case ReceiptKind::kOffer:
+        report.offer = true;
+        customer = r.actor;
+        break;
+      case ReceiptKind::kAccept:
+        report.accept = true;
+        provider = r.actor;
+        break;
+      case ReceiptKind::kPay:
+        // The customer's own claim; not proof by itself.
+        break;
+      case ReceiptKind::kValidated:
+        // Only the mint's word proves payment.
+        if (r.actor == kMintPrincipal) {
+          report.paid = true;
+        }
+        break;
+      case ReceiptKind::kDeliver:
+        // Must come from the party that accepted the contract (when known).
+        if (provider.empty() || r.actor == provider) {
+          report.delivered = true;
+        }
+        break;
+      case ReceiptKind::kAck:
+        if (customer.empty() || r.actor == customer) {
+          report.acked = true;
+        }
+        break;
+    }
+  }
+
+  if (!report.offer || !report.accept) {
+    report.verdict = Verdict::kNoContract;
+    report.explanation = "no offer/accept pair on record";
+    return report;
+  }
+  if (report.paid && !report.delivered) {
+    report.verdict = Verdict::kProviderViolated;
+    report.explanation = "mint confirms payment but no delivery was documented";
+    return report;
+  }
+  if (report.delivered && !report.paid) {
+    report.verdict = Verdict::kCustomerViolated;
+    report.explanation = "delivery documented but the mint never saw payment";
+    return report;
+  }
+  if (!report.paid && !report.delivered) {
+    report.verdict = Verdict::kAborted;
+    report.explanation = "contract formed but neither side performed";
+    return report;
+  }
+  report.verdict = Verdict::kClean;
+  report.explanation = "payment validated and delivery documented";
+  return report;
+}
+
+}  // namespace tacoma::cash

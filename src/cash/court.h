@@ -1,0 +1,52 @@
+// The court — audits documented actions on request (§3).
+//
+// "This precludes the obvious two-step protocols, because as long as
+// electronic cash is untraceable either party might cheat the other. ...
+// Our solution was to employ the threat of audits."
+//
+// The court replays the receipt record for an exchange and decides whether a
+// contract was violated and by whom.  Trust model:
+//   - a kValidated receipt signed by the mint is proof the provider was paid
+//     (the mint is trusted and payee-blind);
+//   - a notarized kDeliver receipt is proof of delivery (documenting the
+//     action at the notary is the protocol's protection for the provider);
+//   - unsigned or forged receipts are discarded before judgment.
+#ifndef TACOMA_CASH_COURT_H_
+#define TACOMA_CASH_COURT_H_
+
+#include <string>
+#include <vector>
+
+#include "cash/receipts.h"
+
+namespace tacoma::cash {
+
+enum class Verdict {
+  kNoContract,        // No offer+accept pair: nothing to enforce.
+  kAborted,           // Contract formed, neither payment nor delivery: clean abort.
+  kClean,             // Paid and delivered.
+  kCustomerViolated,  // Delivered but never paid.
+  kProviderViolated,  // Paid but never delivered.
+};
+
+std::string_view VerdictName(Verdict verdict);
+
+struct AuditReport {
+  Verdict verdict = Verdict::kNoContract;
+  std::string explanation;
+  bool offer = false;
+  bool accept = false;
+  bool paid = false;       // Mint-signed VALIDATED receipt present.
+  bool delivered = false;  // Provider's notarized DELIVER receipt present.
+  bool acked = false;      // Customer confirmed the goods.
+  size_t receipts_considered = 0;
+  size_t receipts_rejected = 0;  // Failed signature verification.
+};
+
+// Replays the receipts for `exchange_id` and issues a verdict.
+AuditReport Audit(const SignatureAuthority& authority,
+                  const std::vector<Receipt>& receipts, const std::string& exchange_id);
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_COURT_H_

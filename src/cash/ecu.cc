@@ -1,0 +1,74 @@
+#include "cash/ecu.h"
+
+namespace tacoma::cash {
+
+void Ecu::Encode(Encoder* enc) const {
+  enc->PutU64(amount);
+  enc->PutBytes(serial);
+}
+
+Result<Ecu> Ecu::Decode(Decoder* dec) {
+  Ecu out;
+  if (!dec->GetU64(&out.amount) || !dec->GetBytes(&out.serial)) {
+    return DataLossError("truncated ECU record");
+  }
+  return out;
+}
+
+Bytes Ecu::Serialize() const {
+  Encoder enc;
+  Encode(&enc);
+  return enc.Take();
+}
+
+Result<Ecu> Ecu::Deserialize(const Bytes& data) {
+  Decoder dec(data);
+  auto ecu = Decode(&dec);
+  if (!ecu.ok()) {
+    return ecu.status();
+  }
+  if (!dec.Done()) {
+    return DataLossError("trailing bytes after ECU record");
+  }
+  return ecu;
+}
+
+Bytes EncodeEcus(const std::vector<Ecu>& ecus) {
+  Encoder enc;
+  enc.PutVarint(ecus.size());
+  for (const Ecu& e : ecus) {
+    e.Encode(&enc);
+  }
+  return enc.Take();
+}
+
+Result<std::vector<Ecu>> DecodeEcus(const Bytes& data) {
+  Decoder dec(data);
+  uint64_t count = 0;
+  if (!dec.GetVarint(&count)) {
+    return DataLossError("bad ECU count");
+  }
+  std::vector<Ecu> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto ecu = Ecu::Decode(&dec);
+    if (!ecu.ok()) {
+      return ecu.status();
+    }
+    out.push_back(std::move(ecu).value());
+  }
+  if (!dec.Done()) {
+    return DataLossError("trailing bytes after ECU list");
+  }
+  return out;
+}
+
+uint64_t TotalAmount(const std::vector<Ecu>& ecus) {
+  uint64_t total = 0;
+  for (const Ecu& e : ecus) {
+    total += e.amount;
+  }
+  return total;
+}
+
+}  // namespace tacoma::cash

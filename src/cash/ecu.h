@@ -1,0 +1,50 @@
+// Electronic cash (§3).
+//
+// "The solution we adopted was to implement each unit of electronic cash
+// (ECU) as a record containing an amount and a large random number.  Only
+// certain of these random numbers appear on the records for valid ECUs."
+//
+// An Ecu is that record: the amount plus a 256-bit serial drawn from the
+// mint's DRBG.  Holding the record IS holding the money — transfers move
+// records inside briefcases, with no ledger tying payer to payee
+// (untraceability, after Chaum).
+#ifndef TACOMA_CASH_ECU_H_
+#define TACOMA_CASH_ECU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serial/encoder.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma::cash {
+
+struct Ecu {
+  uint64_t amount = 0;  // In the smallest currency unit.
+  Bytes serial;         // 32 bytes from the mint's DRBG.
+
+  // Stable identifier for sets/logs (hex of the serial).
+  std::string SerialHex() const { return HexEncode(serial); }
+
+  void Encode(Encoder* enc) const;
+  static Result<Ecu> Decode(Decoder* dec);
+  Bytes Serialize() const;
+  static Result<Ecu> Deserialize(const Bytes& data);
+
+  friend bool operator==(const Ecu& a, const Ecu& b) {
+    return a.amount == b.amount && a.serial == b.serial;
+  }
+};
+
+// Folder payload helpers: a folder element per ECU.
+Bytes EncodeEcus(const std::vector<Ecu>& ecus);
+Result<std::vector<Ecu>> DecodeEcus(const Bytes& data);
+
+// Sum of amounts (no overflow guard: amounts are test-scale).
+uint64_t TotalAmount(const std::vector<Ecu>& ecus);
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_ECU_H_

@@ -1,0 +1,260 @@
+#include "cash/exchange.h"
+
+#include "crypto/sha256.h"
+#include "tacl/list.h"
+#include "util/log.h"
+
+namespace tacoma::cash {
+
+Marketplace::Marketplace(Kernel* kernel, SignatureAuthority* authority, Mint* mint,
+                         Notary* notary, MarketConfig config)
+    : kernel_(kernel),
+      authority_(authority),
+      mint_(mint),
+      notary_(notary),
+      config_(config) {
+  authority_->Enroll(config_.customer_principal);
+  authority_->Enroll(config_.provider_principal);
+  authority_->Enroll(kMintPrincipal);
+  InstallAgents();
+}
+
+void Marketplace::FundCustomer(size_t notes, uint64_t denomination) {
+  for (size_t i = 0; i < notes; ++i) {
+    customer_wallet_.Add(mint_->Issue(denomination));
+  }
+}
+
+void Marketplace::InstallAgents() {
+  kernel_->AddPlaceInitializer([this](Place& place) {
+    if (place.site() == config_.provider_site) {
+      place.RegisterAgent("shop", [this](Place& at, Briefcase& bc) {
+        return OnOrder(at, bc);
+      });
+      place.RegisterAgent("shop_validation", [this](Place& at, Briefcase& bc) {
+        return OnValidation(at, bc);
+      });
+    }
+    if (place.site() == config_.customer_site) {
+      place.RegisterAgent("buyer", [this](Place& at, Briefcase& bc) {
+        return OnGoods(at, bc);
+      });
+    }
+  });
+}
+
+void Marketplace::FileReceipt(SiteId from, const Receipt& receipt) {
+  Briefcase bc;
+  bc.SetString("OP", "file");
+  bc.folder("RECEIPT").PushBack(receipt.Serialize());
+  Status sent = kernel_->TransferAgent(from, config_.notary_site, "notary", bc);
+  if (!sent.ok()) {
+    TLOG_WARN << "receipt filing failed: " << sent.ToString();
+  }
+}
+
+Status Marketplace::StartExchange(const std::string& xid, uint64_t price,
+                                  CheatMode cheat) {
+  if (records_.contains(xid)) {
+    return AlreadyExistsError("exchange id \"" + xid + "\" already used");
+  }
+  ExchangeRecord rec;
+  rec.xid = xid;
+  rec.price = price;
+  rec.cheat = cheat;
+  rec.started = kernel_->sim().Now();
+  rec.settled = rec.started;
+  records_[xid] = rec;
+
+  const std::string goods = "goods-for-" + xid;
+  const std::string goods_digest = DigestToHex(Sha256::Hash(goods));
+
+  // Step 1: the customer documents its offer.
+  FileReceipt(config_.customer_site,
+              MakeReceipt(authority_, xid, ReceiptKind::kOffer,
+                          config_.customer_principal, config_.provider_principal,
+                          price, goods_digest, kernel_->sim().Now()));
+
+  // Step 2: order (with payment unless cheating) travels to the shop.
+  Briefcase order;
+  order.SetString("XID", xid);
+  order.SetString("PRICE", std::to_string(price));
+  order.SetString("GOODS", goods_digest);
+
+  if (cheat != CheatMode::kCustomerSkipsPayment) {
+    Bytes cash_payload;
+    if (cheat == CheatMode::kCustomerDoubleSpends && spent_cash_copy_.has_value()) {
+      // Spend a copy of already-spent records — "copy is a cheap operation".
+      cash_payload = *spent_cash_copy_;
+    } else {
+      auto notes = customer_wallet_.Withdraw(price);
+      if (!notes.ok()) {
+        records_[xid].aborted = true;
+        return notes.status();
+      }
+      cash_payload = EncodeEcus(*notes);
+      if (cheat == CheatMode::kCustomerDoubleSpends) {
+        spent_cash_copy_ = cash_payload;  // Keep a copy to re-spend later.
+      }
+    }
+    order.folder(kCashFolder).PushBack(cash_payload);
+    FileReceipt(config_.customer_site,
+                MakeReceipt(authority_, xid, ReceiptKind::kPay,
+                            config_.customer_principal, config_.provider_principal,
+                            price, DigestToHex(Sha256::Hash(cash_payload)),
+                            kernel_->sim().Now()));
+  }
+
+  return kernel_->TransferAgent(config_.customer_site, config_.provider_site, "shop",
+                                order);
+}
+
+Status Marketplace::OnOrder(Place& place, Briefcase& bc) {
+  auto xid = bc.GetString("XID");
+  if (!xid.has_value()) {
+    return InvalidArgumentError("shop: order without XID");
+  }
+  auto it = records_.find(*xid);
+  if (it == records_.end()) {
+    return NotFoundError("shop: unknown exchange " + *xid);
+  }
+  ExchangeRecord& rec = it->second;
+  rec.settled = kernel_->sim().Now();
+
+  // Document acceptance.
+  FileReceipt(config_.provider_site,
+              MakeReceipt(authority_, *xid, ReceiptKind::kAccept,
+                          config_.provider_principal, config_.customer_principal,
+                          rec.price, bc.GetString("GOODS").value_or(""),
+                          kernel_->sim().Now()));
+
+  const Folder* cash = bc.Find(kCashFolder);
+  if (cash == nullptr || cash->empty()) {
+    if (config_.policy == ProviderPolicy::kTrusting) {
+      // Deliver on trust; the audit trail is the protection.
+      Deliver(rec);
+      return OkStatus();
+    }
+    rec.aborted = true;
+    return OkStatus();  // Validate-first: refuse service, nothing lost.
+  }
+
+  // A trusting provider ships immediately and banks the cash afterwards —
+  // precisely the behaviour §3 warns about: copied ECUs cost it the goods.
+  if (config_.policy == ProviderPolicy::kTrusting &&
+      rec.cheat != CheatMode::kProviderSkipsDelivery) {
+    Deliver(rec);
+  }
+
+  // Send the cash to the mint for validation, reply to shop_validation.
+  Briefcase request;
+  request.SetString("TARGET", "mint");
+  request.SetString("REPLY_HOST", place.name());
+  request.SetString("REPLY_CONTACT", "shop_validation");
+  request.SetString("OP", "validate");
+  request.SetString("XID", *xid);
+  request.folder("ECUS").PushBack(*cash->Front());
+  return kernel_->TransferAgent(place.site(), config_.mint_site, "relay", request);
+}
+
+Status Marketplace::OnValidation(Place& place, Briefcase& bc) {
+  (void)place;
+  auto xid = bc.GetString("XID");
+  if (!xid.has_value()) {
+    return InvalidArgumentError("shop_validation: reply without XID");
+  }
+  auto it = records_.find(*xid);
+  if (it == records_.end()) {
+    return NotFoundError("shop_validation: unknown exchange " + *xid);
+  }
+  ExchangeRecord& rec = it->second;
+  rec.settled = kernel_->sim().Now();
+
+  if (bc.GetString("STATUS").value_or("") != "ok") {
+    // Forged or double-spent cash: refuse service.
+    rec.aborted = true;
+    return OkStatus();
+  }
+
+  // Bank the fresh notes.
+  const Folder* ecus = bc.Find("ECUS");
+  if (ecus != nullptr && !ecus->empty()) {
+    auto fresh = DecodeEcus(*ecus->Front());
+    if (fresh.ok()) {
+      provider_wallet_.Add(*fresh);
+      rec.payment_collected = true;
+    }
+  }
+
+  // File the mint's proof-of-payment receipt.
+  const Folder* mint_receipt = bc.Find("MINT_RECEIPT");
+  if (mint_receipt != nullptr && !mint_receipt->empty()) {
+    auto receipt = Receipt::Deserialize(*mint_receipt->Front());
+    if (receipt.ok()) {
+      FileReceipt(config_.provider_site, *receipt);
+    }
+  }
+
+  if (rec.cheat == CheatMode::kProviderSkipsDelivery) {
+    return OkStatus();  // Keep the money; the audit will catch this.
+  }
+  if (!rec.goods_delivered) {  // Trusting providers already shipped.
+    Deliver(rec);
+  }
+  return OkStatus();
+}
+
+void Marketplace::Deliver(ExchangeRecord& rec) {
+  rec.goods_delivered = true;
+  rec.settled = kernel_->sim().Now();
+  const std::string goods = "goods-for-" + rec.xid;
+  const std::string goods_digest = DigestToHex(Sha256::Hash(goods));
+
+  FileReceipt(config_.provider_site,
+              MakeReceipt(authority_, rec.xid, ReceiptKind::kDeliver,
+                          config_.provider_principal, config_.customer_principal,
+                          rec.price, goods_digest, kernel_->sim().Now()));
+
+  Briefcase shipment;
+  shipment.SetString("XID", rec.xid);
+  shipment.SetString("GOODS", goods);
+  Status sent = kernel_->TransferAgent(config_.provider_site, config_.customer_site,
+                                       "buyer", shipment);
+  if (!sent.ok()) {
+    TLOG_WARN << "delivery transfer failed: " << sent.ToString();
+  }
+}
+
+Status Marketplace::OnGoods(Place& place, Briefcase& bc) {
+  (void)place;
+  auto xid = bc.GetString("XID");
+  if (!xid.has_value()) {
+    return InvalidArgumentError("buyer: shipment without XID");
+  }
+  auto it = records_.find(*xid);
+  if (it == records_.end()) {
+    return NotFoundError("buyer: unknown exchange " + *xid);
+  }
+  ExchangeRecord& rec = it->second;
+  rec.goods_received = true;
+  rec.settled = kernel_->sim().Now();
+
+  FileReceipt(config_.customer_site,
+              MakeReceipt(authority_, *xid, ReceiptKind::kAck,
+                          config_.customer_principal, config_.provider_principal,
+                          rec.price,
+                          DigestToHex(Sha256::Hash(bc.GetString("GOODS").value_or(""))),
+                          kernel_->sim().Now()));
+  return OkStatus();
+}
+
+const ExchangeRecord* Marketplace::record(const std::string& xid) const {
+  auto it = records_.find(xid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+AuditReport Marketplace::AuditExchange(const std::string& xid) const {
+  return Audit(*authority_, notary_->Lookup(xid), xid);
+}
+
+}  // namespace tacoma::cash

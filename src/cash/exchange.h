@@ -1,0 +1,118 @@
+// The audited exchange protocol (§3).
+//
+// "It must not be possible to obtain a service without paying for it or to
+// pay without obtaining the service."  The paper rejects transactions and
+// adopts documented actions + the threat of audits.  This engine runs that
+// protocol between a customer and a provider on different sites:
+//
+//   customer                     provider                  mint        notary
+//   --------                     --------                  ----        ------
+//   OFFER receipt ------------------------------------------------------> file
+//   ORDER + ECUs in briefcase --> ACCEPT receipt ------------------------> file
+//                                 validate ECUs  ---------> retire+reissue
+//                                 (mint-signed VALIDATED receipt) -------> file
+//                                 DELIVER receipt ----------------------> file
+//   ACK receipt <--- goods ------ deliver
+//       `--------------------------------------------------------------> file
+//
+// Cheat models exercise every arm of the court's decision table; the
+// double-spend model replays previously spent ECU records, which the mint
+// rejects ("an attempt by an agent to spend retired or copied ECUs will be
+// foiled").
+#ifndef TACOMA_CASH_EXCHANGE_H_
+#define TACOMA_CASH_EXCHANGE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cash/court.h"
+#include "cash/mint.h"
+#include "cash/notary.h"
+#include "cash/wallet.h"
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+
+enum class CheatMode {
+  kHonest,
+  kCustomerSkipsPayment,   // Order without cash.
+  kProviderSkipsDelivery,  // Take the money, ship nothing.
+  kCustomerDoubleSpends,   // Pay with copies of already-spent records.
+};
+
+enum class ProviderPolicy {
+  kValidateFirst,  // Never deliver before the mint confirms payment (§3's rule).
+  kTrusting,       // Deliver on order receipt (before/without validation);
+                   // rely on audits for redress.  Copied ECUs cost it goods.
+};
+
+struct MarketConfig {
+  SiteId customer_site = 0;
+  SiteId provider_site = 0;
+  SiteId mint_site = 0;
+  SiteId notary_site = 0;
+  ProviderPolicy policy = ProviderPolicy::kValidateFirst;
+  std::string customer_principal = "customer";
+  std::string provider_principal = "provider";
+};
+
+// Outcome of one exchange, filled in as simulated events fire.
+struct ExchangeRecord {
+  std::string xid;
+  uint64_t price = 0;
+  CheatMode cheat = CheatMode::kHonest;
+  bool goods_delivered = false;    // Provider shipped goods.
+  bool goods_received = false;     // Customer got them.
+  bool payment_collected = false;  // Provider holds mint-validated funds.
+  bool aborted = false;            // Provider refused (no/invalid payment).
+  SimTime started = 0;
+  SimTime settled = 0;             // Time of the terminal event seen so far.
+};
+
+class Marketplace {
+ public:
+  Marketplace(Kernel* kernel, SignatureAuthority* authority, Mint* mint,
+              Notary* notary, MarketConfig config);
+
+  // Funds the customer with `notes` ECUs of `denomination` each, fresh from
+  // the mint.
+  void FundCustomer(size_t notes, uint64_t denomination);
+
+  // Starts an exchange; drive kernel->sim().Run() (or RunUntil) to complete
+  // it.  `xid` must be unique.
+  Status StartExchange(const std::string& xid, uint64_t price, CheatMode cheat);
+
+  const ExchangeRecord* record(const std::string& xid) const;
+  Wallet& customer_wallet() { return customer_wallet_; }
+  Wallet& provider_wallet() { return provider_wallet_; }
+
+  // Court convenience: audits an exchange against the notary's record.
+  AuditReport AuditExchange(const std::string& xid) const;
+
+ private:
+  void InstallAgents();
+  // Files `receipt` with the notary via an agent transfer from `from`.
+  void FileReceipt(SiteId from, const Receipt& receipt);
+
+  Status OnOrder(Place& place, Briefcase& bc);       // "shop" at provider site.
+  Status OnValidation(Place& place, Briefcase& bc);  // "shop_validation".
+  Status OnGoods(Place& place, Briefcase& bc);       // "buyer" at customer site.
+
+  void Deliver(ExchangeRecord& rec);
+
+  Kernel* kernel_;
+  SignatureAuthority* authority_;
+  Mint* mint_;
+  Notary* notary_;
+  MarketConfig config_;
+  Wallet customer_wallet_;
+  Wallet provider_wallet_;
+  std::map<std::string, ExchangeRecord> records_;
+  // For the double-spend cheat: a copy of the last cash payload spent.
+  std::optional<Bytes> spent_cash_copy_;
+};
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_EXCHANGE_H_

@@ -1,0 +1,189 @@
+#include "cash/mint.h"
+
+#include "cash/receipts.h"
+#include "core/kernel.h"
+#include "crypto/sha256.h"
+#include "serial/encoder.h"
+#include "tacl/list.h"
+
+namespace tacoma::cash {
+
+Mint::Mint(uint64_t seed)
+    : drbg_([seed] {
+        Encoder enc;
+        enc.PutString("tacoma-mint");
+        enc.PutU64(seed);
+        return enc.Take();
+      }()) {}
+
+Bytes Mint::FreshSerial() {
+  Bytes serial;
+  drbg_.Generate(32, &serial);
+  return serial;
+}
+
+Ecu Mint::Issue(uint64_t amount) {
+  Ecu ecu;
+  ecu.amount = amount;
+  ecu.serial = FreshSerial();
+  valid_.emplace(ecu.SerialHex(), amount);
+  outstanding_ += amount;
+  ++stats_.issued;
+  return ecu;
+}
+
+Result<Ecu> Mint::Validate(const Ecu& ecu) {
+  auto it = valid_.find(ecu.SerialHex());
+  if (it == valid_.end() || it->second != ecu.amount) {
+    ++stats_.rejected;
+    return PermissionDeniedError("ECU is forged, retired, or already spent");
+  }
+  valid_.erase(it);
+  outstanding_ -= ecu.amount;
+  ++stats_.retired;
+  ++stats_.validated;
+  return Issue(ecu.amount);
+}
+
+Result<std::vector<Ecu>> Mint::Exchange(const std::vector<Ecu>& in,
+                                        const std::vector<uint64_t>& out_amounts) {
+  uint64_t in_total = TotalAmount(in);
+  uint64_t out_total = 0;
+  for (uint64_t a : out_amounts) {
+    out_total += a;
+  }
+  if (in_total != out_total) {
+    return InvalidArgumentError("exchange amounts do not balance");
+  }
+  // Validate all inputs first (all-or-nothing): check before retiring any, so
+  // a bad note in the batch doesn't destroy the good ones.
+  for (const Ecu& e : in) {
+    auto it = valid_.find(e.SerialHex());
+    if (it == valid_.end() || it->second != e.amount) {
+      ++stats_.rejected;
+      return PermissionDeniedError("batch contains a forged or spent ECU");
+    }
+  }
+  for (const Ecu& e : in) {
+    valid_.erase(e.SerialHex());
+    outstanding_ -= e.amount;
+    ++stats_.retired;
+    ++stats_.validated;
+  }
+  std::vector<Ecu> out;
+  out.reserve(out_amounts.size());
+  for (uint64_t a : out_amounts) {
+    out.push_back(Issue(a));
+  }
+  return out;
+}
+
+bool Mint::IsValid(const Ecu& ecu) const {
+  auto it = valid_.find(ecu.SerialHex());
+  return it != valid_.end() && it->second == ecu.amount;
+}
+
+void InstallMintAgent(Kernel* kernel, uint32_t site, Mint* mint,
+                      SignatureAuthority* authority) {
+  kernel->AddPlaceInitializer([site, mint, authority](Place& place) {
+    if (place.site() != site) {
+      return;
+    }
+    place.RegisterAgent("mint", [mint, authority](Place& at, Briefcase& bc) -> Status {
+      auto op = bc.GetString("OP");
+      if (!op.has_value()) {
+        bc.SetString("STATUS", "missing OP folder");
+        return InvalidArgumentError("mint: missing OP folder");
+      }
+
+      if (*op == "issue") {
+        auto amount_str = bc.GetString("AMOUNT");
+        auto amount = amount_str ? tacl::ParseInt(*amount_str) : std::nullopt;
+        if (!amount.has_value() || *amount <= 0) {
+          bc.SetString("STATUS", "bad AMOUNT");
+          return InvalidArgumentError("mint: bad AMOUNT");
+        }
+        Ecu ecu = mint->Issue(static_cast<uint64_t>(*amount));
+        bc.folder("ECUS").Clear();
+        bc.folder("ECUS").PushBack(EncodeEcus({ecu}));
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+
+      if (*op == "validate") {
+        const Folder* ecus_folder = bc.Find("ECUS");
+        if (ecus_folder == nullptr || ecus_folder->empty()) {
+          bc.SetString("STATUS", "missing ECUS folder");
+          return InvalidArgumentError("mint: missing ECUS folder");
+        }
+        auto ecus = DecodeEcus(*ecus_folder->Front());
+        if (!ecus.ok()) {
+          bc.SetString("STATUS", "corrupt ECUS payload");
+          return ecus.status();
+        }
+        std::vector<Ecu> fresh;
+        fresh.reserve(ecus->size());
+        for (const Ecu& e : *ecus) {
+          auto v = mint->Validate(e);
+          if (!v.ok()) {
+            bc.SetString("STATUS", std::string(v.status().message()));
+            return v.status();
+          }
+          fresh.push_back(std::move(v).value());
+        }
+        // Proof-of-payment receipt for audited exchanges: signed by the mint,
+        // tied to the exchange id, blind to who presented the notes.
+        auto xid = bc.GetString("XID");
+        if (authority != nullptr && xid.has_value()) {
+          std::string digest = DigestToHex(Sha256::Hash(EncodeEcus(*ecus)));
+          Receipt receipt = MakeReceipt(authority, *xid, ReceiptKind::kValidated,
+                                        kMintPrincipal, "", TotalAmount(*ecus), digest,
+                                        at.kernel()->sim().Now());
+          bc.folder("MINT_RECEIPT").Clear();
+          bc.folder("MINT_RECEIPT").PushBack(receipt.Serialize());
+        }
+        bc.folder("ECUS").Clear();
+        bc.folder("ECUS").PushBack(EncodeEcus(fresh));
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+
+      if (*op == "exchange") {
+        const Folder* ecus_folder = bc.Find("ECUS");
+        const Folder* amounts = bc.Find("AMOUNT");
+        if (ecus_folder == nullptr || ecus_folder->empty() || amounts == nullptr) {
+          bc.SetString("STATUS", "missing ECUS or AMOUNT folder");
+          return InvalidArgumentError("mint: missing ECUS or AMOUNT folder");
+        }
+        auto ecus = DecodeEcus(*ecus_folder->Front());
+        if (!ecus.ok()) {
+          bc.SetString("STATUS", "corrupt ECUS payload");
+          return ecus.status();
+        }
+        std::vector<uint64_t> out_amounts;
+        for (const std::string& a : amounts->AsStrings()) {
+          auto v = tacl::ParseInt(a);
+          if (!v.has_value() || *v <= 0) {
+            bc.SetString("STATUS", "bad denomination");
+            return InvalidArgumentError("mint: bad denomination " + a);
+          }
+          out_amounts.push_back(static_cast<uint64_t>(*v));
+        }
+        auto exchanged = mint->Exchange(*ecus, out_amounts);
+        if (!exchanged.ok()) {
+          bc.SetString("STATUS", std::string(exchanged.status().message()));
+          return exchanged.status();
+        }
+        bc.folder("ECUS").Clear();
+        bc.folder("ECUS").PushBack(EncodeEcus(*exchanged));
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+
+      bc.SetString("STATUS", "unknown OP");
+      return InvalidArgumentError("mint: unknown OP \"" + *op + "\"");
+    });
+  });
+}
+
+}  // namespace tacoma::cash

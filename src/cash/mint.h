@@ -1,0 +1,93 @@
+// The mint / validation agent (§3).
+//
+// "A trusted validation agent is employed.  This agent can check whether a
+// record it is shown corresponds to a valid ECU.  If it is valid, then a
+// record for an equivalent ECU is returned, but this record has a new random
+// number (effectively retiring an old bill and replacing it by a new one).
+// An attempt by an agent to spend retired or copied ECUs will be foiled if a
+// validation agent is always consulted before any service is rendered.
+// Notice that using a validation agent supports our untraceability
+// requirement, since the validation agent does not require knowledge of the
+// source or destination of a transfer."
+//
+// The Mint tracks only the set of currently-valid serials — not who holds
+// them.  Validate() is therefore payee-blind by construction; tests assert
+// this structurally (no principal appears anywhere in mint state).
+#ifndef TACOMA_CASH_MINT_H_
+#define TACOMA_CASH_MINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cash/ecu.h"
+#include "crypto/authority.h"
+#include "crypto/hmac.h"
+#include "util/status.h"
+
+namespace tacoma {
+class Kernel;
+}  // namespace tacoma
+
+namespace tacoma::cash {
+
+class Mint {
+ public:
+  struct Stats {
+    uint64_t issued = 0;
+    uint64_t validated = 0;
+    uint64_t rejected = 0;      // Invalid / already-spent serials presented.
+    uint64_t retired = 0;
+  };
+
+  explicit Mint(uint64_t seed);
+
+  // Mints a fresh ECU (monetary policy is the caller's problem).
+  Ecu Issue(uint64_t amount);
+
+  // The §3 operation: retire the presented ECU and hand back an equivalent
+  // one with a fresh serial.  Fails on unknown, forged, or already-retired
+  // serials — the double-spend check.
+  Result<Ecu> Validate(const Ecu& ecu);
+
+  // Validates a batch and re-issues in the requested denominations (which
+  // must sum to the batch total) — how agents make change.
+  Result<std::vector<Ecu>> Exchange(const std::vector<Ecu>& in,
+                                    const std::vector<uint64_t>& out_amounts);
+
+  // Non-mutating check (used by audits; ordinary commerce uses Validate).
+  bool IsValid(const Ecu& ecu) const;
+
+  // Total value of valid outstanding ECUs (conservation invariant).
+  uint64_t Outstanding() const { return outstanding_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Bytes FreshSerial();
+
+  HmacDrbg drbg_;
+  // serial-hex -> amount for every currently-valid ECU.
+  std::unordered_map<std::string, uint64_t> valid_;
+  uint64_t outstanding_ = 0;
+  Stats stats_;
+};
+
+// Installs the mint as resident agent "mint" at `site` (re-installed across
+// site restarts; the Mint object itself lives outside the place, surviving
+// crashes like a disk does).
+//
+// Meet protocol (folders):
+//   OP      "issue" | "validate" | "exchange"
+//   AMOUNT  for issue: the amount; for exchange: one element per denomination
+//   ECUS    EncodeEcus payload (input for validate/exchange; output always)
+//   XID     optional exchange id: successful validations then also produce a
+//           mint-signed VALIDATED receipt in MINT_RECEIPT (proof of payment
+//           for audits) when an authority was supplied
+//   STATUS  reply: "ok" or an error message
+void InstallMintAgent(Kernel* kernel, uint32_t site, Mint* mint,
+                      SignatureAuthority* authority = nullptr);
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_MINT_H_

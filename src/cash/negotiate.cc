@@ -1,0 +1,137 @@
+#include "cash/negotiate.h"
+
+#include "tacl/list.h"
+
+namespace tacoma::cash {
+
+Negotiator::Negotiator(Kernel* kernel, NegotiationConfig config)
+    : kernel_(kernel), config_(config) {
+  Negotiator* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    if (place.site() == self->config_.provider_site) {
+      place.RegisterAgent("haggle", [self](Place& at, Briefcase& bc) {
+        return self->OnBid(at, bc);
+      });
+    }
+    if (place.site() == self->config_.customer_site) {
+      place.RegisterAgent("haggle_reply", [self](Place& at, Briefcase& bc) {
+        return self->OnCounter(at, bc);
+      });
+    }
+  });
+}
+
+Status Negotiator::Start(const std::string& nid) {
+  if (records_.contains(nid)) {
+    return AlreadyExistsError("negotiation \"" + nid + "\" already exists");
+  }
+  NegotiationRecord rec;
+  rec.nid = nid;
+  rec.started = kernel_->sim().Now();
+  records_[nid] = rec;
+
+  // Opening bid: half the ask, capped by budget.
+  uint64_t bid = std::min(config_.budget, config_.ask / 2);
+  Briefcase opener;
+  opener.SetString("NID", nid);
+  opener.SetString("BID", std::to_string(bid));
+  opener.SetString("ROUND", "1");
+  return kernel_->TransferAgent(config_.customer_site, config_.provider_site,
+                                "haggle", opener);
+}
+
+void Negotiator::Close(NegotiationRecord& rec, bool agreed, uint64_t price) {
+  rec.settled = true;
+  rec.agreed = agreed;
+  rec.price = price;
+  rec.finished = kernel_->sim().Now();
+}
+
+Status Negotiator::OnBid(Place& place, Briefcase& bc) {
+  auto nid = bc.GetString("NID").value_or("");
+  auto it = records_.find(nid);
+  if (it == records_.end()) {
+    return NotFoundError("haggle: unknown negotiation " + nid);
+  }
+  NegotiationRecord& rec = it->second;
+  uint64_t bid = static_cast<uint64_t>(
+      tacl::ParseInt(bc.GetString("BID").value_or("0")).value_or(0));
+  int round = static_cast<int>(
+      tacl::ParseInt(bc.GetString("ROUND").value_or("1")).value_or(1));
+  rec.rounds = round;
+
+  // The provider concedes `step` per round, never below its floor.
+  uint64_t concession = config_.step * static_cast<uint64_t>(round - 1);
+  uint64_t counter = config_.ask > concession
+                         ? std::max(config_.floor, config_.ask - concession)
+                         : config_.floor;
+
+  if (bid >= counter) {
+    // Deal: split the remaining difference.
+    Close(rec, true, (bid + counter) / 2);
+    Briefcase accept;
+    accept.SetString("NID", nid);
+    accept.SetString("OUTCOME", "accepted");
+    accept.SetString("PRICE", std::to_string(rec.price));
+    return kernel_->TransferAgent(place.site(), config_.customer_site,
+                                  "haggle_reply", accept);
+  }
+  if (round >= config_.max_rounds ||
+      (counter == config_.floor && bid >= config_.budget)) {
+    // Both sides at their limits with no crossing: walk away.
+    Close(rec, false, 0);
+    Briefcase reject;
+    reject.SetString("NID", nid);
+    reject.SetString("OUTCOME", "rejected");
+    return kernel_->TransferAgent(place.site(), config_.customer_site,
+                                  "haggle_reply", reject);
+  }
+
+  Briefcase counter_msg;
+  counter_msg.SetString("NID", nid);
+  counter_msg.SetString("OUTCOME", "counter");
+  counter_msg.SetString("COUNTER", std::to_string(counter));
+  counter_msg.SetString("ROUND", std::to_string(round));
+  return kernel_->TransferAgent(place.site(), config_.customer_site, "haggle_reply",
+                                counter_msg);
+}
+
+Status Negotiator::OnCounter(Place& place, Briefcase& bc) {
+  auto nid = bc.GetString("NID").value_or("");
+  auto it = records_.find(nid);
+  if (it == records_.end()) {
+    return NotFoundError("haggle_reply: unknown negotiation " + nid);
+  }
+  NegotiationRecord& rec = it->second;
+  auto outcome = bc.GetString("OUTCOME").value_or("");
+
+  if (outcome == "accepted") {
+    // Already closed provider-side; record mirrored fields for the customer.
+    rec.settled = true;
+    return OkStatus();
+  }
+  if (outcome == "rejected") {
+    rec.settled = true;
+    return OkStatus();
+  }
+
+  // Counter received: raise the bid by a step (capped at budget) and go again.
+  int round = static_cast<int>(
+      tacl::ParseInt(bc.GetString("ROUND").value_or("1")).value_or(1));
+  uint64_t opening = std::min(config_.budget, config_.ask / 2);
+  uint64_t bid =
+      std::min(config_.budget, opening + config_.step * static_cast<uint64_t>(round));
+
+  Briefcase next;
+  next.SetString("NID", nid);
+  next.SetString("BID", std::to_string(bid));
+  next.SetString("ROUND", std::to_string(round + 1));
+  return kernel_->TransferAgent(place.site(), config_.provider_site, "haggle", next);
+}
+
+const NegotiationRecord* Negotiator::record(const std::string& nid) const {
+  auto it = records_.find(nid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tacoma::cash

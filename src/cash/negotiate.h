@@ -1,0 +1,63 @@
+// Price negotiation between agents (§1).
+//
+// "Agents implement a computational metaphor that is analogous to how most
+// people conduct business in their daily lives: visit a place, use a service
+// (perhaps after some negotiation), and then move on."
+//
+// An alternating-concessions protocol over agent transfers: the customer
+// opens low, the provider counters from its ask, both concede a step per
+// round, and the deal closes at the midpoint once the bid crosses the
+// counter.  Private limits (the customer's budget, the provider's floor)
+// never appear in any message — only bids and counters travel.
+#ifndef TACOMA_CASH_NEGOTIATE_H_
+#define TACOMA_CASH_NEGOTIATE_H_
+
+#include <map>
+#include <string>
+
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+
+struct NegotiationConfig {
+  SiteId customer_site = 0;
+  SiteId provider_site = 0;
+  uint64_t ask = 100;     // Provider's opening price (public).
+  uint64_t floor = 60;    // Provider's secret minimum.
+  uint64_t budget = 80;   // Customer's secret maximum.
+  uint64_t step = 10;     // Concession per round, both sides.
+  int max_rounds = 16;
+};
+
+struct NegotiationRecord {
+  std::string nid;
+  bool settled = false;   // Terminal state reached.
+  bool agreed = false;
+  uint64_t price = 0;     // Meaningful when agreed.
+  int rounds = 0;         // Bid/counter exchanges.
+  SimTime started = 0;
+  SimTime finished = 0;
+};
+
+class Negotiator {
+ public:
+  Negotiator(Kernel* kernel, NegotiationConfig config);
+
+  // Opens negotiation `nid`; run the simulator to completion.
+  Status Start(const std::string& nid);
+
+  const NegotiationRecord* record(const std::string& nid) const;
+
+ private:
+  Status OnBid(Place& place, Briefcase& bc);      // "haggle" at provider site.
+  Status OnCounter(Place& place, Briefcase& bc);  // "haggle_reply" at customer.
+  void Close(NegotiationRecord& rec, bool agreed, uint64_t price);
+
+  Kernel* kernel_;
+  NegotiationConfig config_;
+  std::map<std::string, NegotiationRecord> records_;
+};
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_NEGOTIATE_H_

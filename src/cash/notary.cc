@@ -1,0 +1,78 @@
+#include "cash/notary.h"
+
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+
+Status Notary::File(const Receipt& receipt) {
+  if (!VerifyReceipt(*authority_, receipt)) {
+    ++stats_.rejected;
+    return PermissionDeniedError("receipt signature did not verify");
+  }
+  filed_[receipt.exchange_id].push_back(receipt);
+  ++stats_.filed;
+  return OkStatus();
+}
+
+std::vector<Receipt> Notary::Lookup(const std::string& exchange_id) const {
+  auto it = filed_.find(exchange_id);
+  if (it == filed_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+void InstallNotaryAgent(Kernel* kernel, uint32_t site, Notary* notary) {
+  kernel->AddPlaceInitializer([site, notary](Place& place) {
+    if (place.site() != site) {
+      return;
+    }
+    place.RegisterAgent("notary", [notary](Place&, Briefcase& bc) -> Status {
+      auto op = bc.GetString("OP");
+      if (!op.has_value()) {
+        bc.SetString("STATUS", "missing OP folder");
+        return InvalidArgumentError("notary: missing OP folder");
+      }
+      if (*op == "file") {
+        Folder* receipts = bc.Find("RECEIPT");
+        if (receipts == nullptr || receipts->empty()) {
+          bc.SetString("STATUS", "missing RECEIPT folder");
+          return InvalidArgumentError("notary: missing RECEIPT folder");
+        }
+        // File every receipt in the folder; stop on the first bad one.
+        for (const Bytes& element : *receipts) {
+          auto receipt = Receipt::Deserialize(element);
+          if (!receipt.ok()) {
+            bc.SetString("STATUS", "malformed receipt");
+            return receipt.status();
+          }
+          Status filed = notary->File(*receipt);
+          if (!filed.ok()) {
+            bc.SetString("STATUS", std::string(filed.message()));
+            return filed;
+          }
+        }
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+      if (*op == "fetch") {
+        auto xid = bc.GetString("XID");
+        if (!xid.has_value()) {
+          bc.SetString("STATUS", "missing XID folder");
+          return InvalidArgumentError("notary: missing XID folder");
+        }
+        Folder& out = bc.folder("RECEIPTS");
+        out.Clear();
+        for (const Receipt& r : notary->Lookup(*xid)) {
+          out.PushBack(r.Serialize());
+        }
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+      bc.SetString("STATUS", "unknown OP");
+      return InvalidArgumentError("notary: unknown OP \"" + *op + "\"");
+    });
+  });
+}
+
+}  // namespace tacoma::cash

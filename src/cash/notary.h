@@ -1,0 +1,57 @@
+// The notary agent — §3's "third agent" that holds documented actions.
+//
+// Receipts are filed with the notary as exchanges proceed; the court fetches
+// them during an audit.  The notary verifies each signature on filing, so a
+// forged receipt never enters the record.
+#ifndef TACOMA_CASH_NOTARY_H_
+#define TACOMA_CASH_NOTARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cash/receipts.h"
+#include "util/status.h"
+
+namespace tacoma {
+class Kernel;
+}  // namespace tacoma
+
+namespace tacoma::cash {
+
+class Notary {
+ public:
+  struct Stats {
+    uint64_t filed = 0;
+    uint64_t rejected = 0;  // Bad signature / malformed.
+  };
+
+  explicit Notary(const SignatureAuthority* authority) : authority_(authority) {}
+
+  // Verifies and stores a receipt.
+  Status File(const Receipt& receipt);
+
+  // All receipts filed under an exchange id.
+  std::vector<Receipt> Lookup(const std::string& exchange_id) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const SignatureAuthority* authority_;
+  std::map<std::string, std::vector<Receipt>> filed_;
+  Stats stats_;
+};
+
+// Installs resident agent "notary" at `site`.
+//
+// Meet protocol (folders):
+//   OP       "file" | "fetch"
+//   RECEIPT  serialized receipt (file)
+//   XID      exchange id (fetch)
+//   RECEIPTS reply for fetch: one element per receipt
+//   STATUS   "ok" or an error message
+void InstallNotaryAgent(Kernel* kernel, uint32_t site, Notary* notary);
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_NOTARY_H_

@@ -1,0 +1,93 @@
+#include "cash/receipts.h"
+
+namespace tacoma::cash {
+
+std::string_view ReceiptKindName(ReceiptKind kind) {
+  switch (kind) {
+    case ReceiptKind::kOffer:
+      return "OFFER";
+    case ReceiptKind::kAccept:
+      return "ACCEPT";
+    case ReceiptKind::kPay:
+      return "PAY";
+    case ReceiptKind::kValidated:
+      return "VALIDATED";
+    case ReceiptKind::kDeliver:
+      return "DELIVER";
+    case ReceiptKind::kAck:
+      return "ACK";
+  }
+  return "UNKNOWN";
+}
+
+Bytes Receipt::SignedPayload() const {
+  Encoder enc;
+  enc.PutString(exchange_id);
+  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutString(actor);
+  enc.PutString(counterparty);
+  enc.PutU64(amount);
+  enc.PutString(detail);
+  enc.PutU64(time_us);
+  return enc.Take();
+}
+
+Bytes Receipt::Serialize() const {
+  Encoder enc;
+  enc.PutString(exchange_id);
+  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutString(actor);
+  enc.PutString(counterparty);
+  enc.PutU64(amount);
+  enc.PutString(detail);
+  enc.PutU64(time_us);
+  enc.PutBytes(signature.Serialize());
+  return enc.Take();
+}
+
+Result<Receipt> Receipt::Deserialize(const Bytes& data) {
+  Decoder dec(data);
+  Receipt r;
+  uint8_t kind = 0;
+  Bytes sig;
+  if (!dec.GetString(&r.exchange_id) || !dec.GetU8(&kind) || !dec.GetString(&r.actor) ||
+      !dec.GetString(&r.counterparty) || !dec.GetU64(&r.amount) ||
+      !dec.GetString(&r.detail) || !dec.GetU64(&r.time_us) || !dec.GetBytes(&sig) ||
+      !dec.Done()) {
+    return DataLossError("malformed receipt");
+  }
+  if (kind < 1 || kind > 6) {
+    return DataLossError("unknown receipt kind");
+  }
+  r.kind = static_cast<ReceiptKind>(kind);
+  auto signature = Signature::Deserialize(sig);
+  if (!signature.ok()) {
+    return signature.status();
+  }
+  r.signature = std::move(signature).value();
+  return r;
+}
+
+Receipt MakeReceipt(SignatureAuthority* authority, std::string exchange_id,
+                    ReceiptKind kind, std::string actor, std::string counterparty,
+                    uint64_t amount, std::string detail, uint64_t time_us) {
+  Receipt r;
+  r.exchange_id = std::move(exchange_id);
+  r.kind = kind;
+  r.actor = std::move(actor);
+  r.counterparty = std::move(counterparty);
+  r.amount = amount;
+  r.detail = std::move(detail);
+  r.time_us = time_us;
+  r.signature = authority->Sign(r.actor, r.SignedPayload());
+  return r;
+}
+
+bool VerifyReceipt(const SignatureAuthority& authority, const Receipt& receipt) {
+  if (receipt.signature.principal != receipt.actor) {
+    return false;  // Signed by someone other than the claimed actor.
+  }
+  return authority.Verify(receipt.signature, receipt.SignedPayload());
+}
+
+}  // namespace tacoma::cash

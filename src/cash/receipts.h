@@ -1,0 +1,65 @@
+// Receipts — the "documented actions" of §3's audit scheme.
+//
+// "Participants document their actions so that a third party (a court, in
+// real life) can perform an audit to find violations of a contract.  An
+// aggrieved agent requests an audit."
+//
+// Every step of an exchange produces a Receipt signed by the acting
+// principal; receipts are filed with a notary agent (the "third agent" the
+// paper mentions) and replayed by the court on request.
+#ifndef TACOMA_CASH_RECEIPTS_H_
+#define TACOMA_CASH_RECEIPTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/authority.h"
+#include "serial/encoder.h"
+#include "util/status.h"
+
+namespace tacoma::cash {
+
+// The trusted principal name the mint signs with.  Courts treat kValidated
+// receipts as proof of payment only when signed by this principal.
+inline constexpr char kMintPrincipal[] = "mint";
+
+enum class ReceiptKind : uint8_t {
+  kOffer = 1,      // Customer: I offer to buy <detail> for <amount>.
+  kAccept = 2,     // Provider: I accept the offer.
+  kPay = 3,        // Customer: I handed over ECUs with digests <detail>.
+  kValidated = 4,  // Mint: I retired+reissued <amount> worth of ECUs for this exchange.
+  kDeliver = 5,    // Provider: I delivered goods with digest <detail>.
+  kAck = 6,        // Customer: I received goods with digest <detail>.
+};
+
+std::string_view ReceiptKindName(ReceiptKind kind);
+
+struct Receipt {
+  std::string exchange_id;
+  ReceiptKind kind = ReceiptKind::kOffer;
+  std::string actor;         // Signing principal.
+  std::string counterparty;  // The other side (informational).
+  uint64_t amount = 0;
+  std::string detail;        // Goods digest, ECU digests, ...
+  uint64_t time_us = 0;      // Simulated time of the action.
+  Signature signature;       // By `actor` over the canonical payload.
+
+  // Canonical bytes covered by the signature.
+  Bytes SignedPayload() const;
+
+  Bytes Serialize() const;
+  static Result<Receipt> Deserialize(const Bytes& data);
+};
+
+// Builds and signs a receipt on behalf of `actor`.
+Receipt MakeReceipt(SignatureAuthority* authority, std::string exchange_id,
+                    ReceiptKind kind, std::string actor, std::string counterparty,
+                    uint64_t amount, std::string detail, uint64_t time_us);
+
+// Verifies the signature binds `actor` to the payload.
+bool VerifyReceipt(const SignatureAuthority& authority, const Receipt& receipt);
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_RECEIPTS_H_

@@ -1,0 +1,227 @@
+#include "cash/twophase.h"
+
+#include "util/log.h"
+
+namespace tacoma::cash {
+
+TwoPhaseExchange::TwoPhaseExchange(Kernel* kernel, TwoPhaseConfig config)
+    : kernel_(kernel), config_(config) {
+  InstallAgents();
+}
+
+void TwoPhaseExchange::FundCustomer(std::vector<Ecu> notes) {
+  customer_wallet_.Add(notes);
+}
+
+void TwoPhaseExchange::InstallAgents() {
+  kernel_->AddPlaceInitializer([this](Place& place) {
+    if (place.site() == config_.coordinator_site) {
+      place.RegisterAgent("txn_coord", [this](Place& at, Briefcase& bc) {
+        return OnCoordinator(at, bc);
+      });
+    }
+    if (place.site() == config_.customer_site) {
+      place.RegisterAgent("txn_customer", [this](Place& at, Briefcase& bc) {
+        return OnCustomer(at, bc);
+      });
+    }
+    if (place.site() == config_.provider_site) {
+      place.RegisterAgent("txn_provider", [this](Place& at, Briefcase& bc) {
+        return OnProvider(at, bc);
+      });
+    }
+  });
+}
+
+Status TwoPhaseExchange::Send(SiteId from, SiteId to, const std::string& contact,
+                              Briefcase bc) {
+  return kernel_->TransferAgent(from, to, contact, bc);
+}
+
+Status TwoPhaseExchange::Start(const std::string& xid, uint64_t price) {
+  if (records_.contains(xid)) {
+    return AlreadyExistsError("transaction \"" + xid + "\" already exists");
+  }
+  TxnRecord rec;
+  rec.xid = xid;
+  rec.price = price;
+  rec.started = kernel_->sim().Now();
+  rec.settled = rec.started;
+  records_[xid] = rec;
+
+  Briefcase begin;
+  begin.SetString("MSG", "begin");
+  begin.SetString("XID", xid);
+  begin.SetString("PRICE", std::to_string(price));
+  return Send(config_.customer_site, config_.coordinator_site, "txn_coord", begin);
+}
+
+Status TwoPhaseExchange::OnCoordinator(Place& place, Briefcase& bc) {
+  auto msg = bc.GetString("MSG").value_or("");
+  auto xid = bc.GetString("XID").value_or("");
+  auto it = records_.find(xid);
+  if (it == records_.end()) {
+    return NotFoundError("txn_coord: unknown transaction " + xid);
+  }
+  TxnRecord& rec = it->second;
+  rec.settled = kernel_->sim().Now();
+
+  if (msg == "begin") {
+    rec.state = TxnState::kPreparing;
+    Briefcase prepare;
+    prepare.SetString("MSG", "prepare");
+    prepare.SetString("XID", xid);
+    prepare.SetString("PRICE", std::to_string(rec.price));
+    TACOMA_RETURN_IF_ERROR(
+        Send(place.site(), config_.customer_site, "txn_customer", prepare));
+    return Send(place.site(), config_.provider_site, "txn_provider", prepare);
+  }
+
+  if (msg == "vote") {
+    bool yes = bc.GetString("VOTE").value_or("no") == "yes";
+    if (!yes) {
+      rec.state = TxnState::kAborted;
+      Briefcase abort_msg;
+      abort_msg.SetString("MSG", "abort");
+      abort_msg.SetString("XID", xid);
+      (void)Send(place.site(), config_.customer_site, "txn_customer", abort_msg);
+      (void)Send(place.site(), config_.provider_site, "txn_provider", abort_msg);
+      return OkStatus();
+    }
+    if (++rec.votes < 2) {
+      return OkStatus();  // Waiting for the other vote.
+    }
+    rec.state = TxnState::kCommitted;
+    Briefcase commit;
+    commit.SetString("MSG", "commit");
+    commit.SetString("XID", xid);
+    TACOMA_RETURN_IF_ERROR(
+        Send(place.site(), config_.customer_site, "txn_customer", commit));
+    return Send(place.site(), config_.provider_site, "txn_provider", commit);
+  }
+
+  if (msg == "ack") {
+    if (++rec.acks >= 2) {
+      rec.state = TxnState::kDone;
+    }
+    return OkStatus();
+  }
+
+  return InvalidArgumentError("txn_coord: unknown message \"" + msg + "\"");
+}
+
+Status TwoPhaseExchange::OnCustomer(Place& place, Briefcase& bc) {
+  auto msg = bc.GetString("MSG").value_or("");
+  auto xid = bc.GetString("XID").value_or("");
+  auto it = records_.find(xid);
+  if (it == records_.end()) {
+    return NotFoundError("txn_customer: unknown transaction " + xid);
+  }
+  TxnRecord& rec = it->second;
+
+  if (msg == "prepare") {
+    // Escrow the cash and vote.
+    auto notes = customer_wallet_.Withdraw(rec.price);
+    Briefcase vote;
+    vote.SetString("MSG", "vote");
+    vote.SetString("XID", xid);
+    vote.SetString("VOTE", notes.ok() ? "yes" : "no");
+    if (notes.ok()) {
+      escrow_[xid] = std::move(notes).value();
+    }
+    return Send(place.site(), config_.coordinator_site, "txn_coord", vote);
+  }
+
+  if (msg == "commit") {
+    // Ship the escrowed cash to the provider.
+    auto escrowed = escrow_.find(xid);
+    if (escrowed != escrow_.end()) {
+      Briefcase cash;
+      cash.SetString("MSG", "cash");
+      cash.SetString("XID", xid);
+      cash.folder(kCashFolder).PushBack(EncodeEcus(escrowed->second));
+      escrow_.erase(escrowed);
+      TACOMA_RETURN_IF_ERROR(
+          Send(place.site(), config_.provider_site, "txn_provider", cash));
+    }
+    Briefcase ack;
+    ack.SetString("MSG", "ack");
+    ack.SetString("XID", xid);
+    return Send(place.site(), config_.coordinator_site, "txn_coord", ack);
+  }
+
+  if (msg == "abort") {
+    auto escrowed = escrow_.find(xid);
+    if (escrowed != escrow_.end()) {
+      customer_wallet_.Add(escrowed->second);
+      escrow_.erase(escrowed);
+    }
+    return OkStatus();
+  }
+
+  if (msg == "goods") {
+    rec.goods_transferred = true;
+    rec.settled = kernel_->sim().Now();
+    return OkStatus();
+  }
+
+  return InvalidArgumentError("txn_customer: unknown message \"" + msg + "\"");
+}
+
+Status TwoPhaseExchange::OnProvider(Place& place, Briefcase& bc) {
+  auto msg = bc.GetString("MSG").value_or("");
+  auto xid = bc.GetString("XID").value_or("");
+  auto it = records_.find(xid);
+  if (it == records_.end()) {
+    return NotFoundError("txn_provider: unknown transaction " + xid);
+  }
+  TxnRecord& rec = it->second;
+
+  if (msg == "prepare") {
+    Briefcase vote;
+    vote.SetString("MSG", "vote");
+    vote.SetString("XID", xid);
+    vote.SetString("VOTE", "yes");  // Goods are always in stock here.
+    return Send(place.site(), config_.coordinator_site, "txn_coord", vote);
+  }
+
+  if (msg == "commit") {
+    // Ship the goods to the customer.
+    Briefcase goods;
+    goods.SetString("MSG", "goods");
+    goods.SetString("XID", xid);
+    goods.SetString("GOODS", "goods-for-" + xid);
+    TACOMA_RETURN_IF_ERROR(
+        Send(place.site(), config_.customer_site, "txn_customer", goods));
+    Briefcase ack;
+    ack.SetString("MSG", "ack");
+    ack.SetString("XID", xid);
+    return Send(place.site(), config_.coordinator_site, "txn_coord", ack);
+  }
+
+  if (msg == "abort") {
+    return OkStatus();
+  }
+
+  if (msg == "cash") {
+    const Folder* cash = bc.Find(kCashFolder);
+    if (cash != nullptr && !cash->empty()) {
+      auto notes = DecodeEcus(*cash->Front());
+      if (notes.ok()) {
+        provider_wallet_.Add(*notes);
+        rec.cash_transferred = true;
+        rec.settled = kernel_->sim().Now();
+      }
+    }
+    return OkStatus();
+  }
+
+  return InvalidArgumentError("txn_provider: unknown message \"" + msg + "\"");
+}
+
+const TxnRecord* TwoPhaseExchange::record(const std::string& xid) const {
+  auto it = records_.find(xid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tacoma::cash

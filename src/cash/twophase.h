@@ -1,0 +1,81 @@
+// Two-phase-commit exchange — the baseline the paper REJECTED (§3):
+//
+// "What would seem to be required is support for transactions ... We rejected
+// adding support for transactions to our system for two reasons: (1) Having
+// such a mechanism would impact performance and would be effective only if it
+// were trusted.  (2) Such a mechanism would be alien to the computer
+// illiterate."
+//
+// Benchmark E6 compares this coordinator-based protocol against the audited
+// exchange on messages, critical-path latency, and behaviour when the
+// coordinator fails mid-protocol (2PC blocks; the audit protocol has no such
+// single point of trust).
+//
+// Protocol: BEGIN -> coordinator; PREPARE to both parties; each escrows its
+// side (cash / goods) and votes; coordinator decides; on COMMIT the parties
+// exchange escrows directly and ACK; on ABORT escrows are released.
+#ifndef TACOMA_CASH_TWOPHASE_H_
+#define TACOMA_CASH_TWOPHASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cash/wallet.h"
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+
+struct TwoPhaseConfig {
+  SiteId customer_site = 0;
+  SiteId provider_site = 0;
+  SiteId coordinator_site = 0;
+};
+
+enum class TxnState { kBegun, kPreparing, kCommitted, kAborted, kDone };
+
+struct TxnRecord {
+  std::string xid;
+  uint64_t price = 0;
+  TxnState state = TxnState::kBegun;
+  int votes = 0;
+  bool cash_transferred = false;
+  bool goods_transferred = false;
+  int acks = 0;
+  SimTime started = 0;
+  SimTime settled = 0;
+};
+
+class TwoPhaseExchange {
+ public:
+  TwoPhaseExchange(Kernel* kernel, TwoPhaseConfig config);
+
+  void FundCustomer(std::vector<Ecu> notes);
+
+  // Begins a transaction; run the simulator to completion.
+  Status Start(const std::string& xid, uint64_t price);
+
+  const TxnRecord* record(const std::string& xid) const;
+  Wallet& customer_wallet() { return customer_wallet_; }
+  Wallet& provider_wallet() { return provider_wallet_; }
+
+ private:
+  void InstallAgents();
+  Status Send(SiteId from, SiteId to, const std::string& contact, Briefcase bc);
+
+  Status OnCoordinator(Place& place, Briefcase& bc);
+  Status OnCustomer(Place& place, Briefcase& bc);
+  Status OnProvider(Place& place, Briefcase& bc);
+
+  Kernel* kernel_;
+  TwoPhaseConfig config_;
+  Wallet customer_wallet_;
+  Wallet provider_wallet_;
+  std::map<std::string, TxnRecord> records_;
+  // Escrowed cash per transaction (withdrawn at PREPARE).
+  std::map<std::string, std::vector<Ecu>> escrow_;
+};
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_TWOPHASE_H_

@@ -1,0 +1,86 @@
+#include "cash/wallet.h"
+
+#include <algorithm>
+
+namespace tacoma::cash {
+
+void Wallet::Add(const std::vector<Ecu>& ecus) {
+  for (const Ecu& e : ecus) {
+    ecus_.push_back(e);
+  }
+}
+
+uint64_t Wallet::Balance() const { return TotalAmount(ecus_); }
+
+Result<std::vector<Ecu>> Wallet::Withdraw(uint64_t amount) {
+  if (amount == 0) {
+    return std::vector<Ecu>{};
+  }
+  if (Balance() < amount) {
+    return FailedPreconditionError("insufficient funds");
+  }
+  // Greedy: largest notes first, skipping any that overshoot.  This finds an
+  // exact subset whenever one exists for "canonical" denomination systems;
+  // for pathological mixes the caller breaks a note at the mint.
+  std::vector<size_t> order(ecus_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [this](size_t a, size_t b) { return ecus_[a].amount > ecus_[b].amount; });
+
+  uint64_t remaining = amount;
+  std::vector<size_t> picked;
+  for (size_t i : order) {
+    if (ecus_[i].amount <= remaining) {
+      picked.push_back(i);
+      remaining -= ecus_[i].amount;
+      if (remaining == 0) {
+        break;
+      }
+    }
+  }
+  if (remaining != 0) {
+    return FailedPreconditionError(
+        "no exact subset of held denominations; make change at the mint");
+  }
+  std::vector<Ecu> out;
+  out.reserve(picked.size());
+  // Erase from highest index down so earlier indices stay valid.
+  std::sort(picked.begin(), picked.end());
+  for (size_t k = picked.size(); k > 0; --k) {
+    size_t i = picked[k - 1];
+    out.push_back(std::move(ecus_[i]));
+    ecus_.erase(ecus_.begin() + static_cast<long>(i));
+  }
+  return out;
+}
+
+Status Wallet::PayInto(Briefcase* bc, uint64_t amount) {
+  auto notes = Withdraw(amount);
+  if (!notes.ok()) {
+    return notes.status();
+  }
+  bc->folder(kCashFolder).PushBack(EncodeEcus(*notes));
+  return OkStatus();
+}
+
+Result<uint64_t> Wallet::CollectFrom(Briefcase* bc) {
+  Folder* cash = bc->Find(kCashFolder);
+  if (cash == nullptr) {
+    return NotFoundError("no CASH folder in briefcase");
+  }
+  uint64_t received = 0;
+  while (auto element = cash->PopFront()) {
+    auto notes = DecodeEcus(*element);
+    if (!notes.ok()) {
+      return notes.status();
+    }
+    received += TotalAmount(*notes);
+    Add(*notes);
+  }
+  bc->Remove(kCashFolder);
+  return received;
+}
+
+}  // namespace tacoma::cash

@@ -1,0 +1,50 @@
+// Wallet — an agent's ECU holdings.
+//
+// "Each agent stores records for the ECUs it owns.  An agent transfers funds
+// by placing these records in a briefcase that is then passed to the intended
+// recipient of those funds." (§3)
+#ifndef TACOMA_CASH_WALLET_H_
+#define TACOMA_CASH_WALLET_H_
+
+#include <vector>
+
+#include "cash/ecu.h"
+#include "core/briefcase.h"
+#include "util/status.h"
+
+namespace tacoma::cash {
+
+// Folder name used for cash inside briefcases.
+inline constexpr char kCashFolder[] = "CASH";
+
+class Wallet {
+ public:
+  Wallet() = default;
+
+  void Add(Ecu ecu) { ecus_.push_back(std::move(ecu)); }
+  void Add(const std::vector<Ecu>& ecus);
+
+  uint64_t Balance() const;
+  size_t count() const { return ecus_.size(); }
+  const std::vector<Ecu>& ecus() const { return ecus_; }
+
+  // Removes ECUs summing exactly to `amount` (greedy over subsets of the
+  // held denominations).  Fails without change-making if no exact subset
+  // exists — use Mint::Exchange to break a note first.
+  Result<std::vector<Ecu>> Withdraw(uint64_t amount);
+
+  // Moves `amount` into the CASH folder of `bc` (the paper's transfer: cash
+  // records ride in briefcases).
+  Status PayInto(Briefcase* bc, uint64_t amount);
+
+  // Takes every ECU out of the CASH folder of `bc` into this wallet.
+  // Returns the amount received.
+  Result<uint64_t> CollectFrom(Briefcase* bc);
+
+ private:
+  std::vector<Ecu> ecus_;
+};
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_WALLET_H_

@@ -1,0 +1,506 @@
+// TACL bindings for the agent primitives.
+//
+// Each agent activation gets a fresh interpreter with these commands bound to
+// its Activation: briefcase access (bc_*), site-local cabinet access (cab_*),
+// the meet operation, and movement sugar built on the system agents.
+//
+// Movement note: TACOMA moves an agent by shipping its briefcase; the local
+// activation keeps running after `move`/`jump` (the paper: A continues once
+// rexec terminates the meet).  To keep the model honest, briefcase and meet
+// primitives fail after departure — the state has left the building.
+#include "core/kernel.h"
+#include "core/place.h"
+#include "tacl/list.h"
+
+namespace tacoma {
+
+void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
+  using tacl::Error;
+  using tacl::Interp;
+  using tacl::Ok;
+  using tacl::Outcome;
+
+  auto guard = [activation]() -> std::optional<Outcome> {
+    if (activation->departed) {
+      return Error("agent has departed this site");
+    }
+    return std::nullopt;
+  };
+
+  auto wrong_args = [](const std::string& usage) {
+    return Error("wrong # args: should be \"" + usage + "\"");
+  };
+
+  // --- Briefcase -------------------------------------------------------------
+
+  interp->Register("bc_put", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 3) {
+      return wrong_args("bc_put folder value");
+    }
+    activation->briefcase->folder(argv[1]).PushBackString(argv[2]);
+    return Ok();
+  });
+
+  interp->Register("bc_push", [activation, guard, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 3) {
+      return wrong_args("bc_push folder value");
+    }
+    activation->briefcase->folder(argv[1]).PushFrontString(argv[2]);
+    return Ok();
+  });
+
+  interp->Register("bc_pop", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_pop folder");
+    }
+    Folder* f = activation->briefcase->Find(argv[1]);
+    if (f == nullptr || f->empty()) {
+      return Error("folder \"" + argv[1] + "\" is empty");
+    }
+    return Ok(*f->PopFrontString());
+  });
+
+  interp->Register("bc_pop_back", [activation, guard, wrong_args](
+                                      Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_pop_back folder");
+    }
+    Folder* f = activation->briefcase->Find(argv[1]);
+    if (f == nullptr || f->empty()) {
+      return Error("folder \"" + argv[1] + "\" is empty");
+    }
+    return Ok(*f->PopBackString());
+  });
+
+  interp->Register("bc_peek", [activation, guard, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_peek folder");
+    }
+    const Folder* f = activation->briefcase->Find(argv[1]);
+    if (f == nullptr || f->empty()) {
+      return Error("folder \"" + argv[1] + "\" is empty");
+    }
+    return Ok(*f->FrontString());
+  });
+
+  interp->Register("bc_get", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_get folder");
+    }
+    auto v = activation->briefcase->GetString(argv[1]);
+    if (!v.has_value()) {
+      return Error("folder \"" + argv[1] + "\" is empty");
+    }
+    return Ok(*v);
+  });
+
+  interp->Register("bc_set", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 3) {
+      return wrong_args("bc_set folder value");
+    }
+    activation->briefcase->SetString(argv[1], argv[2]);
+    return Ok();
+  });
+
+  interp->Register("bc_len", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_len folder");
+    }
+    const Folder* f = activation->briefcase->Find(argv[1]);
+    return Ok(std::to_string(f == nullptr ? 0 : f->size()));
+  });
+
+  interp->Register("bc_list", [activation, guard, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_list folder");
+    }
+    const Folder* f = activation->briefcase->Find(argv[1]);
+    if (f == nullptr) {
+      return Ok("");
+    }
+    return Ok(tacl::FormatList(f->AsStrings()));
+  });
+
+  interp->Register("bc_has", [activation, guard, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_has folder");
+    }
+    return Ok(activation->briefcase->Has(argv[1]) ? "1" : "0");
+  });
+
+  interp->Register("bc_clear", [activation, guard, wrong_args](
+                                   Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("bc_clear folder");
+    }
+    activation->briefcase->Remove(argv[1]);
+    return Ok();
+  });
+
+  interp->Register("bc_folders", [activation, guard](
+                                     Interp&, const std::vector<std::string>&) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    return Ok(tacl::FormatList(activation->briefcase->FolderNames()));
+  });
+
+  // --- File cabinets -------------------------------------------------------------
+
+  interp->Register("cab_append", [activation, wrong_args](
+                                     Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 4) {
+      return wrong_args("cab_append cabinet folder value");
+    }
+    activation->place->Cabinet(argv[1]).AppendString(argv[2], argv[3]);
+    return Ok();
+  });
+
+  interp->Register("cab_set", [activation, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 4) {
+      return wrong_args("cab_set cabinet folder value");
+    }
+    activation->place->Cabinet(argv[1]).SetString(argv[2], argv[3]);
+    return Ok();
+  });
+
+  interp->Register("cab_get", [activation, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 4) {
+      return wrong_args("cab_get cabinet folder index");
+    }
+    auto index = tacl::ParseInt(argv[3]);
+    if (!index.has_value() || *index < 0) {
+      return Error("bad index \"" + argv[3] + "\"");
+    }
+    auto v = activation->place->Cabinet(argv[1]).Get(argv[2],
+                                                     static_cast<size_t>(*index));
+    if (!v.has_value()) {
+      return Error("no element " + argv[3] + " in " + argv[1] + "/" + argv[2]);
+    }
+    return Ok(ToString(*v));
+  });
+
+  interp->Register("cab_list", [activation, wrong_args](
+                                   Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 3) {
+      return wrong_args("cab_list cabinet folder");
+    }
+    return Ok(tacl::FormatList(activation->place->Cabinet(argv[1]).ListStrings(argv[2])));
+  });
+
+  interp->Register("cab_len", [activation, wrong_args](
+                                  Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 3) {
+      return wrong_args("cab_len cabinet folder");
+    }
+    return Ok(std::to_string(activation->place->Cabinet(argv[1]).Size(argv[2])));
+  });
+
+  interp->Register("cab_contains", [activation, wrong_args](
+                                       Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 4) {
+      return wrong_args("cab_contains cabinet folder value");
+    }
+    return Ok(activation->place->Cabinet(argv[1]).ContainsString(argv[2], argv[3])
+                  ? "1"
+                  : "0");
+  });
+
+  interp->Register("cab_erase", [activation, wrong_args](
+                                    Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 3) {
+      return wrong_args("cab_erase cabinet folder");
+    }
+    return Ok(activation->place->Cabinet(argv[1]).EraseFolder(argv[2]) ? "1" : "0");
+  });
+
+  interp->Register("cab_folders", [activation, wrong_args](
+                                      Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 2) {
+      return wrong_args("cab_folders cabinet");
+    }
+    return Ok(tacl::FormatList(activation->place->Cabinet(argv[1]).FolderNames()));
+  });
+
+  interp->Register("cab_flush", [activation, wrong_args](
+                                    Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 2) {
+      return wrong_args("cab_flush cabinet");
+    }
+    Status s = activation->place->Cabinet(argv[1]).Flush();
+    if (!s.ok()) {
+      return Error(s.ToString());
+    }
+    return Ok();
+  });
+
+  // --- Meet and movement ------------------------------------------------------------
+
+  // meet agent ?folderList? — "meet B with bc" (§2).  With no folder list
+  // the whole current briefcase is the argument list.  With one, only the
+  // named folders travel (the paper's briefcase-as-argument-list: "each
+  // folder containing the value of one argument"); on return, everything in
+  // the sub-briefcase — including folders the met agent added — merges back.
+  interp->Register("meet", [activation, guard, wrong_args](
+                               Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2 && argv.size() != 3) {
+      return wrong_args("meet agent ?folderList?");
+    }
+    if (argv.size() == 2) {
+      Status s = activation->place->Meet(argv[1], *activation->briefcase);
+      if (!s.ok()) {
+        return Error("meet " + argv[1] + ": " + s.ToString());
+      }
+      return Ok();
+    }
+
+    auto names = tacl::ParseList(argv[2]);
+    if (!names.ok()) {
+      return Error("meet: bad folder list: " + std::string(names.status().message()));
+    }
+    Briefcase& main = *activation->briefcase;
+    Briefcase args_bc;
+    for (const std::string& name : *names) {
+      args_bc.Adopt(main, name);  // Missing folders simply aren't passed.
+    }
+    Status s = activation->place->Meet(argv[1], args_bc);
+    // Merge everything back whether or not the meet succeeded — the caller
+    // must not lose its folders to a failed meet.
+    for (const std::string& name : args_bc.FolderNames()) {
+      main.Adopt(args_bc, name);
+    }
+    if (!s.ok()) {
+      return Error("meet " + argv[1] + ": " + s.ToString());
+    }
+    return Ok();
+  });
+
+  // move host ?contact? — ship the briefcase via rexec; this activation's
+  // state is gone afterwards.
+  interp->Register("move", [activation, guard, wrong_args](
+                               Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2 && argv.size() != 3) {
+      return wrong_args("move host ?contact?");
+    }
+    Briefcase& bc = *activation->briefcase;
+    bc.SetString(kHostFolder, argv[1]);
+    bc.SetString(kContactFolder, argv.size() == 3 ? argv[2] : "ag_tacl");
+    Status s = activation->place->Meet("rexec", bc);
+    if (!s.ok()) {
+      bc.Remove(kHostFolder);
+      bc.Remove(kContactFolder);
+      return Error("move: " + s.ToString());
+    }
+    activation->departed = true;
+    return Outcome{tacl::Code::kReturn, ""};
+  });
+
+  // jump host — push this activation's own code back into CODE and move, so
+  // the same program restarts at the destination (the classic TACOMA
+  // itinerary pattern: briefcase state decides the phase).
+  interp->Register("jump", [activation, guard, wrong_args](
+                               Interp& in, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("jump host");
+    }
+    Briefcase& bc = *activation->briefcase;
+    bc.folder(kCodeFolder).PushFrontString(activation->code);
+    bc.SetString(kHostFolder, argv[1]);
+    bc.SetString(kContactFolder, "ag_tacl");
+    Status s = activation->place->Meet("rexec", bc);
+    if (!s.ok()) {
+      bc.folder(kCodeFolder).PopFront();
+      bc.Remove(kHostFolder);
+      bc.Remove(kContactFolder);
+      return Error("jump: " + s.ToString());
+    }
+    activation->departed = true;
+    (void)in;
+    return Outcome{tacl::Code::kReturn, ""};
+  });
+
+  // clone host — send a copy of this agent (code + briefcase) to `host`;
+  // the local activation continues.
+  interp->Register("clone", [activation, guard, wrong_args](
+                                Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("clone host");
+    }
+    Kernel* kernel = activation->place->kernel();
+    auto destination = kernel->net().FindSite(argv[1]);
+    if (!destination.has_value()) {
+      return Error("clone: unknown site \"" + argv[1] + "\"");
+    }
+    Briefcase copy = *activation->briefcase;
+    copy.folder(kCodeFolder).PushFrontString(activation->code);
+    Status s = kernel->TransferAgent(activation->place->site(), *destination, "ag_tacl",
+                                     copy);
+    if (!s.ok()) {
+      return Error("clone: " + s.ToString());
+    }
+    return Ok();
+  });
+
+  // send host agent folder — courier sugar: ship one briefcase folder to a
+  // named agent on another site.
+  interp->Register("send", [activation, guard, wrong_args](
+                               Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 4) {
+      return wrong_args("send host agent folder");
+    }
+    Briefcase& bc = *activation->briefcase;
+    bc.SetString(kHostFolder, argv[1]);
+    bc.SetString(kContactFolder, argv[2]);
+    bc.SetString("FOLDER", argv[3]);
+    Status s = activation->place->Meet("courier", bc);
+    bc.Remove(kHostFolder);
+    bc.Remove(kContactFolder);
+    bc.Remove("FOLDER");
+    if (!s.ok()) {
+      return Error("send: " + s.ToString());
+    }
+    return Ok();
+  });
+
+  // --- Introspection ------------------------------------------------------------------
+
+  interp->Register("site", [activation](Interp&, const std::vector<std::string>&) {
+    return Ok(activation->place->name());
+  });
+
+  interp->Register("agent_id", [activation](Interp&, const std::vector<std::string>&) {
+    return Ok(activation->agent_id);
+  });
+
+  interp->Register("self_code", [activation](Interp&, const std::vector<std::string>&) {
+    return Ok(activation->code);
+  });
+
+  interp->Register("now_us", [activation](Interp&, const std::vector<std::string>&) {
+    return Ok(std::to_string(activation->place->kernel()->sim().Now()));
+  });
+
+  interp->Register("agents", [activation](Interp&, const std::vector<std::string>&) {
+    return Ok(tacl::FormatList(activation->place->AgentNames()));
+  });
+
+  interp->Register("log", [activation, wrong_args](
+                              Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 2) {
+      return wrong_args("log message");
+    }
+    activation->place->EmitAgentOutput(argv[1]);
+    return Ok();
+  });
+
+  // detach delay_us script — schedule `script` to run later as a fresh
+  // activation at this place, with a snapshot of the current briefcase.
+  // This is how "B may continue executing concurrently with A" after
+  // terminating a meet (§2): the meet returns now; the continuation runs as
+  // its own event.  The continuation dies with the place (generation check).
+  interp->Register("detach", [activation, wrong_args](
+                                 Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 3) {
+      return wrong_args("detach delay_us script");
+    }
+    auto delay = tacl::ParseInt(argv[1]);
+    if (!delay.has_value() || *delay < 0) {
+      return Error("bad delay \"" + argv[1] + "\"");
+    }
+    Place* place = activation->place;
+    Kernel* kernel = place->kernel();
+    SiteId site = place->site();
+    uint64_t generation = place->generation();
+    std::string script = argv[2];
+    std::string agent_id = activation->agent_id + ".detached";
+    Bytes snapshot = activation->briefcase->Serialize();
+    kernel->sim().After(static_cast<SimTime>(*delay),
+                        [kernel, site, generation, script, agent_id, snapshot] {
+                          if (!kernel->PlaceAlive(site, generation)) {
+                            return;  // The place died; so did its agents.
+                          }
+                          auto bc = Briefcase::Deserialize(snapshot);
+                          if (!bc.ok()) {
+                            return;
+                          }
+                          Briefcase briefcase = std::move(bc).value();
+                          (void)kernel->place(site)->RunAgentCode(script, briefcase,
+                                                                  agent_id);
+                        });
+    return Ok();
+  });
+
+  interp->Register("rng_uniform", [activation, wrong_args](
+                                      Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 2) {
+      return wrong_args("rng_uniform bound");
+    }
+    auto bound = tacl::ParseInt(argv[1]);
+    if (!bound.has_value() || *bound <= 0) {
+      return Error("bad bound \"" + argv[1] + "\"");
+    }
+    return Ok(std::to_string(
+        activation->place->rng().Uniform(static_cast<uint64_t>(*bound))));
+  });
+}
+
+}  // namespace tacoma

@@ -1,0 +1,114 @@
+#include "core/briefcase.h"
+
+namespace tacoma {
+namespace {
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+const Folder* Briefcase::Find(const std::string& name) const {
+  auto it = folders_.find(name);
+  return it == folders_.end() ? nullptr : &it->second;
+}
+
+Folder* Briefcase::Find(const std::string& name) {
+  auto it = folders_.find(name);
+  return it == folders_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Briefcase::FolderNames() const {
+  std::vector<std::string> names;
+  names.reserve(folders_.size());
+  for (const auto& [name, f] : folders_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void Briefcase::SetString(const std::string& name, std::string_view value) {
+  Folder& f = folders_[name];
+  f.Clear();
+  f.PushBackString(value);
+}
+
+std::optional<std::string> Briefcase::GetString(const std::string& name) const {
+  const Folder* f = Find(name);
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  return f->FrontString();
+}
+
+bool Briefcase::Adopt(Briefcase& from, const std::string& name) {
+  auto it = from.folders_.find(name);
+  if (it == from.folders_.end()) {
+    return false;
+  }
+  folders_[name] = std::move(it->second);
+  from.folders_.erase(it);
+  return true;
+}
+
+void Briefcase::Encode(Encoder* enc) const {
+  enc->PutVarint(folders_.size());
+  for (const auto& [name, f] : folders_) {
+    enc->PutString(name);
+    f.Encode(enc);
+  }
+}
+
+Result<Briefcase> Briefcase::Decode(Decoder* dec) {
+  uint64_t count = 0;
+  if (!dec->GetVarint(&count)) {
+    return DataLossError("briefcase: bad folder count");
+  }
+  Briefcase out;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!dec->GetString(&name)) {
+      return DataLossError("briefcase: truncated folder name");
+    }
+    auto f = Folder::Decode(dec);
+    if (!f.ok()) {
+      return f.status();
+    }
+    out.folders_[name] = std::move(f).value();
+  }
+  return out;
+}
+
+Bytes Briefcase::Serialize() const {
+  Encoder enc;
+  Encode(&enc);
+  return enc.Take();
+}
+
+Result<Briefcase> Briefcase::Deserialize(const Bytes& data) {
+  Decoder dec(data);
+  auto bc = Decode(&dec);
+  if (!bc.ok()) {
+    return bc.status();
+  }
+  if (!dec.Done()) {
+    return DataLossError("briefcase: trailing bytes");
+  }
+  return bc;
+}
+
+size_t Briefcase::ByteSize() const {
+  size_t total = VarintSize(folders_.size());
+  for (const auto& [name, f] : folders_) {
+    total += VarintSize(name.size()) + name.size() + f.ByteSize();
+  }
+  return total;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,72 @@
+// Briefcase — the collection of named folders that accompanies an agent (§2).
+//
+// "The meet operation is analogous to a procedure call, and the specified
+// briefcase is analogous to an argument list (with each folder containing the
+// value of one argument)."
+//
+// The briefcase is the ONLY state that travels when an agent moves: TACOMA
+// restarts agent code at each site rather than migrating interpreter stacks,
+// so everything an agent needs to remember must be in here.
+#ifndef TACOMA_CORE_BRIEFCASE_H_
+#define TACOMA_CORE_BRIEFCASE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/folder.h"
+
+namespace tacoma {
+
+// Well-known folder names from the paper.
+inline constexpr char kCodeFolder[] = "CODE";
+inline constexpr char kHostFolder[] = "HOST";
+inline constexpr char kContactFolder[] = "CONTACT";
+inline constexpr char kSitesFolder[] = "SITES";
+
+class Briefcase {
+ public:
+  Briefcase() = default;
+
+  // Returns the named folder, creating it when absent.
+  Folder& folder(const std::string& name) { return folders_[name]; }
+  // Returns the named folder or nullptr.
+  const Folder* Find(const std::string& name) const;
+  Folder* Find(const std::string& name);
+
+  bool Has(const std::string& name) const { return folders_.contains(name); }
+  bool Remove(const std::string& name) { return folders_.erase(name) > 0; }
+  void Clear() { folders_.clear(); }
+
+  std::vector<std::string> FolderNames() const;
+  size_t folder_count() const { return folders_.size(); }
+
+  // Single-value conveniences: a folder holding exactly one string element is
+  // the idiom for scalar "arguments" (e.g. HOST, CONTACT).
+  void SetString(const std::string& name, std::string_view value);
+  std::optional<std::string> GetString(const std::string& name) const;
+
+  // Moves `name` from `from` into this briefcase (overwrites).  Returns false
+  // if `from` has no such folder.
+  bool Adopt(Briefcase& from, const std::string& name);
+
+  // --- Wire format ----------------------------------------------------------
+
+  Bytes Serialize() const;
+  static Result<Briefcase> Deserialize(const Bytes& data);
+  void Encode(Encoder* enc) const;
+  static Result<Briefcase> Decode(Decoder* dec);
+  size_t ByteSize() const;
+
+  friend bool operator==(const Briefcase& a, const Briefcase& b) {
+    return a.folders_ == b.folders_;
+  }
+
+ private:
+  std::map<std::string, Folder> folders_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_BRIEFCASE_H_

@@ -1,0 +1,258 @@
+#include "core/cabinet.h"
+
+#include <algorithm>
+
+#include "serial/encoder.h"
+
+namespace tacoma {
+
+// --- Primitive mutations (shared by public ops and log replay) ------------------
+
+void FileCabinet::ApplyAppend(const std::string& folder, Bytes element) {
+  FolderData& f = folders_[folder];
+  f.index[ToString(element)] += 1;
+  f.elements.push_back(std::move(element));
+}
+
+void FileCabinet::ApplySet(const std::string& folder, Bytes element) {
+  FolderData& f = folders_[folder];
+  f.elements.clear();
+  f.index.clear();
+  f.index[ToString(element)] = 1;
+  f.elements.push_back(std::move(element));
+}
+
+bool FileCabinet::ApplyEraseFolder(const std::string& folder) {
+  return folders_.erase(folder) > 0;
+}
+
+bool FileCabinet::ApplyEraseElement(const std::string& folder, const Bytes& element) {
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    return false;
+  }
+  auto& elements = it->second.elements;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i] == element) {
+      auto idx = it->second.index.find(ToString(element));
+      if (idx != it->second.index.end() && --idx->second == 0) {
+        it->second.index.erase(idx);
+      }
+      elements.erase(elements.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void FileCabinet::LogOp(Op op, const std::string& folder, const Bytes& element) {
+  ++mutations_;
+  if (log_ == nullptr || !write_ahead_) {
+    return;
+  }
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(op));
+  enc.PutString(folder);
+  enc.PutBytes(element);
+  // Best effort: the simulated disk never fails; a real disk error here would
+  // surface on the next Flush().
+  (void)log_->Append(enc.buffer());
+}
+
+// --- Public operations -----------------------------------------------------------
+
+void FileCabinet::Append(const std::string& folder, Bytes element) {
+  LogOp(Op::kAppend, folder, element);
+  ApplyAppend(folder, std::move(element));
+}
+
+void FileCabinet::AppendString(const std::string& folder, std::string_view element) {
+  Append(folder, ToBytes(element));
+}
+
+void FileCabinet::Set(const std::string& folder, Bytes element) {
+  LogOp(Op::kSet, folder, element);
+  ApplySet(folder, std::move(element));
+}
+
+void FileCabinet::SetString(const std::string& folder, std::string_view element) {
+  Set(folder, ToBytes(element));
+}
+
+bool FileCabinet::Contains(const std::string& folder, const Bytes& element) const {
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    return false;
+  }
+  return it->second.index.contains(ToString(element));
+}
+
+bool FileCabinet::ContainsString(const std::string& folder,
+                                 std::string_view element) const {
+  return Contains(folder, ToBytes(element));
+}
+
+std::vector<Bytes> FileCabinet::List(const std::string& folder) const {
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    return {};
+  }
+  return it->second.elements;
+}
+
+std::vector<std::string> FileCabinet::ListStrings(const std::string& folder) const {
+  std::vector<std::string> out;
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    return out;
+  }
+  out.reserve(it->second.elements.size());
+  for (const Bytes& e : it->second.elements) {
+    out.push_back(ToString(e));
+  }
+  return out;
+}
+
+std::optional<Bytes> FileCabinet::Get(const std::string& folder, size_t index) const {
+  auto it = folders_.find(folder);
+  if (it == folders_.end() || index >= it->second.elements.size()) {
+    return std::nullopt;
+  }
+  return it->second.elements[index];
+}
+
+std::optional<std::string> FileCabinet::GetSingleString(const std::string& folder) const {
+  auto e = Get(folder, 0);
+  if (!e.has_value()) {
+    return std::nullopt;
+  }
+  return ToString(*e);
+}
+
+size_t FileCabinet::Size(const std::string& folder) const {
+  auto it = folders_.find(folder);
+  return it == folders_.end() ? 0 : it->second.elements.size();
+}
+
+bool FileCabinet::HasFolder(const std::string& folder) const {
+  return folders_.contains(folder);
+}
+
+bool FileCabinet::EraseFolder(const std::string& folder) {
+  LogOp(Op::kEraseFolder, folder, Bytes());
+  return ApplyEraseFolder(folder);
+}
+
+bool FileCabinet::EraseElement(const std::string& folder, const Bytes& element) {
+  LogOp(Op::kEraseElement, folder, element);
+  return ApplyEraseElement(folder, element);
+}
+
+std::vector<std::string> FileCabinet::FolderNames() const {
+  std::vector<std::string> names;
+  names.reserve(folders_.size());
+  for (const auto& [name, f] : folders_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// --- Persistence --------------------------------------------------------------------
+
+void FileCabinet::AttachStorage(std::unique_ptr<DiskLog> log, bool write_ahead) {
+  log_ = std::move(log);
+  write_ahead_ = write_ahead;
+}
+
+Status FileCabinet::Flush() {
+  if (log_ == nullptr) {
+    return FailedPreconditionError("cabinet " + name_ + " has no storage attached");
+  }
+  return log_->Compact(Serialize());
+}
+
+Status FileCabinet::Recover() {
+  if (log_ == nullptr) {
+    return FailedPreconditionError("cabinet " + name_ + " has no storage attached");
+  }
+  auto contents = log_->Load();
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  folders_.clear();
+  if (!contents->snapshot.empty()) {
+    TACOMA_RETURN_IF_ERROR(RestoreFrom(contents->snapshot));
+  }
+  for (const Bytes& record : contents->records) {
+    TACOMA_RETURN_IF_ERROR(Replay(record));
+  }
+  return OkStatus();
+}
+
+Status FileCabinet::Replay(const Bytes& record) {
+  Decoder dec(record);
+  uint8_t op = 0;
+  std::string folder;
+  Bytes element;
+  if (!dec.GetU8(&op) || !dec.GetString(&folder) || !dec.GetBytes(&element)) {
+    return DataLossError("cabinet " + name_ + ": corrupt log record");
+  }
+  switch (static_cast<Op>(op)) {
+    case Op::kAppend:
+      ApplyAppend(folder, std::move(element));
+      return OkStatus();
+    case Op::kSet:
+      ApplySet(folder, std::move(element));
+      return OkStatus();
+    case Op::kEraseFolder:
+      ApplyEraseFolder(folder);
+      return OkStatus();
+    case Op::kEraseElement:
+      ApplyEraseElement(folder, element);
+      return OkStatus();
+  }
+  return DataLossError("cabinet " + name_ + ": unknown log op");
+}
+
+Bytes FileCabinet::Serialize() const {
+  Encoder enc;
+  enc.PutVarint(folders_.size());
+  // Deterministic order: sort names (unordered_map iteration order is not).
+  std::vector<std::string> names = FolderNames();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const FolderData& f = folders_.at(name);
+    enc.PutString(name);
+    enc.PutVarint(f.elements.size());
+    for (const Bytes& e : f.elements) {
+      enc.PutBytes(e);
+    }
+  }
+  return enc.Take();
+}
+
+Status FileCabinet::RestoreFrom(const Bytes& data) {
+  Decoder dec(data);
+  uint64_t folder_count = 0;
+  if (!dec.GetVarint(&folder_count)) {
+    return DataLossError("cabinet " + name_ + ": bad folder count");
+  }
+  folders_.clear();
+  for (uint64_t i = 0; i < folder_count; ++i) {
+    std::string fname;
+    uint64_t elem_count = 0;
+    if (!dec.GetString(&fname) || !dec.GetVarint(&elem_count)) {
+      return DataLossError("cabinet " + name_ + ": truncated folder");
+    }
+    for (uint64_t k = 0; k < elem_count; ++k) {
+      Bytes e;
+      if (!dec.GetBytes(&e)) {
+        return DataLossError("cabinet " + name_ + ": truncated element");
+      }
+      ApplyAppend(fname, std::move(e));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tacoma

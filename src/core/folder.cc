@@ -1,0 +1,107 @@
+#include "core/folder.h"
+
+namespace tacoma {
+namespace {
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::optional<Bytes> Folder::PopFront() {
+  if (elements_.empty()) {
+    return std::nullopt;
+  }
+  Bytes out = std::move(elements_.front());
+  elements_.pop_front();
+  return out;
+}
+
+std::optional<Bytes> Folder::PopBack() {
+  if (elements_.empty()) {
+    return std::nullopt;
+  }
+  Bytes out = std::move(elements_.back());
+  elements_.pop_back();
+  return out;
+}
+
+std::optional<std::string> Folder::PopFrontString() {
+  auto b = PopFront();
+  if (!b.has_value()) {
+    return std::nullopt;
+  }
+  return ToString(*b);
+}
+
+std::optional<std::string> Folder::PopBackString() {
+  auto b = PopBack();
+  if (!b.has_value()) {
+    return std::nullopt;
+  }
+  return ToString(*b);
+}
+
+std::optional<std::string> Folder::FrontString() const {
+  if (elements_.empty()) {
+    return std::nullopt;
+  }
+  return ToString(elements_.front());
+}
+
+std::vector<std::string> Folder::AsStrings() const {
+  std::vector<std::string> out;
+  out.reserve(elements_.size());
+  for (const Bytes& e : elements_) {
+    out.push_back(ToString(e));
+  }
+  return out;
+}
+
+bool Folder::ContainsString(std::string_view s) const {
+  for (const Bytes& e : elements_) {
+    if (e.size() == s.size() && std::equal(e.begin(), e.end(), s.begin())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Folder::Encode(Encoder* enc) const {
+  enc->PutVarint(elements_.size());
+  for (const Bytes& e : elements_) {
+    enc->PutBytes(e);
+  }
+}
+
+Result<Folder> Folder::Decode(Decoder* dec) {
+  uint64_t count = 0;
+  if (!dec->GetVarint(&count)) {
+    return DataLossError("folder: bad element count");
+  }
+  Folder out;
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes e;
+    if (!dec->GetBytes(&e)) {
+      return DataLossError("folder: truncated element");
+    }
+    out.PushBack(std::move(e));
+  }
+  return out;
+}
+
+size_t Folder::ByteSize() const {
+  size_t total = VarintSize(elements_.size());
+  for (const Bytes& e : elements_) {
+    total += VarintSize(e.size()) + e.size();
+  }
+  return total;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,78 @@
+// Folder — the paper's fundamental data abstraction (§2).
+//
+// "A folder is a list of elements, each of which is an uninterpreted sequence
+// of bits.  Because it is a list, it can be treated as a stack or a queue."
+//
+// Folders must be cheap to move between sites, so the in-memory form is a
+// plain deque of byte strings and the wire form is a flat length-prefixed
+// stream with no index structures (the paper calls this requirement out
+// explicitly).  Site-local FileCabinets make the opposite trade-off.
+#ifndef TACOMA_CORE_FOLDER_H_
+#define TACOMA_CORE_FOLDER_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serial/encoder.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+class Folder {
+ public:
+  Folder() = default;
+
+  // --- Stack / queue operations ------------------------------------------------
+
+  void PushBack(Bytes element) { elements_.push_back(std::move(element)); }
+  void PushFront(Bytes element) { elements_.push_front(std::move(element)); }
+  std::optional<Bytes> PopFront();
+  std::optional<Bytes> PopBack();
+  const Bytes* Front() const { return elements_.empty() ? nullptr : &elements_.front(); }
+  const Bytes* Back() const { return elements_.empty() ? nullptr : &elements_.back(); }
+
+  // --- Inspection -----------------------------------------------------------------
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const Bytes& At(size_t i) const { return elements_[i]; }
+  void Clear() { elements_.clear(); }
+
+  auto begin() const { return elements_.begin(); }
+  auto end() const { return elements_.end(); }
+
+  // --- String conveniences (agents mostly traffic in text) -----------------------------
+
+  void PushBackString(std::string_view s) { PushBack(ToBytes(s)); }
+  void PushFrontString(std::string_view s) { PushFront(ToBytes(s)); }
+  std::optional<std::string> PopFrontString();
+  std::optional<std::string> PopBackString();
+  // First element as a string, or nullopt when empty.
+  std::optional<std::string> FrontString() const;
+  std::vector<std::string> AsStrings() const;
+  // True if any element equals `s` byte-for-byte (linear scan; folders are
+  // deliberately unindexed).
+  bool ContainsString(std::string_view s) const;
+
+  // --- Wire format ----------------------------------------------------------------------
+
+  void Encode(Encoder* enc) const;
+  static Result<Folder> Decode(Decoder* dec);
+  // Exact serialized size.
+  size_t ByteSize() const;
+
+  friend bool operator==(const Folder& a, const Folder& b) {
+    return a.elements_ == b.elements_;
+  }
+
+ private:
+  std::deque<Bytes> elements_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_FOLDER_H_

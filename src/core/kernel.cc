@@ -1,0 +1,173 @@
+#include "core/kernel.h"
+
+#include "serial/encoder.h"
+#include "util/log.h"
+
+namespace tacoma {
+
+Kernel::Kernel(KernelOptions options)
+    : options_(options), net_(&sim_), rng_(options.seed) {
+  // Keep every place's site-local SITES folder (§2) in sync with topology.
+  net_.SetTopologyHook([this](SiteId a, SiteId b) {
+    for (SiteId site : {a, b}) {
+      if (site < places_.size() && places_[site] != nullptr) {
+        PopulateSitesFolder(*places_[site]);
+      }
+    }
+  });
+}
+
+Kernel::~Kernel() = default;
+
+SiteId Kernel::AddSite(const std::string& name) {
+  SiteId id = net_.AddSite(name);
+  CreatePlace(id);
+  return id;
+}
+
+void Kernel::AdoptNetworkSites() {
+  for (SiteId id = 0; id < net_.site_count(); ++id) {
+    if (id >= places_.size() || places_[id] == nullptr) {
+      CreatePlace(id);
+    } else {
+      // Topology may have grown since creation: refresh neighbour folders.
+      PopulateSitesFolder(*places_[id]);
+    }
+  }
+}
+
+Place* Kernel::place(SiteId site) {
+  if (site >= places_.size()) {
+    return nullptr;
+  }
+  return places_[site].get();
+}
+
+bool Kernel::PlaceAlive(SiteId site, uint64_t generation) {
+  Place* p = place(site);
+  return p != nullptr && p->generation() == generation;
+}
+
+MemDisk& Kernel::disk(SiteId site) {
+  while (disks_.size() <= site) {
+    disks_.push_back(std::make_unique<MemDisk>());
+  }
+  return *disks_[site];
+}
+
+void Kernel::AddPlaceInitializer(std::function<void(Place&)> init) {
+  for (auto& place : places_) {
+    if (place != nullptr) {
+      init(*place);
+    }
+  }
+  place_initializers_.push_back(std::move(init));
+}
+
+void Kernel::CreatePlace(SiteId site) {
+  while (places_.size() <= site) {
+    places_.push_back(nullptr);
+  }
+  disk(site);  // Ensure the disk exists.
+  auto place = std::make_unique<Place>(this, site, net_.site_name(site));
+  place->set_step_limit(options_.step_limit);
+  InstallSystemAgents(*place);
+  PopulateSitesFolder(*place);
+  place->RecoverCabinets();
+  for (const auto& init : place_initializers_) {
+    init(*place);
+  }
+  places_[site] = std::move(place);
+
+  net_.SetHandler(site, [this, site](SiteId from, const Bytes& payload) {
+    HandleDelivery(site, from, payload);
+  });
+  net_.SetRestartHook(site, [](SiteId) {});
+}
+
+void Kernel::PopulateSitesFolder(Place& place) {
+  // The paper's flooding example (§2) assumes a site-local SITES folder naming
+  // adjacent sites; the kernel maintains it in the "system" cabinet.
+  FileCabinet& cab = place.Cabinet("system");
+  cab.EraseFolder(kSitesFolder);
+  for (SiteId n : net_.Neighbors(place.site())) {
+    cab.AppendString(kSitesFolder, net_.site_name(n));
+  }
+}
+
+void Kernel::CrashSite(SiteId site) {
+  if (site >= places_.size() || places_[site] == nullptr) {
+    return;
+  }
+  net_.CrashSite(site);
+  places_[site].reset();  // Volatile state gone; disk_ survives.
+}
+
+void Kernel::RestartSite(SiteId site) {
+  if (site >= net_.site_count()) {
+    return;
+  }
+  if (places_[site] != nullptr) {
+    return;  // Already up.
+  }
+  net_.RestartSite(site);
+  CreatePlace(site);
+}
+
+Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
+                             const Briefcase& bc) {
+  Encoder enc;
+  enc.PutString(contact);
+  bc.Encode(&enc);
+  Status sent = net_.Send(from, to, enc.Take());
+  if (!sent.ok()) {
+    ++stats_.transfers_rejected;
+    return sent;
+  }
+  ++stats_.transfers_sent;
+  return OkStatus();
+}
+
+void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
+  Place* destination = place(to);
+  if (destination == nullptr) {
+    ++stats_.meets_failed_on_arrival;
+    return;
+  }
+  Decoder dec(payload);
+  std::string contact;
+  if (!dec.GetString(&contact)) {
+    ++stats_.meets_failed_on_arrival;
+    TLOG_WARN << "site " << destination->name() << ": malformed agent transfer";
+    return;
+  }
+  auto bc = Briefcase::Decode(&dec);
+  if (!bc.ok()) {
+    ++stats_.meets_failed_on_arrival;
+    TLOG_WARN << "site " << destination->name()
+              << ": corrupt briefcase in transfer: " << bc.status().ToString();
+    return;
+  }
+  ++stats_.transfers_delivered;
+  Briefcase briefcase = std::move(bc).value();
+  // Record provenance for agents that care where they came from.
+  briefcase.SetString("FROM", net_.site_name(from));
+  Status met = destination->Meet(contact, briefcase);
+  if (!met.ok()) {
+    ++stats_.meets_failed_on_arrival;
+    TLOG_DEBUG << "site " << destination->name() << ": arrival meet with \"" << contact
+               << "\" failed: " << met.ToString();
+  }
+}
+
+Status Kernel::LaunchAgent(SiteId site, const std::string& code, Briefcase bc) {
+  Place* destination = place(site);
+  if (destination == nullptr) {
+    return UnavailableError("site is down");
+  }
+  bc.folder(kCodeFolder).Clear();
+  bc.folder(kCodeFolder).PushBackString(code);
+  return destination->Meet("ag_tacl", bc);
+}
+
+}  // namespace tacoma

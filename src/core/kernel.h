@@ -1,0 +1,115 @@
+// Kernel — binds Places to the simulated network.
+//
+// The kernel is the "operating system" layer of this reproduction: it owns
+// the simulator, the network, the per-site disks (which survive site
+// crashes), and one Place per up site.  Its single inter-site primitive is
+// the agent transfer — {contact agent, briefcase} — which is exactly the
+// paper's model: all communication is an agent going somewhere and meeting
+// someone.
+#ifndef TACOMA_CORE_KERNEL_H_
+#define TACOMA_CORE_KERNEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/place.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+#include "util/rng.h"
+
+namespace tacoma {
+
+struct KernelOptions {
+  uint64_t seed = 42;
+  // Per-activation TACL command budget (0 = unlimited).
+  uint64_t step_limit = 5'000'000;
+  // Write-ahead logging for cabinets (durable without explicit flushes).
+  bool cabinet_write_ahead = false;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelOptions options = {});
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  struct Stats {
+    uint64_t transfers_sent = 0;
+    uint64_t transfers_delivered = 0;
+    uint64_t transfers_rejected = 0;   // Send refused up front.
+    uint64_t meets_failed_on_arrival = 0;
+  };
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+
+  // --- Sites ------------------------------------------------------------------
+
+  // Creates a network site plus its Place and disk.
+  SiteId AddSite(const std::string& name);
+  // Creates Places for sites added directly on the network (topology
+  // builders); call once after building a topology.
+  void AdoptNetworkSites();
+
+  // The Place for an up site; nullptr while the site is down.
+  Place* place(SiteId site);
+  // True when the place at `site` is up and still the same incarnation —
+  // the check timers must make before dereferencing a captured place.
+  bool PlaceAlive(SiteId site, uint64_t generation);
+  // Disk contents survive crashes.
+  MemDisk& disk(SiteId site);
+  size_t site_count() const { return net_.site_count(); }
+
+  // Applied to every Place now and on every future (re)creation — modules
+  // use this to install their resident service agents.
+  void AddPlaceInitializer(std::function<void(Place&)> init);
+
+  // --- Failure injection -----------------------------------------------------------
+
+  // Kills the site: volatile Place state is lost; disk survives.
+  void CrashSite(SiteId site);
+  // Brings the site back with a fresh Place; flushed cabinets are recovered
+  // and place initializers re-run.
+  void RestartSite(SiteId site);
+
+  // --- Agent movement -----------------------------------------------------------------
+
+  // Ships `bc` to site `to`, where resident `contact` is met with it.
+  // Asynchronous: delivery happens in simulated time and can be lost to
+  // failures in flight.
+  Status TransferAgent(SiteId from, SiteId to, const std::string& contact,
+                       const Briefcase& bc);
+
+  // Convenience: run `code` as an activation at `site` right now (puts CODE
+  // into the briefcase and meets ag_tacl).
+  Status LaunchAgent(SiteId site, const std::string& code, Briefcase bc = Briefcase());
+
+  const Stats& stats() const { return stats_; }
+  const KernelOptions& options() const { return options_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  void CreatePlace(SiteId site);
+  void HandleDelivery(SiteId to, SiteId from, const Bytes& payload);
+  // Installs ag_tacl, rexec, courier, diffusion (system_agents.cc).
+  void InstallSystemAgents(Place& place);
+  // Populates the site-local SITES folder with this site's neighbours.
+  void PopulateSitesFolder(Place& place);
+
+  KernelOptions options_;
+  Simulator sim_;
+  Network net_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Place>> places_;    // Indexed by SiteId; null when down.
+  std::vector<std::unique_ptr<MemDisk>> disks_;   // Indexed by SiteId; survives crashes.
+  std::vector<std::function<void(Place&)>> place_initializers_;
+  Stats stats_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_KERNEL_H_

@@ -1,0 +1,157 @@
+#include "core/place.h"
+
+#include "core/kernel.h"
+#include "util/log.h"
+
+namespace tacoma {
+
+namespace {
+constexpr int kMaxMeetDepth = 64;
+uint64_t g_place_generation = 0;
+}  // namespace
+
+Place::Place(Kernel* kernel, SiteId site, std::string name)
+    : kernel_(kernel),
+      site_(site),
+      name_(std::move(name)),
+      generation_(++g_place_generation),
+      rng_(kernel->rng().Next()) {}
+
+void Place::RegisterAgent(const std::string& agent, MeetHandler handler) {
+  residents_[agent] = std::move(handler);
+}
+
+void Place::RegisterTaclAgent(const std::string& agent, const std::string& script) {
+  RegisterAgent(agent, [script, agent](Place& place, Briefcase& bc) {
+    return place.RunAgentCode(script, bc, agent);
+  });
+}
+
+bool Place::HasAgent(const std::string& agent) const {
+  return residents_.contains(agent);
+}
+
+bool Place::RemoveAgent(const std::string& agent) {
+  return residents_.erase(agent) > 0;
+}
+
+std::vector<std::string> Place::AgentNames() const {
+  std::vector<std::string> names;
+  names.reserve(residents_.size());
+  for (const auto& [name, handler] : residents_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status Place::Meet(const std::string& agent, Briefcase& bc) {
+  auto it = residents_.find(agent);
+  if (it == residents_.end()) {
+    ++stats_.failed_meets;
+    return NotFoundError("no agent \"" + agent + "\" at site " + name_);
+  }
+  if (meet_depth_ >= kMaxMeetDepth) {
+    ++stats_.failed_meets;
+    return ResourceExhaustedError("meet recursion too deep at site " + name_);
+  }
+  ++stats_.meets;
+  ++meet_depth_;
+  // Copy the handler: the resident may be replaced or removed during the meet
+  // (e.g. an agent that re-registers itself), which would invalidate `it`.
+  MeetHandler handler = it->second;
+  Status status = handler(*this, bc);
+  --meet_depth_;
+  if (!status.ok()) {
+    ++stats_.failed_meets;
+  }
+  return status;
+}
+
+FileCabinet& Place::Cabinet(const std::string& cabinet) {
+  auto it = cabinets_.find(cabinet);
+  if (it != cabinets_.end()) {
+    return *it->second;
+  }
+  auto fresh = std::make_unique<FileCabinet>(cabinet);
+  fresh->AttachStorage(
+      std::make_unique<DiskLog>(&kernel_->disk(site_), "cab." + cabinet),
+      kernel_->options().cabinet_write_ahead);
+  FileCabinet& ref = *fresh;
+  cabinets_.emplace(cabinet, std::move(fresh));
+  return ref;
+}
+
+bool Place::HasCabinet(const std::string& cabinet) const {
+  return cabinets_.contains(cabinet);
+}
+
+std::vector<std::string> Place::CabinetNames() const {
+  std::vector<std::string> names;
+  names.reserve(cabinets_.size());
+  for (const auto& [name, cab] : cabinets_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void Place::RecoverCabinets() {
+  // Cabinet storage files are named "cab.<name>.snap" / "cab.<name>.log".
+  for (const std::string& file : kernel_->disk(site_).List()) {
+    if (file.rfind("cab.", 0) != 0) {
+      continue;
+    }
+    size_t dot = file.rfind('.');
+    if (dot == std::string::npos || dot <= 4) {
+      continue;
+    }
+    std::string cabinet = file.substr(4, dot - 4);
+    if (cabinets_.contains(cabinet)) {
+      continue;
+    }
+    FileCabinet& cab = Cabinet(cabinet);
+    Status recovered = cab.Recover();
+    if (!recovered.ok()) {
+      TLOG_WARN << "site " << name_ << ": cabinet " << cabinet
+                << " recovery failed: " << recovered.ToString();
+    }
+  }
+}
+
+void Place::EmitAgentOutput(const std::string& line) {
+  if (agent_output_) {
+    agent_output_(line);
+  } else {
+    TLOG_INFO << "[" << name_ << "] " << line;
+  }
+}
+
+Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
+                           const std::string& agent_id) {
+  ++stats_.activations;
+
+  Activation activation;
+  activation.place = this;
+  activation.briefcase = &bc;
+  activation.code = code;
+  activation.agent_id = agent_id;
+
+  tacl::Interp interp;
+  interp.set_step_limit(step_limit_);
+  interp.set_context(&activation);
+  interp.set_output([this](const std::string& line) { EmitAgentOutput(line); });
+  BindAgentPrimitives(&interp, &activation);
+  for (const Binder& binder : binders_) {
+    binder(&interp, &activation);
+  }
+
+  tacl::Outcome out = interp.Eval(code);
+  stats_.interp_steps += interp.steps();
+
+  if (out.code == tacl::Code::kError) {
+    ++stats_.failed_activations;
+    return InternalError("agent " + agent_id + " at " + name_ + ": " + out.value);
+  }
+  return OkStatus();
+}
+
+}  // namespace tacoma

@@ -1,0 +1,139 @@
+// Place — the per-site agent runtime.
+//
+// In the paper's prototype "each site runs a Tcl interpreter, which provides
+// the place where agents execute" (§6).  A Place hosts:
+//   - the registry of resident agents (system agents like rexec plus any
+//     service agents registered by applications) and the `meet` dispatcher;
+//   - the site's file cabinets;
+//   - agent activations: a fresh TACL interpreter is created per activation,
+//     the agent primitives are bound to it, and the agent's CODE is evaluated.
+//
+// Everything volatile at a site dies with the Place when the kernel crashes
+// the site; cabinets flushed to disk are recovered into the next incarnation.
+#ifndef TACOMA_CORE_PLACE_H_
+#define TACOMA_CORE_PLACE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/briefcase.h"
+#include "core/cabinet.h"
+#include "sim/network.h"
+#include "tacl/interp.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+class Kernel;
+class Place;
+
+// A resident agent's meet handler: receives the briefcase (in/out, like an
+// argument list) and may use the Place freely.  "meet B with bc" runs this
+// synchronously; B continuing concurrently afterwards is expressed by the
+// handler scheduling follow-up work on the kernel's simulator.
+using MeetHandler = std::function<Status(Place&, Briefcase&)>;
+
+// Context for one agent activation (one evaluation of a CODE folder).
+struct Activation {
+  Place* place = nullptr;
+  Briefcase* briefcase = nullptr;
+  std::string code;          // The source being executed (for self_code).
+  std::string agent_id;
+  bool departed = false;     // Set once the agent has moved away.
+};
+
+class Place {
+ public:
+  struct Stats {
+    uint64_t meets = 0;
+    uint64_t failed_meets = 0;
+    uint64_t activations = 0;
+    uint64_t failed_activations = 0;
+    uint64_t interp_steps = 0;
+  };
+
+  Place(Kernel* kernel, SiteId site, std::string name);
+  Place(const Place&) = delete;
+  Place& operator=(const Place&) = delete;
+
+  SiteId site() const { return site_; }
+  const std::string& name() const { return name_; }
+  Kernel* kernel() { return kernel_; }
+
+  // Monotonically increasing across Place incarnations at a site.  Timer
+  // callbacks capture (site, generation) and check both before touching the
+  // place, so events scheduled by a pre-crash incarnation become no-ops.
+  uint64_t generation() const { return generation_; }
+
+  // --- Resident agents ----------------------------------------------------------
+
+  void RegisterAgent(const std::string& agent, MeetHandler handler);
+  // Registers a resident agent implemented in TACL.  On each meet the script
+  // runs as an activation against the meeting briefcase.
+  void RegisterTaclAgent(const std::string& agent, const std::string& script);
+  bool HasAgent(const std::string& agent) const;
+  bool RemoveAgent(const std::string& agent);
+  std::vector<std::string> AgentNames() const;
+
+  // --- The meet operation (§2) -----------------------------------------------------
+
+  // Executes agent `agent` at this site with briefcase `bc`.  Synchronous;
+  // returns when the met agent terminates the meet.
+  Status Meet(const std::string& agent, Briefcase& bc);
+
+  // --- File cabinets ------------------------------------------------------------------
+
+  // Returns the named cabinet, creating it (with storage attached) if needed.
+  FileCabinet& Cabinet(const std::string& name);
+  bool HasCabinet(const std::string& name) const;
+  std::vector<std::string> CabinetNames() const;
+  // Recreates cabinets found on this site's disk (called after a restart).
+  void RecoverCabinets();
+
+  // --- Agent activations -----------------------------------------------------------------
+
+  // Runs `code` as an agent activation with briefcase `bc`.
+  Status RunAgentCode(const std::string& code, Briefcase& bc, const std::string& agent_id);
+
+  // Per-activation command step budget (0 = unlimited).
+  void set_step_limit(uint64_t limit) { step_limit_ = limit; }
+
+  // Extension hook: modules (cash, scheduling, fault tolerance) add binders
+  // that register extra TACL commands for every activation at this place.
+  using Binder = std::function<void(tacl::Interp*, Activation*)>;
+  void AddBinder(Binder binder) { binders_.push_back(std::move(binder)); }
+
+  // Where `log`/`puts` output from agents goes.
+  void set_agent_output(std::function<void(const std::string&)> sink) {
+    agent_output_ = std::move(sink);
+  }
+  void EmitAgentOutput(const std::string& line);
+
+  const Stats& stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  Kernel* kernel_;
+  SiteId site_;
+  std::string name_;
+  std::map<std::string, MeetHandler> residents_;
+  std::map<std::string, std::unique_ptr<FileCabinet>> cabinets_;
+  std::function<void(const std::string&)> agent_output_;
+  std::vector<Binder> binders_;
+  uint64_t step_limit_ = 5'000'000;
+  uint64_t generation_ = 0;
+  int meet_depth_ = 0;
+  Stats stats_;
+  Rng rng_;
+};
+
+// Binds the agent primitives (bc_*, cab_*, meet, move, clone, send, ...) into
+// `interp` for the given activation.  Defined in bindings.cc.
+void BindAgentPrimitives(tacl::Interp* interp, Activation* activation);
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_PLACE_H_

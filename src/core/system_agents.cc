@@ -1,0 +1,195 @@
+// The system agents (§2): ag_tacl, rexec, courier, diffusion.
+//
+// "Surprisingly, no additional abstractions are required ...  Services for
+// agents — communication, synchronization, and so on — are provided directly
+// by other agents."  These four are installed at every place by the kernel;
+// everything else (brokers, mints, guards) is registered the same way by the
+// higher-level libraries.
+#include "core/kernel.h"
+#include "core/place.h"
+#include "crypto/sha256.h"
+#include "util/log.h"
+
+namespace tacoma {
+namespace {
+
+// ag_tacl: "pops a Tcl procedure from the CODE folder and executes that
+// procedure" (§6).  Popping is deliberate — an agent that wants to keep
+// moving pushes its continuation back into CODE before meeting rexec.
+Status AgTacl(Place& place, Briefcase& bc) {
+  Folder* code_folder = bc.Find(kCodeFolder);
+  if (code_folder == nullptr || code_folder->empty()) {
+    return InvalidArgumentError("ag_tacl: no CODE folder in briefcase");
+  }
+  std::string code = *code_folder->PopFrontString();
+  if (code_folder->empty()) {
+    bc.Remove(kCodeFolder);
+  }
+  std::string agent_id = bc.GetString("AGENT").value_or("agent");
+  return place.RunAgentCode(code, bc, agent_id);
+}
+
+// rexec: "expects to find two folders in the briefcase ...: a HOST folder
+// names the site where execution is to be moved and a CONTACT folder names
+// the agent to be executed at that site" (§2).
+Status Rexec(Place& place, Briefcase& bc) {
+  auto host = bc.GetString(kHostFolder);
+  if (!host.has_value()) {
+    return InvalidArgumentError("rexec: no HOST folder in briefcase");
+  }
+  auto contact = bc.GetString(kContactFolder);
+  if (!contact.has_value()) {
+    return InvalidArgumentError("rexec: no CONTACT folder in briefcase");
+  }
+  Kernel* kernel = place.kernel();
+  auto destination = kernel->net().FindSite(*host);
+  if (!destination.has_value()) {
+    return NotFoundError("rexec: unknown site \"" + *host + "\"");
+  }
+  // HOST/CONTACT are routing arguments, not agent state; strip them before
+  // the briefcase travels.
+  Briefcase shipped = bc;
+  shipped.Remove(kHostFolder);
+  shipped.Remove(kContactFolder);
+  return kernel->TransferAgent(place.site(), *destination, *contact, shipped);
+}
+
+// courier: "transfers a folder to a specified agent on a specified machine"
+// (§2) — agents communicate without meeting on a common machine.
+Status Courier(Place& place, Briefcase& bc) {
+  auto host = bc.GetString(kHostFolder);
+  auto contact = bc.GetString(kContactFolder);
+  auto folder_name = bc.GetString("FOLDER");
+  if (!host || !contact || !folder_name) {
+    return InvalidArgumentError("courier: needs HOST, CONTACT and FOLDER folders");
+  }
+  Folder* payload = bc.Find(*folder_name);
+  if (payload == nullptr) {
+    return InvalidArgumentError("courier: briefcase has no folder \"" + *folder_name +
+                                "\"");
+  }
+  Kernel* kernel = place.kernel();
+  auto destination = kernel->net().FindSite(*host);
+  if (!destination.has_value()) {
+    return NotFoundError("courier: unknown site \"" + *host + "\"");
+  }
+  Briefcase shipped;
+  shipped.folder(*folder_name) = *payload;
+  shipped.SetString("FOLDER", *folder_name);
+  return kernel->TransferAgent(place.site(), *destination, *contact, shipped);
+}
+
+// diffusion: "executes a specified agent locally and then creates a clone of
+// itself at every site that appears in the set difference of the site-local
+// SITES folder and the briefcase SITES folder" (§2).
+//
+// Folders:
+//   CODE    payload agent source (kept intact so clones carry it onward)
+//   SITES   sites visited so far (the agent's own record)
+//   MSGID   optional dedup key; defaults to a digest of CODE
+//   MODE    "visited" (default, bounded) or "naive" (§2's unbounded clone-only
+//           flooding; bound it with TTL)
+//   TTL     optional hop budget for naive mode
+Status Diffusion(Place& place, Briefcase& bc) {
+  const Folder* code = bc.Find(kCodeFolder);
+  if (code == nullptr || code->empty()) {
+    return InvalidArgumentError("diffusion: no CODE folder in briefcase");
+  }
+  std::string mode = bc.GetString("MODE").value_or("visited");
+  std::string msg_id = bc.GetString("MSGID").value_or(
+      DigestToHex(Sha256::Hash(*code->Front())).substr(0, 16));
+  bc.SetString("MSGID", msg_id);
+
+  FileCabinet& system_cab = place.Cabinet("system");
+  const std::string done_marker = "diffusion-done:" + msg_id;
+
+  if (mode == "visited") {
+    // "an agent can simply terminate — rather than clone — when it finds
+    // itself at a site that has already been visited."
+    if (system_cab.HasFolder(done_marker)) {
+      return OkStatus();
+    }
+    system_cab.SetString(done_marker, "1");
+  }
+
+  int64_t ttl = -1;
+  if (auto ttl_str = bc.GetString("TTL")) {
+    ttl = std::strtoll(ttl_str->c_str(), nullptr, 10);
+    if (ttl <= 0) {
+      return OkStatus();  // Hop budget exhausted.
+    }
+  }
+
+  // Execute the payload locally (on a copy: ag_tacl pops CODE).
+  Briefcase payload_bc = bc;
+  Status ran = place.Meet("ag_tacl", payload_bc);
+  if (!ran.ok()) {
+    TLOG_DEBUG << "diffusion payload failed at " << place.name() << ": "
+               << ran.ToString();
+  }
+
+  // Record this visit in the travelling SITES folder.
+  Folder& visited = bc.folder(kSitesFolder);
+  if (!visited.ContainsString(place.name())) {
+    visited.PushBackString(place.name());
+  }
+  if (ttl > 0) {
+    bc.SetString("TTL", std::to_string(ttl - 1));
+  }
+
+  Kernel* kernel = place.kernel();
+  for (const std::string& neighbor : system_cab.ListStrings(kSitesFolder)) {
+    if (mode == "visited" && visited.ContainsString(neighbor)) {
+      continue;
+    }
+    auto destination = kernel->net().FindSite(neighbor);
+    if (!destination.has_value()) {
+      continue;
+    }
+    Status sent = kernel->TransferAgent(place.site(), *destination, "diffusion", bc);
+    if (!sent.ok()) {
+      TLOG_DEBUG << "diffusion clone to " << neighbor << " failed: " << sent.ToString();
+    }
+  }
+  return OkStatus();
+}
+
+// relay: request/reply glue in the agent model.  Meets a local TARGET agent
+// with the briefcase, then ships the (mutated) briefcase back to
+// REPLY_HOST/REPLY_CONTACT.  Lets a remote agent consult a stationary service
+// (a mint, a broker) and get the answer couriered home — still nothing but
+// agents meeting agents.
+Status Relay(Place& place, Briefcase& bc) {
+  auto target = bc.GetString("TARGET");
+  auto reply_host = bc.GetString("REPLY_HOST");
+  auto reply_contact = bc.GetString("REPLY_CONTACT");
+  if (!target || !reply_host || !reply_contact) {
+    return InvalidArgumentError("relay: needs TARGET, REPLY_HOST, REPLY_CONTACT");
+  }
+  Status met = place.Meet(*target, bc);
+  if (!met.ok()) {
+    bc.SetString("RELAY_ERROR", met.ToString());
+  }
+  Kernel* kernel = place.kernel();
+  auto destination = kernel->net().FindSite(*reply_host);
+  if (!destination.has_value()) {
+    return NotFoundError("relay: unknown reply site \"" + *reply_host + "\"");
+  }
+  Briefcase reply = bc;
+  reply.Remove("TARGET");
+  reply.Remove("REPLY_HOST");
+  reply.Remove("REPLY_CONTACT");
+  return kernel->TransferAgent(place.site(), *destination, *reply_contact, reply);
+}
+
+}  // namespace
+
+void Kernel::InstallSystemAgents(Place& place) {
+  place.RegisterAgent("ag_tacl", AgTacl);
+  place.RegisterAgent("rexec", Rexec);
+  place.RegisterAgent("courier", Courier);
+  place.RegisterAgent("diffusion", Diffusion);
+  place.RegisterAgent("relay", Relay);
+}
+
+}  // namespace tacoma

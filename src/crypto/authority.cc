@@ -1,0 +1,68 @@
+#include "crypto/authority.h"
+
+#include "serial/encoder.h"
+
+namespace tacoma {
+
+Bytes Signature::Serialize() const {
+  Encoder enc;
+  enc.PutString(principal);
+  enc.PutRaw(tag.data(), tag.size());
+  return enc.Take();
+}
+
+Result<Signature> Signature::Deserialize(const Bytes& in) {
+  Decoder dec(in);
+  Signature sig;
+  if (!dec.GetString(&sig.principal) || dec.remaining() != sig.tag.size()) {
+    return DataLossError("malformed signature");
+  }
+  Bytes rest;
+  rest.assign(in.end() - static_cast<long>(sig.tag.size()), in.end());
+  std::copy(rest.begin(), rest.end(), sig.tag.begin());
+  return sig;
+}
+
+SignatureAuthority::SignatureAuthority(uint64_t seed)
+    : drbg_([seed] {
+        Encoder enc;
+        enc.PutU64(seed);
+        return enc.Take();
+      }()) {}
+
+void SignatureAuthority::Enroll(const std::string& principal) {
+  if (keys_.contains(principal)) {
+    return;
+  }
+  Bytes key;
+  drbg_.Generate(32, &key);
+  keys_.emplace(principal, std::move(key));
+}
+
+bool SignatureAuthority::IsEnrolled(const std::string& principal) const {
+  return keys_.contains(principal);
+}
+
+Signature SignatureAuthority::Sign(const std::string& principal, const Bytes& message) {
+  Enroll(principal);
+  Signature sig;
+  sig.principal = principal;
+  sig.tag = HmacSha256(keys_.at(principal), message);
+  return sig;
+}
+
+bool SignatureAuthority::Verify(const Signature& sig, const Bytes& message) const {
+  auto it = keys_.find(sig.principal);
+  if (it == keys_.end()) {
+    return false;
+  }
+  Digest expect = HmacSha256(it->second, message);
+  // Constant-time comparison (good hygiene even in a simulator).
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expect.size(); ++i) {
+    diff |= static_cast<uint8_t>(expect[i] ^ sig.tag[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace tacoma

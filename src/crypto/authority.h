@@ -1,0 +1,55 @@
+// SignatureAuthority — the repo's stand-in for a PKI.
+//
+// The 1995 prototype leaned on UNIX security for its electronic cash; this
+// library needs the same property (receipts and ECU records that agents
+// cannot forge) inside one simulated trust domain.  Each principal is issued
+// a secret MAC key held by the authority; signatures are HMAC-SHA-256 tags.
+// Verification goes through the authority, which is exactly the trust shape
+// the paper assumed of the underlying OS.  DESIGN.md records this
+// substitution.
+#ifndef TACOMA_CRYPTO_AUTHORITY_H_
+#define TACOMA_CRYPTO_AUTHORITY_H_
+
+#include <map>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+struct Signature {
+  std::string principal;  // Who signed.
+  Digest tag{};           // HMAC over the message.
+
+  Bytes Serialize() const;
+  static Result<Signature> Deserialize(const Bytes& in);
+};
+
+class SignatureAuthority {
+ public:
+  explicit SignatureAuthority(uint64_t seed);
+
+  // Registers a principal and issues its secret key.  Idempotent: re-enrolling
+  // an existing principal keeps the original key.
+  void Enroll(const std::string& principal);
+
+  bool IsEnrolled(const std::string& principal) const;
+
+  // Signs `message` on behalf of `principal` (enrolls it if needed).
+  Signature Sign(const std::string& principal, const Bytes& message);
+
+  // True iff `sig` is a valid tag by `sig.principal` over `message`.
+  bool Verify(const Signature& sig, const Bytes& message) const;
+
+  size_t principal_count() const { return keys_.size(); }
+
+ private:
+  HmacDrbg drbg_;
+  std::map<std::string, Bytes> keys_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CRYPTO_AUTHORITY_H_

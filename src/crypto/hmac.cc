@@ -1,0 +1,86 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace tacoma {
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+}  // namespace
+
+Digest HmacSha256(const Bytes& key, const Bytes& message) {
+  Bytes k = key;
+  if (k.size() > kBlockSize) {
+    Digest d = Sha256::Hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+HmacDrbg::HmacDrbg(const Bytes& seed) : key_(32, 0x00), value_(32, 0x01) {
+  UpdateState(seed);
+}
+
+void HmacDrbg::UpdateState(const Bytes& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes msg = value_;
+  msg.push_back(0x00);
+  msg.insert(msg.end(), provided.begin(), provided.end());
+  Digest k = HmacSha256(key_, msg);
+  key_.assign(k.begin(), k.end());
+  Digest v = HmacSha256(key_, value_);
+  value_.assign(v.begin(), v.end());
+
+  if (!provided.empty()) {
+    msg = value_;
+    msg.push_back(0x01);
+    msg.insert(msg.end(), provided.begin(), provided.end());
+    k = HmacSha256(key_, msg);
+    key_.assign(k.begin(), k.end());
+    v = HmacSha256(key_, value_);
+    value_.assign(v.begin(), v.end());
+  }
+}
+
+void HmacDrbg::Generate(size_t len, Bytes* out) {
+  out->clear();
+  out->reserve(len);
+  while (out->size() < len) {
+    Digest v = HmacSha256(key_, value_);
+    value_.assign(v.begin(), v.end());
+    size_t take = std::min(len - out->size(), value_.size());
+    out->insert(out->end(), value_.begin(), value_.begin() + take);
+  }
+  UpdateState(Bytes());
+}
+
+uint64_t HmacDrbg::NextU64() {
+  Bytes b;
+  Generate(8, &b);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+void HmacDrbg::Reseed(const Bytes& extra) { UpdateState(extra); }
+
+}  // namespace tacoma

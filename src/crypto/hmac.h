@@ -1,0 +1,39 @@
+// HMAC-SHA-256 (RFC 2104) and an HMAC-based deterministic random bit
+// generator in the style of HMAC-DRBG (NIST SP 800-90A, simplified: no
+// personalization string or prediction resistance — the simulator is one
+// trust domain and the generator only needs unguessable, reproducible
+// streams).
+#ifndef TACOMA_CRYPTO_HMAC_H_
+#define TACOMA_CRYPTO_HMAC_H_
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace tacoma {
+
+// One-shot HMAC-SHA-256.
+Digest HmacSha256(const Bytes& key, const Bytes& message);
+
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(const Bytes& seed);
+
+  // Fills `out` with the next `len` deterministic pseudo-random bytes.
+  void Generate(size_t len, Bytes* out);
+
+  // Convenience: next 64-bit value.
+  uint64_t NextU64();
+
+  // Mixes additional entropy into the state.
+  void Reseed(const Bytes& extra);
+
+ private:
+  void UpdateState(const Bytes& provided);
+
+  Bytes key_;
+  Bytes value_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CRYPTO_HMAC_H_

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for electronic-cash serial derivation, receipt digests, and the
+// HMAC/DRBG constructions in this library.  Incremental interface plus a
+// one-shot helper.
+#ifndef TACOMA_CRYPTO_SHA256_H_
+#define TACOMA_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tacoma {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data);
+  void Update(std::string_view data);
+
+  // Finalizes and returns the digest.  The hasher must not be reused after
+  // Finish() without calling Reset().
+  Digest Finish();
+
+  void Reset();
+
+  // One-shot convenience.
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// Digest helpers.
+Bytes DigestToBytes(const Digest& d);
+std::string DigestToHex(const Digest& d);
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CRYPTO_SHA256_H_

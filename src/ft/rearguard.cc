@@ -1,0 +1,396 @@
+#include "ft/rearguard.h"
+
+#include "tacl/list.h"
+#include "util/log.h"
+
+namespace tacoma::ft {
+
+RearGuard::RearGuard(Kernel* kernel, GuardOptions options)
+    : kernel_(kernel), options_(options) {}
+
+std::string RearGuard::Key(const std::string& agent, uint32_t seq) {
+  return agent + "#" + std::to_string(seq);
+}
+
+RearGuard::SiteTable& RearGuard::TableFor(Place& place) {
+  SiteTable& table = tables_[place.site()];
+  if (table.generation != place.generation()) {
+    // New incarnation: the old guards died with the old place.
+    table.records.clear();
+    table.retired_agents.clear();
+    table.generation = place.generation();
+  }
+  return table;
+}
+
+const RearGuard::SiteTable* RearGuard::PeekTable(SiteId site) const {
+  auto it = tables_.find(site);
+  if (it == tables_.end()) {
+    return nullptr;
+  }
+  Place* place = const_cast<Kernel*>(kernel_)->place(site);
+  if (place == nullptr || place->generation() != it->second.generation) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+size_t RearGuard::GuardCount(SiteId site) const {
+  const SiteTable* table = PeekTable(site);
+  if (table == nullptr) {
+    return 0;
+  }
+  size_t live = 0;
+  for (const auto& [key, rec] : table->records) {
+    if (!rec.retired) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+size_t RearGuard::TotalGuards() const {
+  size_t total = 0;
+  for (const auto& [site, table] : tables_) {
+    total += GuardCount(site);
+  }
+  return total;
+}
+
+void RearGuard::Install() {
+  RearGuard* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    place.RegisterAgent("rearguard", [self](Place& at, Briefcase& bc) {
+      return self->OnMeet(at, bc);
+    });
+
+    place.AddBinder([self](tacl::Interp* interp, Activation* activation) {
+      using tacl::Error;
+      using tacl::Ok;
+      using tacl::Outcome;
+
+      // ft_jump next — checkpoint with the local rear guard, then move on.
+      interp->Register(
+          "ft_jump", [self, activation](tacl::Interp&,
+                                        const std::vector<std::string>& argv) {
+            if (argv.size() != 2) {
+              return Error("wrong # args: should be \"ft_jump host\"");
+            }
+            if (activation->departed) {
+              return Error("agent has departed this site");
+            }
+            Briefcase& bc = *activation->briefcase;
+            Place& here = *activation->place;
+            const std::string& next = argv[1];
+
+            std::string agent = bc.GetString("GUARD_AGENT").value_or(
+                activation->agent_id.empty() ? "agent" : activation->agent_id);
+            uint32_t seq = 0;
+            if (auto s = tacl::ParseInt(bc.GetString("GUARD_SEQ").value_or("0"))) {
+              seq = static_cast<uint32_t>(std::max<int64_t>(0, *s));
+            }
+            std::string prev = bc.GetString("GUARD_PREV").value_or("");
+
+            // Prepare the post-hop briefcase state, then checkpoint it with
+            // the code pushed so a relaunch restarts the same program.
+            bc.SetString("GUARD_AGENT", agent);
+            bc.SetString("GUARD_SEQ", std::to_string(seq + 1));
+            bc.SetString("GUARD_PREV", here.name());
+            Briefcase checkpoint = bc;
+            checkpoint.folder(kCodeFolder).PushFrontString(activation->code);
+
+            Briefcase deposit;
+            deposit.SetString("GUARD_OP", "deposit");
+            deposit.SetString("GUARD_AGENT", agent);
+            deposit.SetString("GUARD_SEQ", std::to_string(seq));
+            deposit.SetString("GUARD_NEXT", next);
+            deposit.SetString("GUARD_RECORD_PREV", prev);
+            deposit.folder("CKPT").PushBack(checkpoint.Serialize());
+            Status deposited = here.Meet("rearguard", deposit);
+            if (!deposited.ok()) {
+              return Error("ft_jump: " + deposited.ToString());
+            }
+
+            // Now the ordinary jump (push code, rexec).
+            bc.folder(kCodeFolder).PushFrontString(activation->code);
+            bc.SetString(kHostFolder, next);
+            bc.SetString(kContactFolder, "ag_tacl");
+            Status moved = here.Meet("rexec", bc);
+            if (!moved.ok()) {
+              bc.folder(kCodeFolder).PopFront();
+              bc.Remove(kHostFolder);
+              bc.Remove(kContactFolder);
+              return Error("ft_jump: " + moved.ToString());
+            }
+            activation->departed = true;
+            return Outcome{tacl::Code::kReturn, ""};
+          });
+
+      // ft_retire — the computation finished; unwind the guard chain.
+      interp->Register(
+          "ft_retire", [self, activation](tacl::Interp&,
+                                          const std::vector<std::string>& argv) {
+            if (argv.size() != 1) {
+              return Error("wrong # args: should be \"ft_retire\"");
+            }
+            Briefcase& bc = *activation->briefcase;
+            Briefcase wave;
+            wave.SetString("GUARD_OP", "retire_wave");
+            wave.SetString("GUARD_AGENT", bc.GetString("GUARD_AGENT").value_or(
+                                              activation->agent_id));
+            wave.SetString("GUARD_PREV", bc.GetString("GUARD_PREV").value_or(""));
+            Status s = activation->place->Meet("rearguard", wave);
+            if (!s.ok()) {
+              return Error("ft_retire: " + s.ToString());
+            }
+            return Ok();
+          });
+    });
+  });
+}
+
+Status RearGuard::OnMeet(Place& place, Briefcase& bc) {
+  auto op = bc.GetString("GUARD_OP").value_or("");
+  if (op == "deposit") {
+    return HandleDeposit(place, bc);
+  }
+  if (op == "status") {
+    return HandleStatusRequest(place, bc);
+  }
+  if (op == "status_rsp") {
+    return HandleStatusReply(place, bc);
+  }
+  if (op == "retire_wave") {
+    return HandleRetire(place, bc, /*is_wave_origin=*/true);
+  }
+  if (op == "retire") {
+    return HandleRetire(place, bc, /*is_wave_origin=*/false);
+  }
+  return InvalidArgumentError("rearguard: unknown GUARD_OP \"" + op + "\"");
+}
+
+Status RearGuard::HandleDeposit(Place& place, Briefcase& bc) {
+  auto agent = bc.GetString("GUARD_AGENT");
+  auto seq_str = bc.GetString("GUARD_SEQ");
+  auto next = bc.GetString("GUARD_NEXT");
+  const Folder* ckpt = bc.Find("CKPT");
+  if (!agent || !seq_str || !next || ckpt == nullptr || ckpt->empty()) {
+    return InvalidArgumentError("rearguard: malformed deposit");
+  }
+  auto seq = tacl::ParseInt(*seq_str);
+  if (!seq.has_value() || *seq < 0) {
+    return InvalidArgumentError("rearguard: bad GUARD_SEQ");
+  }
+
+  GuardRecord record;
+  record.agent = *agent;
+  record.seq = static_cast<uint32_t>(*seq);
+  record.checkpoint = *ckpt->Front();
+  record.next_site = *next;
+  record.prev_site = bc.GetString("GUARD_RECORD_PREV").value_or("");
+
+  SiteTable& table = TableFor(place);
+  std::string key = Key(record.agent, record.seq);
+  table.records[key] = std::move(record);
+  ++stats_.deposits;
+
+  SchedulePing(place.site(), place.generation(), key);
+  return OkStatus();
+}
+
+void RearGuard::SchedulePing(SiteId site, uint64_t generation, const std::string& key) {
+  kernel_->sim().After(options_.heartbeat,
+                       [this, site, generation, key] { PingTick(site, generation, key); });
+}
+
+void RearGuard::PingTick(SiteId site, uint64_t generation, const std::string& key) {
+  if (!kernel_->PlaceAlive(site, generation)) {
+    return;  // The guard died with its site.
+  }
+  SiteTable& table = tables_[site];
+  auto it = table.records.find(key);
+  if (it == table.records.end() || it->second.retired) {
+    return;  // Retired or removed: the chain unwound.
+  }
+  GuardRecord& record = it->second;
+
+  ++record.misses;
+  if (record.misses > options_.max_misses) {
+    Recover(site, record);
+  }
+
+  auto next = kernel_->net().FindSite(record.next_site);
+  if (next.has_value() && kernel_->net().IsUp(*next)) {
+    Briefcase ping;
+    ping.SetString("GUARD_OP", "status");
+    ping.SetString("GUARD_AGENT", record.agent);
+    ping.SetString("GUARD_KEY", key);
+    ping.SetString("REPLY_HOST", kernel_->net().site_name(site));
+    if (kernel_->TransferAgent(site, *next, "rearguard", ping).ok()) {
+      ++stats_.pings_sent;
+    }
+  }
+
+  SchedulePing(site, generation, key);
+}
+
+Status RearGuard::HandleStatusRequest(Place& place, Briefcase& bc) {
+  auto agent = bc.GetString("GUARD_AGENT");
+  auto key = bc.GetString("GUARD_KEY");
+  auto reply_host = bc.GetString("REPLY_HOST");
+  if (!agent || !key || !reply_host) {
+    return InvalidArgumentError("rearguard: malformed status request");
+  }
+
+  SiteTable& table = TableFor(place);
+  std::string state = "unknown";
+  if (table.retired_agents.contains(*agent)) {
+    state = "retired";
+  } else {
+    for (const auto& [k, rec] : table.records) {
+      if (rec.agent == *agent && !rec.retired) {
+        state = "active";
+        break;
+      }
+    }
+  }
+
+  auto reply_site = kernel_->net().FindSite(*reply_host);
+  if (!reply_site.has_value()) {
+    return NotFoundError("rearguard: unknown reply site");
+  }
+  Briefcase reply;
+  reply.SetString("GUARD_OP", "status_rsp");
+  reply.SetString("GUARD_KEY", *key);
+  reply.SetString("GUARD_STATE", state);
+  return kernel_->TransferAgent(place.site(), *reply_site, "rearguard", reply);
+}
+
+Status RearGuard::HandleStatusReply(Place& place, Briefcase& bc) {
+  auto key = bc.GetString("GUARD_KEY");
+  auto state = bc.GetString("GUARD_STATE");
+  if (!key || !state) {
+    return InvalidArgumentError("rearguard: malformed status reply");
+  }
+  ++stats_.replies_received;
+  SiteTable& table = TableFor(place);
+  auto it = table.records.find(*key);
+  if (it == table.records.end()) {
+    return OkStatus();
+  }
+  if (*state == "active" || *state == "retired") {
+    it->second.misses = 0;
+  }
+  if (*state == "retired") {
+    it->second.retired = true;
+  }
+  return OkStatus();
+}
+
+Status RearGuard::HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin) {
+  auto agent = bc.GetString("GUARD_AGENT");
+  if (!agent) {
+    return InvalidArgumentError("rearguard: retire without GUARD_AGENT");
+  }
+  if (is_wave_origin) {
+    ++stats_.retire_waves;
+  }
+
+  SiteTable& table = TableFor(place);
+  table.retired_agents.insert(*agent);
+
+  // Remove this agent's records here and forward the wave to each distinct
+  // predecessor those records named.
+  std::set<std::string> predecessors;
+  for (auto it = table.records.begin(); it != table.records.end();) {
+    if (it->second.agent == *agent) {
+      if (!it->second.prev_site.empty()) {
+        predecessors.insert(it->second.prev_site);
+      }
+      ++stats_.records_retired;
+      it = table.records.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The wave origin also forwards to the hop it arrived from (the final
+  // site usually holds no record for the agent — it never left).
+  if (is_wave_origin) {
+    std::string prev = bc.GetString("GUARD_PREV").value_or("");
+    if (!prev.empty()) {
+      predecessors.insert(prev);
+    }
+  }
+
+  for (const std::string& prev : predecessors) {
+    auto prev_site = kernel_->net().FindSite(prev);
+    if (!prev_site.has_value()) {
+      continue;
+    }
+    Briefcase wave;
+    wave.SetString("GUARD_OP", "retire");
+    wave.SetString("GUARD_AGENT", *agent);
+    (void)kernel_->TransferAgent(place.site(), *prev_site, "rearguard", wave);
+  }
+  return OkStatus();
+}
+
+void RearGuard::Recover(SiteId site, GuardRecord& record) {
+  if (options_.max_relaunches != 0 && record.relaunches >= options_.max_relaunches) {
+    return;
+  }
+  auto checkpoint = Briefcase::Deserialize(record.checkpoint);
+  if (!checkpoint.ok()) {
+    TLOG_WARN << "rearguard: corrupt checkpoint for " << record.agent;
+    return;
+  }
+  Briefcase bc = std::move(checkpoint).value();
+  bc.SetString("GUARD_RELAUNCH", std::to_string(record.relaunches + 1));
+
+  // Candidate destinations: the original next site, then itinerary entries
+  // after it (skip the dead site and push on).  Agents typically pop the next
+  // hop before jumping, so when next_site is absent from the checkpoint's
+  // ITINERARY every remaining entry is downstream and a candidate.
+  std::vector<std::string> candidates{record.next_site};
+  if (const Folder* itinerary = bc.Find("ITINERARY")) {
+    auto sites = itinerary->AsStrings();
+    bool contains_next = false;
+    for (const std::string& s : sites) {
+      if (s == record.next_site) {
+        contains_next = true;
+        break;
+      }
+    }
+    bool passed_next = !contains_next;
+    for (const std::string& s : sites) {
+      if (passed_next && s != record.next_site) {
+        candidates.push_back(s);
+      }
+      if (s == record.next_site) {
+        passed_next = true;
+      }
+    }
+  }
+
+  for (const std::string& destination : candidates) {
+    auto dest = kernel_->net().FindSite(destination);
+    if (!dest.has_value() || !kernel_->net().IsUp(*dest)) {
+      continue;
+    }
+    if (!kernel_->net().HopCount(site, *dest).has_value()) {
+      continue;
+    }
+    Status sent = kernel_->TransferAgent(site, *dest, "ag_tacl", bc);
+    if (sent.ok()) {
+      ++stats_.relaunches;
+      ++record.relaunches;
+      record.misses = 0;
+      return;
+    }
+  }
+  // Nothing reachable right now: reset the miss counter and keep watching;
+  // a later tick retries once something comes back.
+  record.misses = 0;
+}
+
+}  // namespace tacoma::ft

@@ -1,0 +1,118 @@
+// Rear guards (§5).
+//
+// "The solutions we have studied involve leaving a rear guard agent behind
+// whenever execution moves from one site to another.  This rear guard is
+// responsible for (i) launching a new agent should a failure cause an agent
+// to vanish and (ii) terminating itself when its function is no longer
+// necessary ...  The details of implementing rear guards efficiently are
+// complex, because the sites traversed by an agent computation may be cyclic
+// and because a single agent may clone itself and fan out through a network."
+//
+// Protocol implemented here:
+//   - ft_jump (a TACL primitive added by this module) checkpoints the agent
+//     (code + briefcase) with the local "rearguard" resident, then moves on.
+//     Each hop gets a fresh (agent, seq) guard record, so cyclic itineraries
+//     produce distinct guards per visit rather than colliding.
+//   - A guard pings the next site's rearguard every heartbeat; any reply
+//     ("active": a later guard record exists there; "retired") clears the
+//     miss counter.  max_misses consecutive silent/unknown ticks trigger
+//     recovery: the checkpoint is relaunched to the next reachable site on
+//     the agent's ITINERARY (skipping the dead one).
+//   - ft_retire starts the retirement wave: guards for the agent are removed
+//     site by site, each site forwarding the wave to the predecessor sites
+//     its records name.  The wave terminates because records are deleted as
+//     it passes (cycles included).
+//   - Guards are themselves volatile agents: a crash kills a site's guard
+//     table.  The chain heals because the predecessor's guard is still
+//     watching this site and will observe "unknown".
+//
+// Semantics note: recovery is at-least-once.  If a site fails after the agent
+// moved past it, the predecessor may relaunch a stale checkpoint and part of
+// the itinerary re-executes; agents make their per-site work idempotent (the
+// paper's visit-record idiom does exactly this).  Duplicate completions are
+// detected at the home site by the DONE marker idiom used in the tests.
+#ifndef TACOMA_FT_REARGUARD_H_
+#define TACOMA_FT_REARGUARD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace tacoma::ft {
+
+struct GuardOptions {
+  SimTime heartbeat = 50 * kMillisecond;
+  int max_misses = 3;
+  // Relaunch at most this many times per guard record (0 = unlimited).
+  int max_relaunches = 8;
+};
+
+class RearGuard {
+ public:
+  struct Stats {
+    uint64_t deposits = 0;
+    uint64_t pings_sent = 0;
+    uint64_t replies_received = 0;
+    uint64_t relaunches = 0;
+    uint64_t retire_waves = 0;
+    uint64_t records_retired = 0;
+  };
+
+  RearGuard(Kernel* kernel, GuardOptions options = {});
+
+  // Installs the "rearguard" resident on every place and the ft_jump /
+  // ft_retire TACL primitives.
+  void Install();
+
+  // Live guard records at a site (0 while the site is down).
+  size_t GuardCount(SiteId site) const;
+  size_t TotalGuards() const;
+  const Stats& stats() const { return stats_; }
+  const GuardOptions& options() const { return options_; }
+
+ private:
+  struct GuardRecord {
+    std::string agent;
+    uint32_t seq = 0;
+    Bytes checkpoint;       // Serialized briefcase, CODE included.
+    std::string next_site;  // Where the agent went from here.
+    std::string prev_site;  // Where the previous guard sits ("" at origin).
+    int misses = 0;
+    int relaunches = 0;
+    bool retired = false;
+  };
+  struct SiteTable {
+    uint64_t generation = 0;  // Place generation this table belongs to.
+    std::map<std::string, GuardRecord> records;  // key = agent '#' seq.
+    std::set<std::string> retired_agents;
+  };
+
+  static std::string Key(const std::string& agent, uint32_t seq);
+
+  // Returns this site's table, resetting it when the place was reincarnated
+  // (volatile guard state dies with the site).
+  SiteTable& TableFor(Place& place);
+  const SiteTable* PeekTable(SiteId site) const;
+
+  Status OnMeet(Place& place, Briefcase& bc);
+  Status HandleDeposit(Place& place, Briefcase& bc);
+  Status HandleStatusRequest(Place& place, Briefcase& bc);
+  Status HandleStatusReply(Place& place, Briefcase& bc);
+  Status HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin);
+
+  void SchedulePing(SiteId site, uint64_t generation, const std::string& key);
+  void PingTick(SiteId site, uint64_t generation, const std::string& key);
+  void Recover(SiteId site, GuardRecord& record);
+
+  Kernel* kernel_;
+  GuardOptions options_;
+  std::map<SiteId, SiteTable> tables_;
+  Stats stats_;
+};
+
+}  // namespace tacoma::ft
+
+#endif  // TACOMA_FT_REARGUARD_H_

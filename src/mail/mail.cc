@@ -1,0 +1,158 @@
+#include "mail/mail.h"
+
+#include "serial/encoder.h"
+
+namespace tacoma::mail {
+namespace {
+
+std::string InboxFolder(const std::string& user) { return "INBOX:" + user; }
+std::string ReceiptFolder(const std::string& user) { return "RECEIPTS:" + user; }
+
+}  // namespace
+
+Bytes MailMessage::Serialize() const {
+  Encoder enc;
+  enc.PutString(id);
+  enc.PutString(from_user);
+  enc.PutString(from_site);
+  enc.PutString(to_user);
+  enc.PutString(subject);
+  enc.PutString(body);
+  enc.PutU64(delivered_us);
+  return enc.Take();
+}
+
+Result<MailMessage> MailMessage::Deserialize(const Bytes& data) {
+  Decoder dec(data);
+  MailMessage m;
+  if (!dec.GetString(&m.id) || !dec.GetString(&m.from_user) ||
+      !dec.GetString(&m.from_site) || !dec.GetString(&m.to_user) ||
+      !dec.GetString(&m.subject) || !dec.GetString(&m.body) ||
+      !dec.GetU64(&m.delivered_us) || !dec.Done()) {
+    return DataLossError("malformed mail message");
+  }
+  return m;
+}
+
+MailSystem::MailSystem(Kernel* kernel) : kernel_(kernel) {}
+
+void MailSystem::Install() {
+  if (installed_) {
+    return;
+  }
+  installed_ = true;
+  MailSystem* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    place.RegisterAgent("mailbox", [self](Place& at, Briefcase& bc) {
+      return self->OnMailbox(at, bc);
+    });
+  });
+}
+
+Status MailSystem::OnMailbox(Place& place, Briefcase& bc) {
+  auto op = bc.GetString("OP").value_or("");
+
+  if (op == "deliver") {
+    MailMessage m;
+    m.id = bc.GetString("MSGID").value_or("");
+    m.from_user = bc.GetString("MAIL_FROM").value_or("");
+    m.from_site = bc.GetString("FROM_SITE").value_or("");
+    m.to_user = bc.GetString("MAIL_TO").value_or("");
+    m.subject = bc.GetString("SUBJECT").value_or("");
+    m.body = bc.GetString("BODY").value_or("");
+    m.delivered_us = kernel_->sim().Now();
+    if (m.id.empty() || m.to_user.empty()) {
+      return InvalidArgumentError("mailbox: malformed delivery");
+    }
+    place.Cabinet("mail").Append(InboxFolder(m.to_user), m.Serialize());
+    ++stats_.delivered;
+
+    // Delivery receipt travels back to the sender's mailbox.
+    auto origin = kernel_->net().FindSite(m.from_site);
+    if (origin.has_value() && !m.from_user.empty()) {
+      Briefcase receipt;
+      receipt.SetString("OP", "receipt");
+      receipt.SetString("MSGID", m.id);
+      receipt.SetString("MAIL_TO", m.from_user);
+      (void)kernel_->TransferAgent(place.site(), *origin, "mailbox", receipt);
+    }
+    return OkStatus();
+  }
+
+  if (op == "receipt") {
+    auto msg_id = bc.GetString("MSGID");
+    auto user = bc.GetString("MAIL_TO");
+    if (!msg_id || !user) {
+      return InvalidArgumentError("mailbox: malformed receipt");
+    }
+    place.Cabinet("mail").AppendString(ReceiptFolder(*user), *msg_id);
+    ++stats_.receipts;
+    return OkStatus();
+  }
+
+  return InvalidArgumentError("mailbox: unknown OP \"" + op + "\"");
+}
+
+Status MailSystem::Send(SiteId from_site, const std::string& from_user, SiteId to_site,
+                        const std::string& to_user, const std::string& subject,
+                        const std::string& body, const std::string& extra_code) {
+  Install();
+  std::string id = "msg-" + std::to_string(next_id_++);
+
+  // The message is a mobile agent: its code deposits it and then runs any
+  // rider code the sender attached.
+  std::string code =
+      "bc_set OP deliver\n"
+      "meet mailbox\n" +
+      extra_code;
+
+  Briefcase bc;
+  bc.SetString("MSGID", id);
+  bc.SetString("MAIL_FROM", from_user);
+  bc.SetString("FROM_SITE", kernel_->net().site_name(from_site));
+  bc.SetString("MAIL_TO", to_user);
+  bc.SetString("SUBJECT", subject);
+  bc.SetString("BODY", body);
+  bc.folder(kCodeFolder).PushBackString(code);
+
+  Status sent = kernel_->TransferAgent(from_site, to_site, "ag_tacl", bc);
+  if (sent.ok()) {
+    ++stats_.sent;
+  }
+  return sent;
+}
+
+std::vector<MailMessage> MailSystem::Inbox(SiteId site, const std::string& user) const {
+  std::vector<MailMessage> out;
+  Place* place = const_cast<Kernel*>(kernel_)->place(site);
+  if (place == nullptr) {
+    return out;
+  }
+  for (const Bytes& b : place->Cabinet("mail").List(InboxFolder(user))) {
+    auto m = MailMessage::Deserialize(b);
+    if (m.ok()) {
+      out.push_back(std::move(m).value());
+    }
+  }
+  return out;
+}
+
+std::vector<MailMessage> MailSystem::Drain(SiteId site, const std::string& user) {
+  std::vector<MailMessage> out = Inbox(site, user);
+  Place* place = kernel_->place(site);
+  if (place != nullptr) {
+    place->Cabinet("mail").EraseFolder(InboxFolder(user));
+  }
+  return out;
+}
+
+std::vector<std::string> MailSystem::Receipts(SiteId site,
+                                              const std::string& user) const {
+  Place* place = const_cast<Kernel*>(kernel_)->place(site);
+  if (place == nullptr) {
+    return {};
+  }
+  return place->Cabinet("mail").ListStrings(ReceiptFolder(user));
+}
+
+}  // namespace tacoma::mail

@@ -1,0 +1,73 @@
+// Agent-based mail (§6): "we have started to build an interactive mail
+// system where messages are implemented by agents."
+//
+// A mail message IS an agent: Send() builds a small TACL program that travels
+// to the destination site, deposits itself into the recipient's mailbox (a
+// file cabinet folder), and couriers a delivery receipt back to the sender's
+// mailbox.  Because the message is an agent it can do more than sit in a
+// folder — the EXTRA hook lets callers append code the message runs on
+// delivery (the tests use it for auto-replies and mail filtering).
+#ifndef TACOMA_MAIL_MAIL_H_
+#define TACOMA_MAIL_MAIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace tacoma::mail {
+
+struct MailMessage {
+  std::string id;
+  std::string from_user;
+  std::string from_site;
+  std::string to_user;
+  std::string subject;
+  std::string body;
+  uint64_t delivered_us = 0;
+
+  Bytes Serialize() const;
+  static Result<MailMessage> Deserialize(const Bytes& data);
+};
+
+class MailSystem {
+ public:
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t receipts = 0;
+  };
+
+  explicit MailSystem(Kernel* kernel);
+
+  // Installs the "mailbox" resident everywhere (idempotent per kernel).
+  void Install();
+
+  // Sends `subject`/`body` from `from_user`@`from_site` to `to_user` at
+  // `to_site` as a mobile agent.  `extra_code` (optional TACL) runs at the
+  // destination after the deposit.
+  Status Send(SiteId from_site, const std::string& from_user, SiteId to_site,
+              const std::string& to_user, const std::string& subject,
+              const std::string& body, const std::string& extra_code = "");
+
+  // Reads a user's inbox at a site (messages stay until Drain).
+  std::vector<MailMessage> Inbox(SiteId site, const std::string& user) const;
+  // Reads and clears.
+  std::vector<MailMessage> Drain(SiteId site, const std::string& user);
+  // Delivery receipts (message ids) accumulated for a sender.
+  std::vector<std::string> Receipts(SiteId site, const std::string& user) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status OnMailbox(Place& place, Briefcase& bc);
+
+  Kernel* kernel_;
+  bool installed_ = false;
+  uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace tacoma::mail
+
+#endif  // TACOMA_MAIL_MAIL_H_

@@ -1,0 +1,365 @@
+#include "sched/broker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serial/encoder.h"
+#include "tacl/list.h"
+#include "util/log.h"
+
+namespace tacoma::sched {
+
+Result<Policy> ParsePolicy(const std::string& name) {
+  if (name == "random") {
+    return Policy::kRandom;
+  }
+  if (name == "round_robin") {
+    return Policy::kRoundRobin;
+  }
+  if (name == "least_loaded" || name.empty()) {
+    return Policy::kLeastLoaded;
+  }
+  if (name == "weighted") {
+    return Policy::kWeightedCapacity;
+  }
+  return InvalidArgumentError("unknown policy \"" + name + "\"");
+}
+
+std::string_view PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kRandom:
+      return "random";
+    case Policy::kRoundRobin:
+      return "round_robin";
+    case Policy::kLeastLoaded:
+      return "least_loaded";
+    case Policy::kWeightedCapacity:
+      return "weighted";
+  }
+  return "unknown";
+}
+
+BrokerService::BrokerService(Kernel* kernel, SiteId site, std::string agent_name)
+    : kernel_(kernel), site_(site), agent_name_(std::move(agent_name)) {}
+
+void BrokerService::Install() {
+  BrokerService* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    if (place.site() != self->site_) {
+      return;
+    }
+    place.RegisterAgent(self->agent_name_, [self](Place& at, Briefcase& bc) {
+      return self->OnMeet(at, bc);
+    });
+  });
+}
+
+void BrokerService::AddPeer(SiteId peer_site) { peers_.push_back(peer_site); }
+
+void BrokerService::StartGossip(SimTime period) {
+  if (gossiping_ || peers_.empty()) {
+    return;
+  }
+  gossiping_ = true;
+  // Self-rescheduling gossip tick; rounds are skipped while the broker site
+  // is down (the service object survives the crash, the agent does not).
+  StartGossipTickChain(period);
+}
+
+void BrokerService::StartGossipTickChain(SimTime period) {
+  GossipOnce();
+  kernel_->sim().After(period, [this, period] { StartGossipTickChain(period); });
+}
+
+void BrokerService::GossipOnce() {
+  if (kernel_->place(site_) == nullptr) {
+    return;  // Our site is down this round.
+  }
+  ++stats_.gossip_rounds;
+  Bytes db = SerializeDb();
+  for (SiteId peer : peers_) {
+    Briefcase bc;
+    bc.SetString("OP", "sync");
+    bc.folder("ENTRIES").PushBack(db);
+    (void)kernel_->TransferAgent(site_, peer, agent_name_, bc);
+  }
+}
+
+Bytes BrokerService::SerializeDb() const {
+  Encoder enc;
+  size_t count = 0;
+  for (const auto& [service, providers] : db_) {
+    count += providers.size();
+  }
+  enc.PutVarint(count);
+  for (const auto& [service, providers] : db_) {
+    for (const ProviderInfo& p : providers) {
+      enc.PutString(p.service);
+      enc.PutString(p.site);
+      enc.PutString(p.agent);
+      enc.PutU64(static_cast<uint64_t>(p.capacity * 1000.0));
+      enc.PutU64(p.load);
+      enc.PutU64(p.updated);
+    }
+  }
+  return enc.Take();
+}
+
+void BrokerService::MergeDb(const Bytes& data) {
+  Decoder dec(data);
+  uint64_t count = 0;
+  if (!dec.GetVarint(&count)) {
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ProviderInfo p;
+    uint64_t capacity_milli = 0;
+    if (!dec.GetString(&p.service) || !dec.GetString(&p.site) ||
+        !dec.GetString(&p.agent) || !dec.GetU64(&capacity_milli) ||
+        !dec.GetU64(&p.load) || !dec.GetU64(&p.updated)) {
+      return;
+    }
+    p.capacity = static_cast<double>(capacity_milli) / 1000.0;
+
+    auto& providers = db_[p.service];
+    auto existing = std::find_if(providers.begin(), providers.end(),
+                                 [&p](const ProviderInfo& e) {
+                                   return e.site == p.site && e.agent == p.agent;
+                                 });
+    if (existing == providers.end()) {
+      providers.push_back(p);
+      ++stats_.gossip_merges;
+    } else if (p.updated > existing->updated) {
+      *existing = p;
+      ++stats_.gossip_merges;
+    }
+  }
+}
+
+void BrokerService::Register(ProviderInfo info) {
+  info.updated = kernel_->sim().Now();
+  auto& providers = db_[info.service];
+  auto existing =
+      std::find_if(providers.begin(), providers.end(), [&info](const ProviderInfo& e) {
+        return e.site == info.site && e.agent == info.agent;
+      });
+  if (existing == providers.end()) {
+    providers.push_back(std::move(info));
+  } else {
+    *existing = std::move(info);
+  }
+  ++stats_.registers;
+}
+
+void BrokerService::Report(const std::string& site, uint64_t load) {
+  SimTime now = kernel_->sim().Now();
+  for (auto& [service, providers] : db_) {
+    for (ProviderInfo& p : providers) {
+      if (p.site == site) {
+        p.load = load;
+        p.updated = now;
+      }
+    }
+  }
+  ++stats_.reports;
+}
+
+Result<ProviderInfo> BrokerService::Find(const std::string& service, Policy policy) {
+  ++stats_.finds;
+  auto it = db_.find(service);
+  if (it == db_.end() || it->second.empty()) {
+    return NotFoundError("no provider for service \"" + service + "\"");
+  }
+  std::vector<ProviderInfo>& providers = it->second;
+
+  Place* here = kernel_->place(site_);
+  Rng* rng = here != nullptr ? &here->rng() : &kernel_->rng();
+
+  switch (policy) {
+    case Policy::kRandom:
+      return providers[rng->Uniform(providers.size())];
+    case Policy::kRoundRobin:
+      return providers[round_robin_++ % providers.size()];
+    case Policy::kLeastLoaded: {
+      const ProviderInfo* best = &providers[0];
+      for (const ProviderInfo& p : providers) {
+        if (p.load < best->load ||
+            (p.load == best->load && p.capacity > best->capacity)) {
+          best = &p;
+        }
+      }
+      return *best;
+    }
+    case Policy::kWeightedCapacity: {
+      // Weight ~ capacity / (1 + load): fast, idle machines win.
+      double total = 0;
+      for (const ProviderInfo& p : providers) {
+        total += p.capacity / (1.0 + static_cast<double>(p.load));
+      }
+      double pick = rng->UniformDouble() * total;
+      for (const ProviderInfo& p : providers) {
+        pick -= p.capacity / (1.0 + static_cast<double>(p.load));
+        if (pick <= 0) {
+          return p;
+        }
+      }
+      return providers.back();
+    }
+  }
+  return InternalError("unreachable policy");
+}
+
+void BrokerService::Protect(const std::string& public_name,
+                            const std::string& secret_name) {
+  protected_[public_name] = secret_name;
+}
+
+void BrokerService::QueueMeetingRequest(const std::string& public_name,
+                                        Bytes briefcase) {
+  meeting_queues_[public_name].push_back(std::move(briefcase));
+  ++stats_.meeting_requests;
+}
+
+Result<std::vector<Bytes>> BrokerService::CollectMeetingRequests(
+    const std::string& secret_name) {
+  for (const auto& [public_name, secret] : protected_) {
+    if (secret == secret_name) {
+      ++stats_.meeting_collections;
+      auto queue = meeting_queues_.find(public_name);
+      if (queue == meeting_queues_.end()) {
+        return std::vector<Bytes>{};
+      }
+      std::vector<Bytes> out = std::move(queue->second);
+      meeting_queues_.erase(queue);
+      return out;
+    }
+  }
+  return PermissionDeniedError("no protected agent with that secret name");
+}
+
+const std::vector<ProviderInfo>* BrokerService::providers(
+    const std::string& service) const {
+  auto it = db_.find(service);
+  return it == db_.end() ? nullptr : &it->second;
+}
+
+size_t BrokerService::provider_count() const {
+  size_t count = 0;
+  for (const auto& [service, providers] : db_) {
+    count += providers.size();
+  }
+  return count;
+}
+
+Status BrokerService::OnMeet(Place& place, Briefcase& bc) {
+  (void)place;
+  auto op = bc.GetString("OP").value_or("");
+
+  if (op == "register") {
+    ProviderInfo info;
+    info.service = bc.GetString("SERVICE").value_or("");
+    info.site = bc.GetString("PROVIDER_SITE").value_or("");
+    info.agent = bc.GetString("PROVIDER_AGENT").value_or("");
+    auto capacity = tacl::ParseDouble(bc.GetString("CAPACITY").value_or("1.0"));
+    info.capacity = capacity.value_or(1.0);
+    if (info.service.empty() || info.site.empty() || info.agent.empty()) {
+      bc.SetString("STATUS", "bad register request");
+      return InvalidArgumentError("broker: bad register request");
+    }
+    Register(std::move(info));
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "report") {
+    auto load = tacl::ParseInt(bc.GetString("LOAD").value_or(""));
+    auto reporter = bc.GetString("SITE");
+    if (!load.has_value() || !reporter.has_value()) {
+      bc.SetString("STATUS", "bad report");
+      return InvalidArgumentError("broker: bad report");
+    }
+    Report(*reporter, static_cast<uint64_t>(std::max<int64_t>(0, *load)));
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "find") {
+    auto service = bc.GetString("SERVICE");
+    auto policy = ParsePolicy(bc.GetString("POLICY").value_or("least_loaded"));
+    if (!service.has_value() || !policy.ok()) {
+      bc.SetString("STATUS", "bad find request");
+      return InvalidArgumentError("broker: bad find request");
+    }
+    auto provider = Find(*service, *policy);
+    if (!provider.ok()) {
+      bc.SetString("STATUS", std::string(provider.status().message()));
+      return provider.status();
+    }
+    bc.SetString("PROVIDER_SITE", provider->site);
+    bc.SetString("PROVIDER_AGENT", provider->agent);
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "sync") {
+    const Folder* entries = bc.Find("ENTRIES");
+    if (entries != nullptr && !entries->empty()) {
+      MergeDb(*entries->Front());
+    }
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "protect") {
+    auto public_name = bc.GetString("PUBLIC");
+    auto secret_name = bc.GetString("SECRET");
+    if (!public_name || !secret_name) {
+      bc.SetString("STATUS", "bad protect request");
+      return InvalidArgumentError("broker: bad protect request");
+    }
+    Protect(*public_name, *secret_name);
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "request_meeting") {
+    auto public_name = bc.GetString("PUBLIC");
+    const Folder* payload = bc.Find("PAYLOAD");
+    if (!public_name || payload == nullptr || payload->empty()) {
+      bc.SetString("STATUS", "bad meeting request");
+      return InvalidArgumentError("broker: bad meeting request");
+    }
+    if (!protected_.contains(*public_name)) {
+      bc.SetString("STATUS", "no such protected agent");
+      return NotFoundError("broker: no such protected agent");
+    }
+    QueueMeetingRequest(*public_name, *payload->Front());
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  if (op == "collect") {
+    auto secret_name = bc.GetString("SECRET");
+    if (!secret_name) {
+      bc.SetString("STATUS", "bad collect request");
+      return InvalidArgumentError("broker: bad collect request");
+    }
+    auto queued = CollectMeetingRequests(*secret_name);
+    if (!queued.ok()) {
+      bc.SetString("STATUS", std::string(queued.status().message()));
+      return queued.status();
+    }
+    Folder& out = bc.folder("RETRIEVED");
+    out.Clear();
+    for (Bytes& b : *queued) {
+      out.PushBack(std::move(b));
+    }
+    bc.SetString("STATUS", "ok");
+    return OkStatus();
+  }
+
+  bc.SetString("STATUS", "unknown OP");
+  return InvalidArgumentError("broker: unknown OP \"" + op + "\"");
+}
+
+}  // namespace tacoma::sched

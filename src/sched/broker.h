@@ -1,0 +1,101 @@
+// Broker agents (§4).
+//
+// "Scheduling is implemented by broker agents, which are ordinary agents
+// whose names are well known.  Some broker agents maintain databases of
+// service providers; these brokers serve as matchmakers. ... Brokers are
+// expected to communicate among themselves and with the service providers,
+// so that requests can be distributed amongst service providers based on
+// load and capacity."
+//
+// Also implements §4's protected agents: "the broker ... provides the only
+// way to meet with the protected agent ... the broker maintains a folder for
+// each agent that has requested a meeting ... possible only because folders
+// are uninterpreted and typeless and, therefore, can themselves store agents
+// and sets of folders."  Meeting-request briefcases are serialized into the
+// broker's queue folders byte-for-byte.
+#ifndef TACOMA_SCHED_BROKER_H_
+#define TACOMA_SCHED_BROKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace tacoma::sched {
+
+enum class Policy { kRandom, kRoundRobin, kLeastLoaded, kWeightedCapacity };
+
+Result<Policy> ParsePolicy(const std::string& name);
+std::string_view PolicyName(Policy policy);
+
+struct ProviderInfo {
+  std::string service;
+  std::string site;    // Site name.
+  std::string agent;   // Resident agent name at that site.
+  double capacity = 1.0;
+  uint64_t load = 0;   // Last reported queue length.
+  SimTime updated = 0; // When the load was last reported/merged.
+};
+
+class BrokerService {
+ public:
+  struct Stats {
+    uint64_t registers = 0;
+    uint64_t reports = 0;
+    uint64_t finds = 0;
+    uint64_t gossip_rounds = 0;
+    uint64_t gossip_merges = 0;
+    uint64_t meeting_requests = 0;
+    uint64_t meeting_collections = 0;
+  };
+
+  BrokerService(Kernel* kernel, SiteId site, std::string agent_name = "broker");
+
+  // Registers the resident agent (re-registered across restarts).
+  void Install();
+
+  // Adds a gossip partner (the broker agent at `peer_site`).
+  void AddPeer(SiteId peer_site);
+  // Starts periodic database exchange with peers.
+  void StartGossip(SimTime period);
+
+  // --- Direct API (the meet handler forwards to these) -------------------------
+
+  void Register(ProviderInfo info);
+  // Updates the load of every provider registered at `site`.
+  void Report(const std::string& site, uint64_t load);
+  Result<ProviderInfo> Find(const std::string& service, Policy policy);
+
+  void Protect(const std::string& public_name, const std::string& secret_name);
+  void QueueMeetingRequest(const std::string& public_name, Bytes briefcase);
+  // The protected agent presents its secret name and drains its queue.
+  Result<std::vector<Bytes>> CollectMeetingRequests(const std::string& secret_name);
+
+  const std::vector<ProviderInfo>* providers(const std::string& service) const;
+  size_t provider_count() const;
+  const Stats& stats() const { return stats_; }
+  SiteId site() const { return site_; }
+
+ private:
+  Status OnMeet(Place& place, Briefcase& bc);
+  void GossipOnce();
+  void StartGossipTickChain(SimTime period);
+  Bytes SerializeDb() const;
+  void MergeDb(const Bytes& data);
+
+  Kernel* kernel_;
+  SiteId site_;
+  std::string agent_name_;
+  std::map<std::string, std::vector<ProviderInfo>> db_;   // By service.
+  std::map<std::string, std::string> protected_;          // public -> secret.
+  std::map<std::string, std::vector<Bytes>> meeting_queues_;
+  std::vector<SiteId> peers_;
+  size_t round_robin_ = 0;
+  bool gossiping_ = false;
+  Stats stats_;
+};
+
+}  // namespace tacoma::sched
+
+#endif  // TACOMA_SCHED_BROKER_H_

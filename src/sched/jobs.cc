@@ -1,0 +1,82 @@
+#include "sched/jobs.h"
+
+#include "sched/ticket.h"
+#include "tacl/list.h"
+
+namespace tacoma::sched {
+
+JobServer::JobServer(Kernel* kernel, SiteId site, std::string agent_name, double speed)
+    : kernel_(kernel), site_(site), agent_name_(std::move(agent_name)), speed_(speed) {}
+
+void JobServer::Install() {
+  JobServer* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    if (place.site() != self->site_) {
+      return;
+    }
+    place.RegisterAgent(self->agent_name_, [self](Place& at, Briefcase& bc) {
+      return self->OnJob(at, bc);
+    });
+  });
+}
+
+void JobServer::RequireTickets(const TicketService* tickets) { tickets_ = tickets; }
+
+Status JobServer::OnJob(Place& place, Briefcase& bc) {
+  auto duration_str = bc.GetString("DURATION");
+  auto duration = duration_str ? tacl::ParseInt(*duration_str) : std::nullopt;
+  if (!duration.has_value() || *duration < 0) {
+    return InvalidArgumentError(agent_name_ + ": bad DURATION");
+  }
+  std::string service = bc.GetString("SERVICE").value_or("");
+
+  if (tickets_ != nullptr) {
+    const Folder* tf = bc.Find("TICKET");
+    auto ticket = (tf != nullptr && !tf->empty()) ? Ticket::Deserialize(*tf->Front())
+                                                  : DataLossError("no ticket");
+    if (!ticket.ok() || !tickets_->Verify(*ticket, service)) {
+      ++stats_.rejected_no_ticket;
+      return PermissionDeniedError(agent_name_ + ": missing or invalid ticket");
+    }
+  }
+
+  ++stats_.accepted;
+  ++queue_length_;
+
+  SimTime now = kernel_->sim().Now();
+  SimTime service_time = static_cast<SimTime>(static_cast<double>(*duration) / speed_);
+  SimTime start = std::max(now, busy_until_);
+  SimTime finish = start + service_time;
+  busy_until_ = finish;
+  stats_.busy_time += service_time;
+
+  std::string job_id = bc.GetString("JOBID").value_or("");
+  std::string reply_host = bc.GetString("REPLY_HOST").value_or("");
+  std::string reply_contact = bc.GetString("REPLY_CONTACT").value_or("");
+  SiteId site = place.site();
+  Kernel* kernel = kernel_;
+  JobServer* self = this;
+
+  kernel_->sim().At(finish, [self, kernel, site, job_id, reply_host, reply_contact] {
+    if (self->queue_length_ > 0) {
+      --self->queue_length_;
+    }
+    ++self->stats_.completed;
+    if (reply_host.empty() || reply_contact.empty()) {
+      return;
+    }
+    auto destination = kernel->net().FindSite(reply_host);
+    if (!destination.has_value()) {
+      return;
+    }
+    Briefcase done;
+    done.SetString("MSG", "done");
+    done.SetString("JOBID", job_id);
+    done.SetString("WORKER", kernel->net().site_name(site));
+    // The send fails harmlessly if this site crashed in the meantime.
+    (void)kernel->TransferAgent(site, *destination, reply_contact, done);
+  });
+  return OkStatus();
+}
+
+}  // namespace tacoma::sched

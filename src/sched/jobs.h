@@ -1,0 +1,66 @@
+// JobServer — a service provider that does simulated work.
+//
+// Scheduling (§4) is about matching agents to providers "based on load and
+// capacity", which only means something if work takes time.  A JobServer is a
+// resident agent that queues jobs and serves them one at a time at its site's
+// speed; its queue length is the "load" monitors report to brokers.
+//
+// Meet protocol (folders):
+//   JOBID          caller-chosen id
+//   SERVICE        service name (informational)
+//   DURATION       nominal work in simulated microseconds
+//   REPLY_HOST / REPLY_CONTACT   where to send the DONE notice (optional)
+//   TICKET         required when the server was configured to demand tickets
+#ifndef TACOMA_SCHED_JOBS_H_
+#define TACOMA_SCHED_JOBS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/kernel.h"
+
+namespace tacoma::sched {
+
+class TicketService;
+
+class JobServer {
+ public:
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected_no_ticket = 0;
+    SimTime busy_time = 0;  // Total time spent serving.
+  };
+
+  // `speed` scales service time: a job of DURATION d takes d/speed.
+  JobServer(Kernel* kernel, SiteId site, std::string agent_name, double speed);
+
+  // Registers the resident agent (and re-registers across restarts).
+  void Install();
+
+  // Demands a valid ticket (verified against `tickets`) on every job.
+  void RequireTickets(const TicketService* tickets);
+
+  // Load = queued + running jobs right now.
+  size_t QueueLength() const { return queue_length_; }
+  double speed() const { return speed_; }
+  SiteId site() const { return site_; }
+  const std::string& agent_name() const { return agent_name_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status OnJob(Place& place, Briefcase& bc);
+
+  Kernel* kernel_;
+  SiteId site_;
+  std::string agent_name_;
+  double speed_;
+  const TicketService* tickets_ = nullptr;
+  size_t queue_length_ = 0;
+  SimTime busy_until_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tacoma::sched
+
+#endif  // TACOMA_SCHED_JOBS_H_

@@ -1,0 +1,129 @@
+#include "sched/loadgen.h"
+
+#include "tacl/list.h"
+#include "util/log.h"
+
+namespace tacoma::sched {
+
+LoadGenerator::LoadGenerator(Kernel* kernel, LoadGenOptions options,
+                             std::vector<ProviderInfo> direct_providers)
+    : kernel_(kernel),
+      options_(std::move(options)),
+      direct_providers_(std::move(direct_providers)) {}
+
+void LoadGenerator::Start() {
+  if (!installed_) {
+    installed_ = true;
+    LoadGenerator* self = this;
+    kernel_->AddPlaceInitializer([self](Place& place) {
+      if (place.site() != self->options_.client_site) {
+        return;
+      }
+      place.RegisterAgent(self->options_.client_agent,
+                          [self](Place& at, Briefcase& bc) {
+                            return self->OnClientMessage(at, bc);
+                          });
+    });
+  }
+  jobs_.assign(options_.job_count, JobStat{});
+  for (size_t i = 0; i < options_.job_count; ++i) {
+    kernel_->sim().After(options_.inter_arrival_us * (i + 1), [this, i] { Submit(i); });
+  }
+}
+
+void LoadGenerator::Submit(size_t index) {
+  jobs_[index].submitted = kernel_->sim().Now();
+
+  if (!options_.use_broker) {
+    if (direct_providers_.empty()) {
+      return;
+    }
+    Place* here = kernel_->place(options_.client_site);
+    Rng& rng = here != nullptr ? here->rng() : kernel_->rng();
+    const ProviderInfo& pick = direct_providers_[rng.Uniform(direct_providers_.size())];
+    Dispatch(index, pick.site, pick.agent);
+    return;
+  }
+
+  Briefcase find;
+  find.SetString("TARGET", "broker");
+  find.SetString("REPLY_HOST", kernel_->net().site_name(options_.client_site));
+  find.SetString("REPLY_CONTACT", options_.client_agent);
+  find.SetString("OP", "find");
+  find.SetString("SERVICE", options_.service);
+  find.SetString("POLICY", std::string(PolicyName(options_.policy)));
+  find.SetString("JOBID", std::to_string(index));
+  Status sent = kernel_->TransferAgent(options_.client_site, options_.broker_site,
+                                       "relay", find);
+  if (!sent.ok()) {
+    TLOG_DEBUG << "loadgen: find failed: " << sent.ToString();
+  }
+}
+
+void LoadGenerator::Dispatch(size_t index, const std::string& provider_site,
+                             const std::string& provider_agent) {
+  auto destination = kernel_->net().FindSite(provider_site);
+  if (!destination.has_value()) {
+    return;
+  }
+  jobs_[index].dispatched = kernel_->sim().Now();
+  jobs_[index].worker = provider_site;
+
+  Briefcase job;
+  job.SetString("JOBID", std::to_string(index));
+  job.SetString("SERVICE", options_.service);
+  job.SetString("DURATION", std::to_string(options_.job_duration_us));
+  job.SetString("REPLY_HOST", kernel_->net().site_name(options_.client_site));
+  job.SetString("REPLY_CONTACT", options_.client_agent);
+  Status sent = kernel_->TransferAgent(options_.client_site, *destination,
+                                       provider_agent, job);
+  if (!sent.ok()) {
+    TLOG_DEBUG << "loadgen: dispatch failed: " << sent.ToString();
+  }
+}
+
+Status LoadGenerator::OnClientMessage(Place& place, Briefcase& bc) {
+  (void)place;
+  auto job_id = tacl::ParseInt(bc.GetString("JOBID").value_or(""));
+  if (!job_id.has_value() || *job_id < 0 ||
+      static_cast<size_t>(*job_id) >= jobs_.size()) {
+    return InvalidArgumentError("client: bad JOBID");
+  }
+  size_t index = static_cast<size_t>(*job_id);
+
+  if (bc.GetString("MSG").value_or("") == "done") {
+    jobs_[index].done = true;
+    jobs_[index].completed = kernel_->sim().Now();
+    return OkStatus();
+  }
+
+  // Otherwise this is a broker find reply.
+  if (bc.GetString("STATUS").value_or("") != "ok") {
+    return UnavailableError("client: broker had no provider");
+  }
+  Dispatch(index, bc.GetString("PROVIDER_SITE").value_or(""),
+           bc.GetString("PROVIDER_AGENT").value_or(""));
+  return OkStatus();
+}
+
+size_t LoadGenerator::completed() const {
+  size_t count = 0;
+  for (const JobStat& j : jobs_) {
+    if (j.done) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<SimTime> LoadGenerator::Latencies() const {
+  std::vector<SimTime> out;
+  for (const JobStat& j : jobs_) {
+    if (j.done) {
+      out.push_back(j.completed - j.submitted);
+    }
+  }
+  return out;
+}
+
+}  // namespace tacoma::sched

@@ -1,0 +1,67 @@
+// Load generator for the scheduling experiments (E7) and tests.
+//
+// Submits a stream of jobs from a client site.  With a broker: each job first
+// asks the broker (via relay) for a provider under the chosen policy, then
+// dispatches to it.  Without: picks uniformly from a static provider list —
+// the "no scheduling service" baseline.
+#ifndef TACOMA_SCHED_LOADGEN_H_
+#define TACOMA_SCHED_LOADGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "sched/broker.h"
+
+namespace tacoma::sched {
+
+struct LoadGenOptions {
+  SiteId client_site = 0;
+  SiteId broker_site = 0;
+  bool use_broker = true;
+  Policy policy = Policy::kLeastLoaded;
+  std::string service = "compute";
+  size_t job_count = 100;
+  uint64_t job_duration_us = 10 * kMillisecond;
+  SimTime inter_arrival_us = 5 * kMillisecond;
+  std::string client_agent = "client";
+};
+
+struct JobStat {
+  SimTime submitted = 0;
+  SimTime dispatched = 0;   // Provider chosen, job sent.
+  SimTime completed = 0;
+  std::string worker;
+  bool done = false;
+};
+
+class LoadGenerator {
+ public:
+  // `direct_providers` is the fallback pool for use_broker == false.
+  LoadGenerator(Kernel* kernel, LoadGenOptions options,
+                std::vector<ProviderInfo> direct_providers = {});
+
+  // Registers the client resident and schedules all submissions.
+  void Start();
+
+  size_t completed() const;
+  const std::vector<JobStat>& jobs() const { return jobs_; }
+  // Completion latencies (submit -> done), only for finished jobs.
+  std::vector<SimTime> Latencies() const;
+
+ private:
+  void Submit(size_t index);
+  void Dispatch(size_t index, const std::string& provider_site,
+                const std::string& provider_agent);
+  Status OnClientMessage(Place& place, Briefcase& bc);
+
+  Kernel* kernel_;
+  LoadGenOptions options_;
+  std::vector<ProviderInfo> direct_providers_;
+  std::vector<JobStat> jobs_;
+  bool installed_ = false;
+};
+
+}  // namespace tacoma::sched
+
+#endif  // TACOMA_SCHED_LOADGEN_H_

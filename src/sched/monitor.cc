@@ -1,0 +1,36 @@
+#include "sched/monitor.h"
+
+namespace tacoma::sched {
+
+Monitor::Monitor(Kernel* kernel, const JobServer* server,
+                 std::vector<SiteId> broker_sites, SimTime period)
+    : kernel_(kernel),
+      server_(server),
+      broker_sites_(std::move(broker_sites)),
+      period_(period) {}
+
+void Monitor::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  Tick();
+}
+
+void Monitor::Tick() {
+  SiteId site = server_->site();
+  if (kernel_->place(site) != nullptr) {
+    Briefcase report;
+    report.SetString("OP", "report");
+    report.SetString("SITE", kernel_->net().site_name(site));
+    report.SetString("LOAD", std::to_string(server_->QueueLength()));
+    for (SiteId broker : broker_sites_) {
+      if (kernel_->TransferAgent(site, broker, "broker", report).ok()) {
+        ++reports_sent_;
+      }
+    }
+  }
+  kernel_->sim().After(period_, [this] { Tick(); });
+}
+
+}  // namespace tacoma::sched

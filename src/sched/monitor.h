@@ -1,0 +1,40 @@
+// Site monitor agent (§4/§6).
+//
+// The prototype's scheduling service uses an agent that is "responsible for
+// monitoring the status of a site and reporting that to the brokers".  A
+// Monitor samples its JobServer's queue length on a fixed period and couriers
+// a load report to every broker it knows.
+#ifndef TACOMA_SCHED_MONITOR_H_
+#define TACOMA_SCHED_MONITOR_H_
+
+#include <vector>
+
+#include "core/kernel.h"
+#include "sched/jobs.h"
+
+namespace tacoma::sched {
+
+class Monitor {
+ public:
+  Monitor(Kernel* kernel, const JobServer* server, std::vector<SiteId> broker_sites,
+          SimTime period);
+
+  // Begins the periodic reporting loop.
+  void Start();
+
+  uint64_t reports_sent() const { return reports_sent_; }
+
+ private:
+  void Tick();
+
+  Kernel* kernel_;
+  const JobServer* server_;
+  std::vector<SiteId> broker_sites_;
+  SimTime period_;
+  bool started_ = false;
+  uint64_t reports_sent_ = 0;
+};
+
+}  // namespace tacoma::sched
+
+#endif  // TACOMA_SCHED_MONITOR_H_

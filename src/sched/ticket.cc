@@ -1,0 +1,106 @@
+#include "sched/ticket.h"
+
+#include "serial/encoder.h"
+#include "tacl/list.h"
+
+namespace tacoma::sched {
+
+Bytes Ticket::SignedPayload() const {
+  Encoder enc;
+  enc.PutString(service);
+  enc.PutString(holder);
+  enc.PutU64(expires_us);
+  return enc.Take();
+}
+
+Bytes Ticket::Serialize() const {
+  Encoder enc;
+  enc.PutString(service);
+  enc.PutString(holder);
+  enc.PutU64(expires_us);
+  enc.PutBytes(signature.Serialize());
+  return enc.Take();
+}
+
+Result<Ticket> Ticket::Deserialize(const Bytes& data) {
+  Decoder dec(data);
+  Ticket t;
+  Bytes sig;
+  if (!dec.GetString(&t.service) || !dec.GetString(&t.holder) ||
+      !dec.GetU64(&t.expires_us) || !dec.GetBytes(&sig) || !dec.Done()) {
+    return DataLossError("malformed ticket");
+  }
+  auto signature = Signature::Deserialize(sig);
+  if (!signature.ok()) {
+    return signature.status();
+  }
+  t.signature = std::move(signature).value();
+  return t;
+}
+
+Ticket TicketService::Issue(const std::string& service, const std::string& holder,
+                            SimTime lifetime_us) const {
+  Ticket t;
+  t.service = service;
+  t.holder = holder;
+  t.expires_us = kernel_->sim().Now() + lifetime_us;
+  t.signature = authority_->Sign(kTicketPrincipal, t.SignedPayload());
+  return t;
+}
+
+bool TicketService::Verify(const Ticket& ticket, const std::string& service) const {
+  if (ticket.service != service) {
+    return false;
+  }
+  if (ticket.expires_us < kernel_->sim().Now()) {
+    return false;
+  }
+  if (ticket.signature.principal != kTicketPrincipal) {
+    return false;
+  }
+  return authority_->Verify(ticket.signature, ticket.SignedPayload());
+}
+
+void TicketService::Install(SiteId site) const {
+  const TicketService* self = this;
+  kernel_->AddPlaceInitializer([site, self](Place& place) {
+    if (place.site() != site) {
+      return;
+    }
+    place.RegisterAgent("ticket", [self](Place&, Briefcase& bc) -> Status {
+      auto op = bc.GetString("OP").value_or("");
+      if (op == "issue") {
+        auto service = bc.GetString("SERVICE");
+        auto holder = bc.GetString("HOLDER");
+        auto lifetime = bc.GetString("LIFETIME");
+        int64_t lifetime_us =
+            lifetime ? tacl::ParseInt(*lifetime).value_or(0) : 0;
+        if (!service || !holder || lifetime_us <= 0) {
+          bc.SetString("STATUS", "bad issue request");
+          return InvalidArgumentError("ticket: bad issue request");
+        }
+        Ticket t = self->Issue(*service, *holder, static_cast<SimTime>(lifetime_us));
+        bc.folder("TICKET").Clear();
+        bc.folder("TICKET").PushBack(t.Serialize());
+        bc.SetString("STATUS", "ok");
+        return OkStatus();
+      }
+      if (op == "verify") {
+        auto service = bc.GetString("SERVICE");
+        const Folder* tf = bc.Find("TICKET");
+        if (!service || tf == nullptr || tf->empty()) {
+          bc.SetString("STATUS", "bad verify request");
+          return InvalidArgumentError("ticket: bad verify request");
+        }
+        auto ticket = Ticket::Deserialize(*tf->Front());
+        bool ok = ticket.ok() && self->Verify(*ticket, *service);
+        bc.SetString("STATUS", ok ? "ok" : "invalid");
+        return OkStatus();
+      }
+      bc.SetString("STATUS", "unknown OP");
+      return InvalidArgumentError("ticket: unknown OP \"" + op + "\"");
+    });
+  });
+}
+
+}  // namespace tacoma::sched

@@ -1,0 +1,56 @@
+// Tickets — access capabilities for scheduled services.
+//
+// The paper's prototype scheduling service uses four agents, one of which
+// "issues tickets to allow access to the service" (§4/§6).  A ticket is a
+// signed {service, holder, expiry} triple; providers configured to demand
+// tickets verify them before serving.
+#ifndef TACOMA_SCHED_TICKET_H_
+#define TACOMA_SCHED_TICKET_H_
+
+#include <string>
+
+#include "core/kernel.h"
+#include "crypto/authority.h"
+
+namespace tacoma::sched {
+
+inline constexpr char kTicketPrincipal[] = "ticket-agent";
+
+struct Ticket {
+  std::string service;
+  std::string holder;
+  uint64_t expires_us = 0;
+  Signature signature;
+
+  Bytes SignedPayload() const;
+  Bytes Serialize() const;
+  static Result<Ticket> Deserialize(const Bytes& data);
+};
+
+class TicketService {
+ public:
+  TicketService(Kernel* kernel, SignatureAuthority* authority)
+      : kernel_(kernel), authority_(authority) {
+    authority_->Enroll(kTicketPrincipal);
+  }
+
+  // Issues a ticket valid for `lifetime_us` of simulated time.
+  Ticket Issue(const std::string& service, const std::string& holder,
+               SimTime lifetime_us) const;
+
+  // Signature valid, service matches, not expired.
+  bool Verify(const Ticket& ticket, const std::string& service) const;
+
+  // Installs resident agent "ticket" at `site`:
+  //   OP "issue": SERVICE, HOLDER, LIFETIME -> TICKET, STATUS
+  //   OP "verify": SERVICE, TICKET -> STATUS ("ok"/"invalid")
+  void Install(SiteId site) const;
+
+ private:
+  Kernel* kernel_;
+  SignatureAuthority* authority_;
+};
+
+}  // namespace tacoma::sched
+
+#endif  // TACOMA_SCHED_TICKET_H_

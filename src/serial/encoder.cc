@@ -1,0 +1,138 @@
+#include "serial/encoder.h"
+
+#include <cstring>
+
+namespace tacoma {
+
+void Encoder::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutSignedVarint(int64_t v) {
+  uint64_t zigzag = (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint(zigzag);
+}
+
+void Encoder::PutBytes(const Bytes& b) {
+  PutVarint(b.size());
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Encoder::PutRaw(const uint8_t* data, size_t len) {
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+bool Decoder::GetU8(uint8_t* v) {
+  if (!ok_ || size_ - pos_ < 1) {
+    return Fail();
+  }
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Decoder::GetU32(uint32_t* v) {
+  if (!ok_ || size_ - pos_ < 4) {
+    return Fail();
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Decoder::GetU64(uint64_t* v) {
+  if (!ok_ || size_ - pos_ < 8) {
+    return Fail();
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Decoder::GetVarint(uint64_t* v) {
+  if (!ok_) {
+    return false;
+  }
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_ || shift > 63) {
+      return Fail();
+    }
+    uint8_t byte = data_[pos_++];
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  *v = out;
+  return true;
+}
+
+bool Decoder::GetSignedVarint(int64_t* v) {
+  uint64_t zigzag;
+  if (!GetVarint(&zigzag)) {
+    return false;
+  }
+  *v = static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  return true;
+}
+
+bool Decoder::GetBytes(Bytes* b) {
+  uint64_t len;
+  if (!GetVarint(&len)) {
+    return false;
+  }
+  if (size_ - pos_ < len) {
+    return Fail();
+  }
+  b->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return true;
+}
+
+bool Decoder::GetString(std::string* s) {
+  uint64_t len;
+  if (!GetVarint(&len)) {
+    return false;
+  }
+  if (size_ - pos_ < len) {
+    return Fail();
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace tacoma

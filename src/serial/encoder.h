@@ -1,0 +1,86 @@
+// Flat byte-stream serialization.
+//
+// The paper (§2) requires that folders and briefcases be cheap to move between
+// sites: the wire format is therefore a flat, index-free stream — varint
+// lengths and raw bytes, nothing else.  The same format is reused for agent
+// transfers (rexec), courier payloads, and file-cabinet persistence, so the
+// bytes counted by the network simulator are exactly the bytes this encoder
+// produces.
+#ifndef TACOMA_SERIAL_ENCODER_H_
+#define TACOMA_SERIAL_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace tacoma {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  // Fixed-width little-endian primitives.
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+
+  // LEB128 variable-length unsigned integer.
+  void PutVarint(uint64_t v);
+
+  // Signed variant (zig-zag encoded).
+  void PutSignedVarint(int64_t v);
+
+  // Length-prefixed byte string.
+  void PutBytes(const Bytes& b);
+  void PutString(std::string_view s);
+
+  // Raw bytes, no length prefix (caller knows the framing).
+  void PutRaw(const uint8_t* data, size_t len);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+// Sequential decoder over a byte buffer.  All getters return false (and leave
+// the output untouched) on truncated or malformed input; once a decode fails
+// the decoder is poisoned and every later call fails too, so call sites can
+// check once at the end.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& buffer) : data_(buffer.data()), size_(buffer.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetVarint(uint64_t* v);
+  bool GetSignedVarint(int64_t* v);
+  bool GetBytes(Bytes* b);
+  bool GetString(std::string* s);
+
+  // True when the whole buffer was consumed and no decode failed.
+  bool Done() const { return ok_ && pos_ == size_; }
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_SERIAL_ENCODER_H_

@@ -1,0 +1,250 @@
+#include "sim/network.h"
+
+#include <deque>
+
+namespace tacoma {
+
+SiteId Network::AddSite(std::string name) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(Site{std::move(name), /*up=*/true, nullptr, nullptr, 0});
+  adjacency_[id];  // Ensure the entry exists.
+  return id;
+}
+
+void Network::AddLink(SiteId a, SiteId b, LinkParams params) {
+  if (a == b || a >= sites_.size() || b >= sites_.size()) {
+    return;
+  }
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto [it, inserted] = links_.try_emplace({x, y});
+    it->second.params = params;
+    it->second.up = true;
+    if (inserted) {
+      adjacency_[x].push_back(y);
+    }
+  }
+  if (topology_hook_) {
+    topology_hook_(a, b);
+  }
+}
+
+std::optional<SiteId> Network::FindSite(const std::string& name) const {
+  for (SiteId i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void Network::SetHandler(SiteId site, Handler handler) {
+  sites_[site].handler = std::move(handler);
+}
+
+void Network::SetRestartHook(SiteId site, RestartHook hook) {
+  sites_[site].restart_hook = std::move(hook);
+}
+
+Network::Link* Network::FindLink(SiteId a, SiteId b) {
+  auto it = links_.find({a, b});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const Network::Link* Network::FindLink(SiteId a, SiteId b) const {
+  auto it = links_.find({a, b});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+SiteId Network::NextHop(SiteId at, SiteId to) const {
+  if (at == to) {
+    return to;
+  }
+  // BFS over up sites and links; returns the first hop of a shortest path.
+  std::vector<SiteId> parent(sites_.size(), kInvalidSite);
+  std::deque<SiteId> frontier{at};
+  parent[at] = at;
+  while (!frontier.empty()) {
+    SiteId cur = frontier.front();
+    frontier.pop_front();
+    auto adj = adjacency_.find(cur);
+    if (adj == adjacency_.end()) {
+      continue;
+    }
+    for (SiteId next : adj->second) {
+      if (parent[next] != kInvalidSite || !sites_[next].up) {
+        continue;
+      }
+      const Link* link = FindLink(cur, next);
+      if (link == nullptr || !link->up) {
+        continue;
+      }
+      parent[next] = cur;
+      if (next == to) {
+        // Walk back to find the first hop from `at`.
+        SiteId hop = to;
+        while (parent[hop] != at) {
+          hop = parent[hop];
+        }
+        return hop;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return kInvalidSite;
+}
+
+std::optional<size_t> Network::HopCount(SiteId from, SiteId to) const {
+  if (from == to) {
+    return 0;
+  }
+  std::vector<int> dist(sites_.size(), -1);
+  std::deque<SiteId> frontier{from};
+  dist[from] = 0;
+  while (!frontier.empty()) {
+    SiteId cur = frontier.front();
+    frontier.pop_front();
+    auto adj = adjacency_.find(cur);
+    if (adj == adjacency_.end()) {
+      continue;
+    }
+    for (SiteId next : adj->second) {
+      if (dist[next] >= 0 || !sites_[next].up) {
+        continue;
+      }
+      const Link* link = FindLink(cur, next);
+      if (link == nullptr || !link->up) {
+        continue;
+      }
+      dist[next] = dist[cur] + 1;
+      if (next == to) {
+        return static_cast<size_t>(dist[next]);
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SiteId> Network::Neighbors(SiteId site) const {
+  auto it = adjacency_.find(site);
+  if (it == adjacency_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+Status Network::Send(SiteId from, SiteId to, Bytes payload) {
+  if (from >= sites_.size() || to >= sites_.size()) {
+    return InvalidArgumentError("no such site");
+  }
+  if (!sites_[from].up) {
+    return UnavailableError("source site " + sites_[from].name + " is down");
+  }
+  if (!sites_[to].up) {
+    return UnavailableError("destination site " + sites_[to].name + " is down");
+  }
+  if (from != to && NextHop(from, to) == kInvalidSite) {
+    return UnavailableError("no route from " + sites_[from].name + " to " +
+                            sites_[to].name);
+  }
+  ++stats_.messages_sent;
+  ForwardHop(from, from, to, payload, sites_[to].epoch);
+  return OkStatus();
+}
+
+void Network::ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload,
+                         uint32_t dest_epoch) {
+  if (at == to) {
+    Site& dest = sites_[to];
+    if (!dest.up || dest.epoch != dest_epoch || !dest.handler) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    dest.handler(from, payload);
+    return;
+  }
+
+  SiteId next = NextHop(at, to);
+  if (next == kInvalidSite) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Link* link = FindLink(at, next);
+  if (link == nullptr || !link->up) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  // Store-and-forward with link contention: a transmission starts when the
+  // link frees up, occupies it for size/bandwidth, then propagates.
+  SimTime now = sim_->Now();
+  SimTime start = std::max(now, link->next_free);
+  SimTime tx = payload.empty()
+                   ? 0
+                   : (payload.size() * kSecond + link->params.bandwidth_bps - 1) /
+                         link->params.bandwidth_bps;
+  SimTime arrive = start + tx + link->params.latency;
+  link->next_free = start + tx;
+
+  link->stats.messages += 1;
+  link->stats.bytes += payload.size();
+  stats_.link_traversals += 1;
+  stats_.bytes_on_wire += payload.size();
+
+  sim_->At(arrive, [this, next, from, to, payload, dest_epoch] {
+    if (!sites_[next].up) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ForwardHop(next, from, to, payload, dest_epoch);
+  });
+}
+
+void Network::CrashSite(SiteId site) {
+  if (site >= sites_.size() || !sites_[site].up) {
+    return;
+  }
+  sites_[site].up = false;
+  sites_[site].epoch += 1;
+}
+
+void Network::RestartSite(SiteId site) {
+  if (site >= sites_.size() || sites_[site].up) {
+    return;
+  }
+  sites_[site].up = true;
+  if (sites_[site].restart_hook) {
+    sites_[site].restart_hook(site);
+  }
+}
+
+void Network::CutLink(SiteId a, SiteId b) {
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Link* link = FindLink(x, y)) {
+      link->up = false;
+    }
+  }
+}
+
+void Network::RestoreLink(SiteId a, SiteId b) {
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Link* link = FindLink(x, y)) {
+      link->up = true;
+    }
+  }
+}
+
+void Network::ResetStats() {
+  stats_ = NetworkStats{};
+  for (auto& [key, link] : links_) {
+    link.stats = LinkStats{};
+  }
+}
+
+LinkStats Network::DirectedLinkStats(SiteId a, SiteId b) const {
+  const Link* link = FindLink(a, b);
+  return link == nullptr ? LinkStats{} : link->stats;
+}
+
+}  // namespace tacoma

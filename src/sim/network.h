@@ -1,0 +1,145 @@
+// Simulated network of sites.
+//
+// Substitutes for the paper's physical network of UNIX workstations (Tromsø +
+// Cornell over rsh/TCP/Horus).  The model is store-and-forward: messages are
+// routed hop-by-hop along shortest paths; each link has a propagation latency
+// and a bandwidth, and transmissions queue behind one another on a busy link.
+// Every byte crossing every link is accounted, which is exactly the quantity
+// the paper's bandwidth-conservation claim (§1) is about.
+//
+// Failure injection: sites crash (volatile state lost, queued deliveries to
+// and through them dropped) and restart; links can be cut and restored.  The
+// fault-tolerance experiments (§5, rear guards) drive these hooks.
+#ifndef TACOMA_SIM_NETWORK_H_
+#define TACOMA_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+using SiteId = uint32_t;
+constexpr SiteId kInvalidSite = 0xffffffff;
+
+struct LinkParams {
+  SimTime latency = 1 * kMillisecond;          // Propagation delay per hop.
+  uint64_t bandwidth_bps = 10'000'000;         // Bytes per simulated second.
+};
+
+struct LinkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;      // Send() calls accepted.
+  uint64_t messages_delivered = 0; // Reached their destination handler.
+  uint64_t messages_dropped = 0;   // Lost to site/link failure.
+  uint64_t link_traversals = 0;    // Per-hop transmissions.
+  uint64_t bytes_on_wire = 0;      // Sum over every traversed link.
+};
+
+class Network {
+ public:
+  // Called when a message reaches its destination site.
+  using Handler = std::function<void(SiteId from, const Bytes& payload)>;
+  // Called when a site restarts (so upper layers can run recovery).
+  using RestartHook = std::function<void(SiteId site)>;
+  // Called after a link is added (so upper layers can track adjacency).
+  using TopologyHook = std::function<void(SiteId a, SiteId b)>;
+
+  explicit Network(Simulator* sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Topology -----------------------------------------------------------
+
+  SiteId AddSite(std::string name);
+  // Adds an undirected link (both directions share params but have separate
+  // queues and stats).  Re-adding an existing link updates its params.
+  void AddLink(SiteId a, SiteId b, LinkParams params = LinkParams());
+
+  size_t site_count() const { return sites_.size(); }
+  const std::string& site_name(SiteId id) const { return sites_[id].name; }
+  // Looks a site up by name.
+  std::optional<SiteId> FindSite(const std::string& name) const;
+
+  // --- Messaging ----------------------------------------------------------
+
+  void SetHandler(SiteId site, Handler handler);
+  void SetRestartHook(SiteId site, RestartHook hook);
+  void SetTopologyHook(TopologyHook hook) { topology_hook_ = std::move(hook); }
+
+  // Routes `payload` from `from` to `to` along the current shortest path.
+  // Returns an error if no path exists right now or either endpoint is down;
+  // once accepted, the message can still be silently lost to failures while
+  // in flight (callers needing reliability build timeouts above this, as the
+  // paper's agents do).
+  Status Send(SiteId from, SiteId to, Bytes payload);
+
+  // --- Failure injection ---------------------------------------------------
+
+  void CrashSite(SiteId site);
+  void RestartSite(SiteId site);
+  bool IsUp(SiteId site) const { return sites_[site].up; }
+  void CutLink(SiteId a, SiteId b);
+  void RestoreLink(SiteId a, SiteId b);
+
+  // --- Accounting -----------------------------------------------------------
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats();
+  // Stats for the directed link a->b (zeros if no such link).
+  LinkStats DirectedLinkStats(SiteId a, SiteId b) const;
+
+  // Hop count of the current shortest path, or nullopt if unreachable.
+  std::optional<size_t> HopCount(SiteId from, SiteId to) const;
+
+  // Direct neighbours of `site` (regardless of up/down state).
+  std::vector<SiteId> Neighbors(SiteId site) const;
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct Site {
+    std::string name;
+    bool up = true;
+    Handler handler;
+    RestartHook restart_hook;
+    uint32_t epoch = 0;  // Bumped on crash; stale in-flight hops check this.
+  };
+  struct Link {
+    LinkParams params;
+    bool up = true;
+    SimTime next_free = 0;  // Earliest time a new transmission can start.
+    LinkStats stats;
+  };
+
+  // Computes next hop from `at` toward `to` via BFS over up sites/links.
+  SiteId NextHop(SiteId at, SiteId to) const;
+  Link* FindLink(SiteId a, SiteId b);
+  const Link* FindLink(SiteId a, SiteId b) const;
+
+  // Schedules the hop `at` -> next toward `to`; drops on failure.
+  void ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload,
+                  uint32_t dest_epoch);
+
+  Simulator* sim_;
+  TopologyHook topology_hook_;
+  std::vector<Site> sites_;
+  std::map<std::pair<SiteId, SiteId>, Link> links_;  // Directed.
+  std::map<SiteId, std::vector<SiteId>> adjacency_;
+  NetworkStats stats_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_SIM_NETWORK_H_

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace tacoma {
+
+void Simulator::At(SimTime when, Action action) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void Simulator::After(SimTime delay, Action action) {
+  At(now_ + delay, std::move(action));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast on the action,
+  // which is safe because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_run_;
+  ev.action();
+  return true;
+}
+
+size_t Simulator::Run() {
+  size_t count = 0;
+  hit_event_limit_ = false;
+  while (!queue_.empty()) {
+    if (event_limit_ != 0 && events_run_ >= event_limit_) {
+      hit_event_limit_ = true;
+      break;
+    }
+    Step();
+    ++count;
+  }
+  return count;
+}
+
+size_t Simulator::RunUntil(SimTime deadline) {
+  size_t count = 0;
+  hit_event_limit_ = false;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (event_limit_ != 0 && events_run_ >= event_limit_) {
+      hit_event_limit_ = true;
+      break;
+    }
+    Step();
+    ++count;
+  }
+  if (now_ < deadline && !hit_event_limit_) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded, deterministic event loop: events are (time, sequence)
+// ordered closures.  The simulator clock is the only notion of time anywhere
+// in TACOMA — all latencies, timeouts, and heartbeats are events here, which
+// makes every experiment bit-reproducible.
+#ifndef TACOMA_SIM_SIMULATOR_H_
+#define TACOMA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tacoma {
+
+// Simulated time in microseconds.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `action` at absolute time `when` (clamped to now).
+  void At(SimTime when, Action action);
+
+  // Schedules `action` `delay` from now.
+  void After(SimTime delay, Action action);
+
+  // Runs until the event queue drains.  Returns the number of events run.
+  size_t Run();
+
+  // Runs events with time <= deadline; the clock ends at `deadline` even if
+  // the queue drained earlier.  Returns the number of events run.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs at most one event.  Returns false if the queue was empty.
+  bool Step();
+
+  bool Idle() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  size_t events_run() const { return events_run_; }
+
+  // Safety valve for runaway agent populations (e.g. the unbounded-flooding
+  // experiment): Run() stops once this many events have executed.  0 = none.
+  void set_event_limit(size_t limit) { event_limit_ = limit; }
+  bool hit_event_limit() const { return hit_event_limit_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break for simultaneous events.
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t events_run_ = 0;
+  size_t event_limit_ = 0;
+  bool hit_event_limit_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_SIM_SIMULATOR_H_

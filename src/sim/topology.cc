@@ -1,0 +1,91 @@
+#include "sim/topology.h"
+
+#include <string>
+
+namespace tacoma {
+namespace {
+
+std::vector<SiteId> AddSites(Network* net, size_t n) {
+  std::vector<SiteId> ids;
+  ids.reserve(n);
+  size_t base = net->site_count();
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(net->AddSite("s" + std::to_string(base + i)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<SiteId> BuildLine(Network* net, size_t n, LinkParams params) {
+  auto ids = AddSites(net, n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    net->AddLink(ids[i], ids[i + 1], params);
+  }
+  return ids;
+}
+
+std::vector<SiteId> BuildRing(Network* net, size_t n, LinkParams params) {
+  auto ids = AddSites(net, n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    net->AddLink(ids[i], ids[i + 1], params);
+  }
+  if (n > 2) {
+    net->AddLink(ids[n - 1], ids[0], params);
+  }
+  return ids;
+}
+
+std::vector<SiteId> BuildStar(Network* net, size_t n, LinkParams params) {
+  auto ids = AddSites(net, n);
+  for (size_t i = 1; i < n; ++i) {
+    net->AddLink(ids[0], ids[i], params);
+  }
+  return ids;
+}
+
+std::vector<SiteId> BuildFullMesh(Network* net, size_t n, LinkParams params) {
+  auto ids = AddSites(net, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      net->AddLink(ids[i], ids[j], params);
+    }
+  }
+  return ids;
+}
+
+std::vector<SiteId> BuildGrid(Network* net, size_t rows, size_t cols, LinkParams params) {
+  auto ids = AddSites(net, rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      size_t i = r * cols + c;
+      if (c + 1 < cols) {
+        net->AddLink(ids[i], ids[i + 1], params);
+      }
+      if (r + 1 < rows) {
+        net->AddLink(ids[i], ids[i + cols], params);
+      }
+    }
+  }
+  return ids;
+}
+
+std::vector<SiteId> BuildRandom(Network* net, size_t n, double p, Rng* rng,
+                                LinkParams params) {
+  auto ids = AddSites(net, n);
+  // Random spanning tree: attach each node to a random earlier one.
+  for (size_t i = 1; i < n; ++i) {
+    size_t j = static_cast<size_t>(rng->Uniform(i));
+    net->AddLink(ids[i], ids[j], params);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->Bernoulli(p)) {
+        net->AddLink(ids[i], ids[j], params);
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,30 @@
+// Topology builders for experiments: line, ring, star, grid, full mesh, and
+// connected random graphs.  Site names are "s0", "s1", ... in creation order.
+#ifndef TACOMA_SIM_TOPOLOGY_H_
+#define TACOMA_SIM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace tacoma {
+
+// Each builder adds `n` fresh sites to `net`, wires them, and returns their
+// ids in order.
+std::vector<SiteId> BuildLine(Network* net, size_t n, LinkParams params = LinkParams());
+std::vector<SiteId> BuildRing(Network* net, size_t n, LinkParams params = LinkParams());
+// sites[0] is the hub.
+std::vector<SiteId> BuildStar(Network* net, size_t n, LinkParams params = LinkParams());
+std::vector<SiteId> BuildFullMesh(Network* net, size_t n, LinkParams params = LinkParams());
+// rows x cols grid; returned in row-major order.
+std::vector<SiteId> BuildGrid(Network* net, size_t rows, size_t cols,
+                              LinkParams params = LinkParams());
+// Connected G(n, p): a random spanning tree guarantees connectivity, then each
+// remaining pair is linked with probability p.
+std::vector<SiteId> BuildRandom(Network* net, size_t n, double p, Rng* rng,
+                                LinkParams params = LinkParams());
+
+}  // namespace tacoma
+
+#endif  // TACOMA_SIM_TOPOLOGY_H_

@@ -1,0 +1,121 @@
+#include "storage/disk.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace tacoma {
+
+Status MemDisk::Write(const std::string& name, const Bytes& data) {
+  files_[name] = data;
+  return OkStatus();
+}
+
+Result<Bytes> MemDisk::Read(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + name);
+  }
+  return it->second;
+}
+
+Status MemDisk::Append(const std::string& name, const Bytes& data) {
+  Bytes& file = files_[name];
+  file.insert(file.end(), data.begin(), data.end());
+  return OkStatus();
+}
+
+Status MemDisk::Remove(const std::string& name) {
+  if (files_.erase(name) == 0) {
+    return NotFoundError("no such file: " + name);
+  }
+  return OkStatus();
+}
+
+bool MemDisk::Exists(const std::string& name) const { return files_.contains(name); }
+
+std::vector<std::string> MemDisk::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, data] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t MemDisk::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [name, data] : files_) {
+    total += data.size();
+  }
+  return total;
+}
+
+FileDisk::FileDisk(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string FileDisk::PathFor(const std::string& name) const {
+  // Flatten to a safe filename: path separators and dots become underscores.
+  std::string safe = name;
+  for (char& c : safe) {
+    if (c == '/' || c == '\\' || c == '.') {
+      c = '_';
+    }
+  }
+  return directory_ + "/" + safe;
+}
+
+Status FileDisk::Write(const std::string& name, const Bytes& data) {
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open for write: " + name);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? OkStatus() : DataLossError("short write: " + name);
+}
+
+Result<Bytes> FileDisk::Read(const std::string& name) const {
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in) {
+    return NotFoundError("no such file: " + name);
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status FileDisk::Append(const std::string& name, const Bytes& data) {
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::app);
+  if (!out) {
+    return InternalError("cannot open for append: " + name);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? OkStatus() : DataLossError("short append: " + name);
+}
+
+Status FileDisk::Remove(const std::string& name) {
+  std::error_code ec;
+  if (!std::filesystem::remove(PathFor(name), ec) || ec) {
+    return NotFoundError("no such file: " + name);
+  }
+  return OkStatus();
+}
+
+bool FileDisk::Exists(const std::string& name) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(name), ec);
+}
+
+std::vector<std::string> FileDisk::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,70 @@
+// Disk abstraction for file-cabinet permanence (paper §6: "file cabinets can
+// be flushed to disk when permanence is required").
+//
+// Two implementations:
+//  - MemDisk: lives outside the volatile site state in the simulator, so it
+//    survives simulated site crashes — exactly the property the
+//    fault-tolerance experiments need.
+//  - FileDisk: a real directory on the host filesystem, for examples and for
+//    demonstrating actual persistence.
+#ifndef TACOMA_STORAGE_DISK_H_
+#define TACOMA_STORAGE_DISK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  virtual Status Write(const std::string& name, const Bytes& data) = 0;
+  virtual Result<Bytes> Read(const std::string& name) const = 0;
+  virtual Status Append(const std::string& name, const Bytes& data) = 0;
+  virtual Status Remove(const std::string& name) = 0;
+  virtual bool Exists(const std::string& name) const = 0;
+  virtual std::vector<std::string> List() const = 0;
+};
+
+class MemDisk : public Disk {
+ public:
+  Status Write(const std::string& name, const Bytes& data) override;
+  Result<Bytes> Read(const std::string& name) const override;
+  Status Append(const std::string& name, const Bytes& data) override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List() const override;
+
+  // Total bytes stored, for capacity accounting in tests.
+  size_t TotalBytes() const;
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+class FileDisk : public Disk {
+ public:
+  // Creates `directory` if missing.  Names are sanitized to flat filenames.
+  explicit FileDisk(std::string directory);
+
+  Status Write(const std::string& name, const Bytes& data) override;
+  Result<Bytes> Read(const std::string& name) const override;
+  Status Append(const std::string& name, const Bytes& data) override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List() const override;
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_STORAGE_DISK_H_

@@ -1,0 +1,54 @@
+// Append-only record log with snapshots, on top of a Disk.
+//
+// File cabinets persist through this: every mutation appends a record, and
+// Compact() collapses history into a snapshot.  Records are checksummed
+// (FNV-64) so a torn tail — e.g. a crash mid-append — is detected and
+// truncated on recovery instead of corrupting the cabinet.
+#ifndef TACOMA_STORAGE_DISK_LOG_H_
+#define TACOMA_STORAGE_DISK_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+struct LogContents {
+  Bytes snapshot;              // Empty if no snapshot was taken.
+  std::vector<Bytes> records;  // Records appended after the snapshot.
+  bool truncated_tail = false; // A torn/corrupt tail record was discarded.
+};
+
+class DiskLog {
+ public:
+  // The log occupies two Disk files: "<name>.log" and "<name>.snap".
+  DiskLog(Disk* disk, std::string name);
+
+  // Appends one record (framed + checksummed) to the log file.
+  Status Append(const Bytes& record);
+
+  // Replaces the snapshot with `state` and clears the record log.
+  Status Compact(const Bytes& state);
+
+  // Reads everything back; tolerates a torn tail.
+  Result<LogContents> Load() const;
+
+  // Deletes both files.
+  Status Destroy();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string LogFile() const { return name_ + ".log"; }
+  std::string SnapFile() const { return name_ + ".snap"; }
+
+  Disk* disk_;
+  std::string name_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_STORAGE_DISK_LOG_H_

@@ -1,0 +1,275 @@
+#include "stormcast/scenario.h"
+
+#include <cstdio>
+
+#include "tacl/list.h"
+
+namespace tacoma::stormcast {
+namespace {
+
+std::string FormatDouble1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioOptions options)
+    : options_(options),
+      field_(options.seed, options.sensor_count, options.samples_per_site,
+             options.storm_events),
+      kernel_(std::make_unique<Kernel>(KernelOptions{options.seed, 50'000'000, false})) {
+  // Topology: home plus one site per sensor.
+  home_ = kernel_->AddSite("home");
+  for (size_t i = 0; i < options_.sensor_count; ++i) {
+    sensors_.push_back(kernel_->AddSite("sensor" + std::to_string(i)));
+  }
+  LinkParams params;
+  if (options_.topology == Topology::kStar) {
+    for (SiteId s : sensors_) {
+      kernel_->net().AddLink(home_, s, params);
+    }
+  } else {
+    SiteId prev = home_;
+    for (SiteId s : sensors_) {
+      kernel_->net().AddLink(prev, s, params);
+      prev = s;
+    }
+  }
+
+  LoadSensorCabinets();
+
+  Scenario* self = this;
+  kernel_->AddPlaceInitializer([self](Place& place) {
+    // Native scan primitive for agents: filter the local wx cabinet.
+    place.AddBinder([](tacl::Interp* interp, Activation* activation) {
+      interp->Register(
+          "wx_scan", [activation](tacl::Interp&, const std::vector<std::string>& argv) {
+            if (argv.size() != 2) {
+              return tacl::Error("wrong # args: should be \"wx_scan windThreshold\"");
+            }
+            auto threshold = tacl::ParseDouble(argv[1]);
+            if (!threshold.has_value()) {
+              return tacl::Error("bad threshold \"" + argv[1] + "\"");
+            }
+            double min_pressure = 99999.0;
+            double max_wind = -1.0;
+            Place& here = *activation->place;
+            for (const std::string& line : here.Cabinet("wx").ListStrings("SAMPLES")) {
+              auto sample = DecodeSample(line);
+              if (!sample.ok()) {
+                continue;
+              }
+              min_pressure = std::min(min_pressure, sample->pressure_hpa);
+              max_wind = std::max(max_wind, sample->wind_ms);
+              if (sample->wind_ms >= *threshold) {
+                activation->briefcase->folder("MATCHES")
+                    .PushBackString(here.name() + ";" + line);
+              }
+            }
+            return tacl::Ok(FormatDouble1(min_pressure) + ";" +
+                            FormatDouble1(max_wind));
+          });
+    });
+
+    // Sensor sites answer raw-data pulls (the client/server baseline).
+    if (place.name().rfind("sensor", 0) == 0) {
+      Scenario* scenario = self;
+      place.RegisterAgent("sensor", [scenario](Place& at, Briefcase& bc) -> Status {
+        (void)bc;
+        Briefcase reply;
+        reply.SetString("SENSOR", at.name());
+        Folder& samples = reply.folder("SAMPLES");
+        for (const std::string& line : at.Cabinet("wx").ListStrings("SAMPLES")) {
+          samples.PushBackString(line);
+        }
+        return at.kernel()->TransferAgent(at.site(), scenario->home_, "collector",
+                                          reply);
+      });
+    }
+
+    // The home site aggregates client/server reports.
+    if (place.site() == self->home_) {
+      Scenario* scenario = self;
+      place.RegisterAgent("collector", [scenario](Place&, Briefcase& bc) -> Status {
+        const Folder* samples = bc.Find("SAMPLES");
+        if (samples == nullptr) {
+          return InvalidArgumentError("collector: report without SAMPLES");
+        }
+        double min_pressure = 99999.0;
+        double max_wind = -1.0;
+        for (const std::string& line : samples->AsStrings()) {
+          auto sample = DecodeSample(line);
+          if (!sample.ok()) {
+            continue;
+          }
+          min_pressure = std::min(min_pressure, sample->pressure_hpa);
+          max_wind = std::max(max_wind, sample->wind_ms);
+          if (sample->wind_ms >= scenario->cs_thresholds_.filter_wind_ms) {
+            ++scenario->gather_.matches;
+          }
+        }
+        if (min_pressure < scenario->cs_thresholds_.alert_pressure_hpa &&
+            max_wind > scenario->cs_thresholds_.alert_wind_ms) {
+          ++scenario->gather_.alerting;
+        }
+        if (++scenario->gather_.reports ==
+            static_cast<int>(scenario->sensors_.size())) {
+          scenario->gather_.done = true;
+        }
+        return OkStatus();
+      });
+    }
+  });
+}
+
+void Scenario::LoadSensorCabinets() {
+  for (size_t i = 0; i < sensors_.size(); ++i) {
+    Place* place = kernel_->place(sensors_[i]);
+    FileCabinet& cab = place->Cabinet("wx");
+    for (const WeatherSample& s : field_.SamplesFor(i)) {
+      cab.AppendString("SAMPLES", EncodeSample(s));
+    }
+  }
+}
+
+std::string Scenario::BuildAgentCode(const Thresholds& thresholds) const {
+  std::string scan;
+  if (options_.native_scan) {
+    scan =
+        "    set mm [wx_scan " + FormatDouble1(thresholds.filter_wind_ms) + "]\n"
+        "    set parts [split $mm {;}]\n"
+        "    bc_put SUMMARY \"[site];[lindex $parts 0];[lindex $parts 1]\"\n";
+  } else {
+    scan =
+        "    set minp 99999.0\n"
+        "    set maxw -1.0\n"
+        "    foreach s [cab_list wx SAMPLES] {\n"
+        "      set parts [split $s {;}]\n"
+        "      set p [lindex $parts 2]\n"
+        "      set w [lindex $parts 3]\n"
+        "      if {$p < $minp} { set minp $p }\n"
+        "      if {$w > $maxw} { set maxw $w }\n"
+        "      if {$w >= " + FormatDouble1(thresholds.filter_wind_ms) + "} {\n"
+        "        bc_put MATCHES \"[site];$s\"\n"
+        "      }\n"
+        "    }\n"
+        "    bc_put SUMMARY \"[site];$minp;$maxw\"\n";
+  }
+
+  return
+      "set home [bc_get HOME]\n"
+      "if {[site] eq $home && [bc_has SUMMARY]} {\n"
+      "  set alerts 0\n"
+      "  foreach s [bc_list SUMMARY] {\n"
+      "    set parts [split $s {;}]\n"
+      "    if {[lindex $parts 1] < " + FormatDouble1(thresholds.alert_pressure_hpa) +
+      " && [lindex $parts 2] > " + FormatDouble1(thresholds.alert_wind_ms) + "} {\n"
+      "      incr alerts\n"
+      "    }\n"
+      "  }\n"
+      "  set storm [expr {$alerts >= " + std::to_string(thresholds.quorum) +
+      " ? 1 : 0}]\n"
+      "  cab_set stormcast RESULT \"storm=$storm;alerts=$alerts;matches=[bc_len "
+      "MATCHES]\"\n"
+      "} else {\n"
+      "  if {[site] ne $home} {\n" + scan +
+      "  }\n"
+      "  if {[bc_len ITINERARY] > 0} {\n"
+      "    jump [bc_pop ITINERARY]\n"
+      "  } else {\n"
+      "    jump $home\n"
+      "  }\n"
+      "}\n";
+}
+
+CollectionResult Scenario::RunAgentCollection(const Thresholds& thresholds) {
+  Network& net = kernel_->net();
+  net.ResetStats();
+  SimTime t0 = kernel_->sim().Now();
+  kernel_->place(home_)->Cabinet("stormcast").EraseFolder("RESULT");
+
+  Briefcase bc;
+  bc.SetString("HOME", net.site_name(home_));
+  Folder& itinerary = bc.folder("ITINERARY");
+  for (SiteId s : sensors_) {
+    itinerary.PushBackString(net.site_name(s));
+  }
+  CollectionResult result;
+  Status launched = kernel_->LaunchAgent(home_, BuildAgentCode(thresholds), bc);
+  if (!launched.ok()) {
+    return result;
+  }
+  kernel_->sim().Run();
+
+  result.bytes_on_wire = net.stats().bytes_on_wire;
+  result.messages = net.stats().messages_sent;
+  result.duration = kernel_->sim().Now() - t0;
+
+  auto verdict = kernel_->place(home_)->Cabinet("stormcast").GetSingleString("RESULT");
+  if (verdict.has_value()) {
+    int storm = 0;
+    int alerts = 0;
+    int matches = 0;
+    if (std::sscanf(verdict->c_str(), "storm=%d;alerts=%d;matches=%d", &storm, &alerts,
+                    &matches) == 3) {
+      result.prediction.storm = storm != 0;
+      result.prediction.alerting_stations = alerts;
+      result.prediction.matches_carried = matches;
+      result.completed = true;
+    }
+  }
+  return result;
+}
+
+CollectionResult Scenario::RunClientServerCollection(const Thresholds& thresholds) {
+  Network& net = kernel_->net();
+  net.ResetStats();
+  SimTime t0 = kernel_->sim().Now();
+  gather_ = Gather{};
+  cs_thresholds_ = thresholds;
+
+  for (SiteId s : sensors_) {
+    Briefcase request;
+    request.SetString("OP", "pull");
+    (void)kernel_->TransferAgent(home_, s, "sensor", request);
+  }
+  kernel_->sim().Run();
+
+  CollectionResult result;
+  result.bytes_on_wire = net.stats().bytes_on_wire;
+  result.messages = net.stats().messages_sent;
+  result.duration = kernel_->sim().Now() - t0;
+  result.completed = gather_.done;
+  result.prediction.alerting_stations = gather_.alerting;
+  result.prediction.matches_carried = gather_.matches;
+  result.prediction.storm = gather_.alerting >= thresholds.quorum;
+  return result;
+}
+
+Prediction Scenario::ReferencePrediction(const Thresholds& thresholds) const {
+  Prediction prediction;
+  for (size_t i = 0; i < field_.site_count(); ++i) {
+    double min_pressure = 99999.0;
+    double max_wind = -1.0;
+    for (const WeatherSample& raw : field_.SamplesFor(i)) {
+      // Score the encoded form: that is what sits in the sensor cabinets and
+      // what both collection pipelines actually see (0.1-unit precision).
+      WeatherSample s = *DecodeSample(EncodeSample(raw));
+      min_pressure = std::min(min_pressure, s.pressure_hpa);
+      max_wind = std::max(max_wind, s.wind_ms);
+      if (s.wind_ms >= thresholds.filter_wind_ms) {
+        ++prediction.matches_carried;
+      }
+    }
+    if (min_pressure < thresholds.alert_pressure_hpa &&
+        max_wind > thresholds.alert_wind_ms) {
+      ++prediction.alerting_stations;
+    }
+  }
+  prediction.storm = prediction.alerting_stations >= thresholds.quorum;
+  return prediction;
+}
+
+}  // namespace tacoma::stormcast

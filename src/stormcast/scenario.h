@@ -1,0 +1,98 @@
+// StormCast scenario: the paper's flagship application, both ways.
+//
+// The same prediction is computed twice over identical sensor data:
+//   - agent-based: a TACL agent walks the sensor sites, filters locally, and
+//     carries only summaries + matching readings home (§1's bandwidth
+//     argument);
+//   - client/server: every sensor ships its raw series to the home site,
+//     which computes centrally.
+// Benchmark E1 compares the bytes each approach puts on the wire; both must
+// reach the same storm verdict (asserted by tests) since they see the same
+// data.
+#ifndef TACOMA_STORMCAST_SCENARIO_H_
+#define TACOMA_STORMCAST_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "stormcast/weather.h"
+
+namespace tacoma::stormcast {
+
+enum class Topology { kStar, kLine };
+
+struct ScenarioOptions {
+  size_t sensor_count = 8;
+  size_t samples_per_site = 96;   // Four days of hourly readings.
+  size_t storm_events = 2;
+  uint64_t seed = 1995;
+  Topology topology = Topology::kStar;
+  // Agents scan with native code (fast, used by benches) or pure TACL
+  // (exercises the language; keep sample counts modest).
+  bool native_scan = true;
+};
+
+struct Prediction {
+  bool storm = false;
+  int alerting_stations = 0;
+  int matches_carried = 0;  // Filtered readings brought home.
+};
+
+struct CollectionResult {
+  Prediction prediction;
+  uint64_t bytes_on_wire = 0;
+  uint64_t messages = 0;
+  SimTime duration = 0;
+  bool completed = false;
+};
+
+struct Thresholds {
+  double alert_pressure_hpa = 980.0;  // Station alerts when it saw below this...
+  double alert_wind_ms = 20.0;        // ...and above this.
+  int quorum = 2;                     // Stations alerting => storm.
+  double filter_wind_ms = 24.0;       // Readings above this travel home.
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioOptions options);
+
+  // One agent walks all sensors and aggregates at home.
+  CollectionResult RunAgentCollection(const Thresholds& thresholds);
+  // Home pulls raw data from every sensor and aggregates centrally.
+  CollectionResult RunClientServerCollection(const Thresholds& thresholds);
+
+  Kernel& kernel() { return *kernel_; }
+  SiteId home() const { return home_; }
+  const std::vector<SiteId>& sensors() const { return sensors_; }
+  const WeatherField& field() const { return field_; }
+
+  // Reference prediction computed directly over the generated data.
+  Prediction ReferencePrediction(const Thresholds& thresholds) const;
+
+ private:
+  void LoadSensorCabinets();
+  std::string BuildAgentCode(const Thresholds& thresholds) const;
+
+  ScenarioOptions options_;
+  WeatherField field_;
+  std::unique_ptr<Kernel> kernel_;
+  SiteId home_ = 0;
+  std::vector<SiteId> sensors_;
+
+  // Client/server collection state (reset per run).
+  struct Gather {
+    int reports = 0;
+    int alerting = 0;
+    int matches = 0;
+    bool done = false;
+  };
+  Gather gather_;
+  Thresholds cs_thresholds_;
+};
+
+}  // namespace tacoma::stormcast
+
+#endif  // TACOMA_STORMCAST_SCENARIO_H_

@@ -1,0 +1,100 @@
+#include "stormcast/weather.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tacoma::stormcast {
+
+std::string EncodeSample(const WeatherSample& s) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%d;%.1f;%.1f;%.1f", s.t, s.temp_c, s.pressure_hpa,
+                s.wind_ms);
+  return buf;
+}
+
+Result<WeatherSample> DecodeSample(const std::string& text) {
+  WeatherSample s;
+  if (std::sscanf(text.c_str(), "%d;%lf;%lf;%lf", &s.t, &s.temp_c, &s.pressure_hpa,
+                  &s.wind_ms) != 4) {
+    return InvalidArgumentError("malformed weather sample: " + text);
+  }
+  return s;
+}
+
+WeatherField::WeatherField(uint64_t seed, size_t site_count, size_t samples_per_site,
+                           size_t storm_events)
+    : samples_(samples_per_site) {
+  Rng rng(seed);
+
+  // Plan storm events first so every site agrees on the truth.
+  for (size_t e = 0; e < storm_events; ++e) {
+    StormEvent event;
+    event.length = 6 + rng.Uniform(10);
+    if (samples_per_site > event.length + 2) {
+      event.start = 1 + rng.Uniform(samples_per_site - event.length - 1);
+    }
+    // A storm front hits most of the region.
+    for (size_t s = 0; s < site_count; ++s) {
+      if (rng.Bernoulli(0.75)) {
+        event.affected_sites.push_back(s);
+      }
+    }
+    if (event.affected_sites.empty() && site_count > 0) {
+      event.affected_sites.push_back(rng.Uniform(site_count));
+    }
+    events_.push_back(std::move(event));
+  }
+
+  series_.resize(site_count);
+  for (size_t site = 0; site < site_count; ++site) {
+    Rng site_rng(rng.Next());
+    double base_temp = site_rng.Gaussian(-8.0, 4.0);  // Arctic.
+    double base_wind = 4.0 + site_rng.UniformDouble() * 4.0;
+    auto& samples = series_[site];
+    samples.reserve(samples_per_site);
+    for (size_t t = 0; t < samples_per_site; ++t) {
+      WeatherSample s;
+      s.t = static_cast<int>(t);
+      double diurnal = std::sin(2.0 * M_PI * static_cast<double>(t % 24) / 24.0);
+      s.temp_c = base_temp + 3.0 * diurnal + site_rng.Gaussian(0, 0.8);
+      s.pressure_hpa = 1013.0 + 8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                               72.0) +
+                       site_rng.Gaussian(0, 1.5);
+      s.wind_ms = std::max(0.0, base_wind + site_rng.Gaussian(0, 1.5));
+
+      // Apply active storm events: deep trough + wind spike, ramping in/out.
+      for (const StormEvent& event : events_) {
+        if (t < event.start || t >= event.start + event.length) {
+          continue;
+        }
+        bool affected = false;
+        for (size_t a : event.affected_sites) {
+          if (a == site) {
+            affected = true;
+            break;
+          }
+        }
+        if (!affected) {
+          continue;
+        }
+        double phase = static_cast<double>(t - event.start) /
+                       static_cast<double>(event.length);
+        double envelope = std::sin(M_PI * phase);  // Ramp in, peak, ramp out.
+        s.pressure_hpa -= 45.0 * envelope;
+        s.wind_ms += 20.0 * envelope;
+      }
+      samples.push_back(s);
+    }
+  }
+}
+
+bool WeatherField::StormActiveAt(size_t t) const {
+  for (const StormEvent& event : events_) {
+    if (t >= event.start && t < event.start + event.length) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tacoma::stormcast

@@ -1,0 +1,63 @@
+// Synthetic Arctic weather data for the StormCast reproduction (§6).
+//
+// "we are reimplementing StormCast, which uses a set of expert systems to
+// predict severe storms in the Arctic based on weather data obtained from a
+// distributed network of sensors."
+//
+// The real sensor network is substituted by a seeded generator: per-site time
+// series of temperature, pressure, and wind with diurnal structure plus
+// injected storm events (pressure troughs with wind spikes).  The injected
+// events are the ground truth predictions are scored against.
+#ifndef TACOMA_STORMCAST_WEATHER_H_
+#define TACOMA_STORMCAST_WEATHER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tacoma::stormcast {
+
+struct WeatherSample {
+  int t = 0;                    // Sample index (one per simulated hour).
+  double temp_c = 0;
+  double pressure_hpa = 1013;
+  double wind_ms = 0;
+};
+
+// Compact text form agents carry around: "t;temp;pressure;wind".
+std::string EncodeSample(const WeatherSample& s);
+Result<WeatherSample> DecodeSample(const std::string& text);
+
+struct StormEvent {
+  size_t start = 0;   // First affected sample index.
+  size_t length = 0;
+  std::vector<size_t> affected_sites;
+};
+
+class WeatherField {
+ public:
+  WeatherField(uint64_t seed, size_t site_count, size_t samples_per_site,
+               size_t storm_events);
+
+  size_t site_count() const { return series_.size(); }
+  size_t samples_per_site() const { return samples_; }
+  const std::vector<WeatherSample>& SamplesFor(size_t site) const {
+    return series_[site];
+  }
+  const std::vector<StormEvent>& events() const { return events_; }
+
+  // True when any storm event covers sample index `t`.
+  bool StormActiveAt(size_t t) const;
+
+ private:
+  size_t samples_;
+  std::vector<std::vector<WeatherSample>> series_;
+  std::vector<StormEvent> events_;
+};
+
+}  // namespace tacoma::stormcast
+
+#endif  // TACOMA_STORMCAST_WEATHER_H_

@@ -1,0 +1,1009 @@
+// The TACL standard library: control flow, variables, lists, strings.
+//
+// Commands follow Tcl semantics closely enough that anyone who has written
+// Tcl can write TACOMA agents; divergences are subsets, not changes.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "tacl/interp.h"
+#include "tacl/list.h"
+
+namespace tacoma::tacl {
+namespace {
+
+using Args = std::vector<std::string>;
+
+Outcome WrongArgs(const std::string& usage) {
+  return Error("wrong # args: should be \"" + usage + "\"");
+}
+
+// --- Variables ----------------------------------------------------------------
+
+Outcome CmdSet(Interp& in, const Args& argv) {
+  if (argv.size() == 2) {
+    auto v = in.GetVar(argv[1]);
+    if (!v.has_value()) {
+      return Error("can't read \"" + argv[1] + "\": no such variable");
+    }
+    return Ok(*v);
+  }
+  if (argv.size() == 3) {
+    in.SetVar(argv[1], argv[2]);
+    return Ok(argv[2]);
+  }
+  return WrongArgs("set varName ?newValue?");
+}
+
+Outcome CmdUnset(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("unset varName ?varName ...?");
+  }
+  for (size_t i = 1; i < argv.size(); ++i) {
+    in.UnsetVar(argv[i]);
+  }
+  return Ok();
+}
+
+Outcome CmdIncr(Interp& in, const Args& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("incr varName ?increment?");
+  }
+  int64_t delta = 1;
+  if (argv.size() == 3) {
+    auto d = ParseInt(argv[2]);
+    if (!d.has_value()) {
+      return Error("expected integer but got \"" + argv[2] + "\"");
+    }
+    delta = *d;
+  }
+  auto cur = in.GetVar(argv[1]);
+  int64_t base = 0;
+  if (cur.has_value()) {
+    auto b = ParseInt(*cur);
+    if (!b.has_value()) {
+      return Error("expected integer but got \"" + *cur + "\"");
+    }
+    base = *b;
+  }
+  std::string result = FormatInt(base + delta);
+  in.SetVar(argv[1], result);
+  return Ok(result);
+}
+
+Outcome CmdGlobal(Interp& in, const Args& argv) {
+  for (size_t i = 1; i < argv.size(); ++i) {
+    in.LinkGlobal(argv[i]);
+  }
+  return Ok();
+}
+
+Outcome CmdUpvar(Interp& in, const Args& argv) {
+  // upvar ?level? otherVar localVar ?otherVar localVar ...?
+  size_t i = 1;
+  size_t levels_up = 1;
+  if (i < argv.size()) {
+    if (argv[i].size() > 1 && argv[i][0] == '#') {
+      // "#N": absolute frame index (only "#0", the global frame, supported).
+      auto abs = ParseInt(std::string_view(argv[i]).substr(1));
+      if (!abs.has_value() || *abs != 0) {
+        return Error("upvar: only #0 absolute level is supported");
+      }
+      levels_up = in.FrameDepth() - 1;
+      ++i;
+    } else if (auto n = ParseInt(argv[i]);
+               n.has_value() && argv.size() >= 4 && (argv.size() - i) % 2 == 1) {
+      if (*n < 1 || static_cast<size_t>(*n) >= in.FrameDepth()) {
+        return Error("upvar: bad level \"" + argv[i] + "\"");
+      }
+      levels_up = static_cast<size_t>(*n);
+      ++i;
+    }
+  }
+  if (i >= argv.size() || (argv.size() - i) % 2 != 0) {
+    return WrongArgs("upvar ?level? otherVar localVar ?otherVar localVar ...?");
+  }
+  if (levels_up >= in.FrameDepth()) {
+    return Error("upvar: no frame that many levels up");
+  }
+  size_t target_frame = in.FrameDepth() - 1 - levels_up;
+  for (; i + 1 < argv.size(); i += 2) {
+    Status linked = in.LinkUpvar(target_frame, argv[i], argv[i + 1]);
+    if (!linked.ok()) {
+      return Error(std::string(linked.message()));
+    }
+  }
+  return Ok();
+}
+
+Outcome CmdAppend(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("append varName ?value ...?");
+  }
+  std::string value = in.GetVar(argv[1]).value_or("");
+  for (size_t i = 2; i < argv.size(); ++i) {
+    value += argv[i];
+  }
+  in.SetVar(argv[1], value);
+  return Ok(value);
+}
+
+// --- Control flow ---------------------------------------------------------------
+
+Outcome CmdIf(Interp& in, const Args& argv) {
+  // if cond ?then? body ?elseif cond ?then? body ...? ?else? body
+  size_t i = 1;
+  while (i < argv.size()) {
+    if (i + 1 >= argv.size()) {
+      return Error("wrong # args: no expression after \"if\"/\"elseif\"");
+    }
+    const std::string& cond = argv[i];
+    size_t body_index = i + 1;
+    if (body_index < argv.size() && argv[body_index] == "then") {
+      ++body_index;
+    }
+    if (body_index >= argv.size()) {
+      return Error("wrong # args: no script following condition");
+    }
+    auto truth = in.EvalCondition(cond);
+    if (!truth.ok()) {
+      return Error(truth.status().message());
+    }
+    if (*truth) {
+      return in.Eval(argv[body_index]);
+    }
+    i = body_index + 1;
+    if (i >= argv.size()) {
+      return Ok();
+    }
+    if (argv[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (argv[i] == "else") {
+      if (i + 1 >= argv.size()) {
+        return Error("wrong # args: no script following \"else\"");
+      }
+      return in.Eval(argv[i + 1]);
+    }
+    // Bare trailing script acts as else.
+    return in.Eval(argv[i]);
+  }
+  return Ok();
+}
+
+Outcome CmdWhile(Interp& in, const Args& argv) {
+  if (argv.size() != 3) {
+    return WrongArgs("while test command");
+  }
+  Outcome result = Ok();
+  while (true) {
+    auto truth = in.EvalCondition(argv[1]);
+    if (!truth.ok()) {
+      return Error(truth.status().message());
+    }
+    if (!*truth) {
+      break;
+    }
+    Outcome body = in.Eval(argv[2]);
+    if (body.code == Code::kBreak) {
+      break;
+    }
+    if (body.code == Code::kContinue || body.code == Code::kOk) {
+      continue;
+    }
+    return body;  // kError or kReturn propagates.
+  }
+  return Ok();
+}
+
+Outcome CmdFor(Interp& in, const Args& argv) {
+  if (argv.size() != 5) {
+    return WrongArgs("for start test next command");
+  }
+  Outcome start = in.Eval(argv[1]);
+  if (start.code != Code::kOk) {
+    return start;
+  }
+  while (true) {
+    auto truth = in.EvalCondition(argv[2]);
+    if (!truth.ok()) {
+      return Error(truth.status().message());
+    }
+    if (!*truth) {
+      break;
+    }
+    Outcome body = in.Eval(argv[4]);
+    if (body.code == Code::kBreak) {
+      break;
+    }
+    if (body.code != Code::kContinue && body.code != Code::kOk) {
+      return body;
+    }
+    Outcome next = in.Eval(argv[3]);
+    if (next.code != Code::kOk) {
+      return next;
+    }
+  }
+  return Ok();
+}
+
+Outcome CmdForeach(Interp& in, const Args& argv) {
+  if (argv.size() != 4) {
+    return WrongArgs("foreach varList list command");
+  }
+  auto names = ParseList(argv[1]);
+  auto values = ParseList(argv[2]);
+  if (!names.ok() || names->empty()) {
+    return Error("bad variable list in foreach");
+  }
+  if (!values.ok()) {
+    return Error("bad value list in foreach");
+  }
+  size_t stride = names->size();
+  for (size_t i = 0; i < values->size(); i += stride) {
+    for (size_t k = 0; k < stride; ++k) {
+      size_t idx = i + k;
+      in.SetVar((*names)[k], idx < values->size() ? (*values)[idx] : "");
+    }
+    Outcome body = in.Eval(argv[3]);
+    if (body.code == Code::kBreak) {
+      break;
+    }
+    if (body.code != Code::kContinue && body.code != Code::kOk) {
+      return body;
+    }
+  }
+  return Ok();
+}
+
+Outcome CmdBreak(Interp&, const Args& argv) {
+  if (argv.size() != 1) {
+    return WrongArgs("break");
+  }
+  return {Code::kBreak, ""};
+}
+
+Outcome CmdContinue(Interp&, const Args& argv) {
+  if (argv.size() != 1) {
+    return WrongArgs("continue");
+  }
+  return {Code::kContinue, ""};
+}
+
+Outcome CmdReturn(Interp&, const Args& argv) {
+  if (argv.size() > 2) {
+    return WrongArgs("return ?value?");
+  }
+  return {Code::kReturn, argv.size() == 2 ? argv[1] : ""};
+}
+
+Outcome CmdError(Interp&, const Args& argv) {
+  if (argv.size() != 2) {
+    return WrongArgs("error message");
+  }
+  return Error(argv[1]);
+}
+
+Outcome CmdCatch(Interp& in, const Args& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("catch command ?varName?");
+  }
+  Outcome out = in.Eval(argv[1]);
+  if (argv.size() == 3) {
+    in.SetVar(argv[2], out.value);
+  }
+  return Ok(FormatInt(static_cast<int64_t>(out.code)));
+}
+
+Outcome CmdEval(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("eval arg ?arg ...?");
+  }
+  if (argv.size() == 2) {
+    return in.Eval(argv[1]);
+  }
+  std::string script;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (i > 1) {
+      script.push_back(' ');
+    }
+    script += argv[i];
+  }
+  return in.Eval(script);
+}
+
+Outcome CmdExpr(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("expr arg ?arg ...?");
+  }
+  std::string text;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    if (i > 1) {
+      text.push_back(' ');
+    }
+    text += argv[i];
+  }
+  return EvalExpr(in, text);
+}
+
+Outcome CmdProc(Interp& in, const Args& argv) {
+  if (argv.size() != 4) {
+    return WrongArgs("proc name args body");
+  }
+  Status s = in.DefineProc(argv[1], argv[2], argv[3]);
+  if (!s.ok()) {
+    return Error(std::string(s.message()));
+  }
+  return Ok();
+}
+
+Outcome CmdPuts(Interp& in, const Args& argv) {
+  if (argv.size() == 2) {
+    in.Output(argv[1]);
+    return Ok();
+  }
+  if (argv.size() == 3 && argv[1] == "-nonewline") {
+    in.Output(argv[2]);
+    return Ok();
+  }
+  return WrongArgs("puts ?-nonewline? string");
+}
+
+// --- Lists ------------------------------------------------------------------------
+
+Outcome CmdList(Interp&, const Args& argv) {
+  std::vector<std::string> elements(argv.begin() + 1, argv.end());
+  return Ok(FormatList(elements));
+}
+
+Outcome CmdLindex(Interp&, const Args& argv) {
+  if (argv.size() != 3) {
+    return WrongArgs("lindex list index");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  std::string_view index = argv[2];
+  int64_t i;
+  if (index == "end") {
+    i = static_cast<int64_t>(list->size()) - 1;
+  } else if (index.substr(0, 4) == "end-") {
+    auto off = ParseInt(index.substr(4));
+    if (!off.has_value()) {
+      return Error("bad index \"" + argv[2] + "\"");
+    }
+    i = static_cast<int64_t>(list->size()) - 1 - *off;
+  } else {
+    auto parsed = ParseInt(index);
+    if (!parsed.has_value()) {
+      return Error("bad index \"" + argv[2] + "\"");
+    }
+    i = *parsed;
+  }
+  if (i < 0 || i >= static_cast<int64_t>(list->size())) {
+    return Ok("");
+  }
+  return Ok((*list)[static_cast<size_t>(i)]);
+}
+
+Outcome CmdLlength(Interp&, const Args& argv) {
+  if (argv.size() != 2) {
+    return WrongArgs("llength list");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  return Ok(FormatInt(static_cast<int64_t>(list->size())));
+}
+
+Outcome CmdLappend(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("lappend varName ?value ...?");
+  }
+  std::string current = in.GetVar(argv[1]).value_or("");
+  auto list = ParseList(current);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  for (size_t i = 2; i < argv.size(); ++i) {
+    list->push_back(argv[i]);
+  }
+  std::string result = FormatList(*list);
+  in.SetVar(argv[1], result);
+  return Ok(result);
+}
+
+Outcome CmdLrange(Interp&, const Args& argv) {
+  if (argv.size() != 4) {
+    return WrongArgs("lrange list first last");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  auto resolve = [&](const std::string& spec) -> std::optional<int64_t> {
+    if (spec == "end") {
+      return static_cast<int64_t>(list->size()) - 1;
+    }
+    if (spec.rfind("end-", 0) == 0) {
+      auto off = ParseInt(std::string_view(spec).substr(4));
+      if (!off.has_value()) {
+        return std::nullopt;
+      }
+      return static_cast<int64_t>(list->size()) - 1 - *off;
+    }
+    return ParseInt(spec);
+  };
+  auto first = resolve(argv[2]);
+  auto last = resolve(argv[3]);
+  if (!first.has_value() || !last.has_value()) {
+    return Error("bad index in lrange");
+  }
+  int64_t lo = std::max<int64_t>(0, *first);
+  int64_t hi = std::min<int64_t>(static_cast<int64_t>(list->size()) - 1, *last);
+  std::vector<std::string> out;
+  for (int64_t i = lo; i <= hi; ++i) {
+    out.push_back((*list)[static_cast<size_t>(i)]);
+  }
+  return Ok(FormatList(out));
+}
+
+Outcome CmdLreverse(Interp&, const Args& argv) {
+  if (argv.size() != 2) {
+    return WrongArgs("lreverse list");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  std::reverse(list->begin(), list->end());
+  return Ok(FormatList(*list));
+}
+
+Outcome CmdLsearch(Interp&, const Args& argv) {
+  // lsearch ?-exact|-glob? list pattern
+  size_t base = 1;
+  bool glob = true;
+  if (argv.size() == 4) {
+    if (argv[1] == "-exact") {
+      glob = false;
+    } else if (argv[1] != "-glob") {
+      return Error("bad option \"" + argv[1] + "\": must be -exact or -glob");
+    }
+    base = 2;
+  } else if (argv.size() != 3) {
+    return WrongArgs("lsearch ?-exact|-glob? list pattern");
+  }
+  auto list = ParseList(argv[base]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  const std::string& pattern = argv[base + 1];
+  for (size_t i = 0; i < list->size(); ++i) {
+    bool hit = glob ? GlobMatch(pattern, (*list)[i]) : (*list)[i] == pattern;
+    if (hit) {
+      return Ok(FormatInt(static_cast<int64_t>(i)));
+    }
+  }
+  return Ok("-1");
+}
+
+Outcome CmdLsort(Interp&, const Args& argv) {
+  // lsort ?-integer? ?-decreasing? list
+  bool integer = false;
+  bool decreasing = false;
+  size_t i = 1;
+  for (; i + 1 < argv.size(); ++i) {
+    if (argv[i] == "-integer") {
+      integer = true;
+    } else if (argv[i] == "-decreasing") {
+      decreasing = true;
+    } else if (argv[i] == "-increasing") {
+      decreasing = false;
+    } else {
+      return Error("bad option \"" + argv[i] + "\" to lsort");
+    }
+  }
+  if (i >= argv.size()) {
+    return WrongArgs("lsort ?options? list");
+  }
+  auto list = ParseList(argv[i]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  if (integer) {
+    for (const std::string& e : *list) {
+      if (!ParseInt(e).has_value()) {
+        return Error("expected integer but got \"" + e + "\"");
+      }
+    }
+    std::stable_sort(list->begin(), list->end(),
+                     [](const std::string& a, const std::string& b) {
+                       return *ParseInt(a) < *ParseInt(b);
+                     });
+  } else {
+    std::stable_sort(list->begin(), list->end());
+  }
+  if (decreasing) {
+    std::reverse(list->begin(), list->end());
+  }
+  return Ok(FormatList(*list));
+}
+
+Outcome CmdLinsert(Interp&, const Args& argv) {
+  if (argv.size() < 3) {
+    return WrongArgs("linsert list index element ?element ...?");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  int64_t index;
+  if (argv[2] == "end") {
+    index = static_cast<int64_t>(list->size());
+  } else if (argv[2].rfind("end-", 0) == 0) {
+    auto off = ParseInt(std::string_view(argv[2]).substr(4));
+    if (!off.has_value()) {
+      return Error("bad index \"" + argv[2] + "\"");
+    }
+    index = static_cast<int64_t>(list->size()) - *off;
+  } else {
+    auto parsed = ParseInt(argv[2]);
+    if (!parsed.has_value()) {
+      return Error("bad index \"" + argv[2] + "\"");
+    }
+    index = *parsed;
+  }
+  index = std::clamp<int64_t>(index, 0, static_cast<int64_t>(list->size()));
+  list->insert(list->begin() + static_cast<long>(index), argv.begin() + 3,
+               argv.end());
+  return Ok(FormatList(*list));
+}
+
+Outcome CmdConcat(Interp&, const Args& argv) {
+  std::vector<std::string> out;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    auto list = ParseList(argv[i]);
+    if (!list.ok()) {
+      return Error(std::string(list.status().message()));
+    }
+    for (std::string& e : *list) {
+      out.push_back(std::move(e));
+    }
+  }
+  return Ok(FormatList(out));
+}
+
+Outcome CmdJoin(Interp&, const Args& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("join list ?separator?");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  std::string sep = argv.size() == 3 ? argv[2] : " ";
+  std::string out;
+  for (size_t i = 0; i < list->size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += (*list)[i];
+  }
+  return Ok(out);
+}
+
+Outcome CmdSplit(Interp&, const Args& argv) {
+  if (argv.size() != 2 && argv.size() != 3) {
+    return WrongArgs("split string ?splitChars?");
+  }
+  const std::string& text = argv[1];
+  std::string chars = argv.size() == 3 ? argv[2] : " \t\n\r";
+  std::vector<std::string> out;
+  if (chars.empty()) {
+    for (char c : text) {
+      out.emplace_back(1, c);
+    }
+  } else {
+    std::string current;
+    for (char c : text) {
+      if (chars.find(c) != std::string::npos) {
+        out.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out.push_back(current);
+  }
+  return Ok(FormatList(out));
+}
+
+// --- Strings -------------------------------------------------------------------------
+
+Outcome CmdString(Interp&, const Args& argv) {
+  if (argv.size() < 3) {
+    return WrongArgs("string subcommand arg ?arg ...?");
+  }
+  const std::string& sub = argv[1];
+  const std::string& s = argv[2];
+
+  if (sub == "length") {
+    return Ok(FormatInt(static_cast<int64_t>(s.size())));
+  }
+  if (sub == "tolower" || sub == "toupper") {
+    std::string out = s;
+    for (char& c : out) {
+      c = sub == "tolower"
+              ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+              : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return Ok(out);
+  }
+  if (sub == "trim" || sub == "trimleft" || sub == "trimright") {
+    std::string chars = argv.size() >= 4 ? argv[3] : " \t\n\r";
+    size_t lo = 0;
+    size_t hi = s.size();
+    if (sub != "trimright") {
+      while (lo < hi && chars.find(s[lo]) != std::string::npos) {
+        ++lo;
+      }
+    }
+    if (sub != "trimleft") {
+      while (hi > lo && chars.find(s[hi - 1]) != std::string::npos) {
+        --hi;
+      }
+    }
+    return Ok(s.substr(lo, hi - lo));
+  }
+  if (sub == "index") {
+    if (argv.size() != 4) {
+      return WrongArgs("string index string charIndex");
+    }
+    int64_t i;
+    if (argv[3] == "end") {
+      i = static_cast<int64_t>(s.size()) - 1;
+    } else {
+      auto parsed = ParseInt(argv[3]);
+      if (!parsed.has_value()) {
+        return Error("bad index \"" + argv[3] + "\"");
+      }
+      i = *parsed;
+    }
+    if (i < 0 || i >= static_cast<int64_t>(s.size())) {
+      return Ok("");
+    }
+    return Ok(std::string(1, s[static_cast<size_t>(i)]));
+  }
+  if (sub == "range") {
+    if (argv.size() != 5) {
+      return WrongArgs("string range string first last");
+    }
+    auto resolve = [&](const std::string& spec) -> std::optional<int64_t> {
+      if (spec == "end") {
+        return static_cast<int64_t>(s.size()) - 1;
+      }
+      if (spec.rfind("end-", 0) == 0) {
+        auto off = ParseInt(std::string_view(spec).substr(4));
+        if (!off.has_value()) {
+          return std::nullopt;
+        }
+        return static_cast<int64_t>(s.size()) - 1 - *off;
+      }
+      return ParseInt(spec);
+    };
+    auto first = resolve(argv[3]);
+    auto last = resolve(argv[4]);
+    if (!first.has_value() || !last.has_value()) {
+      return Error("bad index in string range");
+    }
+    int64_t lo = std::max<int64_t>(0, *first);
+    int64_t hi = std::min<int64_t>(static_cast<int64_t>(s.size()) - 1, *last);
+    if (lo > hi) {
+      return Ok("");
+    }
+    return Ok(s.substr(static_cast<size_t>(lo), static_cast<size_t>(hi - lo + 1)));
+  }
+  if (sub == "equal") {
+    if (argv.size() != 4) {
+      return WrongArgs("string equal string1 string2");
+    }
+    return Ok(s == argv[3] ? "1" : "0");
+  }
+  if (sub == "compare") {
+    if (argv.size() != 4) {
+      return WrongArgs("string compare string1 string2");
+    }
+    int cmp = s.compare(argv[3]);
+    return Ok(FormatInt(cmp < 0 ? -1 : cmp > 0 ? 1 : 0));
+  }
+  if (sub == "first") {
+    if (argv.size() != 4) {
+      return WrongArgs("string first needle haystack");
+    }
+    size_t at = argv[3].find(s);
+    return Ok(FormatInt(at == std::string::npos ? -1 : static_cast<int64_t>(at)));
+  }
+  if (sub == "last") {
+    if (argv.size() != 4) {
+      return WrongArgs("string last needle haystack");
+    }
+    size_t at = argv[3].rfind(s);
+    return Ok(FormatInt(at == std::string::npos ? -1 : static_cast<int64_t>(at)));
+  }
+  if (sub == "match") {
+    if (argv.size() != 4) {
+      return WrongArgs("string match pattern string");
+    }
+    return Ok(GlobMatch(s, argv[3]) ? "1" : "0");
+  }
+  if (sub == "map") {
+    // string map {from to from to ...} string
+    if (argv.size() != 4) {
+      return WrongArgs("string map mapping string");
+    }
+    auto mapping = ParseList(argv[2]);
+    if (!mapping.ok() || mapping->size() % 2 != 0) {
+      return Error("bad mapping in string map");
+    }
+    const std::string& text = argv[3];
+    std::string out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      bool replaced = false;
+      for (size_t m = 0; m + 1 < mapping->size(); m += 2) {
+        const std::string& from = (*mapping)[m];
+        if (!from.empty() && text.compare(pos, from.size(), from) == 0) {
+          out += (*mapping)[m + 1];
+          pos += from.size();
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        out.push_back(text[pos++]);
+      }
+    }
+    return Ok(out);
+  }
+  if (sub == "repeat") {
+    if (argv.size() != 4) {
+      return WrongArgs("string repeat string count");
+    }
+    auto count = ParseInt(argv[3]);
+    if (!count.has_value() || *count < 0) {
+      return Error("bad count \"" + argv[3] + "\"");
+    }
+    std::string out;
+    out.reserve(s.size() * static_cast<size_t>(*count));
+    for (int64_t i = 0; i < *count; ++i) {
+      out += s;
+    }
+    return Ok(out);
+  }
+  return Error("unknown string subcommand \"" + sub + "\"");
+}
+
+Outcome CmdFormat(Interp&, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("format formatString ?arg ...?");
+  }
+  const std::string& fmt = argv[1];
+  std::string out;
+  size_t arg = 2;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out.push_back(fmt[i]);
+      continue;
+    }
+    if (i + 1 >= fmt.size()) {
+      return Error("format string ended in the middle of a specifier");
+    }
+    // Collect the specifier: flags, width, precision, conversion.
+    std::string spec = "%";
+    ++i;
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) || fmt[i] == '-' ||
+            fmt[i] == '+' || fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == '.')) {
+      spec.push_back(fmt[i++]);
+    }
+    if (i >= fmt.size()) {
+      return Error("format string ended in the middle of a specifier");
+    }
+    char conv = fmt[i];
+    if (conv == '%') {
+      out.push_back('%');
+      continue;
+    }
+    if (arg >= argv.size()) {
+      return Error("not enough arguments for all format specifiers");
+    }
+    const std::string& value = argv[arg++];
+    char buf[256];
+    switch (conv) {
+      case 'd':
+      case 'i':
+      case 'x':
+      case 'X':
+      case 'o': {
+        auto v = ParseInt(value);
+        if (!v.has_value()) {
+          return Error("expected integer but got \"" + value + "\"");
+        }
+        spec += "ll";
+        spec.push_back(conv == 'i' ? 'd' : conv);
+        std::snprintf(buf, sizeof(buf), spec.c_str(), static_cast<long long>(*v));
+        out += buf;
+        break;
+      }
+      case 'f':
+      case 'g':
+      case 'e': {
+        auto v = ParseDouble(value);
+        if (!v.has_value()) {
+          return Error("expected float but got \"" + value + "\"");
+        }
+        spec.push_back(conv);
+        std::snprintf(buf, sizeof(buf), spec.c_str(), *v);
+        out += buf;
+        break;
+      }
+      case 's': {
+        spec.push_back('s');
+        if (value.size() < 200) {
+          std::snprintf(buf, sizeof(buf), spec.c_str(), value.c_str());
+          out += buf;
+        } else {
+          out += value;  // Skip width formatting for very long strings.
+        }
+        break;
+      }
+      default:
+        return Error(std::string("bad format conversion '%") + conv + "'");
+    }
+  }
+  return Ok(out);
+}
+
+Outcome CmdSwitch(Interp& in, const Args& argv) {
+  // switch ?-exact|-glob? value {pattern body ...}  |  value pattern body ...
+  size_t i = 1;
+  bool glob = false;
+  if (i < argv.size() && argv[i] == "-glob") {
+    glob = true;
+    ++i;
+  } else if (i < argv.size() && argv[i] == "-exact") {
+    ++i;
+  }
+  if (i >= argv.size()) {
+    return WrongArgs("switch ?-exact|-glob? value pattern body ?...?");
+  }
+  const std::string& value = argv[i++];
+
+  std::vector<std::string> clauses;
+  if (argv.size() - i == 1) {
+    // Braced form: one argument holding the pattern/body list.
+    auto parsed = ParseList(argv[i]);
+    if (!parsed.ok()) {
+      return Error(std::string(parsed.status().message()));
+    }
+    clauses = std::move(parsed).value();
+  } else {
+    clauses.assign(argv.begin() + static_cast<long>(i), argv.end());
+  }
+  if (clauses.size() % 2 != 0) {
+    return Error("switch: pattern with no body");
+  }
+  for (size_t c = 0; c < clauses.size(); c += 2) {
+    const std::string& pattern = clauses[c];
+    bool hit;
+    if (pattern == "default" && c + 2 == clauses.size()) {
+      hit = true;
+    } else {
+      hit = glob ? GlobMatch(pattern, value) : pattern == value;
+    }
+    if (!hit) {
+      continue;
+    }
+    // "-" chains to the next body, like Tcl.
+    size_t body = c + 1;
+    while (body < clauses.size() && clauses[body] == "-") {
+      body += 2;
+    }
+    if (body >= clauses.size()) {
+      return Error("switch: no body for pattern \"" + pattern + "\"");
+    }
+    return in.Eval(clauses[body]);
+  }
+  return Ok();
+}
+
+Outcome CmdLassign(Interp& in, const Args& argv) {
+  if (argv.size() < 3) {
+    return WrongArgs("lassign list varName ?varName ...?");
+  }
+  auto list = ParseList(argv[1]);
+  if (!list.ok()) {
+    return Error(std::string(list.status().message()));
+  }
+  size_t n = argv.size() - 2;
+  for (size_t i = 0; i < n; ++i) {
+    in.SetVar(argv[i + 2], i < list->size() ? (*list)[i] : "");
+  }
+  // Result: the unassigned remainder.
+  std::vector<std::string> rest(list->begin() + std::min(list->size(), n),
+                                list->end());
+  return Ok(FormatList(rest));
+}
+
+Outcome CmdInfo(Interp& in, const Args& argv) {
+  if (argv.size() < 2) {
+    return WrongArgs("info subcommand ?arg?");
+  }
+  const std::string& sub = argv[1];
+  if (sub == "exists") {
+    if (argv.size() != 3) {
+      return WrongArgs("info exists varName");
+    }
+    return Ok(in.GetVar(argv[2]).has_value() ? "1" : "0");
+  }
+  if (sub == "commands") {
+    return Ok(FormatList(in.CommandNames()));
+  }
+  if (sub == "procs") {
+    return Ok(FormatList(in.ProcNames()));
+  }
+  if (sub == "level") {
+    return Ok(FormatInt(static_cast<int64_t>(in.FrameDepth() - 1)));
+  }
+  if (sub == "vars") {
+    return Ok(FormatList(in.VarNames()));
+  }
+  return Error("unknown info subcommand \"" + sub + "\"");
+}
+
+}  // namespace
+
+void RegisterBuiltins(Interp* interp) {
+  interp->Register("set", CmdSet);
+  interp->Register("unset", CmdUnset);
+  interp->Register("incr", CmdIncr);
+  interp->Register("global", CmdGlobal);
+  interp->Register("upvar", CmdUpvar);
+  interp->Register("append", CmdAppend);
+  interp->Register("if", CmdIf);
+  interp->Register("while", CmdWhile);
+  interp->Register("for", CmdFor);
+  interp->Register("foreach", CmdForeach);
+  interp->Register("break", CmdBreak);
+  interp->Register("continue", CmdContinue);
+  interp->Register("return", CmdReturn);
+  interp->Register("error", CmdError);
+  interp->Register("catch", CmdCatch);
+  interp->Register("eval", CmdEval);
+  interp->Register("expr", CmdExpr);
+  interp->Register("proc", CmdProc);
+  interp->Register("puts", CmdPuts);
+  interp->Register("list", CmdList);
+  interp->Register("lindex", CmdLindex);
+  interp->Register("llength", CmdLlength);
+  interp->Register("lappend", CmdLappend);
+  interp->Register("lrange", CmdLrange);
+  interp->Register("lreverse", CmdLreverse);
+  interp->Register("lsearch", CmdLsearch);
+  interp->Register("lsort", CmdLsort);
+  interp->Register("linsert", CmdLinsert);
+  interp->Register("concat", CmdConcat);
+  interp->Register("join", CmdJoin);
+  interp->Register("split", CmdSplit);
+  interp->Register("string", CmdString);
+  interp->Register("format", CmdFormat);
+  interp->Register("switch", CmdSwitch);
+  interp->Register("lassign", CmdLassign);
+  interp->Register("info", CmdInfo);
+}
+
+}  // namespace tacoma::tacl

@@ -1,0 +1,890 @@
+// TACL expression evaluator (the `expr` command, and conditions for
+// `if`/`while`/`for`).
+//
+// A recursive-descent parser over the expression string.  Like real Tcl,
+// `expr` performs its own $variable and [command] substitution, so the
+// recommended brace-quoted style — `while {$i < 10} {...}` — works and
+// short-circuiting (&&, ||, ?:) skips side effects in dead branches.
+#include <cctype>
+#include <cmath>
+
+#include "tacl/interp.h"
+#include "tacl/list.h"
+
+namespace tacoma::tacl {
+namespace {
+
+struct Val {
+  enum class Kind { kInt, kDouble, kString };
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  static Val Int(int64_t v) {
+    Val out;
+    out.kind = Kind::kInt;
+    out.i = v;
+    return out;
+  }
+  static Val Double(double v) {
+    Val out;
+    out.kind = Kind::kDouble;
+    out.d = v;
+    return out;
+  }
+  static Val Str(std::string v) {
+    Val out;
+    out.kind = Kind::kString;
+    out.s = std::move(v);
+    return out;
+  }
+
+  double AsDouble() const { return kind == Kind::kDouble ? d : static_cast<double>(i); }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kInt:
+        return FormatInt(i);
+      case Kind::kDouble:
+        return FormatDouble(d);
+      case Kind::kString:
+        return s;
+    }
+    return "";
+  }
+};
+
+class ExprParser {
+ public:
+  ExprParser(Interp& interp, const std::string& text) : interp_(interp), s_(text) {}
+
+  Outcome Run() {
+    Val v = ParseTernary(/*live=*/true);
+    if (failed_) {
+      return Error(error_);
+    }
+    SkipSpace();
+    if (pos_ != s_.size()) {
+      return Error("syntax error in expression: trailing characters at \"" +
+                   s_.substr(pos_) + "\"");
+    }
+    return Ok(v.ToString());
+  }
+
+ private:
+  // --- Error plumbing ---------------------------------------------------------
+
+  Val Fail(const std::string& message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = message;
+    }
+    return Val::Int(0);
+  }
+
+  // --- Lexing helpers ----------------------------------------------------------
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+  char Peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char PeekAt(size_t ahead) {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  bool Consume(std::string_view op) {
+    SkipSpace();
+    if (s_.compare(pos_, op.size(), op) == 0) {
+      pos_ += op.size();
+      return true;
+    }
+    return false;
+  }
+  // Consumes `op` only if not followed by `not_followed_by` (so "<" doesn't
+  // eat "<<" or "<=").
+  bool ConsumeExact(std::string_view op, std::string_view not_followed_by) {
+    SkipSpace();
+    if (s_.compare(pos_, op.size(), op) != 0) {
+      return false;
+    }
+    char next = pos_ + op.size() < s_.size() ? s_[pos_ + op.size()] : '\0';
+    if (not_followed_by.find(next) != std::string_view::npos && next != '\0') {
+      return false;
+    }
+    pos_ += op.size();
+    return true;
+  }
+
+  // --- Truthiness & numeric coercion ---------------------------------------------
+
+  bool Truthy(const Val& v) {
+    switch (v.kind) {
+      case Val::Kind::kInt:
+        return v.i != 0;
+      case Val::Kind::kDouble:
+        return v.d != 0.0;
+      case Val::Kind::kString: {
+        if (auto i = ParseInt(v.s)) {
+          return *i != 0;
+        }
+        if (auto d = ParseDouble(v.s)) {
+          return *d != 0.0;
+        }
+        std::string lower = v.s;
+        for (char& c : lower) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        if (lower == "true" || lower == "yes" || lower == "on") {
+          return true;
+        }
+        if (lower == "false" || lower == "no" || lower == "off") {
+          return false;
+        }
+        Fail("expected boolean value but got \"" + v.s + "\"");
+        return false;
+      }
+    }
+    return false;
+  }
+
+  // Coerces to numeric; fails on non-numeric strings.
+  Val ToNumber(const Val& v) {
+    if (v.kind != Val::Kind::kString) {
+      return v;
+    }
+    if (auto i = ParseInt(v.s)) {
+      return Val::Int(*i);
+    }
+    if (auto d = ParseDouble(v.s)) {
+      return Val::Double(*d);
+    }
+    return Fail("can't use non-numeric string \"" + v.s + "\" as operand");
+  }
+
+  bool BothInt(const Val& a, const Val& b) {
+    return a.kind == Val::Kind::kInt && b.kind == Val::Kind::kInt;
+  }
+
+  // --- Grammar (lowest to highest precedence) --------------------------------------
+
+  Val ParseTernary(bool live) {
+    Val cond = ParseOr(live);
+    SkipSpace();
+    if (!Consume("?")) {
+      return cond;
+    }
+    bool take_then = live && !failed_ && Truthy(cond);
+    Val then_val = ParseTernary(live && take_then);
+    SkipSpace();
+    if (!Consume(":")) {
+      return Fail("missing ':' in ternary expression");
+    }
+    Val else_val = ParseTernary(live && !take_then);
+    if (!live || failed_) {
+      return Val::Int(0);
+    }
+    return take_then ? then_val : else_val;
+  }
+
+  Val ParseOr(bool live) {
+    Val lhs = ParseAnd(live);
+    while (Consume("||")) {
+      bool lhs_true = live && !failed_ && Truthy(lhs);
+      Val rhs = ParseAnd(live && !lhs_true);
+      if (live && !failed_) {
+        lhs = Val::Int((lhs_true || Truthy(rhs)) ? 1 : 0);
+      }
+    }
+    return lhs;
+  }
+
+  Val ParseAnd(bool live) {
+    Val lhs = ParseBitOr(live);
+    while (Consume("&&")) {
+      bool lhs_true = live && !failed_ && Truthy(lhs);
+      Val rhs = ParseBitOr(live && lhs_true);
+      if (live && !failed_) {
+        lhs = Val::Int((lhs_true && Truthy(rhs)) ? 1 : 0);
+      }
+    }
+    return lhs;
+  }
+
+  Val ParseBitOr(bool live) {
+    Val lhs = ParseBitXor(live);
+    while (true) {
+      SkipSpace();
+      if (Peek() == '|' && PeekAt(1) != '|') {
+        ++pos_;
+        Val rhs = ParseBitXor(live);
+        lhs = IntBinop(lhs, rhs, '|', live);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseBitXor(bool live) {
+    Val lhs = ParseBitAnd(live);
+    while (true) {
+      SkipSpace();
+      if (Peek() == '^') {
+        ++pos_;
+        Val rhs = ParseBitAnd(live);
+        lhs = IntBinop(lhs, rhs, '^', live);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseBitAnd(bool live) {
+    Val lhs = ParseEquality(live);
+    while (true) {
+      SkipSpace();
+      if (Peek() == '&' && PeekAt(1) != '&') {
+        ++pos_;
+        Val rhs = ParseEquality(live);
+        lhs = IntBinop(lhs, rhs, '&', live);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseEquality(bool live) {
+    Val lhs = ParseRelational(live);
+    while (true) {
+      SkipSpace();
+      int op;
+      if (Consume("==")) {
+        op = 0;
+      } else if (Consume("!=")) {
+        op = 1;
+      } else if (ConsumeWord("eq")) {
+        op = 2;
+      } else if (ConsumeWord("ne")) {
+        op = 3;
+      } else {
+        return lhs;
+      }
+      Val rhs = ParseRelational(live);
+      if (!live || failed_) {
+        continue;
+      }
+      if (op >= 2) {
+        bool equal = lhs.ToString() == rhs.ToString();
+        lhs = Val::Int((op == 2) == equal ? 1 : 0);
+        continue;
+      }
+      lhs = Val::Int(Compare(lhs, rhs, op == 0 ? "==" : "!="));
+    }
+  }
+
+  Val ParseRelational(bool live) {
+    Val lhs = ParseShift(live);
+    while (true) {
+      SkipSpace();
+      const char* op = nullptr;
+      if (Consume("<=")) {
+        op = "<=";
+      } else if (Consume(">=")) {
+        op = ">=";
+      } else if (ConsumeExact("<", "<=")) {
+        op = "<";
+      } else if (ConsumeExact(">", ">=")) {
+        op = ">";
+      } else {
+        return lhs;
+      }
+      Val rhs = ParseShift(live);
+      if (live && !failed_) {
+        lhs = Val::Int(Compare(lhs, rhs, op));
+      }
+    }
+  }
+
+  Val ParseShift(bool live) {
+    Val lhs = ParseAdditive(live);
+    while (true) {
+      SkipSpace();
+      char op;
+      if (Consume("<<")) {
+        op = 'l';
+      } else if (Consume(">>")) {
+        op = 'r';
+      } else {
+        return lhs;
+      }
+      Val rhs = ParseAdditive(live);
+      lhs = IntBinop(lhs, rhs, op, live);
+    }
+  }
+
+  Val ParseAdditive(bool live) {
+    Val lhs = ParseMultiplicative(live);
+    while (true) {
+      SkipSpace();
+      char op = Peek();
+      if (op != '+' && op != '-') {
+        return lhs;
+      }
+      ++pos_;
+      Val rhs = ParseMultiplicative(live);
+      lhs = Arith(lhs, rhs, op, live);
+    }
+  }
+
+  Val ParseMultiplicative(bool live) {
+    Val lhs = ParseUnary(live);
+    while (true) {
+      SkipSpace();
+      char op = Peek();
+      if (op != '*' && op != '/' && op != '%') {
+        return lhs;
+      }
+      ++pos_;
+      Val rhs = ParseUnary(live);
+      lhs = Arith(lhs, rhs, op, live);
+    }
+  }
+
+  Val ParseUnary(bool live) {
+    SkipSpace();
+    char c = Peek();
+    if (c == '-') {
+      ++pos_;
+      Val v = ToNumber(ParseUnary(live));
+      if (!live || failed_) {
+        return Val::Int(0);
+      }
+      return v.kind == Val::Kind::kInt ? Val::Int(-v.i) : Val::Double(-v.d);
+    }
+    if (c == '+') {
+      ++pos_;
+      return ToNumber(ParseUnary(live));
+    }
+    if (c == '!') {
+      ++pos_;
+      Val v = ParseUnary(live);
+      if (!live || failed_) {
+        return Val::Int(0);
+      }
+      return Val::Int(Truthy(v) ? 0 : 1);
+    }
+    if (c == '~') {
+      ++pos_;
+      Val v = ToNumber(ParseUnary(live));
+      if (!live || failed_) {
+        return Val::Int(0);
+      }
+      if (v.kind != Val::Kind::kInt) {
+        return Fail("can't apply ~ to a floating-point value");
+      }
+      return Val::Int(~v.i);
+    }
+    return ParsePrimary(live);
+  }
+
+  Val ParsePrimary(bool live) {
+    SkipSpace();
+    if (pos_ >= s_.size()) {
+      return Fail("premature end of expression");
+    }
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      Val v = ParseTernary(live);
+      SkipSpace();
+      if (!Consume(")")) {
+        return Fail("missing close parenthesis");
+      }
+      return v;
+    }
+    if (c == '$') {
+      return ParseVariable(live);
+    }
+    if (c == '[') {
+      return ParseCommandSub(live);
+    }
+    if (c == '"') {
+      return ParseStringLiteral();
+    }
+    if (c == '{') {
+      return ParseBracedLiteral();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(PeekAt(1))))) {
+      return ParseNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ParseWordOrFunction(live);
+    }
+    return Fail(std::string("unexpected character '") + c + "' in expression");
+  }
+
+  Val ParseVariable(bool live) {
+    ++pos_;  // Consume '$'.
+    std::string name;
+    if (Peek() == '{') {
+      ++pos_;
+      while (pos_ < s_.size() && s_[pos_] != '}') {
+        name.push_back(s_[pos_++]);
+      }
+      if (pos_ >= s_.size()) {
+        return Fail("missing close-brace for variable name");
+      }
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+        name.push_back(s_[pos_++]);
+      }
+    }
+    if (name.empty()) {
+      return Fail("invalid '$' in expression");
+    }
+    if (!live) {
+      return Val::Int(0);
+    }
+    auto value = interp_.GetVar(name);
+    if (!value.has_value()) {
+      return Fail("can't read \"" + name + "\": no such variable");
+    }
+    return Val::Str(*value);
+  }
+
+  Val ParseCommandSub(bool live) {
+    ++pos_;  // Consume '['.
+    size_t start = pos_;
+    int depth = 1;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '\\' && pos_ + 1 < s_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        if (--depth == 0) {
+          break;
+        }
+      }
+      ++pos_;
+    }
+    if (depth != 0) {
+      return Fail("missing close-bracket");
+    }
+    std::string script = s_.substr(start, pos_ - start);
+    ++pos_;  // Consume ']'.
+    if (!live) {
+      return Val::Int(0);
+    }
+    Outcome out = interp_.Eval(script);
+    if (out.code != Code::kOk) {
+      return Fail(out.value);
+    }
+    return Val::Str(out.value);
+  }
+
+  Val ParseStringLiteral() {
+    ++pos_;  // Consume '"'.
+    std::string value;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        char e = s_[pos_ + 1];
+        value.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        pos_ += 2;
+        continue;
+      }
+      value.push_back(s_[pos_++]);
+    }
+    if (pos_ >= s_.size()) {
+      return Fail("missing close-quote in expression");
+    }
+    ++pos_;
+    return Val::Str(std::move(value));
+  }
+
+  Val ParseBracedLiteral() {
+    ++pos_;  // Consume '{'.
+    std::string value;
+    int depth = 1;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          break;
+        }
+      }
+      value.push_back(c);
+      ++pos_;
+    }
+    if (depth != 0) {
+      return Fail("missing close-brace in expression");
+    }
+    ++pos_;
+    return Val::Str(std::move(value));
+  }
+
+  Val ParseNumber() {
+    size_t start = pos_;
+    // Hex?
+    if (Peek() == '0' && (PeekAt(1) == 'x' || PeekAt(1) == 'X')) {
+      pos_ += 2;
+      while (pos_ < s_.size() && std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      auto v = ParseInt(s_.substr(start, pos_ - start));
+      if (!v.has_value()) {
+        return Fail("malformed hex number");
+      }
+      return Val::Int(*v);
+    }
+    bool is_double = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.') {
+        is_double = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ + 1 < s_.size() &&
+                 (std::isdigit(static_cast<unsigned char>(s_[pos_ + 1])) ||
+                  s_[pos_ + 1] == '+' || s_[pos_ + 1] == '-')) {
+        is_double = true;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+    std::string text = s_.substr(start, pos_ - start);
+    if (is_double) {
+      auto v = ParseDouble(text);
+      if (!v.has_value()) {
+        return Fail("malformed number \"" + text + "\"");
+      }
+      return Val::Double(*v);
+    }
+    auto v = ParseInt(text);
+    if (!v.has_value()) {
+      return Fail("malformed number \"" + text + "\"");
+    }
+    return Val::Int(*v);
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      return false;
+    }
+    char next = pos_ + word.size() < s_.size() ? s_[pos_ + word.size()] : '\0';
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  Val ParseWordOrFunction(bool live) {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = s_.substr(start, pos_ - start);
+    SkipSpace();
+    if (Peek() == '(') {
+      ++pos_;
+      std::vector<Val> args;
+      SkipSpace();
+      if (Peek() != ')') {
+        while (true) {
+          args.push_back(ParseTernary(live));
+          SkipSpace();
+          if (Consume(",")) {
+            continue;
+          }
+          break;
+        }
+      }
+      if (!Consume(")")) {
+        return Fail("missing close parenthesis in function call");
+      }
+      if (!live || failed_) {
+        return Val::Int(0);
+      }
+      return CallFunction(word, args);
+    }
+    // Boolean literals.
+    if (word == "true" || word == "yes" || word == "on") {
+      return Val::Int(1);
+    }
+    if (word == "false" || word == "no" || word == "off") {
+      return Val::Int(0);
+    }
+    return Fail("unknown word \"" + word + "\" in expression (missing $?)");
+  }
+
+  // --- Operator implementations -------------------------------------------------
+
+  // Returns 1/0 for relational ops; numeric compare when both sides are
+  // numeric, string compare otherwise (Tcl semantics).
+  int64_t Compare(const Val& lhs, const Val& rhs, std::string_view op) {
+    auto lnum = TryNumber(lhs);
+    auto rnum = TryNumber(rhs);
+    int cmp;
+    if (lnum.has_value() && rnum.has_value()) {
+      if (lnum->kind == Val::Kind::kInt && rnum->kind == Val::Kind::kInt) {
+        cmp = lnum->i < rnum->i ? -1 : lnum->i > rnum->i ? 1 : 0;
+      } else {
+        double a = lnum->AsDouble();
+        double b = rnum->AsDouble();
+        cmp = a < b ? -1 : a > b ? 1 : 0;
+      }
+    } else {
+      std::string a = lhs.ToString();
+      std::string b = rhs.ToString();
+      cmp = a < b ? -1 : a > b ? 1 : 0;
+    }
+    if (op == "==") {
+      return cmp == 0;
+    }
+    if (op == "!=") {
+      return cmp != 0;
+    }
+    if (op == "<") {
+      return cmp < 0;
+    }
+    if (op == "<=") {
+      return cmp <= 0;
+    }
+    if (op == ">") {
+      return cmp > 0;
+    }
+    return cmp >= 0;  // ">="
+  }
+
+  std::optional<Val> TryNumber(const Val& v) {
+    if (v.kind != Val::Kind::kString) {
+      return v;
+    }
+    if (auto i = ParseInt(v.s)) {
+      return Val::Int(*i);
+    }
+    if (auto d = ParseDouble(v.s)) {
+      return Val::Double(*d);
+    }
+    return std::nullopt;
+  }
+
+  Val Arith(const Val& lhs, const Val& rhs, char op, bool live) {
+    if (!live || failed_) {
+      return Val::Int(0);
+    }
+    Val a = ToNumber(lhs);
+    Val b = ToNumber(rhs);
+    if (failed_) {
+      return Val::Int(0);
+    }
+    if (BothInt(a, b)) {
+      switch (op) {
+        case '+':
+          return Val::Int(a.i + b.i);
+        case '-':
+          return Val::Int(a.i - b.i);
+        case '*':
+          return Val::Int(a.i * b.i);
+        case '/':
+          if (b.i == 0) {
+            return Fail("divide by zero");
+          }
+          return Val::Int(a.i / b.i);
+        case '%':
+          if (b.i == 0) {
+            return Fail("divide by zero");
+          }
+          return Val::Int(a.i % b.i);
+      }
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op) {
+      case '+':
+        return Val::Double(x + y);
+      case '-':
+        return Val::Double(x - y);
+      case '*':
+        return Val::Double(x * y);
+      case '/':
+        if (y == 0.0) {
+          return Fail("divide by zero");
+        }
+        return Val::Double(x / y);
+      case '%':
+        return Fail("can't apply % to floating-point values");
+    }
+    return Fail("internal: bad arithmetic operator");
+  }
+
+  Val IntBinop(const Val& lhs, const Val& rhs, char op, bool live) {
+    if (!live || failed_) {
+      return Val::Int(0);
+    }
+    Val a = ToNumber(lhs);
+    Val b = ToNumber(rhs);
+    if (failed_) {
+      return Val::Int(0);
+    }
+    if (!BothInt(a, b)) {
+      return Fail("bitwise operators require integer operands");
+    }
+    switch (op) {
+      case '|':
+        return Val::Int(a.i | b.i);
+      case '^':
+        return Val::Int(a.i ^ b.i);
+      case '&':
+        return Val::Int(a.i & b.i);
+      case 'l':
+        return Val::Int(b.i < 0 || b.i > 63 ? 0 : a.i << b.i);
+      case 'r':
+        return Val::Int(b.i < 0 || b.i > 63 ? (a.i < 0 ? -1 : 0) : a.i >> b.i);
+    }
+    return Fail("internal: bad bitwise operator");
+  }
+
+  Val CallFunction(const std::string& name, const std::vector<Val>& args) {
+    auto need = [&](size_t n) {
+      if (args.size() != n) {
+        Fail("wrong # args for math function \"" + name + "\"");
+        return false;
+      }
+      return true;
+    };
+    auto num = [&](const Val& v) { return ToNumber(v); };
+
+    if (name == "abs") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      Val v = num(args[0]);
+      if (failed_) {
+        return Val::Int(0);
+      }
+      return v.kind == Val::Kind::kInt ? Val::Int(v.i < 0 ? -v.i : v.i)
+                                       : Val::Double(std::fabs(v.d));
+    }
+    if (name == "int") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      Val v = num(args[0]);
+      return Val::Int(v.kind == Val::Kind::kInt ? v.i : static_cast<int64_t>(v.d));
+    }
+    if (name == "double") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      return Val::Double(num(args[0]).AsDouble());
+    }
+    if (name == "round") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      return Val::Int(static_cast<int64_t>(std::llround(num(args[0]).AsDouble())));
+    }
+    if (name == "sqrt") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      double x = num(args[0]).AsDouble();
+      if (x < 0) {
+        return Fail("domain error: sqrt of negative value");
+      }
+      return Val::Double(std::sqrt(x));
+    }
+    if (name == "pow") {
+      if (!need(2)) {
+        return Val::Int(0);
+      }
+      return Val::Double(std::pow(num(args[0]).AsDouble(), num(args[1]).AsDouble()));
+    }
+    if (name == "floor") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      return Val::Double(std::floor(num(args[0]).AsDouble()));
+    }
+    if (name == "ceil") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      return Val::Double(std::ceil(num(args[0]).AsDouble()));
+    }
+    if (name == "exp") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      return Val::Double(std::exp(num(args[0]).AsDouble()));
+    }
+    if (name == "log") {
+      if (!need(1)) {
+        return Val::Int(0);
+      }
+      double x = num(args[0]).AsDouble();
+      if (x <= 0) {
+        return Fail("domain error: log of non-positive value");
+      }
+      return Val::Double(std::log(x));
+    }
+    if (name == "fmod") {
+      if (!need(2)) {
+        return Val::Int(0);
+      }
+      double y = num(args[1]).AsDouble();
+      if (y == 0.0) {
+        return Fail("divide by zero");
+      }
+      return Val::Double(std::fmod(num(args[0]).AsDouble(), y));
+    }
+    if (name == "min" || name == "max") {
+      if (args.empty()) {
+        return Fail("wrong # args for math function \"" + name + "\"");
+      }
+      Val best = num(args[0]);
+      for (size_t i = 1; i < args.size() && !failed_; ++i) {
+        Val v = num(args[i]);
+        bool less = BothInt(v, best) ? v.i < best.i : v.AsDouble() < best.AsDouble();
+        if ((name == "min") == less) {
+          best = v;
+        }
+      }
+      return best;
+    }
+    return Fail("unknown math function \"" + name + "\"");
+  }
+
+  Interp& interp_;
+  std::string s_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+Outcome EvalExpr(Interp& interp, const std::string& expression) {
+  return ExprParser(interp, expression).Run();
+}
+
+}  // namespace tacoma::tacl

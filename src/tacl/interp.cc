@@ -1,0 +1,346 @@
+#include "tacl/interp.h"
+
+#include "tacl/list.h"
+
+namespace tacoma::tacl {
+
+namespace {
+constexpr size_t kParseCacheMax = 512;
+}  // namespace
+
+Interp::Interp() {
+  frames_.emplace_back();
+  RegisterBuiltins(this);
+}
+
+void Interp::Register(const std::string& name, CommandFn fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::HasCommand(const std::string& name) const {
+  return commands_.contains(name);
+}
+
+void Interp::RemoveCommand(const std::string& name) {
+  commands_.erase(name);
+  procs_.erase(name);
+}
+
+std::vector<std::string> Interp::CommandNames() const {
+  std::vector<std::string> names;
+  names.reserve(commands_.size());
+  for (const auto& [name, fn] : commands_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void Interp::Output(const std::string& line) {
+  if (output_) {
+    output_(line);
+  }
+}
+
+// --- Variables ----------------------------------------------------------------
+
+std::pair<Interp::Frame*, std::string> Interp::ResolveVar(const std::string& name) {
+  size_t frame_index = frames_.size() - 1;
+  std::string resolved = name;
+  // Follow alias chains with a small bound (self-referential upvar guards).
+  for (int hops = 0; hops < 16; ++hops) {
+    auto link = frames_[frame_index].links.find(resolved);
+    if (link == frames_[frame_index].links.end()) {
+      break;
+    }
+    if (link->second.first == frame_index && link->second.second == resolved) {
+      break;
+    }
+    frame_index = std::min(link->second.first, frames_.size() - 1);
+    resolved = link->second.second;
+  }
+  return {&frames_[frame_index], resolved};
+}
+
+std::pair<const Interp::Frame*, std::string> Interp::ResolveVar(
+    const std::string& name) const {
+  auto resolved = const_cast<Interp*>(this)->ResolveVar(name);
+  return {resolved.first, resolved.second};
+}
+
+std::optional<std::string> Interp::GetVar(const std::string& name) const {
+  auto [frame, resolved] = ResolveVar(name);
+  auto it = frame->vars.find(resolved);
+  if (it == frame->vars.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Interp::SetVar(const std::string& name, std::string value) {
+  auto [frame, resolved] = ResolveVar(name);
+  frame->vars[resolved] = std::move(value);
+}
+
+bool Interp::UnsetVar(const std::string& name) {
+  auto [frame, resolved] = ResolveVar(name);
+  return frame->vars.erase(resolved) > 0;
+}
+
+void Interp::LinkGlobal(const std::string& name) {
+  if (frames_.size() > 1) {
+    frames_.back().links[name] = {0, name};
+  }
+}
+
+Status Interp::LinkUpvar(size_t frame_index, const std::string& target,
+                         const std::string& local) {
+  if (frame_index >= frames_.size() - 1 && frames_.size() > 1) {
+    return InvalidArgumentError("upvar: bad frame level");
+  }
+  frames_.back().links[local] = {frame_index, target};
+  return OkStatus();
+}
+
+std::vector<std::string> Interp::VarNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : CurrentFrame().vars) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// --- Procs ---------------------------------------------------------------------
+
+Status Interp::DefineProc(const std::string& name, const std::string& params,
+                          const std::string& body) {
+  auto parsed = ParseList(params);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Proc proc;
+  proc.body = body;
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const std::string& spec = (*parsed)[i];
+    if (spec == "args" && i + 1 == parsed->size()) {
+      proc.varargs = true;
+      break;
+    }
+    auto pair = ParseList(spec);
+    if (!pair.ok()) {
+      return pair.status();
+    }
+    if (pair->size() == 1) {
+      proc.params.push_back({(*pair)[0], std::nullopt});
+    } else if (pair->size() == 2) {
+      proc.params.push_back({(*pair)[0], (*pair)[1]});
+    } else {
+      return InvalidArgumentError("bad parameter specifier: " + spec);
+    }
+  }
+  procs_[name] = std::move(proc);
+
+  // Procs dispatch through the command table like everything else.
+  commands_[name] = [name](Interp& interp, const std::vector<std::string>& argv) {
+    auto it = interp.procs_.find(name);
+    if (it == interp.procs_.end()) {
+      return Error("invalid command name \"" + name + "\"");
+    }
+    return interp.CallProc(name, it->second, argv);
+  };
+  return OkStatus();
+}
+
+bool Interp::HasProc(const std::string& name) const { return procs_.contains(name); }
+
+std::vector<std::string> Interp::ProcNames() const {
+  std::vector<std::string> names;
+  names.reserve(procs_.size());
+  for (const auto& [name, proc] : procs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Outcome Interp::CallProc(const std::string& name, const Proc& proc,
+                         const std::vector<std::string>& argv) {
+  if (frames_.size() >= max_depth_) {
+    return Error("too many nested proc calls (max " + std::to_string(max_depth_) + ")");
+  }
+  // Copy what we need before pushing a frame: `proc` may reference
+  // procs_[name], which a redefine inside the body would invalidate.
+  const std::string body = proc.body;
+  const auto params = proc.params;
+  const bool varargs = proc.varargs;
+
+  Frame frame;
+  size_t given = argv.size() - 1;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i < given) {
+      frame.vars[params[i].name] = argv[i + 1];
+    } else if (params[i].default_value.has_value()) {
+      frame.vars[params[i].name] = *params[i].default_value;
+    } else {
+      return Error("wrong # args: should be \"" + name + " ...\"");
+    }
+  }
+  if (varargs) {
+    std::vector<std::string> rest;
+    for (size_t i = params.size() + 1; i < argv.size(); ++i) {
+      rest.push_back(argv[i]);
+    }
+    frame.vars["args"] = FormatList(rest);
+  } else if (given > params.size()) {
+    return Error("wrong # args: should be \"" + name + " ...\"");
+  }
+
+  frames_.push_back(std::move(frame));
+  Outcome out = Eval(body);
+  frames_.pop_back();
+
+  if (out.code == Code::kReturn) {
+    return Ok(std::move(out.value));
+  }
+  if (out.code == Code::kBreak || out.code == Code::kContinue) {
+    return Error("invoked \"break\" or \"continue\" outside of a loop");
+  }
+  return out;
+}
+
+// --- Evaluation ------------------------------------------------------------------
+
+std::shared_ptr<const std::vector<ParsedCommand>> Interp::ParseCached(
+    std::string_view script, Status* error) {
+  std::string key(script);
+  auto it = parse_cache_.find(key);
+  if (it != parse_cache_.end()) {
+    return it->second;
+  }
+  auto parsed = ParseScript(script);
+  if (!parsed.ok()) {
+    *error = parsed.status();
+    return nullptr;
+  }
+  auto shared =
+      std::make_shared<const std::vector<ParsedCommand>>(std::move(parsed).value());
+  if (parse_cache_.size() >= kParseCacheMax) {
+    parse_cache_.clear();
+  }
+  parse_cache_.emplace(std::move(key), shared);
+  return shared;
+}
+
+Outcome Interp::Eval(std::string_view script) {
+  Status parse_error = OkStatus();
+  auto commands = ParseCached(script, &parse_error);
+  if (commands == nullptr) {
+    return Error("parse error: " + parse_error.message());
+  }
+  ++eval_depth_;
+  Outcome out = RunParsed(*commands);
+  --eval_depth_;
+  // A break/continue escaping to top level was never consumed by a loop.
+  if (eval_depth_ == 0 &&
+      (out.code == Code::kBreak || out.code == Code::kContinue)) {
+    return Error("invoked \"break\" or \"continue\" outside of a loop");
+  }
+  return out;
+}
+
+Outcome Interp::RunParsed(const std::vector<ParsedCommand>& commands) {
+  Outcome result = Ok();
+  for (const ParsedCommand& cmd : commands) {
+    ++steps_;
+    if (step_limit_ != 0 && steps_ > step_limit_) {
+      return Error("step limit exceeded");
+    }
+    std::vector<std::string> argv;
+    argv.reserve(cmd.words.size());
+    bool failed = false;
+    for (const Word& word : cmd.words) {
+      std::string value;
+      Outcome sub = SubstituteWord(word, &value);
+      if (!sub.ok()) {
+        // Propagate errors and any control code raised during substitution.
+        return sub;
+      }
+      argv.push_back(std::move(value));
+      (void)failed;
+    }
+    if (argv.empty()) {
+      continue;
+    }
+    result = EvalCommand(argv);
+    if (result.code != Code::kOk) {
+      return result;
+    }
+  }
+  return result;
+}
+
+Outcome Interp::EvalCommand(const std::vector<std::string>& argv) {
+  auto it = commands_.find(argv[0]);
+  if (it == commands_.end()) {
+    return Error("invalid command name \"" + argv[0] + "\"");
+  }
+  return it->second(*this, argv);
+}
+
+Outcome Interp::SubstituteWord(const Word& word, std::string* out) {
+  if (word.parts.size() == 1 && word.parts[0].kind == WordPart::Kind::kLiteral) {
+    *out = word.parts[0].text;
+    return Ok();
+  }
+  std::string value;
+  for (const WordPart& part : word.parts) {
+    switch (part.kind) {
+      case WordPart::Kind::kLiteral:
+        value.append(part.text);
+        break;
+      case WordPart::Kind::kVariable: {
+        auto var = GetVar(part.text);
+        if (!var.has_value()) {
+          return Error("can't read \"" + part.text + "\": no such variable");
+        }
+        value.append(*var);
+        break;
+      }
+      case WordPart::Kind::kScript: {
+        Outcome sub = Eval(part.text);
+        if (sub.code != Code::kOk) {
+          return sub;
+        }
+        value.append(sub.value);
+        break;
+      }
+    }
+  }
+  *out = std::move(value);
+  return Ok();
+}
+
+Result<bool> Interp::EvalCondition(const std::string& condition) {
+  Outcome out = EvalExpr(*this, condition);
+  if (out.code != Code::kOk) {
+    return InvalidArgumentError(out.value);
+  }
+  // Numeric: nonzero is true.  Also accept boolean words.
+  if (auto i = ParseInt(out.value)) {
+    return *i != 0;
+  }
+  if (auto d = ParseDouble(out.value)) {
+    return *d != 0.0;
+  }
+  std::string v = out.value;
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  return InvalidArgumentError("expected boolean value but got \"" + out.value + "\"");
+}
+
+}  // namespace tacoma::tacl

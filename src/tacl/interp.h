@@ -1,0 +1,170 @@
+// The TACL interpreter.
+//
+// TACL is the agent language of this TACOMA reproduction: a small Tcl (the
+// paper's prototype language, §6) with the classic semantics — every value is
+// a string, a command is a list of substituted words, control flow is
+// implemented with result codes rather than exceptions.  A Place (core
+// library) embeds one Interp per agent activation and registers the agent
+// primitives (bc_get, meet, ...) as host commands; agent programs are plain
+// source strings carried in CODE folders, so the same agent runs on every
+// site regardless of "machine language" — the paper's portability argument.
+#ifndef TACOMA_TACL_INTERP_H_
+#define TACOMA_TACL_INTERP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tacl/parse.h"
+#include "util/status.h"
+
+namespace tacoma::tacl {
+
+// Tcl-style result codes.  kReturn/kBreak/kContinue unwind to the construct
+// that consumes them (proc call, loop); reaching top level as kBreak/kContinue
+// is an error.
+enum class Code { kOk, kError, kReturn, kBreak, kContinue };
+
+struct Outcome {
+  Code code = Code::kOk;
+  std::string value;  // Result string, or the error message for kError.
+
+  bool ok() const { return code == Code::kOk; }
+};
+
+inline Outcome Ok(std::string value = "") { return {Code::kOk, std::move(value)}; }
+inline Outcome Error(std::string message) { return {Code::kError, std::move(message)}; }
+
+class Interp {
+ public:
+  using CommandFn = std::function<Outcome(Interp&, const std::vector<std::string>&)>;
+  using OutputFn = std::function<void(const std::string&)>;
+
+  Interp();
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  // --- Commands -------------------------------------------------------------
+
+  void Register(const std::string& name, CommandFn fn);
+  bool HasCommand(const std::string& name) const;
+  void RemoveCommand(const std::string& name);
+  std::vector<std::string> CommandNames() const;
+
+  // --- Evaluation -------------------------------------------------------------
+
+  // Evaluates a script in the current frame.
+  Outcome Eval(std::string_view script);
+
+  // Invokes a single command with already-substituted words.
+  Outcome EvalCommand(const std::vector<std::string>& argv);
+
+  // Evaluates `condition` as an expr and yields its truth value.
+  Result<bool> EvalCondition(const std::string& condition);
+
+  // --- Variables --------------------------------------------------------------
+
+  std::optional<std::string> GetVar(const std::string& name) const;
+  void SetVar(const std::string& name, std::string value);
+  bool UnsetVar(const std::string& name);
+  // Links `name` in the current frame to the global variable of the same name.
+  void LinkGlobal(const std::string& name);
+  // Links `local` in the current frame to `target` in the frame at absolute
+  // index `frame_index` (0 = global) — the mechanism behind upvar.
+  Status LinkUpvar(size_t frame_index, const std::string& target,
+                   const std::string& local);
+  std::vector<std::string> VarNames() const;
+
+  // --- Procs ------------------------------------------------------------------
+
+  // Defines a proc (also invocable as a command).  `params` is a TACL list:
+  // plain names, {name default} pairs, and a trailing "args" collector.
+  Status DefineProc(const std::string& name, const std::string& params,
+                    const std::string& body);
+  bool HasProc(const std::string& name) const;
+  std::vector<std::string> ProcNames() const;
+
+  // --- Accounting & limits ------------------------------------------------------
+
+  // Total commands dispatched; the Place charges simulated CPU time off this.
+  uint64_t steps() const { return steps_; }
+  void ResetSteps() { steps_ = 0; }
+  // 0 = unlimited.  Exceeding the limit fails evaluation with an error.
+  void set_step_limit(uint64_t limit) { step_limit_ = limit; }
+  void set_max_depth(size_t depth) { max_depth_ = depth; }
+  size_t FrameDepth() const { return frames_.size(); }
+
+  // --- Host integration -----------------------------------------------------------
+
+  void set_output(OutputFn fn) { output_ = std::move(fn); }
+  // `puts` lands here; defaults to discarding.
+  void Output(const std::string& line);
+
+  // Opaque host pointer (the Place that owns this interp).
+  void set_context(void* context) { context_ = context; }
+  void* context() const { return context_; }
+
+ private:
+  friend class FrameGuard;
+  struct Frame {
+    std::map<std::string, std::string> vars;
+    // Aliased names: local name -> (absolute frame index, name there).
+    // `global x` is the special case {0, x}; `upvar` makes arbitrary ones.
+    std::map<std::string, std::pair<size_t, std::string>> links;
+  };
+  struct Proc {
+    struct Param {
+      std::string name;
+      std::optional<std::string> default_value;
+    };
+    std::vector<Param> params;
+    bool varargs = false;
+    std::string body;
+  };
+
+  Frame& CurrentFrame() { return frames_.back(); }
+  const Frame& CurrentFrame() const { return frames_.back(); }
+  // Follows alias links from the current frame to where `name` really lives.
+  std::pair<Frame*, std::string> ResolveVar(const std::string& name);
+  std::pair<const Frame*, std::string> ResolveVar(const std::string& name) const;
+
+  Outcome SubstituteWord(const Word& word, std::string* out);
+  Outcome RunParsed(const std::vector<ParsedCommand>& commands);
+  Outcome CallProc(const std::string& name, const Proc& proc,
+                   const std::vector<std::string>& argv);
+
+  // Parse cache: loop bodies are re-evaluated constantly; caching the parse
+  // keeps interpretation roughly linear.
+  std::shared_ptr<const std::vector<ParsedCommand>> ParseCached(std::string_view script,
+                                                                Status* error);
+
+  std::map<std::string, CommandFn> commands_;
+  std::map<std::string, Proc> procs_;
+  std::vector<Frame> frames_;
+  std::map<std::string, std::shared_ptr<const std::vector<ParsedCommand>>> parse_cache_;
+
+  uint64_t steps_ = 0;
+  int eval_depth_ = 0;
+  uint64_t step_limit_ = 0;
+  size_t max_depth_ = 256;
+  OutputFn output_;
+  void* context_ = nullptr;
+};
+
+// Registers the standard command set (set/if/while/list/string/expr/...).
+// Called by the Interp constructor; exposed for tests that build bare interps.
+void RegisterBuiltins(Interp* interp);
+
+// Evaluates a TACL expression string (with $var and [script] substitution
+// performed lazily inside the expression).  Used by `expr`, `if`, `while`.
+Outcome EvalExpr(Interp& interp, const std::string& expression);
+
+}  // namespace tacoma::tacl
+
+#endif  // TACOMA_TACL_INTERP_H_

@@ -1,0 +1,317 @@
+#include "tacl/list.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tacoma::tacl {
+namespace {
+
+bool NeedsQuoting(std::string_view s) {
+  if (s.empty()) {
+    return true;
+  }
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '{' || c == '}' ||
+        c == '[' || c == ']' || c == '$' || c == '"' || c == '\\' || c == ';') {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BracesBalanced(std::string_view s) {
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;  // Skip escaped char.
+      continue;
+    }
+    if (s[i] == '{') {
+      ++depth;
+    } else if (s[i] == '}') {
+      if (--depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0;
+}
+
+}  // namespace
+
+std::string QuoteElement(std::string_view element) {
+  if (!NeedsQuoting(element)) {
+    return std::string(element);
+  }
+  // A trailing backslash would escape the closing brace; count it as a run:
+  // an odd-length run of trailing backslashes rules out brace quoting.
+  size_t trailing_backslashes = 0;
+  for (auto it = element.rbegin(); it != element.rend() && *it == '\\'; ++it) {
+    ++trailing_backslashes;
+  }
+  if (trailing_backslashes % 2 == 0 && BracesBalanced(element)) {
+    std::string out;
+    out.reserve(element.size() + 2);
+    out.push_back('{');
+    out.append(element);
+    out.push_back('}');
+    return out;
+  }
+  // Unbalanced braces: backslash-escape specials.
+  std::string out;
+  out.reserve(element.size() * 2);
+  for (char c : element) {
+    switch (c) {
+      case '{':
+      case '}':
+      case '[':
+      case ']':
+      case '$':
+      case '"':
+      case '\\':
+      case ';':
+      case ' ':
+        out.push_back('\\');
+        out.push_back(c);
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out.empty() ? "{}" : out;
+}
+
+std::string FormatList(const std::vector<std::string>& elements) {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out.append(QuoteElement(elements[i]));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseList(std::string_view list) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = list.size();
+  while (i < n) {
+    // Skip whitespace between elements.
+    while (i < n && std::isspace(static_cast<unsigned char>(list[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    std::string element;
+    if (list[i] == '{') {
+      int depth = 1;
+      size_t start = ++i;
+      while (i < n && depth > 0) {
+        if (list[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (list[i] == '{') {
+          ++depth;
+        } else if (list[i] == '}') {
+          --depth;
+        }
+        ++i;
+      }
+      if (depth != 0) {
+        return InvalidArgumentError("unmatched open brace in list");
+      }
+      element.assign(list.substr(start, i - start - 1));
+      // A braced element must be followed by whitespace or end.
+      if (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        return InvalidArgumentError("list element in braces followed by junk");
+      }
+    } else if (list[i] == '"') {
+      size_t start = ++i;
+      std::string buf;
+      bool closed = false;
+      while (i < n) {
+        if (list[i] == '\\' && i + 1 < n) {
+          buf.append(list.substr(start, i - start));
+          char c = list[i + 1];
+          buf.push_back(c == 'n' ? '\n' : c == 't' ? '\t' : c);
+          i += 2;
+          start = i;
+          continue;
+        }
+        if (list[i] == '"') {
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgumentError("unmatched quote in list");
+      }
+      buf.append(list.substr(start, i - start));
+      element = std::move(buf);
+      ++i;  // Skip closing quote.
+    } else {
+      size_t start = i;
+      std::string buf;
+      while (i < n && !std::isspace(static_cast<unsigned char>(list[i]))) {
+        if (list[i] == '\\' && i + 1 < n) {
+          buf.append(list.substr(start, i - start));
+          char c = list[i + 1];
+          buf.push_back(c == 'n' ? '\n' : c == 't' ? '\t' : c);
+          i += 2;
+          start = i;
+          continue;
+        }
+        ++i;
+      }
+      buf.append(list.substr(start, i - start));
+      element = std::move(buf);
+    }
+    out.push_back(std::move(element));
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  // Trim whitespace.
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 0);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string FormatInt(int64_t v) { return std::to_string(v); }
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) {
+    return "NaN";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "Inf" : "-Inf";
+  }
+  // Integral doubles render with a trailing ".0" like Tcl.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    bool matched = false;
+    if (p < pattern.size()) {
+      char pc = pattern[p];
+      if (pc == '*') {
+        star_p = p++;
+        star_t = t;
+        continue;
+      }
+      if (pc == '?') {
+        matched = true;
+      } else if (pc == '[') {
+        size_t q = p + 1;
+        bool negate = q < pattern.size() && pattern[q] == '^';
+        if (negate) {
+          ++q;
+        }
+        bool in_set = false;
+        while (q < pattern.size() && pattern[q] != ']') {
+          char lo = pattern[q];
+          char hi = lo;
+          if (q + 2 < pattern.size() && pattern[q + 1] == '-' && pattern[q + 2] != ']') {
+            hi = pattern[q + 2];
+            q += 3;
+          } else {
+            q += 1;
+          }
+          if (text[t] >= lo && text[t] <= hi) {
+            in_set = true;
+          }
+        }
+        if (q < pattern.size()) {
+          // Consume ']'.
+          if (in_set != negate) {
+            matched = true;
+            p = q;  // Will be advanced below.
+          }
+        }
+      } else if (pc == '\\' && p + 1 < pattern.size()) {
+        if (pattern[p + 1] == text[t]) {
+          matched = true;
+          ++p;
+        }
+      } else if (pc == text[t]) {
+        matched = true;
+      }
+    }
+    if (matched) {
+      ++p;
+      ++t;
+      continue;
+    }
+    if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace tacoma::tacl

@@ -1,0 +1,44 @@
+// TACL value helpers: Tcl-style list formatting/parsing, number parsing, and
+// glob matching.
+//
+// TACL, like Tcl, has one data type — the string.  A list is a string whose
+// elements are separated by whitespace, with braces/backslashes quoting
+// elements that contain special characters.  These helpers implement that
+// round-trippable encoding.
+#ifndef TACOMA_TACL_LIST_H_
+#define TACOMA_TACL_LIST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tacoma::tacl {
+
+// Quotes one element so that ListParse() recovers it verbatim.
+std::string QuoteElement(std::string_view element);
+
+// Joins elements into a canonical list string.
+std::string FormatList(const std::vector<std::string>& elements);
+
+// Splits a list string into elements.  Fails on unbalanced braces.
+Result<std::vector<std::string>> ParseList(std::string_view list);
+
+// Number parsing.  TACL integers are int64; "0x" hex accepted.
+std::optional<int64_t> ParseInt(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Canonical formatting (matches Tcl's %g-ish float rendering closely enough
+// for tests to rely on).
+std::string FormatInt(int64_t v);
+std::string FormatDouble(double v);
+
+// Tcl-style glob: '*', '?', '[a-z]' ranges, '\' escapes.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace tacoma::tacl
+
+#endif  // TACOMA_TACL_LIST_H_

@@ -1,0 +1,319 @@
+#include "tacl/parse.h"
+
+#include <cctype>
+
+namespace tacoma::tacl {
+namespace {
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+char EscapeChar(char c) {
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case 'a':
+      return '\a';
+    case '0':
+      return '\0';
+    default:
+      return c;  // \$ \[ \" \\ \{ etc. yield the char itself.
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view script) : s_(script) {}
+
+  Result<std::vector<ParsedCommand>> Run() {
+    std::vector<ParsedCommand> commands;
+    while (true) {
+      SkipCommandSeparators();
+      if (AtEnd()) {
+        break;
+      }
+      if (Peek() == '#') {
+        SkipComment();
+        continue;
+      }
+      TACOMA_ASSIGN_OR_RETURN(ParsedCommand cmd, ParseCommand());
+      if (!cmd.words.empty()) {
+        commands.push_back(std::move(cmd));
+      }
+    }
+    return commands;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  void Advance() { ++pos_; }
+
+  void SkipCommandSeparators() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
+        Advance();
+      } else if (c == '\\' && Peek(1) == '\n') {
+        pos_ += 2;  // Line continuation.
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipComment() {
+    while (!AtEnd() && Peek() != '\n') {
+      // Backslash-newline continues the comment.
+      if (Peek() == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        continue;
+      }
+      Advance();
+    }
+  }
+
+  // Skips spaces/tabs between words (and line continuations).
+  void SkipWordSeparators() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t') {
+        Advance();
+      } else if (c == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtCommandEnd() const {
+    if (AtEnd()) {
+      return true;
+    }
+    char c = s_[pos_];
+    return c == '\n' || c == '\r' || c == ';';
+  }
+
+  Result<ParsedCommand> ParseCommand() {
+    ParsedCommand cmd;
+    while (true) {
+      SkipWordSeparators();
+      if (AtCommandEnd()) {
+        if (!AtEnd()) {
+          Advance();  // Consume the separator.
+        }
+        break;
+      }
+      TACOMA_ASSIGN_OR_RETURN(Word w, ParseWord());
+      cmd.words.push_back(std::move(w));
+    }
+    return cmd;
+  }
+
+  Result<Word> ParseWord() {
+    char c = Peek();
+    if (c == '{') {
+      return ParseBracedWord();
+    }
+    if (c == '"') {
+      return ParseQuotedWord();
+    }
+    return ParseBareWord();
+  }
+
+  Result<Word> ParseBracedWord() {
+    Advance();  // Consume '{'.
+    size_t start = pos_;
+    int depth = 1;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < s_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          break;
+        }
+      }
+      Advance();
+    }
+    if (depth != 0) {
+      return InvalidArgumentError("missing close-brace");
+    }
+    Word w;
+    w.braced = true;
+    w.parts.push_back({WordPart::Kind::kLiteral, std::string(s_.substr(start, pos_ - start))});
+    Advance();  // Consume '}'.
+    if (!AtEnd() && !AtCommandEnd() && Peek() != ' ' && Peek() != '\t') {
+      return InvalidArgumentError("extra characters after close-brace");
+    }
+    return w;
+  }
+
+  Result<Word> ParseQuotedWord() {
+    Advance();  // Consume '"'.
+    Word w;
+    std::string literal;
+    while (true) {
+      if (AtEnd()) {
+        return InvalidArgumentError("missing close-quote");
+      }
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        break;
+      }
+      TACOMA_RETURN_IF_ERROR(ConsumePart(&w, &literal, /*quoted=*/true));
+    }
+    FlushLiteral(&w, &literal);
+    if (!AtEnd() && !AtCommandEnd() && Peek() != ' ' && Peek() != '\t') {
+      return InvalidArgumentError("extra characters after close-quote");
+    }
+    if (w.parts.empty()) {
+      w.parts.push_back({WordPart::Kind::kLiteral, ""});
+    }
+    return w;
+  }
+
+  Result<Word> ParseBareWord() {
+    Word w;
+    std::string literal;
+    while (!AtEnd() && !AtCommandEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t') {
+        break;
+      }
+      if (c == '\\' && Peek(1) == '\n') {
+        break;  // Line continuation ends the word.
+      }
+      TACOMA_RETURN_IF_ERROR(ConsumePart(&w, &literal, /*quoted=*/false));
+    }
+    FlushLiteral(&w, &literal);
+    if (w.parts.empty()) {
+      w.parts.push_back({WordPart::Kind::kLiteral, ""});
+    }
+    return w;
+  }
+
+  static void FlushLiteral(Word* w, std::string* literal) {
+    if (!literal->empty()) {
+      w->parts.push_back({WordPart::Kind::kLiteral, std::move(*literal)});
+      literal->clear();
+    }
+  }
+
+  // Consumes one character, '$var', '[script]', or escape, appending to the
+  // pending literal or pushing a substitution part.
+  Status ConsumePart(Word* w, std::string* literal, bool quoted) {
+    char c = Peek();
+    if (c == '\\' && pos_ + 1 < s_.size()) {
+      Advance();
+      char e = Peek();
+      Advance();
+      if (e == '\n') {
+        literal->push_back(' ');
+      } else {
+        literal->push_back(EscapeChar(e));
+      }
+      return OkStatus();
+    }
+    if (c == '$') {
+      return ConsumeVariable(w, literal);
+    }
+    if (c == '[') {
+      return ConsumeScript(w, literal);
+    }
+    (void)quoted;
+    literal->push_back(c);
+    Advance();
+    return OkStatus();
+  }
+
+  Status ConsumeVariable(Word* w, std::string* literal) {
+    Advance();  // Consume '$'.
+    if (AtEnd()) {
+      literal->push_back('$');
+      return OkStatus();
+    }
+    if (Peek() == '{') {
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '}') {
+        Advance();
+      }
+      if (AtEnd()) {
+        return InvalidArgumentError("missing close-brace for variable name");
+      }
+      FlushLiteral(w, literal);
+      w->parts.push_back(
+          {WordPart::Kind::kVariable, std::string(s_.substr(start, pos_ - start))});
+      Advance();  // Consume '}'.
+      return OkStatus();
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsVarNameChar(Peek())) {
+      Advance();
+    }
+    if (pos_ == start) {
+      // Bare '$' with no name: literal dollar sign.
+      literal->push_back('$');
+      return OkStatus();
+    }
+    FlushLiteral(w, literal);
+    w->parts.push_back(
+        {WordPart::Kind::kVariable, std::string(s_.substr(start, pos_ - start))});
+    return OkStatus();
+  }
+
+  Status ConsumeScript(Word* w, std::string* literal) {
+    Advance();  // Consume '['.
+    size_t start = pos_;
+    int depth = 1;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < s_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        if (--depth == 0) {
+          break;
+        }
+      }
+      Advance();
+    }
+    if (depth != 0) {
+      return InvalidArgumentError("missing close-bracket");
+    }
+    FlushLiteral(w, literal);
+    w->parts.push_back(
+        {WordPart::Kind::kScript, std::string(s_.substr(start, pos_ - start))});
+    Advance();  // Consume ']'.
+    return OkStatus();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<ParsedCommand>> ParseScript(std::string_view script) {
+  return Parser(script).Run();
+}
+
+}  // namespace tacoma::tacl

@@ -1,0 +1,45 @@
+// TACL script parser.
+//
+// Parsing is separated from evaluation: a script is parsed into commands made
+// of words, and each word into parts (literal text, $variable references, and
+// [bracketed script] substitutions).  The evaluator performs substitution at
+// run time, re-entering Eval() for script parts.
+#ifndef TACOMA_TACL_PARSE_H_
+#define TACOMA_TACL_PARSE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tacoma::tacl {
+
+struct WordPart {
+  enum class Kind {
+    kLiteral,   // text is the value.
+    kVariable,  // text is the variable name.
+    kScript,    // text is a script to evaluate; its result is the value.
+  };
+  Kind kind;
+  std::string text;
+};
+
+struct Word {
+  std::vector<WordPart> parts;
+  // True when the word was written {braced}: a single literal part with no
+  // substitution performed (the usual form for loop bodies and proc bodies).
+  bool braced = false;
+};
+
+struct ParsedCommand {
+  std::vector<Word> words;
+};
+
+// Splits `script` into commands (separated by newline or ';' at top level)
+// and words.  Comments ('#' in command position) are skipped.
+Result<std::vector<ParsedCommand>> ParseScript(std::string_view script);
+
+}  // namespace tacoma::tacl
+
+#endif  // TACOMA_TACL_PARSE_H_

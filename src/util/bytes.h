@@ -1,0 +1,32 @@
+// Byte-string helpers shared across the codebase.
+//
+// TACOMA folders hold "uninterpreted sequences of bits" (paper §2); Bytes is
+// that representation.
+#ifndef TACOMA_UTIL_BYTES_H_
+#define TACOMA_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tacoma {
+
+using Bytes = std::vector<uint8_t>;
+
+// String <-> Bytes conversions (no encoding applied; byte-for-byte).
+Bytes ToBytes(std::string_view s);
+std::string ToString(const Bytes& b);
+
+// Lowercase hex encoding / decoding.  Decode returns false on malformed input.
+std::string HexEncode(const Bytes& b);
+bool HexDecode(std::string_view hex, Bytes* out);
+
+// FNV-1a 64-bit hash — used for cheap non-cryptographic fingerprints (the
+// crypto library provides SHA-256 where unforgeability matters).
+uint64_t Fnv1a64(const Bytes& b);
+uint64_t Fnv1a64(std::string_view s);
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_BYTES_H_

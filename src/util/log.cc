@@ -1,0 +1,39 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tacoma {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (GetLogLevel() < level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace tacoma

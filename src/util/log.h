@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benchmarks must stay quiet); tests and examples
+// raise the level explicitly.  The logger is a process-wide singleton writing
+// to stderr; simulation code passes the sim timestamp for readable traces.
+#ifndef TACOMA_UTIL_LOG_H_
+#define TACOMA_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace tacoma {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+// Sets / reads the global log threshold.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one log line (already filtered by the macros below).
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TACOMA_LOG(level)                              \
+  if (::tacoma::GetLogLevel() < ::tacoma::LogLevel::level) { \
+  } else                                               \
+    ::tacoma::internal::LogMessage(::tacoma::LogLevel::level)
+
+#define TLOG_ERROR TACOMA_LOG(kError)
+#define TLOG_WARN TACOMA_LOG(kWarn)
+#define TLOG_INFO TACOMA_LOG(kInfo)
+#define TLOG_DEBUG TACOMA_LOG(kDebug)
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_LOG_H_

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in TACOMA that needs randomness (workload generators, failure
+// injection, electronic-cash serial numbers via the crypto DRBG) derives from
+// explicitly seeded generators so experiments are bit-reproducible.
+#ifndef TACOMA_UTIL_RNG_H_
+#define TACOMA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tacoma {
+
+// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** — fast, high-quality, deterministic general-purpose PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound).  bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator (e.g. one per simulated site).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_RNG_H_

@@ -1,0 +1,143 @@
+// Status / Result<T> error model used across all TACOMA libraries.
+//
+// The library does not throw exceptions across API boundaries; every fallible
+// operation returns a Status or a Result<T>.  Codes follow the familiar
+// canonical-status vocabulary so call sites read naturally.
+#ifndef TACOMA_UTIL_STATUS_H_
+#define TACOMA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tacoma {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kResourceExhausted,
+  kUnavailable,
+  kAborted,
+  kOutOfRange,
+  kDataLoss,
+  kDeadlineExceeded,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code, e.g. "NOT_FOUND".
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional diagnostic message.  OK statuses carry
+// no message and are cheap to copy.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such agent".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// A Result<T> holds either a value or a non-OK status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError(...);`
+  // both work at call sites.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors up the call stack:  TACOMA_RETURN_IF_ERROR(DoThing());
+#define TACOMA_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::tacoma::Status tacoma_status__ = (expr);  \
+    if (!tacoma_status__.ok()) {                \
+      return tacoma_status__;                   \
+    }                                           \
+  } while (false)
+
+// Assigns the value of a Result<T> or propagates its error:
+//   TACOMA_ASSIGN_OR_RETURN(auto v, ComputeThing());
+#define TACOMA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  TACOMA_ASSIGN_OR_RETURN_IMPL_(                                 \
+      TACOMA_STATUS_CONCAT_(result__, __LINE__), lhs, expr)
+#define TACOMA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+#define TACOMA_STATUS_CONCAT_(a, b) TACOMA_STATUS_CONCAT_IMPL_(a, b)
+#define TACOMA_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_STATUS_H_

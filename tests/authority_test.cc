@@ -1,0 +1,100 @@
+#include "crypto/authority.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma {
+namespace {
+
+TEST(AuthorityTest, SignVerifyRoundTrip) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("pay alice 100");
+  Signature sig = auth.Sign("bob", msg);
+  EXPECT_EQ(sig.principal, "bob");
+  EXPECT_TRUE(auth.Verify(sig, msg));
+}
+
+TEST(AuthorityTest, TamperedMessageFails) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("pay alice 100");
+  Signature sig = auth.Sign("bob", msg);
+  EXPECT_FALSE(auth.Verify(sig, ToBytes("pay alice 999")));
+}
+
+TEST(AuthorityTest, TamperedTagFails) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("payload");
+  Signature sig = auth.Sign("bob", msg);
+  sig.tag[0] ^= 0x01;
+  EXPECT_FALSE(auth.Verify(sig, msg));
+}
+
+TEST(AuthorityTest, WrongPrincipalFails) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("payload");
+  Signature sig = auth.Sign("bob", msg);
+  sig.principal = "mallory";
+  auth.Enroll("mallory");
+  EXPECT_FALSE(auth.Verify(sig, msg));
+}
+
+TEST(AuthorityTest, UnknownPrincipalFailsVerification) {
+  SignatureAuthority auth(1);
+  Signature sig;
+  sig.principal = "ghost";
+  EXPECT_FALSE(auth.Verify(sig, ToBytes("x")));
+}
+
+TEST(AuthorityTest, EnrollIsIdempotent) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("m");
+  auth.Enroll("carol");
+  Signature before = auth.Sign("carol", msg);
+  auth.Enroll("carol");  // Must not rotate the key.
+  EXPECT_TRUE(auth.Verify(before, msg));
+  EXPECT_EQ(auth.principal_count(), 1u);
+}
+
+TEST(AuthorityTest, SignAutoEnrolls) {
+  SignatureAuthority auth(1);
+  EXPECT_FALSE(auth.IsEnrolled("dave"));
+  (void)auth.Sign("dave", ToBytes("m"));
+  EXPECT_TRUE(auth.IsEnrolled("dave"));
+}
+
+TEST(AuthorityTest, DistinctPrincipalsDistinctTags) {
+  SignatureAuthority auth(1);
+  Bytes msg = ToBytes("same message");
+  Signature a = auth.Sign("alice", msg);
+  Signature b = auth.Sign("bob", msg);
+  EXPECT_NE(DigestToHex(a.tag), DigestToHex(b.tag));
+}
+
+TEST(AuthorityTest, SeparateAuthoritiesAreSeparateTrustDomains) {
+  SignatureAuthority auth1(1);
+  SignatureAuthority auth2(2);
+  Bytes msg = ToBytes("m");
+  Signature sig = auth1.Sign("alice", msg);
+  auth2.Enroll("alice");
+  EXPECT_FALSE(auth2.Verify(sig, msg));
+}
+
+TEST(SignatureTest, SerializeRoundTrip) {
+  SignatureAuthority auth(7);
+  Signature sig = auth.Sign("eve", ToBytes("msg"));
+  auto restored = Signature::Deserialize(sig.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->principal, "eve");
+  EXPECT_EQ(restored->tag, sig.tag);
+  EXPECT_TRUE(auth.Verify(*restored, ToBytes("msg")));
+}
+
+TEST(SignatureTest, DeserializeRejectsTruncation) {
+  SignatureAuthority auth(7);
+  Signature sig = auth.Sign("eve", ToBytes("msg"));
+  Bytes wire = sig.Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(Signature::Deserialize(wire).ok());
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,335 @@
+// Tests for the TACL agent primitives (bc_*, cab_*, meet, move/jump/clone/send).
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+
+namespace tacoma {
+namespace {
+
+class BindingsTest : public ::testing::Test {
+ protected:
+  BindingsTest() {
+    a_ = kernel_.AddSite("alpha");
+    b_ = kernel_.AddSite("beta");
+    kernel_.net().AddLink(a_, b_);
+  }
+
+  // Launches code at alpha with an optional pre-seeded briefcase and returns
+  // the launch status.
+  Status Launch(const std::string& code, Briefcase bc = Briefcase()) {
+    return kernel_.LaunchAgent(a_, code, std::move(bc));
+  }
+
+  Kernel kernel_;
+  SiteId a_ = 0, b_ = 0;
+};
+
+TEST_F(BindingsTest, BriefcaseQueueOps) {
+  ASSERT_TRUE(Launch("bc_put Q 1; bc_put Q 2; bc_push Q 0;"
+                     "cab_set t LIST [bc_list Q];"
+                     "cab_set t LEN [bc_len Q];"
+                     "cab_set t POP [bc_pop Q];"
+                     "cab_set t POPB [bc_pop_back Q]")
+                  .ok());
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  EXPECT_EQ(*cab.GetSingleString("LIST"), "0 1 2");
+  EXPECT_EQ(*cab.GetSingleString("LEN"), "3");
+  EXPECT_EQ(*cab.GetSingleString("POP"), "0");
+  EXPECT_EQ(*cab.GetSingleString("POPB"), "2");
+}
+
+TEST_F(BindingsTest, BriefcaseScalarOps) {
+  ASSERT_TRUE(Launch("bc_set K v1; bc_set K v2;"
+                     "cab_set t GET [bc_get K];"
+                     "cab_set t PEEK [bc_peek K];"
+                     "cab_set t HAS [bc_has K];"
+                     "bc_clear K;"
+                     "cab_set t HAS2 [bc_has K]")
+                  .ok());
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  EXPECT_EQ(*cab.GetSingleString("GET"), "v2");
+  EXPECT_EQ(*cab.GetSingleString("PEEK"), "v2");
+  EXPECT_EQ(*cab.GetSingleString("HAS"), "1");
+  EXPECT_EQ(*cab.GetSingleString("HAS2"), "0");
+}
+
+TEST_F(BindingsTest, BcFoldersLists) {
+  Briefcase bc;
+  bc.SetString("B", "1");
+  bc.SetString("A", "1");
+  ASSERT_TRUE(Launch("cab_set t F [bc_folders]", bc).ok());
+  // CODE is consumed before the agent runs; A and B remain.
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("F"), "A B");
+}
+
+TEST_F(BindingsTest, PopEmptyFolderErrors) {
+  EXPECT_FALSE(Launch("bc_pop NOPE").ok());
+  EXPECT_FALSE(Launch("bc_get NOPE").ok());
+  EXPECT_FALSE(Launch("bc_peek NOPE").ok());
+}
+
+TEST_F(BindingsTest, CabinetOps) {
+  ASSERT_TRUE(Launch("cab_append c F one; cab_append c F two;"
+                     "cab_set t LEN [cab_len c F];"
+                     "cab_set t LIST [cab_list c F];"
+                     "cab_set t GET [cab_get c F 1];"
+                     "cab_set t HAS [cab_contains c F one];"
+                     "cab_set t MISS [cab_contains c F three];"
+                     "cab_erase c F;"
+                     "cab_set t AFTER [cab_len c F]")
+                  .ok());
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  EXPECT_EQ(*cab.GetSingleString("LEN"), "2");
+  EXPECT_EQ(*cab.GetSingleString("LIST"), "one two");
+  EXPECT_EQ(*cab.GetSingleString("GET"), "two");
+  EXPECT_EQ(*cab.GetSingleString("HAS"), "1");
+  EXPECT_EQ(*cab.GetSingleString("MISS"), "0");
+  EXPECT_EQ(*cab.GetSingleString("AFTER"), "0");
+}
+
+TEST_F(BindingsTest, CabFlushPersists) {
+  ASSERT_TRUE(Launch("cab_append d F keep; cab_flush d").ok());
+  kernel_.CrashSite(a_);
+  kernel_.RestartSite(a_);
+  EXPECT_EQ(kernel_.place(a_)->Cabinet("d").ListStrings("F"),
+            (std::vector<std::string>{"keep"}));
+}
+
+TEST_F(BindingsTest, IntrospectionCommands) {
+  Briefcase bc;
+  bc.SetString("AGENT", "tester");
+  ASSERT_TRUE(Launch("cab_set t SITE [site];"
+                     "cab_set t ID [agent_id];"
+                     "cab_set t NOW [now_us];"
+                     "cab_set t HASREXEC [expr {[lsearch [agents] rexec] >= 0}]",
+                     bc)
+                  .ok());
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  EXPECT_EQ(*cab.GetSingleString("SITE"), "alpha");
+  EXPECT_EQ(*cab.GetSingleString("ID"), "tester");
+  EXPECT_EQ(*cab.GetSingleString("NOW"), "0");
+  EXPECT_EQ(*cab.GetSingleString("HASREXEC"), "1");
+}
+
+TEST_F(BindingsTest, SelfCodeReturnsProgramText) {
+  const std::string code = "cab_set t CODE [self_code]";
+  ASSERT_TRUE(Launch(code).ok());
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("CODE"), code);
+}
+
+TEST_F(BindingsTest, MeetInvokesResident) {
+  kernel_.place(a_)->RegisterAgent("service", [](Place&, Briefcase& bc) {
+    bc.SetString("OUT", "served");
+    return OkStatus();
+  });
+  ASSERT_TRUE(Launch("meet service; cab_set t OUT [bc_get OUT]").ok());
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("OUT"), "served");
+}
+
+TEST_F(BindingsTest, MeetWithFolderListPassesOnlyThose) {
+  // "meet B with bc": the folder list is the argument list (§2).
+  std::vector<std::string> seen;
+  kernel_.place(a_)->RegisterAgent("picky", [&seen](Place&, Briefcase& bc) {
+    seen = bc.FolderNames();
+    bc.SetString("REPLY", "done");
+    return OkStatus();
+  });
+  ASSERT_TRUE(Launch("bc_set ARG1 x; bc_set ARG2 y; bc_set PRIVATE z;"
+                     "meet picky {ARG1 ARG2};"
+                     "cab_set t REPLY [bc_get REPLY];"
+                     "cab_set t PRIVATE [bc_get PRIVATE];"
+                     "cab_set t ARG1 [bc_get ARG1]")
+                  .ok());
+  // The met agent saw only the argument folders.
+  EXPECT_EQ(seen, (std::vector<std::string>{"ARG1", "ARG2"}));
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  // Results (REPLY) merged back; arguments returned; PRIVATE never left.
+  EXPECT_EQ(*cab.GetSingleString("REPLY"), "done");
+  EXPECT_EQ(*cab.GetSingleString("PRIVATE"), "z");
+  EXPECT_EQ(*cab.GetSingleString("ARG1"), "x");
+}
+
+TEST_F(BindingsTest, MeetWithFolderListSurvivesFailedMeet) {
+  kernel_.place(a_)->RegisterAgent("grump", [](Place&, Briefcase&) {
+    return InternalError("no");
+  });
+  ASSERT_TRUE(Launch("bc_set ARG keep;"
+                     "catch {meet grump {ARG}} e;"
+                     "cab_set t ARG [bc_get ARG]")
+                  .ok());
+  // The argument folder came back even though the meet failed.
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("ARG"), "keep");
+}
+
+TEST_F(BindingsTest, MeetFailurePropagatesAsError) {
+  EXPECT_FALSE(Launch("meet nobody").ok());
+  // But catchable from TACL.
+  ASSERT_TRUE(Launch("if {[catch {meet nobody} e]} {cab_set t ERR $e}").ok());
+  EXPECT_NE(kernel_.place(a_)->Cabinet("t").GetSingleString("ERR")->find("nobody"),
+            std::string::npos);
+}
+
+TEST_F(BindingsTest, MoveTransfersBriefcase) {
+  Briefcase bc;
+  bc.SetString("CARGO", "goods");
+  bc.folder(kCodeFolder).PushBackString("cab_set t CARGO [bc_get CARGO]");
+  // First CODE element runs at alpha (it moves); the pushed element would be
+  // consumed at beta... instead: the mover pushes the receiver code itself.
+  ASSERT_TRUE(Launch("bc_put CODE {cab_set t CARGO [bc_get CARGO]}; move beta",
+                     [] {
+                       Briefcase inner;
+                       inner.SetString("CARGO", "goods");
+                       return inner;
+                     }())
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(*kernel_.place(b_)->Cabinet("t").GetSingleString("CARGO"), "goods");
+}
+
+TEST_F(BindingsTest, MoveStopsLocalScriptAndBlocksFurtherBriefcaseUse) {
+  ASSERT_TRUE(Launch("bc_put CODE {}; move beta; cab_set t AFTER ran").ok());
+  kernel_.sim().Run();
+  // The command after `move` must not have run (script returned).
+  EXPECT_FALSE(kernel_.place(a_)->Cabinet("t").HasFolder("AFTER"));
+}
+
+TEST_F(BindingsTest, DepartedAgentCannotTouchBriefcase) {
+  // After move, bc_* from a proc continuation errors out.
+  Status s = Launch(
+      "proc go {} { bc_put CODE {}; move beta }\n"
+      "go\n"
+      "bc_put X leak");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("departed"), std::string::npos);
+}
+
+TEST_F(BindingsTest, MoveToUnknownSiteFailsAndStateIntact) {
+  ASSERT_TRUE(Launch("if {[catch {move nowhere} e]} {cab_set t E $e};"
+                     "bc_put OK still-usable")
+                  .ok());
+  EXPECT_TRUE(kernel_.place(a_)->Cabinet("t").HasFolder("E"));
+}
+
+TEST_F(BindingsTest, JumpRestartsSameProgramRemotely) {
+  // Classic itinerary: phase decided by briefcase state.
+  ASSERT_TRUE(Launch("if {[bc_has BEEN]} {"
+                     "  cab_set t DONE [site]"
+                     "} else {"
+                     "  bc_set BEEN 1; jump beta"
+                     "}")
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(*kernel_.place(b_)->Cabinet("t").GetSingleString("DONE"), "beta");
+}
+
+TEST_F(BindingsTest, CloneRunsRemotelyAndLocallyContinues) {
+  ASSERT_TRUE(Launch("if {[bc_has CLONED]} {"
+                     "  cab_set t WHO clone-at-[site]"
+                     "} else {"
+                     "  bc_set CLONED 1; clone beta; cab_set t WHO parent-at-[site]"
+                     "}")
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("WHO"), "parent-at-alpha");
+  EXPECT_EQ(*kernel_.place(b_)->Cabinet("t").GetSingleString("WHO"), "clone-at-beta");
+}
+
+TEST_F(BindingsTest, SendDeliversFolderViaCourier) {
+  Briefcase got;
+  kernel_.place(b_)->RegisterAgent("inbox", [&got](Place&, Briefcase& bc) {
+    got = bc;
+    return OkStatus();
+  });
+  ASSERT_TRUE(Launch("bc_put NEWS headline; send beta inbox NEWS;"
+                     "cab_set t LOCAL [bc_get NEWS]")
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(*got.GetString("NEWS"), "headline");
+  // Local copy retained; control folders cleaned up.
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("LOCAL"), "headline");
+}
+
+TEST_F(BindingsTest, RngUniformDeterministicPerPlace) {
+  ASSERT_TRUE(Launch("cab_append t R [rng_uniform 100];"
+                     "cab_append t R [rng_uniform 100]")
+                  .ok());
+  auto values = kernel_.place(a_)->Cabinet("t").ListStrings("R");
+  ASSERT_EQ(values.size(), 2u);
+  for (const std::string& v : values) {
+    int n = std::stoi(v);
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 100);
+  }
+
+  // Same seed, fresh kernel: identical draws.
+  Kernel other;
+  SiteId oa = other.AddSite("alpha");
+  ASSERT_TRUE(other
+                  .LaunchAgent(oa,
+                               "cab_append t R [rng_uniform 100];"
+                               "cab_append t R [rng_uniform 100]")
+                  .ok());
+  EXPECT_EQ(other.place(oa)->Cabinet("t").ListStrings("R"), values);
+}
+
+TEST_F(BindingsTest, DetachRunsContinuationAfterMeetReturns) {
+  // §2: "after the meet terminates, B may continue executing concurrently
+  // with A."  The resident finishes its meet immediately but schedules a
+  // continuation; A observes the meet return before the continuation runs.
+  kernel_.place(a_)->RegisterTaclAgent(
+      "background_worker",
+      "bc_set ACK now\n"
+      "detach 5000 {cab_set t LATER [now_us]}");
+  ASSERT_TRUE(Launch("meet background_worker;"
+                     "cab_set t ACK [bc_get ACK];"
+                     "cab_set t AT_MEET_RETURN [now_us]")
+                  .ok());
+  // Before running the simulator, only the synchronous part has happened.
+  FileCabinet& cab = kernel_.place(a_)->Cabinet("t");
+  EXPECT_EQ(*cab.GetSingleString("ACK"), "now");
+  EXPECT_FALSE(cab.HasFolder("LATER"));
+  kernel_.sim().Run();
+  ASSERT_TRUE(cab.HasFolder("LATER"));
+  EXPECT_EQ(*cab.GetSingleString("LATER"), "5000");
+}
+
+TEST_F(BindingsTest, DetachedContinuationSeesBriefcaseSnapshot) {
+  ASSERT_TRUE(Launch("bc_set DATA before\n"
+                     "detach 1000 {cab_set t SAW [bc_get DATA]}\n"
+                     "bc_set DATA after")
+                  .ok());
+  kernel_.sim().Run();
+  // The continuation got the snapshot taken at detach time.
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("SAW"), "before");
+}
+
+TEST_F(BindingsTest, DetachedContinuationDiesWithPlace) {
+  ASSERT_TRUE(Launch("detach 50000 {cab_set t ZOMBIE yes}").ok());
+  kernel_.CrashSite(a_);
+  kernel_.RestartSite(a_);
+  kernel_.sim().Run();
+  EXPECT_FALSE(kernel_.place(a_)->Cabinet("t").HasFolder("ZOMBIE"));
+}
+
+TEST_F(BindingsTest, DetachCanChain) {
+  ASSERT_TRUE(Launch("detach 1000 {cab_append t TICKS 1; "
+                     "detach 1000 {cab_append t TICKS 2}}")
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.place(a_)->Cabinet("t").ListStrings("TICKS"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(BindingsTest, WrongArityErrors) {
+  EXPECT_FALSE(Launch("bc_put onlyfolder").ok());
+  EXPECT_FALSE(Launch("bc_pop").ok());
+  EXPECT_FALSE(Launch("cab_append c onlyfolder").ok());
+  EXPECT_FALSE(Launch("meet a b").ok());
+  EXPECT_FALSE(Launch("move").ok());
+  EXPECT_FALSE(Launch("send beta inbox").ok());
+  EXPECT_FALSE(Launch("rng_uniform 0").ok());
+  EXPECT_FALSE(Launch("rng_uniform abc").ok());
+}
+
+}  // namespace
+}  // namespace tacoma

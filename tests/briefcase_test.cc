@@ -1,0 +1,134 @@
+#include "core/briefcase.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+TEST(BriefcaseTest, FolderGetOrCreate) {
+  Briefcase bc;
+  EXPECT_FALSE(bc.Has("X"));
+  bc.folder("X").PushBackString("v");
+  EXPECT_TRUE(bc.Has("X"));
+  EXPECT_EQ(bc.folder_count(), 1u);
+}
+
+TEST(BriefcaseTest, FindConstReturnsNullWhenAbsent) {
+  Briefcase bc;
+  EXPECT_EQ(bc.Find("nope"), nullptr);
+  bc.folder("yes");
+  EXPECT_NE(bc.Find("yes"), nullptr);
+}
+
+TEST(BriefcaseTest, RemoveAndClear) {
+  Briefcase bc;
+  bc.folder("A");
+  bc.folder("B");
+  EXPECT_TRUE(bc.Remove("A"));
+  EXPECT_FALSE(bc.Remove("A"));
+  bc.Clear();
+  EXPECT_EQ(bc.folder_count(), 0u);
+}
+
+TEST(BriefcaseTest, FolderNamesSorted) {
+  Briefcase bc;
+  bc.folder("zeta");
+  bc.folder("alpha");
+  EXPECT_EQ(bc.FolderNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(BriefcaseTest, SetGetStringIdiom) {
+  Briefcase bc;
+  bc.SetString(kHostFolder, "tromso");
+  EXPECT_EQ(*bc.GetString(kHostFolder), "tromso");
+  // SetString replaces rather than appends.
+  bc.SetString(kHostFolder, "cornell");
+  EXPECT_EQ(*bc.GetString(kHostFolder), "cornell");
+  EXPECT_EQ(bc.folder(kHostFolder).size(), 1u);
+  EXPECT_FALSE(bc.GetString("MISSING").has_value());
+}
+
+TEST(BriefcaseTest, AdoptMovesFolder) {
+  Briefcase from;
+  Briefcase to;
+  from.folder("DATA").PushBackString("payload");
+  EXPECT_TRUE(to.Adopt(from, "DATA"));
+  EXPECT_FALSE(from.Has("DATA"));
+  EXPECT_EQ(*to.GetString("DATA"), "payload");
+  EXPECT_FALSE(to.Adopt(from, "DATA"));
+}
+
+TEST(BriefcaseTest, SerializeRoundTrip) {
+  Briefcase bc;
+  bc.SetString(kContactFolder, "ag_tacl");
+  bc.folder(kCodeFolder).PushBackString("set a 5");
+  bc.folder("DATA").PushBack(Bytes{0, 1, 255});
+  bc.folder("EMPTY");
+
+  auto restored = Briefcase::Deserialize(bc.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, bc);
+  EXPECT_TRUE(restored->Has("EMPTY"));
+}
+
+TEST(BriefcaseTest, DeserializeRejectsTrailingGarbage) {
+  Briefcase bc;
+  bc.SetString("A", "x");
+  Bytes wire = bc.Serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(Briefcase::Deserialize(wire).ok());
+}
+
+TEST(BriefcaseTest, DeserializeRejectsTruncation) {
+  Briefcase bc;
+  bc.SetString("A", "somewhat longer value");
+  Bytes wire = bc.Serialize();
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(Briefcase::Deserialize(wire).ok());
+}
+
+TEST(BriefcaseTest, ByteSizeMatchesSerialization) {
+  Briefcase bc;
+  bc.SetString("HOST", "there");
+  bc.folder("PAYLOAD").PushBack(Bytes(1000));
+  bc.folder("PAYLOAD").PushBackString("extra");
+  EXPECT_EQ(bc.ByteSize(), bc.Serialize().size());
+}
+
+TEST(BriefcaseTest, EmptyBriefcaseRoundTrips) {
+  Briefcase bc;
+  auto restored = Briefcase::Deserialize(bc.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->folder_count(), 0u);
+}
+
+class BriefcasePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BriefcasePropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST_P(BriefcasePropertyTest, RandomBriefcasesRoundTrip) {
+  Rng rng(GetParam());
+  Briefcase bc;
+  size_t folders = rng.Uniform(8);
+  for (size_t i = 0; i < folders; ++i) {
+    Folder& f = bc.folder("folder" + std::to_string(rng.Uniform(12)));
+    size_t elements = rng.Uniform(6);
+    for (size_t k = 0; k < elements; ++k) {
+      Bytes b(rng.Uniform(64));
+      for (auto& byte : b) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      f.PushBack(std::move(b));
+    }
+  }
+  auto restored = Briefcase::Deserialize(bc.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, bc);
+  EXPECT_EQ(bc.ByteSize(), bc.Serialize().size());
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,254 @@
+// Broker agents (§4): matchmaking, policies, gossip, protected agents.
+#include "sched/broker.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma::sched {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() {
+    hub_ = kernel_.AddSite("hub");
+    east_ = kernel_.AddSite("east");
+    west_ = kernel_.AddSite("west");
+    kernel_.net().AddLink(hub_, east_);
+    kernel_.net().AddLink(hub_, west_);
+    broker_ = std::make_unique<BrokerService>(&kernel_, hub_);
+    broker_->Install();
+  }
+
+  ProviderInfo MakeProvider(const std::string& site, double capacity = 1.0,
+                            uint64_t load = 0) {
+    ProviderInfo p;
+    p.service = "compute";
+    p.site = site;
+    p.agent = "worker";
+    p.capacity = capacity;
+    p.load = load;
+    return p;
+  }
+
+  Kernel kernel_;
+  SiteId hub_ = 0, east_ = 0, west_ = 0;
+  std::unique_ptr<BrokerService> broker_;
+};
+
+TEST_F(BrokerTest, PolicyParsing) {
+  EXPECT_EQ(*ParsePolicy("random"), Policy::kRandom);
+  EXPECT_EQ(*ParsePolicy("round_robin"), Policy::kRoundRobin);
+  EXPECT_EQ(*ParsePolicy("least_loaded"), Policy::kLeastLoaded);
+  EXPECT_EQ(*ParsePolicy("weighted"), Policy::kWeightedCapacity);
+  EXPECT_EQ(*ParsePolicy(""), Policy::kLeastLoaded);  // Default.
+  EXPECT_FALSE(ParsePolicy("bogus").ok());
+  EXPECT_EQ(PolicyName(Policy::kRoundRobin), "round_robin");
+}
+
+TEST_F(BrokerTest, RegisterAndFind) {
+  broker_->Register(MakeProvider("east"));
+  auto found = broker_->Find("compute", Policy::kLeastLoaded);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->site, "east");
+  EXPECT_FALSE(broker_->Find("storage", Policy::kLeastLoaded).ok());
+}
+
+TEST_F(BrokerTest, ReRegisterUpdatesInPlace) {
+  broker_->Register(MakeProvider("east", 1.0));
+  broker_->Register(MakeProvider("east", 4.0));
+  EXPECT_EQ(broker_->provider_count(), 1u);
+  EXPECT_DOUBLE_EQ(broker_->providers("compute")->front().capacity, 4.0);
+}
+
+TEST_F(BrokerTest, LeastLoadedPrefersIdle) {
+  broker_->Register(MakeProvider("east", 1.0, 5));
+  broker_->Register(MakeProvider("west", 1.0, 1));
+  auto found = broker_->Find("compute", Policy::kLeastLoaded);
+  EXPECT_EQ(found->site, "west");
+}
+
+TEST_F(BrokerTest, LeastLoadedTieBreaksOnCapacity) {
+  broker_->Register(MakeProvider("east", 1.0, 2));
+  broker_->Register(MakeProvider("west", 8.0, 2));
+  EXPECT_EQ(broker_->Find("compute", Policy::kLeastLoaded)->site, "west");
+}
+
+TEST_F(BrokerTest, RoundRobinCycles) {
+  broker_->Register(MakeProvider("east"));
+  broker_->Register(MakeProvider("west"));
+  std::string first = broker_->Find("compute", Policy::kRoundRobin)->site;
+  std::string second = broker_->Find("compute", Policy::kRoundRobin)->site;
+  std::string third = broker_->Find("compute", Policy::kRoundRobin)->site;
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST_F(BrokerTest, RandomAndWeightedStayInPool) {
+  broker_->Register(MakeProvider("east", 1.0, 0));
+  broker_->Register(MakeProvider("west", 10.0, 0));
+  int west_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto found = broker_->Find("compute", Policy::kWeightedCapacity);
+    ASSERT_TRUE(found.ok());
+    if (found->site == "west") {
+      ++west_hits;
+    }
+  }
+  // Capacity 10 vs 1: west should dominate.
+  EXPECT_GT(west_hits, 140);
+}
+
+TEST_F(BrokerTest, ReportUpdatesLoad) {
+  broker_->Register(MakeProvider("east", 1.0, 0));
+  broker_->Register(MakeProvider("west", 1.0, 0));
+  broker_->Report("east", 9);
+  EXPECT_EQ(broker_->Find("compute", Policy::kLeastLoaded)->site, "west");
+  broker_->Report("east", 0);
+  broker_->Report("west", 3);
+  EXPECT_EQ(broker_->Find("compute", Policy::kLeastLoaded)->site, "east");
+}
+
+TEST_F(BrokerTest, MeetProtocolRegisterReportFind) {
+  Place* place = kernel_.place(hub_);
+  Briefcase reg;
+  reg.SetString("OP", "register");
+  reg.SetString("SERVICE", "compute");
+  reg.SetString("PROVIDER_SITE", "east");
+  reg.SetString("PROVIDER_AGENT", "worker");
+  reg.SetString("CAPACITY", "2.0");
+  ASSERT_TRUE(place->Meet("broker", reg).ok());
+
+  Briefcase report;
+  report.SetString("OP", "report");
+  report.SetString("SITE", "east");
+  report.SetString("LOAD", "3");
+  ASSERT_TRUE(place->Meet("broker", report).ok());
+
+  Briefcase find;
+  find.SetString("OP", "find");
+  find.SetString("SERVICE", "compute");
+  find.SetString("POLICY", "least_loaded");
+  ASSERT_TRUE(place->Meet("broker", find).ok());
+  EXPECT_EQ(*find.GetString("PROVIDER_SITE"), "east");
+  EXPECT_EQ(*find.GetString("PROVIDER_AGENT"), "worker");
+  EXPECT_EQ(*find.GetString("STATUS"), "ok");
+}
+
+TEST_F(BrokerTest, FindUnknownServiceViaMeetFails) {
+  Briefcase find;
+  find.SetString("OP", "find");
+  find.SetString("SERVICE", "nonexistent");
+  EXPECT_FALSE(kernel_.place(hub_)->Meet("broker", find).ok());
+  EXPECT_NE(find.GetString("STATUS")->find("no provider"), std::string::npos);
+}
+
+TEST_F(BrokerTest, GossipSpreadsProviderDb) {
+  // Second broker at east; only the hub broker knows the provider.
+  BrokerService east_broker(&kernel_, east_);
+  east_broker.Install();
+  broker_->AddPeer(east_);
+  broker_->Register(MakeProvider("west", 2.0, 1));
+
+  broker_->StartGossip(100 * kMillisecond);
+  kernel_.sim().RunUntil(150 * kMillisecond);
+
+  auto found = east_broker.Find("compute", Policy::kLeastLoaded);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->site, "west");
+  EXPECT_GE(east_broker.stats().gossip_merges, 1u);
+}
+
+TEST_F(BrokerTest, GossipPrefersNewerEntries) {
+  BrokerService east_broker(&kernel_, east_);
+  east_broker.Install();
+  broker_->AddPeer(east_);
+
+  // East already knows the provider with a NEWER load report.
+  kernel_.sim().RunUntil(10 * kMillisecond);
+  east_broker.Register(MakeProvider("west", 2.0, 7));
+
+  // Hub has a stale view (registered at t=10ms but we force older timestamp
+  // by registering before east's and gossiping after).
+  broker_->Register(MakeProvider("west", 2.0, 0));
+  auto* entry = &const_cast<std::vector<ProviderInfo>&>(
+      *broker_->providers("compute"))[0];
+  entry->updated = 0;  // Make hub's entry explicitly older.
+
+  broker_->StartGossip(50 * kMillisecond);
+  kernel_.sim().RunUntil(80 * kMillisecond);
+
+  // East keeps its newer load value.
+  EXPECT_EQ(east_broker.providers("compute")->front().load, 7u);
+}
+
+TEST_F(BrokerTest, GossipSkipsRoundsWhileBrokerSiteDown) {
+  BrokerService east_broker(&kernel_, east_);
+  east_broker.Install();
+  broker_->AddPeer(east_);
+  broker_->Register(MakeProvider("west"));
+
+  // Crash the broker's site FIRST: StartGossip fires its opening round
+  // immediately, and that round (plus every later one while down) must be
+  // skipped rather than sent.
+  kernel_.CrashSite(hub_);
+  broker_->StartGossip(50 * kMillisecond);
+  kernel_.sim().RunUntil(200 * kMillisecond);
+  EXPECT_EQ(east_broker.provider_count(), 0u);  // Nothing arrived while down.
+
+  kernel_.RestartSite(hub_);
+  kernel_.sim().RunUntil(500 * kMillisecond);
+  // The gossip chain survived the outage (the service object outlives the
+  // place) and resumed once the site came back.
+  EXPECT_EQ(east_broker.provider_count(), 1u);
+}
+
+TEST_F(BrokerTest, ProtectedAgentMeetingQueue) {
+  // §4: the protected agent's real name is secret; the broker queues meeting
+  // requests (briefcases stored inside folders, byte-for-byte).
+  broker_->Protect("oracle", "secret-name-1234");
+
+  Briefcase payload;
+  payload.SetString("QUESTION", "will it storm?");
+  Bytes serialized = payload.Serialize();
+
+  Briefcase request;
+  request.SetString("OP", "request_meeting");
+  request.SetString("PUBLIC", "oracle");
+  request.folder("PAYLOAD").PushBack(serialized);
+  ASSERT_TRUE(kernel_.place(hub_)->Meet("broker", request).ok());
+
+  // Wrong secret: denied.
+  Briefcase bad;
+  bad.SetString("OP", "collect");
+  bad.SetString("SECRET", "wrong");
+  EXPECT_FALSE(kernel_.place(hub_)->Meet("broker", bad).ok());
+
+  // Right secret: the queued briefcase comes back intact.
+  Briefcase collect;
+  collect.SetString("OP", "collect");
+  collect.SetString("SECRET", "secret-name-1234");
+  ASSERT_TRUE(kernel_.place(hub_)->Meet("broker", collect).ok());
+  const Folder* retrieved = collect.Find("RETRIEVED");
+  ASSERT_NE(retrieved, nullptr);
+  ASSERT_EQ(retrieved->size(), 1u);
+  auto restored = Briefcase::Deserialize(*retrieved->Front());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored->GetString("QUESTION"), "will it storm?");
+
+  // Queue drained.
+  Briefcase again;
+  again.SetString("OP", "collect");
+  again.SetString("SECRET", "secret-name-1234");
+  ASSERT_TRUE(kernel_.place(hub_)->Meet("broker", again).ok());
+  EXPECT_EQ(again.Find("RETRIEVED")->size(), 0u);
+}
+
+TEST_F(BrokerTest, MeetingRequestForUnknownProtectedAgentFails) {
+  Briefcase request;
+  request.SetString("OP", "request_meeting");
+  request.SetString("PUBLIC", "nobody");
+  request.folder("PAYLOAD").PushBack(Bytes{1});
+  EXPECT_FALSE(kernel_.place(hub_)->Meet("broker", request).ok());
+}
+
+}  // namespace
+}  // namespace tacoma::sched

@@ -1,0 +1,79 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+TEST(BytesTest, StringRoundTrip) {
+  std::string s = "hello \0 world";
+  Bytes b = ToBytes(s);
+  EXPECT_EQ(ToString(b), s);
+}
+
+TEST(BytesTest, EmptyConversions) {
+  EXPECT_TRUE(ToBytes("").empty());
+  EXPECT_EQ(ToString(Bytes{}), "");
+}
+
+TEST(HexTest, EncodeKnownValues) {
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+  EXPECT_EQ(HexEncode(Bytes{0x00}), "00");
+  EXPECT_EQ(HexEncode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(HexEncode(Bytes{0x0f, 0xf0}), "0ff0");
+}
+
+TEST(HexTest, DecodeKnownValues) {
+  Bytes out;
+  ASSERT_TRUE(HexDecode("deadbeef", &out));
+  EXPECT_EQ(out, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  ASSERT_TRUE(HexDecode("DEADBEEF", &out));
+  EXPECT_EQ(out, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  ASSERT_TRUE(HexDecode("", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HexTest, DecodeRejectsMalformed) {
+  Bytes out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // Odd length.
+  EXPECT_FALSE(HexDecode("zz", &out));    // Not hex.
+  EXPECT_FALSE(HexDecode("a ", &out));    // Space.
+}
+
+class HexRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HexRoundTripTest, ::testing::Range<uint64_t>(0, 10));
+
+TEST_P(HexRoundTripTest, RandomBuffersRoundTrip) {
+  Rng rng(GetParam());
+  Bytes original(rng.Uniform(200));
+  for (auto& b : original) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  Bytes decoded;
+  ASSERT_TRUE(HexDecode(HexEncode(original), &decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Fnv1a64Test, KnownValues) {
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64Test, BytesAndStringAgree) {
+  std::string s = "the quick brown fox";
+  EXPECT_EQ(Fnv1a64(s), Fnv1a64(ToBytes(s)));
+}
+
+TEST(Fnv1a64Test, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abcd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("bbc"));
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,230 @@
+#include "core/cabinet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+TEST(CabinetTest, AppendAndList) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "one");
+  cab.AppendString("F", "two");
+  EXPECT_EQ(cab.Size("F"), 2u);
+  EXPECT_EQ(cab.ListStrings("F"), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(CabinetTest, SetReplaces) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "a");
+  cab.AppendString("F", "b");
+  cab.SetString("F", "only");
+  EXPECT_EQ(cab.Size("F"), 1u);
+  EXPECT_EQ(*cab.GetSingleString("F"), "only");
+}
+
+TEST(CabinetTest, ContainsIsExact) {
+  FileCabinet cab("test");
+  cab.AppendString("VISITED", "siteA");
+  cab.AppendString("VISITED", "siteB");
+  EXPECT_TRUE(cab.ContainsString("VISITED", "siteA"));
+  EXPECT_FALSE(cab.ContainsString("VISITED", "siteC"));
+  EXPECT_FALSE(cab.ContainsString("OTHER", "siteA"));
+}
+
+TEST(CabinetTest, GetByIndex) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "x");
+  cab.AppendString("F", "y");
+  EXPECT_EQ(ToString(*cab.Get("F", 1)), "y");
+  EXPECT_FALSE(cab.Get("F", 2).has_value());
+  EXPECT_FALSE(cab.Get("G", 0).has_value());
+}
+
+TEST(CabinetTest, EraseFolder) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "x");
+  EXPECT_TRUE(cab.EraseFolder("F"));
+  EXPECT_FALSE(cab.HasFolder("F"));
+  EXPECT_FALSE(cab.EraseFolder("F"));
+}
+
+TEST(CabinetTest, EraseElementRemovesFirstMatch) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "dup");
+  cab.AppendString("F", "keep");
+  cab.AppendString("F", "dup");
+  EXPECT_TRUE(cab.EraseElement("F", ToBytes("dup")));
+  EXPECT_EQ(cab.ListStrings("F"), (std::vector<std::string>{"keep", "dup"}));
+  EXPECT_TRUE(cab.ContainsString("F", "dup"));  // One copy remains.
+  EXPECT_TRUE(cab.EraseElement("F", ToBytes("dup")));
+  EXPECT_FALSE(cab.ContainsString("F", "dup"));
+  EXPECT_FALSE(cab.EraseElement("F", ToBytes("dup")));
+}
+
+TEST(CabinetTest, FolderNames) {
+  FileCabinet cab("test");
+  cab.AppendString("B", "1");
+  cab.AppendString("A", "2");
+  auto names = cab.FolderNames();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(CabinetTest, SerializeRestoreRoundTrip) {
+  FileCabinet cab("test");
+  cab.AppendString("F", "a");
+  cab.AppendString("F", "b");
+  cab.Append("BIN", Bytes{0, 1, 2});
+
+  FileCabinet other("other");
+  ASSERT_TRUE(other.RestoreFrom(cab.Serialize()).ok());
+  EXPECT_EQ(other.ListStrings("F"), cab.ListStrings("F"));
+  EXPECT_TRUE(other.Contains("BIN", Bytes{0, 1, 2}));
+  // The index must be rebuilt on restore.
+  EXPECT_TRUE(other.ContainsString("F", "b"));
+}
+
+TEST(CabinetTest, FlushWithoutStorageFails) {
+  FileCabinet cab("test");
+  EXPECT_EQ(cab.Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(cab.HasStorage());
+}
+
+TEST(CabinetTest, FlushAndRecover) {
+  MemDisk disk;
+  FileCabinet cab("wx");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.wx"));
+  cab.AppendString("SAMPLES", "s1");
+  cab.AppendString("SAMPLES", "s2");
+  ASSERT_TRUE(cab.Flush().ok());
+  cab.AppendString("SAMPLES", "unflushed");
+
+  // A new incarnation recovers only what was flushed.
+  FileCabinet recovered("wx");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.wx"));
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.ListStrings("SAMPLES"),
+            (std::vector<std::string>{"s1", "s2"}));
+}
+
+TEST(CabinetTest, WriteAheadSurvivesWithoutFlush) {
+  MemDisk disk;
+  FileCabinet cab("guard");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.guard"),
+                    /*write_ahead=*/true);
+  cab.AppendString("STATE", "a");
+  cab.SetString("KV", "v1");
+  cab.AppendString("STATE", "b");
+  cab.EraseElement("STATE", ToBytes("a"));
+
+  FileCabinet recovered("guard");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.guard"), true);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.ListStrings("STATE"), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(*recovered.GetSingleString("KV"), "v1");
+}
+
+TEST(CabinetTest, WriteAheadPlusFlushCompacts) {
+  MemDisk disk;
+  FileCabinet cab("c");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.c"), true);
+  for (int i = 0; i < 100; ++i) {
+    cab.AppendString("F", std::to_string(i));
+  }
+  size_t before_flush = disk.TotalBytes();
+  ASSERT_TRUE(cab.Flush().ok());
+  // Compaction replaced 100 log records with one snapshot.
+  EXPECT_LT(disk.TotalBytes(), before_flush);
+
+  FileCabinet recovered("c");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.c"), true);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.Size("F"), 100u);
+}
+
+TEST(CabinetTest, MutationCounter) {
+  FileCabinet cab("test");
+  EXPECT_EQ(cab.mutations(), 0u);
+  cab.AppendString("F", "x");
+  cab.SetString("F", "y");
+  cab.EraseFolder("F");
+  EXPECT_EQ(cab.mutations(), 3u);
+}
+
+class CabinetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CabinetPropertyTest, ::testing::Range<uint64_t>(0, 8));
+
+// The hash index must agree with a linear scan under any op sequence.
+TEST_P(CabinetPropertyTest, ContainsMatchesLinearScan) {
+  Rng rng(GetParam());
+  FileCabinet cab("prop");
+  std::vector<std::string> universe;
+  for (int i = 0; i < 20; ++i) {
+    universe.push_back("item" + std::to_string(i));
+  }
+  for (int op = 0; op < 400; ++op) {
+    const std::string& item = universe[rng.Uniform(universe.size())];
+    switch (rng.Uniform(3)) {
+      case 0:
+        cab.AppendString("F", item);
+        break;
+      case 1:
+        cab.EraseElement("F", ToBytes(item));
+        break;
+      case 2: {
+        bool linear = false;
+        for (const std::string& e : cab.ListStrings("F")) {
+          if (e == item) {
+            linear = true;
+            break;
+          }
+        }
+        ASSERT_EQ(cab.ContainsString("F", item), linear) << item;
+        break;
+      }
+    }
+  }
+}
+
+// Write-ahead recovery must reproduce the exact final state for any op mix.
+TEST_P(CabinetPropertyTest, WriteAheadRecoveryIsExact) {
+  Rng rng(GetParam());
+  MemDisk disk;
+  FileCabinet cab("prop");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.prop"), true);
+  for (int op = 0; op < 200; ++op) {
+    std::string folder = "f" + std::to_string(rng.Uniform(4));
+    std::string value = "v" + std::to_string(rng.Uniform(30));
+    switch (rng.Uniform(4)) {
+      case 0:
+        cab.AppendString(folder, value);
+        break;
+      case 1:
+        cab.SetString(folder, value);
+        break;
+      case 2:
+        cab.EraseElement(folder, ToBytes(value));
+        break;
+      case 3:
+        cab.EraseFolder(folder);
+        break;
+    }
+  }
+  FileCabinet recovered("prop");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.prop"), true);
+  ASSERT_TRUE(recovered.Recover().ok());
+  auto names = cab.FolderNames();
+  auto recovered_names = recovered.FolderNames();
+  std::sort(names.begin(), names.end());
+  std::sort(recovered_names.begin(), recovered_names.end());
+  ASSERT_EQ(names, recovered_names);
+  for (const std::string& folder : names) {
+    EXPECT_EQ(recovered.ListStrings(folder), cab.ListStrings(folder)) << folder;
+  }
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,295 @@
+// Electronic cash (§3): ECUs, the mint/validation agent, wallets.
+#include <gtest/gtest.h>
+
+#include "cash/mint.h"
+#include "cash/wallet.h"
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+namespace {
+
+TEST(EcuTest, SerializeRoundTrip) {
+  Ecu ecu;
+  ecu.amount = 1234;
+  ecu.serial = Bytes(32, 0x5a);
+  auto restored = Ecu::Deserialize(ecu.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, ecu);
+}
+
+TEST(EcuTest, BatchEncodeDecode) {
+  Mint mint(1);
+  std::vector<Ecu> ecus{mint.Issue(10), mint.Issue(20), mint.Issue(30)};
+  auto decoded = DecodeEcus(EncodeEcus(ecus));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[1], ecus[1]);
+  EXPECT_EQ(TotalAmount(*decoded), 60u);
+}
+
+TEST(EcuTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeEcus(Bytes{0xff, 0xff}).ok());
+  EXPECT_FALSE(Ecu::Deserialize(Bytes{1, 2}).ok());
+}
+
+TEST(MintTest, IssueCreatesValidEcus) {
+  Mint mint(42);
+  Ecu ecu = mint.Issue(100);
+  EXPECT_EQ(ecu.amount, 100u);
+  EXPECT_EQ(ecu.serial.size(), 32u);
+  EXPECT_TRUE(mint.IsValid(ecu));
+  EXPECT_EQ(mint.Outstanding(), 100u);
+}
+
+TEST(MintTest, SerialsAreUnique) {
+  Mint mint(42);
+  std::set<std::string> serials;
+  for (int i = 0; i < 1000; ++i) {
+    serials.insert(mint.Issue(1).SerialHex());
+  }
+  EXPECT_EQ(serials.size(), 1000u);
+}
+
+TEST(MintTest, ValidateRetiresAndReissues) {
+  Mint mint(42);
+  Ecu old_note = mint.Issue(50);
+  auto fresh = mint.Validate(old_note);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->amount, 50u);
+  EXPECT_NE(fresh->serial, old_note.serial);
+  EXPECT_FALSE(mint.IsValid(old_note));  // Retired.
+  EXPECT_TRUE(mint.IsValid(*fresh));
+  EXPECT_EQ(mint.Outstanding(), 50u);  // Conservation.
+}
+
+TEST(MintTest, DoubleSpendFoiled) {
+  // "An attempt by an agent to spend retired or copied ECUs will be foiled."
+  Mint mint(42);
+  Ecu note = mint.Issue(50);
+  Ecu copy = note;  // "copy is a cheap operation"
+  ASSERT_TRUE(mint.Validate(note).ok());
+  auto second = mint.Validate(copy);
+  EXPECT_EQ(second.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(mint.stats().rejected, 1u);
+}
+
+TEST(MintTest, ForgedSerialRejected) {
+  Mint mint(42);
+  Ecu forged;
+  forged.amount = 1000000;
+  forged.serial = Bytes(32, 0x99);
+  EXPECT_FALSE(mint.Validate(forged).ok());
+}
+
+TEST(MintTest, TamperedAmountRejected) {
+  Mint mint(42);
+  Ecu note = mint.Issue(10);
+  note.amount = 10000;  // Inflate the note.
+  EXPECT_FALSE(mint.Validate(note).ok());
+  EXPECT_EQ(mint.Outstanding(), 10u);
+}
+
+TEST(MintTest, ExchangeMakesChange) {
+  Mint mint(42);
+  Ecu note = mint.Issue(100);
+  auto change = mint.Exchange({note}, {60, 30, 10});
+  ASSERT_TRUE(change.ok());
+  ASSERT_EQ(change->size(), 3u);
+  EXPECT_EQ(TotalAmount(*change), 100u);
+  EXPECT_FALSE(mint.IsValid(note));
+  EXPECT_EQ(mint.Outstanding(), 100u);
+}
+
+TEST(MintTest, ExchangeRejectsImbalance) {
+  Mint mint(42);
+  Ecu note = mint.Issue(100);
+  EXPECT_FALSE(mint.Exchange({note}, {60, 30}).ok());
+  EXPECT_TRUE(mint.IsValid(note));  // Untouched on failure.
+}
+
+TEST(MintTest, ExchangeIsAllOrNothing) {
+  Mint mint(42);
+  Ecu good = mint.Issue(50);
+  Ecu spent = mint.Issue(50);
+  ASSERT_TRUE(mint.Validate(spent).ok());  // Retire it.
+  EXPECT_FALSE(mint.Exchange({good, spent}, {100}).ok());
+  EXPECT_TRUE(mint.IsValid(good));  // The good note survived the failed batch.
+}
+
+TEST(MintTest, UntraceabilityIsStructural) {
+  // The mint never learns principals: its Validate signature takes only the
+  // record.  This test documents the payee-blind shape by exercising a
+  // transfer chain the mint cannot correlate: issue -> holder A -> B -> C.
+  Mint mint(42);
+  Ecu note = mint.Issue(10);
+  // A "transfer" is just handing over bytes.
+  Bytes wire = note.Serialize();
+  auto at_b = Ecu::Deserialize(wire);
+  ASSERT_TRUE(at_b.ok());
+  auto validated = mint.Validate(*at_b);
+  ASSERT_TRUE(validated.ok());
+  EXPECT_TRUE(mint.IsValid(*validated));
+}
+
+TEST(WalletTest, BalanceAndCount) {
+  Mint mint(1);
+  Wallet w;
+  w.Add(mint.Issue(10));
+  w.Add({mint.Issue(20), mint.Issue(5)});
+  EXPECT_EQ(w.Balance(), 35u);
+  EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(WalletTest, WithdrawExactSubset) {
+  Mint mint(1);
+  Wallet w;
+  w.Add({mint.Issue(50), mint.Issue(20), mint.Issue(10), mint.Issue(5)});
+  auto notes = w.Withdraw(30);
+  ASSERT_TRUE(notes.ok());
+  EXPECT_EQ(TotalAmount(*notes), 30u);
+  EXPECT_EQ(w.Balance(), 55u);
+}
+
+TEST(WalletTest, WithdrawInsufficientFails) {
+  Mint mint(1);
+  Wallet w;
+  w.Add(mint.Issue(10));
+  EXPECT_FALSE(w.Withdraw(11).ok());
+  EXPECT_EQ(w.Balance(), 10u);
+}
+
+TEST(WalletTest, WithdrawNoExactSubsetFails) {
+  Mint mint(1);
+  Wallet w;
+  w.Add({mint.Issue(7), mint.Issue(7)});
+  EXPECT_FALSE(w.Withdraw(10).ok());
+  EXPECT_EQ(w.Balance(), 14u);  // Nothing lost.
+}
+
+TEST(WalletTest, WithdrawZeroIsEmpty) {
+  Wallet w;
+  auto notes = w.Withdraw(0);
+  ASSERT_TRUE(notes.ok());
+  EXPECT_TRUE(notes->empty());
+}
+
+TEST(WalletTest, PayIntoAndCollectFromBriefcase) {
+  // "An agent transfers funds by placing these records in a briefcase that
+  // is then passed to the intended recipient."
+  Mint mint(1);
+  Wallet payer;
+  Wallet payee;
+  payer.Add({mint.Issue(25), mint.Issue(25)});
+
+  Briefcase bc;
+  ASSERT_TRUE(payer.PayInto(&bc, 50).ok());
+  EXPECT_EQ(payer.Balance(), 0u);
+  EXPECT_TRUE(bc.Has(kCashFolder));
+
+  auto received = payee.CollectFrom(&bc);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(*received, 50u);
+  EXPECT_EQ(payee.Balance(), 50u);
+  EXPECT_FALSE(bc.Has(kCashFolder));
+}
+
+TEST(WalletTest, CollectFromEmptyBriefcaseFails) {
+  Wallet w;
+  Briefcase bc;
+  EXPECT_FALSE(w.CollectFrom(&bc).ok());
+}
+
+// --- The mint as a resident agent -----------------------------------------------
+
+class MintAgentTest : public ::testing::Test {
+ protected:
+  MintAgentTest() : mint_(7) {
+    bank_ = kernel_.AddSite("bank");
+    client_ = kernel_.AddSite("client");
+    kernel_.net().AddLink(bank_, client_);
+    InstallMintAgent(&kernel_, bank_, &mint_);
+  }
+
+  Kernel kernel_;
+  Mint mint_;
+  SiteId bank_ = 0, client_ = 0;
+};
+
+TEST_F(MintAgentTest, IssueViaMeet) {
+  Briefcase bc;
+  bc.SetString("OP", "issue");
+  bc.SetString("AMOUNT", "75");
+  ASSERT_TRUE(kernel_.place(bank_)->Meet("mint", bc).ok());
+  EXPECT_EQ(*bc.GetString("STATUS"), "ok");
+  auto ecus = DecodeEcus(*bc.Find("ECUS")->Front());
+  ASSERT_TRUE(ecus.ok());
+  EXPECT_EQ(TotalAmount(*ecus), 75u);
+}
+
+TEST_F(MintAgentTest, ValidateViaMeet) {
+  Ecu note = mint_.Issue(40);
+  Briefcase bc;
+  bc.SetString("OP", "validate");
+  bc.folder("ECUS").PushBack(EncodeEcus({note}));
+  ASSERT_TRUE(kernel_.place(bank_)->Meet("mint", bc).ok());
+  EXPECT_EQ(*bc.GetString("STATUS"), "ok");
+  EXPECT_FALSE(mint_.IsValid(note));
+}
+
+TEST_F(MintAgentTest, DoubleSpendViaMeetReportsStatus) {
+  Ecu note = mint_.Issue(40);
+  ASSERT_TRUE(mint_.Validate(note).ok());
+  Briefcase bc;
+  bc.SetString("OP", "validate");
+  bc.folder("ECUS").PushBack(EncodeEcus({note}));
+  EXPECT_FALSE(kernel_.place(bank_)->Meet("mint", bc).ok());
+  EXPECT_NE(bc.GetString("STATUS")->find("spent"), std::string::npos);
+}
+
+TEST_F(MintAgentTest, ExchangeViaMeet) {
+  Ecu note = mint_.Issue(100);
+  Briefcase bc;
+  bc.SetString("OP", "exchange");
+  bc.folder("ECUS").PushBack(EncodeEcus({note}));
+  bc.folder("AMOUNT").PushBackString("70");
+  bc.folder("AMOUNT").PushBackString("30");
+  ASSERT_TRUE(kernel_.place(bank_)->Meet("mint", bc).ok());
+  auto change = DecodeEcus(*bc.Find("ECUS")->Front());
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change->size(), 2u);
+}
+
+TEST_F(MintAgentTest, RemoteValidationViaRelay) {
+  // A remote agent consults the mint through the relay — the paper's model
+  // of meeting service agents without sharing a site.
+  Ecu note = mint_.Issue(10);
+  std::optional<std::string> status;
+  kernel_.place(client_)->RegisterAgent("reply", [&status](Place&, Briefcase& bc) {
+    status = bc.GetString("STATUS");
+    return OkStatus();
+  });
+  Briefcase request;
+  request.SetString("TARGET", "mint");
+  request.SetString("REPLY_HOST", "client");
+  request.SetString("REPLY_CONTACT", "reply");
+  request.SetString("OP", "validate");
+  request.folder("ECUS").PushBack(EncodeEcus({note}));
+  ASSERT_TRUE(kernel_.TransferAgent(client_, bank_, "relay", request).ok());
+  kernel_.sim().Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, "ok");
+}
+
+TEST_F(MintAgentTest, SurvivesSiteRestart) {
+  Ecu note = mint_.Issue(5);
+  kernel_.CrashSite(bank_);
+  kernel_.RestartSite(bank_);
+  // The mint service object survived (like a vault); agent reinstalled.
+  Briefcase bc;
+  bc.SetString("OP", "validate");
+  bc.folder("ECUS").PushBack(EncodeEcus({note}));
+  ASSERT_TRUE(kernel_.place(bank_)->Meet("mint", bc).ok());
+}
+
+}  // namespace
+}  // namespace tacoma::cash

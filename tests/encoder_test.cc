@@ -1,0 +1,209 @@
+#include "serial/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+TEST(EncoderTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU32(0x12345678);
+  enc.PutU64(0xdeadbeefcafebabeull);
+  Decoder dec(enc.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(dec.GetU8(&u8));
+  ASSERT_TRUE(dec.GetU32(&u32));
+  ASSERT_TRUE(dec.GetU64(&u64));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0x12345678u);
+  EXPECT_EQ(u64, 0xdeadbeefcafebabeull);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(EncoderTest, VarintBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     0xffffffffull, 0xffffffffffffffffull}) {
+    Encoder enc;
+    enc.PutVarint(v);
+    Decoder dec(enc.buffer());
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint(&out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+TEST(EncoderTest, VarintSizes) {
+  Encoder enc;
+  enc.PutVarint(127);
+  EXPECT_EQ(enc.size(), 1u);
+  Encoder enc2;
+  enc2.PutVarint(128);
+  EXPECT_EQ(enc2.size(), 2u);
+  Encoder enc3;
+  enc3.PutVarint(0xffffffffffffffffull);
+  EXPECT_EQ(enc3.size(), 10u);
+}
+
+TEST(EncoderTest, SignedVarintRoundTrip) {
+  const std::vector<int64_t> values = {0,        1,        -1,       63, -64, 1000000,
+                                       -1000000, INT64_MAX, INT64_MIN};
+  for (int64_t v : values) {
+    Encoder enc;
+    enc.PutSignedVarint(v);
+    Decoder dec(enc.buffer());
+    int64_t out;
+    ASSERT_TRUE(dec.GetSignedVarint(&out)) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(EncoderTest, StringAndBytesRoundTrip) {
+  Encoder enc;
+  enc.PutString("hello");
+  enc.PutBytes(Bytes{1, 2, 3});
+  enc.PutString("");
+  Decoder dec(enc.buffer());
+  std::string s1, s2;
+  Bytes b;
+  ASSERT_TRUE(dec.GetString(&s1));
+  ASSERT_TRUE(dec.GetBytes(&b));
+  ASSERT_TRUE(dec.GetString(&s2));
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(b, (Bytes{1, 2, 3}));
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(DecoderTest, TruncationFailsCleanly) {
+  Encoder enc;
+  enc.PutU64(42);
+  Bytes truncated(enc.buffer().begin(), enc.buffer().begin() + 4);
+  Decoder dec(truncated);
+  uint64_t v;
+  EXPECT_FALSE(dec.GetU64(&v));
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderTest, TruncatedStringLengthFails) {
+  Encoder enc;
+  enc.PutVarint(100);  // Claims 100 bytes follow; none do.
+  Decoder dec(enc.buffer());
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s));
+}
+
+TEST(DecoderTest, PoisonedDecoderKeepsFailing) {
+  Encoder enc;
+  enc.PutU8(1);
+  Decoder dec(enc.buffer());
+  uint8_t v;
+  uint64_t big;
+  ASSERT_TRUE(dec.GetU8(&v));
+  EXPECT_FALSE(dec.GetU64(&big));  // Nothing left: poisons.
+  // Even though data is exhausted legitimately, further reads keep failing
+  // and Done() reflects the poisoned state.
+  EXPECT_FALSE(dec.GetU8(&v));
+  EXPECT_FALSE(dec.Done());
+}
+
+TEST(DecoderTest, OverlongVarintRejected) {
+  // 11 continuation bytes exceeds the 64-bit range.
+  Bytes bad(11, 0x80);
+  bad.push_back(0x01);
+  Decoder dec(bad);
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint(&v));
+}
+
+TEST(EncoderTest, TakeMovesBuffer) {
+  Encoder enc;
+  enc.PutString("data");
+  Bytes taken = enc.Take();
+  EXPECT_FALSE(taken.empty());
+  EXPECT_EQ(enc.size(), 0u);
+}
+
+class EncoderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderPropertyTest, ::testing::Range<uint64_t>(0, 20));
+
+TEST_P(EncoderPropertyTest, RandomMixedSequenceRoundTrips) {
+  Rng rng(GetParam());
+  // Build a random sequence of typed values, encode, decode, compare.
+  struct Item {
+    int kind;
+    uint64_t u;
+    int64_t i;
+    std::string s;
+  };
+  std::vector<Item> items;
+  Encoder enc;
+  size_t count = 5 + rng.Uniform(30);
+  for (size_t k = 0; k < count; ++k) {
+    Item item;
+    item.kind = static_cast<int>(rng.Uniform(4));
+    switch (item.kind) {
+      case 0:
+        item.u = rng.Next();
+        enc.PutU64(item.u);
+        break;
+      case 1:
+        item.u = rng.Next() >> rng.Uniform(64);
+        enc.PutVarint(item.u);
+        break;
+      case 2:
+        item.i = static_cast<int64_t>(rng.Next());
+        enc.PutSignedVarint(item.i);
+        break;
+      case 3: {
+        size_t len = rng.Uniform(50);
+        item.s.resize(len);
+        for (auto& c : item.s) {
+          c = static_cast<char>(rng.Uniform(256));
+        }
+        enc.PutString(item.s);
+        break;
+      }
+    }
+    items.push_back(item);
+  }
+  Decoder dec(enc.buffer());
+  for (const Item& item : items) {
+    switch (item.kind) {
+      case 0: {
+        uint64_t v;
+        ASSERT_TRUE(dec.GetU64(&v));
+        EXPECT_EQ(v, item.u);
+        break;
+      }
+      case 1: {
+        uint64_t v;
+        ASSERT_TRUE(dec.GetVarint(&v));
+        EXPECT_EQ(v, item.u);
+        break;
+      }
+      case 2: {
+        int64_t v;
+        ASSERT_TRUE(dec.GetSignedVarint(&v));
+        EXPECT_EQ(v, item.i);
+        break;
+      }
+      case 3: {
+        std::string v;
+        ASSERT_TRUE(dec.GetString(&v));
+        EXPECT_EQ(v, item.s);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(dec.Done());
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,192 @@
+// End-to-end audited exchanges (§3) with honest and cheating parties.
+#include <gtest/gtest.h>
+
+#include "cash/exchange.h"
+
+namespace tacoma::cash {
+namespace {
+
+class ExchangeTest : public ::testing::Test {
+ protected:
+  ExchangeTest() : auth_(5), mint_(5), notary_(&auth_) {
+    customer_ = kernel_.AddSite("customer");
+    provider_ = kernel_.AddSite("provider");
+    bank_ = kernel_.AddSite("bank");
+    court_ = kernel_.AddSite("court");
+    // Everyone reachable through the bank (a small hub-and-spoke world).
+    kernel_.net().AddLink(customer_, bank_);
+    kernel_.net().AddLink(provider_, bank_);
+    kernel_.net().AddLink(court_, bank_);
+    kernel_.net().AddLink(customer_, provider_);
+
+    InstallMintAgent(&kernel_, bank_, &mint_, &auth_);
+    InstallNotaryAgent(&kernel_, court_, &notary_);
+  }
+
+  Marketplace MakeMarket(ProviderPolicy policy = ProviderPolicy::kValidateFirst) {
+    MarketConfig config;
+    config.customer_site = customer_;
+    config.provider_site = provider_;
+    config.mint_site = bank_;
+    config.notary_site = court_;
+    config.policy = policy;
+    return Marketplace(&kernel_, &auth_, &mint_, &notary_, config);
+  }
+
+  Kernel kernel_;
+  SignatureAuthority auth_;
+  Mint mint_;
+  Notary notary_;
+  SiteId customer_ = 0, provider_ = 0, bank_ = 0, court_ = 0;
+};
+
+TEST_F(ExchangeTest, HonestExchangeCompletesClean) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kHonest).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x1");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->payment_collected);
+  EXPECT_TRUE(rec->goods_delivered);
+  EXPECT_TRUE(rec->goods_received);
+  EXPECT_FALSE(rec->aborted);
+  EXPECT_EQ(market.customer_wallet().Balance(), 60u);
+  EXPECT_EQ(market.provider_wallet().Balance(), 40u);
+
+  AuditReport report = market.AuditExchange("x1");
+  EXPECT_EQ(report.verdict, Verdict::kClean) << report.explanation;
+  EXPECT_TRUE(report.acked);
+}
+
+TEST_F(ExchangeTest, MoneyConservedAcrossExchanges) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(10, 10);
+  ASSERT_TRUE(market.StartExchange("a", 30, CheatMode::kHonest).ok());
+  ASSERT_TRUE(market.StartExchange("b", 20, CheatMode::kHonest).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(market.customer_wallet().Balance() + market.provider_wallet().Balance(),
+            100u);
+  EXPECT_EQ(mint_.Outstanding(), 100u);
+}
+
+TEST_F(ExchangeTest, NonPayingCustomerAgainstValidateFirstProvider) {
+  Marketplace market = MakeMarket(ProviderPolicy::kValidateFirst);
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kCustomerSkipsPayment).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x1");
+  EXPECT_TRUE(rec->aborted);
+  EXPECT_FALSE(rec->goods_delivered);
+  EXPECT_EQ(market.provider_wallet().Balance(), 0u);
+  // Nobody performed: clean abort on the books.
+  EXPECT_EQ(market.AuditExchange("x1").verdict, Verdict::kAborted);
+}
+
+TEST_F(ExchangeTest, NonPayingCustomerAgainstTrustingProviderConvicted) {
+  Marketplace market = MakeMarket(ProviderPolicy::kTrusting);
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kCustomerSkipsPayment).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x1");
+  EXPECT_TRUE(rec->goods_delivered);  // Trusted and lost the goods...
+  AuditReport report = market.AuditExchange("x1");
+  EXPECT_EQ(report.verdict, Verdict::kCustomerViolated)  // ...but wins in court.
+      << report.explanation;
+}
+
+TEST_F(ExchangeTest, ProviderKeepingMoneyConvicted) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kProviderSkipsDelivery).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x1");
+  EXPECT_TRUE(rec->payment_collected);
+  EXPECT_FALSE(rec->goods_received);
+  AuditReport report = market.AuditExchange("x1");
+  EXPECT_EQ(report.verdict, Verdict::kProviderViolated) << report.explanation;
+  EXPECT_TRUE(report.paid);
+  EXPECT_FALSE(report.delivered);
+}
+
+TEST_F(ExchangeTest, DoubleSpendFoiledBySecondValidation) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(5, 20);
+  // First double-spend-mode exchange pays honestly but stashes a copy.
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kCustomerDoubleSpends).ok());
+  kernel_.sim().Run();
+  EXPECT_TRUE(market.record("x1")->goods_received);
+
+  // Second exchange replays the spent records.
+  ASSERT_TRUE(market.StartExchange("x2", 40, CheatMode::kCustomerDoubleSpends).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x2");
+  EXPECT_TRUE(rec->aborted);
+  EXPECT_FALSE(rec->goods_delivered);
+  EXPECT_GE(mint_.stats().rejected, 1u);
+  // Provider kept only the first payment.
+  EXPECT_EQ(market.provider_wallet().Balance(), 40u);
+}
+
+TEST_F(ExchangeTest, TrustingProviderLosesGoodsToDoubleSpender) {
+  // §3's warning realized: deliver before validation and copied ECUs cost
+  // you the goods — though the court still convicts the customer.
+  Marketplace market = MakeMarket(ProviderPolicy::kTrusting);
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 40, CheatMode::kCustomerDoubleSpends).ok());
+  kernel_.sim().Run();
+  ASSERT_TRUE(market.StartExchange("x2", 40, CheatMode::kCustomerDoubleSpends).ok());
+  kernel_.sim().Run();
+
+  const ExchangeRecord* rec = market.record("x2");
+  EXPECT_TRUE(rec->goods_delivered);        // Shipped on trust...
+  EXPECT_FALSE(rec->payment_collected);     // ...for money that bounced.
+  EXPECT_EQ(market.provider_wallet().Balance(), 40u);  // Only x1's payment.
+  AuditReport report = market.AuditExchange("x2");
+  EXPECT_EQ(report.verdict, Verdict::kCustomerViolated) << report.explanation;
+}
+
+TEST_F(ExchangeTest, DuplicateExchangeIdRejected) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 20, CheatMode::kHonest).ok());
+  EXPECT_EQ(market.StartExchange("x1", 20, CheatMode::kHonest).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ExchangeTest, InsufficientFundsAbortsLocally) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(1, 10);
+  EXPECT_FALSE(market.StartExchange("x1", 500, CheatMode::kHonest).ok());
+  EXPECT_TRUE(market.record("x1")->aborted);
+}
+
+TEST_F(ExchangeTest, ConcurrentExchangesSettleIndependently) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(10, 10);
+  ASSERT_TRUE(market.StartExchange("a", 10, CheatMode::kHonest).ok());
+  ASSERT_TRUE(market.StartExchange("b", 10, CheatMode::kProviderSkipsDelivery).ok());
+  ASSERT_TRUE(market.StartExchange("c", 10, CheatMode::kCustomerSkipsPayment).ok());
+  kernel_.sim().Run();
+
+  EXPECT_EQ(market.AuditExchange("a").verdict, Verdict::kClean);
+  EXPECT_EQ(market.AuditExchange("b").verdict, Verdict::kProviderViolated);
+  EXPECT_EQ(market.AuditExchange("c").verdict, Verdict::kAborted);
+}
+
+TEST_F(ExchangeTest, LatencyIsMeasuredInSimTime) {
+  Marketplace market = MakeMarket();
+  market.FundCustomer(5, 20);
+  ASSERT_TRUE(market.StartExchange("x1", 20, CheatMode::kHonest).ok());
+  kernel_.sim().Run();
+  const ExchangeRecord* rec = market.record("x1");
+  EXPECT_GT(rec->settled, rec->started);
+}
+
+}  // namespace
+}  // namespace tacoma::cash

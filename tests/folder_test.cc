@@ -1,0 +1,192 @@
+#include "core/folder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma {
+namespace {
+
+TEST(FolderTest, StartsEmpty) {
+  Folder f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.Front(), nullptr);
+  EXPECT_EQ(f.Back(), nullptr);
+  EXPECT_FALSE(f.PopFront().has_value());
+  EXPECT_FALSE(f.PopBack().has_value());
+}
+
+TEST(FolderTest, QueueSemantics) {
+  Folder f;
+  f.PushBackString("first");
+  f.PushBackString("second");
+  f.PushBackString("third");
+  EXPECT_EQ(*f.PopFrontString(), "first");
+  EXPECT_EQ(*f.PopFrontString(), "second");
+  EXPECT_EQ(*f.PopFrontString(), "third");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FolderTest, StackSemantics) {
+  Folder f;
+  f.PushFrontString("a");
+  f.PushFrontString("b");
+  f.PushFrontString("c");
+  EXPECT_EQ(*f.PopFrontString(), "c");
+  EXPECT_EQ(*f.PopFrontString(), "b");
+  EXPECT_EQ(*f.PopFrontString(), "a");
+}
+
+TEST(FolderTest, MixedEnds) {
+  Folder f;
+  f.PushBackString("middle");
+  f.PushFrontString("front");
+  f.PushBackString("back");
+  EXPECT_EQ(*f.FrontString(), "front");
+  EXPECT_EQ(*f.PopBackString(), "back");
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FolderTest, UninterpretedBytes) {
+  Folder f;
+  Bytes binary{0x00, 0xff, 0x80, 0x00};
+  f.PushBack(binary);
+  EXPECT_EQ(*f.PopFront(), binary);
+}
+
+TEST(FolderTest, AtAndIteration) {
+  Folder f;
+  f.PushBackString("x");
+  f.PushBackString("y");
+  EXPECT_EQ(ToString(f.At(0)), "x");
+  EXPECT_EQ(ToString(f.At(1)), "y");
+  size_t count = 0;
+  for (const Bytes& b : f) {
+    (void)b;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(FolderTest, AsStringsAndContains) {
+  Folder f;
+  f.PushBackString("alpha");
+  f.PushBackString("beta");
+  EXPECT_EQ(f.AsStrings(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(f.ContainsString("alpha"));
+  EXPECT_FALSE(f.ContainsString("alph"));
+  EXPECT_FALSE(f.ContainsString("alphaa"));
+}
+
+TEST(FolderTest, ClearEmpties) {
+  Folder f;
+  f.PushBackString("x");
+  f.Clear();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FolderTest, EncodeDecodeRoundTrip) {
+  Folder f;
+  f.PushBackString("one");
+  f.PushBack(Bytes{1, 2, 3});
+  f.PushBackString("");
+  Encoder enc;
+  f.Encode(&enc);
+  Decoder dec(enc.buffer());
+  auto restored = Folder::Decode(&dec);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, f);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(FolderTest, ByteSizeMatchesEncoding) {
+  Folder f;
+  f.PushBackString("hello");
+  f.PushBack(Bytes(200));
+  Encoder enc;
+  f.Encode(&enc);
+  EXPECT_EQ(f.ByteSize(), enc.size());
+}
+
+TEST(FolderTest, DecodeTruncatedFails) {
+  Folder f;
+  f.PushBackString("data");
+  Encoder enc;
+  f.Encode(&enc);
+  Bytes truncated(enc.buffer().begin(), enc.buffer().end() - 2);
+  Decoder dec(truncated);
+  EXPECT_FALSE(Folder::Decode(&dec).ok());
+}
+
+class FolderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FolderPropertyTest, ::testing::Range<uint64_t>(0, 12));
+
+TEST_P(FolderPropertyTest, RandomOpsMatchDequeModel) {
+  Rng rng(GetParam());
+  Folder folder;
+  std::deque<std::string> model;
+  for (int op = 0; op < 300; ++op) {
+    switch (rng.Uniform(4)) {
+      case 0: {
+        std::string v = "v" + std::to_string(rng.Uniform(1000));
+        folder.PushBackString(v);
+        model.push_back(v);
+        break;
+      }
+      case 1: {
+        std::string v = "v" + std::to_string(rng.Uniform(1000));
+        folder.PushFrontString(v);
+        model.push_front(v);
+        break;
+      }
+      case 2: {
+        auto got = folder.PopFrontString();
+        if (model.empty()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      case 3: {
+        auto got = folder.PopBackString();
+        if (model.empty()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, model.back());
+          model.pop_back();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(folder.size(), model.size());
+  }
+  EXPECT_EQ(folder.AsStrings(), std::vector<std::string>(model.begin(), model.end()));
+}
+
+TEST_P(FolderPropertyTest, SerializationRoundTripsRandomContents) {
+  Rng rng(GetParam());
+  Folder f;
+  size_t count = rng.Uniform(20);
+  for (size_t i = 0; i < count; ++i) {
+    Bytes b(rng.Uniform(100));
+    for (auto& byte : b) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    f.PushBack(std::move(b));
+  }
+  Encoder enc;
+  f.Encode(&enc);
+  Decoder dec(enc.buffer());
+  auto restored = Folder::Decode(&dec);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, f);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,105 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma {
+namespace {
+
+std::string HmacHex(const Bytes& key, const Bytes& msg) {
+  return DigestToHex(HmacSha256(key, msg));
+}
+
+// RFC 4231 test vectors.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HmacHex(key, ToBytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HmacHex(ToBytes("Jefe"), ToBytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(HmacHex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);  // Longer than the block size: hashed first.
+  EXPECT_EQ(HmacHex(key, ToBytes("Test Using Larger Than Block-Size Key - "
+                                 "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  Bytes msg = ToBytes("message");
+  EXPECT_NE(HmacHex(ToBytes("key1"), msg), HmacHex(ToBytes("key2"), msg));
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  Bytes key = ToBytes("key");
+  EXPECT_NE(HmacHex(key, ToBytes("a")), HmacHex(key, ToBytes("b")));
+}
+
+TEST(HmacDrbgTest, DeterministicFromSeed) {
+  HmacDrbg a(ToBytes("seed"));
+  HmacDrbg b(ToBytes("seed"));
+  Bytes ba, bb;
+  a.Generate(64, &ba);
+  b.Generate(64, &bb);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(HmacDrbgTest, DifferentSeedsDiverge) {
+  HmacDrbg a(ToBytes("seed-a"));
+  HmacDrbg b(ToBytes("seed-b"));
+  Bytes ba, bb;
+  a.Generate(32, &ba);
+  b.Generate(32, &bb);
+  EXPECT_NE(ba, bb);
+}
+
+TEST(HmacDrbgTest, SuccessiveOutputsDiffer) {
+  HmacDrbg drbg(ToBytes("seed"));
+  Bytes first, second;
+  drbg.Generate(32, &first);
+  drbg.Generate(32, &second);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbgTest, GeneratesExactLengths) {
+  HmacDrbg drbg(ToBytes("x"));
+  for (size_t len : {0u, 1u, 31u, 32u, 33u, 100u, 1000u}) {
+    Bytes out;
+    drbg.Generate(len, &out);
+    EXPECT_EQ(out.size(), len);
+  }
+}
+
+TEST(HmacDrbgTest, ReseedChangesStream) {
+  HmacDrbg a(ToBytes("seed"));
+  HmacDrbg b(ToBytes("seed"));
+  Bytes junk;
+  a.Generate(8, &junk);
+  b.Generate(8, &junk);
+  b.Reseed(ToBytes("extra entropy"));
+  Bytes out_a, out_b;
+  a.Generate(32, &out_a);
+  b.Generate(32, &out_b);
+  EXPECT_NE(out_a, out_b);
+}
+
+TEST(HmacDrbgTest, NextU64Deterministic) {
+  HmacDrbg a(ToBytes("n"));
+  HmacDrbg b(ToBytes("n"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,349 @@
+// Cross-module integration scenarios exercising the full TACOMA stack the
+// way the paper's applications would.
+#include <gtest/gtest.h>
+
+#include "cash/exchange.h"
+#include "ft/rearguard.h"
+#include "mail/mail.h"
+#include "sched/broker.h"
+#include "sched/jobs.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+// A data-collection agent with electronic cash: it pays a toll at each data
+// site before reading the cabinet — commerce (§3) meeting mobility (§2).
+TEST(IntegrationTest, PayPerDataItinerary) {
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId data1 = kernel.AddSite("data1");
+  SiteId data2 = kernel.AddSite("data2");
+  SiteId bank = kernel.AddSite("bank");
+  for (SiteId s : {data1, data2, bank}) {
+    kernel.net().AddLink(home, s);
+    for (SiteId t : {data1, data2, bank}) {
+      if (s < t) {
+        kernel.net().AddLink(s, t);
+      }
+    }
+  }
+
+  cash::Mint mint(3);
+  cash::InstallMintAgent(&kernel, bank, &mint);
+
+  // Each data site sells one record for 10 ECU via a native "toll" agent that
+  // validates payment with the mint synchronously through its own books (the
+  // validation round trip is covered by exchange_test; here sites trust the
+  // serial check performed later in bulk).
+  for (SiteId s : {data1, data2}) {
+    kernel.place(s)->Cabinet("shop").SetString("DATUM",
+                                               "reading-from-" +
+                                                   kernel.net().site_name(s));
+    kernel.place(s)->RegisterAgent("toll", [](Place& at, Briefcase& bc) -> Status {
+      Folder* payment = bc.Find(cash::kCashFolder);
+      if (payment == nullptr || payment->empty()) {
+        return PermissionDeniedError("no payment");
+      }
+      auto notes = cash::DecodeEcus(*payment->Front());
+      if (!notes.ok() || cash::TotalAmount(*notes) < 10) {
+        return PermissionDeniedError("underpaid");
+      }
+      // Bank one payment element in the till; the rest travels on.
+      at.Cabinet("shop").Append("TILL", *payment->PopFront());
+      bc.folder("DATA").PushBackString(
+          *at.Cabinet("shop").GetSingleString("DATUM"));
+      return OkStatus();
+    });
+  }
+
+  // Fund the agent: 2 notes of 10.
+  Briefcase bc;
+  bc.folder(cash::kCashFolder).PushBack(cash::EncodeEcus({mint.Issue(10)}));
+  bc.folder(cash::kCashFolder).PushBack(cash::EncodeEcus({mint.Issue(10)}));
+  bc.folder("ITINERARY").PushBackString("data1");
+  bc.folder("ITINERARY").PushBackString("data2");
+  bc.SetString("HOME", "home");
+
+  // The agent pays the toll (one CASH element per site), collects data, and
+  // returns home with both readings.
+  const char* code = R"(
+    set home [bc_get HOME]
+    if {[site] ne $home} {
+      meet toll
+    }
+    if {[bc_len ITINERARY] > 0} {
+      jump [bc_pop ITINERARY]
+    } elseif {[site] ne $home} {
+      jump $home
+    } else {
+      foreach d [bc_list DATA] { cab_append results DATA $d }
+    }
+  )";
+  ASSERT_TRUE(kernel.LaunchAgent(home, code, bc).ok());
+  kernel.sim().Run();
+
+  auto results = kernel.place(home)->Cabinet("results").ListStrings("DATA");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], "reading-from-data1");
+  EXPECT_EQ(results[1], "reading-from-data2");
+  // Both tills hold one payment.
+  EXPECT_EQ(kernel.place(data1)->Cabinet("shop").Size("TILL"), 1u);
+  EXPECT_EQ(kernel.place(data2)->Cabinet("shop").Size("TILL"), 1u);
+}
+
+// A guarded agent books work through a broker and the guard chain fully
+// retires on completion: §4 meets §5.
+TEST(IntegrationTest, GuardedAgentBooksWorkThroughBroker) {
+  Kernel kernel;
+  auto ids = BuildFullMesh(&kernel.net(), 5);
+  kernel.AdoptNetworkSites();
+  SiteId home = ids[0];
+  SiteId broker_site = ids[1];
+
+  ft::RearGuard guard(&kernel, ft::GuardOptions{30 * kMillisecond, 3, 4});
+  guard.Install();
+
+  sched::BrokerService broker(&kernel, broker_site);
+  broker.Install();
+  for (size_t i = 2; i <= 3; ++i) {
+    sched::ProviderInfo p;
+    p.service = "archive";
+    p.site = kernel.net().site_name(ids[i]);
+    p.agent = "archive";
+    broker.Register(p);
+    kernel.AddPlaceInitializer([site = ids[i]](Place& place) {
+      if (place.site() != site) {
+        return;
+      }
+      place.RegisterAgent("archive", [](Place& at, Briefcase& bc) {
+        at.Cabinet("archive").AppendString("ITEMS",
+                                           bc.GetString("ITEM").value_or(""));
+        bc.SetString("STORED", at.name());
+        return OkStatus();
+      });
+    });
+  }
+
+  // Itinerary: go to the broker, find an archive provider, go there, store,
+  // come home.  Phases via briefcase state; guarded hops throughout.
+  const char* code = R"(
+    if {[bc_has STORED]} {
+      cab_set t RESULT [bc_get STORED]
+      ft_retire
+    } elseif {[bc_has PROVIDER_SITE]} {
+      meet archive
+      ft_jump s0
+    } elseif {[site] eq "s1"} {
+      bc_set OP find
+      bc_set SERVICE archive
+      bc_set POLICY round_robin
+      meet broker
+      ft_jump [bc_get PROVIDER_SITE]
+    } else {
+      ft_jump s1
+    }
+  )";
+  Briefcase bc;
+  bc.SetString("AGENT", "archiver");
+  bc.SetString("ITEM", "precious-record");
+  bc.folder("ITINERARY").PushBackString("s1");
+  bc.folder("ITINERARY").PushBackString("s2");
+  bc.folder("ITINERARY").PushBackString("s3");
+  bc.folder("ITINERARY").PushBackString("s0");
+  ASSERT_TRUE(kernel.LaunchAgent(home, code, bc).ok());
+  kernel.sim().RunUntil(5 * kSecond);
+
+  // No failures: stored at the first round-robin provider (s2) and reported.
+  EXPECT_EQ(kernel.place(home)->Cabinet("t").GetSingleString("RESULT").value_or(""),
+            "s2");
+  EXPECT_EQ(guard.TotalGuards(), 0u);
+}
+
+// Mail + marketplace: an invoice is mailed, then paid through the audited
+// exchange; the court confirms a clean outcome.
+TEST(IntegrationTest, InvoiceByMailThenAuditedPayment) {
+  Kernel kernel;
+  SiteId shop_site = kernel.AddSite("shopsite");
+  SiteId customer_site = kernel.AddSite("customersite");
+  SiteId bank = kernel.AddSite("bank");
+  SiteId court = kernel.AddSite("court");
+  for (SiteId a : {shop_site, customer_site, bank, court}) {
+    for (SiteId b : {shop_site, customer_site, bank, court}) {
+      if (a < b) {
+        kernel.net().AddLink(a, b);
+      }
+    }
+  }
+
+  SignatureAuthority auth(8);
+  cash::Mint mint(8);
+  cash::Notary notary(&auth);
+  cash::InstallMintAgent(&kernel, bank, &mint, &auth);
+  cash::InstallNotaryAgent(&kernel, court, &notary);
+
+  mail::MailSystem mail(&kernel);
+  mail.Install();
+
+  cash::MarketConfig config;
+  config.customer_site = customer_site;
+  config.provider_site = shop_site;
+  config.mint_site = bank;
+  config.notary_site = court;
+  cash::Marketplace market(&kernel, &auth, &mint, &notary, config);
+  market.FundCustomer(4, 25);
+
+  // The shop mails an invoice; on delivery the customer pays.
+  ASSERT_TRUE(mail.Send(shop_site, "shopkeeper", customer_site, "buyer",
+                        "invoice-77", "please pay 50")
+                  .ok());
+  kernel.sim().Run();
+  auto inbox = mail.Inbox(customer_site, "buyer");
+  ASSERT_EQ(inbox.size(), 1u);
+  ASSERT_EQ(inbox[0].subject, "invoice-77");
+
+  ASSERT_TRUE(market.StartExchange("invoice-77", 50, cash::CheatMode::kHonest).ok());
+  kernel.sim().Run();
+
+  EXPECT_TRUE(market.record("invoice-77")->goods_received);
+  EXPECT_EQ(market.provider_wallet().Balance(), 50u);
+  EXPECT_EQ(market.AuditExchange("invoice-77").verdict, cash::Verdict::kClean);
+}
+
+// The whole paper in one scenario: a guarded weather-collection agent (§5)
+// filters sensor cabinets in place (§1/§2) while one sensor site crashes
+// mid-walk; the computation survives, skips the dead site, and the guard
+// chain retires cleanly.
+TEST(IntegrationTest, GuardedDataCollectionSurvivesSensorCrash) {
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  std::vector<SiteId> sensors;
+  for (int i = 0; i < 3; ++i) {
+    sensors.push_back(kernel.AddSite("sensor" + std::to_string(i)));
+  }
+  for (SiteId a : sensors) {
+    kernel.net().AddLink(home, a);
+    for (SiteId b : sensors) {
+      if (a < b) {
+        kernel.net().AddLink(a, b);
+      }
+    }
+  }
+  // Each sensor holds readings; sensor1 will die before the agent arrives.
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    FileCabinet& cab = kernel.place(sensors[i])->Cabinet("wx");
+    cab.AppendString("TEMPS", std::to_string(10 * (i + 1)));
+    cab.AppendString("TEMPS", std::to_string(10 * (i + 1) + 35));
+  }
+
+  ft::RearGuard guard(&kernel, ft::GuardOptions{25 * kMillisecond, 3, 6});
+  guard.Install();
+
+  const char* collector = R"(
+    if {[site] ne "home"} {
+      foreach t [cab_list wx TEMPS] {
+        if {$t > 30} { bc_put HOT "[site]:$t" }
+      }
+    }
+    if {[bc_len ITINERARY] > 0} {
+      ft_jump [bc_pop ITINERARY]
+    } elseif {[site] ne "home"} {
+      bc_put ITINERARY home
+      ft_jump home
+    } else {
+      foreach h [bc_list HOT] { cab_append t HOT $h }
+      cab_set t DONE 1
+      ft_retire
+    }
+  )";
+  Briefcase bc;
+  bc.SetString("AGENT", "collector");
+  for (SiteId s : sensors) {
+    bc.folder("ITINERARY").PushBackString(kernel.net().site_name(s));
+  }
+  bc.folder("ITINERARY").PushBackString("home");
+  ASSERT_TRUE(kernel.LaunchAgent(home, collector, bc).ok());
+  // sensor1 dies while the agent is at sensor0 / in flight to sensor1.
+  kernel.sim().After(1500, [&] { kernel.CrashSite(sensors[1]); });
+  kernel.sim().RunUntil(5 * kSecond);
+
+  Place* home_place = kernel.place(home);
+  ASSERT_TRUE(home_place->Cabinet("t").HasFolder("DONE"));
+  auto hot = home_place->Cabinet("t").ListStrings("HOT");
+  // sensor0 (45) and sensor2 (65) reported; sensor1's reading died with it.
+  EXPECT_TRUE(std::find(hot.begin(), hot.end(), "sensor0:45") != hot.end());
+  EXPECT_TRUE(std::find(hot.begin(), hot.end(), "sensor2:65") != hot.end());
+  for (const std::string& h : hot) {
+    EXPECT_EQ(h.find("sensor1:"), std::string::npos) << h;
+  }
+  EXPECT_GE(guard.stats().relaunches, 1u);
+  EXPECT_EQ(guard.TotalGuards(), 0u);
+}
+
+// Protected agents end-to-end from TACL (§4): a petitioner agent asks the
+// broker for a meeting with an agent whose real name is secret; the
+// protected agent later drains its queue with the secret.
+TEST(IntegrationTest, ProtectedAgentMeetingViaTaclAgents) {
+  Kernel kernel;
+  SiteId hub = kernel.AddSite("hub");
+  SiteId visitor_site = kernel.AddSite("visitorsite");
+  kernel.net().AddLink(hub, visitor_site);
+
+  sched::BrokerService broker(&kernel, hub);
+  broker.Install();
+  broker.Protect("the-oracle", "oracle-secret-77");
+
+  // Petitioner: travels to the hub and files a meeting request whose payload
+  // is its own briefcase, serialized into a folder ("folders ... can
+  // themselves store agents and sets of folders").
+  const char* petitioner = R"(
+    if {[site] ne "hub"} {
+      jump hub
+    } else {
+      bc_set OP request_meeting
+      bc_set PUBLIC the-oracle
+      bc_set QUESTION "when does the storm hit?"
+      bc_put PAYLOAD [bc_get QUESTION]
+      meet broker
+      cab_set t REQUEST_STATUS [bc_get STATUS]
+    }
+  )";
+  ASSERT_TRUE(kernel.LaunchAgent(visitor_site, petitioner).ok());
+  kernel.sim().Run();
+  EXPECT_EQ(*kernel.place(hub)->Cabinet("t").GetSingleString("REQUEST_STATUS"), "ok");
+
+  // The protected agent collects with its secret name.
+  const char* oracle = R"(
+    bc_set OP collect
+    bc_set SECRET oracle-secret-77
+    meet broker
+    foreach q [bc_list RETRIEVED] { cab_append oracle QUESTIONS $q }
+  )";
+  ASSERT_TRUE(kernel.LaunchAgent(hub, oracle).ok());
+  auto questions = kernel.place(hub)->Cabinet("oracle").ListStrings("QUESTIONS");
+  ASSERT_EQ(questions.size(), 1u);
+  EXPECT_EQ(questions[0], "when does the storm hit?");
+}
+
+// Diffusion announcement + mailboxes: flood a notice to every site, each
+// filing it into the local mailbox cabinet — §2's flooding example as a
+// working application.
+TEST(IntegrationTest, FloodedAnnouncementLandsEverywhere) {
+  Kernel kernel;
+  auto ids = BuildGrid(&kernel.net(), 3, 3);
+  kernel.AdoptNetworkSites();
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString(
+      "cab_append mail BULLETIN \"meeting at noon\"");
+  ASSERT_TRUE(kernel.place(ids[4])->Meet("diffusion", bc).ok());  // Center.
+  kernel.sim().Run();
+
+  for (SiteId s : ids) {
+    EXPECT_EQ(kernel.place(s)->Cabinet("mail").Size("BULLETIN"), 1u)
+        << kernel.net().site_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,221 @@
+// JobServer (simulated work), Monitor (load reporting), TicketService (§4/§6).
+#include <gtest/gtest.h>
+
+#include "sched/broker.h"
+#include "sched/jobs.h"
+#include "sched/monitor.h"
+#include "sched/ticket.h"
+
+namespace tacoma::sched {
+namespace {
+
+class JobsTest : public ::testing::Test {
+ protected:
+  JobsTest() {
+    worker_site_ = kernel_.AddSite("worksite");
+    client_site_ = kernel_.AddSite("client");
+    kernel_.net().AddLink(worker_site_, client_site_);
+    server_ = std::make_unique<JobServer>(&kernel_, worker_site_, "worker", 1.0);
+    server_->Install();
+  }
+
+  Briefcase MakeJob(const std::string& id, uint64_t duration_us,
+                    bool want_reply = false) {
+    Briefcase bc;
+    bc.SetString("JOBID", id);
+    bc.SetString("SERVICE", "compute");
+    bc.SetString("DURATION", std::to_string(duration_us));
+    if (want_reply) {
+      bc.SetString("REPLY_HOST", "client");
+      bc.SetString("REPLY_CONTACT", "done_sink");
+    }
+    return bc;
+  }
+
+  Kernel kernel_;
+  SiteId worker_site_ = 0, client_site_ = 0;
+  std::unique_ptr<JobServer> server_;
+};
+
+TEST_F(JobsTest, JobsTakeSimulatedTime) {
+  Briefcase job = MakeJob("j1", 10 * kMillisecond);
+  ASSERT_TRUE(kernel_.place(worker_site_)->Meet("worker", job).ok());
+  EXPECT_EQ(server_->QueueLength(), 1u);
+  kernel_.sim().Run();
+  EXPECT_EQ(server_->QueueLength(), 0u);
+  EXPECT_EQ(server_->stats().completed, 1u);
+  EXPECT_EQ(kernel_.sim().Now(), 10 * kMillisecond);
+}
+
+TEST_F(JobsTest, JobsQueueSequentially) {
+  for (int i = 0; i < 3; ++i) {
+    Briefcase job = MakeJob("j" + std::to_string(i), 10 * kMillisecond);
+    ASSERT_TRUE(kernel_.place(worker_site_)->Meet("worker", job).ok());
+  }
+  EXPECT_EQ(server_->QueueLength(), 3u);
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.sim().Now(), 30 * kMillisecond);  // Serialized.
+  EXPECT_EQ(server_->stats().completed, 3u);
+}
+
+TEST_F(JobsTest, SpeedScalesServiceTime) {
+  JobServer fast(&kernel_, client_site_, "fastworker", 4.0);
+  fast.Install();
+  Briefcase job = MakeJob("j1", 40 * kMillisecond);
+  ASSERT_TRUE(kernel_.place(client_site_)->Meet("fastworker", job).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.sim().Now(), 10 * kMillisecond);  // 40ms / 4x speed.
+}
+
+TEST_F(JobsTest, CompletionNotificationDelivered) {
+  std::vector<std::string> done;
+  kernel_.place(client_site_)->RegisterAgent("done_sink",
+                                             [&done](Place&, Briefcase& bc) {
+                                               done.push_back(
+                                                   bc.GetString("JOBID").value_or(""));
+                                               return OkStatus();
+                                             });
+  Briefcase job = MakeJob("j42", 5 * kMillisecond, /*want_reply=*/true);
+  ASSERT_TRUE(kernel_.place(worker_site_)->Meet("worker", job).ok());
+  kernel_.sim().Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], "j42");
+}
+
+TEST_F(JobsTest, BadDurationRejected) {
+  Briefcase job;
+  job.SetString("JOBID", "x");
+  job.SetString("DURATION", "not-a-number");
+  EXPECT_FALSE(kernel_.place(worker_site_)->Meet("worker", job).ok());
+}
+
+TEST_F(JobsTest, MonitorReportsLoadToBroker) {
+  BrokerService broker(&kernel_, client_site_);
+  broker.Install();
+  ProviderInfo p;
+  p.service = "compute";
+  p.site = "worksite";
+  p.agent = "worker";
+  broker.Register(p);
+
+  Monitor monitor(&kernel_, server_.get(), {client_site_}, 20 * kMillisecond);
+  monitor.Start();
+
+  // Three long jobs arrive at t=0.
+  for (int i = 0; i < 3; ++i) {
+    Briefcase job = MakeJob("j" + std::to_string(i), 100 * kMillisecond);
+    ASSERT_TRUE(kernel_.place(worker_site_)->Meet("worker", job).ok());
+  }
+  kernel_.sim().RunUntil(30 * kMillisecond);
+  // The 20ms report (load 3 at sample time minus completions) has landed.
+  EXPECT_GE(monitor.reports_sent(), 1u);
+  EXPECT_GE(broker.providers("compute")->front().load, 1u);
+
+  kernel_.sim().RunUntil(400 * kMillisecond);
+  EXPECT_EQ(broker.providers("compute")->front().load, 0u);
+}
+
+TEST_F(JobsTest, MonitorSkipsReportsWhileSiteDown) {
+  BrokerService broker(&kernel_, client_site_);
+  broker.Install();
+  Monitor monitor(&kernel_, server_.get(), {client_site_}, 10 * kMillisecond);
+  monitor.Start();
+  kernel_.sim().RunUntil(25 * kMillisecond);
+  uint64_t before = monitor.reports_sent();
+  kernel_.CrashSite(worker_site_);
+  kernel_.sim().RunUntil(65 * kMillisecond);
+  EXPECT_EQ(monitor.reports_sent(), before);  // Nothing while down.
+  kernel_.RestartSite(worker_site_);
+  kernel_.sim().RunUntil(100 * kMillisecond);
+  EXPECT_GT(monitor.reports_sent(), before);  // Resumes after restart.
+}
+
+class TicketTest : public ::testing::Test {
+ protected:
+  TicketTest() : auth_(17), tickets_(&kernel_, &auth_) {
+    site_ = kernel_.AddSite("s");
+    tickets_.Install(site_);
+  }
+
+  Kernel kernel_;
+  SignatureAuthority auth_;
+  TicketService tickets_;
+  SiteId site_ = 0;
+};
+
+TEST_F(TicketTest, IssueAndVerify) {
+  Ticket t = tickets_.Issue("compute", "alice", 100 * kSecond);
+  EXPECT_TRUE(tickets_.Verify(t, "compute"));
+  EXPECT_FALSE(tickets_.Verify(t, "storage"));
+}
+
+TEST_F(TicketTest, ExpiryEnforced) {
+  Ticket t = tickets_.Issue("compute", "alice", 10 * kMillisecond);
+  EXPECT_TRUE(tickets_.Verify(t, "compute"));
+  kernel_.sim().RunUntil(20 * kMillisecond);
+  EXPECT_FALSE(tickets_.Verify(t, "compute"));
+}
+
+TEST_F(TicketTest, TamperedTicketRejected) {
+  Ticket t = tickets_.Issue("compute", "alice", kSecond);
+  t.holder = "mallory";
+  EXPECT_FALSE(tickets_.Verify(t, "compute"));
+}
+
+TEST_F(TicketTest, SerializeRoundTrip) {
+  Ticket t = tickets_.Issue("compute", "alice", kSecond);
+  auto restored = Ticket::Deserialize(t.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(tickets_.Verify(*restored, "compute"));
+}
+
+TEST_F(TicketTest, MeetProtocolIssueVerify) {
+  Place* place = kernel_.place(site_);
+  Briefcase issue;
+  issue.SetString("OP", "issue");
+  issue.SetString("SERVICE", "compute");
+  issue.SetString("HOLDER", "alice");
+  issue.SetString("LIFETIME", std::to_string(kSecond));
+  ASSERT_TRUE(place->Meet("ticket", issue).ok());
+  ASSERT_TRUE(issue.Has("TICKET"));
+
+  Briefcase verify;
+  verify.SetString("OP", "verify");
+  verify.SetString("SERVICE", "compute");
+  verify.folder("TICKET").PushBack(*issue.Find("TICKET")->Front());
+  ASSERT_TRUE(place->Meet("ticket", verify).ok());
+  EXPECT_EQ(*verify.GetString("STATUS"), "ok");
+
+  Briefcase wrong;
+  wrong.SetString("OP", "verify");
+  wrong.SetString("SERVICE", "other");
+  wrong.folder("TICKET").PushBack(*issue.Find("TICKET")->Front());
+  ASSERT_TRUE(place->Meet("ticket", wrong).ok());
+  EXPECT_EQ(*wrong.GetString("STATUS"), "invalid");
+}
+
+TEST_F(TicketTest, WorkerDemandsTickets) {
+  JobServer server(&kernel_, site_, "gated_worker", 1.0);
+  server.RequireTickets(&tickets_);
+  server.Install();
+
+  Briefcase no_ticket;
+  no_ticket.SetString("JOBID", "j1");
+  no_ticket.SetString("SERVICE", "compute");
+  no_ticket.SetString("DURATION", "1000");
+  EXPECT_EQ(kernel_.place(site_)->Meet("gated_worker", no_ticket).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(server.stats().rejected_no_ticket, 1u);
+
+  Ticket t = tickets_.Issue("compute", "alice", kSecond);
+  Briefcase with_ticket;
+  with_ticket.SetString("JOBID", "j2");
+  with_ticket.SetString("SERVICE", "compute");
+  with_ticket.SetString("DURATION", "1000");
+  with_ticket.folder("TICKET").PushBack(t.Serialize());
+  EXPECT_TRUE(kernel_.place(site_)->Meet("gated_worker", with_ticket).ok());
+  EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+}  // namespace
+}  // namespace tacoma::sched

@@ -1,0 +1,160 @@
+// End-to-end scheduling scenarios: client -> broker -> provider -> done.
+#include "sched/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/jobs.h"
+#include "sched/monitor.h"
+
+namespace tacoma::sched {
+namespace {
+
+// A small scheduling world: one client, one broker, N heterogeneous workers.
+class SchedulingWorld {
+ public:
+  SchedulingWorld(size_t workers, uint64_t seed = 7)
+      : kernel_(KernelOptions{seed, 5'000'000, false}) {
+    client_ = kernel_.AddSite("client");
+    broker_site_ = kernel_.AddSite("brokersite");
+    kernel_.net().AddLink(client_, broker_site_);
+    broker_ = std::make_unique<BrokerService>(&kernel_, broker_site_);
+    broker_->Install();
+
+    for (size_t i = 0; i < workers; ++i) {
+      SiteId site = kernel_.AddSite("w" + std::to_string(i));
+      kernel_.net().AddLink(site, broker_site_);
+      kernel_.net().AddLink(site, client_);
+      double speed = 1.0 + static_cast<double>(i);  // Heterogeneous capacity.
+      auto server = std::make_unique<JobServer>(&kernel_, site, "worker", speed);
+      server->Install();
+      ProviderInfo p;
+      p.service = "compute";
+      p.site = kernel_.net().site_name(site);
+      p.agent = "worker";
+      p.capacity = speed;
+      broker_->Register(p);
+      monitors_.push_back(std::make_unique<Monitor>(
+          &kernel_, server.get(), std::vector<SiteId>{broker_site_},
+          5 * kMillisecond));
+      monitors_.back()->Start();
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  Kernel& kernel() { return kernel_; }
+  SiteId client() const { return client_; }
+  SiteId broker_site() const { return broker_site_; }
+  BrokerService& broker() { return *broker_; }
+  std::vector<std::unique_ptr<JobServer>>& servers() { return servers_; }
+
+ private:
+  Kernel kernel_;
+  SiteId client_ = 0, broker_site_ = 0;
+  std::unique_ptr<BrokerService> broker_;
+  std::vector<std::unique_ptr<JobServer>> servers_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+};
+
+TEST(LoadGenTest, AllJobsCompleteViaBroker) {
+  SchedulingWorld world(3);
+  LoadGenOptions options;
+  options.client_site = world.client();
+  options.broker_site = world.broker_site();
+  options.job_count = 20;
+  options.job_duration_us = 8 * kMillisecond;
+  options.inter_arrival_us = 2 * kMillisecond;
+  options.policy = Policy::kLeastLoaded;
+  LoadGenerator gen(&world.kernel(), options);
+  gen.Start();
+  world.kernel().sim().RunUntil(5 * kSecond);
+
+  EXPECT_EQ(gen.completed(), 20u);
+  for (const JobStat& job : gen.jobs()) {
+    EXPECT_TRUE(job.done);
+    EXPECT_GE(job.dispatched, job.submitted);
+    EXPECT_GT(job.completed, job.dispatched);
+  }
+}
+
+TEST(LoadGenTest, DirectModeSkipsBroker) {
+  SchedulingWorld world(2);
+  std::vector<ProviderInfo> direct;
+  for (auto& server : world.servers()) {
+    ProviderInfo p;
+    p.service = "compute";
+    p.site = world.kernel().net().site_name(server->site());
+    p.agent = "worker";
+    direct.push_back(p);
+  }
+  LoadGenOptions options;
+  options.client_site = world.client();
+  options.use_broker = false;
+  options.job_count = 10;
+  LoadGenerator gen(&world.kernel(), options, direct);
+  gen.Start();
+  uint64_t broker_finds_before = world.broker().stats().finds;
+  world.kernel().sim().RunUntil(5 * kSecond);
+
+  EXPECT_EQ(gen.completed(), 10u);
+  EXPECT_EQ(world.broker().stats().finds, broker_finds_before);
+}
+
+TEST(LoadGenTest, LeastLoadedBeatsRandomOnTailLatency) {
+  auto run = [](Policy policy, bool use_broker) {
+    SchedulingWorld world(4, /*seed=*/21);
+    LoadGenOptions options;
+    options.client_site = world.client();
+    options.broker_site = world.broker_site();
+    options.policy = policy;
+    options.use_broker = use_broker;
+    options.job_count = 60;
+    options.job_duration_us = 30 * kMillisecond;
+    options.inter_arrival_us = 4 * kMillisecond;
+    std::vector<ProviderInfo> direct;
+    for (auto& server : world.servers()) {
+      ProviderInfo p;
+      p.service = "compute";
+      p.site = world.kernel().net().site_name(server->site());
+      p.agent = "worker";
+      direct.push_back(p);
+    }
+    LoadGenerator gen(&world.kernel(), options, direct);
+    gen.Start();
+    world.kernel().sim().RunUntil(60 * kSecond);
+    auto latencies = gen.Latencies();
+    EXPECT_EQ(latencies.size(), 60u);
+    // Mean latency.
+    return std::accumulate(latencies.begin(), latencies.end(), uint64_t{0}) /
+           std::max<size_t>(1, latencies.size());
+  };
+
+  uint64_t random_direct = run(Policy::kRandom, /*use_broker=*/false);
+  uint64_t least_loaded = run(Policy::kLeastLoaded, /*use_broker=*/true);
+  // Load- and capacity-aware placement should beat blind random placement;
+  // workers differ 4x in speed, so the gap is comfortably large.
+  EXPECT_LT(least_loaded, random_direct);
+}
+
+TEST(LoadGenTest, FastWorkersGetMoreWorkUnderLeastLoaded) {
+  SchedulingWorld world(3, /*seed=*/5);
+  LoadGenOptions options;
+  options.client_site = world.client();
+  options.broker_site = world.broker_site();
+  options.policy = Policy::kLeastLoaded;
+  options.job_count = 60;
+  options.job_duration_us = 20 * kMillisecond;
+  options.inter_arrival_us = 3 * kMillisecond;
+  LoadGenerator gen(&world.kernel(), options);
+  gen.Start();
+  world.kernel().sim().RunUntil(60 * kSecond);
+  ASSERT_EQ(gen.completed(), 60u);
+
+  // The 3x-speed worker (w2) should complete more jobs than the 1x (w0).
+  EXPECT_GT(world.servers()[2]->stats().completed,
+            world.servers()[0]->stats().completed);
+}
+
+}  // namespace
+}  // namespace tacoma::sched

@@ -1,0 +1,134 @@
+// Agent mail (§6): messages are mobile agents.
+#include "mail/mail.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma::mail {
+namespace {
+
+class MailTest : public ::testing::Test {
+ protected:
+  MailTest() : mail_(&kernel_) {
+    tromso_ = kernel_.AddSite("tromso");
+    ithaca_ = kernel_.AddSite("ithaca");
+    kernel_.net().AddLink(tromso_, ithaca_);
+    mail_.Install();
+  }
+
+  Kernel kernel_;
+  MailSystem mail_;
+  SiteId tromso_ = 0, ithaca_ = 0;
+};
+
+TEST_F(MailTest, MessageSerializeRoundTrip) {
+  MailMessage m;
+  m.id = "msg-1";
+  m.from_user = "dag";
+  m.from_site = "tromso";
+  m.to_user = "fred";
+  m.subject = "agents";
+  m.body = "operating system support for mobile agents";
+  m.delivered_us = 123;
+  auto restored = MailMessage::Deserialize(m.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->body, m.body);
+  EXPECT_EQ(restored->delivered_us, 123u);
+}
+
+TEST_F(MailTest, SendDeliversToInbox) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "hello",
+                         "greetings from the arctic")
+                  .ok());
+  kernel_.sim().Run();
+
+  auto inbox = mail_.Inbox(ithaca_, "fred");
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from_user, "dag");
+  EXPECT_EQ(inbox[0].subject, "hello");
+  EXPECT_EQ(inbox[0].body, "greetings from the arctic");
+  EXPECT_GT(inbox[0].delivered_us, 0u);
+}
+
+TEST_F(MailTest, DeliveryReceiptReturnsToSender) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "s", "b").ok());
+  kernel_.sim().Run();
+  auto receipts = mail_.Receipts(tromso_, "dag");
+  ASSERT_EQ(receipts.size(), 1u);
+  EXPECT_EQ(receipts[0], "msg-1");
+  EXPECT_EQ(mail_.stats().sent, 1u);
+  EXPECT_EQ(mail_.stats().delivered, 1u);
+  EXPECT_EQ(mail_.stats().receipts, 1u);
+}
+
+TEST_F(MailTest, MultipleUsersSeparateInboxes) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "a", "1").ok());
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "robbert", "b", "2").ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(mail_.Inbox(ithaca_, "fred").size(), 1u);
+  EXPECT_EQ(mail_.Inbox(ithaca_, "robbert").size(), 1u);
+  EXPECT_TRUE(mail_.Inbox(ithaca_, "nobody").empty());
+}
+
+TEST_F(MailTest, DrainEmptiesInbox) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "a", "1").ok());
+  kernel_.sim().Run();
+  auto drained = mail_.Drain(ithaca_, "fred");
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(mail_.Inbox(ithaca_, "fred").empty());
+}
+
+TEST_F(MailTest, LocalDelivery) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", tromso_, "colleague", "s", "b").ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(mail_.Inbox(tromso_, "colleague").size(), 1u);
+  EXPECT_EQ(mail_.Receipts(tromso_, "dag").size(), 1u);
+}
+
+TEST_F(MailTest, MessagesAreAgentsExtraCodeRuns) {
+  // The message agent runs rider code after depositing itself — here an
+  // auto-responder that files a note in a cabinet at the destination.
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "ping", "are you there?",
+                         "cab_set autoresponder LAST \"[bc_get SUBJECT] from "
+                         "[bc_get MAIL_FROM]\"")
+                  .ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(*kernel_.place(ithaca_)->Cabinet("autoresponder").GetSingleString("LAST"),
+            "ping from dag");
+  EXPECT_EQ(mail_.Inbox(ithaca_, "fred").size(), 1u);
+}
+
+TEST_F(MailTest, SendToDownSiteFails) {
+  kernel_.CrashSite(ithaca_);
+  EXPECT_FALSE(mail_.Send(tromso_, "dag", ithaca_, "fred", "s", "b").ok());
+}
+
+TEST_F(MailTest, MailboxSurvivesCrashWhenFlushed) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "keep", "me").ok());
+  kernel_.sim().Run();
+  ASSERT_TRUE(kernel_.place(ithaca_)->Cabinet("mail").Flush().ok());
+  kernel_.CrashSite(ithaca_);
+  kernel_.RestartSite(ithaca_);
+  auto inbox = mail_.Inbox(ithaca_, "fred");
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].subject, "keep");
+}
+
+TEST_F(MailTest, UnflushedMailLostToCrash) {
+  ASSERT_TRUE(mail_.Send(tromso_, "dag", ithaca_, "fred", "lost", "gone").ok());
+  kernel_.sim().Run();
+  kernel_.CrashSite(ithaca_);
+  kernel_.RestartSite(ithaca_);
+  EXPECT_TRUE(mail_.Inbox(ithaca_, "fred").empty());
+}
+
+TEST_F(MailTest, SequentialIdsAssigned) {
+  ASSERT_TRUE(mail_.Send(tromso_, "a", ithaca_, "x", "1", "").ok());
+  ASSERT_TRUE(mail_.Send(tromso_, "a", ithaca_, "x", "2", "").ok());
+  kernel_.sim().Run();
+  auto inbox = mail_.Inbox(ithaca_, "x");
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_NE(inbox[0].id, inbox[1].id);
+}
+
+}  // namespace
+}  // namespace tacoma::mail

@@ -1,0 +1,274 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+struct Delivered {
+  SiteId from;
+  Bytes payload;
+  SimTime at;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_) {}
+
+  // Records deliveries at `site` into `log`.
+  void Record(SiteId site, std::vector<Delivered>* log) {
+    net_.SetHandler(site, [this, log](SiteId from, const Bytes& payload) {
+      log->push_back({from, payload, sim_.Now()});
+    });
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DirectDelivery) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b, {10 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  ASSERT_TRUE(net_.Send(a, b, ToBytes("hello")).ok());
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, a);
+  EXPECT_EQ(ToString(log[0].payload), "hello");
+  EXPECT_EQ(net_.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, LatencyAndTransmissionTime) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  // 10ms latency, 1000 bytes/sec bandwidth.
+  net_.AddLink(a, b, {10 * kMillisecond, 1000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  Bytes payload(500);  // 500 bytes at 1000 B/s = 0.5s transmission.
+  ASSERT_TRUE(net_.Send(a, b, payload).ok());
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].at, 500 * kMillisecond + 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, LinkContentionSerializesTransmissions) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b, {0, 1000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  Bytes payload(1000);  // Each takes a full second of link time.
+  ASSERT_TRUE(net_.Send(a, b, payload).ok());
+  ASSERT_TRUE(net_.Send(a, b, payload).ok());
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].at, 1 * kSecond);
+  EXPECT_EQ(log[1].at, 2 * kSecond);  // Queued behind the first.
+}
+
+TEST_F(NetworkTest, MultiHopRouting) {
+  // a - b - c line; message a->c crosses both links.
+  auto ids = BuildLine(&net_, 3, {1 * kMillisecond, 1'000'000'000});
+  std::vector<Delivered> log;
+  Record(ids[2], &log);
+
+  ASSERT_TRUE(net_.Send(ids[0], ids[2], ToBytes("x")).ok());
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, ids[0]);
+  // 2 hops x (1ms latency + 1us ceil-rounded transmission of 1 byte).
+  EXPECT_EQ(log[0].at, 2 * kMillisecond + 2);
+  EXPECT_EQ(net_.stats().link_traversals, 2u);
+}
+
+TEST_F(NetworkTest, BytesAccountedPerTraversedLink) {
+  auto ids = BuildLine(&net_, 4);
+  std::vector<Delivered> log;
+  Record(ids[3], &log);
+  Bytes payload(100);
+  ASSERT_TRUE(net_.Send(ids[0], ids[3], payload).ok());
+  sim_.Run();
+  // 3 hops x 100 bytes.
+  EXPECT_EQ(net_.stats().bytes_on_wire, 300u);
+  LinkStats first = net_.DirectedLinkStats(ids[0], ids[1]);
+  EXPECT_EQ(first.bytes, 100u);
+  EXPECT_EQ(first.messages, 1u);
+}
+
+TEST_F(NetworkTest, SendToUnreachableSiteFails) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");  // No link.
+  EXPECT_EQ(net_.Send(a, b, ToBytes("x")).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetworkTest, SendToDownSiteFails) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b);
+  net_.CrashSite(b);
+  EXPECT_FALSE(net_.Send(a, b, ToBytes("x")).ok());
+  net_.RestartSite(b);
+  EXPECT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+}
+
+TEST_F(NetworkTest, RoutesAroundDeadIntermediate) {
+  // Square: a-b-d and a-c-d.
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  SiteId c = net_.AddSite("c");
+  SiteId d = net_.AddSite("d");
+  net_.AddLink(a, b);
+  net_.AddLink(b, d);
+  net_.AddLink(a, c);
+  net_.AddLink(c, d);
+  std::vector<Delivered> log;
+  Record(d, &log);
+
+  net_.CrashSite(b);
+  ASSERT_TRUE(net_.Send(a, d, ToBytes("x")).ok());
+  sim_.Run();
+  ASSERT_EQ(log.size(), 1u);
+  // Traffic went through c.
+  EXPECT_EQ(net_.DirectedLinkStats(a, c).messages, 1u);
+  EXPECT_EQ(net_.DirectedLinkStats(a, b).messages, 0u);
+}
+
+TEST_F(NetworkTest, InFlightMessageDroppedWhenDestinationCrashes) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b, {100 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  ASSERT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+  sim_.After(10 * kMillisecond, [&] { net_.CrashSite(b); });
+  sim_.Run();
+
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, MessageToRestartedSiteIsNotDeliveredToNewIncarnation) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b, {100 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  ASSERT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+  sim_.After(10 * kMillisecond, [&] { net_.CrashSite(b); });
+  sim_.After(20 * kMillisecond, [&] { net_.RestartSite(b); });
+  sim_.Run();
+
+  // Epoch changed: the old message must not leak into the new incarnation.
+  EXPECT_TRUE(log.empty());
+}
+
+TEST_F(NetworkTest, CutLinkBlocksAndRestoreRepairs) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b);
+  net_.CutLink(a, b);
+  EXPECT_FALSE(net_.Send(a, b, ToBytes("x")).ok());
+  net_.RestoreLink(a, b);
+  EXPECT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+}
+
+TEST_F(NetworkTest, HopCount) {
+  auto ids = BuildLine(&net_, 5);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[4]).value(), 4u);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[0]).value(), 0u);
+  SiteId lonely = net_.AddSite("lonely");
+  EXPECT_FALSE(net_.HopCount(ids[0], lonely).has_value());
+}
+
+TEST_F(NetworkTest, NeighborsListsAdjacency) {
+  auto ids = BuildStar(&net_, 4);
+  EXPECT_EQ(net_.Neighbors(ids[0]).size(), 3u);
+  EXPECT_EQ(net_.Neighbors(ids[1]).size(), 1u);
+}
+
+TEST_F(NetworkTest, FindSiteByName) {
+  net_.AddSite("alpha");
+  SiteId beta = net_.AddSite("beta");
+  EXPECT_EQ(net_.FindSite("beta").value(), beta);
+  EXPECT_FALSE(net_.FindSite("gamma").has_value());
+}
+
+TEST_F(NetworkTest, ResetStatsClears) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b);
+  net_.SetHandler(b, [](SiteId, const Bytes&) {});
+  ASSERT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+  sim_.Run();
+  EXPECT_GT(net_.stats().messages_sent, 0u);
+  net_.ResetStats();
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+  EXPECT_EQ(net_.DirectedLinkStats(a, b).bytes, 0u);
+}
+
+TEST_F(NetworkTest, CrossTrafficQueuesOnSharedLink) {
+  // Two flows (a->c and b->c via hub) share the hub->c link: their
+  // transmissions serialize there.
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  SiteId hub = net_.AddSite("hub");
+  SiteId c = net_.AddSite("c");
+  net_.AddLink(a, hub, {0, 1'000'000'000});
+  net_.AddLink(b, hub, {0, 1'000'000'000});
+  net_.AddLink(hub, c, {0, 1000});  // 1000 B/s bottleneck.
+  std::vector<Delivered> log;
+  Record(c, &log);
+
+  ASSERT_TRUE(net_.Send(a, c, Bytes(1000)).ok());
+  ASSERT_TRUE(net_.Send(b, c, Bytes(1000)).ok());
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].at, 1 * kSecond + 1);  // +1us ceil on the fast first hop.
+  EXPECT_EQ(log[1].at, 2 * kSecond + 1);  // Queued behind the first flow.
+}
+
+TEST_F(NetworkTest, PartitionHealsAfterRestore) {
+  auto ids = BuildLine(&net_, 3);
+  std::vector<Delivered> log;
+  Record(ids[2], &log);
+
+  net_.CutLink(ids[0], ids[1]);  // Partition {0} | {1,2}.
+  EXPECT_FALSE(net_.Send(ids[0], ids[2], ToBytes("x")).ok());
+  EXPECT_FALSE(net_.HopCount(ids[0], ids[2]).has_value());
+
+  net_.RestoreLink(ids[0], ids[1]);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[2]).value(), 2u);
+  ASSERT_TRUE(net_.Send(ids[0], ids[2], ToBytes("x")).ok());
+  sim_.Run();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST_F(NetworkTest, RestartHookFires) {
+  SiteId a = net_.AddSite("a");
+  int hooks = 0;
+  net_.SetRestartHook(a, [&](SiteId) { ++hooks; });
+  net_.CrashSite(a);
+  net_.RestartSite(a);
+  EXPECT_EQ(hooks, 1);
+  // Restarting an up site is a no-op.
+  net_.RestartSite(a);
+  EXPECT_EQ(hooks, 1);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+#include "serial/encoder.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() {
+    a_ = kernel_.AddSite("alpha");
+    b_ = kernel_.AddSite("beta");
+    kernel_.net().AddLink(a_, b_);
+  }
+
+  Kernel kernel_;
+  SiteId a_ = 0;
+  SiteId b_ = 0;
+};
+
+TEST_F(KernelTest, PlacesExistForSites) {
+  ASSERT_NE(kernel_.place(a_), nullptr);
+  EXPECT_EQ(kernel_.place(a_)->name(), "alpha");
+  EXPECT_EQ(kernel_.place(a_)->site(), a_);
+  EXPECT_EQ(kernel_.place(999), nullptr);
+}
+
+TEST_F(KernelTest, SystemAgentsInstalled) {
+  Place* place = kernel_.place(a_);
+  for (const char* agent : {"ag_tacl", "rexec", "courier", "diffusion", "relay"}) {
+    EXPECT_TRUE(place->HasAgent(agent)) << agent;
+  }
+}
+
+TEST_F(KernelTest, SitesFolderListsNeighbors) {
+  Place* place = kernel_.place(a_);
+  auto neighbors = place->Cabinet("system").ListStrings(kSitesFolder);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0], "beta");
+}
+
+TEST_F(KernelTest, MeetDispatchesToRegisteredAgent) {
+  Place* place = kernel_.place(a_);
+  place->RegisterAgent("echo", [](Place&, Briefcase& bc) {
+    bc.SetString("REPLY", "heard " + bc.GetString("SAY").value_or(""));
+    return OkStatus();
+  });
+  Briefcase bc;
+  bc.SetString("SAY", "hi");
+  ASSERT_TRUE(place->Meet("echo", bc).ok());
+  EXPECT_EQ(*bc.GetString("REPLY"), "heard hi");
+  EXPECT_EQ(place->stats().meets, 1u);
+}
+
+TEST_F(KernelTest, MeetUnknownAgentFails) {
+  Briefcase bc;
+  Status s = kernel_.place(a_)->Meet("ghost", bc);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(kernel_.place(a_)->stats().failed_meets, 1u);
+}
+
+TEST_F(KernelTest, MeetRecursionBounded) {
+  Place* place = kernel_.place(a_);
+  place->RegisterAgent("narcissist", [](Place& at, Briefcase& bc) {
+    return at.Meet("narcissist", bc);
+  });
+  Briefcase bc;
+  Status s = place->Meet("narcissist", bc);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(KernelTest, AgentCanReplaceItselfDuringMeet) {
+  Place* place = kernel_.place(a_);
+  place->RegisterAgent("shape", [](Place& at, Briefcase& bc) {
+    bc.SetString("WHO", "first");
+    at.RegisterAgent("shape", [](Place&, Briefcase& inner) {
+      inner.SetString("WHO", "second");
+      return OkStatus();
+    });
+    return OkStatus();
+  });
+  Briefcase bc;
+  ASSERT_TRUE(place->Meet("shape", bc).ok());
+  EXPECT_EQ(*bc.GetString("WHO"), "first");
+  ASSERT_TRUE(place->Meet("shape", bc).ok());
+  EXPECT_EQ(*bc.GetString("WHO"), "second");
+}
+
+TEST_F(KernelTest, TaclResidentAgent) {
+  kernel_.place(a_)->RegisterTaclAgent("adder",
+                                       "bc_set SUM [expr {[bc_get X] + [bc_get Y]}]");
+  Briefcase bc;
+  bc.SetString("X", "2");
+  bc.SetString("Y", "40");
+  ASSERT_TRUE(kernel_.place(a_)->Meet("adder", bc).ok());
+  EXPECT_EQ(*bc.GetString("SUM"), "42");
+}
+
+TEST_F(KernelTest, TransferAgentDeliversAndMeets) {
+  std::string got;
+  kernel_.place(b_)->RegisterAgent("sink", [&got](Place&, Briefcase& bc) {
+    got = bc.GetString("DATA").value_or("");
+    return OkStatus();
+  });
+  Briefcase bc;
+  bc.SetString("DATA", "payload");
+  ASSERT_TRUE(kernel_.TransferAgent(a_, b_, "sink", bc).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(got, "payload");
+  EXPECT_EQ(kernel_.stats().transfers_delivered, 1u);
+}
+
+TEST_F(KernelTest, TransferRecordsProvenance) {
+  std::string from;
+  kernel_.place(b_)->RegisterAgent("sink", [&from](Place&, Briefcase& bc) {
+    from = bc.GetString("FROM").value_or("");
+    return OkStatus();
+  });
+  ASSERT_TRUE(kernel_.TransferAgent(a_, b_, "sink", Briefcase()).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(from, "alpha");
+}
+
+TEST_F(KernelTest, TransferToUnknownContactCounted) {
+  ASSERT_TRUE(kernel_.TransferAgent(a_, b_, "ghost", Briefcase()).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.stats().meets_failed_on_arrival, 1u);
+}
+
+TEST_F(KernelTest, LaunchAgentRunsCode) {
+  Status s = kernel_.LaunchAgent(a_, "cab_set out RESULT done");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("out").GetSingleString("RESULT"), "done");
+  EXPECT_EQ(kernel_.place(a_)->stats().activations, 1u);
+}
+
+TEST_F(KernelTest, LaunchAgentErrorsSurface) {
+  Status s = kernel_.LaunchAgent(a_, "error kaput");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("kaput"), std::string::npos);
+  EXPECT_EQ(kernel_.place(a_)->stats().failed_activations, 1u);
+}
+
+TEST_F(KernelTest, CrashDestroysVolatileState) {
+  kernel_.place(a_)->Cabinet("scratch").AppendString("F", "volatile");
+  kernel_.CrashSite(a_);
+  EXPECT_EQ(kernel_.place(a_), nullptr);
+  kernel_.RestartSite(a_);
+  ASSERT_NE(kernel_.place(a_), nullptr);
+  EXPECT_FALSE(kernel_.place(a_)->Cabinet("scratch").HasFolder("F"));
+}
+
+TEST_F(KernelTest, FlushedCabinetSurvivesCrash) {
+  Place* place = kernel_.place(a_);
+  place->Cabinet("persistent").AppendString("F", "durable");
+  ASSERT_TRUE(place->Cabinet("persistent").Flush().ok());
+  kernel_.CrashSite(a_);
+  kernel_.RestartSite(a_);
+  EXPECT_EQ(kernel_.place(a_)->Cabinet("persistent").ListStrings("F"),
+            (std::vector<std::string>{"durable"}));
+}
+
+TEST_F(KernelTest, RestartReinstallsSystemAgentsAndInitializers) {
+  int installs = 0;
+  kernel_.AddPlaceInitializer([&installs](Place& place) {
+    if (place.name() == "alpha") {
+      ++installs;
+      place.RegisterAgent("custom", [](Place&, Briefcase&) { return OkStatus(); });
+    }
+  });
+  EXPECT_EQ(installs, 1);  // Applied to the existing place immediately.
+  kernel_.CrashSite(a_);
+  kernel_.RestartSite(a_);
+  EXPECT_EQ(installs, 2);
+  EXPECT_TRUE(kernel_.place(a_)->HasAgent("custom"));
+  EXPECT_TRUE(kernel_.place(a_)->HasAgent("rexec"));
+}
+
+TEST_F(KernelTest, GenerationChangesAcrossRestart) {
+  uint64_t gen = kernel_.place(a_)->generation();
+  EXPECT_TRUE(kernel_.PlaceAlive(a_, gen));
+  kernel_.CrashSite(a_);
+  EXPECT_FALSE(kernel_.PlaceAlive(a_, gen));
+  kernel_.RestartSite(a_);
+  EXPECT_FALSE(kernel_.PlaceAlive(a_, gen));
+  EXPECT_TRUE(kernel_.PlaceAlive(a_, kernel_.place(a_)->generation()));
+}
+
+TEST_F(KernelTest, TransferToDownSiteRejected) {
+  kernel_.CrashSite(b_);
+  Status s = kernel_.TransferAgent(a_, b_, "ag_tacl", Briefcase());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(kernel_.stats().transfers_rejected, 1u);
+}
+
+TEST(KernelTopologyTest, AdoptNetworkSites) {
+  Kernel kernel;
+  auto ids = BuildRing(&kernel.net(), 5);
+  kernel.AdoptNetworkSites();
+  for (SiteId id : ids) {
+    ASSERT_NE(kernel.place(id), nullptr);
+    EXPECT_TRUE(kernel.place(id)->HasAgent("rexec"));
+    // Ring: every site has exactly two neighbours in its SITES folder.
+    EXPECT_EQ(kernel.place(id)->Cabinet("system").Size(kSitesFolder), 2u);
+  }
+}
+
+TEST(KernelOptionsTest, WriteAheadCabinetsSurviveCrashWithoutFlush) {
+  KernelOptions options;
+  options.seed = 3;
+  options.cabinet_write_ahead = true;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  kernel.place(site)->Cabinet("journal").AppendString("LOG", "entry-1");
+  kernel.place(site)->Cabinet("journal").AppendString("LOG", "entry-2");
+  // No flush.
+  kernel.CrashSite(site);
+  kernel.RestartSite(site);
+  EXPECT_EQ(kernel.place(site)->Cabinet("journal").ListStrings("LOG"),
+            (std::vector<std::string>{"entry-1", "entry-2"}));
+}
+
+TEST(KernelOptionsTest, StepLimitEnforced) {
+  Kernel kernel(KernelOptions{.seed = 1, .step_limit = 100});
+  SiteId site = kernel.AddSite("s");
+  Status s = kernel.LaunchAgent(site, "while {1} {set x 1}");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("step limit"), std::string::npos);
+}
+
+TEST_F(KernelTest, MalformedTransferPayloadDroppedSafely) {
+  // Garbage bytes delivered straight to the kernel's handler must not crash
+  // or corrupt anything — just count as a failed arrival.
+  ASSERT_TRUE(kernel_.net().Send(a_, b_, Bytes{0xff, 0x03, 0x00, 0x01}).ok());
+  ASSERT_TRUE(kernel_.net().Send(a_, b_, Bytes{}).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.stats().meets_failed_on_arrival, 2u);
+  // The place is still fully functional.
+  EXPECT_TRUE(kernel_.LaunchAgent(b_, "set ok 1").ok());
+}
+
+TEST_F(KernelTest, TruncatedBriefcaseInTransferDropped) {
+  // A valid contact string followed by a truncated briefcase body.
+  Encoder enc;
+  enc.PutString("ag_tacl");
+  enc.PutVarint(3);  // Claims 3 folders, provides none.
+  ASSERT_TRUE(kernel_.net().Send(a_, b_, enc.Take()).ok());
+  kernel_.sim().Run();
+  EXPECT_EQ(kernel_.stats().meets_failed_on_arrival, 1u);
+}
+
+TEST(DeterminismTest, IdenticalWorldsProduceIdenticalRuns) {
+  // The experiment harness depends on this: same seed, same construction
+  // order, same events — bit-identical statistics.
+  auto run = [] {
+    Kernel kernel(KernelOptions{.seed = 99, .step_limit = 100000});
+    SiteId a = kernel.AddSite("a");
+    SiteId b = kernel.AddSite("b");
+    SiteId c = kernel.AddSite("c");
+    kernel.net().AddLink(a, b);
+    kernel.net().AddLink(b, c);
+    for (int i = 0; i < 5; ++i) {
+      Briefcase bc;
+      bc.SetString("N", std::to_string(i));
+      bc.folder(kCodeFolder).PushBackString(
+          "cab_append t R [rng_uniform 1000]; if {[bc_get N] < 3} { jump c }");
+      (void)kernel.TransferAgent(a, b, "ag_tacl", bc);
+    }
+    kernel.sim().Run();
+    auto draws_b = kernel.place(b)->Cabinet("t").ListStrings("R");
+    auto draws_c = kernel.place(c)->Cabinet("t").ListStrings("R");
+    return std::tuple(kernel.sim().Now(), kernel.stats().transfers_delivered,
+                      kernel.net().stats().bytes_on_wire, draws_b, draws_c);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PlaceOutputTest, AgentOutputRouted) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  std::vector<std::string> lines;
+  kernel.place(site)->set_agent_output(
+      [&lines](const std::string& line) { lines.push_back(line); });
+  ASSERT_TRUE(kernel.LaunchAgent(site, "puts one; log two").ok());
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+}
+
+}  // namespace
+}  // namespace tacoma

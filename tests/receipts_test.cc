@@ -1,0 +1,230 @@
+// Receipts, the notary, and the court's audit decision table (§3).
+#include <gtest/gtest.h>
+
+#include "cash/court.h"
+#include "cash/notary.h"
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+namespace {
+
+class ReceiptsTest : public ::testing::Test {
+ protected:
+  ReceiptsTest() : auth_(11) {
+    auth_.Enroll("customer");
+    auth_.Enroll("provider");
+    auth_.Enroll(kMintPrincipal);
+  }
+
+  Receipt Make(ReceiptKind kind, const std::string& actor, uint64_t amount = 100,
+               const std::string& xid = "x1") {
+    return MakeReceipt(&auth_, xid, kind, actor, "other", amount, "detail", 5);
+  }
+
+  SignatureAuthority auth_;
+};
+
+TEST_F(ReceiptsTest, MakeVerifyRoundTrip) {
+  Receipt r = Make(ReceiptKind::kOffer, "customer");
+  EXPECT_TRUE(VerifyReceipt(auth_, r));
+}
+
+TEST_F(ReceiptsTest, SerializeRoundTrip) {
+  Receipt r = Make(ReceiptKind::kDeliver, "provider", 250);
+  auto restored = Receipt::Deserialize(r.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->exchange_id, "x1");
+  EXPECT_EQ(restored->kind, ReceiptKind::kDeliver);
+  EXPECT_EQ(restored->actor, "provider");
+  EXPECT_EQ(restored->amount, 250u);
+  EXPECT_TRUE(VerifyReceipt(auth_, *restored));
+}
+
+TEST_F(ReceiptsTest, TamperedFieldsFailVerification) {
+  Receipt r = Make(ReceiptKind::kPay, "customer");
+  Receipt tampered = r;
+  tampered.amount = 1;
+  EXPECT_FALSE(VerifyReceipt(auth_, tampered));
+  tampered = r;
+  tampered.detail = "different goods";
+  EXPECT_FALSE(VerifyReceipt(auth_, tampered));
+  tampered = r;
+  tampered.actor = "provider";  // Forged authorship.
+  EXPECT_FALSE(VerifyReceipt(auth_, tampered));
+}
+
+TEST_F(ReceiptsTest, DeserializeRejectsBadKind) {
+  Receipt r = Make(ReceiptKind::kAck, "customer");
+  Bytes wire = r.Serialize();
+  wire[3] = 99;  // Kind byte follows the 2-byte-prefixed "x1".
+  auto restored = Receipt::Deserialize(wire);
+  // Either decode fails or the signature does — both reject the forgery.
+  if (restored.ok()) {
+    EXPECT_FALSE(VerifyReceipt(auth_, *restored));
+  }
+}
+
+TEST_F(ReceiptsTest, KindNames) {
+  EXPECT_EQ(ReceiptKindName(ReceiptKind::kOffer), "OFFER");
+  EXPECT_EQ(ReceiptKindName(ReceiptKind::kValidated), "VALIDATED");
+  EXPECT_EQ(ReceiptKindName(ReceiptKind::kAck), "ACK");
+}
+
+TEST_F(ReceiptsTest, NotaryFilesValidReceipts) {
+  Notary notary(&auth_);
+  ASSERT_TRUE(notary.File(Make(ReceiptKind::kOffer, "customer")).ok());
+  ASSERT_TRUE(notary.File(Make(ReceiptKind::kAccept, "provider")).ok());
+  EXPECT_EQ(notary.Lookup("x1").size(), 2u);
+  EXPECT_TRUE(notary.Lookup("unknown").empty());
+  EXPECT_EQ(notary.stats().filed, 2u);
+}
+
+TEST_F(ReceiptsTest, NotaryRejectsForgeries) {
+  Notary notary(&auth_);
+  Receipt forged = Make(ReceiptKind::kValidated, "customer");
+  forged.actor = kMintPrincipal;  // Claim the mint said so.
+  EXPECT_FALSE(notary.File(forged).ok());
+  EXPECT_EQ(notary.stats().rejected, 1u);
+  EXPECT_TRUE(notary.Lookup("x1").empty());
+}
+
+// --- Court decision table ------------------------------------------------------
+
+struct CourtCase {
+  const char* name;
+  bool offer;
+  bool accept;
+  bool mint_validated;
+  bool delivered;
+  Verdict expected;
+};
+
+class CourtTableTest : public ::testing::TestWithParam<CourtCase> {};
+
+TEST_P(CourtTableTest, VerdictMatches) {
+  SignatureAuthority auth(11);
+  const CourtCase& c = GetParam();
+  std::vector<Receipt> receipts;
+  if (c.offer) {
+    receipts.push_back(MakeReceipt(&auth, "x", ReceiptKind::kOffer, "customer",
+                                   "provider", 100, "", 1));
+  }
+  if (c.accept) {
+    receipts.push_back(MakeReceipt(&auth, "x", ReceiptKind::kAccept, "provider",
+                                   "customer", 100, "", 2));
+  }
+  if (c.mint_validated) {
+    receipts.push_back(MakeReceipt(&auth, "x", ReceiptKind::kValidated,
+                                   kMintPrincipal, "", 100, "", 3));
+  }
+  if (c.delivered) {
+    receipts.push_back(MakeReceipt(&auth, "x", ReceiptKind::kDeliver, "provider",
+                                   "customer", 100, "", 4));
+  }
+  AuditReport report = Audit(auth, receipts, "x");
+  EXPECT_EQ(report.verdict, c.expected) << c.name << ": " << report.explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Verdicts, CourtTableTest,
+    ::testing::Values(
+        CourtCase{"clean", true, true, true, true, Verdict::kClean},
+        CourtCase{"provider_kept_money", true, true, true, false,
+                  Verdict::kProviderViolated},
+        CourtCase{"customer_never_paid", true, true, false, true,
+                  Verdict::kCustomerViolated},
+        CourtCase{"clean_abort", true, true, false, false, Verdict::kAborted},
+        CourtCase{"no_contract", false, false, true, true, Verdict::kNoContract},
+        CourtCase{"offer_only", true, false, false, false, Verdict::kNoContract}),
+    [](const ::testing::TestParamInfo<CourtCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST_F(ReceiptsTest, CourtIgnoresForgedReceipts) {
+  // A customer fakes a mint VALIDATED receipt; the court must discard it and
+  // convict the customer (delivery happened, payment did not).
+  std::vector<Receipt> receipts;
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kOffer, "customer",
+                                 "provider", 100, "", 1));
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kAccept, "provider",
+                                 "customer", 100, "", 2));
+  Receipt fake = MakeReceipt(&auth_, "x", ReceiptKind::kValidated, "customer", "",
+                             100, "", 3);
+  fake.actor = kMintPrincipal;  // Forged authorship: signature won't match.
+  receipts.push_back(fake);
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kDeliver, "provider",
+                                 "customer", 100, "", 4));
+
+  AuditReport report = Audit(auth_, receipts, "x");
+  EXPECT_EQ(report.verdict, Verdict::kCustomerViolated);
+  EXPECT_EQ(report.receipts_rejected, 1u);
+}
+
+TEST_F(ReceiptsTest, CourtIgnoresValidatedNotFromMint) {
+  // A VALIDATED receipt properly signed by the provider itself is worthless.
+  std::vector<Receipt> receipts;
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kOffer, "customer",
+                                 "provider", 100, "", 1));
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kAccept, "provider",
+                                 "customer", 100, "", 2));
+  receipts.push_back(MakeReceipt(&auth_, "x", ReceiptKind::kValidated, "provider",
+                                 "", 100, "", 3));
+  AuditReport report = Audit(auth_, receipts, "x");
+  EXPECT_FALSE(report.paid);
+}
+
+TEST_F(ReceiptsTest, CourtScopesToExchangeId) {
+  std::vector<Receipt> receipts;
+  receipts.push_back(MakeReceipt(&auth_, "other", ReceiptKind::kOffer, "customer",
+                                 "provider", 100, "", 1));
+  AuditReport report = Audit(auth_, receipts, "x");
+  EXPECT_EQ(report.verdict, Verdict::kNoContract);
+  EXPECT_EQ(report.receipts_considered, 0u);
+}
+
+// --- Notary as a resident agent -------------------------------------------------
+
+TEST(NotaryAgentTest, FileAndFetchViaMeet) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("court");
+  SignatureAuthority auth(3);
+  Notary notary(&auth);
+  InstallNotaryAgent(&kernel, site, &notary);
+
+  Receipt r = MakeReceipt(&auth, "x9", ReceiptKind::kOffer, "customer", "provider",
+                          42, "", 0);
+  Briefcase file_bc;
+  file_bc.SetString("OP", "file");
+  file_bc.folder("RECEIPT").PushBack(r.Serialize());
+  ASSERT_TRUE(kernel.place(site)->Meet("notary", file_bc).ok());
+  EXPECT_EQ(*file_bc.GetString("STATUS"), "ok");
+
+  Briefcase fetch_bc;
+  fetch_bc.SetString("OP", "fetch");
+  fetch_bc.SetString("XID", "x9");
+  ASSERT_TRUE(kernel.place(site)->Meet("notary", fetch_bc).ok());
+  const Folder* receipts = fetch_bc.Find("RECEIPTS");
+  ASSERT_NE(receipts, nullptr);
+  ASSERT_EQ(receipts->size(), 1u);
+  auto fetched = Receipt::Deserialize(*receipts->Front());
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->exchange_id, "x9");
+}
+
+TEST(NotaryAgentTest, FileRejectsBadSignatureViaMeet) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("court");
+  SignatureAuthority auth(3);
+  Notary notary(&auth);
+  InstallNotaryAgent(&kernel, site, &notary);
+
+  Receipt r = MakeReceipt(&auth, "x", ReceiptKind::kOffer, "customer", "p", 1, "", 0);
+  r.amount = 999;  // Tamper after signing.
+  Briefcase bc;
+  bc.SetString("OP", "file");
+  bc.folder("RECEIPT").PushBack(r.Serialize());
+  EXPECT_FALSE(kernel.place(site)->Meet("notary", bc).ok());
+}
+
+}  // namespace
+}  // namespace tacoma::cash

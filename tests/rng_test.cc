@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace tacoma {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(1);
+  SplitMix64 b(1);
+  SplitMix64 c(2);
+  uint64_t a1 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_NE(a1, c.Next());
+  EXPECT_NE(a1, a.Next());
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedDifferentStream) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(0, 1, 42, 1995, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+TEST_P(RngSeedTest, UniformStaysInBounds) {
+  Rng rng(GetParam());
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST_P(RngSeedTest, UniformIntInclusiveRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST_P(RngSeedTest, UniformDoubleInUnitInterval) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Uniform(10));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total / n, 5.0, 0.3);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(17);
+  double total = 0;
+  double total_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    total += v;
+    total_sq += v * v;
+  }
+  double mean = total / n;
+  double var = total_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[i] = i;
+  }
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(29);
+  Rng child = parent.Fork();
+  uint64_t c1 = child.Next();
+  uint64_t p1 = parent.Next();
+  EXPECT_NE(c1, p1);
+  // Forking again from the same parent state gives a different child.
+  Rng child2 = parent.Fork();
+  EXPECT_NE(child2.Next(), c1);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,85 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma {
+namespace {
+
+// FIPS 180-4 / NIST known-answer vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: exactly one block, padding forces a second.
+  std::string block(64, 'x');
+  Digest one_shot = Sha256::Hash(block);
+  Sha256 h;
+  h.Update(block.substr(0, 31));
+  h.Update(block.substr(31));
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(one_shot));
+}
+
+TEST(Sha256Test, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes is the largest message fitting one padded block; 56 forces two.
+  std::string m55(55, 'q');
+  std::string m56(56, 'q');
+  EXPECT_NE(DigestToHex(Sha256::Hash(m55)), DigestToHex(Sha256::Hash(m56)));
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShotEveryChunking) {
+  std::string message = "The quick brown fox jumps over the lazy dog";
+  Digest expect = Sha256::Hash(message);
+  for (size_t chunk = 1; chunk <= message.size(); ++chunk) {
+    Sha256 h;
+    for (size_t i = 0; i < message.size(); i += chunk) {
+      h.Update(message.substr(i, chunk));
+    }
+    EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(expect)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update("first");
+  (void)h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, BytesOverloadAgrees) {
+  std::string s = "payload";
+  EXPECT_EQ(DigestToHex(Sha256::Hash(s)), DigestToHex(Sha256::Hash(ToBytes(s))));
+}
+
+TEST(Sha256Test, DigestToBytesMatchesHex) {
+  Digest d = Sha256::Hash("abc");
+  EXPECT_EQ(HexEncode(DigestToBytes(d)), DigestToHex(d));
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.At(100, [&] {
+    sim.After(50, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.At(100, [&] {
+    sim.At(10, [&] { seen = sim.Now(); });  // In the past: runs "now".
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) {
+      sim.After(10, tick);
+    }
+  };
+  sim.After(10, tick);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(10, [&] { ++ran; });
+  sim.At(20, [&] { ++ran; });
+  sim.At(30, [&] { ++ran; });
+  sim.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), 20u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500u);
+}
+
+TEST(SimulatorTest, StepRunsOneEvent) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(1, [&] { ++ran; });
+  sim.At(2, [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventLimitStopsRunaway) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  // Fork bomb: each event schedules two more.
+  std::function<void()> bomb = [&] {
+    sim.After(1, bomb);
+    sim.After(1, bomb);
+  };
+  sim.After(1, bomb);
+  sim.Run();
+  EXPECT_TRUE(sim.hit_event_limit());
+  EXPECT_GE(sim.events_run(), 100u);
+  EXPECT_LE(sim.events_run(), 101u);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.At(i, [] {});
+  }
+  EXPECT_EQ(sim.Run(), 7u);
+  EXPECT_EQ(sim.events_run(), 7u);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,108 @@
+// Randomized soak tests: throw chaotic-but-seeded workloads at whole
+// subsystems and check global invariants rather than specific outcomes.
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+#include "ft/rearguard.h"
+#include "sim/topology.h"
+#include "tacl/interp.h"
+
+namespace tacoma {
+namespace {
+
+// The parser must never crash or hang on arbitrary byte soup; it either
+// parses or returns an error.
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range<uint64_t>(0, 16));
+
+TEST_P(ParserFuzzTest, ArbitraryInputNeverCrashesParser) {
+  Rng rng(GetParam());
+  const std::string alphabet = "ab {}[]\"$\\;\n\t#01xyz";
+  for (int round = 0; round < 200; ++round) {
+    std::string script;
+    size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      script.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    }
+    auto parsed = tacl::ParseScript(script);
+    (void)parsed;  // OK either way; just must terminate cleanly.
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzzTest, ArbitraryInputNeverCrashesInterpreter) {
+  Rng rng(GetParam() + 1000);
+  tacl::Interp interp;
+  interp.set_step_limit(10'000);
+  const std::string alphabet = "ab {}[]\"$\\;\n\t#01 setif";
+  for (int round = 0; round < 100; ++round) {
+    std::string script;
+    size_t len = rng.Uniform(80);
+    for (size_t i = 0; i < len; ++i) {
+      script.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    }
+    tacl::Outcome out = interp.Eval(script);
+    (void)out;
+  }
+  SUCCEED();
+}
+
+// Random crash/restart storms over a working agent population: the kernel's
+// accounting must stay consistent and nothing may crash or wedge.
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<uint64_t>(0, 6));
+
+TEST_P(ChaosTest, CrashRestartStormKeepsInvariants) {
+  Kernel kernel(KernelOptions{GetParam(), 100'000, false});
+  Rng rng(GetParam() * 31 + 7);
+  auto ids = BuildRandom(&kernel.net(), 10, 0.2, &rng);
+  kernel.AdoptNetworkSites();
+
+  ft::RearGuard guard(&kernel, ft::GuardOptions{20 * kMillisecond, 2, 3});
+  guard.Install();
+
+  // A stream of wandering agents (some guarded, some not).
+  for (int i = 0; i < 20; ++i) {
+    Briefcase bc;
+    bc.SetString("AGENT", "wanderer" + std::to_string(i));
+    for (int hop = 0; hop < 4; ++hop) {
+      bc.folder("ITINERARY").PushBackString(
+          kernel.net().site_name(ids[rng.Uniform(ids.size())]));
+    }
+    const char* code = (i % 2 == 0)
+                           ? "cab_append t V [agent_id]\n"
+                             "if {[bc_len ITINERARY] > 0} {jump [bc_pop ITINERARY]}"
+                           : "cab_append t V [agent_id]\n"
+                             "if {[bc_len ITINERARY] > 0} "
+                             "{ft_jump [bc_pop ITINERARY]} else {ft_retire}";
+    (void)kernel.LaunchAgent(ids[rng.Uniform(ids.size())], code, bc);
+  }
+
+  // Crash/restart storm across the first half-second.
+  for (int k = 0; k < 30; ++k) {
+    SiteId victim = ids[rng.Uniform(ids.size())];
+    SimTime when = rng.Uniform(500 * kMillisecond);
+    kernel.sim().At(when, [&kernel, victim] { kernel.CrashSite(victim); });
+    kernel.sim().At(when + rng.Uniform(100 * kMillisecond) + 1,
+                    [&kernel, victim] { kernel.RestartSite(victim); });
+  }
+
+  kernel.sim().set_event_limit(500'000);
+  kernel.sim().RunUntil(5 * kSecond);
+
+  // Invariants: accounting adds up, no wedged event storm, sites all back up.
+  const NetworkStats& net = kernel.net().stats();
+  EXPECT_LE(net.messages_delivered + net.messages_dropped, net.messages_sent +
+                net.link_traversals);  // Loose sanity bound.
+  EXPECT_GE(kernel.stats().transfers_sent, kernel.stats().transfers_delivered);
+  EXPECT_FALSE(kernel.sim().hit_event_limit());
+  for (SiteId s : ids) {
+    kernel.RestartSite(s);
+    EXPECT_NE(kernel.place(s), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace tacoma

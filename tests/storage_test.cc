@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "storage/disk.h"
+#include "storage/disk_log.h"
+
+namespace tacoma {
+namespace {
+
+template <typename T>
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskTest() {
+    if constexpr (std::is_same_v<T, FileDisk>) {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("tacoma_disk_test_" + std::to_string(::getpid()));
+      disk_ = std::make_unique<FileDisk>(dir_.string());
+    } else {
+      disk_ = std::make_unique<MemDisk>();
+    }
+  }
+  ~DiskTest() override {
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  std::unique_ptr<Disk> disk_;
+  std::filesystem::path dir_;
+};
+
+using DiskTypes = ::testing::Types<MemDisk, FileDisk>;
+TYPED_TEST_SUITE(DiskTest, DiskTypes);
+
+TYPED_TEST(DiskTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(this->disk_->Write("file", ToBytes("contents")).ok());
+  auto read = this->disk_->Read("file");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(ToString(*read), "contents");
+}
+
+TYPED_TEST(DiskTest, ReadMissingFails) {
+  EXPECT_EQ(this->disk_->Read("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TYPED_TEST(DiskTest, WriteOverwrites) {
+  ASSERT_TRUE(this->disk_->Write("f", ToBytes("one")).ok());
+  ASSERT_TRUE(this->disk_->Write("f", ToBytes("two")).ok());
+  EXPECT_EQ(ToString(*this->disk_->Read("f")), "two");
+}
+
+TYPED_TEST(DiskTest, AppendExtends) {
+  ASSERT_TRUE(this->disk_->Append("f", ToBytes("ab")).ok());
+  ASSERT_TRUE(this->disk_->Append("f", ToBytes("cd")).ok());
+  EXPECT_EQ(ToString(*this->disk_->Read("f")), "abcd");
+}
+
+TYPED_TEST(DiskTest, RemoveDeletes) {
+  ASSERT_TRUE(this->disk_->Write("f", ToBytes("x")).ok());
+  EXPECT_TRUE(this->disk_->Exists("f"));
+  ASSERT_TRUE(this->disk_->Remove("f").ok());
+  EXPECT_FALSE(this->disk_->Exists("f"));
+  EXPECT_FALSE(this->disk_->Remove("f").ok());
+}
+
+TYPED_TEST(DiskTest, ListShowsFiles) {
+  ASSERT_TRUE(this->disk_->Write("one", ToBytes("1")).ok());
+  ASSERT_TRUE(this->disk_->Write("two", ToBytes("2")).ok());
+  auto names = this->disk_->List();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TYPED_TEST(DiskTest, EmptyFileRoundTrip) {
+  ASSERT_TRUE(this->disk_->Write("empty", Bytes{}).ok());
+  auto read = this->disk_->Read("empty");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(MemDiskTest, TotalBytes) {
+  MemDisk disk;
+  ASSERT_TRUE(disk.Write("a", Bytes(10)).ok());
+  ASSERT_TRUE(disk.Write("b", Bytes(5)).ok());
+  EXPECT_EQ(disk.TotalBytes(), 15u);
+}
+
+TEST(DiskLogTest, AppendAndLoad) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("one")).ok());
+  ASSERT_TRUE(log.Append(ToBytes("two")).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->snapshot.empty());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(ToString(contents->records[0]), "one");
+  EXPECT_EQ(ToString(contents->records[1]), "two");
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST(DiskLogTest, CompactReplacesHistory) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("old")).ok());
+  ASSERT_TRUE(log.Compact(ToBytes("snapshot-state")).ok());
+  ASSERT_TRUE(log.Append(ToBytes("new")).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(ToString(contents->snapshot), "snapshot-state");
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(ToString(contents->records[0]), "new");
+}
+
+TEST(DiskLogTest, EmptyLogLoadsClean) {
+  MemDisk disk;
+  DiskLog log(&disk, "fresh");
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->snapshot.empty());
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(DiskLogTest, TornTailIsTruncatedNotFatal) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("complete")).ok());
+  // Simulate a crash mid-append: garbage partial record at the tail.
+  ASSERT_TRUE(disk.Append("test.log", Bytes{0x05, 0x01, 0x02}).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(ToString(contents->records[0]), "complete");
+  EXPECT_TRUE(contents->truncated_tail);
+}
+
+TEST(DiskLogTest, CorruptRecordChecksumDetected) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("data")).ok());
+  // Flip a byte inside the record payload.
+  auto raw = disk.Read("test.log");
+  ASSERT_TRUE(raw.ok());
+  Bytes mutated = *raw;
+  mutated[1] ^= 0xff;
+  ASSERT_TRUE(disk.Write("test.log", mutated).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_TRUE(contents->truncated_tail);
+}
+
+TEST(DiskLogTest, CorruptSnapshotIsAnError) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Compact(ToBytes("state")).ok());
+  auto raw = disk.Read("test.snap");
+  Bytes mutated = *raw;
+  mutated[1] ^= 0xff;
+  ASSERT_TRUE(disk.Write("test.snap", mutated).ok());
+  EXPECT_EQ(log.Load().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DiskLogTest, DestroyRemovesFiles) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("x")).ok());
+  ASSERT_TRUE(log.Compact(ToBytes("y")).ok());
+  ASSERT_TRUE(log.Destroy().ok());
+  EXPECT_FALSE(disk.Exists("test.log"));
+  EXPECT_FALSE(disk.Exists("test.snap"));
+}
+
+TEST(DiskLogTest, ManyRecordsSurvive) {
+  MemDisk disk;
+  DiskLog log(&disk, "bulk");
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(log.Append(ToBytes("record-" + std::to_string(i))).ok());
+  }
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 500u);
+  EXPECT_EQ(ToString(contents->records[499]), "record-499");
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "tacl/interp.h"
+#include "util/rng.h"
+
+namespace tacoma::tacl {
+namespace {
+
+// Table-driven coverage of the expression grammar.
+struct ExprCase {
+  const char* expression;
+  const char* expected;
+};
+
+class ExprTableTest : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprTableTest, Evaluates) {
+  Interp interp;
+  Outcome out = EvalExpr(interp, GetParam().expression);
+  EXPECT_EQ(out.code, Code::kOk) << GetParam().expression << " -> " << out.value;
+  EXPECT_EQ(out.value, GetParam().expected) << GetParam().expression;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprTableTest,
+    ::testing::Values(ExprCase{"1 + 2", "3"}, ExprCase{"7 - 10", "-3"},
+                      ExprCase{"6 * 7", "42"}, ExprCase{"7 / 2", "3"},
+                      ExprCase{"7 % 3", "1"}, ExprCase{"2 + 3 * 4", "14"},
+                      ExprCase{"(2 + 3) * 4", "20"}, ExprCase{"-5 + 2", "-3"},
+                      ExprCase{"--5", "5"}, ExprCase{"+7", "7"},
+                      ExprCase{"1 + 2.5", "3.5"}, ExprCase{"5.0 / 2", "2.5"},
+                      ExprCase{"10 / 4.0", "2.5"}, ExprCase{"2.0 * 3", "6.0"},
+                      ExprCase{"0x10 + 1", "17"}, ExprCase{"1e2 + 1", "101.0"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparison, ExprTableTest,
+    ::testing::Values(ExprCase{"1 < 2", "1"}, ExprCase{"2 < 1", "0"},
+                      ExprCase{"2 <= 2", "1"}, ExprCase{"3 > 2", "1"},
+                      ExprCase{"2 >= 3", "0"}, ExprCase{"2 == 2.0", "1"},
+                      ExprCase{"2 != 3", "1"}, ExprCase{"\"abc\" eq \"abc\"", "1"},
+                      ExprCase{"\"abc\" ne \"abd\"", "1"},
+                      ExprCase{"\"10\" == 10", "1"},   // Numeric when both numeric.
+                      ExprCase{"\"abc\" < \"abd\"", "1"},  // String compare.
+                      ExprCase{"\"2\" eq \"2.0\"", "0"}));  // eq is always textual.
+
+INSTANTIATE_TEST_SUITE_P(
+    Logical, ExprTableTest,
+    ::testing::Values(ExprCase{"1 && 1", "1"}, ExprCase{"1 && 0", "0"},
+                      ExprCase{"0 || 1", "1"}, ExprCase{"0 || 0", "0"},
+                      ExprCase{"!0", "1"}, ExprCase{"!5", "0"},
+                      ExprCase{"!!7", "1"}, ExprCase{"true && yes", "1"},
+                      ExprCase{"false || off", "0"},
+                      ExprCase{"1 < 2 && 2 < 3", "1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitwise, ExprTableTest,
+    ::testing::Values(ExprCase{"5 & 3", "1"}, ExprCase{"5 | 3", "7"},
+                      ExprCase{"5 ^ 3", "6"}, ExprCase{"~0", "-1"},
+                      ExprCase{"1 << 10", "1024"}, ExprCase{"1024 >> 3", "128"},
+                      ExprCase{"-8 >> 1", "-4"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Ternary, ExprTableTest,
+    ::testing::Values(ExprCase{"1 ? 10 : 20", "10"}, ExprCase{"0 ? 10 : 20", "20"},
+                      ExprCase{"2 > 1 ? \"yes\" : \"no\"", "yes"},
+                      ExprCase{"0 ? 1 : 0 ? 2 : 3", "3"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, ExprTableTest,
+    ::testing::Values(ExprCase{"abs(-5)", "5"}, ExprCase{"abs(2.5)", "2.5"},
+                      ExprCase{"int(3.9)", "3"}, ExprCase{"round(3.5)", "4"},
+                      ExprCase{"round(-3.5)", "-4"}, ExprCase{"double(2)", "2.0"},
+                      ExprCase{"sqrt(16)", "4.0"}, ExprCase{"pow(2, 10)", "1024.0"},
+                      ExprCase{"floor(2.7)", "2.0"}, ExprCase{"ceil(2.1)", "3.0"},
+                      ExprCase{"min(3, 1, 2)", "1"}, ExprCase{"max(3, 1, 2)", "3"},
+                      ExprCase{"min(1.5, 2)", "1.5"},
+                      ExprCase{"fmod(7.5, 2.0)", "1.5"},
+                      ExprCase{"abs(min(-3, 2))", "3"}));
+
+class ExprErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprErrorTest, Fails) {
+  Interp interp;
+  Outcome out = EvalExpr(interp, GetParam());
+  EXPECT_EQ(out.code, Code::kError) << GetParam() << " -> " << out.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, ExprErrorTest,
+    ::testing::Values("1 / 0", "5 % 0", "1 +", "* 3", "(1 + 2", "1 + abc",
+                      "sqrt(-1)", "log(0)", "unknownfunc(1)", "1.5 & 2",
+                      "~2.5", "1 ? 2", "fmod(1, 0)", "$missing + 1", ""));
+
+TEST(ExprInterpTest, VariableSubstitution) {
+  Interp interp;
+  interp.SetVar("a", "6");
+  interp.SetVar("b", "7");
+  Outcome out = EvalExpr(interp, "$a * $b");
+  EXPECT_EQ(out.value, "42");
+}
+
+TEST(ExprInterpTest, BracedVariableName) {
+  Interp interp;
+  interp.SetVar("odd name", "5");
+  EXPECT_EQ(EvalExpr(interp, "${odd name} + 1").value, "6");
+}
+
+TEST(ExprInterpTest, CommandSubstitution) {
+  Interp interp;
+  Outcome out = EvalExpr(interp, "[expr {2 + 2}] * 3");
+  EXPECT_EQ(out.value, "12");
+}
+
+TEST(ExprInterpTest, ShortCircuitAndSkipsSideEffects) {
+  Interp interp;
+  interp.SetVar("fired", "0");
+  Outcome out = EvalExpr(interp, "0 && [set fired 1]");
+  EXPECT_EQ(out.code, Code::kOk);
+  EXPECT_EQ(out.value, "0");
+  EXPECT_EQ(*interp.GetVar("fired"), "0");
+}
+
+TEST(ExprInterpTest, ShortCircuitOrSkipsSideEffects) {
+  Interp interp;
+  interp.SetVar("fired", "0");
+  Outcome out = EvalExpr(interp, "1 || [set fired 1]");
+  EXPECT_EQ(out.value, "1");
+  EXPECT_EQ(*interp.GetVar("fired"), "0");
+}
+
+TEST(ExprInterpTest, TernaryOnlyEvaluatesTakenArm) {
+  Interp interp;
+  interp.SetVar("fired", "0");
+  Outcome out = EvalExpr(interp, "1 ? 5 : [set fired 1]");
+  EXPECT_EQ(out.value, "5");
+  EXPECT_EQ(*interp.GetVar("fired"), "0");
+  // Errors in dead arms are also skipped.
+  out = EvalExpr(interp, "0 ? [error dead] : 9");
+  EXPECT_EQ(out.code, Code::kOk);
+  EXPECT_EQ(out.value, "9");
+}
+
+TEST(ExprInterpTest, ShortCircuitSkipsErrors) {
+  Interp interp;
+  Outcome out = EvalExpr(interp, "0 && [error never]");
+  EXPECT_EQ(out.code, Code::kOk);
+  EXPECT_EQ(out.value, "0");
+}
+
+TEST(ExprInterpTest, ErrorInLiveCommandSubstitutionPropagates) {
+  Interp interp;
+  Outcome out = EvalExpr(interp, "1 && [error boom]");
+  EXPECT_EQ(out.code, Code::kError);
+}
+
+TEST(ExprInterpTest, StringVariablesCoerceWhenNumeric) {
+  Interp interp;
+  interp.SetVar("n", "  12 ");
+  EXPECT_EQ(EvalExpr(interp, "$n + 1").value, "13");
+}
+
+TEST(ExprInterpTest, BracedStringLiteral) {
+  Interp interp;
+  EXPECT_EQ(EvalExpr(interp, "{abc} eq {abc}").value, "1");
+}
+
+TEST(ExprInterpTest, ChainedComparisons) {
+  Interp interp;
+  // (1 < 2) yields 1, then 1 < 3 yields 1.
+  EXPECT_EQ(EvalExpr(interp, "1 < 2 < 3").value, "1");
+}
+
+TEST(ExprInterpTest, DeepNesting) {
+  Interp interp;
+  EXPECT_EQ(EvalExpr(interp, "((((((1 + 1))))))").value, "2");
+}
+
+TEST(ExprInterpTest, WhitespaceInsensitive) {
+  Interp interp;
+  EXPECT_EQ(EvalExpr(interp, "  1+2 *  3 ").value, "7");
+}
+
+// --- Differential property test: random integer expressions ------------------
+
+// Builds a random arithmetic expression tree, rendering it to TACL syntax
+// while computing the expected value with C++ integer semantics.  Division
+// and modulo by values that could be zero are avoided at generation time
+// (both languages trap them, tested separately).
+namespace differential {
+
+struct Node {
+  std::string text;
+  int64_t value;
+};
+
+Node Generate(tacoma::Rng* rng, int depth) {
+  if (depth == 0 || rng->Bernoulli(0.3)) {
+    int64_t v = rng->UniformInt(-50, 50);
+    if (v < 0) {
+      // Parenthesize negatives so unary minus composes under any operator.
+      return {"(0 - " + std::to_string(-v) + ")", v};
+    }
+    return {std::to_string(v), v};
+  }
+  Node lhs = Generate(rng, depth - 1);
+  Node rhs = Generate(rng, depth - 1);
+  switch (rng->Uniform(6)) {
+    case 0:
+      return {"(" + lhs.text + " + " + rhs.text + ")", lhs.value + rhs.value};
+    case 1:
+      return {"(" + lhs.text + " - " + rhs.text + ")", lhs.value - rhs.value};
+    case 2:
+      return {"(" + lhs.text + " * " + rhs.text + ")", lhs.value * rhs.value};
+    case 3: {
+      // Guard the divisor away from zero.
+      int64_t d = rhs.value == 0 ? 7 : rhs.value;
+      std::string divisor = rhs.value == 0 ? "7" : rhs.text;
+      return {"(" + lhs.text + " / " + divisor + ")", lhs.value / d};
+    }
+    case 4:
+      return {"(" + lhs.text + " < " + rhs.text + ")",
+              lhs.value < rhs.value ? 1 : 0};
+    default:
+      return {"(" + lhs.text + " == " + rhs.text + ")",
+              lhs.value == rhs.value ? 1 : 0};
+  }
+}
+
+}  // namespace differential
+
+class ExprDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 24));
+
+TEST_P(ExprDifferentialTest, RandomTreesMatchCppSemantics) {
+  tacoma::Rng rng(GetParam());
+  Interp interp;
+  for (int i = 0; i < 40; ++i) {
+    differential::Node node = differential::Generate(&rng, 4);
+    Outcome out = EvalExpr(interp, node.text);
+    ASSERT_EQ(out.code, Code::kOk) << node.text << " -> " << out.value;
+    EXPECT_EQ(out.value, std::to_string(node.value)) << node.text;
+  }
+}
+
+}  // namespace
+}  // namespace tacoma::tacl

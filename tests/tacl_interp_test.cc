@@ -1,0 +1,474 @@
+#include "tacl/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma::tacl {
+namespace {
+
+class InterpTest : public ::testing::Test {
+ protected:
+  // Evaluates and expects success, returning the result string.
+  std::string Run(const std::string& script) {
+    Outcome out = interp_.Eval(script);
+    EXPECT_EQ(out.code, Code::kOk) << script << " -> " << out.value;
+    return out.value;
+  }
+  // Evaluates and expects an error, returning the message.
+  std::string RunError(const std::string& script) {
+    Outcome out = interp_.Eval(script);
+    EXPECT_EQ(out.code, Code::kError) << script << " -> " << out.value;
+    return out.value;
+  }
+
+  Interp interp_;
+};
+
+// --- Variables ------------------------------------------------------------------
+
+TEST_F(InterpTest, SetAndGet) {
+  EXPECT_EQ(Run("set a 5"), "5");
+  EXPECT_EQ(Run("set a"), "5");
+  EXPECT_EQ(Run("set b $a"), "5");
+}
+
+TEST_F(InterpTest, ReadingUnsetVariableFails) {
+  EXPECT_NE(RunError("set x $nope").find("no such variable"), std::string::npos);
+}
+
+TEST_F(InterpTest, UnsetRemoves) {
+  Run("set a 1");
+  Run("unset a");
+  RunError("set b $a");
+}
+
+TEST_F(InterpTest, IncrCreatesAndSteps) {
+  EXPECT_EQ(Run("incr counter"), "1");
+  EXPECT_EQ(Run("incr counter"), "2");
+  EXPECT_EQ(Run("incr counter 10"), "12");
+  EXPECT_EQ(Run("incr counter -12"), "0");
+}
+
+TEST_F(InterpTest, IncrRejectsNonInteger) {
+  Run("set s hello");
+  RunError("incr s");
+}
+
+TEST_F(InterpTest, AppendBuildsStrings) {
+  EXPECT_EQ(Run("append s a b c"), "abc");
+  EXPECT_EQ(Run("append s d"), "abcd");
+}
+
+// --- Substitution ----------------------------------------------------------------
+
+TEST_F(InterpTest, CommandSubstitution) {
+  EXPECT_EQ(Run("set a [expr {2 + 3}]"), "5");
+}
+
+TEST_F(InterpTest, NestedSubstitution) {
+  Run("set inner 7");
+  EXPECT_EQ(Run("set x [expr {[set inner] * 2}]"), "14");
+}
+
+TEST_F(InterpTest, QuotedSubstitution) {
+  Run("set who world");
+  EXPECT_EQ(Run("set msg \"hello $who\""), "hello world");
+}
+
+TEST_F(InterpTest, BracesPreventSubstitution) {
+  EXPECT_EQ(Run("set x {$not a var}"), "$not a var");
+}
+
+TEST_F(InterpTest, ErrorInsideSubstitutionPropagates) {
+  RunError("set x [error boom]");
+}
+
+// --- Control flow ---------------------------------------------------------------------
+
+TEST_F(InterpTest, IfTrueBranch) {
+  EXPECT_EQ(Run("if {1} {set r yes} else {set r no}"), "yes");
+}
+
+TEST_F(InterpTest, IfFalseBranch) {
+  EXPECT_EQ(Run("if {0} {set r yes} else {set r no}"), "no");
+}
+
+TEST_F(InterpTest, IfElseif) {
+  Run("set v 2");
+  EXPECT_EQ(Run("if {$v == 1} {set r a} elseif {$v == 2} {set r b} else {set r c}"),
+            "b");
+}
+
+TEST_F(InterpTest, IfWithThenKeyword) {
+  EXPECT_EQ(Run("if {1} then {set r ok}"), "ok");
+}
+
+TEST_F(InterpTest, IfNoElseFalseIsEmpty) {
+  EXPECT_EQ(Run("if {0} {set r x}"), "");
+}
+
+TEST_F(InterpTest, WhileLoops) {
+  EXPECT_EQ(Run("set s 0; set i 0; while {$i < 10} {incr s $i; incr i}; set s"), "45");
+}
+
+TEST_F(InterpTest, WhileBreak) {
+  EXPECT_EQ(Run("set i 0; while {1} {incr i; if {$i >= 3} {break}}; set i"), "3");
+}
+
+TEST_F(InterpTest, WhileContinue) {
+  EXPECT_EQ(
+      Run("set s 0; set i 0; while {$i < 10} {incr i; if {$i % 2} {continue}; "
+          "incr s $i}; set s"),
+      "30");  // 2+4+6+8+10
+}
+
+TEST_F(InterpTest, ForLoop) {
+  EXPECT_EQ(Run("set s 0; for {set i 1} {$i <= 5} {incr i} {incr s $i}; set s"), "15");
+}
+
+TEST_F(InterpTest, ForeachSingleVar) {
+  EXPECT_EQ(Run("set s {}; foreach x {c b a} {set s $x$s}; set s"), "abc");
+}
+
+TEST_F(InterpTest, ForeachMultipleVars) {
+  EXPECT_EQ(Run("set out {}; foreach {k v} {a 1 b 2} {lappend out $k=$v}; set out"),
+            "a=1 b=2");
+}
+
+TEST_F(InterpTest, ForeachBreakAndContinue) {
+  EXPECT_EQ(Run("set n 0; foreach x {1 2 3 4 5} {if {$x == 4} {break}; incr n}; set n"),
+            "3");
+}
+
+TEST_F(InterpTest, BreakOutsideLoopIsError) {
+  RunError("break");
+  RunError("proc f {} {break}; f");
+}
+
+// --- Procs ---------------------------------------------------------------------------
+
+TEST_F(InterpTest, SimpleProc) {
+  Run("proc add {a b} {return [expr {$a + $b}]}");
+  EXPECT_EQ(Run("add 3 4"), "7");
+}
+
+TEST_F(InterpTest, ProcImplicitResult) {
+  Run("proc last {} {set x 1; set y 2}");
+  EXPECT_EQ(Run("last"), "2");
+}
+
+TEST_F(InterpTest, ProcDefaultArguments) {
+  Run("proc greet {name {greeting hello}} {return \"$greeting $name\"}");
+  EXPECT_EQ(Run("greet bob"), "hello bob");
+  EXPECT_EQ(Run("greet bob hi"), "hi bob");
+}
+
+TEST_F(InterpTest, ProcVarargs) {
+  Run("proc count {first args} {return [llength $args]}");
+  EXPECT_EQ(Run("count a b c d"), "3");
+  EXPECT_EQ(Run("count a"), "0");
+}
+
+TEST_F(InterpTest, ProcWrongArity) {
+  Run("proc two {a b} {}");
+  RunError("two 1");
+  RunError("two 1 2 3");
+}
+
+TEST_F(InterpTest, ProcLocalScope) {
+  Run("set x global");
+  Run("proc touch {} {set x local}");
+  Run("touch");
+  EXPECT_EQ(Run("set x"), "global");
+}
+
+TEST_F(InterpTest, GlobalCommandLinks) {
+  Run("set counter 10");
+  Run("proc bump {} {global counter; incr counter}");
+  Run("bump");
+  Run("bump");
+  EXPECT_EQ(Run("set counter"), "12");
+}
+
+TEST_F(InterpTest, UpvarPassByName) {
+  Run("proc bump {varName} {upvar $varName v; incr v}");
+  Run("set counter 10");
+  Run("bump counter");
+  Run("bump counter");
+  EXPECT_EQ(Run("set counter"), "12");
+}
+
+TEST_F(InterpTest, UpvarTwoLevels) {
+  Run("proc inner {} {upvar 2 x v; set v changed}");
+  Run("proc outer {} {inner}");
+  Run("set x original");
+  Run("outer");
+  EXPECT_EQ(Run("set x"), "changed");
+}
+
+TEST_F(InterpTest, UpvarHashZeroIsGlobal) {
+  Run("proc deep {} {upvar #0 g v; set v from-deep}");
+  Run("proc mid {} {deep}");
+  Run("set g start");
+  Run("mid");
+  EXPECT_EQ(Run("set g"), "from-deep");
+}
+
+TEST_F(InterpTest, UpvarMultiplePairs) {
+  Run("proc swap {aName bName} {"
+      "upvar $aName a $bName b; set t $a; set a $b; set b $t}");
+  Run("set x 1; set y 2");
+  Run("swap x y");
+  EXPECT_EQ(Run("set x"), "2");
+  EXPECT_EQ(Run("set y"), "1");
+}
+
+TEST_F(InterpTest, UpvarCreatesInCallerOnWrite) {
+  Run("proc create {name} {upvar $name v; set v made}");
+  Run("create fresh");
+  EXPECT_EQ(Run("set fresh"), "made");
+}
+
+TEST_F(InterpTest, UpvarBadLevelErrors) {
+  Run("proc f {} {upvar 5 x v; set v 1}");
+  RunError("f");
+  // No caller frame exists at global scope.
+  RunError("upvar x v");
+}
+
+TEST_F(InterpTest, RecursiveProc) {
+  Run("proc fib {n} {if {$n < 2} {return $n}; "
+      "return [expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]}]}");
+  EXPECT_EQ(Run("fib 10"), "55");
+}
+
+TEST_F(InterpTest, InfiniteRecursionCaught) {
+  Run("proc loop {} {loop}");
+  std::string message = RunError("loop");
+  EXPECT_NE(message.find("nested"), std::string::npos);
+}
+
+TEST_F(InterpTest, ProcRedefinition) {
+  Run("proc f {} {return one}");
+  Run("proc f {} {return two}");
+  EXPECT_EQ(Run("f"), "two");
+}
+
+TEST_F(InterpTest, ProcCanRedefineItself) {
+  Run("proc f {} {proc f {} {return second}; return first}");
+  EXPECT_EQ(Run("f"), "first");
+  EXPECT_EQ(Run("f"), "second");
+}
+
+// --- Errors and catch ---------------------------------------------------------------
+
+TEST_F(InterpTest, ErrorCommand) {
+  EXPECT_EQ(RunError("error \"something broke\""), "something broke");
+}
+
+TEST_F(InterpTest, CatchCapturesError) {
+  EXPECT_EQ(Run("catch {error oops} msg"), "1");
+  EXPECT_EQ(Run("set msg"), "oops");
+}
+
+TEST_F(InterpTest, CatchOkReturnsZero) {
+  EXPECT_EQ(Run("catch {set a 5} msg"), "0");
+  EXPECT_EQ(Run("set msg"), "5");
+}
+
+TEST_F(InterpTest, UnknownCommandError) {
+  std::string message = RunError("no_such_command");
+  EXPECT_NE(message.find("invalid command name"), std::string::npos);
+}
+
+TEST_F(InterpTest, ErrorStopsScript) {
+  Run("set a before");
+  RunError("set a during; error stop; set a after");
+  EXPECT_EQ(Run("set a"), "during");
+}
+
+// --- Eval, lists, strings (spot checks; heavy coverage in expr/list tests) ------------
+
+TEST_F(InterpTest, EvalConcatenatesArgs) {
+  EXPECT_EQ(Run("eval set dynamic 42"), "42");
+  EXPECT_EQ(Run("set dynamic"), "42");
+}
+
+TEST_F(InterpTest, ListCommands) {
+  EXPECT_EQ(Run("list a b {c d}"), "a b {c d}");
+  EXPECT_EQ(Run("llength [list a b c]"), "3");
+  EXPECT_EQ(Run("lindex {x y z} 1"), "y");
+  EXPECT_EQ(Run("lindex {x y z} end"), "z");
+  EXPECT_EQ(Run("lindex {x y z} end-1"), "y");
+  EXPECT_EQ(Run("lindex {x y z} 99"), "");
+  EXPECT_EQ(Run("lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(Run("lreverse {1 2 3}"), "3 2 1");
+  EXPECT_EQ(Run("lsearch {a b c} b"), "1");
+  EXPECT_EQ(Run("lsearch {a b c} z"), "-1");
+  EXPECT_EQ(Run("lsearch -glob {foo bar baz} b*"), "1");
+  EXPECT_EQ(Run("lsearch -exact {a* b} a*"), "0");
+  EXPECT_EQ(Run("lsort {c a b}"), "a b c");
+  EXPECT_EQ(Run("lsort -integer {10 2 33 4}"), "2 4 10 33");
+  EXPECT_EQ(Run("lsort -integer -decreasing {10 2 33}"), "33 10 2");
+  EXPECT_EQ(Run("concat {a b} {c} {}"), "a b c");
+  EXPECT_EQ(Run("join {a b c} -"), "a-b-c");
+  EXPECT_EQ(Run("split a,b,,c ,"), "a b {} c");
+}
+
+TEST_F(InterpTest, LinsertPositions) {
+  EXPECT_EQ(Run("linsert {a c} 1 b"), "a b c");
+  EXPECT_EQ(Run("linsert {a b} 0 z"), "z a b");
+  EXPECT_EQ(Run("linsert {a b} end c"), "a b c");
+  EXPECT_EQ(Run("linsert {a b c} end-1 x"), "a b x c");
+  EXPECT_EQ(Run("linsert {a} 99 z"), "a z");  // Clamped.
+  EXPECT_EQ(Run("linsert {} 0 only"), "only");
+  EXPECT_EQ(Run("linsert {a} 1 x y z"), "a x y z");
+}
+
+TEST_F(InterpTest, StringMap) {
+  EXPECT_EQ(Run("string map {o 0 e 3} \"hello western\""), "h3ll0 w3st3rn");
+  // Earlier mapping pairs win; matched text is consumed (no re-scanning).
+  EXPECT_EQ(Run("string map {ab X a Y} aabab"), "YXX");
+  EXPECT_EQ(Run("string map {x yy} xx"), "yyyy");
+  EXPECT_EQ(Run("string map {} unchanged"), "unchanged");
+  RunError("string map {odd} x");
+}
+
+TEST_F(InterpTest, LappendBuildsLists) {
+  Run("lappend acc one");
+  Run("lappend acc {two three}");
+  EXPECT_EQ(Run("llength $acc"), "2");
+  EXPECT_EQ(Run("lindex $acc 1"), "two three");
+}
+
+TEST_F(InterpTest, StringCommands) {
+  EXPECT_EQ(Run("string length hello"), "5");
+  EXPECT_EQ(Run("string toupper abc"), "ABC");
+  EXPECT_EQ(Run("string tolower ABC"), "abc");
+  EXPECT_EQ(Run("string trim \"  x  \""), "x");
+  EXPECT_EQ(Run("string index hello 1"), "e");
+  EXPECT_EQ(Run("string index hello end"), "o");
+  EXPECT_EQ(Run("string range hello 1 3"), "ell");
+  EXPECT_EQ(Run("string equal a a"), "1");
+  EXPECT_EQ(Run("string equal a b"), "0");
+  EXPECT_EQ(Run("string compare a b"), "-1");
+  EXPECT_EQ(Run("string first ll hello"), "2");
+  EXPECT_EQ(Run("string last l hello"), "3");
+  EXPECT_EQ(Run("string match {h*o} hello"), "1");
+  EXPECT_EQ(Run("string repeat ab 3"), "ababab");
+}
+
+TEST_F(InterpTest, FormatCommand) {
+  EXPECT_EQ(Run("format %d 42"), "42");
+  EXPECT_EQ(Run("format %05d 42"), "00042");
+  EXPECT_EQ(Run("format %x 255"), "ff");
+  EXPECT_EQ(Run("format %.2f 3.14159"), "3.14");
+  EXPECT_EQ(Run("format {%s-%s} a b"), "a-b");
+  EXPECT_EQ(Run("format %% "), "%");
+  RunError("format %d notanumber");
+  RunError("format {%d %d} 1");
+}
+
+TEST_F(InterpTest, InfoCommands) {
+  EXPECT_EQ(Run("info exists nope"), "0");
+  Run("set yes 1");
+  EXPECT_EQ(Run("info exists yes"), "1");
+  Run("proc myproc {} {}");
+  EXPECT_NE(Run("info procs").find("myproc"), std::string::npos);
+  EXPECT_NE(Run("info commands").find("while"), std::string::npos);
+  EXPECT_EQ(Run("info level"), "0");
+  Run("proc depth {} {return [info level]}");
+  EXPECT_EQ(Run("depth"), "1");
+}
+
+TEST_F(InterpTest, PutsGoesToOutput) {
+  std::vector<std::string> lines;
+  interp_.set_output([&](const std::string& s) { lines.push_back(s); });
+  Run("puts hello; puts -nonewline world");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "hello");
+  EXPECT_EQ(lines[1], "world");
+}
+
+// --- Limits & accounting -----------------------------------------------------------
+
+TEST_F(InterpTest, StepLimitHaltsRunawayLoop) {
+  interp_.set_step_limit(1000);
+  std::string message = RunError("while {1} {set x 1}");
+  EXPECT_NE(message.find("step limit"), std::string::npos);
+}
+
+TEST_F(InterpTest, StepsAccumulate) {
+  uint64_t before = interp_.steps();
+  Run("set a 1; set b 2; set c 3");
+  EXPECT_EQ(interp_.steps(), before + 3);
+}
+
+TEST_F(InterpTest, HostCommandRegistration) {
+  interp_.Register("double_it", [](Interp&, const std::vector<std::string>& argv) {
+    if (argv.size() != 2) {
+      return Error("usage");
+    }
+    return Ok(std::to_string(std::stoi(argv[1]) * 2));
+  });
+  EXPECT_EQ(Run("double_it 21"), "42");
+  EXPECT_TRUE(interp_.HasCommand("double_it"));
+  interp_.RemoveCommand("double_it");
+  RunError("double_it 21");
+}
+
+TEST_F(InterpTest, SwitchExactMatching) {
+  Run("set v beta");
+  EXPECT_EQ(Run("switch $v alpha {set r 1} beta {set r 2} gamma {set r 3}"), "2");
+}
+
+TEST_F(InterpTest, SwitchDefaultClause) {
+  EXPECT_EQ(Run("switch zeta {alpha {set r 1} default {set r fallback}}"),
+            "fallback");
+}
+
+TEST_F(InterpTest, SwitchNoMatchNoDefault) {
+  EXPECT_EQ(Run("switch zeta alpha {set r 1}"), "");
+}
+
+TEST_F(InterpTest, SwitchGlobMode) {
+  EXPECT_EQ(Run("switch -glob sensor42 {sensor* {set r station} default {set r x}}"),
+            "station");
+}
+
+TEST_F(InterpTest, SwitchFallthroughDash) {
+  EXPECT_EQ(Run("switch b {a - b {set r ab} c {set r c}}"), "ab");
+}
+
+TEST_F(InterpTest, SwitchBracedFormWithVariables) {
+  // Patterns in the braced form are not substituted (they are list elements),
+  // but bodies are evaluated normally.
+  Run("set x 5");
+  EXPECT_EQ(Run("switch 5 {5 {expr {$x * 2}} default {set r no}}"), "10");
+}
+
+TEST_F(InterpTest, SwitchOddClausesError) {
+  RunError("switch v a");
+}
+
+TEST_F(InterpTest, LassignBasic) {
+  EXPECT_EQ(Run("lassign {1 2 3 4} a b"), "3 4");
+  EXPECT_EQ(Run("set a"), "1");
+  EXPECT_EQ(Run("set b"), "2");
+}
+
+TEST_F(InterpTest, LassignPadsMissingWithEmpty) {
+  EXPECT_EQ(Run("lassign {only} x y z"), "");
+  EXPECT_EQ(Run("set x"), "only");
+  EXPECT_EQ(Run("set y"), "");
+  EXPECT_EQ(Run("set z"), "");
+}
+
+TEST_F(InterpTest, ReturnAtTopLevelStopsScript) {
+  Outcome out = interp_.Eval("set a 1; return early; set a 2");
+  EXPECT_EQ(out.code, Code::kReturn);
+  EXPECT_EQ(out.value, "early");
+  EXPECT_EQ(Run("set a"), "1");
+}
+
+}  // namespace
+}  // namespace tacoma::tacl

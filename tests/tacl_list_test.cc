@@ -1,0 +1,160 @@
+#include "tacl/list.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tacoma::tacl {
+namespace {
+
+TEST(ListFormatTest, SimpleElements) {
+  EXPECT_EQ(FormatList({"a", "b", "c"}), "a b c");
+}
+
+TEST(ListFormatTest, EmptyElementsBraced) {
+  EXPECT_EQ(FormatList({"", "x"}), "{} x");
+}
+
+TEST(ListFormatTest, SpacesBraced) {
+  EXPECT_EQ(FormatList({"hello world"}), "{hello world}");
+}
+
+TEST(ListParseTest, SimpleList) {
+  auto parsed = ParseList("a b c");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ListParseTest, BracedElements) {
+  auto parsed = ParseList("{a b} c {d {e f}}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0], "a b");
+  EXPECT_EQ((*parsed)[2], "d {e f}");
+}
+
+TEST(ListParseTest, QuotedElements) {
+  auto parsed = ParseList("\"a b\" c");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], "a b");
+}
+
+TEST(ListParseTest, WhitespaceVariants) {
+  auto parsed = ParseList("  a\t\tb \n c  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+TEST(ListParseTest, EmptyListIsEmpty) {
+  auto parsed = ParseList("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+  parsed = ParseList("   ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ListParseTest, UnbalancedBraceFails) {
+  EXPECT_FALSE(ParseList("{a b").ok());
+}
+
+TEST(ListParseTest, EscapedCharacters) {
+  auto parsed = ParseList("a\\ b c");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], "a b");
+}
+
+class ListRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListRoundTripTest, ::testing::Range<uint64_t>(0, 16));
+
+TEST_P(ListRoundTripTest, ArbitraryElementsSurviveFormatParse) {
+  Rng rng(GetParam());
+  const std::string alphabet = "ab {}$[]\";\\\n\tc";
+  std::vector<std::string> original;
+  size_t count = rng.Uniform(8);
+  for (size_t i = 0; i < count; ++i) {
+    std::string element;
+    size_t len = rng.Uniform(12);
+    for (size_t k = 0; k < len; ++k) {
+      element.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    }
+    original.push_back(element);
+  }
+  auto parsed = ParseList(FormatList(original));
+  ASSERT_TRUE(parsed.ok()) << FormatList(original);
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(ParseIntTest, Basics) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-17").value(), -17);
+  EXPECT_EQ(ParseInt("0x10").value(), 16);
+  EXPECT_EQ(ParseInt(" 5 ").value(), 5);
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("1.5").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+}
+
+TEST(ParseDoubleTest, Basics) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+}
+
+TEST(FormatDoubleTest, IntegralGetsPointZero) {
+  EXPECT_EQ(FormatDouble(3.0), "3.0");
+  EXPECT_EQ(FormatDouble(-2.0), "-2.0");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+}
+
+TEST(GlobMatchTest, Literals) {
+  EXPECT_TRUE(GlobMatch("abc", "abc"));
+  EXPECT_FALSE(GlobMatch("abc", "abd"));
+  EXPECT_FALSE(GlobMatch("abc", "ab"));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
+TEST(GlobMatchTest, Star) {
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("a*c", "abc"));
+  EXPECT_TRUE(GlobMatch("a*c", "ac"));
+  EXPECT_TRUE(GlobMatch("a*c", "axxxxc"));
+  EXPECT_FALSE(GlobMatch("a*c", "abd"));
+  EXPECT_TRUE(GlobMatch("*.txt", "notes.txt"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXbYc"));
+}
+
+TEST(GlobMatchTest, QuestionMark) {
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_FALSE(GlobMatch("a?c", "abbc"));
+}
+
+TEST(GlobMatchTest, CharacterRanges) {
+  EXPECT_TRUE(GlobMatch("[a-z]", "m"));
+  EXPECT_FALSE(GlobMatch("[a-z]", "M"));
+  EXPECT_TRUE(GlobMatch("x[0-9]y", "x5y"));
+  EXPECT_TRUE(GlobMatch("[abc]", "b"));
+  EXPECT_FALSE(GlobMatch("[abc]", "d"));
+}
+
+TEST(GlobMatchTest, EscapedSpecials) {
+  EXPECT_TRUE(GlobMatch("a\\*b", "a*b"));
+  EXPECT_FALSE(GlobMatch("a\\*b", "axb"));
+}
+
+TEST(GlobMatchTest, StarBacktracking) {
+  EXPECT_TRUE(GlobMatch("*ab", "aab"));
+  EXPECT_TRUE(GlobMatch("*aab", "aaab"));
+  EXPECT_TRUE(GlobMatch("a*a*a", "aaaaa"));
+}
+
+}  // namespace
+}  // namespace tacoma::tacl

@@ -1,0 +1,153 @@
+#include "tacl/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma::tacl {
+namespace {
+
+std::vector<ParsedCommand> MustParse(std::string_view script) {
+  auto parsed = ParseScript(script);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : std::vector<ParsedCommand>{};
+}
+
+TEST(ParseTest, SimpleCommand) {
+  auto cmds = MustParse("set a 5");
+  ASSERT_EQ(cmds.size(), 1u);
+  ASSERT_EQ(cmds[0].words.size(), 3u);
+  EXPECT_EQ(cmds[0].words[0].parts[0].text, "set");
+  EXPECT_EQ(cmds[0].words[2].parts[0].text, "5");
+}
+
+TEST(ParseTest, MultipleCommandsByNewlineAndSemicolon) {
+  auto cmds = MustParse("a 1\nb 2; c 3");
+  ASSERT_EQ(cmds.size(), 3u);
+}
+
+TEST(ParseTest, EmptyScriptAndBlankLines) {
+  EXPECT_TRUE(MustParse("").empty());
+  EXPECT_TRUE(MustParse("\n\n  \n;;;\n").empty());
+}
+
+TEST(ParseTest, CommentsSkipped) {
+  auto cmds = MustParse("# a comment\nreal command\n# another");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words[0].parts[0].text, "real");
+}
+
+TEST(ParseTest, BracedWordIsRawLiteral) {
+  auto cmds = MustParse("if {$a < $b} {puts hi}");
+  ASSERT_EQ(cmds.size(), 1u);
+  ASSERT_EQ(cmds[0].words.size(), 3u);
+  EXPECT_TRUE(cmds[0].words[1].braced);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "$a < $b");
+  EXPECT_EQ(cmds[0].words[1].parts[0].kind, WordPart::Kind::kLiteral);
+  EXPECT_EQ(cmds[0].words[2].parts[0].text, "puts hi");
+}
+
+TEST(ParseTest, NestedBraces) {
+  auto cmds = MustParse("proc f {} { if {1} { puts {a b} } }");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words[3].parts[0].text, " if {1} { puts {a b} } ");
+}
+
+TEST(ParseTest, VariableSubstitutionParts) {
+  auto cmds = MustParse("puts $name");
+  ASSERT_EQ(cmds[0].words.size(), 2u);
+  EXPECT_EQ(cmds[0].words[1].parts[0].kind, WordPart::Kind::kVariable);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "name");
+}
+
+TEST(ParseTest, BracedVariableName) {
+  auto cmds = MustParse("puts ${weird name}");
+  EXPECT_EQ(cmds[0].words[1].parts[0].kind, WordPart::Kind::kVariable);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "weird name");
+}
+
+TEST(ParseTest, MixedWordParts) {
+  auto cmds = MustParse("puts pre$var[cmd]post");
+  const Word& w = cmds[0].words[1];
+  ASSERT_EQ(w.parts.size(), 4u);
+  EXPECT_EQ(w.parts[0].kind, WordPart::Kind::kLiteral);
+  EXPECT_EQ(w.parts[0].text, "pre");
+  EXPECT_EQ(w.parts[1].kind, WordPart::Kind::kVariable);
+  EXPECT_EQ(w.parts[2].kind, WordPart::Kind::kScript);
+  EXPECT_EQ(w.parts[2].text, "cmd");
+  EXPECT_EQ(w.parts[3].text, "post");
+}
+
+TEST(ParseTest, QuotedWordWithSubstitution) {
+  auto cmds = MustParse("puts \"hello $who\"");
+  const Word& w = cmds[0].words[1];
+  ASSERT_EQ(w.parts.size(), 2u);
+  EXPECT_EQ(w.parts[0].text, "hello ");
+  EXPECT_EQ(w.parts[1].kind, WordPart::Kind::kVariable);
+}
+
+TEST(ParseTest, QuotedWordKeepsSpacesAndSemicolons) {
+  auto cmds = MustParse("puts \"a; b c\"");
+  ASSERT_EQ(cmds.size(), 1u);
+  ASSERT_EQ(cmds[0].words.size(), 2u);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "a; b c");
+}
+
+TEST(ParseTest, EscapesInBareWords) {
+  auto cmds = MustParse("puts a\\ b");
+  ASSERT_EQ(cmds[0].words.size(), 2u);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "a b");
+}
+
+TEST(ParseTest, EscapeSequences) {
+  auto cmds = MustParse("puts \"x\\ty\\n\"");
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "x\ty\n");
+}
+
+TEST(ParseTest, LineContinuation) {
+  auto cmds = MustParse("set a \\\n 5");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words.size(), 3u);
+}
+
+TEST(ParseTest, NestedBrackets) {
+  auto cmds = MustParse("set x [outer [inner a] b]");
+  const Word& w = cmds[0].words[2];
+  ASSERT_EQ(w.parts.size(), 1u);
+  EXPECT_EQ(w.parts[0].kind, WordPart::Kind::kScript);
+  EXPECT_EQ(w.parts[0].text, "outer [inner a] b");
+}
+
+TEST(ParseTest, DollarWithoutNameIsLiteral) {
+  auto cmds = MustParse("puts a$ b");
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "a$");
+}
+
+TEST(ParseTest, UnbalancedBraceFails) {
+  EXPECT_FALSE(ParseScript("puts {unclosed").ok());
+}
+
+TEST(ParseTest, UnbalancedBracketFails) {
+  EXPECT_FALSE(ParseScript("puts [unclosed").ok());
+}
+
+TEST(ParseTest, UnbalancedQuoteFails) {
+  EXPECT_FALSE(ParseScript("puts \"unclosed").ok());
+}
+
+TEST(ParseTest, JunkAfterCloseBraceFails) {
+  EXPECT_FALSE(ParseScript("puts {a}b").ok());
+}
+
+TEST(ParseTest, EmptyQuotedWordIsEmptyLiteral) {
+  auto cmds = MustParse("set a \"\"");
+  ASSERT_EQ(cmds[0].words.size(), 3u);
+  EXPECT_EQ(cmds[0].words[2].parts[0].text, "");
+}
+
+TEST(ParseTest, SemicolonInsideBracesDoesNotSplit) {
+  auto cmds = MustParse("run {a; b}");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words[1].parts[0].text, "a; b");
+}
+
+}  // namespace
+}  // namespace tacoma::tacl

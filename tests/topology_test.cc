@@ -1,0 +1,88 @@
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tacoma {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() : net_(&sim_) {}
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(TopologyTest, LineHopCounts) {
+  auto ids = BuildLine(&net_, 6);
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[5]).value(), 5u);
+  EXPECT_EQ(net_.HopCount(ids[2], ids[3]).value(), 1u);
+}
+
+TEST_F(TopologyTest, RingWrapsAround) {
+  auto ids = BuildRing(&net_, 8);
+  // Opposite side is 4 hops; adjacent via the wrap link is 1.
+  EXPECT_EQ(net_.HopCount(ids[0], ids[4]).value(), 4u);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[7]).value(), 1u);
+}
+
+TEST_F(TopologyTest, StarHubAndSpokes) {
+  auto ids = BuildStar(&net_, 5);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[3]).value(), 1u);
+  EXPECT_EQ(net_.HopCount(ids[1], ids[4]).value(), 2u);  // Via the hub.
+  EXPECT_EQ(net_.Neighbors(ids[0]).size(), 4u);
+}
+
+TEST_F(TopologyTest, FullMeshAllDirect) {
+  auto ids = BuildFullMesh(&net_, 5);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = 0; j < ids.size(); ++j) {
+      if (i != j) {
+        EXPECT_EQ(net_.HopCount(ids[i], ids[j]).value(), 1u);
+      }
+    }
+  }
+}
+
+TEST_F(TopologyTest, GridManhattanDistance) {
+  auto ids = BuildGrid(&net_, 3, 4);
+  ASSERT_EQ(ids.size(), 12u);
+  // Corner to corner: (3-1)+(4-1) = 5 hops.
+  EXPECT_EQ(net_.HopCount(ids[0], ids[11]).value(), 5u);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[1]).value(), 1u);
+  EXPECT_EQ(net_.HopCount(ids[0], ids[4]).value(), 1u);  // Down one row.
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest, ::testing::Range<uint64_t>(1, 9));
+
+TEST_P(RandomTopologyTest, AlwaysConnected) {
+  Simulator sim;
+  Network net(&sim);
+  Rng rng(GetParam());
+  auto ids = BuildRandom(&net, 20, 0.05, &rng);
+  for (SiteId id : ids) {
+    EXPECT_TRUE(net.HopCount(ids[0], id).has_value()) << "site " << id;
+  }
+}
+
+TEST_F(TopologyTest, BuildersComposeOnOneNetwork) {
+  auto line = BuildLine(&net_, 3);
+  auto star = BuildStar(&net_, 3);
+  // Two disjoint components until linked.
+  EXPECT_FALSE(net_.HopCount(line[0], star[0]).has_value());
+  net_.AddLink(line[2], star[0]);
+  EXPECT_TRUE(net_.HopCount(line[0], star[2]).has_value());
+}
+
+TEST_F(TopologyTest, SiteNamesSequential) {
+  auto ids = BuildLine(&net_, 3);
+  EXPECT_EQ(net_.site_name(ids[0]), "s0");
+  EXPECT_EQ(net_.site_name(ids[2]), "s2");
+  auto more = BuildRing(&net_, 2);
+  EXPECT_EQ(net_.site_name(more[0]), "s3");
+}
+
+}  // namespace
+}  // namespace tacoma
