@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_bandwidth.dir/bench_e1_bandwidth.cc.o"
+  "CMakeFiles/bench_e1_bandwidth.dir/bench_e1_bandwidth.cc.o.d"
+  "bench_e1_bandwidth"
+  "bench_e1_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_flooding.dir/bench_e2_flooding.cc.o"
+  "CMakeFiles/bench_e2_flooding.dir/bench_e2_flooding.cc.o.d"
+  "bench_e2_flooding"
+  "bench_e2_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

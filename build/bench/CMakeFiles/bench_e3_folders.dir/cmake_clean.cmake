@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_folders.dir/bench_e3_folders.cc.o"
+  "CMakeFiles/bench_e3_folders.dir/bench_e3_folders.cc.o.d"
+  "bench_e3_folders"
+  "bench_e3_folders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_folders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

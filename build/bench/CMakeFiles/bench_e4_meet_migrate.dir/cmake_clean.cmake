@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_meet_migrate.dir/bench_e4_meet_migrate.cc.o"
+  "CMakeFiles/bench_e4_meet_migrate.dir/bench_e4_meet_migrate.cc.o.d"
+  "bench_e4_meet_migrate"
+  "bench_e4_meet_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_meet_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

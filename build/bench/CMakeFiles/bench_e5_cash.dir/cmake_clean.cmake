@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_cash.dir/bench_e5_cash.cc.o"
+  "CMakeFiles/bench_e5_cash.dir/bench_e5_cash.cc.o.d"
+  "bench_e5_cash"
+  "bench_e5_cash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_cash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

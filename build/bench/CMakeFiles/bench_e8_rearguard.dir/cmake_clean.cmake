@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_rearguard.dir/bench_e8_rearguard.cc.o"
+  "CMakeFiles/bench_e8_rearguard.dir/bench_e8_rearguard.cc.o.d"
+  "bench_e8_rearguard"
+  "bench_e8_rearguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_rearguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_tacl.dir/bench_e9_tacl.cc.o"
+  "CMakeFiles/bench_e9_tacl.dir/bench_e9_tacl.cc.o.d"
+  "bench_e9_tacl"
+  "bench_e9_tacl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_tacl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/agent_mail.cc" "examples/CMakeFiles/agent_mail.dir/agent_mail.cc.o" "gcc" "examples/CMakeFiles/agent_mail.dir/agent_mail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mail/CMakeFiles/tacoma_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/stormcast/CMakeFiles/tacoma_stormcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/tacoma_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tacoma_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cash/CMakeFiles/tacoma_cash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tacoma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacl/CMakeFiles/tacoma_tacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tacoma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tacoma_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/tacoma_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tacoma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_mail.dir/agent_mail.cc.o"
+  "CMakeFiles/agent_mail.dir/agent_mail.cc.o.d"
+  "agent_mail"
+  "agent_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

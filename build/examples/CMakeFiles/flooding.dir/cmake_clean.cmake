@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding.dir/flooding.cc.o"
+  "CMakeFiles/flooding.dir/flooding.cc.o.d"
+  "flooding"
+  "flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormcast.dir/stormcast.cc.o"
+  "CMakeFiles/stormcast.dir/stormcast.cc.o.d"
+  "stormcast"
+  "stormcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

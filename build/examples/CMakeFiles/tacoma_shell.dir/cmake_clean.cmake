@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_shell.dir/tacoma_shell.cc.o"
+  "CMakeFiles/tacoma_shell.dir/tacoma_shell.cc.o.d"
+  "tacoma_shell"
+  "tacoma_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("serial")
+subdirs("crypto")
+subdirs("sim")
+subdirs("storage")
+subdirs("tacl")
+subdirs("core")
+subdirs("cash")
+subdirs("sched")
+subdirs("ft")
+subdirs("stormcast")
+subdirs("mail")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cash/court.cc" "src/cash/CMakeFiles/tacoma_cash.dir/court.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/court.cc.o.d"
+  "/root/repo/src/cash/ecu.cc" "src/cash/CMakeFiles/tacoma_cash.dir/ecu.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/ecu.cc.o.d"
+  "/root/repo/src/cash/exchange.cc" "src/cash/CMakeFiles/tacoma_cash.dir/exchange.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/exchange.cc.o.d"
+  "/root/repo/src/cash/mint.cc" "src/cash/CMakeFiles/tacoma_cash.dir/mint.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/mint.cc.o.d"
+  "/root/repo/src/cash/negotiate.cc" "src/cash/CMakeFiles/tacoma_cash.dir/negotiate.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/negotiate.cc.o.d"
+  "/root/repo/src/cash/notary.cc" "src/cash/CMakeFiles/tacoma_cash.dir/notary.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/notary.cc.o.d"
+  "/root/repo/src/cash/receipts.cc" "src/cash/CMakeFiles/tacoma_cash.dir/receipts.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/receipts.cc.o.d"
+  "/root/repo/src/cash/twophase.cc" "src/cash/CMakeFiles/tacoma_cash.dir/twophase.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/twophase.cc.o.d"
+  "/root/repo/src/cash/wallet.cc" "src/cash/CMakeFiles/tacoma_cash.dir/wallet.cc.o" "gcc" "src/cash/CMakeFiles/tacoma_cash.dir/wallet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tacoma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tacoma_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tacoma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/tacoma_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacl/CMakeFiles/tacoma_tacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tacoma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

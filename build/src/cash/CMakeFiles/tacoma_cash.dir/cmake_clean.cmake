@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_cash.dir/court.cc.o"
+  "CMakeFiles/tacoma_cash.dir/court.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/ecu.cc.o"
+  "CMakeFiles/tacoma_cash.dir/ecu.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/exchange.cc.o"
+  "CMakeFiles/tacoma_cash.dir/exchange.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/mint.cc.o"
+  "CMakeFiles/tacoma_cash.dir/mint.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/negotiate.cc.o"
+  "CMakeFiles/tacoma_cash.dir/negotiate.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/notary.cc.o"
+  "CMakeFiles/tacoma_cash.dir/notary.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/receipts.cc.o"
+  "CMakeFiles/tacoma_cash.dir/receipts.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/twophase.cc.o"
+  "CMakeFiles/tacoma_cash.dir/twophase.cc.o.d"
+  "CMakeFiles/tacoma_cash.dir/wallet.cc.o"
+  "CMakeFiles/tacoma_cash.dir/wallet.cc.o.d"
+  "libtacoma_cash.a"
+  "libtacoma_cash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_cash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tacoma_cash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bindings.cc" "src/core/CMakeFiles/tacoma_core.dir/bindings.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/bindings.cc.o.d"
+  "/root/repo/src/core/briefcase.cc" "src/core/CMakeFiles/tacoma_core.dir/briefcase.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/briefcase.cc.o.d"
+  "/root/repo/src/core/cabinet.cc" "src/core/CMakeFiles/tacoma_core.dir/cabinet.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/cabinet.cc.o.d"
+  "/root/repo/src/core/folder.cc" "src/core/CMakeFiles/tacoma_core.dir/folder.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/folder.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/tacoma_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/place.cc" "src/core/CMakeFiles/tacoma_core.dir/place.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/place.cc.o.d"
+  "/root/repo/src/core/system_agents.cc" "src/core/CMakeFiles/tacoma_core.dir/system_agents.cc.o" "gcc" "src/core/CMakeFiles/tacoma_core.dir/system_agents.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tacoma_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/tacoma_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tacoma_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tacoma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacl/CMakeFiles/tacoma_tacl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

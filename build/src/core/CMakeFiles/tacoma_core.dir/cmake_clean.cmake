@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_core.dir/bindings.cc.o"
+  "CMakeFiles/tacoma_core.dir/bindings.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/briefcase.cc.o"
+  "CMakeFiles/tacoma_core.dir/briefcase.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/cabinet.cc.o"
+  "CMakeFiles/tacoma_core.dir/cabinet.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/folder.cc.o"
+  "CMakeFiles/tacoma_core.dir/folder.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/kernel.cc.o"
+  "CMakeFiles/tacoma_core.dir/kernel.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/place.cc.o"
+  "CMakeFiles/tacoma_core.dir/place.cc.o.d"
+  "CMakeFiles/tacoma_core.dir/system_agents.cc.o"
+  "CMakeFiles/tacoma_core.dir/system_agents.cc.o.d"
+  "libtacoma_core.a"
+  "libtacoma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_crypto.dir/authority.cc.o"
+  "CMakeFiles/tacoma_crypto.dir/authority.cc.o.d"
+  "CMakeFiles/tacoma_crypto.dir/hmac.cc.o"
+  "CMakeFiles/tacoma_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/tacoma_crypto.dir/sha256.cc.o"
+  "CMakeFiles/tacoma_crypto.dir/sha256.cc.o.d"
+  "libtacoma_crypto.a"
+  "libtacoma_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

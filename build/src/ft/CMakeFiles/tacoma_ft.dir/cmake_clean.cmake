@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_ft.dir/rearguard.cc.o"
+  "CMakeFiles/tacoma_ft.dir/rearguard.cc.o.d"
+  "libtacoma_ft.a"
+  "libtacoma_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtacoma_ft.a"
+)

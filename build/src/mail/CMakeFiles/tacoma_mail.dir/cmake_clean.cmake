@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_mail.dir/mail.cc.o"
+  "CMakeFiles/tacoma_mail.dir/mail.cc.o.d"
+  "libtacoma_mail.a"
+  "libtacoma_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/broker.cc" "src/sched/CMakeFiles/tacoma_sched.dir/broker.cc.o" "gcc" "src/sched/CMakeFiles/tacoma_sched.dir/broker.cc.o.d"
+  "/root/repo/src/sched/jobs.cc" "src/sched/CMakeFiles/tacoma_sched.dir/jobs.cc.o" "gcc" "src/sched/CMakeFiles/tacoma_sched.dir/jobs.cc.o.d"
+  "/root/repo/src/sched/loadgen.cc" "src/sched/CMakeFiles/tacoma_sched.dir/loadgen.cc.o" "gcc" "src/sched/CMakeFiles/tacoma_sched.dir/loadgen.cc.o.d"
+  "/root/repo/src/sched/monitor.cc" "src/sched/CMakeFiles/tacoma_sched.dir/monitor.cc.o" "gcc" "src/sched/CMakeFiles/tacoma_sched.dir/monitor.cc.o.d"
+  "/root/repo/src/sched/ticket.cc" "src/sched/CMakeFiles/tacoma_sched.dir/ticket.cc.o" "gcc" "src/sched/CMakeFiles/tacoma_sched.dir/ticket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tacoma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tacoma_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tacoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tacoma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/tacoma_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/tacl/CMakeFiles/tacoma_tacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tacoma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_sched.dir/broker.cc.o"
+  "CMakeFiles/tacoma_sched.dir/broker.cc.o.d"
+  "CMakeFiles/tacoma_sched.dir/jobs.cc.o"
+  "CMakeFiles/tacoma_sched.dir/jobs.cc.o.d"
+  "CMakeFiles/tacoma_sched.dir/loadgen.cc.o"
+  "CMakeFiles/tacoma_sched.dir/loadgen.cc.o.d"
+  "CMakeFiles/tacoma_sched.dir/monitor.cc.o"
+  "CMakeFiles/tacoma_sched.dir/monitor.cc.o.d"
+  "CMakeFiles/tacoma_sched.dir/ticket.cc.o"
+  "CMakeFiles/tacoma_sched.dir/ticket.cc.o.d"
+  "libtacoma_sched.a"
+  "libtacoma_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

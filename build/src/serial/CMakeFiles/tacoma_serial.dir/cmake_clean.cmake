@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_serial.dir/encoder.cc.o"
+  "CMakeFiles/tacoma_serial.dir/encoder.cc.o.d"
+  "libtacoma_serial.a"
+  "libtacoma_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

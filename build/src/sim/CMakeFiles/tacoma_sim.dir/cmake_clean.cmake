@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_sim.dir/network.cc.o"
+  "CMakeFiles/tacoma_sim.dir/network.cc.o.d"
+  "CMakeFiles/tacoma_sim.dir/simulator.cc.o"
+  "CMakeFiles/tacoma_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tacoma_sim.dir/topology.cc.o"
+  "CMakeFiles/tacoma_sim.dir/topology.cc.o.d"
+  "libtacoma_sim.a"
+  "libtacoma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

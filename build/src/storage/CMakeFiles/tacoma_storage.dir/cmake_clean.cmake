@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_storage.dir/disk.cc.o"
+  "CMakeFiles/tacoma_storage.dir/disk.cc.o.d"
+  "CMakeFiles/tacoma_storage.dir/disk_log.cc.o"
+  "CMakeFiles/tacoma_storage.dir/disk_log.cc.o.d"
+  "libtacoma_storage.a"
+  "libtacoma_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

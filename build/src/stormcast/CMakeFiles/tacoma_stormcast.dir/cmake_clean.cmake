@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_stormcast.dir/scenario.cc.o"
+  "CMakeFiles/tacoma_stormcast.dir/scenario.cc.o.d"
+  "CMakeFiles/tacoma_stormcast.dir/weather.cc.o"
+  "CMakeFiles/tacoma_stormcast.dir/weather.cc.o.d"
+  "libtacoma_stormcast.a"
+  "libtacoma_stormcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_stormcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

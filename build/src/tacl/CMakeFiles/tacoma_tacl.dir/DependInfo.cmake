@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tacl/builtins.cc" "src/tacl/CMakeFiles/tacoma_tacl.dir/builtins.cc.o" "gcc" "src/tacl/CMakeFiles/tacoma_tacl.dir/builtins.cc.o.d"
+  "/root/repo/src/tacl/expr.cc" "src/tacl/CMakeFiles/tacoma_tacl.dir/expr.cc.o" "gcc" "src/tacl/CMakeFiles/tacoma_tacl.dir/expr.cc.o.d"
+  "/root/repo/src/tacl/interp.cc" "src/tacl/CMakeFiles/tacoma_tacl.dir/interp.cc.o" "gcc" "src/tacl/CMakeFiles/tacoma_tacl.dir/interp.cc.o.d"
+  "/root/repo/src/tacl/list.cc" "src/tacl/CMakeFiles/tacoma_tacl.dir/list.cc.o" "gcc" "src/tacl/CMakeFiles/tacoma_tacl.dir/list.cc.o.d"
+  "/root/repo/src/tacl/parse.cc" "src/tacl/CMakeFiles/tacoma_tacl.dir/parse.cc.o" "gcc" "src/tacl/CMakeFiles/tacoma_tacl.dir/parse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tacoma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

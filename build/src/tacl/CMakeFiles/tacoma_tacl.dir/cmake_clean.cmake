@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_tacl.dir/builtins.cc.o"
+  "CMakeFiles/tacoma_tacl.dir/builtins.cc.o.d"
+  "CMakeFiles/tacoma_tacl.dir/expr.cc.o"
+  "CMakeFiles/tacoma_tacl.dir/expr.cc.o.d"
+  "CMakeFiles/tacoma_tacl.dir/interp.cc.o"
+  "CMakeFiles/tacoma_tacl.dir/interp.cc.o.d"
+  "CMakeFiles/tacoma_tacl.dir/list.cc.o"
+  "CMakeFiles/tacoma_tacl.dir/list.cc.o.d"
+  "CMakeFiles/tacoma_tacl.dir/parse.cc.o"
+  "CMakeFiles/tacoma_tacl.dir/parse.cc.o.d"
+  "libtacoma_tacl.a"
+  "libtacoma_tacl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_tacl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacoma_util.dir/bytes.cc.o"
+  "CMakeFiles/tacoma_util.dir/bytes.cc.o.d"
+  "CMakeFiles/tacoma_util.dir/log.cc.o"
+  "CMakeFiles/tacoma_util.dir/log.cc.o.d"
+  "CMakeFiles/tacoma_util.dir/rng.cc.o"
+  "CMakeFiles/tacoma_util.dir/rng.cc.o.d"
+  "CMakeFiles/tacoma_util.dir/status.cc.o"
+  "CMakeFiles/tacoma_util.dir/status.cc.o.d"
+  "libtacoma_util.a"
+  "libtacoma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacoma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

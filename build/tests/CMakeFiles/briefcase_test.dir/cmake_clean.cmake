@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briefcase_test.dir/briefcase_test.cc.o"
+  "CMakeFiles/briefcase_test.dir/briefcase_test.cc.o.d"
+  "briefcase_test"
+  "briefcase_test.pdb"
+  "briefcase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briefcase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

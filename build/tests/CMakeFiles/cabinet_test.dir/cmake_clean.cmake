@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cabinet_test.dir/cabinet_test.cc.o"
+  "CMakeFiles/cabinet_test.dir/cabinet_test.cc.o.d"
+  "cabinet_test"
+  "cabinet_test.pdb"
+  "cabinet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cabinet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

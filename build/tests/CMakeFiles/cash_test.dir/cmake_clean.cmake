@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_test.dir/cash_test.cc.o"
+  "CMakeFiles/cash_test.dir/cash_test.cc.o.d"
+  "cash_test"
+  "cash_test.pdb"
+  "cash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

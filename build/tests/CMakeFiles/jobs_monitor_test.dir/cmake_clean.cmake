@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobs_monitor_test.dir/jobs_monitor_test.cc.o"
+  "CMakeFiles/jobs_monitor_test.dir/jobs_monitor_test.cc.o.d"
+  "jobs_monitor_test"
+  "jobs_monitor_test.pdb"
+  "jobs_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobs_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

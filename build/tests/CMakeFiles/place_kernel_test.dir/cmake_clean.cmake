@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_kernel_test.dir/place_kernel_test.cc.o"
+  "CMakeFiles/place_kernel_test.dir/place_kernel_test.cc.o.d"
+  "place_kernel_test"
+  "place_kernel_test.pdb"
+  "place_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rearguard_test.dir/rearguard_test.cc.o"
+  "CMakeFiles/rearguard_test.dir/rearguard_test.cc.o.d"
+  "rearguard_test"
+  "rearguard_test.pdb"
+  "rearguard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rearguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

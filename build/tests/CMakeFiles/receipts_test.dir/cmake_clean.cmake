@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipts_test.dir/receipts_test.cc.o"
+  "CMakeFiles/receipts_test.dir/receipts_test.cc.o.d"
+  "receipts_test"
+  "receipts_test.pdb"
+  "receipts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

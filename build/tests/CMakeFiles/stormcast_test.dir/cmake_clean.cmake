@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormcast_test.dir/stormcast_test.cc.o"
+  "CMakeFiles/stormcast_test.dir/stormcast_test.cc.o.d"
+  "stormcast_test"
+  "stormcast_test.pdb"
+  "stormcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

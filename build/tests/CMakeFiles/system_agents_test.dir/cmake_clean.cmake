@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_agents_test.dir/system_agents_test.cc.o"
+  "CMakeFiles/system_agents_test.dir/system_agents_test.cc.o.d"
+  "system_agents_test"
+  "system_agents_test.pdb"
+  "system_agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacl_expr_test.dir/tacl_expr_test.cc.o"
+  "CMakeFiles/tacl_expr_test.dir/tacl_expr_test.cc.o.d"
+  "tacl_expr_test"
+  "tacl_expr_test.pdb"
+  "tacl_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

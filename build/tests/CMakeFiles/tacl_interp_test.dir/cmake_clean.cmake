@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacl_interp_test.dir/tacl_interp_test.cc.o"
+  "CMakeFiles/tacl_interp_test.dir/tacl_interp_test.cc.o.d"
+  "tacl_interp_test"
+  "tacl_interp_test.pdb"
+  "tacl_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacl_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

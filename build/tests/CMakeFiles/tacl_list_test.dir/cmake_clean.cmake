@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacl_list_test.dir/tacl_list_test.cc.o"
+  "CMakeFiles/tacl_list_test.dir/tacl_list_test.cc.o.d"
+  "tacl_list_test"
+  "tacl_list_test.pdb"
+  "tacl_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacl_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacl_parse_test.dir/tacl_parse_test.cc.o"
+  "CMakeFiles/tacl_parse_test.dir/tacl_parse_test.cc.o.d"
+  "tacl_parse_test"
+  "tacl_parse_test.pdb"
+  "tacl_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacl_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twophase_test.dir/twophase_test.cc.o"
+  "CMakeFiles/twophase_test.dir/twophase_test.cc.o.d"
+  "twophase_test"
+  "twophase_test.pdb"
+  "twophase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twophase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
