@@ -1,0 +1,128 @@
+// E10 — Static admission analysis throughput.
+//
+// Admission analysis sits on the agent-arrival path: every CODE folder is
+// verified before its first activation at a site (ISSUE: TACL agent
+// verifier).  These benchmarks size the cost per script and the sustained
+// throughput in MB/s so the admission knob can be priced against the
+// activation costs in E9.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "tacl/analyze.h"
+
+namespace tacoma::tacl {
+namespace {
+
+// A synthetic agent script exercising every analyzer pass: proc definitions,
+// nested bodies, expr strings, substitutions, and capability commands.
+std::string MakeScript(int blocks) {
+  std::string script =
+      "proc classify {n} {\n"
+      "  if {$n < 4} { return short }\n"
+      "  if {$n < 8} { return medium }\n"
+      "  return long\n"
+      "}\n";
+  for (int i = 0; i < blocks; ++i) {
+    std::string v = "v" + std::to_string(i);
+    script += "set " + v + " [expr {" + std::to_string(i) + " % 7}]\n";
+    script += "if {$" + v + " > 3} {\n";
+    script += "  bc_put RESULT [classify $" + v + "]\n";
+    script += "} else {\n";
+    script += "  foreach w [split \"a bb ccc\"] { bc_push LOG $w }\n";
+    script += "}\n";
+  }
+  script += "jump next_site\n";
+  return script;
+}
+
+AnalyzerOptions AgentOptions() {
+  AnalyzerOptions options;
+  options.signatures = BuiltinCommandSignatures();
+  options.known_commands.insert("bc_put");
+  options.known_commands.insert("bc_push");
+  options.known_commands.insert("jump");
+  return options;
+}
+
+void BM_AnalyzeThroughput(benchmark::State& state) {
+  std::string script = MakeScript(static_cast<int>(state.range(0)));
+  AnalyzerOptions options = AgentOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Analyze(script, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(script.size()));
+}
+BENCHMARK(BM_AnalyzeThroughput)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_AnalyzeSmallAgent(benchmark::State& state) {
+  // A realistic courier agent, roughly the size of the shipped examples:
+  // this is the per-arrival admission cost when the cache misses.
+  std::string script =
+      "if {[bc_len ITINERARY] == 0} {\n"
+      "  log \"done at [site]\"\n"
+      "  return\n"
+      "}\n"
+      "foreach s [cab_list field SAMPLES] { bc_put RESULT $s }\n"
+      "set next [bc_pop ITINERARY]\n"
+      "jump $next\n";
+  AnalyzerOptions options = AgentOptions();
+  options.known_commands.insert("bc_len");
+  options.known_commands.insert("bc_pop");
+  options.known_commands.insert("cab_list");
+  options.known_commands.insert("log");
+  options.known_commands.insert("site");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Analyze(script, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(script.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AnalyzeSmallAgent);
+
+void BM_AnalyzeParseErrorPath(benchmark::State& state) {
+  // Malformed input must fail fast: the analyzer stops at the first parse
+  // error instead of scanning the remainder.
+  std::string script = MakeScript(50) + "set broken {unclosed\n";
+  AnalyzerOptions options = AgentOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Analyze(script, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(script.size()));
+}
+BENCHMARK(BM_AnalyzeParseErrorPath);
+
+void BM_AnalyzeDeepNesting(benchmark::State& state) {
+  // Each nesting level re-parses its braced body; this prices the recursion.
+  int depth = static_cast<int>(state.range(0));
+  std::string script;
+  for (int i = 0; i < depth; ++i) {
+    script += "if {1} {\n";
+  }
+  script += "set x 1\n";
+  for (int i = 0; i < depth; ++i) {
+    script += "}\n";
+  }
+  AnalyzerOptions options = AgentOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Analyze(script, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(script.size()));
+}
+BENCHMARK(BM_AnalyzeDeepNesting)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace tacoma::tacl
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E10 — static admission analysis throughput (CODE folders are verified\n"
+      "before activation; this prices the check against E9 activation costs)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: warning-clean build + tests, then the same tests under ASan/UBSan.
+#
+# Usage:
+#   ci/check.sh            # plain (-Werror) build + ctest, then asan,ubsan build + ctest
+#   ci/check.sh --tsan     # additionally run a ThreadSanitizer build + ctest
+#
+# Build trees live under build-ci/ so they never disturb the developer build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-2}"
+CTEST_ARGS=(--output-on-failure --timeout 300)
+RUN_TSAN=0
+[[ "${1:-}" == "--tsan" ]] && RUN_TSAN=1
+
+run_stage() {
+  local name="$1"
+  shift
+  local dir="build-ci/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . -DTACOMA_WERROR=ON "$@"
+  echo "=== [${name}] build (-j${JOBS}) ==="
+  cmake --build "${dir}" -j"${JOBS}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" "${CTEST_ARGS[@]}"
+}
+
+run_stage plain
+run_stage asan-ubsan -DTACOMA_SANITIZE=address,undefined
+if [[ "${RUN_TSAN}" == "1" ]]; then
+  run_stage tsan -DTACOMA_SANITIZE=thread
+fi
+
+echo "=== all checks passed ==="

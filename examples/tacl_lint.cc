@@ -1,0 +1,129 @@
+// tacl_lint — offline static analysis for TACL agent scripts.
+//
+// Agent authors get the same checks a Place's admission pass applies, before
+// their agent ever travels: parse errors, unknown commands, arity mismatches,
+// unset variables, unreachable code, and the capability summary a site would
+// use to gate admission.
+//
+// Usage: tacl_lint [--strict] [--capabilities] [--builtin-only] file.tacl ...
+//        tacl_lint -            (read one script from stdin)
+//
+// Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/place.h"
+#include "tacl/analyze.h"
+
+namespace {
+
+void PrintCapabilities(const tacoma::tacl::CapabilitySummary& caps) {
+  auto print_set = [](const char* label, const std::set<std::string>& values) {
+    std::printf("  %-18s", label);
+    if (values.empty()) {
+      std::printf(" (none)");
+    }
+    for (const std::string& v : values) {
+      std::printf(" %s", v.c_str());
+    }
+    std::printf("\n");
+  };
+  print_set("briefcase folders:", caps.briefcase_folders);
+  print_set("cabinets:", caps.cabinets);
+  print_set("agents met:", caps.agents_met);
+  print_set("hosts:", caps.hosts);
+  if (caps.dynamic_targets) {
+    std::printf("  (some targets are computed at run time; summary is a lower bound)\n");
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tacl_lint [--strict] [--capabilities] [--builtin-only] "
+               "file.tacl ... | -\n"
+               "  --strict        warnings also fail the lint\n"
+               "  --capabilities  print what each script touches\n"
+               "  --builtin-only  lint against the TACL standard library only\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tacoma;
+
+  bool strict = false;
+  bool capabilities = false;
+  bool builtin_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--capabilities") == 0) {
+      capabilities = true;
+    } else if (std::strcmp(argv[i], "--builtin-only") == 0) {
+      builtin_only = true;
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      return Usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  // The same command surface an agent sees at a plain site: TACL builtins
+  // plus the agent primitives every Place binds.  --builtin-only drops the
+  // primitives for linting pure-TACL library code.
+  tacl::AnalyzerOptions options;
+  options.signatures = tacl::BuiltinCommandSignatures();
+  if (!builtin_only) {
+    for (const auto& [name, sig] : AgentPrimitiveSignatures()) {
+      options.signatures.emplace(name, sig);
+    }
+  }
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& file : files) {
+    std::string source;
+    if (file == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "tacl_lint: cannot open %s\n", file.c_str());
+        ++errors;
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+
+    tacl::AnalysisReport report = tacl::Analyze(source, options);
+    std::string rendered = report.ToString(file == "-" ? "<stdin>" : file);
+    if (!rendered.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    }
+    errors += report.error_count();
+    warnings += report.warning_count();
+    if (capabilities) {
+      std::printf("%s: capabilities\n", file.c_str());
+      PrintCapabilities(report.capabilities);
+    }
+  }
+
+  if (errors + warnings > 0) {
+    std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
+  }
+  return errors > 0 || (strict && warnings > 0) ? 1 : 0;
+}

@@ -17,6 +17,7 @@
 
 #include "core/kernel.h"
 #include "sim/topology.h"
+#include "util/log.h"
 
 namespace {
 
@@ -89,6 +90,9 @@ int RunDemo(Kernel* kernel, Shell* shell) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Surface site warnings (admission analysis, failed deliveries) on the
+  // console; the logger is off by default.
+  SetLogLevel(LogLevel::kWarn);
   Kernel kernel;
   auto ids = BuildRing(&kernel.net(), 4);
   kernel.AdoptNetworkSites();

@@ -14,6 +14,43 @@
 
 namespace tacoma {
 
+const tacl::SignatureTable& AgentPrimitiveSignatures() {
+  // Keep in lockstep with the Register calls below: same names, and arity
+  // bounds matching each lambda's argv check (commands that ignore argv are
+  // declared zero-argument — extra operands are author mistakes).
+  static const tacl::SignatureTable* table = new tacl::SignatureTable{
+      {"bc_put", {2, 2}},     {"bc_push", {2, 2}},    {"bc_pop", {1, 1}},
+      {"bc_pop_back", {1, 1}}, {"bc_peek", {1, 1}},   {"bc_get", {1, 1}},
+      {"bc_set", {2, 2}},     {"bc_len", {1, 1}},     {"bc_list", {1, 1}},
+      {"bc_has", {1, 1}},     {"bc_clear", {1, 1}},   {"bc_folders", {0, 0}},
+      {"cab_append", {3, 3}}, {"cab_set", {3, 3}},    {"cab_get", {3, 3}},
+      {"cab_list", {2, 2}},   {"cab_len", {2, 2}},    {"cab_contains", {3, 3}},
+      {"cab_erase", {2, 2}},  {"cab_folders", {1, 1}}, {"cab_flush", {1, 1}},
+      {"meet", {1, 2}},       {"move", {1, 2}},       {"jump", {1, 1}},
+      {"clone", {1, 1}},      {"send", {3, 3}},       {"site", {0, 0}},
+      {"agent_id", {0, 0}},   {"self_code", {0, 0}},  {"now_us", {0, 0}},
+      {"agents", {0, 0}},     {"log", {1, 1}},        {"detach", {2, 2}},
+      {"rng_uniform", {1, 1}},
+  };
+  return *table;
+}
+
+tacl::AnalyzerOptions AgentAnalyzerOptions(const tacl::Interp& interp) {
+  static const tacl::SignatureTable* merged = [] {
+    auto* table = new tacl::SignatureTable(tacl::BuiltinCommandSignatures());
+    for (const auto& [name, sig] : AgentPrimitiveSignatures()) {
+      table->emplace(name, sig);
+    }
+    return table;
+  }();
+  tacl::AnalyzerOptions options;
+  options.signatures = *merged;
+  for (std::string& name : interp.CommandNames()) {
+    options.known_commands.insert(std::move(name));
+  }
+  return options;
+}
+
 void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
   using tacl::Error;
   using tacl::Interp;

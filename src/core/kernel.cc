@@ -71,6 +71,7 @@ void Kernel::CreatePlace(SiteId site) {
   disk(site);  // Ensure the disk exists.
   auto place = std::make_unique<Place>(this, site, net_.site_name(site));
   place->set_step_limit(options_.step_limit);
+  place->set_admission_policy(options_.admission_policy);
   InstallSystemAgents(*place);
   PopulateSitesFolder(*place);
   place->RecoverCabinets();

@@ -28,6 +28,10 @@ struct KernelOptions {
   uint64_t step_limit = 5'000'000;
   // Write-ahead logging for cabinets (durable without explicit flushes).
   bool cabinet_write_ahead = false;
+  // What every Place does with agent CODE that fails static admission
+  // analysis (see tacl/analyze.h): run it anyway, warn, or reject it before
+  // the interpreter sees it.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kWarn;
 };
 
 class Kernel {

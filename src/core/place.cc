@@ -125,6 +125,38 @@ void Place::EmitAgentOutput(const std::string& line) {
   }
 }
 
+const Place::AdmissionVerdict& Place::Admit(const tacl::Interp& interp,
+                                            const std::string& code) {
+  auto it = admission_cache_.find(code);
+  if (it != admission_cache_.end()) {
+    return it->second;
+  }
+  if (admission_cache_.size() >= 1024) {
+    admission_cache_.clear();  // Crude bound; adversaries don't get to grow it.
+  }
+  tacl::AnalysisReport report = tacl::Analyze(code, AgentAnalyzerOptions(interp));
+  AdmissionVerdict verdict;
+  verdict.ok = report.ok();
+  verdict.first_error = report.FirstError();
+  return admission_cache_.emplace(code, std::move(verdict)).first->second;
+}
+
+tacl::AnalysisReport Place::AnalyzeAgentCode(const std::string& code) {
+  // Build a throwaway interpreter exactly like RunAgentCode would, so the
+  // analysis sees every command an activation here could call.  Nothing is
+  // evaluated: the bound closures are never invoked.
+  Activation scratch;
+  Briefcase empty;
+  scratch.place = this;
+  scratch.briefcase = &empty;
+  tacl::Interp interp;
+  BindAgentPrimitives(&interp, &scratch);
+  for (const Binder& binder : binders_) {
+    binder(&interp, &scratch);
+  }
+  return tacl::Analyze(code, AgentAnalyzerOptions(interp));
+}
+
 Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
                            const std::string& agent_id) {
   ++stats_.activations;
@@ -142,6 +174,20 @@ Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
   BindAgentPrimitives(&interp, &activation);
   for (const Binder& binder : binders_) {
     binder(&interp, &activation);
+  }
+
+  if (admission_policy_ != AdmissionPolicy::kOff) {
+    const AdmissionVerdict& verdict = Admit(interp, code);
+    if (!verdict.ok) {
+      if (admission_policy_ == AdmissionPolicy::kReject) {
+        ++stats_.failed_activations;
+        ++stats_.rejected_agents;
+        return PermissionDeniedError("agent " + agent_id + " rejected at " + name_ +
+                                     " by admission analysis: " + verdict.first_error);
+      }
+      TLOG_WARN << "site " << name_ << ": agent " << agent_id
+                << " failed admission analysis (policy=warn): " << verdict.first_error;
+    }
   }
 
   tacl::Outcome out = interp.Eval(code);

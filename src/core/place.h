@@ -21,6 +21,7 @@
 #include "core/briefcase.h"
 #include "core/cabinet.h"
 #include "sim/network.h"
+#include "tacl/analyze.h"
 #include "tacl/interp.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -29,6 +30,13 @@ namespace tacoma {
 
 class Kernel;
 class Place;
+
+// What a Place does with an agent whose CODE fails static analysis (parse
+// errors, unknown commands, arity mismatches — see tacl/analyze.h).
+//   kOff    run everything, analyze nothing (the pre-verifier behaviour);
+//   kWarn   run it, but log the diagnostics (default: visibility first);
+//   kReject refuse the activation before the interpreter sees the code.
+enum class AdmissionPolicy { kOff, kWarn, kReject };
 
 // A resident agent's meet handler: receives the briefcase (in/out, like an
 // argument list) and may use the Place freely.  "meet B with bc" runs this
@@ -52,6 +60,7 @@ class Place {
     uint64_t failed_meets = 0;
     uint64_t activations = 0;
     uint64_t failed_activations = 0;
+    uint64_t rejected_agents = 0;  // Refused by admission analysis.
     uint64_t interp_steps = 0;
   };
 
@@ -101,6 +110,18 @@ class Place {
   // Per-activation command step budget (0 = unlimited).
   void set_step_limit(uint64_t limit) { step_limit_ = limit; }
 
+  // --- Admission (static analysis of incoming CODE) ---------------------------------
+
+  // Every activation's source is analyzed against the commands actually bound
+  // at this place before it runs; the policy decides what failure means.
+  AdmissionPolicy admission_policy() const { return admission_policy_; }
+  void set_admission_policy(AdmissionPolicy policy) { admission_policy_ = policy; }
+
+  // Analyzes `code` exactly as the admission check would (builtins + agent
+  // primitives + every command the place's binders register), without
+  // running it.  Useful for pre-flight checks and tests.
+  tacl::AnalysisReport AnalyzeAgentCode(const std::string& code);
+
   // Extension hook: modules (cash, scheduling, fault tolerance) add binders
   // that register extra TACL commands for every activation at this place.
   using Binder = std::function<void(tacl::Interp*, Activation*)>;
@@ -116,6 +137,15 @@ class Place {
   Rng& rng() { return rng_; }
 
  private:
+  // Cached admission verdict for one CODE string: whether analysis passed and,
+  // if not, the first error.  Resident TACL agents re-run the same source on
+  // every meet; the cache keeps admission off that hot path.
+  struct AdmissionVerdict {
+    bool ok = true;
+    std::string first_error;
+  };
+  const AdmissionVerdict& Admit(const tacl::Interp& interp, const std::string& code);
+
   Kernel* kernel_;
   SiteId site_;
   std::string name_;
@@ -123,7 +153,9 @@ class Place {
   std::map<std::string, std::unique_ptr<FileCabinet>> cabinets_;
   std::function<void(const std::string&)> agent_output_;
   std::vector<Binder> binders_;
+  std::map<std::string, AdmissionVerdict> admission_cache_;
   uint64_t step_limit_ = 5'000'000;
+  AdmissionPolicy admission_policy_ = AdmissionPolicy::kWarn;
   uint64_t generation_ = 0;
   int meet_depth_ = 0;
   Stats stats_;
@@ -133,6 +165,15 @@ class Place {
 // Binds the agent primitives (bc_*, cab_*, meet, move, clone, send, ...) into
 // `interp` for the given activation.  Defined in bindings.cc.
 void BindAgentPrimitives(tacl::Interp* interp, Activation* activation);
+
+// Arity signatures for everything BindAgentPrimitives registers, for the
+// static analyzer.  Kept next to the registrations in bindings.cc.
+const tacl::SignatureTable& AgentPrimitiveSignatures();
+
+// Analyzer options matching an activation interpreter at admission time:
+// builtin + agent-primitive signatures, plus existence of every command
+// `interp` has registered (module binders included).
+tacl::AnalyzerOptions AgentAnalyzerOptions(const tacl::Interp& interp);
 
 }  // namespace tacoma
 

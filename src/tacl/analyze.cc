@@ -1,0 +1,655 @@
+#include "tacl/analyze.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "tacl/list.h"
+
+namespace tacoma::tacl {
+
+std::string_view SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+size_t AnalysisReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::string AnalysisReport::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) {
+      return "line " + std::to_string(d.line) + ": " + d.message;
+    }
+  }
+  return "";
+}
+
+std::string AnalysisReport::ToString(std::string_view name) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!name.empty()) {
+      out += name;
+      out += ':';
+    }
+    out += std::to_string(d.line);
+    out += ": ";
+    out += SeverityName(d.severity);
+    out += ": ";
+    out += d.message;
+    out += " [";
+    out += d.code;
+    out += "]\n";
+  }
+  return out;
+}
+
+const SignatureTable& BuiltinCommandSignatures() {
+  static const SignatureTable* table = new SignatureTable{
+      {"set", {1, 2}},      {"unset", {1, -1}},   {"incr", {1, 2}},
+      {"global", {0, -1}},  {"upvar", {2, -1}},   {"append", {1, -1}},
+      {"if", {2, -1}},      {"while", {2, 2}},    {"for", {4, 4}},
+      {"foreach", {3, 3}},  {"break", {0, 0}},    {"continue", {0, 0}},
+      {"return", {0, 1}},   {"error", {1, 1}},    {"catch", {1, 2}},
+      {"eval", {1, -1}},    {"expr", {1, -1}},    {"proc", {3, 3}},
+      {"puts", {1, 2}},     {"list", {0, -1}},    {"lindex", {2, 2}},
+      {"llength", {1, 1}},  {"lappend", {1, -1}}, {"lrange", {3, 3}},
+      {"lreverse", {1, 1}}, {"lsearch", {2, 3}},  {"lsort", {1, -1}},
+      {"linsert", {2, -1}}, {"concat", {0, -1}},  {"join", {1, 2}},
+      {"split", {1, 2}},    {"string", {2, -1}},  {"format", {1, -1}},
+      {"switch", {2, -1}},  {"lassign", {2, -1}}, {"info", {1, 2}},
+  };
+  return *table;
+}
+
+namespace {
+
+// Re-parsing nested bodies costs O(depth * length); the cap keeps adversarial
+// deeply-nested scripts linear and protects the stack on the admission path.
+constexpr size_t kMaxAnalysisDepth = 100;
+
+bool IsLiteral(const Word& w) {
+  return w.parts.size() == 1 && w.parts[0].kind == WordPart::Kind::kLiteral;
+}
+
+const std::string& LiteralText(const Word& w) { return w.parts[0].text; }
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const AnalyzerOptions& options)
+      : options_(options),
+        signatures_(options.signatures.empty() ? BuiltinCommandSignatures()
+                                               : options.signatures) {}
+
+  AnalysisReport Run(std::string_view script) {
+    CollectDefinitions(script, 0);
+    Scope top;
+    AnalyzeBlock(script, 1, 0, &top);
+    FinishScope(top);
+    std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.line < b.line;
+                     });
+    return std::move(report_);
+  }
+
+ private:
+  // Variables are tracked per scope: the top level is one scope, each proc
+  // body (and each detached continuation, which runs in a fresh interpreter)
+  // is another.  `dynamic` means a computed variable name or dynamic eval was
+  // seen, after which unset-variable reasoning would be guesswork.
+  struct Scope {
+    std::set<std::string> defined;
+    std::map<std::string, size_t> first_read;  // name -> line
+    bool dynamic = false;
+  };
+
+  void Diag(Severity severity, size_t line, std::string_view code,
+            std::string message) {
+    report_.diagnostics.push_back(
+        {severity, line == 0 ? 1 : line, std::string(code), std::move(message)});
+  }
+
+  // --- Pass 1: definition harvest ---------------------------------------------
+  //
+  // Walks every braced word and bracketed script recursively, regardless of
+  // position, so procs (and `global` declarations) defined anywhere — loop
+  // bodies, nested ifs, data blocks that might be eval'd — are known before
+  // diagnostics are produced.  Over-collection only suppresses diagnostics,
+  // which is the conservative direction for an admission check.
+  void CollectDefinitions(std::string_view script, size_t depth) {
+    if (depth > kMaxAnalysisDepth) {
+      return;
+    }
+    auto parsed = ParseScript(script);
+    if (!parsed.ok()) {
+      return;  // Reported by the diagnostic pass.
+    }
+    for (const ParsedCommand& cmd : *parsed) {
+      if (!cmd.words.empty() && IsLiteral(cmd.words[0])) {
+        const std::string& name = LiteralText(cmd.words[0]);
+        if (name == "proc" && cmd.words.size() == 4) {
+          if (IsLiteral(cmd.words[1])) {
+            procs_[LiteralText(cmd.words[1])] = ProcSignature(cmd.words[2]);
+          } else {
+            dynamic_procs_ = true;
+          }
+        } else if (name == "global") {
+          for (size_t i = 1; i < cmd.words.size(); ++i) {
+            if (IsLiteral(cmd.words[i])) {
+              global_defined_.insert(LiteralText(cmd.words[i]));
+            }
+          }
+        } else if (name == "upvar") {
+          // A called proc can rewrite any caller variable through the alias;
+          // variable liveness is no longer statically knowable.
+          has_upvar_ = true;
+        }
+      }
+      for (const Word& w : cmd.words) {
+        for (const WordPart& part : w.parts) {
+          if (part.kind == WordPart::Kind::kScript) {
+            CollectDefinitions(part.text, depth + 1);
+          }
+        }
+        if (w.braced) {
+          CollectDefinitions(LiteralText(w), depth + 1);
+        }
+      }
+    }
+  }
+
+  CommandSignature ProcSignature(const Word& params_word) {
+    if (!IsLiteral(params_word)) {
+      return {0, -1};
+    }
+    auto params = ParseList(LiteralText(params_word));
+    if (!params.ok()) {
+      return {0, -1};
+    }
+    CommandSignature sig{0, 0};
+    for (size_t i = 0; i < params->size(); ++i) {
+      if ((*params)[i] == "args" && i + 1 == params->size()) {
+        sig.max_args = -1;
+        return sig;
+      }
+      auto parts = ParseList((*params)[i]);
+      bool has_default = parts.ok() && parts->size() == 2;
+      if (!has_default) {
+        ++sig.min_args;
+      }
+      ++sig.max_args;
+    }
+    return sig;
+  }
+
+  // --- Pass 2: diagnostics -----------------------------------------------------
+
+  void AnalyzeBlock(std::string_view script, size_t base_line, size_t depth,
+                    Scope* scope) {
+    if (depth > kMaxAnalysisDepth) {
+      if (!depth_warned_) {
+        depth_warned_ = true;
+        Diag(Severity::kWarning, base_line, "analysis-limit",
+             "nesting exceeds analysis depth; deeper code not checked");
+      }
+      return;
+    }
+    auto parsed = ParseScript(script);
+    if (!parsed.ok()) {
+      ReportParseError(parsed.status().message(), base_line);
+      return;
+    }
+    report_.commands_analyzed += parsed->size();
+    bool terminated = false;
+    std::string terminator;
+    for (const ParsedCommand& cmd : *parsed) {
+      if (cmd.words.empty()) {
+        continue;
+      }
+      if (terminated) {
+        Diag(Severity::kWarning, AbsLine(base_line, cmd.line), kDiagUnreachable,
+             "unreachable code after \"" + terminator + "\"");
+        terminated = false;  // One warning per block.
+      }
+      if (AnalyzeCommand(cmd, base_line, depth, scope) && !terminated) {
+        terminated = true;
+        terminator = LiteralText(cmd.words[0]);
+      }
+    }
+  }
+
+  // Parser errors arrive as "line N: message" with N relative to the parsed
+  // substring; rebase onto the enclosing script.
+  void ReportParseError(std::string_view message, size_t base_line) {
+    size_t line = base_line;
+    if (message.rfind("line ", 0) == 0) {
+      size_t i = 5;
+      size_t rel = 0;
+      while (i < message.size() && std::isdigit(static_cast<unsigned char>(message[i]))) {
+        rel = rel * 10 + static_cast<size_t>(message[i] - '0');
+        ++i;
+      }
+      if (i + 1 < message.size() && message[i] == ':' && rel > 0) {
+        line = AbsLine(base_line, rel);
+        message = message.substr(i + 2);
+      }
+    }
+    Diag(Severity::kError, line, kDiagParseError, std::string(message));
+  }
+
+  static size_t AbsLine(size_t base_line, size_t relative_line) {
+    return base_line + relative_line - 1;
+  }
+
+  // Analyzes one command; returns true when control cannot continue past it
+  // in the enclosing block.
+  bool AnalyzeCommand(const ParsedCommand& cmd, size_t base_line, size_t depth,
+                      Scope* scope) {
+    // Substitution parts first: every $var is a read, every [script] runs in
+    // the current scope.  Braced words have no parts to substitute.
+    for (const Word& w : cmd.words) {
+      for (const WordPart& part : w.parts) {
+        if (part.kind == WordPart::Kind::kVariable) {
+          RecordRead(scope, part.text, AbsLine(base_line, w.line));
+        } else if (part.kind == WordPart::Kind::kScript) {
+          AnalyzeBlock(part.text, AbsLine(base_line, w.line), depth + 1, scope);
+        }
+      }
+    }
+
+    if (!IsLiteral(cmd.words[0])) {
+      return false;  // Computed command name: nothing to check statically.
+    }
+    const std::string& name = LiteralText(cmd.words[0]);
+    const size_t line = AbsLine(base_line, cmd.line);
+    const size_t nargs = cmd.words.size() - 1;
+
+    CheckCommand(name, nargs, line);
+    TrackVariables(name, cmd, base_line, scope);
+    TrackCapabilities(name, cmd);
+    RecurseBodies(name, cmd, base_line, depth, scope);
+
+    // `move`/`jump` unwind the activation like `return` (the agent departs);
+    // `error` aborts the enclosing block even under `catch`.
+    return name == "return" || name == "break" || name == "continue" ||
+           name == "error" || name == "move" || name == "jump";
+  }
+
+  void CheckCommand(const std::string& name, size_t nargs, size_t line) {
+    if (!options_.check_commands) {
+      return;
+    }
+    const CommandSignature* sig = nullptr;
+    if (auto it = procs_.find(name); it != procs_.end()) {
+      sig = &it->second;
+    } else if (auto it2 = signatures_.find(name); it2 != signatures_.end()) {
+      sig = &it2->second;
+    } else if (options_.known_commands.contains(name)) {
+      return;  // Known to exist; arity unknown.
+    } else {
+      if (!dynamic_procs_) {
+        Diag(Severity::kError, line, kDiagUnknownCommand,
+             "unknown command \"" + name + "\"");
+      }
+      return;
+    }
+    if (nargs < sig->min_args ||
+        (sig->max_args >= 0 && nargs > static_cast<size_t>(sig->max_args))) {
+      std::string expected =
+          sig->max_args < 0
+              ? "at least " + std::to_string(sig->min_args)
+          : sig->min_args == static_cast<size_t>(sig->max_args)
+              ? std::to_string(sig->min_args)
+              : std::to_string(sig->min_args) + ".." + std::to_string(sig->max_args);
+      Diag(Severity::kError, line, kDiagBadArity,
+           "wrong # args for \"" + name + "\": got " + std::to_string(nargs) +
+               ", expected " + expected);
+    }
+  }
+
+  void TrackVariables(const std::string& name, const ParsedCommand& cmd,
+                      size_t base_line, Scope* scope) {
+    const auto& words = cmd.words;
+    auto define_or_dynamic = [&](size_t index) {
+      if (index >= words.size()) {
+        return;
+      }
+      if (IsLiteral(words[index])) {
+        scope->defined.insert(LiteralText(words[index]));
+      } else {
+        scope->dynamic = true;
+      }
+    };
+
+    if (name == "set") {
+      if (words.size() == 2 && IsLiteral(words[1])) {
+        // One-argument set is a read of the named variable.
+        RecordRead(scope, LiteralText(words[1]), AbsLine(base_line, words[1].line));
+      } else {
+        define_or_dynamic(1);
+      }
+    } else if (name == "incr" || name == "append" || name == "lappend") {
+      define_or_dynamic(1);
+    } else if (name == "lassign") {
+      for (size_t i = 2; i < words.size(); ++i) {
+        define_or_dynamic(i);
+      }
+    } else if (name == "global") {
+      for (size_t i = 1; i < words.size(); ++i) {
+        define_or_dynamic(i);
+      }
+    } else if (name == "upvar") {
+      // Locals become defined; the aliased side is out of scope for us.
+      for (size_t i = 2; i < words.size(); i += 2) {
+        define_or_dynamic(i);
+      }
+    } else if (name == "foreach" && words.size() == 4) {
+      if (IsLiteral(words[1])) {
+        auto vars = ParseList(LiteralText(words[1]));
+        if (vars.ok()) {
+          for (const std::string& v : *vars) {
+            scope->defined.insert(v);
+          }
+        }
+      } else {
+        scope->dynamic = true;
+      }
+    } else if (name == "catch" && words.size() == 3) {
+      define_or_dynamic(2);
+    } else if (name == "info" && words.size() == 3 && IsLiteral(words[1]) &&
+               LiteralText(words[1]) == "exists" && IsLiteral(words[2])) {
+      // The script guards on existence; don't second-guess reads of it.
+      scope->defined.insert(LiteralText(words[2]));
+    } else if (name == "eval") {
+      bool static_eval = words.size() == 2 && IsLiteral(words[1]);
+      if (!static_eval) {
+        scope->dynamic = true;  // Built strings can set anything.
+      }
+    }
+  }
+
+  void TrackCapabilities(const std::string& name, const ParsedCommand& cmd) {
+    auto record = [&](size_t index, std::set<std::string>* into) {
+      if (index >= cmd.words.size()) {
+        return;
+      }
+      if (IsLiteral(cmd.words[index])) {
+        into->insert(LiteralText(cmd.words[index]));
+      } else {
+        report_.capabilities.dynamic_targets = true;
+      }
+    };
+    CapabilitySummary& caps = report_.capabilities;
+    if (name.rfind("bc_", 0) == 0 && cmd.words.size() >= 2) {
+      record(1, &caps.briefcase_folders);
+    } else if (name.rfind("cab_", 0) == 0 && cmd.words.size() >= 2) {
+      record(1, &caps.cabinets);
+    } else if (name == "meet") {
+      record(1, &caps.agents_met);
+    } else if (name == "move" || name == "jump" || name == "clone") {
+      record(1, &caps.hosts);
+    } else if (name == "send") {
+      record(1, &caps.hosts);
+      record(2, &caps.agents_met);
+    }
+  }
+
+  void RecurseBodies(const std::string& name, const ParsedCommand& cmd,
+                     size_t base_line, size_t depth, Scope* scope) {
+    const auto& words = cmd.words;
+    auto body = [&](size_t index) {
+      if (index < words.size() && (words[index].braced || IsLiteral(words[index]))) {
+        AnalyzeBlock(LiteralText(words[index]),
+                     AbsLine(base_line, words[index].line), depth + 1, scope);
+      }
+    };
+    auto condition = [&](size_t index) {
+      if (index < words.size() && words[index].braced) {
+        AnalyzeExprString(LiteralText(words[index]),
+                          AbsLine(base_line, words[index].line), depth, scope);
+      }
+    };
+
+    if (name == "if") {
+      AnalyzeIf(cmd, base_line, depth, scope);
+    } else if (name == "while") {
+      condition(1);
+      body(2);
+    } else if (name == "for" && words.size() == 5) {
+      body(1);
+      condition(2);
+      body(3);
+      body(4);
+    } else if (name == "foreach" && words.size() == 4) {
+      body(3);
+    } else if (name == "catch") {
+      body(1);
+    } else if (name == "eval" && words.size() == 2) {
+      body(1);
+    } else if (name == "expr") {
+      for (size_t i = 1; i < words.size(); ++i) {
+        condition(i);
+      }
+    } else if (name == "proc" && words.size() == 4) {
+      AnalyzeProcBody(cmd, base_line, depth);
+    } else if (name == "detach" && words.size() == 3) {
+      // The continuation runs later in a fresh interpreter: new scope.
+      if (words[2].braced || IsLiteral(words[2])) {
+        Scope detached;
+        AnalyzeBlock(LiteralText(words[2]), AbsLine(base_line, words[2].line),
+                     depth + 1, &detached);
+        FinishScope(detached);
+      }
+    } else if (name == "switch") {
+      AnalyzeSwitch(cmd, base_line, depth, scope);
+    }
+  }
+
+  void AnalyzeIf(const ParsedCommand& cmd, size_t base_line, size_t depth,
+                 Scope* scope) {
+    const auto& words = cmd.words;
+    auto literal_is = [&](size_t i, std::string_view text) {
+      return i < words.size() && IsLiteral(words[i]) && LiteralText(words[i]) == text;
+    };
+    auto body = [&](size_t index) {
+      if (index < words.size() && (words[index].braced || IsLiteral(words[index]))) {
+        AnalyzeBlock(LiteralText(words[index]),
+                     AbsLine(base_line, words[index].line), depth + 1, scope);
+      }
+    };
+    size_t i = 1;
+    while (i < words.size()) {
+      if (words[i].braced) {
+        AnalyzeExprString(LiteralText(words[i]), AbsLine(base_line, words[i].line),
+                          depth, scope);
+      }
+      size_t b = i + 1;
+      if (literal_is(b, "then")) {
+        ++b;
+      }
+      if (b >= words.size()) {
+        break;  // Malformed chain; arity/runtime reports it.
+      }
+      body(b);
+      i = b + 1;
+      if (i >= words.size()) {
+        break;
+      }
+      if (literal_is(i, "elseif")) {
+        ++i;
+        continue;
+      }
+      if (literal_is(i, "else")) {
+        body(i + 1);
+      } else {
+        body(i);  // Bare trailing script acts as else.
+      }
+      break;
+    }
+  }
+
+  void AnalyzeProcBody(const ParsedCommand& cmd, size_t base_line, size_t depth) {
+    const auto& words = cmd.words;
+    if (!(words[3].braced || IsLiteral(words[3]))) {
+      return;
+    }
+    Scope proc_scope;
+    if (IsLiteral(words[2])) {
+      auto params = ParseList(LiteralText(words[2]));
+      if (params.ok()) {
+        for (const std::string& p : *params) {
+          auto parts = ParseList(p);
+          proc_scope.defined.insert(
+              parts.ok() && !parts->empty() ? (*parts)[0] : p);
+        }
+      }
+    } else {
+      proc_scope.dynamic = true;
+    }
+    AnalyzeBlock(LiteralText(words[3]), AbsLine(base_line, words[3].line),
+                 depth + 1, &proc_scope);
+    FinishScope(proc_scope);
+  }
+
+  void AnalyzeSwitch(const ParsedCommand& cmd, size_t base_line, size_t depth,
+                     Scope* scope) {
+    const auto& words = cmd.words;
+    size_t i = 1;
+    if (i < words.size() && IsLiteral(words[i]) &&
+        (LiteralText(words[i]) == "-exact" || LiteralText(words[i]) == "-glob")) {
+      ++i;
+    }
+    ++i;  // Skip the value word (its parts were already processed).
+    if (i >= words.size()) {
+      return;
+    }
+    if (words.size() - i == 1 && words[i].braced) {
+      // Braced clause list: {pattern body pattern body ...}.  Line numbers
+      // inside the list are folded onto the word's line — close enough for
+      // the short clause bodies the form encourages.
+      auto clauses = ParseList(LiteralText(words[i]));
+      if (!clauses.ok()) {
+        return;
+      }
+      for (size_t c = 1; c < clauses->size(); c += 2) {
+        if ((*clauses)[c] != "-") {
+          AnalyzeBlock((*clauses)[c], AbsLine(base_line, words[i].line),
+                       depth + 1, scope);
+        }
+      }
+      return;
+    }
+    for (size_t b = i + 1; b < words.size(); b += 2) {
+      if (words[b].braced || (IsLiteral(words[b]) && LiteralText(words[b]) != "-")) {
+        AnalyzeBlock(LiteralText(words[b]), AbsLine(base_line, words[b].line),
+                     depth + 1, scope);
+      }
+    }
+  }
+
+  // Scans an expr string (condition) without evaluating it: $name and
+  // ${name} are reads, [script] chunks are analyzed in the current scope.
+  void AnalyzeExprString(std::string_view text, size_t base_line, size_t depth,
+                         Scope* scope) {
+    size_t line = base_line;
+    for (size_t i = 0; i < text.size();) {
+      char c = text[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+      } else if (c == '\\') {
+        i += 2;
+      } else if (c == '$') {
+        ++i;
+        std::string name;
+        if (i < text.size() && text[i] == '{') {
+          size_t close = text.find('}', i + 1);
+          if (close == std::string_view::npos) {
+            break;
+          }
+          name = std::string(text.substr(i + 1, close - i - 1));
+          i = close + 1;
+        } else {
+          size_t start = i;
+          while (i < text.size() && IsVarNameChar(text[i])) {
+            ++i;
+          }
+          name = std::string(text.substr(start, i - start));
+        }
+        if (!name.empty()) {
+          RecordRead(scope, name, line);
+        }
+      } else if (c == '[') {
+        size_t start = i + 1;
+        size_t start_line = line;
+        int bracket_depth = 1;
+        ++i;
+        while (i < text.size() && bracket_depth > 0) {
+          if (text[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (text[i] == '\n') {
+            ++line;
+          } else if (text[i] == '[') {
+            ++bracket_depth;
+          } else if (text[i] == ']') {
+            --bracket_depth;
+          }
+          ++i;
+        }
+        if (bracket_depth == 0) {
+          AnalyzeBlock(text.substr(start, i - 1 - start), start_line, depth + 1,
+                       scope);
+        }
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void RecordRead(Scope* scope, const std::string& name, size_t line) {
+    scope->first_read.emplace(name, line);
+  }
+
+  void FinishScope(const Scope& scope) {
+    if (scope.dynamic || has_upvar_) {
+      return;
+    }
+    for (const auto& [name, line] : scope.first_read) {
+      if (!scope.defined.contains(name) && !global_defined_.contains(name)) {
+        Diag(Severity::kWarning, line, kDiagUnsetVariable,
+             "variable \"" + name + "\" is read but never set");
+      }
+    }
+  }
+
+  const AnalyzerOptions& options_;
+  const SignatureTable& signatures_;
+  AnalysisReport report_;
+  std::map<std::string, CommandSignature> procs_;
+  std::set<std::string> global_defined_;
+  bool dynamic_procs_ = false;
+  bool has_upvar_ = false;
+  bool depth_warned_ = false;
+};
+
+}  // namespace
+
+AnalysisReport Analyze(std::string_view script, const AnalyzerOptions& options) {
+  return Analyzer(options).Run(script);
+}
+
+}  // namespace tacoma::tacl

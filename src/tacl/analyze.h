@@ -1,0 +1,102 @@
+// Static analysis ("lint") for TACL agent scripts.
+//
+// Places execute CODE folders they have never seen; this pass vets a script
+// before the interpreter touches it.  It walks the parse tree (ParseScript)
+// without evaluating anything and reports:
+//   - parse errors                          (error)
+//   - calls to commands that exist nowhere  (error)
+//   - arity mismatches for builtins, agent primitives and script procs (error)
+//   - reads of variables never set on any path in their scope (warning)
+//   - unreachable commands after an unconditional return/break/continue/
+//     error/move/jump                       (warning)
+// and extracts a capability summary — which briefcase folders, cabinets,
+// hosts and agents the script names — so sites can enforce admission policy.
+//
+// The analysis is deliberately conservative: a diagnostic is only produced
+// when the script would misbehave on *every* path.  Dynamic constructs
+// (computed command names, `eval` of built strings, computed variable names)
+// suppress the affected checks rather than guessing.
+#ifndef TACOMA_TACL_ANALYZE_H_
+#define TACOMA_TACL_ANALYZE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tacl/parse.h"
+
+namespace tacoma::tacl {
+
+enum class Severity { kWarning, kError };
+std::string_view SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  size_t line = 1;      // 1-based line in the analyzed script.
+  std::string code;     // Stable slug: "unknown-command", "bad-arity", ...
+  std::string message;
+};
+
+// Diagnostic code slugs (use these, not ad-hoc strings, so policy code can
+// match on them).
+inline constexpr std::string_view kDiagParseError = "parse-error";
+inline constexpr std::string_view kDiagUnknownCommand = "unknown-command";
+inline constexpr std::string_view kDiagBadArity = "bad-arity";
+inline constexpr std::string_view kDiagUnsetVariable = "unset-variable";
+inline constexpr std::string_view kDiagUnreachable = "unreachable-code";
+
+// What the script can touch, as far as the static pass can see.  Only
+// literal operands are recorded; any computed operand sets dynamic_targets,
+// signalling that the summary is a lower bound.
+struct CapabilitySummary {
+  std::set<std::string> briefcase_folders;  // bc_* folder operands
+  std::set<std::string> cabinets;           // cab_* cabinet operands
+  std::set<std::string> agents_met;         // meet / send contact operands
+  std::set<std::string> hosts;              // move / jump / clone / send hosts
+  bool dynamic_targets = false;
+};
+
+// Arity of a command, counting arguments after the command word.
+struct CommandSignature {
+  size_t min_args = 0;
+  int max_args = -1;  // -1 = unbounded.
+};
+
+using SignatureTable = std::map<std::string, CommandSignature>;
+
+// Signatures of the TACL standard library (builtins.cc).
+const SignatureTable& BuiltinCommandSignatures();
+
+struct AnalyzerOptions {
+  // Commands with known arity.  When empty, BuiltinCommandSignatures() is
+  // used.  Callers embedding extra primitives merge their tables in.
+  SignatureTable signatures;
+  // Commands known to exist but with unknown arity (e.g. everything a live
+  // Interp has registered, including module binder commands).
+  std::set<std::string> known_commands;
+  // Unknown-command/arity checks can be disabled for dialect-agnostic lints.
+  bool check_commands = true;
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  CapabilitySummary capabilities;
+  size_t commands_analyzed = 0;
+
+  bool ok() const { return error_count() == 0; }
+  size_t error_count() const;
+  size_t warning_count() const;
+  // First error-severity diagnostic formatted as "line N: message", or "".
+  std::string FirstError() const;
+  // One diagnostic per line: "<name>:<line>: <severity>: <message> [<code>]".
+  std::string ToString(std::string_view name = "") const;
+};
+
+// Analyzes `script` and returns the report.  Never evaluates the script.
+AnalysisReport Analyze(std::string_view script, const AnalyzerOptions& options = {});
+
+}  // namespace tacoma::tacl
+
+#endif  // TACOMA_TACL_ANALYZE_H_

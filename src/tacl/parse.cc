@@ -55,7 +55,20 @@ class Parser {
   char Peek(size_t ahead) const {
     return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
   }
-  void Advance() { ++pos_; }
+  void Advance() {
+    if (s_[pos_] == '\n') {
+      ++line_;
+    }
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) {
+      Advance();
+    }
+  }
+  Status ErrorHere(const std::string& message) const {
+    return InvalidArgumentError("line " + std::to_string(line_) + ": " + message);
+  }
 
   void SkipCommandSeparators() {
     while (!AtEnd()) {
@@ -63,7 +76,7 @@ class Parser {
       if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
         Advance();
       } else if (c == '\\' && Peek(1) == '\n') {
-        pos_ += 2;  // Line continuation.
+        AdvanceBy(2);  // Line continuation.
       } else {
         break;
       }
@@ -74,7 +87,7 @@ class Parser {
     while (!AtEnd() && Peek() != '\n') {
       // Backslash-newline continues the comment.
       if (Peek() == '\\' && Peek(1) == '\n') {
-        pos_ += 2;
+        AdvanceBy(2);
         continue;
       }
       Advance();
@@ -88,7 +101,7 @@ class Parser {
       if (c == ' ' || c == '\t') {
         Advance();
       } else if (c == '\\' && Peek(1) == '\n') {
-        pos_ += 2;
+        AdvanceBy(2);
       } else {
         break;
       }
@@ -105,6 +118,7 @@ class Parser {
 
   Result<ParsedCommand> ParseCommand() {
     ParsedCommand cmd;
+    cmd.line = line_;
     while (true) {
       SkipWordSeparators();
       if (AtCommandEnd()) {
@@ -116,18 +130,22 @@ class Parser {
       TACOMA_ASSIGN_OR_RETURN(Word w, ParseWord());
       cmd.words.push_back(std::move(w));
     }
+    if (!cmd.words.empty()) {
+      cmd.line = cmd.words.front().line;
+    }
     return cmd;
   }
 
   Result<Word> ParseWord() {
     char c = Peek();
-    if (c == '{') {
-      return ParseBracedWord();
+    size_t line = line_;
+    Result<Word> word = c == '{'   ? ParseBracedWord()
+                        : c == '"' ? ParseQuotedWord()
+                                   : ParseBareWord();
+    if (word.ok()) {
+      word->line = line;
     }
-    if (c == '"') {
-      return ParseQuotedWord();
-    }
-    return ParseBareWord();
+    return word;
   }
 
   Result<Word> ParseBracedWord() {
@@ -137,7 +155,7 @@ class Parser {
     while (!AtEnd()) {
       char c = Peek();
       if (c == '\\' && pos_ + 1 < s_.size()) {
-        pos_ += 2;
+        AdvanceBy(2);
         continue;
       }
       if (c == '{') {
@@ -150,14 +168,14 @@ class Parser {
       Advance();
     }
     if (depth != 0) {
-      return InvalidArgumentError("missing close-brace");
+      return ErrorHere("missing close-brace");
     }
     Word w;
     w.braced = true;
     w.parts.push_back({WordPart::Kind::kLiteral, std::string(s_.substr(start, pos_ - start))});
     Advance();  // Consume '}'.
     if (!AtEnd() && !AtCommandEnd() && Peek() != ' ' && Peek() != '\t') {
-      return InvalidArgumentError("extra characters after close-brace");
+      return ErrorHere("extra characters after close-brace");
     }
     return w;
   }
@@ -168,7 +186,7 @@ class Parser {
     std::string literal;
     while (true) {
       if (AtEnd()) {
-        return InvalidArgumentError("missing close-quote");
+        return ErrorHere("missing close-quote");
       }
       char c = Peek();
       if (c == '"') {
@@ -179,7 +197,7 @@ class Parser {
     }
     FlushLiteral(&w, &literal);
     if (!AtEnd() && !AtCommandEnd() && Peek() != ' ' && Peek() != '\t') {
-      return InvalidArgumentError("extra characters after close-quote");
+      return ErrorHere("extra characters after close-quote");
     }
     if (w.parts.empty()) {
       w.parts.push_back({WordPart::Kind::kLiteral, ""});
@@ -254,7 +272,7 @@ class Parser {
         Advance();
       }
       if (AtEnd()) {
-        return InvalidArgumentError("missing close-brace for variable name");
+        return ErrorHere("missing close-brace for variable name");
       }
       FlushLiteral(w, literal);
       w->parts.push_back(
@@ -284,7 +302,7 @@ class Parser {
     while (!AtEnd()) {
       char c = Peek();
       if (c == '\\' && pos_ + 1 < s_.size()) {
-        pos_ += 2;
+        AdvanceBy(2);
         continue;
       }
       if (c == '[') {
@@ -297,7 +315,7 @@ class Parser {
       Advance();
     }
     if (depth != 0) {
-      return InvalidArgumentError("missing close-bracket");
+      return ErrorHere("missing close-bracket");
     }
     FlushLiteral(w, literal);
     w->parts.push_back(
@@ -308,6 +326,7 @@ class Parser {
 
   std::string_view s_;
   size_t pos_ = 0;
+  size_t line_ = 1;
 };
 
 }  // namespace

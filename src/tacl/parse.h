@@ -30,10 +30,15 @@ struct Word {
   // True when the word was written {braced}: a single literal part with no
   // substitution performed (the usual form for loop bodies and proc bodies).
   bool braced = false;
+  // 1-based line within the parsed script where the word starts.  Static
+  // analysis maps nested bodies back to absolute lines with this.
+  size_t line = 1;
 };
 
 struct ParsedCommand {
   std::vector<Word> words;
+  // Line of the first word (1-based within the parsed script).
+  size_t line = 1;
 };
 
 // Splits `script` into commands (separated by newline or ';' at top level)

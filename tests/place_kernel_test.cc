@@ -277,6 +277,93 @@ TEST(DeterminismTest, IdenticalWorldsProduceIdenticalRuns) {
   EXPECT_EQ(run(), run());
 }
 
+// Flagged as an error by static analysis (unknown command) but harmless at
+// runtime because the branch is never taken — separates admission behaviour
+// from ordinary runtime failure.
+constexpr const char* kStaticallyBadCode =
+    "if {0} { frobnicate }\ncab_set out RESULT ran";
+
+TEST_F(KernelTest, AdmissionDefaultsToWarnAndStillRuns) {
+  EXPECT_EQ(kernel_.place(a_)->admission_policy(), AdmissionPolicy::kWarn);
+  ASSERT_TRUE(kernel_.LaunchAgent(a_, kStaticallyBadCode).ok());
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("out").GetSingleString("RESULT"), "ran");
+  EXPECT_EQ(kernel_.place(a_)->stats().rejected_agents, 0u);
+}
+
+TEST(AdmissionTest, RejectPolicyRefusesBadAgents) {
+  KernelOptions options;
+  options.admission_policy = AdmissionPolicy::kReject;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+
+  Status s = kernel.LaunchAgent(site, kStaticallyBadCode);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("admission"), std::string::npos);
+  EXPECT_NE(s.message().find("frobnicate"), std::string::npos);
+  EXPECT_EQ(kernel.place(site)->stats().rejected_agents, 1u);
+  EXPECT_EQ(kernel.place(site)->stats().failed_activations, 1u);
+
+  // Arity errors are rejected too.
+  Status arity = kernel.LaunchAgent(site, "bc_put ONLYONE");
+  EXPECT_EQ(arity.code(), StatusCode::kPermissionDenied);
+
+  // A clean agent is admitted and runs normally.
+  ASSERT_TRUE(kernel.LaunchAgent(site, "cab_set out RESULT ok").ok());
+  EXPECT_EQ(*kernel.place(site)->Cabinet("out").GetSingleString("RESULT"), "ok");
+}
+
+TEST(AdmissionTest, RejectPolicyAppliesToArrivingTransfers) {
+  KernelOptions options;
+  options.admission_policy = AdmissionPolicy::kReject;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("a");
+  SiteId b = kernel.AddSite("b");
+  kernel.net().AddLink(a, b);
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString(kStaticallyBadCode);
+  ASSERT_TRUE(kernel.TransferAgent(a, b, "ag_tacl", bc).ok());
+  kernel.sim().Run();
+  EXPECT_EQ(kernel.place(b)->stats().rejected_agents, 1u);
+  EXPECT_FALSE(kernel.place(b)->Cabinet("out").HasFolder("RESULT"));
+}
+
+TEST(AdmissionTest, OffPolicySkipsAnalysis) {
+  KernelOptions options;
+  options.admission_policy = AdmissionPolicy::kOff;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  ASSERT_TRUE(kernel.LaunchAgent(site, kStaticallyBadCode).ok());
+  EXPECT_EQ(kernel.place(site)->stats().rejected_agents, 0u);
+}
+
+TEST(AdmissionTest, VerdictCacheReusedForRepeatArrivals) {
+  KernelOptions options;
+  options.admission_policy = AdmissionPolicy::kReject;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(kernel.LaunchAgent(site, kStaticallyBadCode).code(),
+              StatusCode::kPermissionDenied);
+  }
+  EXPECT_EQ(kernel.place(site)->stats().rejected_agents, 3u);
+}
+
+TEST_F(KernelTest, AnalyzeAgentCodeKnowsSitePrimitives) {
+  // The standalone analysis entry point sees everything a real activation
+  // would: builtins, agent primitives, and module commands bound at this
+  // place (wx_scan etc. come from binders, not the signature table).
+  tacl::AnalysisReport good =
+      kernel_.place(a_)->AnalyzeAgentCode("bc_put RESULT [site]");
+  EXPECT_TRUE(good.ok()) << good.ToString();
+
+  tacl::AnalysisReport bad =
+      kernel_.place(a_)->AnalyzeAgentCode("meet\nbc_put RESULT 1 too many");
+  EXPECT_EQ(bad.error_count(), 2u) << bad.ToString();
+  EXPECT_EQ(bad.diagnostics[0].line, 1u);
+  EXPECT_EQ(bad.diagnostics[1].line, 2u);
+}
+
 TEST(PlaceOutputTest, AgentOutputRouted) {
   Kernel kernel;
   SiteId site = kernel.AddSite("s");

@@ -1,0 +1,288 @@
+#include "tacl/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/kernel.h"
+
+namespace tacoma::tacl {
+namespace {
+
+// Agent-shaped analysis: builtins plus the agent primitives, like a Place
+// admission check at a site with no extra modules installed.
+AnalyzerOptions AgentOptions() {
+  AnalyzerOptions options;
+  options.signatures = BuiltinCommandSignatures();
+  for (const auto& [name, sig] : AgentPrimitiveSignatures()) {
+    options.signatures.emplace(name, sig);
+  }
+  return options;
+}
+
+bool HasDiagnostic(const AnalysisReport& report, std::string_view code,
+                   size_t line = 0) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code && (line == 0 || d.line == line)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Parse errors -----------------------------------------------------------------
+
+TEST(AnalyzeTest, ParseErrorReportedWithLine) {
+  AnalysisReport report = Analyze("set a 1\nset b {unclosed\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnostic(report, kDiagParseError));
+  ASSERT_EQ(report.error_count(), 1u);
+  EXPECT_GE(report.diagnostics[0].line, 2u);
+}
+
+TEST(AnalyzeTest, CleanScriptHasNoDiagnostics) {
+  AnalysisReport report = Analyze("set a 1\nset b [expr {$a + 1}]\nputs $b\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics.empty());
+  // Three top-level commands plus the [expr ...] substitution script.
+  EXPECT_EQ(report.commands_analyzed, 4u);
+}
+
+// --- Unknown commands ----------------------------------------------------------
+
+TEST(AnalyzeTest, UnknownCommandFlaggedWithLine) {
+  AnalysisReport report = Analyze("set a 1\nfrobnicate $a\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnknownCommand, 2));
+}
+
+TEST(AnalyzeTest, UnknownCommandInsideBodyAndSubstitution) {
+  AnalysisReport inside_body = Analyze("if {1} {\n  frobnicate\n}\n");
+  EXPECT_TRUE(HasDiagnostic(inside_body, kDiagUnknownCommand, 2));
+
+  AnalysisReport inside_subst = Analyze("puts \"x [frobnicate] y\"\n");
+  EXPECT_TRUE(HasDiagnostic(inside_subst, kDiagUnknownCommand, 1));
+}
+
+TEST(AnalyzeTest, ScriptProcsAreKnownCommands) {
+  AnalysisReport report = Analyze("proc greet {who} { puts $who }\ngreet world\n");
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AnalyzeTest, ProcDefinedInNestedBodyIsKnown) {
+  AnalysisReport report =
+      Analyze("if {1} {\n  proc helper {} { puts hi }\n}\nhelper\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnknownCommand));
+}
+
+TEST(AnalyzeTest, KnownCommandsOptionAccepted) {
+  AnalyzerOptions options;
+  options.known_commands.insert("wx_scan");
+  AnalysisReport report = Analyze("wx_scan 20 extra args accepted", options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AnalyzeTest, ComputedCommandNamesAreNotFlagged) {
+  AnalysisReport report = Analyze("set op puts\n$op hello\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnknownCommand));
+}
+
+// --- Arity ----------------------------------------------------------------------
+
+TEST(AnalyzeTest, BuiltinArityChecked) {
+  EXPECT_TRUE(HasDiagnostic(Analyze("lindex onlyonearg\n"), kDiagBadArity, 1));
+  EXPECT_TRUE(HasDiagnostic(Analyze("set a b c d\n"), kDiagBadArity, 1));
+  EXPECT_TRUE(HasDiagnostic(Analyze("while {1}\n"), kDiagBadArity, 1));
+  EXPECT_FALSE(HasDiagnostic(Analyze("set a 1\n"), kDiagBadArity));
+}
+
+TEST(AnalyzeTest, AgentPrimitiveArityChecked) {
+  AnalysisReport report = Analyze("bc_get\n", AgentOptions());
+  EXPECT_TRUE(HasDiagnostic(report, kDiagBadArity, 1));
+  AnalysisReport ok = Analyze("bc_put RESULT 42\n", AgentOptions());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+}
+
+TEST(AnalyzeTest, ProcArityChecked) {
+  const char* script =
+      "proc add {a b} { expr {$a + $b} }\n"
+      "add 1\n"
+      "add 1 2\n"
+      "add 1 2 3\n";
+  AnalysisReport report = Analyze(script);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagBadArity, 2));
+  EXPECT_FALSE(HasDiagnostic(report, kDiagBadArity, 3));
+  EXPECT_TRUE(HasDiagnostic(report, kDiagBadArity, 4));
+}
+
+TEST(AnalyzeTest, ProcDefaultsAndVarargsRespected) {
+  const char* script =
+      "proc greet {name {greeting hello} args} { puts \"$greeting $name\" }\n"
+      "greet\n"
+      "greet bob\n"
+      "greet bob hi extra more\n";
+  AnalysisReport report = Analyze(script);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagBadArity, 2));
+  EXPECT_FALSE(HasDiagnostic(report, kDiagBadArity, 3));
+  EXPECT_FALSE(HasDiagnostic(report, kDiagBadArity, 4));
+}
+
+// --- Unset variables --------------------------------------------------------------
+
+TEST(AnalyzeTest, UnsetVariableWarned) {
+  AnalysisReport report = Analyze("puts $never_set\n");
+  EXPECT_TRUE(report.ok());  // Warning, not error.
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnsetVariable, 1));
+}
+
+TEST(AnalyzeTest, DefinitionAnywhereInScopeCounts) {
+  // Flow-insensitive by design: a set later in the scope suppresses the
+  // warning (the read may be guarded by briefcase state).
+  AnalysisReport report = Analyze("if {[info level] == 0} { puts $x }\nset x 1\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnsetVariable));
+}
+
+TEST(AnalyzeTest, LoopAndAssignCommandsDefine) {
+  const char* script =
+      "foreach {a b} {1 2 3 4} { puts \"$a $b\" }\n"
+      "lassign {1 2} p q\n"
+      "incr counter\n"
+      "append buffer x\n"
+      "catch {error boom} msg\n"
+      "puts \"$p $q $counter $buffer $msg\"\n";
+  AnalysisReport report = Analyze(script);
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnsetVariable)) << report.ToString();
+}
+
+TEST(AnalyzeTest, ProcBodiesAreTheirOwnScope) {
+  // `top` is set at top level but proc bodies do not see it without global.
+  AnalysisReport local_only =
+      Analyze("set top 1\nproc uses_local {} { puts $top }\n");
+  EXPECT_TRUE(HasDiagnostic(local_only, kDiagUnsetVariable, 2));
+
+  // A `global` declaration suppresses the warning.  (Collection is
+  // script-wide and conservative: any `global top` anywhere would.)
+  AnalysisReport with_global =
+      Analyze("set top 1\nproc uses_global {} { global top\nputs $top }\n");
+  EXPECT_FALSE(HasDiagnostic(with_global, kDiagUnsetVariable))
+      << with_global.ToString();
+}
+
+TEST(AnalyzeTest, ProcParamsAreDefined) {
+  AnalysisReport report =
+      Analyze("proc area {w {h 1}} { expr {$w * $h} }\narea 3 4\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnsetVariable)) << report.ToString();
+}
+
+TEST(AnalyzeTest, ConditionReadsAreTracked) {
+  AnalysisReport report = Analyze("while {$missing < 3} { puts x }\n");
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnsetVariable, 1));
+}
+
+TEST(AnalyzeTest, DynamicVariableNamesSuppressUnsetWarnings) {
+  AnalysisReport report = Analyze("set name x\nset $name 5\nputs $x\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnsetVariable));
+}
+
+TEST(AnalyzeTest, InfoExistsGuardSuppressesWarning) {
+  AnalysisReport report =
+      Analyze("if {[info exists maybe]} { puts $maybe }\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnsetVariable)) << report.ToString();
+}
+
+// --- Unreachable code -------------------------------------------------------------
+
+TEST(AnalyzeTest, UnreachableAfterReturn) {
+  AnalysisReport report = Analyze("set a 1\nreturn $a\nputs dead\n");
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnreachable, 3));
+}
+
+TEST(AnalyzeTest, UnreachableAfterBreakInLoopBody) {
+  AnalysisReport report =
+      Analyze("while {1} {\n  break\n  puts dead\n}\n");
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnreachable, 3));
+}
+
+TEST(AnalyzeTest, UnreachableAfterErrorAndJump) {
+  EXPECT_TRUE(HasDiagnostic(Analyze("error boom\nputs dead\n"), kDiagUnreachable, 2));
+  AnalysisReport report = Analyze("jump elsewhere\nputs dead\n", AgentOptions());
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnreachable, 2));
+}
+
+TEST(AnalyzeTest, ConditionalReturnDoesNotMarkUnreachable) {
+  AnalysisReport report = Analyze("if {1} { return }\nputs alive\n");
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnreachable));
+}
+
+// --- Capability extraction ---------------------------------------------------------
+
+TEST(AnalyzeTest, CapabilitiesExtracted) {
+  const char* script =
+      "bc_put RESULT 42\n"
+      "bc_get QUERY\n"
+      "cab_append ledger AUDITS x\n"
+      "meet broker\n"
+      "send hub courier_target DATA\n"
+      "if {1} { jump observatory } else { move office }\n"
+      "clone mirror\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  const CapabilitySummary& caps = report.capabilities;
+  EXPECT_TRUE(caps.briefcase_folders.contains("RESULT"));
+  EXPECT_TRUE(caps.briefcase_folders.contains("QUERY"));
+  EXPECT_TRUE(caps.cabinets.contains("ledger"));
+  EXPECT_TRUE(caps.agents_met.contains("broker"));
+  EXPECT_TRUE(caps.agents_met.contains("courier_target"));
+  EXPECT_TRUE(caps.hosts.contains("observatory"));
+  EXPECT_TRUE(caps.hosts.contains("office"));
+  EXPECT_TRUE(caps.hosts.contains("hub"));
+  EXPECT_TRUE(caps.hosts.contains("mirror"));
+  EXPECT_FALSE(caps.dynamic_targets);
+}
+
+TEST(AnalyzeTest, DynamicTargetsAreFlagged) {
+  AnalysisReport report =
+      Analyze("set next [bc_pop ITINERARY]\njump $next\n", AgentOptions());
+  EXPECT_TRUE(report.capabilities.dynamic_targets);
+  EXPECT_TRUE(report.capabilities.briefcase_folders.contains("ITINERARY"));
+}
+
+// --- Report formatting -------------------------------------------------------------
+
+TEST(AnalyzeTest, ToStringIsLineNumberedAndNamed) {
+  AnalysisReport report = Analyze("frobnicate\n");
+  std::string rendered = report.ToString("agent.tacl");
+  EXPECT_NE(rendered.find("agent.tacl:1: error: unknown command \"frobnicate\""),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("[unknown-command]"), std::string::npos);
+  EXPECT_NE(report.FirstError().find("line 1"), std::string::npos);
+}
+
+// --- Shipped example agents lint clean ----------------------------------------------
+
+TEST(AnalyzeTest, ExampleAgentScriptsLintClean) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(TACOMA_SOURCE_DIR) / "examples" / "agents";
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".tacl") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    AnalysisReport report = Analyze(buffer.str(), AgentOptions());
+    EXPECT_TRUE(report.ok() && report.warning_count() == 0)
+        << entry.path() << ":\n"
+        << report.ToString(entry.path().filename().string());
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u);
+}
+
+}  // namespace
+}  // namespace tacoma::tacl
