@@ -1,0 +1,220 @@
+// E11 — Reliable agent transport: delivery under loss, and what it costs.
+//
+// The paper's failure story (§5) is blunt: "the agent has vanished ... the
+// simplest scheme is to return an exception to the agent's owner."  This
+// experiment quantifies the alternative the kernel now offers — end-to-end
+// ack/retry/backoff with receiver-side duplicate suppression and dead-letter
+// returns — against fire-and-forget, across per-link loss rates:
+//
+//   1. Delivery sweep: success rate, duplicate activations, retries, latency
+//      and bytes per transfer for off / at-most-once / reliable at loss
+//      rates 0..30%.
+//   2. Failure-free overhead: what the acks and ids cost when nothing fails.
+//   3. Guard x transport ablation (E8 tie-in): itinerary completion with
+//      rear guards riding fire-and-forget vs reliable transport.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "ft/rearguard.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+struct SweepOutcome {
+  int sent = 0;
+  int unique_activations = 0;
+  int duplicate_activations = 0;
+  Kernel::Stats stats;
+  NetworkStats net;
+  std::vector<SimTime> latencies;  // Send -> first activation, per token.
+};
+
+// kTransfers uniquely-tokened transfers across a 3-site line (2 lossy hops),
+// paced far apart so transfers don't queue behind one another.
+SweepOutcome RunSweep(Reliability mode, double loss, uint64_t seed) {
+  constexpr int kTransfers = 200;
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = mode;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 3);
+  kernel.AdoptNetworkSites();
+  kernel.net().SetLinkLoss(sites[0], sites[1], loss);
+  kernel.net().SetLinkLoss(sites[1], sites[2], loss);
+
+  SweepOutcome outcome;
+  std::map<std::string, int> activations;
+  std::map<std::string, SimTime> sent_at;
+  kernel.place(sites[2])->RegisterAgent(
+      "sink", [&](Place&, Briefcase& bc) {
+        std::string token = bc.GetString("TOKEN").value_or("?");
+        if (++activations[token] == 1) {
+          outcome.latencies.push_back(kernel.sim().Now() - sent_at[token]);
+        }
+        return OkStatus();
+      });
+
+  for (int i = 0; i < kTransfers; ++i) {
+    SimTime when = static_cast<SimTime>(i) * 20 * kMillisecond;
+    kernel.sim().At(when, [&kernel, &sites, &sent_at, &outcome, i] {
+      std::string token = "t" + std::to_string(i);
+      sent_at[token] = kernel.sim().Now();
+      Briefcase bc;
+      bc.SetString("TOKEN", token);
+      if (kernel.TransferAgent(sites[0], sites[2], "sink", bc).ok()) {
+        ++outcome.sent;
+      }
+    });
+  }
+  kernel.sim().Run();
+
+  for (const auto& [token, count] : activations) {
+    ++outcome.unique_activations;
+    outcome.duplicate_activations += count - 1;
+  }
+  outcome.stats = kernel.stats();
+  outcome.net = kernel.net().stats();
+  return outcome;
+}
+
+void DeliverySweep() {
+  bench::Table table({"loss/link", "mode", "delivered", "dup acts", "retries",
+                      "mean lat (ms)", "p99 lat (ms)", "bytes/transfer"});
+  for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    for (Reliability mode :
+         {Reliability::kOff, Reliability::kAtMostOnce, Reliability::kReliable}) {
+      SweepOutcome out = RunSweep(mode, loss, 42);
+      table.AddRow(
+          {bench::Fmt("%.0f%%", loss * 100), ToString(mode),
+           bench::Fmt("%d/%d (%.1f%%)", out.unique_activations, out.sent,
+                      100.0 * out.unique_activations / out.sent),
+           bench::Fmt("%d", out.duplicate_activations),
+           bench::Fmt("%llu", (unsigned long long)out.stats.retries_sent),
+           out.latencies.empty()
+               ? "-"
+               : bench::Fmt("%.1f", bench::Mean(out.latencies) / kMillisecond),
+           out.latencies.empty()
+               ? "-"
+               : bench::Fmt("%.1f",
+                            static_cast<double>(bench::Percentile(
+                                out.latencies, 99)) /
+                                kMillisecond),
+           bench::Fmt("%.0f", static_cast<double>(out.net.bytes_on_wire) /
+                                  out.sent)});
+    }
+  }
+  std::printf("\nDelivery sweep: 200 transfers over a 2-hop line, per-link loss\n"
+              "applied in both directions (DATA and ACK frames alike):\n");
+  table.Print();
+}
+
+void FailureFreeOverhead() {
+  bench::Table table({"mode", "bytes/transfer", "msgs on wire", "mean lat (ms)"});
+  for (Reliability mode :
+       {Reliability::kOff, Reliability::kAtMostOnce, Reliability::kReliable}) {
+    SweepOutcome out = RunSweep(mode, 0.0, 7);
+    table.AddRow({ToString(mode),
+                  bench::Fmt("%.0f", static_cast<double>(out.net.bytes_on_wire) /
+                                         out.sent),
+                  bench::Fmt("%llu", (unsigned long long)out.net.link_traversals),
+                  bench::Fmt("%.1f", bench::Mean(out.latencies) / kMillisecond)});
+  }
+  std::printf("\nFailure-free overhead: ids + flags ride the DATA frame; reliable\n"
+              "mode adds one ACK frame per transfer (and zero latency — acks\n"
+              "confirm, they do not gate activation):\n");
+  table.Print();
+}
+
+// E8 tie-in: an itinerary agent guarded by ft::RearGuard walks 5 sites and
+// returns home, with lossy links instead of site crashes.  Rear guards
+// relaunch from checkpoints when the agent vanishes; reliable transport stops
+// it from vanishing in the first place.  Both mechanisms compose.
+constexpr char kGuardedAgent[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    ft_jump [bc_pop ITINERARY]
+  } else {
+    cab_set t DONE 1
+    ft_retire
+  }
+)";
+
+constexpr char kBareAgent[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    jump [bc_pop ITINERARY]
+  } else {
+    cab_set t DONE 1
+  }
+)";
+
+bool RunWalk(bool guarded, Reliability mode, double loss, uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = mode;
+  Kernel kernel(options);
+  auto sites = BuildRing(&kernel.net(), 6);
+  kernel.AdoptNetworkSites();
+  auto links = kernel.net().Links();
+  for (auto [a, b] : links) {
+    kernel.net().SetLinkLoss(a, b, loss);
+  }
+  ft::RearGuard guard(&kernel, ft::GuardOptions{25 * kMillisecond, 3, 6});
+  if (guarded) {
+    guard.Install();
+  }
+
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  for (size_t i = 1; i < sites.size(); ++i) {
+    bc.folder("ITINERARY").PushBackString(kernel.net().site_name(sites[i]));
+  }
+  bc.folder("ITINERARY").PushBackString(kernel.net().site_name(sites[0]));
+  (void)kernel.LaunchAgent(sites[0], guarded ? kGuardedAgent : kBareAgent, bc);
+  kernel.sim().RunUntil(10 * kSecond);
+  return kernel.place(sites[0])->Cabinet("t").HasFolder("DONE");
+}
+
+void GuardTransportAblation() {
+  constexpr int kTrials = 30;
+  constexpr double kLoss = 0.25;
+  bench::Table table({"agent", "transport", "completed walks"});
+  struct Config {
+    bool guarded;
+    Reliability mode;
+  };
+  for (Config config : {Config{false, Reliability::kOff},
+                        Config{false, Reliability::kReliable},
+                        Config{true, Reliability::kOff},
+                        Config{true, Reliability::kReliable}}) {
+    int completed = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      completed += RunWalk(config.guarded, config.mode, kLoss,
+                           5000 + static_cast<uint64_t>(trial))
+                       ? 1
+                       : 0;
+    }
+    table.AddRow({config.guarded ? "guarded (rear guards)" : "bare",
+                  ToString(config.mode),
+                  bench::Fmt("%d/%d", completed, kTrials)});
+  }
+  std::printf("\nGuard x transport ablation: 6-hop ring walk at %.0f%% per-link\n"
+              "loss.  Rear guards recover from vanished agents; reliable\n"
+              "transport prevents the vanishing (paper S5):\n", kLoss * 100);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+int main() {
+  tacoma::bench::PrintHeader(
+      "E11 — Reliable agent transport: ack/retry/backoff + dedup + dead letters",
+      "the kernel, not each agent, should own the retransmission and "
+      "duplicate-suppression story for vanished agents (paper S5)");
+  tacoma::DeliverySweep();
+  tacoma::FailureFreeOverhead();
+  tacoma::GuardTransportAblation();
+  return 0;
+}

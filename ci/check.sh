@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: warning-clean build + tests, then the same tests under ASan/UBSan.
+# CI gate: warning-clean build + tests, then the same tests under ASan/UBSan
+# and ThreadSanitizer.
 #
 # Usage:
-#   ci/check.sh            # plain (-Werror) build + ctest, then asan,ubsan build + ctest
-#   ci/check.sh --tsan     # additionally run a ThreadSanitizer build + ctest
+#   ci/check.sh            # plain (-Werror), asan-ubsan, and tsan builds + ctest
+#   ci/check.sh --no-tsan  # skip the ThreadSanitizer stage
+#   ci/check.sh --tsan     # accepted for compatibility (tsan is now the default)
 #
 # Build trees live under build-ci/ so they never disturb the developer build/.
 set -euo pipefail
@@ -12,8 +14,8 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-2}"
 CTEST_ARGS=(--output-on-failure --timeout 300)
-RUN_TSAN=0
-[[ "${1:-}" == "--tsan" ]] && RUN_TSAN=1
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
 
 run_stage() {
   local name="$1"

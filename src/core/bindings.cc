@@ -426,8 +426,14 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     }
     Briefcase copy = *activation->briefcase;
     copy.folder(kCodeFolder).PushFrontString(activation->code);
+    // clone ships directly (no rexec hop), so honor the same RELIABLE /
+    // DEADLETTER briefcase folders rexec would.
+    auto transfer_options = TransferOptionsFromBriefcase(copy);
+    if (!transfer_options.ok()) {
+      return Error("clone: " + transfer_options.status().message());
+    }
     Status s = kernel->TransferAgent(activation->place->site(), *destination, "ag_tacl",
-                                     copy);
+                                     copy, *transfer_options);
     if (!s.ok()) {
       return Error("clone: " + s.ToString());
     }

@@ -1,12 +1,74 @@
 #include "core/kernel.h"
 
+#include <algorithm>
+
 #include "serial/encoder.h"
 #include "util/log.h"
 
 namespace tacoma {
 
+namespace {
+
+// Transfer frame kinds.  Every inter-site payload starts with one of these;
+// anything else is a malformed transfer.
+constexpr uint8_t kFrameData = 1;
+constexpr uint8_t kFrameAck = 2;
+constexpr uint8_t kFrameNack = 3;
+
+// DATA frame flags.
+constexpr uint8_t kFlagWantAck = 1 << 0;  // Receiver must ack/nack.
+constexpr uint8_t kFlagDedup = 1 << 1;    // Receiver records id for dedup.
+
+// Site-disk file holding the journaled dedup window: a flat sequence of
+// (u32 sender, u64 transfer id) records.
+constexpr char kDedupJournalFile[] = "xfer.dedup";
+
+}  // namespace
+
+const char* ToString(Reliability mode) {
+  switch (mode) {
+    case Reliability::kOff:
+      return "off";
+    case Reliability::kAtMostOnce:
+      return "at-most-once";
+    case Reliability::kReliable:
+      return "reliable";
+  }
+  return "?";
+}
+
+std::optional<Reliability> ParseReliability(const std::string& value) {
+  if (value == "off" || value == "none" || value == "0") {
+    return Reliability::kOff;
+  }
+  if (value == "atmostonce" || value == "at-most-once" || value == "at_most_once") {
+    return Reliability::kAtMostOnce;
+  }
+  if (value == "reliable" || value == "on" || value == "1") {
+    return Reliability::kReliable;
+  }
+  return std::nullopt;
+}
+
+Result<TransferOptions> TransferOptionsFromBriefcase(const Briefcase& bc) {
+  TransferOptions options;
+  if (auto reliable = bc.GetString("RELIABLE")) {
+    auto mode = ParseReliability(*reliable);
+    if (!mode.has_value()) {
+      return InvalidArgumentError("unknown RELIABLE mode \"" + *reliable +
+                                  "\" (want off, at-most-once, or reliable)");
+    }
+    options.mode = mode;
+  }
+  if (auto dead_letter = bc.GetString("DEADLETTER")) {
+    options.dead_letter = *dead_letter;
+  }
+  return options;
+}
+
 Kernel::Kernel(KernelOptions options)
     : options_(options), net_(&sim_), rng_(options.seed) {
+  net_.set_loss_seed(rng_.Next());
   // Keep every place's site-local SITES folder (§2) in sync with topology.
   net_.SetTopologyHook([this](SiteId a, SiteId b) {
     for (SiteId site : {a, b}) {
@@ -79,6 +141,9 @@ void Kernel::CreatePlace(SiteId site) {
     init(*place);
   }
   places_[site] = std::move(place);
+  if (options_.reliability.durable_dedup) {
+    LoadDedupJournal(site);
+  }
 
   net_.SetHandler(site, [this, site](SiteId from, const Bytes& payload) {
     HandleDelivery(site, from, payload);
@@ -102,6 +167,19 @@ void Kernel::CrashSite(SiteId site) {
   }
   net_.CrashSite(site);
   places_[site].reset();  // Volatile state gone; disk_ survives.
+  // Sender-side retry state lived at this site: abandon its pending
+  // transfers.  (Their queued retry ticks become no-ops.)
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.from == site) {
+      ++stats_.transfers_abandoned;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The in-memory dedup window is volatile too; durable_dedup reloads it
+  // from the disk journal on restart.
+  dedup_.erase(site);
 }
 
 void Kernel::RestartSite(SiteId site) {
@@ -115,18 +193,215 @@ void Kernel::RestartSite(SiteId site) {
   CreatePlace(site);
 }
 
+// --- Reliable transport ---------------------------------------------------------
+
+SimTime Kernel::Jittered(SimTime base) {
+  double jitter = options_.reliability.retry_jitter;
+  if (jitter <= 0) {
+    return base;
+  }
+  double factor = 1.0 + jitter * (2.0 * rng_.UniformDouble() - 1.0);
+  return std::max<SimTime>(1, static_cast<SimTime>(static_cast<double>(base) * factor));
+}
+
+void Kernel::ScheduleRetry(uint64_t id, SimTime delay) {
+  sim_.After(delay, [this, id] { RetryTick(id); });
+}
+
+void Kernel::RetryTick(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;  // Acked, nacked, or abandoned since this tick was scheduled.
+  }
+  PendingTransfer& t = it->second;
+  const ReliabilityOptions& r = options_.reliability;
+  bool out_of_attempts = r.max_attempts > 0 && t.attempts >= r.max_attempts;
+  bool past_deadline = r.deadline > 0 && sim_.Now() >= t.first_sent + r.deadline;
+  if (out_of_attempts || past_deadline) {
+    ++stats_.transfers_expired;
+    DeadLetter(t, out_of_attempts ? "retry attempts exhausted" : "deadline passed");
+    pending_.erase(it);
+    return;
+  }
+  ++t.attempts;
+  // A send refused right now (destination down, no route) still consumes an
+  // attempt; the next backoff may find the site restarted or a link restored.
+  Status sent = net_.Send(t.from, t.to, t.frame);
+  if (sent.ok()) {
+    ++stats_.transfers_sent;
+    ++stats_.retries_sent;
+  }
+  t.backoff = std::min(
+      r.retry_max, static_cast<SimTime>(static_cast<double>(t.backoff) *
+                                        std::max(1.0, r.retry_multiplier)));
+  ScheduleRetry(id, Jittered(t.backoff));
+}
+
+void Kernel::DeadLetter(const PendingTransfer& transfer, const std::string& reason) {
+  if (transfer.dead_letter.empty()) {
+    return;  // Nobody designated: the expiry/nack counters tell the story.
+  }
+  Place* origin = place(transfer.from);
+  auto bc = Briefcase::Deserialize(transfer.briefcase);
+  if (origin == nullptr || !bc.ok()) {
+    ++stats_.dead_letters_dropped;
+    return;
+  }
+  Briefcase briefcase = std::move(bc).value();
+  briefcase.SetString("DEADLETTER_REASON", reason);
+  briefcase.SetString("DEADLETTER_HOST", net_.site_name(transfer.to));
+  briefcase.SetString("DEADLETTER_CONTACT", transfer.contact);
+  Status met = origin->Meet(transfer.dead_letter, briefcase);
+  if (met.ok()) {
+    ++stats_.dead_letters_delivered;
+  } else {
+    ++stats_.dead_letters_dropped;
+    TLOG_WARN << "site " << origin->name() << ": dead-letter contact \""
+              << transfer.dead_letter << "\" refused return of transfer to "
+              << net_.site_name(transfer.to) << ": " << met.ToString();
+  }
+}
+
+bool Kernel::SeenOrRecord(SiteId to, SiteId from, uint64_t id) {
+  DedupWindow& window = dedup_[to][from];
+  if (window.seen.contains(id)) {
+    return true;
+  }
+  window.seen.insert(id);
+  window.order.push_back(id);
+  size_t cap = options_.reliability.dedup_window;
+  while (cap > 0 && window.order.size() > cap) {
+    window.seen.erase(window.order.front());
+    window.order.pop_front();
+  }
+  if (options_.reliability.durable_dedup) {
+    AppendDedupJournal(to, from, id);
+  }
+  return false;
+}
+
+void Kernel::AppendDedupJournal(SiteId to, SiteId from, uint64_t id) {
+  Encoder enc;
+  enc.PutU32(from);
+  enc.PutU64(id);
+  (void)disk(to).Append(kDedupJournalFile, enc.Take());
+}
+
+void Kernel::LoadDedupJournal(SiteId site) {
+  MemDisk& d = disk(site);
+  if (!d.Exists(kDedupJournalFile)) {
+    return;
+  }
+  auto data = d.Read(kDedupJournalFile);
+  if (!data.ok()) {
+    return;
+  }
+  Decoder dec(*data);
+  uint32_t from = 0;
+  uint64_t id = 0;
+  while (dec.GetU32(&from) && dec.GetU64(&id)) {
+    DedupWindow& window = dedup_[site][from];
+    if (window.seen.insert(id).second) {
+      window.order.push_back(id);
+      size_t cap = options_.reliability.dedup_window;
+      while (cap > 0 && window.order.size() > cap) {
+        window.seen.erase(window.order.front());
+        window.order.pop_front();
+      }
+    }
+  }
+  // Compact: rewrite the journal with just the retained windows so repeated
+  // crash/restart cycles don't replay an ever-growing file.
+  Encoder enc;
+  for (const auto& [sender, window] : dedup_[site]) {
+    for (uint64_t kept : window.order) {
+      enc.PutU32(sender);
+      enc.PutU64(kept);
+    }
+  }
+  (void)d.Write(kDedupJournalFile, enc.Take());
+}
+
 Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
                              const Briefcase& bc) {
+  return TransferAgent(from, to, contact, bc, TransferOptions{});
+}
+
+Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
+                             const Briefcase& bc,
+                             const TransferOptions& transfer_options) {
+  // Guard nonexistent site ids here rather than relying on what the network
+  // happens to do with them.
+  if (from >= net_.site_count() || to >= net_.site_count()) {
+    ++stats_.transfers_rejected;
+    return NotFoundError("transfer references unknown site id " +
+                         std::to_string(from >= net_.site_count() ? from : to));
+  }
+  Reliability mode = transfer_options.mode.value_or(options_.reliability.mode);
+  uint64_t id = ++next_transfer_id_;
+  uint8_t flags = 0;
+  if (mode == Reliability::kAtMostOnce) {
+    flags = kFlagDedup;
+  } else if (mode == Reliability::kReliable) {
+    flags = kFlagDedup | kFlagWantAck;
+  }
+
   Encoder enc;
+  enc.PutU8(kFrameData);
+  enc.PutU64(id);
+  enc.PutU8(flags);
   enc.PutString(contact);
   bc.Encode(&enc);
-  Status sent = net_.Send(from, to, enc.Take());
-  if (!sent.ok()) {
-    ++stats_.transfers_rejected;
-    return sent;
+  Bytes frame = enc.Take();
+
+  Status sent = net_.Send(from, to, frame);
+  if (mode != Reliability::kReliable) {
+    if (!sent.ok()) {
+      ++stats_.transfers_rejected;
+      return sent;
+    }
+    ++stats_.transfers_sent;
+    return OkStatus();
   }
-  ++stats_.transfers_sent;
+
+  // Reliable: even a send the network refuses right now (destination down,
+  // partition) is accepted and queued — the retry loop rides out the outage
+  // or dead-letters the briefcase when the budget runs dry.
+  if (sent.ok()) {
+    ++stats_.transfers_sent;
+  }
+  ++stats_.transfers_reliable;
+  PendingTransfer t;
+  t.from = from;
+  t.to = to;
+  t.contact = contact;
+  t.dead_letter = transfer_options.dead_letter;
+  t.frame = std::move(frame);
+  t.briefcase = bc.Serialize();
+  t.attempts = 1;
+  t.first_sent = sim_.Now();
+  t.backoff = options_.reliability.retry_initial;
+  pending_.emplace(id, std::move(t));
+  ScheduleRetry(id, Jittered(options_.reliability.retry_initial));
   return OkStatus();
+}
+
+void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
+                         const std::string& reason) {
+  Encoder enc;
+  enc.PutU8(kind);
+  enc.PutU64(id);
+  if (kind == kFrameNack) {
+    enc.PutString(reason);
+  }
+  // Best effort: a lost ack is repaired by the sender's retry + our dedup
+  // window; a lost nack by retry + repeated nack.
+  (void)net_.Send(from_site, to_site, enc.Take());
+  if (kind == kFrameAck) {
+    ++stats_.acks_sent;
+  } else {
+    ++stats_.nacks_sent;
+  }
 }
 
 void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
@@ -136,17 +411,56 @@ void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
     return;
   }
   Decoder dec(payload);
+  uint8_t kind = 0;
+  if (!dec.GetU8(&kind)) {
+    ++stats_.meets_failed_on_arrival;
+    TLOG_WARN << "site " << destination->name() << ": empty transfer frame";
+    return;
+  }
+  switch (kind) {
+    case kFrameData:
+      HandleData(to, from, destination, &dec);
+      return;
+    case kFrameAck:
+      HandleAck(to, &dec);
+      return;
+    case kFrameNack:
+      HandleNack(to, &dec);
+      return;
+    default:
+      ++stats_.meets_failed_on_arrival;
+      TLOG_WARN << "site " << destination->name()
+                << ": malformed agent transfer (unknown frame kind "
+                << static_cast<int>(kind) << ")";
+  }
+}
+
+void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec) {
+  uint64_t id = 0;
+  uint8_t flags = 0;
   std::string contact;
-  if (!dec.GetString(&contact)) {
+  if (!dec->GetU64(&id) || !dec->GetU8(&flags) || !dec->GetString(&contact)) {
     ++stats_.meets_failed_on_arrival;
     TLOG_WARN << "site " << destination->name() << ": malformed agent transfer";
     return;
   }
-  auto bc = Briefcase::Decode(&dec);
+  auto bc = Briefcase::Decode(dec);
   if (!bc.ok()) {
+    // The frame is corrupt: no ack/nack (the sender's retransmission carries
+    // an intact copy).
     ++stats_.meets_failed_on_arrival;
     TLOG_WARN << "site " << destination->name()
               << ": corrupt briefcase in transfer: " << bc.status().ToString();
+    return;
+  }
+  bool want_ack = (flags & kFlagWantAck) != 0;
+  if ((flags & kFlagDedup) != 0 && SeenOrRecord(to, from, id)) {
+    // Retransmission of a transfer that already activated (its ack was
+    // lost).  Suppress the duplicate but re-ack so the sender stops.
+    ++stats_.duplicates_suppressed;
+    if (want_ack) {
+      SendControl(kFrameAck, to, from, id, "");
+    }
     return;
   }
   ++stats_.transfers_delivered;
@@ -156,9 +470,52 @@ void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
   Status met = destination->Meet(contact, briefcase);
   if (!met.ok()) {
     ++stats_.meets_failed_on_arrival;
-    TLOG_DEBUG << "site " << destination->name() << ": arrival meet with \"" << contact
-               << "\" failed: " << met.ToString();
+    destination->RecordArrivalMeetFailure();
+    TLOG_WARN << "site " << destination->name() << ": arrival meet with \"" << contact
+              << "\" from " << net_.site_name(from) << " failed: " << met.ToString();
+    // Structural refusals — no such contact, admission rejection, malformed
+    // briefcase contents — bounce the briefcase back to the sender's
+    // dead-letter contact.  A runtime error inside the agent is still a
+    // successful dispatch and acks normally.
+    bool structural = met.code() == StatusCode::kNotFound ||
+                      met.code() == StatusCode::kPermissionDenied ||
+                      met.code() == StatusCode::kInvalidArgument;
+    if (want_ack && structural) {
+      SendControl(kFrameNack, to, from, id, met.ToString());
+      return;
+    }
   }
+  if (want_ack) {
+    SendControl(kFrameAck, to, from, id, "");
+  }
+}
+
+void Kernel::HandleAck(SiteId to, Decoder* dec) {
+  uint64_t id = 0;
+  if (!dec->GetU64(&id)) {
+    return;
+  }
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.from != to) {
+    return;  // Duplicate ack, or the origin crashed and abandoned the entry.
+  }
+  ++stats_.transfers_acked;
+  pending_.erase(it);
+}
+
+void Kernel::HandleNack(SiteId to, Decoder* dec) {
+  uint64_t id = 0;
+  std::string reason;
+  if (!dec->GetU64(&id) || !dec->GetString(&reason)) {
+    return;
+  }
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.from != to) {
+    return;
+  }
+  ++stats_.transfers_nacked;
+  DeadLetter(it->second, reason);
+  pending_.erase(it);
 }
 
 Status Kernel::LaunchAgent(SiteId site, const std::string& code, Briefcase bc) {

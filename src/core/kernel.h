@@ -9,8 +9,12 @@
 #ifndef TACOMA_CORE_KERNEL_H_
 #define TACOMA_CORE_KERNEL_H_
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,49 @@
 
 namespace tacoma {
 
+class Decoder;
+
+// Delivery discipline for agent transfers (the end-to-end argument applied to
+// the paper's §5 failure story: retransmission and duplicate suppression live
+// in the kernel, under the transfer primitive, not in every agent).
+//   kOff        fire-and-forget: the transfer can be silently lost in flight
+//               (the paper's prototype semantics).
+//   kAtMostOnce transfers carry ids and receivers suppress duplicates, but
+//               nobody retries: a transfer activates zero or one times.
+//   kReliable   receivers ack successful dispatch and nack structural
+//               rejection; senders retry unacked transfers with exponential
+//               backoff; dedup makes activation at-most-once even when an ack
+//               is lost; refused/expired transfers return to a dead-letter
+//               contact at the origin site.
+enum class Reliability { kOff, kAtMostOnce, kReliable };
+
+const char* ToString(Reliability mode);
+// Accepts "off"/"none"/"0", "atmostonce"/"at-most-once", "reliable"/"on"/"1".
+std::optional<Reliability> ParseReliability(const std::string& value);
+
+struct ReliabilityOptions {
+  Reliability mode = Reliability::kOff;
+  // Retransmission schedule: attempt k is re-sent after
+  // min(retry_max, retry_initial * retry_multiplier^(k-1)), jittered by
+  // ±retry_jitter (drawn from the kernel Rng, so runs stay deterministic).
+  SimTime retry_initial = 30 * kMillisecond;
+  double retry_multiplier = 2.0;
+  SimTime retry_max = 2 * kSecond;
+  double retry_jitter = 0.2;
+  // Budget: a transfer expires after max_attempts transmissions (0 = no
+  // attempt cap) or once `deadline` has passed since the first send (0 = no
+  // deadline).  Expired transfers go to the dead-letter contact.
+  int max_attempts = 8;
+  SimTime deadline = 0;
+  // Per-sender window of transfer ids each receiver remembers for duplicate
+  // suppression.
+  size_t dedup_window = 512;
+  // Journal the dedup window to the site's crash-surviving disk so a
+  // restarted site still suppresses retries of transfers it activated before
+  // the crash.
+  bool durable_dedup = true;
+};
+
 struct KernelOptions {
   uint64_t seed = 42;
   // Per-activation TACL command budget (0 = unlimited).
@@ -32,7 +79,28 @@ struct KernelOptions {
   // analysis (see tacl/analyze.h): run it anyway, warn, or reject it before
   // the interpreter sees it.
   AdmissionPolicy admission_policy = AdmissionPolicy::kWarn;
+  // Default delivery discipline for every TransferAgent call.
+  ReliabilityOptions reliability;
 };
+
+// Per-transfer overrides for TransferAgent.
+struct TransferOptions {
+  // Overrides KernelOptions::reliability.mode for this transfer.
+  std::optional<Reliability> mode;
+  // Resident contact at the ORIGIN site that receives the briefcase back
+  // (with DEADLETTER_REASON / DEADLETTER_HOST / DEADLETTER_CONTACT folders
+  // added) when the receiver nacks or the retry budget expires.  Empty: the
+  // briefcase is dropped and only counted.
+  std::string dead_letter;
+};
+
+// Reads the agent-facing delivery preference out of a briefcase: a RELIABLE
+// folder ("off"/"at-most-once"/"reliable") and a DEADLETTER folder (contact
+// at the sending site).  An unparsable RELIABLE value is an error, not a
+// silent downgrade.  Used by rexec/courier and the TACL movement bindings;
+// both folders stay in the briefcase so the preference travels with the
+// agent.
+Result<TransferOptions> TransferOptionsFromBriefcase(const Briefcase& bc);
 
 class Kernel {
  public:
@@ -42,10 +110,25 @@ class Kernel {
   Kernel& operator=(const Kernel&) = delete;
 
   struct Stats {
-    uint64_t transfers_sent = 0;
-    uint64_t transfers_delivered = 0;
+    uint64_t transfers_sent = 0;       // Accepted transmissions (retries included).
+    uint64_t transfers_delivered = 0;  // Arrived and dispatched (duplicates excluded).
     uint64_t transfers_rejected = 0;   // Send refused up front.
     uint64_t meets_failed_on_arrival = 0;
+
+    // Reliable-transport accounting.  Every transfer accepted in kReliable
+    // mode ends in exactly one of: acked, nacked, expired, abandoned — or is
+    // still pending (Kernel::pending_transfers()).
+    uint64_t transfers_reliable = 0;   // Accepted reliable-mode transfers.
+    uint64_t transfers_acked = 0;      // Receiver confirmed dispatch.
+    uint64_t transfers_nacked = 0;     // Receiver refused (contact/admission).
+    uint64_t transfers_expired = 0;    // Retry budget exhausted.
+    uint64_t transfers_abandoned = 0;  // Origin site crashed with retries pending.
+    uint64_t retries_sent = 0;         // Retransmissions accepted by the net.
+    uint64_t duplicates_suppressed = 0;  // Dedup window hits at receivers.
+    uint64_t acks_sent = 0;
+    uint64_t nacks_sent = 0;
+    uint64_t dead_letters_delivered = 0;  // Returned briefcases met their contact.
+    uint64_t dead_letters_dropped = 0;    // Designated contact unreachable.
   };
 
   Simulator& sim() { return sim_; }
@@ -83,10 +166,17 @@ class Kernel {
   // --- Agent movement -----------------------------------------------------------------
 
   // Ships `bc` to site `to`, where resident `contact` is met with it.
-  // Asynchronous: delivery happens in simulated time and can be lost to
-  // failures in flight.
+  // Asynchronous: delivery happens in simulated time.  What a loss in flight
+  // means depends on the reliability mode (KernelOptions::reliability, or the
+  // per-transfer override): fire-and-forget transfers vanish; reliable
+  // transfers are retried until acked, nacked, or out of budget.
   Status TransferAgent(SiteId from, SiteId to, const std::string& contact,
                        const Briefcase& bc);
+  Status TransferAgent(SiteId from, SiteId to, const std::string& contact,
+                       const Briefcase& bc, const TransferOptions& transfer_options);
+
+  // Reliable transfers awaiting ack/nack/expiry.
+  size_t pending_transfers() const { return pending_.size(); }
 
   // Convenience: run `code` as an activation at `site` right now (puts CODE
   // into the briefcase and meets ag_tacl).
@@ -97,8 +187,41 @@ class Kernel {
   Rng& rng() { return rng_; }
 
  private:
+  // Sender-side record of an unacked reliable transfer.  Lives "at" the
+  // origin site: CrashSite(from) abandons it.
+  struct PendingTransfer {
+    SiteId from = 0;
+    SiteId to = 0;
+    std::string contact;
+    std::string dead_letter;
+    Bytes frame;        // Encoded DATA frame, retransmitted verbatim.
+    Bytes briefcase;    // Serialized briefcase, for dead-letter returns.
+    int attempts = 0;   // Transmissions so far (accepted or not).
+    SimTime first_sent = 0;
+    SimTime backoff = 0;  // Wait before the next retransmission.
+  };
+  // Receiver-side per-sender window of recently activated transfer ids.
+  struct DedupWindow {
+    std::deque<uint64_t> order;
+    std::set<uint64_t> seen;
+  };
+
   void CreatePlace(SiteId site);
   void HandleDelivery(SiteId to, SiteId from, const Bytes& payload);
+  void HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec);
+  void HandleAck(SiteId to, Decoder* dec);
+  void HandleNack(SiteId to, Decoder* dec);
+  void SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
+                   const std::string& reason);
+  void ScheduleRetry(uint64_t id, SimTime delay);
+  void RetryTick(uint64_t id);
+  SimTime Jittered(SimTime base);
+  // Returns the briefcase of a failed transfer to its dead-letter contact.
+  void DeadLetter(const PendingTransfer& transfer, const std::string& reason);
+  // True if (from, id) was already activated at `to`; records it otherwise.
+  bool SeenOrRecord(SiteId to, SiteId from, uint64_t id);
+  void AppendDedupJournal(SiteId to, SiteId from, uint64_t id);
+  void LoadDedupJournal(SiteId site);
   // Installs ag_tacl, rexec, courier, diffusion (system_agents.cc).
   void InstallSystemAgents(Place& place);
   // Populates the site-local SITES folder with this site's neighbours.
@@ -111,6 +234,9 @@ class Kernel {
   std::vector<std::unique_ptr<Place>> places_;    // Indexed by SiteId; null when down.
   std::vector<std::unique_ptr<MemDisk>> disks_;   // Indexed by SiteId; survives crashes.
   std::vector<std::function<void(Place&)>> place_initializers_;
+  uint64_t next_transfer_id_ = 0;
+  std::map<uint64_t, PendingTransfer> pending_;
+  std::map<SiteId, std::map<SiteId, DedupWindow>> dedup_;  // Keyed receiver, sender.
   Stats stats_;
 };
 

@@ -62,6 +62,9 @@ class Place {
     uint64_t failed_activations = 0;
     uint64_t rejected_agents = 0;  // Refused by admission analysis.
     uint64_t interp_steps = 0;
+    // Transfers that arrived here but whose meet was refused (missing
+    // contact, admission rejection, malformed briefcase).
+    uint64_t arrival_meet_failures = 0;
   };
 
   Place(Kernel* kernel, SiteId site, std::string name);
@@ -134,6 +137,8 @@ class Place {
   void EmitAgentOutput(const std::string& line);
 
   const Stats& stats() const { return stats_; }
+  // Called by the kernel when a transfer's arrival meet fails at this place.
+  void RecordArrivalMeetFailure() { ++stats_.arrival_meet_failures; }
   Rng& rng() { return rng_; }
 
  private:

@@ -46,12 +46,17 @@ Status Rexec(Place& place, Briefcase& bc) {
   if (!destination.has_value()) {
     return NotFoundError("rexec: unknown site \"" + *host + "\"");
   }
+  auto transfer_options = TransferOptionsFromBriefcase(bc);
+  if (!transfer_options.ok()) {
+    return InvalidArgumentError("rexec: " + transfer_options.status().message());
+  }
   // HOST/CONTACT are routing arguments, not agent state; strip them before
   // the briefcase travels.
   Briefcase shipped = bc;
   shipped.Remove(kHostFolder);
   shipped.Remove(kContactFolder);
-  return kernel->TransferAgent(place.site(), *destination, *contact, shipped);
+  return kernel->TransferAgent(place.site(), *destination, *contact, shipped,
+                               *transfer_options);
 }
 
 // courier: "transfers a folder to a specified agent on a specified machine"
@@ -73,10 +78,15 @@ Status Courier(Place& place, Briefcase& bc) {
   if (!destination.has_value()) {
     return NotFoundError("courier: unknown site \"" + *host + "\"");
   }
+  auto transfer_options = TransferOptionsFromBriefcase(bc);
+  if (!transfer_options.ok()) {
+    return InvalidArgumentError("courier: " + transfer_options.status().message());
+  }
   Briefcase shipped;
   shipped.folder(*folder_name) = *payload;
   shipped.SetString("FOLDER", *folder_name);
-  return kernel->TransferAgent(place.site(), *destination, *contact, shipped);
+  return kernel->TransferAgent(place.site(), *destination, *contact, shipped,
+                               *transfer_options);
 }
 
 // diffusion: "executes a specified agent locally and then creates a clone of

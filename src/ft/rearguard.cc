@@ -226,7 +226,11 @@ void RearGuard::PingTick(SiteId site, uint64_t generation, const std::string& ke
     ping.SetString("GUARD_AGENT", record.agent);
     ping.SetString("GUARD_KEY", key);
     ping.SetString("REPLY_HOST", kernel_->net().site_name(site));
-    if (kernel_->TransferAgent(site, *next, "rearguard", ping).ok()) {
+    // Fire-and-forget regardless of the kernel's reliability mode: a lost
+    // ping is repaired by the next heartbeat, and retrying stale pings only
+    // inflates the miss window under partition.
+    TransferOptions fire_and_forget{.mode = Reliability::kOff};
+    if (kernel_->TransferAgent(site, *next, "rearguard", ping, fire_and_forget).ok()) {
       ++stats_.pings_sent;
     }
   }
@@ -263,7 +267,9 @@ Status RearGuard::HandleStatusRequest(Place& place, Briefcase& bc) {
   reply.SetString("GUARD_OP", "status_rsp");
   reply.SetString("GUARD_KEY", *key);
   reply.SetString("GUARD_STATE", state);
-  return kernel_->TransferAgent(place.site(), *reply_site, "rearguard", reply);
+  // Heartbeat traffic, like the ping itself: the next ping re-asks.
+  return kernel_->TransferAgent(place.site(), *reply_site, "rearguard", reply,
+                                TransferOptions{.mode = Reliability::kOff});
 }
 
 Status RearGuard::HandleStatusReply(Place& place, Briefcase& bc) {

@@ -1,0 +1,163 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace tacoma {
+
+ChaosHarness::ChaosHarness(Simulator* sim, Network* net, ChaosOptions options)
+    : sim_(sim), net_(net), options_(options), rng_(options.seed) {
+  crash_ = [this](SiteId site) { net_->CrashSite(site); };
+  restart_ = [this](SiteId site) { net_->RestartSite(site); };
+}
+
+void ChaosHarness::SetSiteHooks(SiteHook crash, SiteHook restart) {
+  crash_ = std::move(crash);
+  restart_ = std::move(restart);
+}
+
+void ChaosHarness::AddInvariant(std::string name, Invariant check) {
+  invariants_.emplace_back(std::move(name), std::move(check));
+}
+
+bool ChaosHarness::IsProtected(SiteId site) const {
+  return std::find(options_.protected_sites.begin(), options_.protected_sites.end(),
+                   site) != options_.protected_sites.end();
+}
+
+void ChaosHarness::ScheduleSiteFaults() {
+  if (options_.mean_crash_interval == 0 || net_->site_count() == 0) {
+    return;
+  }
+  // Pre-generate the storm in one pass so the event outcomes depend only on
+  // the seed, not on how injected faults interleave with workload events.
+  // busy_until keeps one site's crash/restart windows from overlapping.
+  std::vector<SimTime> busy_until(net_->site_count(), 0);
+  SimTime t = 0;
+  while (true) {
+    t += std::max<SimTime>(
+        1, static_cast<SimTime>(
+               rng_.Exponential(static_cast<double>(options_.mean_crash_interval))));
+    if (t >= options_.horizon) {
+      break;
+    }
+    SiteId victim = static_cast<SiteId>(rng_.Uniform(net_->site_count()));
+    SimTime downtime = options_.min_downtime +
+                       rng_.Uniform(options_.max_downtime - options_.min_downtime + 1);
+    if (IsProtected(victim) || busy_until[victim] > t) {
+      continue;
+    }
+    busy_until[victim] = t + downtime + 1;
+    sim_->At(t, [this, victim] {
+      ++report_.crashes;
+      crash_(victim);
+    });
+    sim_->At(t + downtime, [this, victim] {
+      ++report_.restarts;
+      restart_(victim);
+    });
+  }
+  // Safety net: everything the storm may have left down comes back at the
+  // horizon (restarting an up site is a no-op at every layer).
+  for (SiteId site = 0; site < net_->site_count(); ++site) {
+    sim_->At(options_.horizon, [this, site] { restart_(site); });
+  }
+}
+
+void ChaosHarness::ScheduleLinkFaults() {
+  auto links = net_->Links();
+  if (options_.mean_cut_interval == 0 || links.empty()) {
+    return;
+  }
+  std::vector<SimTime> busy_until(links.size(), 0);
+  SimTime t = 0;
+  while (true) {
+    t += std::max<SimTime>(
+        1, static_cast<SimTime>(
+               rng_.Exponential(static_cast<double>(options_.mean_cut_interval))));
+    if (t >= options_.horizon) {
+      break;
+    }
+    size_t pick = rng_.Uniform(links.size());
+    SimTime cut = options_.min_cut + rng_.Uniform(options_.max_cut - options_.min_cut + 1);
+    if (busy_until[pick] > t) {
+      continue;
+    }
+    busy_until[pick] = t + cut + 1;
+    auto [a, b] = links[pick];
+    sim_->At(t, [this, a, b] {
+      ++report_.cuts;
+      net_->CutLink(a, b);
+    });
+    sim_->At(t + cut, [this, a, b] {
+      ++report_.restores;
+      net_->RestoreLink(a, b);
+    });
+  }
+  for (auto [a, b] : links) {
+    sim_->At(options_.horizon, [this, a, b] { net_->RestoreLink(a, b); });
+  }
+}
+
+void ChaosHarness::ScheduleLossFlaps() {
+  auto links = net_->Links();
+  if (options_.mean_flap_interval == 0 || options_.max_loss <= 0 || links.empty()) {
+    return;
+  }
+  SimTime t = 0;
+  while (true) {
+    t += std::max<SimTime>(
+        1, static_cast<SimTime>(
+               rng_.Exponential(static_cast<double>(options_.mean_flap_interval))));
+    if (t >= options_.horizon) {
+      break;
+    }
+    auto [a, b] = links[rng_.Uniform(links.size())];
+    double loss = rng_.UniformDouble() * options_.max_loss;
+    sim_->At(t, [this, a, b, loss] {
+      ++report_.loss_flaps;
+      net_->SetLinkLoss(a, b, loss);
+    });
+  }
+  for (auto [a, b] : links) {
+    sim_->At(options_.horizon, [this, a, b] { net_->SetLinkLoss(a, b, 0.0); });
+  }
+}
+
+void ChaosHarness::ScheduleChecks() {
+  if (options_.check_interval == 0) {
+    return;
+  }
+  for (SimTime t = options_.check_interval; t <= options_.horizon;
+       t += options_.check_interval) {
+    sim_->At(t, [this] { (void)CheckNow(); });
+  }
+}
+
+void ChaosHarness::Start() {
+  ScheduleSiteFaults();
+  ScheduleLinkFaults();
+  ScheduleLossFlaps();
+  ScheduleChecks();
+}
+
+Status ChaosHarness::CheckNow() {
+  ++report_.checks;
+  Status first = OkStatus();
+  for (const auto& [name, check] : invariants_) {
+    Status s = check();
+    if (!s.ok()) {
+      std::string violation = name + " at t=" + std::to_string(sim_->Now()) + "us: " +
+                              s.ToString();
+      TLOG_ERROR << "chaos invariant violated: " << violation;
+      report_.violations.push_back(std::move(violation));
+      if (first.ok()) {
+        first = s;
+      }
+    }
+  }
+  return first;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,120 @@
+// Chaos harness — seeded fault schedules plus invariant checking.
+//
+// The paper's §5 failure story ("a site or network link has failed, and the
+// agent has vanished") is exercised here systematically: from one seed the
+// harness pre-generates a deterministic schedule of site crash/restart
+// storms, link cut/restore storms, and per-link loss-rate flaps, drives them
+// against a running simulation, and periodically evaluates caller-supplied
+// invariants (no duplicate activation, transfer conservation, ...).
+//
+// Layering: this lives in sim/ and therefore cannot know about the kernel.
+// Site failures must go through the kernel (which tears down and recreates
+// Places), so they are injected via SetSiteHooks; everything link-level is
+// driven directly on the Network.
+#ifndef TACOMA_SIM_CHAOS_H_
+#define TACOMA_SIM_CHAOS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+struct ChaosOptions {
+  uint64_t seed = 1995;
+  // Fault injection stops at the horizon: every downed site is restarted,
+  // every cut link restored, and all loss rates reset to zero, so the system
+  // can quiesce and end-of-run invariants are meaningful.
+  SimTime horizon = 3 * kSecond;
+
+  // Site crash/restart storm (0 interval disables).  Downtime is uniform in
+  // [min_downtime, max_downtime].
+  SimTime mean_crash_interval = 150 * kMillisecond;
+  SimTime min_downtime = 50 * kMillisecond;
+  SimTime max_downtime = 400 * kMillisecond;
+
+  // Link cut/restore storm (0 interval disables).
+  SimTime mean_cut_interval = 200 * kMillisecond;
+  SimTime min_cut = 30 * kMillisecond;
+  SimTime max_cut = 300 * kMillisecond;
+
+  // Loss-rate flaps: each flap re-rolls one link's loss uniformly in
+  // [0, max_loss] (0 interval disables).
+  SimTime mean_flap_interval = 100 * kMillisecond;
+  double max_loss = 0.5;
+
+  // Cadence of invariant evaluation while the storm runs.
+  SimTime check_interval = 100 * kMillisecond;
+
+  // Sites the harness never crashes (e.g. the home site whose cabinets the
+  // invariants read).
+  std::vector<SiteId> protected_sites;
+};
+
+class ChaosHarness {
+ public:
+  using SiteHook = std::function<void(SiteId)>;
+  // Returns OkStatus while the invariant holds; the error message of a
+  // violation is recorded in the report.
+  using Invariant = std::function<Status()>;
+
+  struct Report {
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+    uint64_t cuts = 0;
+    uint64_t restores = 0;
+    uint64_t loss_flaps = 0;
+    uint64_t checks = 0;
+    std::vector<std::string> violations;
+  };
+
+  ChaosHarness(Simulator* sim, Network* net, ChaosOptions options = {});
+  ChaosHarness(const ChaosHarness&) = delete;
+  ChaosHarness& operator=(const ChaosHarness&) = delete;
+
+  // Site crashes/restarts are injected through these (the kernel must destroy
+  // and recreate Places).  Without hooks, site faults fall back to the raw
+  // Network::CrashSite / RestartSite, which upper layers will not notice.
+  void SetSiteHooks(SiteHook crash, SiteHook restart);
+
+  void AddInvariant(std::string name, Invariant check);
+
+  // Pre-generates the whole seeded fault schedule and queues it on the
+  // simulator, along with periodic invariant checks.  Call once, before
+  // running the simulation; the harness must outlive the run.
+  void Start();
+
+  // Evaluates every invariant now, recording any violations.  Returns the
+  // first violation (or OkStatus).  Call after the run has quiesced for the
+  // end-of-run verdict.
+  Status CheckNow();
+
+  const Report& report() const { return report_; }
+  bool ok() const { return report_.violations.empty(); }
+
+ private:
+  void ScheduleSiteFaults();
+  void ScheduleLinkFaults();
+  void ScheduleLossFlaps();
+  void ScheduleChecks();
+  bool IsProtected(SiteId site) const;
+
+  Simulator* sim_;
+  Network* net_;
+  ChaosOptions options_;
+  Rng rng_;
+  SiteHook crash_;
+  SiteHook restart_;
+  std::vector<std::pair<std::string, Invariant>> invariants_;
+  Report report_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_SIM_CHAOS_H_

@@ -192,6 +192,17 @@ void Network::ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload
   stats_.link_traversals += 1;
   stats_.bytes_on_wire += payload.size();
 
+  // Probabilistic loss: the transmission occupies the wire (bytes counted
+  // above) but the frame is corrupt on arrival.  Drawn at schedule time so
+  // the outcome is deterministic for a seeded run.
+  if (link->params.loss > 0 && loss_rng_.Bernoulli(link->params.loss)) {
+    sim_->At(arrive, [this] {
+      ++stats_.messages_dropped;
+      ++stats_.messages_lost;
+    });
+    return;
+  }
+
   sim_->At(arrive, [this, next, from, to, payload, dest_epoch] {
     if (!sites_[next].up) {
       ++stats_.messages_dropped;
@@ -233,6 +244,24 @@ void Network::RestoreLink(SiteId a, SiteId b) {
       link->up = true;
     }
   }
+}
+
+void Network::SetLinkLoss(SiteId a, SiteId b, double loss) {
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Link* link = FindLink(x, y)) {
+      link->params.loss = loss;
+    }
+  }
+}
+
+std::vector<std::pair<SiteId, SiteId>> Network::Links() const {
+  std::vector<std::pair<SiteId, SiteId>> out;
+  for (const auto& [key, link] : links_) {
+    if (key.first < key.second) {
+      out.push_back(key);
+    }
+  }
+  return out;
 }
 
 void Network::ResetStats() {

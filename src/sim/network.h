@@ -22,6 +22,7 @@
 
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace tacoma {
@@ -32,6 +33,7 @@ constexpr SiteId kInvalidSite = 0xffffffff;
 struct LinkParams {
   SimTime latency = 1 * kMillisecond;          // Propagation delay per hop.
   uint64_t bandwidth_bps = 10'000'000;         // Bytes per simulated second.
+  double loss = 0.0;                           // Per-traversal drop probability.
 };
 
 struct LinkStats {
@@ -42,7 +44,8 @@ struct LinkStats {
 struct NetworkStats {
   uint64_t messages_sent = 0;      // Send() calls accepted.
   uint64_t messages_delivered = 0; // Reached their destination handler.
-  uint64_t messages_dropped = 0;   // Lost to site/link failure.
+  uint64_t messages_dropped = 0;   // Lost to site/link failure or link loss.
+  uint64_t messages_lost = 0;      // Subset of dropped: probabilistic link loss.
   uint64_t link_traversals = 0;    // Per-hop transmissions.
   uint64_t bytes_on_wire = 0;      // Sum over every traversed link.
 };
@@ -92,6 +95,11 @@ class Network {
   bool IsUp(SiteId site) const { return sites_[site].up; }
   void CutLink(SiteId a, SiteId b);
   void RestoreLink(SiteId a, SiteId b);
+  // Sets the per-traversal drop probability on both directions of a link.
+  void SetLinkLoss(SiteId a, SiteId b, double loss);
+  // Seeds the generator that decides probabilistic losses (the kernel seeds
+  // this from its own Rng so whole experiments stay bit-reproducible).
+  void set_loss_seed(uint64_t seed) { loss_rng_ = Rng(seed); }
 
   // --- Accounting -----------------------------------------------------------
 
@@ -105,6 +113,9 @@ class Network {
 
   // Direct neighbours of `site` (regardless of up/down state).
   std::vector<SiteId> Neighbors(SiteId site) const;
+
+  // Every undirected link as an (a, b) pair with a < b.
+  std::vector<std::pair<SiteId, SiteId>> Links() const;
 
   Simulator* sim() { return sim_; }
 
@@ -134,6 +145,7 @@ class Network {
 
   Simulator* sim_;
   TopologyHook topology_hook_;
+  Rng loss_rng_{0x10551055};  // Deterministic default; reseed via set_loss_seed.
   std::vector<Site> sites_;
   std::map<std::pair<SiteId, SiteId>, Link> links_;  // Directed.
   std::map<SiteId, std::vector<SiteId>> adjacency_;

@@ -1,0 +1,180 @@
+// Chaos soak: the ChaosHarness drives seeded site-crash, link-cut, and
+// loss-flap storms against a reliable-transport workload while invariants
+// are checked throughout.  Registered in ctest with a fixed seed and an
+// explicit timeout (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/kernel.h"
+#include "sim/chaos.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+struct SoakOutcome {
+  std::map<std::string, int> activations;  // Per token.
+  Kernel::Stats stats;
+  size_t pending = 0;
+  ChaosHarness::Report report;
+  int sent_tokens = 0;
+};
+
+SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = mode;
+  Kernel kernel(options);
+  auto sites = BuildGrid(&kernel.net(), 3, 3);
+  kernel.AdoptNetworkSites();
+
+  SoakOutcome outcome;
+  kernel.AddPlaceInitializer([&outcome](Place& place) {
+    place.RegisterAgent("sink", [&outcome](Place&, Briefcase& bc) {
+      ++outcome.activations[bc.GetString("TOKEN").value_or("?")];
+      return OkStatus();
+    });
+    place.RegisterAgent("morgue", [](Place&, Briefcase&) { return OkStatus(); });
+  });
+
+  ChaosOptions chaos_options;
+  chaos_options.seed = seed * 2654435761 + 1;
+  chaos_options.horizon = 2 * kSecond;
+  ChaosHarness chaos(&kernel.sim(), &kernel.net(), chaos_options);
+  chaos.SetSiteHooks([&kernel](SiteId s) { kernel.CrashSite(s); },
+                     [&kernel](SiteId s) { kernel.RestartSite(s); });
+
+  chaos.AddInvariant("at-most-once activation", [&outcome] {
+    for (const auto& [token, count] : outcome.activations) {
+      if (count > 1) {
+        return InternalError("token " + token + " activated " +
+                             std::to_string(count) + " times");
+      }
+    }
+    return OkStatus();
+  });
+  chaos.AddInvariant("reliable transfer conservation", [&kernel] {
+    const auto& s = kernel.stats();
+    uint64_t settled = s.transfers_acked + s.transfers_nacked +
+                       s.transfers_expired + s.transfers_abandoned;
+    if (settled + kernel.pending_transfers() != s.transfers_reliable) {
+      return InternalError("conservation broken: " + std::to_string(settled) +
+                           " settled + " +
+                           std::to_string(kernel.pending_transfers()) +
+                           " pending != " +
+                           std::to_string(s.transfers_reliable) + " accepted");
+    }
+    return OkStatus();
+  });
+  chaos.AddInvariant("network stats sane", [&kernel] {
+    const auto& n = kernel.net().stats();
+    if (n.messages_delivered > n.messages_sent) {
+      return InternalError("delivered > sent");
+    }
+    if (n.messages_lost > n.messages_dropped) {
+      return InternalError("lost > dropped");
+    }
+    return OkStatus();
+  });
+
+  // Workload: a steady drizzle of uniquely-tokened transfers between random
+  // up sites, all of it racing the storm.
+  Rng workload_rng(seed * 7919 + 3);
+  for (SimTime t = 5 * kMillisecond; t < chaos_options.horizon;
+       t += 10 * kMillisecond) {
+    kernel.sim().At(t, [&kernel, &workload_rng, &outcome, &sites] {
+      SiteId from = sites[workload_rng.Uniform(sites.size())];
+      SiteId to = sites[workload_rng.Uniform(sites.size())];
+      if (from == to || kernel.place(from) == nullptr) {
+        return;
+      }
+      Briefcase bc;
+      bc.SetString("TOKEN", "t" + std::to_string(outcome.sent_tokens));
+      TransferOptions transfer_options;
+      transfer_options.dead_letter = "morgue";
+      if (kernel.TransferAgent(from, to, "sink", bc, transfer_options).ok()) {
+        ++outcome.sent_tokens;
+      }
+    });
+  }
+
+  chaos.Start();
+  kernel.sim().Run();  // Storm + workload + post-horizon quiesce.
+  EXPECT_TRUE(chaos.CheckNow().ok());
+
+  outcome.stats = kernel.stats();
+  outcome.pending = kernel.pending_transfers();
+  outcome.report = chaos.report();
+  return outcome;
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<Reliability> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, ChaosSoakTest,
+                         ::testing::Values(Reliability::kOff,
+                                           Reliability::kAtMostOnce,
+                                           Reliability::kReliable),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Reliability::kOff:
+                               return "Off";
+                             case Reliability::kAtMostOnce:
+                               return "AtMostOnce";
+                             default:
+                               return "Reliable";
+                           }
+                         });
+
+TEST_P(ChaosSoakTest, StormKeepsInvariants) {
+  SoakOutcome outcome = RunSoak(GetParam(), /*seed=*/1995);
+
+  // The storm actually stormed.
+  EXPECT_GT(outcome.report.crashes, 0u);
+  EXPECT_GT(outcome.report.cuts, 0u);
+  EXPECT_GT(outcome.report.loss_flaps, 0u);
+  EXPECT_GT(outcome.report.checks, 0u);
+  EXPECT_GT(outcome.sent_tokens, 50);
+
+  // Every periodic and end-of-run invariant held.
+  EXPECT_TRUE(outcome.report.violations.empty())
+      << outcome.report.violations.front();
+
+  // Everything quiesced: no transfer left in limbo.
+  EXPECT_EQ(outcome.pending, 0u);
+
+  if (GetParam() != Reliability::kOff) {
+    // Dedup modes: at-most-once activation, even across ack loss and crashes.
+    for (const auto& [token, count] : outcome.activations) {
+      EXPECT_LE(count, 1) << "token " << token;
+    }
+  }
+  if (GetParam() == Reliability::kReliable) {
+    // Every accepted transfer settled exactly one way.
+    const auto& s = outcome.stats;
+    EXPECT_EQ(s.transfers_reliable, s.transfers_acked + s.transfers_nacked +
+                                        s.transfers_expired +
+                                        s.transfers_abandoned);
+    // The storm forced the retry machinery to do real work.
+    EXPECT_GT(s.retries_sent, 0u);
+    // Most transfers still made it (the storm outages are shorter than the
+    // retry budget).
+    EXPECT_GT(s.transfers_acked, static_cast<uint64_t>(outcome.sent_tokens) / 2);
+  }
+}
+
+TEST(ChaosSoakTest, DeterministicForFixedSeed) {
+  SoakOutcome first = RunSoak(Reliability::kReliable, /*seed=*/4242);
+  SoakOutcome second = RunSoak(Reliability::kReliable, /*seed=*/4242);
+  EXPECT_EQ(first.sent_tokens, second.sent_tokens);
+  EXPECT_EQ(first.stats.transfers_acked, second.stats.transfers_acked);
+  EXPECT_EQ(first.stats.retries_sent, second.stats.retries_sent);
+  EXPECT_EQ(first.stats.duplicates_suppressed,
+            second.stats.duplicates_suppressed);
+  EXPECT_EQ(first.report.crashes, second.report.crashes);
+  EXPECT_EQ(first.activations, second.activations);
+}
+
+}  // namespace
+}  // namespace tacoma

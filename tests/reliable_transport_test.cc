@@ -1,0 +1,547 @@
+// Reliable agent transport: ack/retry/backoff, duplicate suppression,
+// dead-letter returns, and crash-during-transfer behavior.
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+KernelOptions ReliableOptions(uint64_t seed = 7) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = Reliability::kReliable;
+  return options;
+}
+
+// Counts activations of a "sink" contact, per token (the TOKEN folder), at
+// every place incarnation — survives crash/restart via AddPlaceInitializer.
+struct SinkCounter {
+  std::map<std::string, int> activations;
+  void Install(Kernel* kernel) {
+    kernel->AddPlaceInitializer([this](Place& place) {
+      place.RegisterAgent("sink", [this](Place&, Briefcase& bc) {
+        ++activations[bc.GetString("TOKEN").value_or("?")];
+        return OkStatus();
+      });
+    });
+  }
+  int total() const {
+    int n = 0;
+    for (const auto& [token, count] : activations) {
+      n += count;
+    }
+    return n;
+  }
+  int duplicates() const {
+    int n = 0;
+    for (const auto& [token, count] : activations) {
+      n += count > 1 ? count - 1 : 0;
+    }
+    return n;
+  }
+};
+
+TEST(ReliabilityOptionsTest, ParseRoundTrips) {
+  for (Reliability mode :
+       {Reliability::kOff, Reliability::kAtMostOnce, Reliability::kReliable}) {
+    auto parsed = ParseReliability(ToString(mode));
+    ASSERT_TRUE(parsed.has_value()) << ToString(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseReliability("sometimes").has_value());
+}
+
+TEST(ReliableTransportTest, TransferToUnknownSiteIdRejected) {
+  Kernel kernel;
+  SiteId a = kernel.AddSite("alpha");
+  Briefcase bc;
+  Status s = kernel.TransferAgent(a, 999, "sink", bc);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(kernel.stats().transfers_rejected, 1u);
+  // Bogus source site too, in every mode.
+  s = kernel.TransferAgent(777, a, "sink", bc,
+                           TransferOptions{.mode = Reliability::kReliable});
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(kernel.stats().transfers_rejected, 2u);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+}
+
+TEST(ReliableTransportTest, LossyLinkDeliveredByRetry) {
+  KernelOptions options = ReliableOptions();
+  options.reliability.max_attempts = 0;  // Unlimited: 50% loss always loses.
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  SinkCounter sink;
+  sink.Install(&kernel);
+  kernel.net().SetLinkLoss(sites[0], sites[1], 0.5);
+
+  for (int i = 0; i < 50; ++i) {
+    Briefcase bc;
+    bc.SetString("TOKEN", "t" + std::to_string(i));
+    ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  }
+  kernel.sim().Run();
+
+  EXPECT_EQ(sink.total(), 50);
+  EXPECT_EQ(sink.duplicates(), 0);
+  EXPECT_EQ(kernel.stats().transfers_acked, 50u);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+  // 50% loss each way: retries must have carried some of the load.
+  EXPECT_GT(kernel.stats().retries_sent, 0u);
+}
+
+TEST(ReliableTransportTest, FireAndForgetStillLossy) {
+  KernelOptions options;
+  options.seed = 7;  // Same seed as above for an apples-to-apples contrast.
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  SinkCounter sink;
+  sink.Install(&kernel);
+  kernel.net().SetLinkLoss(sites[0], sites[1], 0.5);
+
+  for (int i = 0; i < 50; ++i) {
+    Briefcase bc;
+    bc.SetString("TOKEN", "t" + std::to_string(i));
+    ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  }
+  kernel.sim().Run();
+  EXPECT_LT(sink.total(), 50);
+  EXPECT_EQ(kernel.stats().retries_sent, 0u);
+}
+
+TEST(ReliableTransportTest, DuplicateSuppressedWhenAckLost) {
+  // Force the pathological interleaving deterministically.  Loss is drawn
+  // when a message ENTERS a link: the DATA frame enters at t=0 (loss 0), the
+  // ACK enters at t=1ms (the link latency) — so flipping loss to 100% at
+  // t=0.5ms loses exactly the ACK.
+  Kernel kernel(ReliableOptions());
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  SinkCounter sink;
+  sink.Install(&kernel);
+
+  kernel.sim().After(500, [&] { kernel.net().SetLinkLoss(sites[0], sites[1], 1.0); });
+  kernel.sim().After(5 * kMillisecond,
+                     [&] { kernel.net().SetLinkLoss(sites[0], sites[1], 0.0); });
+  Briefcase bc;
+  bc.SetString("TOKEN", "once");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  kernel.sim().RunUntil(5 * kMillisecond);
+  EXPECT_EQ(sink.activations["once"], 1);
+  EXPECT_EQ(kernel.pending_transfers(), 1u);  // The ACK was lost: still pending.
+  kernel.sim().Run();
+
+  // The retry arrived, was suppressed by the dedup window, and was re-acked.
+  EXPECT_EQ(sink.activations["once"], 1);
+  EXPECT_EQ(kernel.stats().duplicates_suppressed, 1u);
+  EXPECT_EQ(kernel.stats().transfers_acked, 1u);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+}
+
+TEST(ReliableTransportTest, AtMostOnceNeverRetries) {
+  KernelOptions options;
+  options.seed = 3;
+  options.reliability.mode = Reliability::kAtMostOnce;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  SinkCounter sink;
+  sink.Install(&kernel);
+  kernel.net().SetLinkLoss(sites[0], sites[1], 0.4);
+
+  for (int i = 0; i < 40; ++i) {
+    Briefcase bc;
+    bc.SetString("TOKEN", "t" + std::to_string(i));
+    ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  }
+  kernel.sim().Run();
+  EXPECT_LT(sink.total(), 40);       // Losses are final...
+  EXPECT_EQ(sink.duplicates(), 0);   // ...and nothing activates twice.
+  EXPECT_EQ(kernel.stats().retries_sent, 0u);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+}
+
+TEST(ReliableTransportTest, MissingContactNacksToDeadLetter) {
+  Kernel kernel(ReliableOptions());
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+
+  std::vector<std::string> returned_reasons;
+  kernel.place(a)->RegisterAgent("morgue", [&](Place&, Briefcase& bc) {
+    returned_reasons.push_back(bc.GetString("DEADLETTER_REASON").value_or(""));
+    EXPECT_EQ(bc.GetString("DEADLETTER_HOST").value_or(""), "beta");
+    EXPECT_EQ(bc.GetString("DEADLETTER_CONTACT").value_or(""), "nobody");
+    EXPECT_EQ(bc.GetString("PAYLOAD").value_or(""), "precious");
+    return OkStatus();
+  });
+
+  Briefcase bc;
+  bc.SetString("PAYLOAD", "precious");
+  ASSERT_TRUE(kernel
+                  .TransferAgent(a, b, "nobody", bc,
+                                 TransferOptions{.dead_letter = "morgue"})
+                  .ok());
+  kernel.sim().Run();
+
+  ASSERT_EQ(returned_reasons.size(), 1u);
+  EXPECT_NE(returned_reasons[0].find("nobody"), std::string::npos);
+  EXPECT_EQ(kernel.stats().transfers_nacked, 1u);
+  EXPECT_EQ(kernel.stats().dead_letters_delivered, 1u);
+  EXPECT_EQ(kernel.stats().retries_sent, 0u);  // Nack beats the first retry.
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+}
+
+TEST(ReliableTransportTest, AdmissionRejectNacksToDeadLetter) {
+  KernelOptions options = ReliableOptions();
+  options.admission_policy = AdmissionPolicy::kReject;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+
+  int returned = 0;
+  kernel.place(a)->RegisterAgent("morgue", [&](Place&, Briefcase&) {
+    ++returned;
+    return OkStatus();
+  });
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString("exec rm -rf /");  // Fails admission.
+  ASSERT_TRUE(kernel
+                  .TransferAgent(a, b, "ag_tacl", bc,
+                                 TransferOptions{.dead_letter = "morgue"})
+                  .ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(returned, 1);
+  EXPECT_EQ(kernel.stats().transfers_nacked, 1u);
+  EXPECT_EQ(kernel.stats().dead_letters_delivered, 1u);
+}
+
+TEST(ReliableTransportTest, UnreachableDestinationExpiresToDeadLetter) {
+  KernelOptions options = ReliableOptions();
+  options.reliability.max_attempts = 3;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  kernel.net().CutLink(a, b);  // Permanently partitioned.
+
+  int returned = 0;
+  kernel.place(a)->RegisterAgent("morgue", [&](Place&, Briefcase& bc) {
+    ++returned;
+    EXPECT_FALSE(bc.GetString("DEADLETTER_REASON").value_or("").empty());
+    return OkStatus();
+  });
+
+  Briefcase bc;
+  bc.SetString("TOKEN", "doomed");
+  ASSERT_TRUE(kernel
+                  .TransferAgent(a, b, "sink", bc,
+                                 TransferOptions{.dead_letter = "morgue"})
+                  .ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(returned, 1);
+  EXPECT_EQ(kernel.stats().transfers_expired, 1u);
+  EXPECT_EQ(kernel.stats().dead_letters_delivered, 1u);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+}
+
+TEST(ReliableTransportTest, ArrivalMeetFailureCountedPerPlace) {
+  Kernel kernel;  // Default kOff mode: failures are counted, nothing returns.
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+
+  Briefcase bc;
+  ASSERT_TRUE(kernel.TransferAgent(a, b, "nobody", bc).ok());
+  ASSERT_TRUE(kernel.TransferAgent(a, b, "nobody-else", bc).ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(kernel.stats().meets_failed_on_arrival, 2u);
+  EXPECT_EQ(kernel.place(b)->stats().arrival_meet_failures, 2u);
+  EXPECT_EQ(kernel.place(a)->stats().arrival_meet_failures, 0u);
+}
+
+// --- Crash-during-transfer -----------------------------------------------------
+
+class CrashDuringTransferTest : public ::testing::TestWithParam<Reliability> {};
+
+TEST_P(CrashDuringTransferTest, DestinationCrashedInFlight) {
+  KernelOptions options;
+  options.seed = 11;
+  options.reliability.mode = GetParam();
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  SinkCounter sink;
+  sink.Install(&kernel);
+
+  Briefcase bc;
+  bc.SetString("TOKEN", "inflight");
+  ASSERT_TRUE(kernel.TransferAgent(a, b, "sink", bc).ok());
+  // Crash the destination while the frame is still in flight, restart it
+  // after a while.
+  kernel.sim().After(1, [&] { kernel.CrashSite(b); });
+  kernel.sim().After(100 * kMillisecond, [&] { kernel.RestartSite(b); });
+  kernel.sim().Run();
+
+  const auto& s = kernel.stats();
+  if (GetParam() == Reliability::kReliable) {
+    // The retry loop rides out the crash window.
+    EXPECT_EQ(sink.activations["inflight"], 1);
+    EXPECT_EQ(s.transfers_acked, 1u);
+  } else {
+    // Fire-and-forget / at-most-once: the transfer may be lost, never duplicated.
+    EXPECT_LE(sink.activations["inflight"], 1);
+  }
+  EXPECT_EQ(sink.duplicates(), 0);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+  EXPECT_EQ(s.transfers_reliable,
+            s.transfers_acked + s.transfers_nacked + s.transfers_expired +
+                s.transfers_abandoned);
+}
+
+TEST_P(CrashDuringTransferTest, IntermediateHopCrashedInFlight) {
+  KernelOptions options;
+  options.seed = 13;
+  options.reliability.mode = GetParam();
+  Kernel kernel(options);
+  // alpha - relay - omega line: the frame store-and-forwards through relay.
+  auto sites = BuildLine(&kernel.net(), 3);
+  kernel.AdoptNetworkSites();
+  SinkCounter sink;
+  sink.Install(&kernel);
+
+  Briefcase bc;
+  bc.SetString("TOKEN", "via-relay");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[2], "sink", bc).ok());
+  kernel.sim().After(1, [&] { kernel.CrashSite(sites[1]); });
+  kernel.sim().After(150 * kMillisecond, [&] { kernel.RestartSite(sites[1]); });
+  kernel.sim().Run();
+
+  const auto& s = kernel.stats();
+  if (GetParam() == Reliability::kReliable) {
+    EXPECT_EQ(sink.activations["via-relay"], 1);
+  } else {
+    EXPECT_LE(sink.activations["via-relay"], 1);
+  }
+  EXPECT_EQ(sink.duplicates(), 0);
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+  EXPECT_EQ(s.transfers_reliable,
+            s.transfers_acked + s.transfers_nacked + s.transfers_expired +
+                s.transfers_abandoned);
+}
+
+TEST_P(CrashDuringTransferTest, OriginCrashAbandonsPending) {
+  KernelOptions options;
+  options.seed = 17;
+  options.reliability.mode = GetParam();
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  kernel.net().CutLink(a, b);  // Keep the transfer pending at the origin.
+
+  Briefcase bc;
+  bc.SetString("TOKEN", "orphan");
+  (void)kernel.TransferAgent(a, b, "sink", bc);
+  kernel.CrashSite(a);
+  kernel.sim().Run();
+
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+  const auto& s = kernel.stats();
+  if (GetParam() == Reliability::kReliable) {
+    EXPECT_EQ(s.transfers_abandoned, 1u);
+  }
+  EXPECT_EQ(s.transfers_reliable,
+            s.transfers_acked + s.transfers_nacked + s.transfers_expired +
+                s.transfers_abandoned);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, CrashDuringTransferTest,
+                         ::testing::Values(Reliability::kOff,
+                                           Reliability::kAtMostOnce,
+                                           Reliability::kReliable),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Reliability::kOff:
+                               return "Off";
+                             case Reliability::kAtMostOnce:
+                               return "AtMostOnce";
+                             default:
+                               return "Reliable";
+                           }
+                         });
+
+// Shared schedule for the durable-dedup pair below — the nastiest
+// interleaving: the transfer activates, its ACK is lost (loss flipped to 100%
+// between the DATA frame entering the link and the ACK entering it), the
+// receiver crashes and restarts, and only then does a retry arrive.  Returns
+// the final activation count for the one token.
+int RunAckLostThenReceiverCrash(KernelOptions options) {
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  SinkCounter sink;
+  sink.Install(&kernel);
+
+  kernel.sim().After(500, [&] { kernel.net().SetLinkLoss(a, b, 1.0); });
+  Briefcase bc;
+  bc.SetString("TOKEN", "exactly-once-please");
+  EXPECT_TRUE(kernel.TransferAgent(a, b, "sink", bc).ok());
+  kernel.sim().RunUntil(5 * kMillisecond);
+  EXPECT_EQ(sink.activations["exactly-once-please"], 1);  // Activated once...
+  EXPECT_EQ(kernel.pending_transfers(), 1u);              // ...but unacked.
+  kernel.CrashSite(b);
+  kernel.net().SetLinkLoss(a, b, 0.0);
+  kernel.sim().RunUntil(15 * kMillisecond);
+  kernel.RestartSite(b);  // Back up before the first ~30ms retry lands.
+  kernel.sim().Run();
+
+  EXPECT_EQ(kernel.pending_transfers(), 0u);
+  return sink.activations["exactly-once-please"];
+}
+
+TEST(ReliableTransportTest, DurableDedupSurvivesReceiverCrash) {
+  // The journaled dedup window must suppress the post-restart retry.
+  EXPECT_EQ(RunAckLostThenReceiverCrash(ReliableOptions(23)), 1);
+}
+
+TEST(ReliableTransportTest, NonDurableDedupLostOnCrashByDesign) {
+  // Contrast case documenting the weaker guarantee with durable_dedup off:
+  // the in-memory window died with the crash, so the retry re-activates.
+  KernelOptions options = ReliableOptions(23);
+  options.reliability.durable_dedup = false;
+  EXPECT_EQ(RunAckLostThenReceiverCrash(options), 2);
+}
+
+TEST(ReliableTransportTest, RexecHonorsReliableFolder) {
+  // Kernel default MODE is kOff; the briefcase opts in per transfer.  The
+  // retry budget still comes from kernel options — uncap it so heavy loss
+  // cannot expire a transfer.
+  KernelOptions options;
+  options.reliability.max_attempts = 0;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  kernel.net().SetLinkLoss(a, b, 0.6);
+  SinkCounter sink;
+  sink.Install(&kernel);
+
+  for (int i = 0; i < 20; ++i) {
+    Briefcase bc;
+    bc.SetString(kHostFolder, "beta");
+    bc.SetString(kContactFolder, "sink");
+    bc.SetString("RELIABLE", "reliable");
+    bc.SetString("TOKEN", "r" + std::to_string(i));
+    ASSERT_TRUE(kernel.place(a)->Meet("rexec", bc).ok());
+  }
+  kernel.sim().Run();
+
+  EXPECT_EQ(sink.total(), 20);
+  EXPECT_EQ(sink.duplicates(), 0);
+  EXPECT_GT(kernel.stats().retries_sent, 0u);
+}
+
+TEST(ReliableTransportTest, RexecRejectsUnknownReliableMode) {
+  Kernel kernel;
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+
+  Briefcase bc;
+  bc.SetString(kHostFolder, "beta");
+  bc.SetString(kContactFolder, "sink");
+  bc.SetString("RELIABLE", "bogus");
+  Status s = kernel.place(a)->Meet("rexec", bc);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReliableTransportTest, CourierHonorsDeadLetterFolder) {
+  Kernel kernel(ReliableOptions());
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+
+  int returned = 0;
+  kernel.place(a)->RegisterAgent("morgue", [&](Place&, Briefcase& bc) {
+    ++returned;
+    EXPECT_TRUE(bc.Has("DATA"));
+    return OkStatus();
+  });
+
+  Briefcase bc;
+  bc.SetString(kHostFolder, "beta");
+  bc.SetString(kContactFolder, "nobody-home");
+  bc.SetString("FOLDER", "DATA");
+  bc.SetString("DEADLETTER", "morgue");
+  bc.folder("DATA").PushBackString("payload");
+  ASSERT_TRUE(kernel.place(a)->Meet("courier", bc).ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(returned, 1);
+  EXPECT_EQ(kernel.stats().dead_letters_delivered, 1u);
+}
+
+TEST(ReliableTransportTest, CloneHonorsReliableFolder) {
+  // `clone` ships directly (no rexec hop) but must still honor the RELIABLE
+  // briefcase folder.  One agent clones itself across a 60%-lossy link; the
+  // clone (which sees the HOPPED marker) records its arrival.
+  KernelOptions options;
+  options.reliability.max_attempts = 0;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("alpha");
+  SiteId b = kernel.AddSite("beta");
+  kernel.net().AddLink(a, b);
+  kernel.net().SetLinkLoss(a, b, 0.6);
+
+  constexpr char kCloner[] = R"(
+    if {[bc_len HOPPED] > 0} {
+      cab_set t ARRIVED 1
+    } else {
+      bc_set HOPPED 1
+      clone beta
+    }
+  )";
+  Briefcase bc;
+  bc.SetString("RELIABLE", "reliable");
+  ASSERT_TRUE(kernel.LaunchAgent(a, kCloner, bc).ok());
+  kernel.sim().Run();
+
+  EXPECT_TRUE(kernel.place(b)->Cabinet("t").HasFolder("ARRIVED"));
+  EXPECT_EQ(kernel.stats().transfers_acked, 1u);
+}
+
+TEST(ReliableTransportTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Kernel kernel(ReliableOptions(99));
+    auto sites = BuildLine(&kernel.net(), 3);
+    kernel.AdoptNetworkSites();
+    kernel.net().SetLinkLoss(sites[0], sites[1], 0.3);
+    kernel.net().SetLinkLoss(sites[1], sites[2], 0.3);
+    for (int i = 0; i < 30; ++i) {
+      Briefcase bc;
+      bc.SetString("TOKEN", std::to_string(i));
+      (void)kernel.TransferAgent(sites[0], sites[2], "nobody", bc);
+    }
+    kernel.sim().Run();
+    const auto& s = kernel.stats();
+    return std::tuple(s.transfers_sent, s.retries_sent, s.transfers_acked,
+                      s.transfers_nacked, s.transfers_expired,
+                      s.duplicates_suppressed, kernel.sim().Now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tacoma
