@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+#include "core/kernel.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+// Reliable transfers to a contact that does NOT exist at the destination.
+// Every one of them is structurally refused, so every one should end
+// "nacked" and reach the dead-letter contact.  With a lossy link, a lost
+// NACK should be repaired by retry + repeated nack (per the comment in
+// SendControl).  If instead the receiver's dedup window re-ACKs the retry,
+// refused transfers get counted as acked and never dead-lettered.
+TEST(NackLossTest, LostNackStillEndsNacked) {
+  KernelOptions options;
+  options.seed = 7;
+  options.reliability.mode = Reliability::kReliable;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+
+  int dead_letters = 0;
+  kernel.AddPlaceInitializer([&](Place& place) {
+    place.RegisterAgent("morgue", [&](Place&, Briefcase&) {
+      ++dead_letters;
+      return OkStatus();
+    });
+  });
+  kernel.net().SetLinkLoss(sites[0], sites[1], 0.5);
+
+  const int kN = 60;
+  for (int i = 0; i < kN; ++i) {
+    Briefcase bc;
+    bc.SetString("TOKEN", "t" + std::to_string(i));
+    TransferOptions to;
+    to.dead_letter = "morgue";
+    ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "no_such_contact", bc, to).ok());
+  }
+  kernel.sim().Run();
+
+  const auto& s = kernel.stats();
+  // No transfer can ever be dispatched: none should be acked.
+  EXPECT_EQ(s.transfers_acked, 0u)
+      << "refused transfers were acked (lost nack -> dedup re-ack)";
+  EXPECT_EQ(s.transfers_nacked + s.transfers_expired, (uint64_t)kN);
+  EXPECT_EQ(dead_letters, (int)(s.transfers_nacked + s.transfers_expired));
+}
+
+}  // namespace
+}  // namespace tacoma
