@@ -12,6 +12,7 @@
 //   2. Failure-free overhead: what the acks and ids cost when nothing fails.
 //   3. Guard x transport ablation (E8 tie-in): itinerary completion with
 //      rear guards riding fire-and-forget vs reliable transport.
+#include <cstring>
 #include <map>
 
 #include "bench/bench_util.h"
@@ -28,6 +29,7 @@ struct SweepOutcome {
   Kernel::Stats stats;
   NetworkStats net;
   std::vector<SimTime> latencies;  // Send -> first activation, per token.
+  std::string metrics_json;        // Unified registry snapshot at quiesce.
 };
 
 // kTransfers uniquely-tokened transfers across a 3-site line (2 lossy hops),
@@ -75,16 +77,27 @@ SweepOutcome RunSweep(Reliability mode, double loss, uint64_t seed) {
   }
   outcome.stats = kernel.stats();
   outcome.net = kernel.net().stats();
+  outcome.metrics_json = kernel.metrics().JsonSnapshot();
   return outcome;
 }
 
-void DeliverySweep() {
+// Metrics snapshot of the most interesting sweep run (reliable, highest
+// loss), exported for the CI smoke check.
+std::string g_sweep_metrics_json;
+
+void DeliverySweep(bool smoke) {
   bench::Table table({"loss/link", "mode", "delivered", "dup acts", "retries",
                       "mean lat (ms)", "p99 lat (ms)", "bytes/transfer"});
-  for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+  std::vector<double> losses = smoke ? std::vector<double>{0.0, 0.10}
+                                     : std::vector<double>{0.0, 0.05, 0.10,
+                                                           0.20, 0.30};
+  for (double loss : losses) {
     for (Reliability mode :
          {Reliability::kOff, Reliability::kAtMostOnce, Reliability::kReliable}) {
       SweepOutcome out = RunSweep(mode, loss, 42);
+      if (mode == Reliability::kReliable) {
+        g_sweep_metrics_json = out.metrics_json;
+      }
       table.AddRow(
           {bench::Fmt("%.0f%%", loss * 100), ToString(mode),
            bench::Fmt("%d/%d (%.1f%%)", out.unique_activations, out.sent,
@@ -176,8 +189,8 @@ bool RunWalk(bool guarded, Reliability mode, double loss, uint64_t seed) {
   return kernel.place(sites[0])->Cabinet("t").HasFolder("DONE");
 }
 
-void GuardTransportAblation() {
-  constexpr int kTrials = 30;
+void GuardTransportAblation(bool smoke) {
+  const int kTrials = smoke ? 3 : 30;
   constexpr double kLoss = 0.25;
   bench::Table table({"agent", "transport", "completed walks"});
   struct Config {
@@ -208,13 +221,41 @@ void GuardTransportAblation() {
 }  // namespace
 }  // namespace tacoma
 
-int main() {
+// Flags:
+//   --smoke              trimmed sweep for CI (fewer loss rates and trials)
+//   --metrics-out PATH   write the reliable-mode sweep's unified metrics
+//                        registry snapshot as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   tacoma::bench::PrintHeader(
       "E11 — Reliable agent transport: ack/retry/backoff + dedup + dead letters",
       "the kernel, not each agent, should own the retransmission and "
       "duplicate-suppression story for vanished agents (paper S5)");
-  tacoma::DeliverySweep();
+  tacoma::DeliverySweep(smoke);
   tacoma::FailureFreeOverhead();
-  tacoma::GuardTransportAblation();
+  tacoma::GuardTransportAblation(smoke);
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"bench_e11_reliable\",\"smoke\":%s,\"metrics\":%s}\n",
+                 smoke ? "true" : "false",
+                 tacoma::g_sweep_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out);
+  }
   return 0;
 }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace tacoma::bench {
 
 inline void PrintHeader(const std::string& experiment, const std::string& claim) {
@@ -66,27 +68,16 @@ inline std::string Fmt(const char* format, ...) {
   return buf;
 }
 
-// Percentile over a copy (p in [0, 100]).
+// Percentile over a copy (p in [0, 100]).  Thin aliases over the shared
+// statistics helpers in util/metrics.h, kept so bench code reads naturally.
 template <typename T>
 T Percentile(std::vector<T> values, double p) {
-  if (values.empty()) {
-    return T{};
-  }
-  std::sort(values.begin(), values.end());
-  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  return values[static_cast<size_t>(rank + 0.5)];
+  return PercentileOf(std::move(values), p);
 }
 
 template <typename T>
 double Mean(const std::vector<T>& values) {
-  if (values.empty()) {
-    return 0;
-  }
-  double total = 0;
-  for (const T& v : values) {
-    total += static_cast<double>(v);
-  }
-  return total / static_cast<double>(values.size());
+  return MeanOf(values);
 }
 
 }  // namespace tacoma::bench

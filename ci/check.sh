@@ -35,4 +35,25 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   run_stage tsan -DTACOMA_SANITIZE=thread
 fi
 
+# Observability smoke: one bench in smoke mode must emit a metrics snapshot
+# containing every key in ci/metrics_golden_keys.txt (grep-only validation, no
+# jq/python dependency).
+echo "=== [metrics-smoke] bench_e11_reliable --smoke ==="
+METRICS_JSON="build-ci/plain/e11_metrics.json"
+./build-ci/plain/bench/bench_e11_reliable --smoke --metrics-out "${METRICS_JSON}" \
+  > /dev/null
+MISSING=0
+while IFS= read -r key; do
+  [[ -z "${key}" || "${key}" == \#* ]] && continue
+  if ! grep -q "\"${key}\"" "${METRICS_JSON}"; then
+    echo "metrics snapshot missing key: ${key}"
+    MISSING=1
+  fi
+done < ci/metrics_golden_keys.txt
+if [[ "${MISSING}" != "0" ]]; then
+  echo "=== [metrics-smoke] FAILED: ${METRICS_JSON} does not match golden keys ==="
+  exit 1
+fi
+echo "=== [metrics-smoke] ok ==="
+
 echo "=== all checks passed ==="

@@ -68,5 +68,19 @@ int main() {
     std::printf(" %s", r.c_str());
   }
   std::printf("\n");
+
+  // tacoma_top, one shot: observability is an agent too (§2).  Meet the
+  // resident `probe` agent and read the kernel's unified metrics and the
+  // agent's journey back out of the briefcase.
+  Briefcase top;
+  top.SetString("WHAT", "all");
+  if (kernel.place(office)->Meet("probe", top).ok()) {
+    std::printf("\n--- tacoma_top (via the probe agent at %s, t=%s us) ---\n",
+                top.GetString("PROBE_SITE").value_or("?").c_str(),
+                top.GetString("PROBE_TIME_US").value_or("?").c_str());
+    std::printf("%s", top.GetString("METRICS_TEXT").value_or("").c_str());
+    std::printf("--- journey (from the TRACE folder the agent carried) ---\n%s",
+                kernel.trace().Summary().c_str());
+  }
   return collected.size() == 4 ? 0 : 1;  // 31, 45, 27, 38 exceed 25.
 }

@@ -47,6 +47,21 @@ class Shell {
                   (unsigned long long)kernel_->sim().Now());
       return true;
     }
+    if (line == "stats") {
+      // The unified registry: kernel, network, place, and service metrics.
+      std::printf("%s", kernel_->metrics().TextSnapshot().c_str());
+      return true;
+    }
+    if (line == "trace") {
+      // Journey summary per trace id; `trace json` dumps Chrome-trace JSON
+      // (paste into chrome://tracing or Perfetto).
+      std::printf("%s", kernel_->trace().Summary().c_str());
+      return true;
+    }
+    if (line == "trace json") {
+      std::printf("%s\n", kernel_->trace().ChromeTraceJson().c_str());
+      return true;
+    }
     // Evaluate in a persistent briefcase: wrap via ag_tacl semantics by hand.
     Status status = kernel_->place(site_)->RunAgentCode(line, briefcase_, "shell");
     if (!status.ok()) {
@@ -75,6 +90,8 @@ int RunDemo(Kernel* kernel, Shell* shell) {
       "meet rexec",
       "run",
       "log \"traveller delivered; wire carried [expr {[now_us] / 1000}] ms of traffic\"",
+      "trace",
+      "stats",
   };
   for (const char* line : script) {
     std::printf("tacoma> %s\n", line);
@@ -104,7 +121,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("TACOMA shell at site \"%s\" (4-site ring).  Commands are TACL;\n"
-              "extras: `run` drains the simulator, `exit` leaves.\n",
+              "extras: `run` drains the simulator, `stats` prints the metrics\n"
+              "snapshot, `trace` summarizes agent journeys (`trace json` for\n"
+              "Chrome-trace output), `exit` leaves.\n",
               kernel.net().site_name(ids[0]).c_str());
   std::string line;
   for (;;) {

@@ -16,6 +16,8 @@ Marketplace::Marketplace(Kernel* kernel, SignatureAuthority* authority, Mint* mi
   authority_->Enroll(config_.customer_principal);
   authority_->Enroll(config_.provider_principal);
   authority_->Enroll(kMintPrincipal);
+  mint_->RegisterMetrics(&kernel_->metrics());
+  notary_->RegisterMetrics(&kernel_->metrics());
   InstallAgents();
 }
 

@@ -83,6 +83,14 @@ bool Mint::IsValid(const Ecu& ecu) const {
   return it != valid_.end() && it->second == ecu.amount;
 }
 
+void Mint::RegisterMetrics(MetricsRegistry* registry, const std::string& prefix) {
+  registry->AddProbe(prefix + "issued", [this] { return stats_.issued; });
+  registry->AddProbe(prefix + "validated", [this] { return stats_.validated; });
+  registry->AddProbe(prefix + "rejected", [this] { return stats_.rejected; });
+  registry->AddProbe(prefix + "retired", [this] { return stats_.retired; });
+  registry->AddProbe(prefix + "outstanding", [this] { return outstanding_; });
+}
+
 void InstallMintAgent(Kernel* kernel, uint32_t site, Mint* mint,
                       SignatureAuthority* authority) {
   kernel->AddPlaceInitializer([site, mint, authority](Place& place) {

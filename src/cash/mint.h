@@ -24,6 +24,7 @@
 #include "cash/ecu.h"
 #include "crypto/authority.h"
 #include "crypto/hmac.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace tacoma {
@@ -62,6 +63,11 @@ class Mint {
   // Total value of valid outstanding ECUs (conservation invariant).
   uint64_t Outstanding() const { return outstanding_; }
   const Stats& stats() const { return stats_; }
+
+  // Registers pull-style probes over the stats (mint.issued, ...).  The mint
+  // must outlive every snapshot call on the registry.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "mint.");
 
  private:
   Bytes FreshSerial();

@@ -22,6 +22,12 @@ std::vector<Receipt> Notary::Lookup(const std::string& exchange_id) const {
   return it->second;
 }
 
+void Notary::RegisterMetrics(MetricsRegistry* registry,
+                             const std::string& prefix) {
+  registry->AddProbe(prefix + "filed", [this] { return stats_.filed; });
+  registry->AddProbe(prefix + "rejected", [this] { return stats_.rejected; });
+}
+
 void InstallNotaryAgent(Kernel* kernel, uint32_t site, Notary* notary) {
   kernel->AddPlaceInitializer([site, notary](Place& place) {
     if (place.site() != site) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cash/receipts.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace tacoma {
@@ -35,6 +36,11 @@ class Notary {
   std::vector<Receipt> Lookup(const std::string& exchange_id) const;
 
   const Stats& stats() const { return stats_; }
+
+  // Registers pull-style probes over the stats (notary.filed, ...).  The
+  // notary must outlive every snapshot call on the registry.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "notary.");
 
  private:
   const SignatureAuthority* authority_;

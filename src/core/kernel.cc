@@ -67,8 +67,12 @@ Result<TransferOptions> TransferOptionsFromBriefcase(const Briefcase& bc) {
 }
 
 Kernel::Kernel(KernelOptions options)
-    : options_(options), net_(&sim_), rng_(options.seed) {
+    : options_(options),
+      net_(&sim_),
+      rng_(options.seed),
+      trace_(options.trace_capacity) {
   net_.set_loss_seed(rng_.Next());
+  RegisterKernelMetrics();
   // Keep every place's site-local SITES folder (§2) in sync with topology.
   net_.SetTopologyHook([this](SiteId a, SiteId b) {
     for (SiteId site : {a, b}) {
@@ -80,6 +84,104 @@ Kernel::Kernel(KernelOptions options)
 }
 
 Kernel::~Kernel() = default;
+
+void Kernel::RegisterKernelMetrics() {
+  // The kernel's own transfer accounting, re-registered as pull-style probes
+  // (the Stats struct stays the in-process API; the registry is the export).
+  metrics_.AddProbe("kernel.transfers_sent", [this] { return stats_.transfers_sent; });
+  metrics_.AddProbe("kernel.transfers_delivered",
+                    [this] { return stats_.transfers_delivered; });
+  metrics_.AddProbe("kernel.transfers_rejected",
+                    [this] { return stats_.transfers_rejected; });
+  metrics_.AddProbe("kernel.meets_failed_on_arrival",
+                    [this] { return stats_.meets_failed_on_arrival; });
+  metrics_.AddProbe("kernel.transfers_reliable",
+                    [this] { return stats_.transfers_reliable; });
+  metrics_.AddProbe("kernel.transfers_acked", [this] { return stats_.transfers_acked; });
+  metrics_.AddProbe("kernel.transfers_nacked",
+                    [this] { return stats_.transfers_nacked; });
+  metrics_.AddProbe("kernel.transfers_expired",
+                    [this] { return stats_.transfers_expired; });
+  metrics_.AddProbe("kernel.transfers_abandoned",
+                    [this] { return stats_.transfers_abandoned; });
+  metrics_.AddProbe("kernel.retries_sent", [this] { return stats_.retries_sent; });
+  metrics_.AddProbe("kernel.duplicates_suppressed",
+                    [this] { return stats_.duplicates_suppressed; });
+  metrics_.AddProbe("kernel.acks_sent", [this] { return stats_.acks_sent; });
+  metrics_.AddProbe("kernel.nacks_sent", [this] { return stats_.nacks_sent; });
+  metrics_.AddProbe("kernel.dead_letters_delivered",
+                    [this] { return stats_.dead_letters_delivered; });
+  metrics_.AddProbe("kernel.dead_letters_dropped",
+                    [this] { return stats_.dead_letters_dropped; });
+  metrics_.AddProbe("kernel.pending_transfers",
+                    [this] { return static_cast<uint64_t>(pending_.size()); });
+
+  // Network accounting.
+  metrics_.AddProbe("net.messages_sent", [this] { return net_.stats().messages_sent; });
+  metrics_.AddProbe("net.messages_delivered",
+                    [this] { return net_.stats().messages_delivered; });
+  metrics_.AddProbe("net.messages_dropped",
+                    [this] { return net_.stats().messages_dropped; });
+  metrics_.AddProbe("net.messages_lost", [this] { return net_.stats().messages_lost; });
+  metrics_.AddProbe("net.link_traversals",
+                    [this] { return net_.stats().link_traversals; });
+  metrics_.AddProbe("net.bytes_on_wire", [this] { return net_.stats().bytes_on_wire; });
+
+  // Per-place stats summed over live places (a crashed place's counters die
+  // with it, like every other volatile state at the site).
+  auto sum_places = [this](uint64_t Place::Stats::* field) {
+    uint64_t total = 0;
+    for (const auto& place : places_) {
+      if (place != nullptr) {
+        total += place->stats().*field;
+      }
+    }
+    return total;
+  };
+  metrics_.AddProbe("place.meets",
+                    [sum_places] { return sum_places(&Place::Stats::meets); });
+  metrics_.AddProbe("place.failed_meets",
+                    [sum_places] { return sum_places(&Place::Stats::failed_meets); });
+  metrics_.AddProbe("place.activations",
+                    [sum_places] { return sum_places(&Place::Stats::activations); });
+  metrics_.AddProbe("place.failed_activations", [sum_places] {
+    return sum_places(&Place::Stats::failed_activations);
+  });
+  metrics_.AddProbe("place.rejected_agents",
+                    [sum_places] { return sum_places(&Place::Stats::rejected_agents); });
+  metrics_.AddProbe("place.interp_steps",
+                    [sum_places] { return sum_places(&Place::Stats::interp_steps); });
+  metrics_.AddProbe("place.arrival_meet_failures", [sum_places] {
+    return sum_places(&Place::Stats::arrival_meet_failures);
+  });
+
+  // The trace buffer's own health.
+  metrics_.AddProbe("trace.events_recorded", [this] { return trace_.recorded(); });
+  metrics_.AddProbe("trace.events_dropped", [this] { return trace_.dropped(); });
+
+  // Sim-time distributions.
+  ack_rtt_us_ = &metrics_.AddHistogram("kernel.transfer_ack_rtt_us",
+                                       SimTimeBucketsUs());
+  delivery_us_ = &metrics_.AddHistogram("kernel.transfer_delivery_us",
+                                        SimTimeBucketsUs());
+}
+
+void Kernel::TraceTransferEvent(const PendingTransfer& transfer, const char* name,
+                                const std::string& detail) {
+  if (!options_.trace_enabled) {
+    return;
+  }
+  TraceEvent ev;
+  ev.trace_id = transfer.trace.trace_id;
+  ev.span_id = transfer.trace.span_id;
+  ev.hop = transfer.trace.hop;
+  ev.name = name;
+  ev.site = net_.site_name(transfer.from);
+  ev.site_id = transfer.from;
+  ev.ts = sim_.Now();
+  ev.detail = detail;
+  trace_.Record(std::move(ev));
+}
 
 SiteId Kernel::AddSite(const std::string& name) {
   SiteId id = net_.AddSite(name);
@@ -219,6 +321,8 @@ void Kernel::RetryTick(uint64_t id) {
   bool past_deadline = r.deadline > 0 && sim_.Now() >= t.first_sent + r.deadline;
   if (out_of_attempts || past_deadline) {
     ++stats_.transfers_expired;
+    TraceTransferEvent(t, "transfer.expire",
+                       out_of_attempts ? "retry attempts exhausted" : "deadline passed");
     DeadLetter(t, out_of_attempts ? "retry attempts exhausted" : "deadline passed");
     pending_.erase(it);
     return;
@@ -230,6 +334,7 @@ void Kernel::RetryTick(uint64_t id) {
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++stats_.retries_sent;
+    TraceTransferEvent(t, "transfer.retry", "attempt " + std::to_string(t.attempts));
   }
   t.backoff = std::min(
       r.retry_max, static_cast<SimTime>(static_cast<double>(t.backoff) *
@@ -251,6 +356,7 @@ void Kernel::DeadLetter(const PendingTransfer& transfer, const std::string& reas
   briefcase.SetString("DEADLETTER_REASON", reason);
   briefcase.SetString("DEADLETTER_HOST", net_.site_name(transfer.to));
   briefcase.SetString("DEADLETTER_CONTACT", transfer.contact);
+  TraceTransferEvent(transfer, "transfer.deadletter", reason);
   Status met = origin->Meet(transfer.dead_letter, briefcase);
   if (met.ok()) {
     ++stats_.dead_letters_delivered;
@@ -262,10 +368,22 @@ void Kernel::DeadLetter(const PendingTransfer& transfer, const std::string& reas
   }
 }
 
-bool Kernel::SeenOrRecord(SiteId to, SiteId from, uint64_t id) {
+bool Kernel::Seen(SiteId to, SiteId from, uint64_t id) const {
+  auto site_it = dedup_.find(to);
+  if (site_it == dedup_.end()) {
+    return false;
+  }
+  auto peer_it = site_it->second.find(from);
+  if (peer_it == site_it->second.end()) {
+    return false;
+  }
+  return peer_it->second.seen.contains(id);
+}
+
+void Kernel::RecordSeen(SiteId to, SiteId from, uint64_t id) {
   DedupWindow& window = dedup_[to][from];
   if (window.seen.contains(id)) {
-    return true;
+    return;
   }
   window.seen.insert(id);
   window.order.push_back(id);
@@ -277,7 +395,6 @@ bool Kernel::SeenOrRecord(SiteId to, SiteId from, uint64_t id) {
   if (options_.reliability.durable_dedup) {
     AppendDedupJournal(to, from, id);
   }
-  return false;
 }
 
 void Kernel::AppendDedupJournal(SiteId to, SiteId from, uint64_t id) {
@@ -346,12 +463,42 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
     flags = kFlagDedup | kFlagWantAck;
   }
 
+  // Journey tracing: this transfer is one hop (one span).  The briefcase's
+  // existing TRACE folder is the parent context from the hop that brought the
+  // sending agent here (rexec chains, diffusion/courier fan-out, rearguard
+  // relaunches all inherit it by copying the briefcase); without one this
+  // send starts a fresh trace.
+  TraceContext span;
+  const Briefcase* to_ship = &bc;
+  Briefcase stamped;
+  if (options_.trace_enabled) {
+    auto parent = TraceContext::FromBriefcase(bc);
+    span.trace_id = parent.has_value() ? parent->trace_id : ++next_trace_id_;
+    span.span_id = ++next_span_id_;
+    span.hop = parent.has_value() ? parent->hop + 1 : 1;
+    span.sent_ts = sim_.Now();
+    stamped = bc;
+    span.Stamp(&stamped);
+    to_ship = &stamped;
+    TraceEvent ev;
+    ev.trace_id = span.trace_id;
+    ev.span_id = span.span_id;
+    ev.parent_span_id = parent.has_value() ? parent->span_id : 0;
+    ev.hop = span.hop;
+    ev.name = "transfer.send";
+    ev.site = net_.site_name(from);
+    ev.site_id = from;
+    ev.ts = sim_.Now();
+    ev.detail = contact + "@" + net_.site_name(to) + " " + ToString(mode);
+    trace_.Record(std::move(ev));
+  }
+
   Encoder enc;
   enc.PutU8(kFrameData);
   enc.PutU64(id);
   enc.PutU8(flags);
   enc.PutString(contact);
-  bc.Encode(&enc);
+  to_ship->Encode(&enc);
   Bytes frame = enc.Take();
 
   Status sent = net_.Send(from, to, frame);
@@ -377,9 +524,10 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   t.contact = contact;
   t.dead_letter = transfer_options.dead_letter;
   t.frame = std::move(frame);
-  t.briefcase = bc.Serialize();
+  t.briefcase = to_ship->Serialize();
   t.attempts = 1;
   t.first_sent = sim_.Now();
+  t.trace = span;
   t.backoff = options_.reliability.retry_initial;
   pending_.emplace(id, std::move(t));
   ScheduleRetry(id, Jittered(options_.reliability.retry_initial));
@@ -454,21 +602,50 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     return;
   }
   bool want_ack = (flags & kFlagWantAck) != 0;
-  if ((flags & kFlagDedup) != 0 && SeenOrRecord(to, from, id)) {
+  std::optional<TraceContext> span;
+  if (options_.trace_enabled) {
+    span = TraceContext::FromBriefcase(*bc);
+  }
+  auto record_arrival = [&](const char* name, const std::string& detail) {
+    if (!span.has_value()) {
+      return;
+    }
+    TraceEvent ev;
+    ev.trace_id = span->trace_id;
+    ev.span_id = span->span_id;
+    ev.hop = span->hop;
+    ev.name = name;
+    ev.site = destination->name();
+    ev.site_id = to;
+    ev.ts = sim_.Now();
+    ev.detail = detail;
+    trace_.Record(std::move(ev));
+  };
+  bool dedup = (flags & kFlagDedup) != 0;
+  if (dedup && Seen(to, from, id)) {
     // Retransmission of a transfer that already activated (its ack was
     // lost).  Suppress the duplicate but re-ack so the sender stops.
     ++stats_.duplicates_suppressed;
+    record_arrival("transfer.dup", "duplicate suppressed");
     if (want_ack) {
       SendControl(kFrameAck, to, from, id, "");
     }
     return;
   }
   ++stats_.transfers_delivered;
+  if (span.has_value() && sim_.Now() >= span->sent_ts) {
+    delivery_us_->Observe(sim_.Now() - span->sent_ts);
+  }
   Briefcase briefcase = std::move(bc).value();
   // Record provenance for agents that care where they came from.
   briefcase.SetString("FROM", net_.site_name(from));
+  // Dispatch is recorded before the meet runs so the buffer stays in causal
+  // order: a child transfer.send from inside the meet follows its parent's
+  // meet.dispatch.
+  record_arrival("meet.dispatch", contact);
   Status met = destination->Meet(contact, briefcase);
   if (!met.ok()) {
+    record_arrival("meet.fail", met.ToString());
     ++stats_.meets_failed_on_arrival;
     destination->RecordArrivalMeetFailure();
     TLOG_WARN << "site " << destination->name() << ": arrival meet with \"" << contact
@@ -481,9 +658,15 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
                       met.code() == StatusCode::kPermissionDenied ||
                       met.code() == StatusCode::kInvalidArgument;
     if (want_ack && structural) {
+      // Deliberately NOT recorded as seen: if this nack is lost, the sender's
+      // retransmission must be re-processed and re-nacked, not re-acked as a
+      // duplicate of a successful activation.
       SendControl(kFrameNack, to, from, id, met.ToString());
       return;
     }
+  }
+  if (dedup) {
+    RecordSeen(to, from, id);
   }
   if (want_ack) {
     SendControl(kFrameAck, to, from, id, "");
@@ -500,6 +683,9 @@ void Kernel::HandleAck(SiteId to, Decoder* dec) {
     return;  // Duplicate ack, or the origin crashed and abandoned the entry.
   }
   ++stats_.transfers_acked;
+  ack_rtt_us_->Observe(sim_.Now() - it->second.first_sent);
+  TraceTransferEvent(it->second, "transfer.ack",
+                     "rtt " + std::to_string(sim_.Now() - it->second.first_sent) + "us");
   pending_.erase(it);
 }
 
@@ -514,6 +700,7 @@ void Kernel::HandleNack(SiteId to, Decoder* dec) {
     return;
   }
   ++stats_.transfers_nacked;
+  TraceTransferEvent(it->second, "transfer.nack", reason);
   DeadLetter(it->second, reason);
   pending_.erase(it);
 }
@@ -525,6 +712,26 @@ Status Kernel::LaunchAgent(SiteId site, const std::string& code, Briefcase bc) {
   }
   bc.folder(kCodeFolder).Clear();
   bc.folder(kCodeFolder).PushBackString(code);
+  // A launch is a journey's hop zero: give the activation a trace id so every
+  // transfer it makes chains under one trace.  (A briefcase that already
+  // carries TRACE — e.g. a rearguard relaunch — keeps its journey.)
+  if (options_.trace_enabled && !TraceContext::FromBriefcase(bc).has_value()) {
+    TraceContext root;
+    root.trace_id = ++next_trace_id_;
+    root.span_id = ++next_span_id_;
+    root.hop = 0;
+    root.sent_ts = sim_.Now();
+    root.Stamp(&bc);
+    TraceEvent ev;
+    ev.trace_id = root.trace_id;
+    ev.span_id = root.span_id;
+    ev.name = "agent.launch";
+    ev.site = destination->name();
+    ev.site_id = site;
+    ev.ts = sim_.Now();
+    ev.detail = bc.GetString("AGENT").value_or("agent");
+    trace_.Record(std::move(ev));
+  }
   return destination->Meet("ag_tacl", bc);
 }
 

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "core/place.h"
+#include "core/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "storage/disk.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace tacoma {
@@ -81,6 +83,11 @@ struct KernelOptions {
   AdmissionPolicy admission_policy = AdmissionPolicy::kWarn;
   // Default delivery discipline for every TransferAgent call.
   ReliabilityOptions reliability;
+  // Journey tracing: stamp a TRACE folder on every launch and transfer and
+  // record span events into the kernel's TraceBuffer (see core/trace.h).
+  bool trace_enabled = true;
+  // Bounded trace buffer size; oldest events are evicted when full.
+  size_t trace_capacity = 8192;
 };
 
 // Per-transfer overrides for TransferAgent.
@@ -186,6 +193,19 @@ class Kernel {
   const KernelOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 
+  // --- Observability ----------------------------------------------------------
+
+  // The per-kernel journey trace (see core/trace.h); the `probe` system agent
+  // and the shell's `trace` command read from here.
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  // The unified registry.  The kernel pre-registers probes over its own
+  // Stats, the network stats, the aggregated per-place stats, and the trace
+  // buffer; services (mail, rearguard, brokers, ...) add theirs on Install.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   // Sender-side record of an unacked reliable transfer.  Lives "at" the
   // origin site: CrashSite(from) abandons it.
@@ -199,6 +219,7 @@ class Kernel {
     int attempts = 0;   // Transmissions so far (accepted or not).
     SimTime first_sent = 0;
     SimTime backoff = 0;  // Wait before the next retransmission.
+    TraceContext trace;   // Span of this transfer (zeroed when tracing is off).
   };
   // Receiver-side per-sender window of recently activated transfer ids.
   struct DedupWindow {
@@ -218,14 +239,21 @@ class Kernel {
   SimTime Jittered(SimTime base);
   // Returns the briefcase of a failed transfer to its dead-letter contact.
   void DeadLetter(const PendingTransfer& transfer, const std::string& reason);
-  // True if (from, id) was already activated at `to`; records it otherwise.
-  bool SeenOrRecord(SiteId to, SiteId from, uint64_t id);
+  // True if (from, id) was already activated (and acked) at `to`.
+  bool Seen(SiteId to, SiteId from, uint64_t id) const;
+  // Records (from, id) so later retransmissions are suppressed as duplicates.
+  void RecordSeen(SiteId to, SiteId from, uint64_t id);
   void AppendDedupJournal(SiteId to, SiteId from, uint64_t id);
   void LoadDedupJournal(SiteId site);
-  // Installs ag_tacl, rexec, courier, diffusion (system_agents.cc).
+  // Installs ag_tacl, rexec, courier, diffusion, probe (system_agents.cc).
   void InstallSystemAgents(Place& place);
   // Populates the site-local SITES folder with this site's neighbours.
   void PopulateSitesFolder(Place& place);
+  // Registers the kernel/network/place/trace probes with metrics_.
+  void RegisterKernelMetrics();
+  // Records a span event for a pending reliable transfer (no-op untraced).
+  void TraceTransferEvent(const PendingTransfer& transfer, const char* name,
+                          const std::string& detail);
 
   KernelOptions options_;
   Simulator sim_;
@@ -235,9 +263,15 @@ class Kernel {
   std::vector<std::unique_ptr<MemDisk>> disks_;   // Indexed by SiteId; survives crashes.
   std::vector<std::function<void(Place&)>> place_initializers_;
   uint64_t next_transfer_id_ = 0;
+  uint64_t next_trace_id_ = 0;
+  uint64_t next_span_id_ = 0;
   std::map<uint64_t, PendingTransfer> pending_;
   std::map<SiteId, std::map<SiteId, DedupWindow>> dedup_;  // Keyed receiver, sender.
   Stats stats_;
+  TraceBuffer trace_;
+  MetricsRegistry metrics_;
+  Histogram* ack_rtt_us_ = nullptr;       // kernel.transfer_ack_rtt_us.
+  Histogram* delivery_us_ = nullptr;      // kernel.transfer_delivery_us.
 };
 
 }  // namespace tacoma

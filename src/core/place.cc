@@ -1,6 +1,7 @@
 #include "core/place.h"
 
 #include "core/kernel.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace tacoma {
@@ -160,6 +161,24 @@ tacl::AnalysisReport Place::AnalyzeAgentCode(const std::string& code) {
 Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
                            const std::string& agent_id) {
   ++stats_.activations;
+
+  // Journey tracing: an activation whose briefcase carries trace context is
+  // one more event on that journey's current span (the hop that brought the
+  // agent here, or its launch).
+  if (kernel_->options().trace_enabled) {
+    if (auto ctx = TraceContext::FromBriefcase(bc)) {
+      TraceEvent ev;
+      ev.trace_id = ctx->trace_id;
+      ev.span_id = ctx->span_id;
+      ev.hop = ctx->hop;
+      ev.name = "agent.activate";
+      ev.site = name_;
+      ev.site_id = site_;
+      ev.ts = kernel_->sim().Now();
+      ev.detail = agent_id;
+      kernel_->trace().Record(std::move(ev));
+    }
+  }
 
   Activation activation;
   activation.place = this;

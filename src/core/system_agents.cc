@@ -85,6 +85,11 @@ Status Courier(Place& place, Briefcase& bc) {
   Briefcase shipped;
   shipped.folder(*folder_name) = *payload;
   shipped.SetString("FOLDER", *folder_name);
+  // The courier's delivery is one more hop of the sending agent's journey:
+  // carry the trace context into the fresh briefcase.
+  if (const Folder* trace = bc.Find(kTraceFolder)) {
+    shipped.folder(kTraceFolder) = *trace;
+  }
   return kernel->TransferAgent(place.site(), *destination, *contact, shipped,
                                *transfer_options);
 }
@@ -192,6 +197,32 @@ Status Relay(Place& place, Briefcase& bc) {
   return kernel->TransferAgent(place.site(), *destination, *reply_contact, reply);
 }
 
+// probe: observability as an agent, per the paper's §2 dictum that all
+// services are agents.  Meet it (locally, or remotely via rexec/relay) and it
+// serializes the kernel's metrics and trace state into the briefcase:
+//   WHAT           "metrics" (default), "trace", or "all"
+//   METRICS_JSON   unified registry snapshot (JSON)
+//   METRICS_TEXT   the same snapshot, one "name value" line per metric
+//   TRACE_JSON     the trace buffer as Chrome-trace JSON
+//   PROBE_SITE / PROBE_TIME_US   where and when the reading was taken
+Status Probe(Place& place, Briefcase& bc) {
+  std::string what = bc.GetString("WHAT").value_or("metrics");
+  if (what != "metrics" && what != "trace" && what != "all") {
+    return InvalidArgumentError("probe: WHAT must be metrics, trace, or all");
+  }
+  Kernel* kernel = place.kernel();
+  if (what == "metrics" || what == "all") {
+    bc.SetString("METRICS_JSON", kernel->metrics().JsonSnapshot());
+    bc.SetString("METRICS_TEXT", kernel->metrics().TextSnapshot());
+  }
+  if (what == "trace" || what == "all") {
+    bc.SetString("TRACE_JSON", kernel->trace().ChromeTraceJson());
+  }
+  bc.SetString("PROBE_SITE", place.name());
+  bc.SetString("PROBE_TIME_US", std::to_string(kernel->sim().Now()));
+  return OkStatus();
+}
+
 }  // namespace
 
 void Kernel::InstallSystemAgents(Place& place) {
@@ -200,6 +231,7 @@ void Kernel::InstallSystemAgents(Place& place) {
   place.RegisterAgent("courier", Courier);
   place.RegisterAgent("diffusion", Diffusion);
   place.RegisterAgent("relay", Relay);
+  place.RegisterAgent("probe", Probe);
 }
 
 }  // namespace tacoma

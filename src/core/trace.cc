@@ -1,0 +1,157 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/briefcase.h"
+
+namespace tacoma {
+
+namespace {
+
+// Minimal JSON string escaper for event details (site names and contacts are
+// plain identifiers, but status messages can quote arbitrary agent input).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceContext::Encoded() const {
+  return std::to_string(trace_id) + ':' + std::to_string(span_id) + ':' +
+         std::to_string(hop) + ':' + std::to_string(sent_ts);
+}
+
+std::optional<TraceContext> TraceContext::Decode(const std::string& encoded) {
+  TraceContext ctx;
+  const char* p = encoded.c_str();
+  char* end = nullptr;
+  ctx.trace_id = std::strtoull(p, &end, 10);
+  if (end == p || *end != ':') {
+    return std::nullopt;
+  }
+  p = end + 1;
+  ctx.span_id = std::strtoull(p, &end, 10);
+  if (end == p || *end != ':') {
+    return std::nullopt;
+  }
+  p = end + 1;
+  ctx.hop = static_cast<uint32_t>(std::strtoul(p, &end, 10));
+  if (end == p || *end != ':') {
+    return std::nullopt;
+  }
+  p = end + 1;
+  ctx.sent_ts = std::strtoull(p, &end, 10);
+  if (end == p || *end != '\0') {
+    return std::nullopt;
+  }
+  return ctx;
+}
+
+std::optional<TraceContext> TraceContext::FromBriefcase(const Briefcase& bc) {
+  auto encoded = bc.GetString(kTraceFolder);
+  if (!encoded.has_value()) {
+    return std::nullopt;
+  }
+  return Decode(*encoded);
+}
+
+void TraceContext::Stamp(Briefcase* bc) const {
+  bc->SetString(kTraceFolder, Encoded());
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::Record(TraceEvent event) {
+  ++recorded_;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::ForTrace(uint64_t trace_id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.trace_id == trace_id) {
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::string TraceBuffer::ChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(ev.name) + "\",\"cat\":\"tacoma\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(ev.ts);
+    out += ",\"dur\":" + std::to_string(ev.dur);
+    out += ",\"pid\":" + std::to_string(ev.trace_id);
+    out += ",\"tid\":" + std::to_string(ev.site_id);
+    out += ",\"args\":{\"span\":" + std::to_string(ev.span_id) +
+           ",\"parent\":" + std::to_string(ev.parent_span_id) +
+           ",\"hop\":" + std::to_string(ev.hop) + ",\"site\":\"" +
+           JsonEscape(ev.site) + "\",\"detail\":\"" + JsonEscape(ev.detail) + "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceBuffer::Summary() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "t=%llu us trace=%llu span=%llu parent=%llu hop=%u ",
+                  (unsigned long long)ev.ts, (unsigned long long)ev.trace_id,
+                  (unsigned long long)ev.span_id,
+                  (unsigned long long)ev.parent_span_id, ev.hop);
+    out += head;
+    out += ev.name + " @" + ev.site;
+    if (!ev.detail.empty()) {
+      out += " (" + ev.detail + ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,96 @@
+// Agent journey tracing.
+//
+// The paper's whole point is that computation *moves* — briefcases hop
+// between places via rexec/courier/diffusion — so observability has to
+// follow the journey, not any one site.  Every journey gets a trace id; each
+// transfer (hop) gets a span id; both travel with the agent in a reserved
+// TRACE briefcase folder, exactly like the paper carries HOST/CONTACT.  The
+// kernel stamps span events at transfer send/retry/ack, arrival meet
+// dispatch, activation, and clone fan-out into one bounded per-kernel
+// TraceBuffer, and exports the buffer as Chrome-trace JSON
+// (chrome://tracing, Perfetto) so a multi-hop journey renders as a timeline.
+//
+// All timestamps are simulator time: for a fixed seed, two runs produce an
+// identical span sequence with identical timestamps.
+#ifndef TACOMA_CORE_TRACE_H_
+#define TACOMA_CORE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tacoma {
+
+class Briefcase;
+
+// The reserved folder carrying trace context with a travelling agent.
+inline constexpr char kTraceFolder[] = "TRACE";
+
+// What the TRACE folder holds: one string "<trace>:<span>:<hop>:<sent_us>".
+// `span_id` is the span of the transfer (or launch) that carried the
+// briefcase here; a child transfer's parent.  `sent_ts` is the sim time the
+// carrying transfer was sent, so the receiver can compute per-hop latency
+// (every site shares the simulator clock).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint32_t hop = 0;
+  SimTime sent_ts = 0;
+
+  std::string Encoded() const;
+  static std::optional<TraceContext> Decode(const std::string& encoded);
+  static std::optional<TraceContext> FromBriefcase(const Briefcase& bc);
+  // Writes this context into bc's TRACE folder (overwrites).
+  void Stamp(Briefcase* bc) const;
+};
+
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root (no carrying transfer).
+  uint32_t hop = 0;
+  std::string name;  // "transfer.send", "meet.dispatch", "agent.activate", ...
+  std::string site;
+  SiteId site_id = 0;
+  SimTime ts = 0;
+  SimTime dur = 0;      // 0 for instants.
+  std::string detail;   // Contact, mode, status — free text.
+};
+
+// Bounded in-memory event buffer.  When full the oldest events are evicted
+// (recent history wins) and counted as dropped.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 8192);
+
+  void Record(TraceEvent event);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent> ForTrace(uint64_t trace_id) const;
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  // Chrome trace format ({"traceEvents":[...]}): one "X" event per span
+  // event, pid = trace id, tid = site id, ts/dur in microseconds.  Load in
+  // chrome://tracing or Perfetto to see the journey as a timeline.
+  std::string ChromeTraceJson() const;
+  // Human-readable one-event-per-line dump (the shell's `trace` command).
+  std::string Summary() const;
+
+ private:
+  size_t capacity_;
+  std::deque<TraceEvent> events_;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_TRACE_H_

@@ -1,5 +1,6 @@
 #include "ft/rearguard.h"
 
+#include "core/trace.h"
 #include "tacl/list.h"
 #include "util/log.h"
 
@@ -59,6 +60,18 @@ size_t RearGuard::TotalGuards() const {
 
 void RearGuard::Install() {
   RearGuard* self = this;
+  MetricsRegistry& metrics = kernel_->metrics();
+  metrics.AddProbe("ft.rearguard.deposits", [self] { return self->stats_.deposits; });
+  metrics.AddProbe("ft.rearguard.pings_sent",
+                   [self] { return self->stats_.pings_sent; });
+  metrics.AddProbe("ft.rearguard.replies_received",
+                   [self] { return self->stats_.replies_received; });
+  metrics.AddProbe("ft.rearguard.relaunches",
+                   [self] { return self->stats_.relaunches; });
+  metrics.AddProbe("ft.rearguard.retire_waves",
+                   [self] { return self->stats_.retire_waves; });
+  metrics.AddProbe("ft.rearguard.records_retired",
+                   [self] { return self->stats_.records_retired; });
   kernel_->AddPlaceInitializer([self](Place& place) {
     place.RegisterAgent("rearguard", [self](Place& at, Briefcase& bc) {
       return self->OnMeet(at, bc);
@@ -391,6 +404,23 @@ void RearGuard::Recover(SiteId site, GuardRecord& record) {
       ++stats_.relaunches;
       ++record.relaunches;
       record.misses = 0;
+      // The relaunch hop keeps the vanished agent's journey: the checkpoint
+      // briefcase still carries its TRACE folder, so the transfer above
+      // chained under the original trace id.  Mark the guard's intervention.
+      if (kernel_->options().trace_enabled) {
+        if (auto ctx = TraceContext::FromBriefcase(bc)) {
+          TraceEvent ev;
+          ev.trace_id = ctx->trace_id;
+          ev.span_id = ctx->span_id;
+          ev.hop = ctx->hop;
+          ev.name = "agent.relaunch";
+          ev.site = kernel_->net().site_name(site);
+          ev.site_id = site;
+          ev.ts = kernel_->sim().Now();
+          ev.detail = bc.GetString("AGENT").value_or("agent") + " -> " + destination;
+          kernel_->trace().Record(std::move(ev));
+        }
+      }
       return;
     }
   }

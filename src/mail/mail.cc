@@ -47,6 +47,10 @@ void MailSystem::Install() {
       return self->OnMailbox(at, bc);
     });
   });
+  MetricsRegistry& metrics = kernel_->metrics();
+  metrics.AddProbe("mail.sent", [self] { return self->stats_.sent; });
+  metrics.AddProbe("mail.delivered", [self] { return self->stats_.delivered; });
+  metrics.AddProbe("mail.receipts", [self] { return self->stats_.receipts; });
 }
 
 Status MailSystem::OnMailbox(Place& place, Briefcase& bc) {

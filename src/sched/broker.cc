@@ -52,6 +52,19 @@ void BrokerService::Install() {
       return self->OnMeet(at, bc);
     });
   });
+  const std::string prefix = "broker." + kernel_->net().site_name(site_) + ".";
+  MetricsRegistry& metrics = kernel_->metrics();
+  metrics.AddProbe(prefix + "registers", [self] { return self->stats_.registers; });
+  metrics.AddProbe(prefix + "reports", [self] { return self->stats_.reports; });
+  metrics.AddProbe(prefix + "finds", [self] { return self->stats_.finds; });
+  metrics.AddProbe(prefix + "gossip_rounds",
+                   [self] { return self->stats_.gossip_rounds; });
+  metrics.AddProbe(prefix + "gossip_merges",
+                   [self] { return self->stats_.gossip_merges; });
+  metrics.AddProbe(prefix + "meeting_requests",
+                   [self] { return self->stats_.meeting_requests; });
+  metrics.AddProbe(prefix + "meeting_collections",
+                   [self] { return self->stats_.meeting_collections; });
 }
 
 void BrokerService::AddPeer(SiteId peer_site) { peers_.push_back(peer_site); }

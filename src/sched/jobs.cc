@@ -18,6 +18,14 @@ void JobServer::Install() {
       return self->OnJob(at, bc);
     });
   });
+  const std::string prefix = "jobs." + agent_name_ + ".";
+  MetricsRegistry& metrics = kernel_->metrics();
+  metrics.AddProbe(prefix + "accepted", [self] { return self->stats_.accepted; });
+  metrics.AddProbe(prefix + "completed", [self] { return self->stats_.completed; });
+  metrics.AddProbe(prefix + "rejected_no_ticket",
+                   [self] { return self->stats_.rejected_no_ticket; });
+  metrics.AddProbe(prefix + "busy_time_us",
+                   [self] { return self->stats_.busy_time; });
 }
 
 void JobServer::RequireTickets(const TicketService* tickets) { tickets_ = tickets; }

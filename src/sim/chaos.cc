@@ -160,4 +160,17 @@ Status ChaosHarness::CheckNow() {
   return first;
 }
 
+void ChaosHarness::RegisterMetrics(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  registry->AddProbe(prefix + "crashes", [this] { return report_.crashes; });
+  registry->AddProbe(prefix + "restarts", [this] { return report_.restarts; });
+  registry->AddProbe(prefix + "cuts", [this] { return report_.cuts; });
+  registry->AddProbe(prefix + "restores", [this] { return report_.restores; });
+  registry->AddProbe(prefix + "loss_flaps",
+                     [this] { return report_.loss_flaps; });
+  registry->AddProbe(prefix + "checks", [this] { return report_.checks; });
+  registry->AddProbe(prefix + "violations",
+                     [this] { return static_cast<uint64_t>(report_.violations.size()); });
+}
+
 }  // namespace tacoma

@@ -21,6 +21,7 @@
 
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -97,6 +98,12 @@ class ChaosHarness {
 
   const Report& report() const { return report_; }
   bool ok() const { return report_.violations.empty(); }
+
+  // Registers pull-style probes over the report fields (chaos.crashes,
+  // chaos.cuts, ...) so chaos activity shows up in unified snapshots.  The
+  // harness must outlive every snapshot call on the registry.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix = "chaos.");
 
  private:
   void ScheduleSiteFaults();

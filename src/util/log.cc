@@ -1,12 +1,46 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace tacoma {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kOff};
+// Reads TACOMA_LOG_LEVEL once (first logger touch).  Accepts the level names
+// (off, error, warn, info, debug, case-insensitive) or the numeric values of
+// the LogLevel enum.  Unset or unparsable means the compiled-in default: off.
+LogLevel LevelFromEnv() {
+  const char* raw = std::getenv("TACOMA_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') {
+    return LogLevel::kOff;
+  }
+  std::string v(raw);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "off" || v == "0") return LogLevel::kOff;
+  if (v == "error" || v == "1") return LogLevel::kError;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "info" || v == "3") return LogLevel::kInfo;
+  if (v == "debug" || v == "4") return LogLevel::kDebug;
+  std::fprintf(stderr, "[W] TACOMA_LOG_LEVEL=\"%s\" not recognized; using off\n",
+               raw);
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel>& Level() {
+  static std::atomic<LogLevel> level{LevelFromEnv()};
+  return level;
+}
+
+bool TimestampsFromEnv() {
+  const char* raw = std::getenv("TACOMA_LOG_TIMESTAMPS");
+  return raw != nullptr && *raw != '\0' && std::strcmp(raw, "0") != 0;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,12 +59,27 @@ const char* LevelTag(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
 
-LogLevel GetLogLevel() { return g_level.load(); }
+LogLevel GetLogLevel() { return Level().load(); }
 
 void LogLine(LogLevel level, const std::string& message) {
   if (GetLogLevel() < level) {
+    return;
+  }
+  // Opt-in wall-clock prefix (TACOMA_LOG_TIMESTAMPS=1): milliseconds on a
+  // monotonic clock since the first log line.  Off by default so tests and
+  // scripts that compare logger output stay byte-stable.
+  static const bool timestamps = TimestampsFromEnv();
+  if (timestamps) {
+    static const auto start = std::chrono::steady_clock::now();
+    auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::fprintf(stderr, "[%8lld.%03llds] [%s] %s\n",
+                 static_cast<long long>(elapsed_ms / 1000),
+                 static_cast<long long>(elapsed_ms % 1000), LevelTag(level),
+                 message.c_str());
     return;
   }
   std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());

@@ -3,6 +3,13 @@
 // Logging is off by default (benchmarks must stay quiet); tests and examples
 // raise the level explicitly.  The logger is a process-wide singleton writing
 // to stderr; simulation code passes the sim timestamp for readable traces.
+//
+// Environment overrides (read once, on first logger use):
+//   TACOMA_LOG_LEVEL       initial threshold: off|error|warn|info|debug (or
+//                          0-4).  SetLogLevel still wins if called later.
+//   TACOMA_LOG_TIMESTAMPS  when set (and not "0"), prefixes each line with
+//                          seconds.milliseconds on a monotonic clock since
+//                          the first line.  Default output is unchanged.
 #ifndef TACOMA_UTIL_LOG_H_
 #define TACOMA_UTIL_LOG_H_
 

@@ -1,0 +1,191 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace tacoma {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(uint64_t v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) {
+    ++i;
+  }
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  if (count_ == 0 || bounds_.empty()) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > rank) {
+      return bounds_[std::min(i, bounds_.size() - 1)];
+    }
+  }
+  return bounds_.back();
+}
+
+std::vector<uint64_t> SimTimeBucketsUs() {
+  return {100,        300,        1'000,      3'000,     10'000,    30'000,
+          100'000,    300'000,    1'000'000,  3'000'000, 10'000'000};
+}
+
+Counter& MetricsRegistry::AddCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::AddGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+void MetricsRegistry::AddProbe(const std::string& name, Probe probe) {
+  probes_[name] = std::move(probe);
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  return counters_.contains(name) || gauges_.contains(name) ||
+         histograms_.contains(name) || probes_.contains(name);
+}
+
+std::optional<int64_t> MetricsRegistry::Value(const std::string& name) const {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return static_cast<int64_t>(it->second->value());
+  }
+  if (auto it = probes_.find(name); it != probes_.end()) {
+    return static_cast<int64_t>(it->second());
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second->value();
+  }
+  return std::nullopt;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  // Scalars (counters, probes, gauges) merge into one sorted namespace;
+  // histograms render their derived statistics.
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, counter] : counters_) {
+    lines[name] = std::to_string(counter->value());
+  }
+  for (const auto& [name, probe] : probes_) {
+    lines[name] = std::to_string(probe());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    lines[name] = std::to_string(gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    lines[name] = "count=" + std::to_string(histogram->count()) +
+                  " sum=" + std::to_string(histogram->sum()) +
+                  " mean=" + FormatDouble(histogram->Mean()) +
+                  " p50<=" + std::to_string(histogram->ApproxPercentile(50)) +
+                  " p99<=" + std::to_string(histogram->ApproxPercentile(99));
+  }
+  std::string out;
+  for (const auto& [name, value] : lines) {
+    out += name;
+    out += ' ';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  // Metric names follow "<subsystem>.<field>" and contain no characters that
+  // need JSON escaping.
+  std::string out = "{\"counters\":{";
+  std::map<std::string, uint64_t> counter_values;
+  for (const auto& [name, counter] : counters_) {
+    counter_values[name] = counter->value();
+  }
+  for (const auto& [name, probe] : probes_) {
+    counter_values[name] = probe();
+  }
+  bool first = true;
+  for (const auto& [name, value] : counter_values) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + name + "\":" + std::to_string(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(histogram->count()) +
+           ",\"sum\":" + std::to_string(histogram->sum()) + ",\"buckets\":[";
+    const auto& bounds = histogram->bounds();
+    const auto& counts = histogram->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += "{\"le\":";
+      out += i < bounds.size() ? std::to_string(bounds[i]) : "\"inf\"";
+      out += ",\"count\":" + std::to_string(counts[i]) + '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,146 @@
+// Unified metrics registry.
+//
+// Every subsystem used to keep its own ad-hoc `struct Stats` that nothing
+// aggregated; the registry is the one place they all report to.  Three
+// instrument kinds:
+//   - Counter    monotonically increasing, owned by the registry;
+//   - Gauge      a settable point-in-time value;
+//   - Histogram  fixed-bucket distribution (sim-time latencies, sizes).
+// Plus pull-style "probes": a named callback read at snapshot time, which is
+// how the existing Stats structs join the registry without changing their
+// owners — the kernel, places, and services register lambdas over their own
+// fields.  A probe's target must outlive every snapshot call.
+//
+// Snapshots (text and JSON) iterate sorted names and contain only values
+// derived from simulated time and seeded randomness, so for a fixed seed two
+// runs produce byte-identical snapshots.
+//
+// Naming convention: "<subsystem>.<field>" with lowercase dotted prefixes —
+// kernel.transfers_sent, net.bytes_on_wire, place.meets, mint.issued,
+// ft.rearguard.relaunches, chaos.crashes (see docs/observability.md).
+#ifndef TACOMA_UTIL_METRICS_H_
+#define TACOMA_UTIL_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tacoma {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Fixed-bucket histogram.  Bucket i counts observations v <= bounds[i]
+// (cumulative-exclusive: the first bound that fits); one implicit overflow
+// bucket counts everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t v);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  double Mean() const;
+  // Upper bound of the bucket holding the p-th percentile (p in [0, 100]);
+  // returns the last finite bound for observations in the overflow bucket.
+  uint64_t ApproxPercentile(double p) const;
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Default bucket bounds for sim-time histograms, in microseconds: a 1-3-10
+// ladder from 100us to 10s.
+std::vector<uint64_t> SimTimeBucketsUs();
+
+class MetricsRegistry {
+ public:
+  using Probe = std::function<uint64_t()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returned references stay valid for the registry's lifetime.  Re-adding a
+  // name returns the existing instrument (histogram bounds are kept from the
+  // first registration).
+  Counter& AddCounter(const std::string& name);
+  Gauge& AddGauge(const std::string& name);
+  Histogram& AddHistogram(const std::string& name, std::vector<uint64_t> bounds);
+  // Registers (or replaces) a pull-style counter read at snapshot time.
+  void AddProbe(const std::string& name, Probe probe);
+
+  bool Has(const std::string& name) const;
+  // Point-in-time value of a scalar metric (counter, probe, or gauge).
+  std::optional<int64_t> Value(const std::string& name) const;
+
+  // "name value" per line, names sorted; histograms render count/sum/mean and
+  // approximate p50/p99.
+  std::string TextSnapshot() const;
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with sorted keys;
+  // probes appear under "counters".
+  std::string JsonSnapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Probe> probes_;
+};
+
+// Exact-sample statistics shared by the bench harness and tests (the
+// histogram's bucket approximations trade precision for fixed memory; these
+// keep the samples).  Percentile is nearest-rank over a copy, p in [0, 100].
+template <typename T>
+T PercentileOf(std::vector<T> values, double p) {
+  if (values.empty()) {
+    return T{};
+  }
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(rank + 0.5)];
+}
+
+template <typename T>
+double MeanOf(const std::vector<T>& values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const T& v : values) {
+    total += static_cast<double>(v);
+  }
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_METRICS_H_

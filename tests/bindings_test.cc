@@ -58,8 +58,9 @@ TEST_F(BindingsTest, BcFoldersLists) {
   bc.SetString("B", "1");
   bc.SetString("A", "1");
   ASSERT_TRUE(Launch("cab_set t F [bc_folders]", bc).ok());
-  // CODE is consumed before the agent runs; A and B remain.
-  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("F"), "A B");
+  // CODE is consumed before the agent runs; A and B remain, plus the
+  // kernel-stamped TRACE folder carrying the journey's trace context.
+  EXPECT_EQ(*kernel_.place(a_)->Cabinet("t").GetSingleString("F"), "A B TRACE");
 }
 
 TEST_F(BindingsTest, PopEmptyFolderErrors) {

@@ -4,6 +4,7 @@
 // explicit timeout (see tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 
@@ -20,6 +21,7 @@ struct SoakOutcome {
   size_t pending = 0;
   ChaosHarness::Report report;
   int sent_tokens = 0;
+  std::string metrics_text;  // Unified snapshot (kernel + chaos) at quiesce.
 };
 
 SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
@@ -45,6 +47,9 @@ SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
   ChaosHarness chaos(&kernel.sim(), &kernel.net(), chaos_options);
   chaos.SetSiteHooks([&kernel](SiteId s) { kernel.CrashSite(s); },
                      [&kernel](SiteId s) { kernel.RestartSite(s); });
+  // Storm activity joins the kernel's unified registry, so one snapshot holds
+  // both the faults injected and the transport's response to them.
+  chaos.RegisterMetrics(&kernel.metrics());
 
   chaos.AddInvariant("at-most-once activation", [&outcome] {
     for (const auto& [token, count] : outcome.activations) {
@@ -107,6 +112,22 @@ SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
   outcome.stats = kernel.stats();
   outcome.pending = kernel.pending_transfers();
   outcome.report = chaos.report();
+  outcome.metrics_text = kernel.metrics().TextSnapshot();
+
+  // One-line soak summary so a green run still shows how much work happened.
+  const ChaosHarness::Report& r = outcome.report;
+  std::printf(
+      "[soak] chaos seed=%llu events=%llu (crashes=%llu cuts=%llu flaps=%llu) "
+      "transfers=%d acked=%llu retries=%llu invariant_checks=%llu "
+      "violations=%zu\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(r.crashes + r.cuts + r.loss_flaps),
+      static_cast<unsigned long long>(r.crashes),
+      static_cast<unsigned long long>(r.cuts),
+      static_cast<unsigned long long>(r.loss_flaps), outcome.sent_tokens,
+      static_cast<unsigned long long>(outcome.stats.transfers_acked),
+      static_cast<unsigned long long>(outcome.stats.retries_sent),
+      static_cast<unsigned long long>(r.checks), r.violations.size());
   return outcome;
 }
 
@@ -174,6 +195,9 @@ TEST(ChaosSoakTest, DeterministicForFixedSeed) {
             second.stats.duplicates_suppressed);
   EXPECT_EQ(first.report.crashes, second.report.crashes);
   EXPECT_EQ(first.activations, second.activations);
+  // The entire unified snapshot — kernel, network, place, chaos, and trace
+  // metrics — is byte-identical for a fixed seed.
+  EXPECT_EQ(first.metrics_text, second.metrics_text);
 }
 
 }  // namespace

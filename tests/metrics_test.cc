@@ -1,0 +1,147 @@
+// Unified metrics registry: instrument semantics, histogram buckets, and
+// snapshot determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace tacoma {
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  Counter& c = registry.AddCounter("a.count");
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge& g = registry.AddGauge("a.gauge");
+  g.Set(-3);
+  EXPECT_EQ(g.value(), -3);
+
+  EXPECT_TRUE(registry.Has("a.count"));
+  EXPECT_TRUE(registry.Has("a.gauge"));
+  EXPECT_FALSE(registry.Has("a.missing"));
+  EXPECT_EQ(registry.Value("a.count"), 5);
+  EXPECT_EQ(registry.Value("a.gauge"), -3);
+  EXPECT_FALSE(registry.Value("a.missing").has_value());
+}
+
+TEST(MetricsTest, ReAddingReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& first = registry.AddCounter("x");
+  first.Increment();
+  Counter& again = registry.AddCounter("x");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.value(), 1u);
+}
+
+TEST(MetricsTest, ProbesAreReadAtSnapshotTime) {
+  MetricsRegistry registry;
+  uint64_t live = 0;
+  registry.AddProbe("svc.live", [&live] { return live; });
+  EXPECT_EQ(registry.Value("svc.live"), 0);
+  live = 17;
+  EXPECT_EQ(registry.Value("svc.live"), 17);
+  EXPECT_NE(registry.TextSnapshot().find("svc.live 17"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  MetricsRegistry registry;
+  Histogram& h = registry.AddHistogram("lat", {10, 100, 1000});
+  h.Observe(5);     // <= 10
+  h.Observe(10);    // <= 10 (bounds are inclusive upper edges)
+  h.Observe(50);    // <= 100
+  h.Observe(999);   // <= 1000
+  h.Observe(5000);  // overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 50 + 999 + 5000);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);  // Overflow.
+  EXPECT_DOUBLE_EQ(h.Mean(), (5.0 + 10 + 50 + 999 + 5000) / 5);
+  // p50 lands in the first bucket (2 of 5 at rank <= 2.5... the 3rd value is
+  // in the second bucket), p99 in the overflow (reported as the last bound).
+  EXPECT_EQ(h.ApproxPercentile(40), 10u);
+  EXPECT_EQ(h.ApproxPercentile(99), 1000u);
+}
+
+TEST(MetricsTest, HistogramBoundsSortedAndDeduped) {
+  Histogram h({100, 10, 100, 1});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], 1u);
+  EXPECT_EQ(h.bounds()[1], 10u);
+  EXPECT_EQ(h.bounds()[2], 100u);
+}
+
+TEST(MetricsTest, SimTimeBucketsCoverMicrosecondsToSeconds) {
+  auto buckets = SimTimeBucketsUs();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.front(), 100u);          // 100us floor.
+  EXPECT_EQ(buckets.back(), 10'000'000u);    // 10s ceiling.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+std::unique_ptr<MetricsRegistry> BuildPopulated() {
+  auto registry = std::make_unique<MetricsRegistry>();
+  registry->AddCounter("kernel.transfers_sent").Increment(12);
+  registry->AddGauge("sched.queue_depth").Set(4);
+  Histogram& h = registry->AddHistogram("kernel.transfer_delivery_us",
+                                        SimTimeBucketsUs());
+  h.Observe(250);
+  h.Observe(4000);
+  registry->AddProbe("mail.sent", [] { return uint64_t{3}; });
+  return registry;
+}
+
+TEST(MetricsTest, TextSnapshotIsSortedAndDeterministic) {
+  auto a = BuildPopulated();
+  auto b = BuildPopulated();
+  EXPECT_EQ(a->TextSnapshot(), b->TextSnapshot());
+  EXPECT_EQ(a->JsonSnapshot(), b->JsonSnapshot());
+
+  // Sorted: kernel.* precedes mail.* precedes sched.*.
+  const std::string text = a->TextSnapshot();
+  size_t kernel_at = text.find("kernel.transfers_sent");
+  size_t mail_at = text.find("mail.sent");
+  size_t sched_at = text.find("sched.queue_depth");
+  ASSERT_NE(kernel_at, std::string::npos);
+  ASSERT_NE(mail_at, std::string::npos);
+  ASSERT_NE(sched_at, std::string::npos);
+  EXPECT_LT(kernel_at, mail_at);
+  EXPECT_LT(mail_at, sched_at);
+}
+
+TEST(MetricsTest, JsonSnapshotShape) {
+  auto registry = BuildPopulated();
+  const std::string json = registry->JsonSnapshot();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.transfers_sent\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"sched.queue_depth\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"mail.sent\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+  EXPECT_NE(json.find("\"inf\""), std::string::npos);
+}
+
+TEST(MetricsTest, SharedStatisticsHelpers) {
+  std::vector<uint64_t> values{5, 1, 9, 3, 7};
+  EXPECT_EQ(PercentileOf(values, 0), 1u);
+  EXPECT_EQ(PercentileOf(values, 50), 5u);
+  EXPECT_EQ(PercentileOf(values, 100), 9u);
+  EXPECT_DOUBLE_EQ(MeanOf(values), 5.0);
+  EXPECT_EQ(PercentileOf(std::vector<uint64_t>{}, 50), 0u);
+  EXPECT_DOUBLE_EQ(MeanOf(std::vector<uint64_t>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace tacoma

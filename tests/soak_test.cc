@@ -2,6 +2,8 @@
 // subsystems and check global invariants rather than specific outcomes.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/kernel.h"
 #include "ft/rearguard.h"
 #include "sim/topology.h"
@@ -102,6 +104,16 @@ TEST_P(ChaosTest, CrashRestartStormKeepsInvariants) {
     kernel.RestartSite(s);
     EXPECT_NE(kernel.place(s), nullptr);
   }
+
+  // One-line soak summary so a green run still shows how much work happened.
+  std::printf(
+      "[soak] crash-restart seed=%llu crash_events=30 transfers_sent=%llu "
+      "delivered=%llu messages=%llu invariant_checks=%d\n",
+      static_cast<unsigned long long>(GetParam()),
+      static_cast<unsigned long long>(kernel.stats().transfers_sent),
+      static_cast<unsigned long long>(kernel.stats().transfers_delivered),
+      static_cast<unsigned long long>(net.messages_sent),
+      3 + static_cast<int>(ids.size()));
 }
 
 }  // namespace

@@ -307,5 +307,79 @@ TEST_F(DiffusionTest, SameMessageIdSuppressedOnSecondInjection) {
   EXPECT_EQ(ExecutionCount(kernel, ids), 4u);
 }
 
+// probe: "all services are agents" extends to observability — a meet with the
+// resident probe agent returns the kernel's metrics and trace state in the
+// briefcase (acceptance: at least transfer, meet-dispatch, and retry
+// counters appear in the snapshot).
+TEST_F(SystemAgentsTest, ProbeReturnsMetricsSnapshot) {
+  // Generate some traffic first so the counters are non-trivial.
+  Briefcase travel;
+  travel.SetString(kHostFolder, "beta");
+  travel.SetString(kContactFolder, "ag_tacl");
+  travel.folder(kCodeFolder).PushBackString("cab_set t X 1");
+  ASSERT_TRUE(kernel_.place(a_)->Meet("rexec", travel).ok());
+  kernel_.sim().Run();
+
+  Briefcase bc;
+  ASSERT_TRUE(kernel_.place(a_)->Meet("probe", bc).ok());
+  ASSERT_TRUE(bc.GetString("METRICS_JSON").has_value());
+  ASSERT_TRUE(bc.GetString("METRICS_TEXT").has_value());
+  const std::string& json = *bc.GetString("METRICS_JSON");
+  EXPECT_NE(json.find("\"kernel.transfers_sent\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel.retries_sent\""), std::string::npos);
+  EXPECT_NE(json.find("\"place.meets\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.transfers_delivered\":1"), std::string::npos);
+  // Default WHAT=metrics does not serialize the trace buffer.
+  EXPECT_FALSE(bc.GetString("TRACE_JSON").has_value());
+  EXPECT_EQ(*bc.GetString("PROBE_SITE"), "alpha");
+}
+
+TEST_F(SystemAgentsTest, ProbeWhatAllIncludesTrace) {
+  Briefcase travel;
+  travel.SetString(kHostFolder, "beta");
+  travel.SetString(kContactFolder, "ag_tacl");
+  travel.folder(kCodeFolder).PushBackString("cab_set t X 1");
+  ASSERT_TRUE(kernel_.place(a_)->Meet("rexec", travel).ok());
+  kernel_.sim().Run();
+
+  Briefcase bc;
+  bc.SetString("WHAT", "all");
+  ASSERT_TRUE(kernel_.place(a_)->Meet("probe", bc).ok());
+  const std::string& trace = *bc.GetString("TRACE_JSON");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("transfer.send"), std::string::npos);
+  EXPECT_NE(trace.find("meet.dispatch"), std::string::npos);
+}
+
+TEST_F(SystemAgentsTest, ProbeRejectsUnknownWhat) {
+  Briefcase bc;
+  bc.SetString("WHAT", "everything");
+  EXPECT_EQ(kernel_.place(a_)->Meet("probe", bc).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// A remote reading: relay meets the probe at a far site and couriers the
+// snapshot home — the tacoma_top protocol over nothing but agent meets.
+TEST_F(SystemAgentsTest, ProbeReadRemotelyViaRelay) {
+  Briefcase bc;
+  bc.SetString(kHostFolder, "gamma");
+  bc.SetString(kContactFolder, "relay");
+  bc.SetString("TARGET", "probe");
+  bc.SetString("REPLY_HOST", "alpha");
+  bc.SetString("REPLY_CONTACT", "report");
+
+  std::string metrics_text;
+  kernel_.place(a_)->RegisterAgent("report", [&](Place&, Briefcase& reply) {
+    metrics_text = reply.GetString("METRICS_TEXT").value_or("");
+    return OkStatus();
+  });
+  ASSERT_TRUE(kernel_.place(a_)->Meet("rexec", bc).ok());
+  kernel_.sim().Run();
+
+  EXPECT_NE(metrics_text.find("kernel.transfers_sent"), std::string::npos)
+      << metrics_text;
+  EXPECT_NE(metrics_text.find("place.meets"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tacoma

@@ -1,0 +1,211 @@
+// Journey tracing: every activation gets a trace id, every hop a span, and
+// the kernel stamps span events into a bounded per-kernel buffer.  The
+// headline property (ISSUE acceptance): a 3-hop rexec journey exports a
+// deterministic trace — same seed, identical span sequence and timestamps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "core/trace.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+TEST(TraceContextTest, EncodeDecodeRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 42;
+  ctx.span_id = 7;
+  ctx.hop = 3;
+  ctx.sent_ts = 123456789;
+  auto back = TraceContext::Decode(ctx.Encoded());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 42u);
+  EXPECT_EQ(back->span_id, 7u);
+  EXPECT_EQ(back->hop, 3u);
+  EXPECT_EQ(back->sent_ts, 123456789u);
+}
+
+TEST(TraceContextTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(TraceContext::Decode("").has_value());
+  EXPECT_FALSE(TraceContext::Decode("1:2").has_value());
+  EXPECT_FALSE(TraceContext::Decode("a:b:c:d").has_value());
+  EXPECT_FALSE(TraceContext::Decode("1:2:3:4:5").has_value());
+}
+
+TEST(TraceContextTest, StampAndReadBack) {
+  TraceContext ctx;
+  ctx.trace_id = 9;
+  ctx.span_id = 1;
+  ctx.hop = 2;
+  ctx.sent_ts = 500;
+  Briefcase bc;
+  ctx.Stamp(&bc);
+  auto back = TraceContext::FromBriefcase(bc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 9u);
+  EXPECT_EQ(back->hop, 2u);
+}
+
+TEST(TraceBufferTest, BoundedEvictsOldest) {
+  TraceBuffer buffer(/*capacity=*/3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    TraceEvent ev;
+    ev.trace_id = i;
+    ev.name = "e" + std::to_string(i);
+    buffer.Record(std::move(ev));
+  }
+  EXPECT_EQ(buffer.recorded(), 5u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  ASSERT_EQ(buffer.events().size(), 3u);
+  EXPECT_EQ(buffer.events().front().name, "e3");
+  EXPECT_EQ(buffer.events().back().name, "e5");
+}
+
+// The canonical journey: launch at s0, jump s1 -> s2 -> s3.  Each hop through
+// rexec must yield exactly transfer.send (source), meet.dispatch
+// (destination), agent.activate (destination), in that order, with the hop
+// counter advancing and each span parented on the previous one.
+struct JourneyRun {
+  std::vector<TraceEvent> events;
+  std::string chrome_json;
+};
+
+JourneyRun RunThreeHopJourney(uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 4);
+  kernel.AdoptNetworkSites();
+
+  Briefcase bc;
+  for (int i = 1; i <= 3; ++i) {
+    bc.folder("ITINERARY").PushBackString("s" + std::to_string(i));
+  }
+  const char* agent = "if {[bc_len ITINERARY] > 0} {jump [bc_pop ITINERARY]}";
+  EXPECT_TRUE(kernel.LaunchAgent(sites[0], agent, bc).ok());
+  kernel.sim().Run();
+
+  JourneyRun run;
+  run.events = kernel.trace().ForTrace(1);
+  run.chrome_json = kernel.trace().ChromeTraceJson();
+  return run;
+}
+
+TEST(TraceJourneyTest, ThreeHopRexecYieldsExpectedSpanSequence) {
+  JourneyRun run = RunThreeHopJourney(/*seed=*/1234);
+
+  struct Expected {
+    const char* name;
+    const char* site;
+    uint32_t hop;
+  };
+  const Expected expected[] = {
+      {"agent.launch", "s0", 0},    {"agent.activate", "s0", 0},
+      {"transfer.send", "s0", 1},   {"meet.dispatch", "s1", 1},
+      {"agent.activate", "s1", 1},  {"transfer.send", "s1", 2},
+      {"meet.dispatch", "s2", 2},   {"agent.activate", "s2", 2},
+      {"transfer.send", "s2", 3},   {"meet.dispatch", "s3", 3},
+      {"agent.activate", "s3", 3},
+  };
+  ASSERT_EQ(run.events.size(), std::size(expected));
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(run.events[i].name, expected[i].name) << "event " << i;
+    EXPECT_EQ(run.events[i].site, expected[i].site) << "event " << i;
+    EXPECT_EQ(run.events[i].hop, expected[i].hop) << "event " << i;
+    EXPECT_EQ(run.events[i].trace_id, 1u) << "event " << i;
+  }
+
+  // Spans chain: each transfer.send opens a new span parented on the span
+  // that carried the agent here.
+  EXPECT_EQ(run.events[0].span_id, 1u);                       // launch
+  EXPECT_EQ(run.events[2].parent_span_id, 1u);                // hop 1
+  EXPECT_EQ(run.events[5].parent_span_id, run.events[2].span_id);  // hop 2
+  EXPECT_EQ(run.events[8].parent_span_id, run.events[5].span_id);  // hop 3
+
+  // Arrival events ride the span of the transfer that delivered them.
+  EXPECT_EQ(run.events[3].span_id, run.events[2].span_id);
+  EXPECT_EQ(run.events[4].span_id, run.events[2].span_id);
+
+  // Time moves forward across hops.
+  EXPECT_LT(run.events[2].ts, run.events[3].ts);
+  EXPECT_LT(run.events[5].ts, run.events[6].ts);
+  EXPECT_LT(run.events[8].ts, run.events[9].ts);
+}
+
+TEST(TraceJourneyTest, SameSeedProducesIdenticalTrace) {
+  JourneyRun first = RunThreeHopJourney(/*seed=*/777);
+  JourneyRun second = RunThreeHopJourney(/*seed=*/777);
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].name, second.events[i].name);
+    EXPECT_EQ(first.events[i].span_id, second.events[i].span_id);
+    EXPECT_EQ(first.events[i].ts, second.events[i].ts) << "event " << i;
+  }
+  // Byte-identical Chrome-trace export.
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
+}
+
+TEST(TraceJourneyTest, ChromeTraceJsonShape) {
+  JourneyRun run = RunThreeHopJourney(/*seed=*/5);
+  EXPECT_NE(run.chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"transfer.send\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"meet.dispatch\""), std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TraceJourneyTest, CourierCarriesTraceContext) {
+  Kernel kernel;
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  kernel.place(sites[1])->RegisterAgent("sink",
+                                        [](Place&, Briefcase&) { return OkStatus(); });
+
+  // An agent at s0 couriers a folder to the sink at s1: the delivery is one
+  // more hop of the agent's journey, so the courier's transfer must chain
+  // under the launching trace id rather than start a fresh one.
+  const char* agent =
+      "bc_put PAYLOAD hello;"
+      "bc_set HOST s1; bc_set CONTACT sink; bc_set FOLDER PAYLOAD;"
+      "meet courier";
+  ASSERT_TRUE(kernel.LaunchAgent(sites[0], agent).ok());
+  kernel.sim().Run();
+
+  auto journey = kernel.trace().ForTrace(1);
+  bool courier_send = false;
+  for (const TraceEvent& ev : journey) {
+    if (ev.name == "transfer.send" && ev.hop == 1) {
+      courier_send = true;
+    }
+  }
+  EXPECT_TRUE(courier_send) << "courier transfer did not join the journey";
+}
+
+TEST(TraceJourneyTest, TracingDisabledStampsNothing) {
+  KernelOptions options;
+  options.trace_enabled = false;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+
+  std::vector<std::string> folders;
+  kernel.place(sites[1])->RegisterAgent("sink", [&](Place&, Briefcase& bc) {
+    folders = bc.FolderNames();
+    return OkStatus();
+  });
+  Briefcase bc;
+  bc.SetString("K", "v");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(kernel.trace().recorded(), 0u);
+  for (const std::string& f : folders) {
+    EXPECT_NE(f, kTraceFolder);
+  }
+}
+
+}  // namespace
+}  // namespace tacoma
