@@ -1,0 +1,281 @@
+// E12 — Cheap-to-move migration: content-addressed CODE caching.
+//
+// Paper §2 demands that folders be "cheap to move", and for interpreted
+// agents the CODE folder dominates the briefcase — yet it is the one part of
+// a journey that never changes hop to hop.  This experiment measures what the
+// kernel's content-addressed code cache (stub CODE transfers + NeedCode
+// fallback, see docs/performance.md) buys:
+//
+//   1. k-hop itineraries: repeated walkers with identical CODE over a line,
+//      bytes-on-wire and transfers/sec, cache off vs on.
+//   2. Diffusion floods: the same payload flooded repeatedly over a grid.
+//   3. Chaos: 20% per-link loss with reliable transport and the cache on —
+//      the optimisation must not cost a single delivery.
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "core/kernel.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+// Agent CODE is padded toward a realistic size (the walkers in the paper's
+// prototype are whole Tcl programs, not three-liners): the itinerary logic
+// plus ~40 lines of comment ballast.
+std::string PaddedWalkerCode() {
+  std::string code = R"(
+    cab_append t VISITS [site]
+    if {[bc_len ITINERARY] > 0} {
+      jump [bc_pop ITINERARY]
+    } else {
+      cab_append t DONE 1
+    }
+  )";
+  for (int i = 0; i < 40; ++i) {
+    code += "# ballast line standing in for the rest of a real agent program\n";
+  }
+  return code;
+}
+
+std::string PaddedFloodCode() {
+  std::string code = "cab_set t SEEN 1\n";
+  for (int i = 0; i < 40; ++i) {
+    code += "# ballast line standing in for the rest of a real agent program\n";
+  }
+  return code;
+}
+
+struct MigrationOutcome {
+  int journeys = 0;
+  int completed = 0;
+  uint64_t bytes_on_wire = 0;
+  SimTime duration = 0;
+  Kernel::Stats stats;
+  Kernel::CodeCacheStats code;
+  uint64_t cache_hits = 0;
+  std::string metrics_json;
+};
+
+// `walkers` agents with identical CODE walk a (sites-1)-hop line one after
+// another.  With the cache on, walker 1 warms every hop's cache and every
+// later walker ships 32-byte stubs end to end.
+MigrationOutcome RunItinerary(size_t sites, int walkers, bool cache_on,
+                              double loss, uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = Reliability::kReliable;
+  options.code_cache.enabled = cache_on;
+  Kernel kernel(options);
+  auto ids = BuildLine(&kernel.net(), sites);
+  kernel.AdoptNetworkSites();
+  if (loss > 0) {
+    for (auto [a, b] : kernel.net().Links()) {
+      kernel.net().SetLinkLoss(a, b, loss);
+    }
+  }
+
+  std::string code = PaddedWalkerCode();
+  for (int w = 0; w < walkers; ++w) {
+    SimTime when = static_cast<SimTime>(w) * 500 * kMillisecond;
+    kernel.sim().At(when, [&kernel, &ids, &code, w] {
+      Briefcase bc;
+      bc.SetString("AGENT", "walker" + std::to_string(w));
+      for (size_t i = 1; i < ids.size(); ++i) {
+        bc.folder("ITINERARY").PushBackString(kernel.net().site_name(ids[i]));
+      }
+      (void)kernel.LaunchAgent(ids[0], code, bc);
+    });
+  }
+  kernel.sim().Run();
+
+  MigrationOutcome out;
+  out.journeys = walkers;
+  Place* last = kernel.place(ids.back());
+  if (last != nullptr && last->HasCabinet("t")) {
+    out.completed = static_cast<int>(last->Cabinet("t").List("DONE").size());
+  }
+  out.bytes_on_wire = kernel.net().stats().bytes_on_wire;
+  out.duration = kernel.sim().Now();
+  out.stats = kernel.stats();
+  out.code = kernel.code_cache_stats();
+  for (SiteId s : ids) {
+    if (Place* p = kernel.place(s)) {
+      out.cache_hits += p->code_cache().stats().hits;
+    }
+  }
+  out.metrics_json = kernel.metrics().JsonSnapshot();
+  return out;
+}
+
+// `floods` sequential diffusion floods of the same payload CODE over an n x n
+// grid.  Distinct MSGIDs keep diffusion's visit markers from short-circuiting
+// the repeats; only the CODE bytes are redundant, which is exactly what the
+// cache elides.
+MigrationOutcome RunFloods(size_t side, int floods, bool cache_on, uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  options.code_cache.enabled = cache_on;
+  Kernel kernel(options);
+  auto ids = BuildGrid(&kernel.net(), side, side);
+  kernel.AdoptNetworkSites();
+  kernel.sim().set_event_limit(500'000);
+
+  std::string code = PaddedFloodCode();
+  for (int f = 0; f < floods; ++f) {
+    SimTime when = static_cast<SimTime>(f) * 2 * kSecond;
+    kernel.sim().At(when, [&kernel, &ids, &code, f] {
+      Briefcase bc;
+      bc.folder(kCodeFolder).PushBackString(code);
+      bc.SetString("MSGID", "flood" + std::to_string(f));
+      Place* origin = kernel.place(ids[0]);
+      if (origin != nullptr) {
+        (void)origin->Meet("diffusion", bc);
+      }
+    });
+  }
+  kernel.sim().Run();
+
+  MigrationOutcome out;
+  out.journeys = floods;
+  out.completed = 0;
+  for (SiteId s : ids) {
+    Place* place = kernel.place(s);
+    if (place != nullptr && place->Cabinet("t").HasFolder("SEEN")) {
+      ++out.completed;  // Sites reached (by any flood).
+    }
+  }
+  out.bytes_on_wire = kernel.net().stats().bytes_on_wire;
+  out.duration = kernel.sim().Now();
+  out.stats = kernel.stats();
+  out.code = kernel.code_cache_stats();
+  out.metrics_json = kernel.metrics().JsonSnapshot();
+  return out;
+}
+
+// Metrics snapshot of the cache-on 5-hop itinerary run, exported for the CI
+// smoke check (must contain the code_cache.* keys).
+std::string g_metrics_json;
+
+std::string Reduction(uint64_t off, uint64_t on) {
+  if (off == 0) {
+    return "-";
+  }
+  return bench::Fmt("%.1f%%", 100.0 * (1.0 - static_cast<double>(on) /
+                                                 static_cast<double>(off)));
+}
+
+void ItinerarySweep(bool smoke) {
+  const int walkers = smoke ? 4 : 10;
+  std::vector<size_t> lines = smoke ? std::vector<size_t>{6}
+                                    : std::vector<size_t>{3, 6, 9};
+  bench::Table table({"hops", "cache", "bytes on wire", "reduction", "stubs",
+                      "cache hits", "xfer/s (sim)", "completed"});
+  for (size_t sites : lines) {
+    MigrationOutcome off = RunItinerary(sites, walkers, false, 0.0, 42);
+    MigrationOutcome on = RunItinerary(sites, walkers, true, 0.0, 42);
+    if (sites == 6) {
+      g_metrics_json = on.metrics_json;
+    }
+    for (const auto* out : {&off, &on}) {
+      double secs = static_cast<double>(out->duration) / kSecond;
+      table.AddRow({bench::Fmt("%zu", sites - 1), out == &off ? "off" : "on",
+                    bench::Fmt("%llu", (unsigned long long)out->bytes_on_wire),
+                    out == &off ? "-" : Reduction(off.bytes_on_wire, on.bytes_on_wire),
+                    bench::Fmt("%llu", (unsigned long long)out->code.stub_sends),
+                    bench::Fmt("%llu", (unsigned long long)out->cache_hits),
+                    secs > 0 ? bench::Fmt("%.1f", out->stats.transfers_delivered / secs)
+                             : "-",
+                    bench::Fmt("%d/%d", out->completed, out->journeys)});
+    }
+  }
+  std::printf("\nItinerary sweep: %d sequential walkers with identical CODE walk\n"
+              "a k-hop line (reliable transport, no loss).  Walker 1 warms every\n"
+              "cache; later walkers ship 32-byte CODE stubs end to end:\n", walkers);
+  table.Print();
+}
+
+void FloodSweep(bool smoke) {
+  const int floods = smoke ? 3 : 5;
+  const size_t side = smoke ? 3 : 4;
+  MigrationOutcome off = RunFloods(side, floods, false, 7);
+  MigrationOutcome on = RunFloods(side, floods, true, 7);
+  bench::Table table({"cache", "bytes on wire", "reduction", "stubs", "full sends",
+                      "sites reached"});
+  for (const auto* out : {&off, &on}) {
+    table.AddRow({out == &off ? "off" : "on",
+                  bench::Fmt("%llu", (unsigned long long)out->bytes_on_wire),
+                  out == &off ? "-" : Reduction(off.bytes_on_wire, on.bytes_on_wire),
+                  bench::Fmt("%llu", (unsigned long long)out->code.stub_sends),
+                  bench::Fmt("%llu", (unsigned long long)out->code.full_sends),
+                  bench::Fmt("%d/%zu", out->completed, side * side)});
+  }
+  std::printf("\nDiffusion floods: the same payload flooded %d times over a "
+              "%zux%zu grid\n(distinct MSGIDs; only the CODE bytes repeat):\n",
+              floods, side, side);
+  table.Print();
+}
+
+void ChaosCheck(bool smoke) {
+  const int walkers = smoke ? 3 : 8;
+  bench::Table table({"cache", "completed", "retries", "need_code", "full resends",
+                      "bytes on wire"});
+  bool all_delivered = true;
+  for (bool cache_on : {false, true}) {
+    MigrationOutcome out = RunItinerary(6, walkers, cache_on, 0.20, 1995);
+    all_delivered = all_delivered && out.completed == out.journeys;
+    table.AddRow({cache_on ? "on" : "off",
+                  bench::Fmt("%d/%d", out.completed, out.journeys),
+                  bench::Fmt("%llu", (unsigned long long)out.stats.retries_sent),
+                  bench::Fmt("%llu", (unsigned long long)out.code.need_code_sent),
+                  bench::Fmt("%llu", (unsigned long long)out.code.full_resends),
+                  bench::Fmt("%llu", (unsigned long long)out.bytes_on_wire)});
+  }
+  std::printf("\nChaos: 5-hop walks at 20%% per-link loss, reliable transport.\n"
+              "The cache must not cost a delivery (NeedCode falls back to full\n"
+              "source; retries ride the usual backoff):\n");
+  table.Print();
+  std::printf("delivery under chaos: %s\n", all_delivered ? "100%" : "INCOMPLETE");
+}
+
+}  // namespace
+}  // namespace tacoma
+
+// Flags:
+//   --smoke              trimmed sweep for CI (fewer walkers/floods)
+//   --metrics-out PATH   write the cache-on itinerary run's unified metrics
+//                        registry snapshot as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  tacoma::bench::PrintHeader(
+      "E12 — Cheap-to-move migration: content-addressed CODE caching",
+      "folders must be cheap to move (paper S2); an agent's CODE rarely "
+      "changes hop to hop, so repeat transfers should ship a digest, not "
+      "the source");
+  tacoma::ItinerarySweep(smoke);
+  tacoma::FloodSweep(smoke);
+  tacoma::ChaosCheck(smoke);
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"bench_e12_migration\",\"smoke\":%s,\"metrics\":%s}\n",
+                 smoke ? "true" : "false", tacoma::g_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out);
+  }
+  return 0;
+}

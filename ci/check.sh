@@ -35,25 +35,46 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   run_stage tsan -DTACOMA_SANITIZE=thread
 fi
 
+# Metrics validation: the snapshot at $1 must contain every key in
+# ci/metrics_golden_keys.txt (grep-only validation, no jq/python dependency).
+check_metrics() {
+  local json="$1"
+  local missing=0
+  while IFS= read -r key; do
+    [[ -z "${key}" || "${key}" == \#* ]] && continue
+    if ! grep -q "\"${key}\"" "${json}"; then
+      echo "metrics snapshot missing key: ${key}"
+      missing=1
+    fi
+  done < ci/metrics_golden_keys.txt
+  if [[ "${missing}" != "0" ]]; then
+    echo "=== FAILED: ${json} does not match golden keys ==="
+    exit 1
+  fi
+}
+
 # Observability smoke: one bench in smoke mode must emit a metrics snapshot
-# containing every key in ci/metrics_golden_keys.txt (grep-only validation, no
-# jq/python dependency).
+# containing every golden key.
 echo "=== [metrics-smoke] bench_e11_reliable --smoke ==="
 METRICS_JSON="build-ci/plain/e11_metrics.json"
 ./build-ci/plain/bench/bench_e11_reliable --smoke --metrics-out "${METRICS_JSON}" \
   > /dev/null
-MISSING=0
-while IFS= read -r key; do
-  [[ -z "${key}" || "${key}" == \#* ]] && continue
-  if ! grep -q "\"${key}\"" "${METRICS_JSON}"; then
-    echo "metrics snapshot missing key: ${key}"
-    MISSING=1
-  fi
-done < ci/metrics_golden_keys.txt
-if [[ "${MISSING}" != "0" ]]; then
-  echo "=== [metrics-smoke] FAILED: ${METRICS_JSON} does not match golden keys ==="
-  exit 1
-fi
+check_metrics "${METRICS_JSON}"
 echo "=== [metrics-smoke] ok ==="
+
+# Perf smoke: a Release (-O2 -DNDEBUG) build runs the migration bench in smoke
+# mode — exercising the code cache, CoW buffers, and zero-copy forwarding at
+# the optimisation level the numbers in docs/performance.md are quoted at —
+# and its snapshot must carry the code_cache.* counters.
+echo "=== [release] configure ==="
+cmake -B build-ci/release -S . -DTACOMA_WERROR=ON -DCMAKE_BUILD_TYPE=Release
+echo "=== [release] build bench_e12_migration (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e12_migration
+echo "=== [perf-smoke] bench_e12_migration --smoke ==="
+E12_JSON="build-ci/release/e12_metrics.json"
+./build-ci/release/bench/bench_e12_migration --smoke --metrics-out "${E12_JSON}" \
+  > /dev/null
+check_metrics "${E12_JSON}"
+echo "=== [perf-smoke] ok ==="
 
 echo "=== all checks passed ==="

@@ -14,8 +14,12 @@ int main() {
   using namespace tacoma;
 
   // A kernel is the whole simulated world: simulator + network + one Place
-  // (agent runtime) per site.
-  Kernel kernel;
+  // (agent runtime) per site.  The content-addressed code cache makes repeat
+  // transfers of the same CODE folder ship a 32-byte digest instead of the
+  // source (docs/performance.md) — the round trip below shows it off.
+  KernelOptions options;
+  options.code_cache.enabled = true;
+  Kernel kernel(options);
   SiteId office = kernel.AddSite("office");
   SiteId observatory = kernel.AddSite("observatory");
   kernel.net().AddLink(office, observatory,
@@ -61,6 +65,13 @@ int main() {
               static_cast<double>(kernel.sim().Now()) / kMillisecond);
   std::printf("bytes on the wire: %llu (the 7 raw readings stayed put)\n",
               (unsigned long long)kernel.net().stats().bytes_on_wire);
+  const Kernel::CodeCacheStats& cc = kernel.code_cache_stats();
+  std::printf("code cache saved %llu bytes (%llu full / %llu stub transfers):\n"
+              "the agent's source crossed the wire once; the trip home shipped "
+              "a digest\n",
+              (unsigned long long)cc.bytes_saved,
+              (unsigned long long)cc.full_sends,
+              (unsigned long long)cc.stub_sends);
 
   auto collected = kernel.place(office)->Cabinet("report").ListStrings("HIGH");
   std::printf("office report now holds %zu high readings:", collected.size());

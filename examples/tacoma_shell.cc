@@ -50,6 +50,16 @@ class Shell {
     if (line == "stats") {
       // The unified registry: kernel, network, place, and service metrics.
       std::printf("%s", kernel_->metrics().TextSnapshot().c_str());
+      int64_t hits = kernel_->metrics().Value("code_cache.hits").value_or(0);
+      int64_t misses = kernel_->metrics().Value("code_cache.misses").value_or(0);
+      double rate = hits + misses > 0
+                        ? 100.0 * static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0.0;
+      std::printf("; code cache: %lld hits / %lld misses (%.0f%% hit rate), "
+                  "%llu bytes saved on the wire\n",
+                  (long long)hits, (long long)misses, rate,
+                  (unsigned long long)kernel_->code_cache_stats().bytes_saved);
       return true;
     }
     if (line == "trace") {

@@ -21,7 +21,7 @@ Bytes Ecu::Serialize() const {
   return enc.Take();
 }
 
-Result<Ecu> Ecu::Deserialize(const Bytes& data) {
+Result<Ecu> Ecu::Deserialize(BytesView data) {
   Decoder dec(data);
   auto ecu = Decode(&dec);
   if (!ecu.ok()) {
@@ -42,7 +42,7 @@ Bytes EncodeEcus(const std::vector<Ecu>& ecus) {
   return enc.Take();
 }
 
-Result<std::vector<Ecu>> DecodeEcus(const Bytes& data) {
+Result<std::vector<Ecu>> DecodeEcus(BytesView data) {
   Decoder dec(data);
   uint64_t count = 0;
   if (!dec.GetVarint(&count)) {

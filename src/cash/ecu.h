@@ -31,7 +31,7 @@ struct Ecu {
   void Encode(Encoder* enc) const;
   static Result<Ecu> Decode(Decoder* dec);
   Bytes Serialize() const;
-  static Result<Ecu> Deserialize(const Bytes& data);
+  static Result<Ecu> Deserialize(BytesView data);
 
   friend bool operator==(const Ecu& a, const Ecu& b) {
     return a.amount == b.amount && a.serial == b.serial;
@@ -40,7 +40,7 @@ struct Ecu {
 
 // Folder payload helpers: a folder element per ECU.
 Bytes EncodeEcus(const std::vector<Ecu>& ecus);
-Result<std::vector<Ecu>> DecodeEcus(const Bytes& data);
+Result<std::vector<Ecu>> DecodeEcus(BytesView data);
 
 // Sum of amounts (no overflow guard: amounts are test-scale).
 uint64_t TotalAmount(const std::vector<Ecu>& ecus);

@@ -46,7 +46,7 @@ void InstallNotaryAgent(Kernel* kernel, uint32_t site, Notary* notary) {
           return InvalidArgumentError("notary: missing RECEIPT folder");
         }
         // File every receipt in the folder; stop on the first bad one.
-        for (const Bytes& element : *receipts) {
+        for (const SharedBytes& element : *receipts) {
           auto receipt = Receipt::Deserialize(element);
           if (!receipt.ok()) {
             bc.SetString("STATUS", "malformed receipt");

@@ -45,7 +45,7 @@ Bytes Receipt::Serialize() const {
   return enc.Take();
 }
 
-Result<Receipt> Receipt::Deserialize(const Bytes& data) {
+Result<Receipt> Receipt::Deserialize(BytesView data) {
   Decoder dec(data);
   Receipt r;
   uint8_t kind = 0;

@@ -49,7 +49,7 @@ struct Receipt {
   Bytes SignedPayload() const;
 
   Bytes Serialize() const;
-  static Result<Receipt> Deserialize(const Bytes& data);
+  static Result<Receipt> Deserialize(BytesView data);
 };
 
 // Builds and signs a receipt on behalf of `actor`.

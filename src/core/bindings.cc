@@ -515,7 +515,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     uint64_t generation = place->generation();
     std::string script = argv[2];
     std::string agent_id = activation->agent_id + ".detached";
-    Bytes snapshot = activation->briefcase->Serialize();
+    SharedBytes snapshot = activation->briefcase->Serialize();
     kernel->sim().After(static_cast<SimTime>(*delay),
                         [kernel, site, generation, script, agent_id, snapshot] {
                           if (!kernel->PlaceAlive(site, generation)) {

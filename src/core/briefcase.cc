@@ -87,20 +87,34 @@ Result<Briefcase> Briefcase::Decode(Decoder* dec) {
 
 Bytes Briefcase::Serialize() const {
   Encoder enc;
+  enc.Reserve(ByteSize());
   Encode(&enc);
   return enc.Take();
 }
 
-Result<Briefcase> Briefcase::Deserialize(const Bytes& data) {
-  Decoder dec(data);
-  auto bc = Decode(&dec);
+namespace {
+
+Result<Briefcase> DecodeWhole(Decoder* dec) {
+  auto bc = Briefcase::Decode(dec);
   if (!bc.ok()) {
     return bc.status();
   }
-  if (!dec.Done()) {
+  if (!dec->Done()) {
     return DataLossError("briefcase: trailing bytes");
   }
   return bc;
+}
+
+}  // namespace
+
+Result<Briefcase> Briefcase::Deserialize(BytesView data) {
+  Decoder dec(data.data(), data.size());
+  return DecodeWhole(&dec);
+}
+
+Result<Briefcase> Briefcase::Deserialize(const SharedBytes& data) {
+  Decoder dec(data);
+  return DecodeWhole(&dec);
 }
 
 size_t Briefcase::ByteSize() const {

@@ -54,7 +54,15 @@ class Briefcase {
   // --- Wire format ----------------------------------------------------------
 
   Bytes Serialize() const;
-  static Result<Briefcase> Deserialize(const Bytes& data);
+  static Result<Briefcase> Deserialize(BytesView data);
+  // Exact match for plain buffers (Bytes converts to BytesView and
+  // SharedBytes alike, which would otherwise be ambiguous).
+  static Result<Briefcase> Deserialize(const Bytes& data) {
+    return Deserialize(BytesView(data));
+  }
+  // Deserializing from a shared frame keeps folder elements as views into
+  // the frame's allocation (zero-copy receive).
+  static Result<Briefcase> Deserialize(const SharedBytes& data);
   void Encode(Encoder* enc) const;
   static Result<Briefcase> Decode(Decoder* dec);
   size_t ByteSize() const;

@@ -1,0 +1,61 @@
+#include "core/codecache.h"
+
+#include "crypto/sha256.h"
+#include "serial/encoder.h"
+
+namespace tacoma {
+
+CodeCache::CodeCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string CodeCache::DigestOf(const Folder& code) {
+  Encoder enc;
+  code.Encode(&enc);
+  return DigestToHex(Sha256::Hash(enc.buffer()));
+}
+
+void CodeCache::Put(const std::string& digest_hex, Folder code, SharedBytes encoded) {
+  auto it = entries_.find(digest_hex);
+  if (it != entries_.end()) {
+    it->second.code = std::move(code);
+    it->second.encoded = std::move(encoded);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(digest_hex);
+  entries_[digest_hex] = Entry{std::move(code), std::move(encoded), lru_.begin()};
+  ++stats_.inserts;
+  EvictToCapacity();
+}
+
+const Folder* CodeCache::Get(const std::string& digest_hex) {
+  auto it = entries_.find(digest_hex);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (DigestToHex(Sha256::Hash(it->second.encoded)) != digest_hex) {
+    ++stats_.digest_mismatches;
+    ++stats_.misses;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  return &it->second.code;
+}
+
+void CodeCache::set_capacity(size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  EvictToCapacity();
+}
+
+void CodeCache::EvictToCapacity() {
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace tacoma

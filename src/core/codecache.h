@@ -1,0 +1,82 @@
+// Content-addressed CODE cache (per Place).
+//
+// The paper's §2 requires folders to be "cheap to move", and for interpreted
+// agents the CODE folder dwarfs the rest of the briefcase — yet it is the
+// one part of an itinerary that rarely changes hop to hop.  Each Place keeps
+// a small LRU cache of CODE-folder contents keyed by the SHA-256 digest of
+// the folder's wire encoding.  Senders that believe the destination holds a
+// digest ship a 32-byte stub instead of the source; receivers reconstruct
+// the folder from this cache (see Kernel's transfer protocol and
+// docs/performance.md).
+//
+// The cache is volatile site state: it dies with the Place on a crash, and
+// the kernel invalidates every sender's beliefs about the site through the
+// network's RestartHook.
+#ifndef TACOMA_CORE_CODECACHE_H_
+#define TACOMA_CORE_CODECACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "core/folder.h"
+#include "util/bytes.h"
+
+namespace tacoma {
+
+class CodeCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    // Get() found the key but the entry's content no longer hashed to it —
+    // the entry is dropped and the lookup reported as a miss, so a corrupt
+    // cache can never substitute wrong code for a stub.
+    uint64_t digest_mismatches = 0;
+  };
+
+  explicit CodeCache(size_t capacity = 64);
+
+  // Computes the cache key for a CODE folder: hex SHA-256 of its encoding.
+  static std::string DigestOf(const Folder& code);
+
+  // Inserts `code` (with its wire encoding, shared not copied) under
+  // `digest_hex`, evicting the least-recently-used entry when full.  The
+  // digest is taken on trust here — Get() verifies it — so tests can plant
+  // corrupt entries and the kernel can insert without re-hashing.
+  void Put(const std::string& digest_hex, Folder code, SharedBytes encoded);
+
+  // Returns the cached folder and refreshes its LRU position, or nullptr on
+  // miss.  Verifies the entry still hashes to its key; a mismatch evicts the
+  // entry and counts as a miss (digest_mismatches).
+  const Folder* Get(const std::string& digest_hex);
+
+  bool Contains(const std::string& digest_hex) const {
+    return entries_.contains(digest_hex);
+  }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity);
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Folder code;
+    SharedBytes encoded;  // The folder's wire encoding (what was hashed).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictToCapacity();
+
+  size_t capacity_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_CODECACHE_H_

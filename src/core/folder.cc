@@ -14,20 +14,20 @@ size_t VarintSize(uint64_t v) {
 
 }  // namespace
 
-std::optional<Bytes> Folder::PopFront() {
+std::optional<SharedBytes> Folder::PopFront() {
   if (elements_.empty()) {
     return std::nullopt;
   }
-  Bytes out = std::move(elements_.front());
+  SharedBytes out = std::move(elements_.front());
   elements_.pop_front();
   return out;
 }
 
-std::optional<Bytes> Folder::PopBack() {
+std::optional<SharedBytes> Folder::PopBack() {
   if (elements_.empty()) {
     return std::nullopt;
   }
-  Bytes out = std::move(elements_.back());
+  SharedBytes out = std::move(elements_.back());
   elements_.pop_back();
   return out;
 }
@@ -58,15 +58,15 @@ std::optional<std::string> Folder::FrontString() const {
 std::vector<std::string> Folder::AsStrings() const {
   std::vector<std::string> out;
   out.reserve(elements_.size());
-  for (const Bytes& e : elements_) {
+  for (const SharedBytes& e : elements_) {
     out.push_back(ToString(e));
   }
   return out;
 }
 
 bool Folder::ContainsString(std::string_view s) const {
-  for (const Bytes& e : elements_) {
-    if (e.size() == s.size() && std::equal(e.begin(), e.end(), s.begin())) {
+  for (const SharedBytes& e : elements_) {
+    if (e.StringView() == s) {
       return true;
     }
   }
@@ -74,8 +74,9 @@ bool Folder::ContainsString(std::string_view s) const {
 }
 
 void Folder::Encode(Encoder* enc) const {
+  enc->Reserve(ByteSize());
   enc->PutVarint(elements_.size());
-  for (const Bytes& e : elements_) {
+  for (const SharedBytes& e : elements_) {
     enc->PutBytes(e);
   }
 }
@@ -87,8 +88,8 @@ Result<Folder> Folder::Decode(Decoder* dec) {
   }
   Folder out;
   for (uint64_t i = 0; i < count; ++i) {
-    Bytes e;
-    if (!dec->GetBytes(&e)) {
+    SharedBytes e;
+    if (!dec->GetSharedBytes(&e)) {
       return DataLossError("folder: truncated element");
     }
     out.PushBack(std::move(e));
@@ -98,7 +99,7 @@ Result<Folder> Folder::Decode(Decoder* dec) {
 
 size_t Folder::ByteSize() const {
   size_t total = VarintSize(elements_.size());
-  for (const Bytes& e : elements_) {
+  for (const SharedBytes& e : elements_) {
     total += VarintSize(e.size()) + e.size();
   }
   return total;

@@ -7,6 +7,13 @@
 // plain deque of byte strings and the wire form is a flat length-prefixed
 // stream with no index structures (the paper calls this requirement out
 // explicitly).  Site-local FileCabinets make the opposite trade-off.
+//
+// Elements are SharedBytes: copying a folder (briefcase copies on every
+// rexec/diffusion hop, trace stamping, checkpointing) shares the payload
+// bytes instead of deep-copying them, and a folder decoded from a shared
+// frame views the frame's allocation directly.  Elements are immutable once
+// pushed — mutation means pop + push, as the stack/queue model already
+// dictates.
 #ifndef TACOMA_CORE_FOLDER_H_
 #define TACOMA_CORE_FOLDER_H_
 
@@ -28,18 +35,26 @@ class Folder {
 
   // --- Stack / queue operations ------------------------------------------------
 
-  void PushBack(Bytes element) { elements_.push_back(std::move(element)); }
-  void PushFront(Bytes element) { elements_.push_front(std::move(element)); }
-  std::optional<Bytes> PopFront();
-  std::optional<Bytes> PopBack();
-  const Bytes* Front() const { return elements_.empty() ? nullptr : &elements_.front(); }
-  const Bytes* Back() const { return elements_.empty() ? nullptr : &elements_.back(); }
+  void PushBack(SharedBytes element) { elements_.push_back(std::move(element)); }
+  void PushFront(SharedBytes element) { elements_.push_front(std::move(element)); }
+  void PushBack(Bytes element) { elements_.push_back(SharedBytes(std::move(element))); }
+  void PushFront(Bytes element) {
+    elements_.push_front(SharedBytes(std::move(element)));
+  }
+  std::optional<SharedBytes> PopFront();
+  std::optional<SharedBytes> PopBack();
+  const SharedBytes* Front() const {
+    return elements_.empty() ? nullptr : &elements_.front();
+  }
+  const SharedBytes* Back() const {
+    return elements_.empty() ? nullptr : &elements_.back();
+  }
 
   // --- Inspection -----------------------------------------------------------------
 
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }
-  const Bytes& At(size_t i) const { return elements_[i]; }
+  const SharedBytes& At(size_t i) const { return elements_[i]; }
   void Clear() { elements_.clear(); }
 
   auto begin() const { return elements_.begin(); }
@@ -70,7 +85,7 @@ class Folder {
   }
 
  private:
-  std::deque<Bytes> elements_;
+  std::deque<SharedBytes> elements_;
 };
 
 }  // namespace tacoma

@@ -1,7 +1,9 @@
 #include "core/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "crypto/sha256.h"
 #include "serial/encoder.h"
 #include "util/log.h"
 
@@ -14,16 +16,32 @@ namespace {
 constexpr uint8_t kFrameData = 1;
 constexpr uint8_t kFrameAck = 2;
 constexpr uint8_t kFrameNack = 3;
+// Receiver-to-sender: "your CODE_DIGEST stub missed my cache, send the full
+// source" (carries only the transfer id).
+constexpr uint8_t kFrameNeedCode = 4;
 
 // DATA frame flags.
 constexpr uint8_t kFlagWantAck = 1 << 0;  // Receiver must ack/nack.
 constexpr uint8_t kFlagDedup = 1 << 1;    // Receiver records id for dedup.
+// The CODE folder travels as a 32-byte SHA-256 digest (inserted between the
+// contact string and the briefcase) instead of source; the briefcase that
+// follows has no CODE folder.
+constexpr uint8_t kFlagCodeStub = 1 << 2;
 
 // Site-disk file holding the journaled dedup window: a flat sequence of
 // (u32 sender, u64 transfer id) records.
 constexpr char kDedupJournalFile[] = "xfer.dedup";
 
 }  // namespace
+
+CodeCacheOptions DefaultCodeCacheOptions() {
+  CodeCacheOptions options;
+  if (const char* env = std::getenv("TACOMA_CODE_CACHE")) {
+    std::string value(env);
+    options.enabled = value == "on" || value == "1" || value == "true";
+  }
+  return options;
+}
 
 const char* ToString(Reliability mode) {
   switch (mode) {
@@ -155,6 +173,48 @@ void Kernel::RegisterKernelMetrics() {
     return sum_places(&Place::Stats::arrival_meet_failures);
   });
 
+  // Content-addressed CODE cache.  Registered unconditionally so snapshots
+  // keep a stable key set whether or not the cache is enabled (all zero when
+  // off).  Sender-side counters come from the kernel; receiver-side cache
+  // health is summed over live places (a crashed place's cache — and its
+  // counters — die with it, which is the point of the restart invalidation).
+  metrics_.AddProbe("code_cache.stub_sends", [this] { return code_stats_.stub_sends; });
+  metrics_.AddProbe("code_cache.full_sends", [this] { return code_stats_.full_sends; });
+  metrics_.AddProbe("code_cache.bytes_saved", [this] { return code_stats_.bytes_saved; });
+  metrics_.AddProbe("code_cache.need_code_sent",
+                    [this] { return code_stats_.need_code_sent; });
+  metrics_.AddProbe("code_cache.full_resends",
+                    [this] { return code_stats_.full_resends; });
+  metrics_.AddProbe("code_cache.invalidations",
+                    [this] { return code_stats_.invalidations; });
+  auto sum_caches = [this](uint64_t CodeCache::Stats::* field) {
+    uint64_t total = 0;
+    for (const auto& place : places_) {
+      if (place != nullptr) {
+        total += place->code_cache().stats().*field;
+      }
+    }
+    return total;
+  };
+  metrics_.AddProbe("code_cache.hits",
+                    [sum_caches] { return sum_caches(&CodeCache::Stats::hits); });
+  metrics_.AddProbe("code_cache.misses",
+                    [sum_caches] { return sum_caches(&CodeCache::Stats::misses); });
+  metrics_.AddProbe("code_cache.evictions",
+                    [sum_caches] { return sum_caches(&CodeCache::Stats::evictions); });
+  metrics_.AddProbe("code_cache.digest_mismatches", [sum_caches] {
+    return sum_caches(&CodeCache::Stats::digest_mismatches);
+  });
+  metrics_.AddProbe("code_cache.entries", [this] {
+    uint64_t total = 0;
+    for (const auto& place : places_) {
+      if (place != nullptr) {
+        total += place->code_cache().size();
+      }
+    }
+    return total;
+  });
+
   // The trace buffer's own health.
   metrics_.AddProbe("trace.events_recorded", [this] { return trace_.recorded(); });
   metrics_.AddProbe("trace.events_dropped", [this] { return trace_.dropped(); });
@@ -236,6 +296,7 @@ void Kernel::CreatePlace(SiteId site) {
   auto place = std::make_unique<Place>(this, site, net_.site_name(site));
   place->set_step_limit(options_.step_limit);
   place->set_admission_policy(options_.admission_policy);
+  place->set_code_cache_capacity(options_.code_cache.capacity);
   InstallSystemAgents(*place);
   PopulateSitesFolder(*place);
   place->RecoverCabinets();
@@ -247,10 +308,13 @@ void Kernel::CreatePlace(SiteId site) {
     LoadDedupJournal(site);
   }
 
-  net_.SetHandler(site, [this, site](SiteId from, const Bytes& payload) {
+  net_.SetHandler(site, [this, site](SiteId from, const SharedBytes& payload) {
     HandleDelivery(site, from, payload);
   });
-  net_.SetRestartHook(site, [](SiteId) {});
+  // A restart means the site's volatile CodeCache was lost: every sender's
+  // beliefs about what this site holds are stale and must be dropped before
+  // the first post-restart stub would miss.
+  net_.SetRestartHook(site, [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
 }
 
 void Kernel::PopulateSitesFolder(Place& place) {
@@ -282,6 +346,13 @@ void Kernel::CrashSite(SiteId site) {
   // The in-memory dedup window is volatile too; durable_dedup reloads it
   // from the disk journal on restart.
   dedup_.erase(site);
+  // Code-cache beliefs held BY this site (sender-side) are volatile state
+  // here, like the pending table; beliefs ABOUT this site held elsewhere are
+  // invalidated by the restart hook when it comes back.
+  known_code_.erase(site);
+  for (auto it = stub_sends_.begin(); it != stub_sends_.end();) {
+    it = it->second.from == site ? stub_sends_.erase(it) : std::next(it);
+  }
 }
 
 void Kernel::RestartSite(SiteId site) {
@@ -334,6 +405,11 @@ void Kernel::RetryTick(uint64_t id) {
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++stats_.retries_sent;
+    // A retransmitted stub saves the same bytes again (the full frame is what
+    // a cache-less kernel would have retried).
+    if (!t.full_frame.empty() && t.full_frame.size() > t.frame.size()) {
+      code_stats_.bytes_saved += t.full_frame.size() - t.frame.size();
+    }
     TraceTransferEvent(t, "transfer.retry", "attempt " + std::to_string(t.attempts));
   }
   t.backoff = std::min(
@@ -499,15 +575,61 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   enc.PutU8(flags);
   enc.PutString(contact);
   to_ship->Encode(&enc);
-  Bytes frame = enc.Take();
+  SharedBytes full_frame = enc.TakeShared();
+  SharedBytes frame = full_frame;
+
+  // With the cache enabled and a CODE folder aboard, ship a 32-byte digest
+  // stub whenever the destination is believed to hold this code; otherwise
+  // ship the source and optimistically record that the destination (and our
+  // own cache, for return trips) now holds it.  A misprediction costs one
+  // NeedCode round trip, never a lost transfer.
+  std::string code_digest;
+  if (const Folder* code = to_ship->Find(kCodeFolder);
+      options_.code_cache.enabled && code != nullptr && !code->empty()) {
+    Encoder code_enc;
+    code->Encode(&code_enc);
+    SharedBytes code_encoded = code_enc.TakeShared();
+    Digest digest = Sha256::Hash(code_encoded);
+    std::string digest_hex = DigestToHex(digest);
+    std::set<std::string>& known = known_code_[from][to];
+    if (known.contains(digest_hex)) {
+      Briefcase stripped = *to_ship;  // Folder payloads are shared, not copied.
+      stripped.Remove(kCodeFolder);
+      Encoder stub_enc;
+      stub_enc.PutU8(kFrameData);
+      stub_enc.PutU64(id);
+      stub_enc.PutU8(flags | kFlagCodeStub);
+      stub_enc.PutString(contact);
+      stub_enc.PutBytes(DigestToBytes(digest));
+      stripped.Encode(&stub_enc);
+      frame = stub_enc.TakeShared();
+      code_digest = std::move(digest_hex);
+      ++code_stats_.stub_sends;
+    } else {
+      ++code_stats_.full_sends;
+      known.insert(digest_hex);
+      if (Place* origin = place(from)) {
+        origin->code_cache().Put(digest_hex, *code, std::move(code_encoded));
+      }
+    }
+  }
+  const bool stubbed = !code_digest.empty();
 
   Status sent = net_.Send(from, to, frame);
+  if (sent.ok() && stubbed && full_frame.size() > frame.size()) {
+    code_stats_.bytes_saved += full_frame.size() - frame.size();
+  }
   if (mode != Reliability::kReliable) {
     if (!sent.ok()) {
       ++stats_.transfers_rejected;
       return sent;
     }
     ++stats_.transfers_sent;
+    if (stubbed) {
+      // No pending entry will exist for this id, so keep the full frame
+      // around (bounded) in case the receiver answers NeedCode.
+      RememberStubSend(id, StubSend{from, to, full_frame, code_digest});
+    }
     return OkStatus();
   }
 
@@ -525,6 +647,10 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   t.dead_letter = transfer_options.dead_letter;
   t.frame = std::move(frame);
   t.briefcase = to_ship->Serialize();
+  if (stubbed) {
+    t.full_frame = std::move(full_frame);
+    t.code_digest = std::move(code_digest);
+  }
   t.attempts = 1;
   t.first_sent = sim_.Now();
   t.trace = span;
@@ -532,6 +658,26 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   pending_.emplace(id, std::move(t));
   ScheduleRetry(id, Jittered(options_.reliability.retry_initial));
   return OkStatus();
+}
+
+void Kernel::RememberStubSend(uint64_t id, StubSend record) {
+  stub_sends_[id] = std::move(record);
+  stub_send_order_.push_back(id);
+  while (stub_sends_.size() > options_.code_cache.stub_record_capacity &&
+         !stub_send_order_.empty()) {
+    stub_sends_.erase(stub_send_order_.front());
+    stub_send_order_.pop_front();
+  }
+}
+
+void Kernel::InvalidateCodeBeliefsAbout(SiteId site) {
+  for (auto& [sender, per_dest] : known_code_) {
+    auto it = per_dest.find(site);
+    if (it != per_dest.end()) {
+      code_stats_.invalidations += it->second.size();
+      per_dest.erase(it);
+    }
+  }
 }
 
 void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
@@ -543,16 +689,19 @@ void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_
     enc.PutString(reason);
   }
   // Best effort: a lost ack is repaired by the sender's retry + our dedup
-  // window; a lost nack by retry + repeated nack.
+  // window; a lost nack by retry + repeated nack; a lost NeedCode by retry +
+  // repeated miss.
   (void)net_.Send(from_site, to_site, enc.Take());
   if (kind == kFrameAck) {
     ++stats_.acks_sent;
-  } else {
+  } else if (kind == kFrameNack) {
     ++stats_.nacks_sent;
+  } else if (kind == kFrameNeedCode) {
+    ++code_stats_.need_code_sent;
   }
 }
 
-void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
+void Kernel::HandleDelivery(SiteId to, SiteId from, const SharedBytes& payload) {
   Place* destination = place(to);
   if (destination == nullptr) {
     ++stats_.meets_failed_on_arrival;
@@ -575,6 +724,9 @@ void Kernel::HandleDelivery(SiteId to, SiteId from, const Bytes& payload) {
     case kFrameNack:
       HandleNack(to, &dec);
       return;
+    case kFrameNeedCode:
+      HandleNeedCode(to, from, &dec);
+      return;
     default:
       ++stats_.meets_failed_on_arrival;
       TLOG_WARN << "site " << destination->name()
@@ -590,6 +742,15 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
   if (!dec->GetU64(&id) || !dec->GetU8(&flags) || !dec->GetString(&contact)) {
     ++stats_.meets_failed_on_arrival;
     TLOG_WARN << "site " << destination->name() << ": malformed agent transfer";
+    return;
+  }
+  const bool stub = (flags & kFlagCodeStub) != 0;
+  SharedBytes digest_raw;
+  if (stub && (!dec->GetSharedBytes(&digest_raw) ||
+               digest_raw.size() != std::tuple_size_v<Digest>)) {
+    ++stats_.meets_failed_on_arrival;
+    TLOG_WARN << "site " << destination->name()
+              << ": malformed CODE_DIGEST stub in transfer";
     return;
   }
   auto bc = Briefcase::Decode(dec);
@@ -632,11 +793,42 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     }
     return;
   }
+  Briefcase briefcase = std::move(bc).value();
+  if (stub) {
+    // Reconstruct the CODE folder from the local content store.  A miss (or
+    // a corrupt entry, which Get treats as a miss) is NOT a delivery: ask the
+    // sender for the source and let its resend — carrying full CODE — be the
+    // transfer.  Nothing is recorded as seen, so that resend is processed
+    // normally rather than suppressed.
+    Digest digest;
+    std::copy(digest_raw.begin(), digest_raw.end(), digest.begin());
+    std::string digest_hex = DigestToHex(digest);
+    const Folder* cached = destination->code_cache().Get(digest_hex);
+    if (cached == nullptr) {
+      record_arrival("code.cache_miss", digest_hex.substr(0, 12));
+      SendControl(kFrameNeedCode, to, from, id, "");
+      return;
+    }
+    record_arrival("code.cache_hit", digest_hex.substr(0, 12));
+    briefcase.folder(kCodeFolder) = *cached;  // CoW: element payloads shared.
+  } else if (options_.code_cache.enabled) {
+    // Full CODE arrived: remember it so future stubs for this digest hit, and
+    // note that the sender evidently holds this code too — the return trip
+    // can be stubbed without a warm-up miss.
+    if (const Folder* code = briefcase.Find(kCodeFolder);
+        code != nullptr && !code->empty()) {
+      Encoder code_enc;
+      code->Encode(&code_enc);
+      SharedBytes code_encoded = code_enc.TakeShared();
+      std::string digest_hex = DigestToHex(Sha256::Hash(code_encoded));
+      destination->code_cache().Put(digest_hex, *code, std::move(code_encoded));
+      known_code_[to][from].insert(digest_hex);
+    }
+  }
   ++stats_.transfers_delivered;
   if (span.has_value() && sim_.Now() >= span->sent_ts) {
     delivery_us_->Observe(sim_.Now() - span->sent_ts);
   }
-  Briefcase briefcase = std::move(bc).value();
   // Record provenance for agents that care where they came from.
   briefcase.SetString("FROM", net_.site_name(from));
   // Dispatch is recorded before the meet runs so the buffer stays in causal
@@ -703,6 +895,50 @@ void Kernel::HandleNack(SiteId to, Decoder* dec) {
   TraceTransferEvent(it->second, "transfer.nack", reason);
   DeadLetter(it->second, reason);
   pending_.erase(it);
+}
+
+void Kernel::HandleNeedCode(SiteId to, SiteId from, Decoder* dec) {
+  uint64_t id = 0;
+  if (!dec->GetU64(&id)) {
+    return;
+  }
+  // The miss retracts our belief that the receiver holds the digest, and the
+  // transfer falls back to its full-source frame.  Reliable transfers keep
+  // that fallback in the pending table; fire-and-forget ones in the bounded
+  // stub-send records.
+  auto it = pending_.find(id);
+  if (it != pending_.end() && it->second.from == to) {
+    PendingTransfer& t = it->second;
+    if (t.full_frame.empty()) {
+      return;  // An earlier NeedCode already swapped this transfer to full.
+    }
+    known_code_[t.from][t.to].erase(t.code_digest);
+    t.frame = std::move(t.full_frame);
+    t.full_frame = SharedBytes();
+    t.code_digest.clear();
+    TraceTransferEvent(t, "transfer.needcode", "resending full source");
+    Status sent = net_.Send(t.from, t.to, t.frame);
+    if (sent.ok()) {
+      ++stats_.transfers_sent;
+      ++code_stats_.full_resends;
+    }
+    // The retry loop stays scheduled; from here on it retries the full frame.
+    return;
+  }
+  auto sit = stub_sends_.find(id);
+  if (sit == stub_sends_.end() || sit->second.from != to) {
+    // Record evicted, or the origin crashed: the transfer is lost, which is
+    // no worse than what fire-and-forget already allows.
+    return;
+  }
+  StubSend record = std::move(sit->second);
+  stub_sends_.erase(sit);
+  known_code_[record.from][record.to].erase(record.code_digest);
+  Status sent = net_.Send(record.from, record.to, record.full_frame);
+  if (sent.ok()) {
+    ++stats_.transfers_sent;
+    ++code_stats_.full_resends;
+  }
 }
 
 Status Kernel::LaunchAgent(SiteId site, const std::string& code, Briefcase bc) {

@@ -71,6 +71,28 @@ struct ReliabilityOptions {
   bool durable_dedup = true;
 };
 
+// Content-addressed CODE caching (see core/codecache.h, docs/performance.md).
+// When enabled, a transfer whose destination is believed to already hold the
+// CODE folder's SHA-256 digest ships a 32-byte stub instead of the source;
+// a receiver-side cache miss answers with a NeedCode control frame and the
+// sender falls back to the full source, so delivery semantics are unchanged
+// — only bytes-on-wire shrink.  Disabled, the kernel's wire behaviour is
+// byte-identical to a cache-less build.
+struct CodeCacheOptions {
+  bool enabled = false;
+  // LRU entries per Place (receiver-side content store).
+  size_t capacity = 64;
+  // Sender-side records kept for answering NeedCode on fire-and-forget /
+  // at-most-once stub sends (reliable sends keep theirs in the pending
+  // table).  Oldest records are dropped when full; a NeedCode for a dropped
+  // record is ignored, which loses no more than fire-and-forget already may.
+  size_t stub_record_capacity = 1024;
+};
+
+// The built-in default honours TACOMA_CODE_CACHE: "on"/"1"/"true" enables
+// the cache; anything else (or unset) leaves it off.
+CodeCacheOptions DefaultCodeCacheOptions();
+
 struct KernelOptions {
   uint64_t seed = 42;
   // Per-activation TACL command budget (0 = unlimited).
@@ -88,6 +110,8 @@ struct KernelOptions {
   bool trace_enabled = true;
   // Bounded trace buffer size; oldest events are evicted when full.
   size_t trace_capacity = 8192;
+  // Migration-payload optimisation (stub CODE transfers).
+  CodeCacheOptions code_cache = DefaultCodeCacheOptions();
 };
 
 // Per-transfer overrides for TransferAgent.
@@ -136,6 +160,18 @@ class Kernel {
     uint64_t nacks_sent = 0;
     uint64_t dead_letters_delivered = 0;  // Returned briefcases met their contact.
     uint64_t dead_letters_dropped = 0;    // Designated contact unreachable.
+  };
+
+  // Sender/receiver accounting for the content-addressed CODE cache (the
+  // receiver-side content store's own hit/miss/eviction counters live in
+  // each Place's CodeCache).  All zero while the cache is disabled.
+  struct CodeCacheStats {
+    uint64_t stub_sends = 0;      // Transfers shipped with a CODE_DIGEST stub.
+    uint64_t full_sends = 0;      // Transfers that shipped full CODE (cache on).
+    uint64_t bytes_saved = 0;     // Frame-size delta, full vs stub, per accepted send.
+    uint64_t need_code_sent = 0;  // Receiver misses answered with NeedCode.
+    uint64_t full_resends = 0;    // NeedCode recoveries re-sent with full source.
+    uint64_t invalidations = 0;   // Sender beliefs dropped via the restart hook.
   };
 
   Simulator& sim() { return sim_; }
@@ -190,6 +226,7 @@ class Kernel {
   Status LaunchAgent(SiteId site, const std::string& code, Briefcase bc = Briefcase());
 
   const Stats& stats() const { return stats_; }
+  const CodeCacheStats& code_cache_stats() const { return code_stats_; }
   const KernelOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 
@@ -214,12 +251,24 @@ class Kernel {
     SiteId to = 0;
     std::string contact;
     std::string dead_letter;
-    Bytes frame;        // Encoded DATA frame, retransmitted verbatim.
-    Bytes briefcase;    // Serialized briefcase, for dead-letter returns.
+    SharedBytes frame;      // Encoded DATA frame, retransmitted verbatim.
+    SharedBytes briefcase;  // Serialized briefcase, for dead-letter returns.
+    // While `frame` is a CODE_DIGEST stub: the full-source frame to fall
+    // back to on NeedCode, and the digest whose belief that miss retracts.
+    SharedBytes full_frame;
+    std::string code_digest;
     int attempts = 0;   // Transmissions so far (accepted or not).
     SimTime first_sent = 0;
     SimTime backoff = 0;  // Wait before the next retransmission.
     TraceContext trace;   // Span of this transfer (zeroed when tracing is off).
+  };
+  // Sender-side NeedCode recovery record for a stubbed transfer that has no
+  // pending entry (fire-and-forget / at-most-once).  Bounded FIFO.
+  struct StubSend {
+    SiteId from = 0;
+    SiteId to = 0;
+    SharedBytes full_frame;
+    std::string code_digest;
   };
   // Receiver-side per-sender window of recently activated transfer ids.
   struct DedupWindow {
@@ -228,10 +277,17 @@ class Kernel {
   };
 
   void CreatePlace(SiteId site);
-  void HandleDelivery(SiteId to, SiteId from, const Bytes& payload);
+  void HandleDelivery(SiteId to, SiteId from, const SharedBytes& payload);
   void HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec);
   void HandleAck(SiteId to, Decoder* dec);
   void HandleNack(SiteId to, Decoder* dec);
+  // Receiver missed a stub's digest: fall back to the full-source frame and
+  // retract the belief that `from` holds the digest.
+  void HandleNeedCode(SiteId to, SiteId from, Decoder* dec);
+  // Restart hook: a rebooted site lost its CodeCache, so every sender's
+  // beliefs about it are stale.
+  void InvalidateCodeBeliefsAbout(SiteId site);
+  void RememberStubSend(uint64_t id, StubSend record);
   void SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
                    const std::string& reason);
   void ScheduleRetry(uint64_t id, SimTime delay);
@@ -267,7 +323,15 @@ class Kernel {
   uint64_t next_span_id_ = 0;
   std::map<uint64_t, PendingTransfer> pending_;
   std::map<SiteId, std::map<SiteId, DedupWindow>> dedup_;  // Keyed receiver, sender.
+  // Sender belief: known_code_[sender][dest] holds the CODE digests the
+  // sender believes `dest` has cached.  Optimistic (recorded on full send,
+  // and on receive for the reverse direction); corrected by NeedCode and
+  // wiped by crash/restart.
+  std::map<SiteId, std::map<SiteId, std::set<std::string>>> known_code_;
+  std::map<uint64_t, StubSend> stub_sends_;  // Keyed by transfer id.
+  std::deque<uint64_t> stub_send_order_;
   Stats stats_;
+  CodeCacheStats code_stats_;
   TraceBuffer trace_;
   MetricsRegistry metrics_;
   Histogram* ack_rtt_us_ = nullptr;       // kernel.transfer_ack_rtt_us.

@@ -20,6 +20,7 @@
 
 #include "core/briefcase.h"
 #include "core/cabinet.h"
+#include "core/codecache.h"
 #include "sim/network.h"
 #include "tacl/analyze.h"
 #include "tacl/interp.h"
@@ -141,6 +142,14 @@ class Place {
   void RecordArrivalMeetFailure() { ++stats_.arrival_meet_failures; }
   Rng& rng() { return rng_; }
 
+  // --- Content-addressed CODE cache (see core/codecache.h) --------------------------
+
+  // Volatile like every other Place state: a crash empties it, which is why
+  // the kernel invalidates sender-side beliefs about this site on restart.
+  CodeCache& code_cache() { return code_cache_; }
+  const CodeCache& code_cache() const { return code_cache_; }
+  void set_code_cache_capacity(size_t capacity) { code_cache_.set_capacity(capacity); }
+
  private:
   // Cached admission verdict for one CODE string: whether analysis passed and,
   // if not, the first error.  Resident TACL agents re-run the same source on
@@ -164,6 +173,7 @@ class Place {
   uint64_t generation_ = 0;
   int meet_depth_ = 0;
   Stats stats_;
+  CodeCache code_cache_;
   Rng rng_;
 };
 

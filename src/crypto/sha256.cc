@@ -96,7 +96,7 @@ void Sha256::Update(const uint8_t* data, size_t len) {
   }
 }
 
-void Sha256::Update(const Bytes& data) { Update(data.data(), data.size()); }
+void Sha256::Update(BytesView data) { Update(data.data(), data.size()); }
 
 void Sha256::Update(std::string_view data) {
   Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
@@ -130,7 +130,7 @@ Digest Sha256::Finish() {
   return out;
 }
 
-Digest Sha256::Hash(const Bytes& data) {
+Digest Sha256::Hash(BytesView data) {
   Sha256 h;
   h.Update(data);
   return h.Finish();

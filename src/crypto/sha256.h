@@ -21,7 +21,8 @@ class Sha256 {
   Sha256();
 
   void Update(const uint8_t* data, size_t len);
-  void Update(const Bytes& data);
+  // BytesView accepts Bytes and SharedBytes alike without copying.
+  void Update(BytesView data);
   void Update(std::string_view data);
 
   // Finalizes and returns the digest.  The hasher must not be reused after
@@ -31,7 +32,7 @@ class Sha256 {
   void Reset();
 
   // One-shot convenience.
-  static Digest Hash(const Bytes& data);
+  static Digest Hash(BytesView data);
   static Digest Hash(std::string_view data);
 
  private:

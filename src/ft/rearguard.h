@@ -77,7 +77,7 @@ class RearGuard {
   struct GuardRecord {
     std::string agent;
     uint32_t seq = 0;
-    Bytes checkpoint;       // Serialized briefcase, CODE included.
+    SharedBytes checkpoint; // Serialized briefcase, CODE included.
     std::string next_site;  // Where the agent went from here.
     std::string prev_site;  // Where the previous guard sits ("" at origin).
     int misses = 0;

@@ -22,7 +22,7 @@ Bytes MailMessage::Serialize() const {
   return enc.Take();
 }
 
-Result<MailMessage> MailMessage::Deserialize(const Bytes& data) {
+Result<MailMessage> MailMessage::Deserialize(BytesView data) {
   Decoder dec(data);
   MailMessage m;
   if (!dec.GetString(&m.id) || !dec.GetString(&m.from_user) ||

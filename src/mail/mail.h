@@ -27,7 +27,7 @@ struct MailMessage {
   uint64_t delivered_us = 0;
 
   Bytes Serialize() const;
-  static Result<MailMessage> Deserialize(const Bytes& data);
+  static Result<MailMessage> Deserialize(BytesView data);
 };
 
 class MailSystem {

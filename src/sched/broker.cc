@@ -118,7 +118,7 @@ Bytes BrokerService::SerializeDb() const {
   return enc.Take();
 }
 
-void BrokerService::MergeDb(const Bytes& data) {
+void BrokerService::MergeDb(BytesView data) {
   Decoder dec(data);
   uint64_t count = 0;
   if (!dec.GetVarint(&count)) {
@@ -346,7 +346,7 @@ Status BrokerService::OnMeet(Place& place, Briefcase& bc) {
       bc.SetString("STATUS", "no such protected agent");
       return NotFoundError("broker: no such protected agent");
     }
-    QueueMeetingRequest(*public_name, *payload->Front());
+    QueueMeetingRequest(*public_name, payload->Front()->ToBytes());
     bc.SetString("STATUS", "ok");
     return OkStatus();
   }

@@ -82,7 +82,7 @@ class BrokerService {
   void GossipOnce();
   void StartGossipTickChain(SimTime period);
   Bytes SerializeDb() const;
-  void MergeDb(const Bytes& data);
+  void MergeDb(BytesView data);
 
   Kernel* kernel_;
   SiteId site_;

@@ -22,7 +22,7 @@ Bytes Ticket::Serialize() const {
   return enc.Take();
 }
 
-Result<Ticket> Ticket::Deserialize(const Bytes& data) {
+Result<Ticket> Ticket::Deserialize(BytesView data) {
   Decoder dec(data);
   Ticket t;
   Bytes sig;

@@ -24,7 +24,7 @@ struct Ticket {
 
   Bytes SignedPayload() const;
   Bytes Serialize() const;
-  static Result<Ticket> Deserialize(const Bytes& data);
+  static Result<Ticket> Deserialize(BytesView data);
 };
 
 class TicketService {

@@ -36,6 +36,16 @@ void Encoder::PutBytes(const Bytes& b) {
   buffer_.insert(buffer_.end(), b.begin(), b.end());
 }
 
+void Encoder::PutBytes(const SharedBytes& b) {
+  PutVarint(b.size());
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+void Encoder::PutBytes(BytesView b) {
+  PutVarint(b.size());
+  buffer_.insert(buffer_.end(), b.data(), b.data() + b.size());
+}
+
 void Encoder::PutString(std::string_view s) {
   PutVarint(s.size());
   buffer_.insert(buffer_.end(), s.begin(), s.end());
@@ -118,6 +128,23 @@ bool Decoder::GetBytes(Bytes* b) {
     return Fail();
   }
   b->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return true;
+}
+
+bool Decoder::GetSharedBytes(SharedBytes* b) {
+  uint64_t len;
+  if (!GetVarint(&len)) {
+    return false;
+  }
+  if (size_ - pos_ < len) {
+    return Fail();
+  }
+  if (source_.empty() && len > 0) {
+    *b = SharedBytes(Bytes(data_ + pos_, data_ + pos_ + len));
+  } else {
+    *b = source_.Substr(pos_, len);
+  }
   pos_ += len;
   return true;
 }

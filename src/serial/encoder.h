@@ -21,6 +21,11 @@ class Encoder {
  public:
   Encoder() = default;
 
+  // Pre-allocates room for `additional` more bytes.  Callers that know their
+  // serialized size (Folder/Briefcase ByteSize()) reserve once up front
+  // instead of realloc-and-copying their way through a large encode.
+  void Reserve(size_t additional) { buffer_.reserve(buffer_.size() + additional); }
+
   // Fixed-width little-endian primitives.
   void PutU8(uint8_t v);
   void PutU32(uint32_t v);
@@ -34,6 +39,8 @@ class Encoder {
 
   // Length-prefixed byte string.
   void PutBytes(const Bytes& b);
+  void PutBytes(const SharedBytes& b);
+  void PutBytes(BytesView b);
   void PutString(std::string_view s);
 
   // Raw bytes, no length prefix (caller knows the framing).
@@ -41,6 +48,10 @@ class Encoder {
 
   const Bytes& buffer() const { return buffer_; }
   Bytes Take() { return std::move(buffer_); }
+  // Takes the buffer as an immutable shared frame: the wire representation
+  // every downstream holder (link hops, retry queue, receiver views) aliases
+  // instead of copying.
+  SharedBytes TakeShared() { return SharedBytes(std::move(buffer_)); }
   size_t size() const { return buffer_.size(); }
 
  private:
@@ -54,7 +65,12 @@ class Encoder {
 class Decoder {
  public:
   explicit Decoder(const Bytes& buffer) : data_(buffer.data()), size_(buffer.size()) {}
+  // Decoding a shared frame lets GetSharedBytes() return views into it (the
+  // zero-copy receive path); the other getters behave identically.
+  explicit Decoder(const SharedBytes& buffer)
+      : data_(buffer.data()), size_(buffer.size()), source_(buffer) {}
   Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(BytesView buffer) : data_(buffer.data()), size_(buffer.size()) {}
 
   bool GetU8(uint8_t* v);
   bool GetU32(uint32_t* v);
@@ -62,6 +78,10 @@ class Decoder {
   bool GetVarint(uint64_t* v);
   bool GetSignedVarint(int64_t* v);
   bool GetBytes(Bytes* b);
+  // Length-prefixed byte string as a SharedBytes.  When this decoder was
+  // constructed over a SharedBytes, the result is a view sharing the frame's
+  // allocation; otherwise the bytes are copied into a fresh buffer.
+  bool GetSharedBytes(SharedBytes* b);
   bool GetString(std::string* s);
 
   // True when the whole buffer was consumed and no decode failed.
@@ -77,6 +97,7 @@ class Decoder {
 
   const uint8_t* data_;
   size_t size_;
+  SharedBytes source_;  // Non-empty when constructed over a shared frame.
   size_t pos_ = 0;
   bool ok_ = true;
 };

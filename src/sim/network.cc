@@ -133,7 +133,7 @@ std::vector<SiteId> Network::Neighbors(SiteId site) const {
   return it->second;
 }
 
-Status Network::Send(SiteId from, SiteId to, Bytes payload) {
+Status Network::Send(SiteId from, SiteId to, SharedBytes payload) {
   if (from >= sites_.size() || to >= sites_.size()) {
     return InvalidArgumentError("no such site");
   }
@@ -152,7 +152,8 @@ Status Network::Send(SiteId from, SiteId to, Bytes payload) {
   return OkStatus();
 }
 
-void Network::ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload,
+void Network::ForwardHop(SiteId at, SiteId from, SiteId to,
+                         const SharedBytes& payload,
                          uint32_t dest_epoch) {
   if (at == to) {
     Site& dest = sites_[to];
@@ -203,6 +204,8 @@ void Network::ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload
     return;
   }
 
+  // The capture shares the frame (refcount bump), so an N-hop route holds
+  // one allocation, not N copies of the payload.
   sim_->At(arrive, [this, next, from, to, payload, dest_epoch] {
     if (!sites_[next].up) {
       ++stats_.messages_dropped;

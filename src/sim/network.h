@@ -52,8 +52,10 @@ struct NetworkStats {
 
 class Network {
  public:
-  // Called when a message reaches its destination site.
-  using Handler = std::function<void(SiteId from, const Bytes& payload)>;
+  // Called when a message reaches its destination site.  The payload is a
+  // shared frame: the handler may keep views into it (they pin the
+  // allocation) but never mutate it.
+  using Handler = std::function<void(SiteId from, const SharedBytes& payload)>;
   // Called when a site restarts (so upper layers can run recovery).
   using RestartHook = std::function<void(SiteId site)>;
   // Called after a link is added (so upper layers can track adjacency).
@@ -86,7 +88,11 @@ class Network {
   // once accepted, the message can still be silently lost to failures while
   // in flight (callers needing reliability build timeouts above this, as the
   // paper's agents do).
-  Status Send(SiteId from, SiteId to, Bytes payload);
+  //
+  // The payload is a refcounted frame: an N-hop route schedules N link
+  // traversals that all alias one allocation (frames are immutable once
+  // sent), so forwarding and retransmission never deep-copy the bytes.
+  Status Send(SiteId from, SiteId to, SharedBytes payload);
 
   // --- Failure injection ---------------------------------------------------
 
@@ -140,7 +146,7 @@ class Network {
   const Link* FindLink(SiteId a, SiteId b) const;
 
   // Schedules the hop `at` -> next toward `to`; drops on failure.
-  void ForwardHop(SiteId at, SiteId from, SiteId to, const Bytes& payload,
+  void ForwardHop(SiteId at, SiteId from, SiteId to, const SharedBytes& payload,
                   uint32_t dest_epoch);
 
   Simulator* sim_;

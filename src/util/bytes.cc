@@ -28,6 +28,26 @@ std::string ToString(const Bytes& b) {
   return std::string(b.begin(), b.end());
 }
 
+SharedBytes SharedBytes::FromString(std::string_view s) {
+  // Qualified: the member ToBytes() would shadow the free function here.
+  return SharedBytes(::tacoma::ToBytes(s));
+}
+
+SharedBytes SharedBytes::Substr(size_t pos, size_t len) const {
+  SharedBytes out;
+  if (owner_ == nullptr || pos >= size_) {
+    return out;
+  }
+  out.owner_ = owner_;
+  out.offset_ = offset_ + pos;
+  out.size_ = len < size_ - pos ? len : size_ - pos;
+  return out;
+}
+
+std::string ToString(const SharedBytes& b) {
+  return std::string(b.StringView());
+}
+
 std::string HexEncode(const Bytes& b) {
   std::string out;
   out.reserve(b.size() * 2);

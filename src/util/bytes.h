@@ -1,11 +1,16 @@
 // Byte-string helpers shared across the codebase.
 //
 // TACOMA folders hold "uninterpreted sequences of bits" (paper §2); Bytes is
-// that representation.
+// that representation.  SharedBytes is the same sequence behind a refcount:
+// folders, briefcases, and network frames pass payload around constantly
+// (every rexec hop, retry, and checkpoint), and the paper demands that all of
+// that be cheap — so payload bytes are immutable-once-built and shared, not
+// deep-copied (see docs/performance.md).
 #ifndef TACOMA_UTIL_BYTES_H_
 #define TACOMA_UTIL_BYTES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +22,90 @@ using Bytes = std::vector<uint8_t>;
 // String <-> Bytes conversions (no encoding applied; byte-for-byte).
 Bytes ToBytes(std::string_view s);
 std::string ToString(const Bytes& b);
+
+// Immutable, reference-counted byte buffer with cheap substring views.
+//
+// Copying a SharedBytes bumps a refcount; Substr() yields a view into the
+// same allocation.  This is the copy-on-write half of "folders must be cheap
+// to move": a folder element, a serialized frame in flight across N link
+// hops, and a rear-guard checkpoint can all alias one buffer.  The buffer is
+// never mutated after construction — "write" means building a new buffer.
+//
+// Trade-off (deliberate): a small view pins its whole backing allocation.
+// Fine for agent frames, whose elements live about as long as the frame; use
+// ToBytes() to detach when retaining a sliver of a large buffer long-term.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  // Implicit on purpose: every legacy call site that built a Bytes and handed
+  // it off keeps working, paying one move (no copy) to become shareable.
+  SharedBytes(Bytes b) : owner_(std::make_shared<const Bytes>(std::move(b))) {
+    size_ = owner_->size();
+  }
+
+  static SharedBytes FromString(std::string_view s);
+
+  const uint8_t* data() const { return owner_ ? owner_->data() + offset_ : nullptr; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + size_; }
+
+  // View of [pos, pos+len) sharing this buffer's allocation.  Clamped to the
+  // buffer's bounds.
+  SharedBytes Substr(size_t pos, size_t len) const;
+
+  // Detached deep copies (the only way bytes leave the shared allocation).
+  Bytes ToBytes() const { return Bytes(begin(), end()); }
+  std::string_view StringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data()), size_);
+  }
+
+  // True when both views alias the same allocation at the same range (no
+  // content comparison) — for tests asserting "this was shared, not copied".
+  bool SharesBufferWith(const SharedBytes& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.StringView() == b.StringView();
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) { return b == a; }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  size_t offset_ = 0;
+  size_t size_ = 0;
+};
+
+// Non-owning view over contiguous bytes, implicitly constructible from Bytes
+// and SharedBytes.  Decode-style helpers (X::Deserialize, DecodeEcus, ...)
+// take this so call sites holding either representation pass it without a
+// copy.  The view must not outlive what it points at.
+class BytesView {
+ public:
+  BytesView() = default;
+  BytesView(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  BytesView(const SharedBytes& b) : data_(b.data()), size_(b.size()) {}
+  BytesView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+std::string ToString(const SharedBytes& b);
 
 // Lowercase hex encoding / decoding.  Decode returns false on malformed input.
 std::string HexEncode(const Bytes& b);

@@ -75,5 +75,62 @@ TEST(Fnv1a64Test, SensitiveToEveryByte) {
   EXPECT_NE(Fnv1a64("abc"), Fnv1a64("bbc"));
 }
 
+
+// --- SharedBytes / BytesView (copy-on-write buffers) -----------------------
+
+TEST(SharedBytesTest, WrapsBufferWithoutCopyOnSubstr) {
+  SharedBytes whole = SharedBytes::FromString("hello, world");
+  SharedBytes hello = whole.Substr(0, 5);
+  SharedBytes world = whole.Substr(7, 5);
+  EXPECT_EQ(ToString(hello), "hello");
+  EXPECT_EQ(ToString(world), "world");
+  // Views alias the original allocation rather than copying it.
+  EXPECT_TRUE(hello.SharesBufferWith(whole));
+  EXPECT_TRUE(world.SharesBufferWith(hello));
+}
+
+TEST(SharedBytesTest, SubstrClampsAndEmptyOnOutOfRange) {
+  SharedBytes b = SharedBytes::FromString("abc");
+  EXPECT_EQ(ToString(b.Substr(1, 100)), "bc");
+  EXPECT_TRUE(b.Substr(3, 1).empty());
+  EXPECT_TRUE(SharedBytes().Substr(0, 1).empty());
+}
+
+TEST(SharedBytesTest, EqualityComparesContentNotIdentity) {
+  SharedBytes a = SharedBytes::FromString("same");
+  SharedBytes b = SharedBytes::FromString("same");
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, ToBytes("same"));
+  EXPECT_NE(a, SharedBytes::FromString("other"));
+}
+
+TEST(SharedBytesTest, ImplicitFromBytesAndBackOut) {
+  Bytes plain = ToBytes("payload");
+  SharedBytes shared = plain;  // Implicit: Bytes is movable into a frame.
+  EXPECT_EQ(shared.ToBytes(), ToBytes("payload"));
+  EXPECT_EQ(shared.StringView(), "payload");
+}
+
+TEST(SharedBytesTest, CopiesShareTheAllocation) {
+  SharedBytes a = SharedBytes::FromString("frame");
+  SharedBytes b = a;
+  SharedBytes c;
+  c = b;
+  EXPECT_TRUE(b.SharesBufferWith(a));
+  EXPECT_TRUE(c.SharesBufferWith(a));
+  EXPECT_EQ(c, a);
+}
+
+TEST(BytesViewTest, ViewsBytesAndSharedBytesAlike) {
+  Bytes plain = ToBytes("view me");
+  SharedBytes shared = SharedBytes::FromString("view me");
+  BytesView from_plain = plain;
+  BytesView from_shared = shared;
+  ASSERT_EQ(from_plain.size(), from_shared.size());
+  EXPECT_EQ(from_plain.size(), 7u);
+  EXPECT_TRUE(std::equal(from_plain.begin(), from_plain.end(), from_shared.begin()));
+}
+
 }  // namespace
 }  // namespace tacoma

@@ -1,0 +1,317 @@
+// Content-addressed CODE cache: the CodeCache store itself, the kernel's
+// stub/NeedCode transfer protocol around it, and the cache-off determinism
+// guarantee (bit-identical traces and metrics for a seeded run).
+#include "core/codecache.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kernel.h"
+#include "crypto/sha256.h"
+#include "serial/encoder.h"
+#include "util/bytes.h"
+
+namespace tacoma {
+namespace {
+
+Folder MakeCode(const std::string& body) {
+  Folder f;
+  f.PushBackString(body);
+  return f;
+}
+
+SharedBytes EncodeFolder(const Folder& f) {
+  Encoder enc;
+  f.Encode(&enc);
+  return enc.TakeShared();
+}
+
+TEST(CodeCacheTest, PutGetRoundTrip) {
+  CodeCache cache(4);
+  Folder code = MakeCode("proc f {} { return 1 }");
+  std::string digest = CodeCache::DigestOf(code);
+  cache.Put(digest, code, EncodeFolder(code));
+  const Folder* got = cache.Get(digest);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, code);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CodeCacheTest, MissOnUnknownDigest) {
+  CodeCache cache(4);
+  EXPECT_EQ(cache.Get(std::string(64, 'a')), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CodeCacheTest, LruEvictsOldestAndGetRefreshes) {
+  CodeCache cache(2);
+  Folder a = MakeCode("agent a");
+  Folder b = MakeCode("agent b");
+  Folder c = MakeCode("agent c");
+  std::string da = CodeCache::DigestOf(a);
+  std::string db = CodeCache::DigestOf(b);
+  std::string dc = CodeCache::DigestOf(c);
+  cache.Put(da, a, EncodeFolder(a));
+  cache.Put(db, b, EncodeFolder(b));
+  // Touch `a` so `b` becomes the LRU entry; inserting `c` must evict `b`.
+  ASSERT_NE(cache.Get(da), nullptr);
+  cache.Put(dc, c, EncodeFolder(c));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(da));
+  EXPECT_FALSE(cache.Contains(db));
+  EXPECT_TRUE(cache.Contains(dc));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CodeCacheTest, ShrinkingCapacityEvicts) {
+  CodeCache cache(4);
+  Folder a = MakeCode("agent a");
+  Folder b = MakeCode("agent b");
+  cache.Put(CodeCache::DigestOf(a), a, EncodeFolder(a));
+  cache.Put(CodeCache::DigestOf(b), b, EncodeFolder(b));
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  // The later insert is the more recently used entry and survives.
+  EXPECT_TRUE(cache.Contains(CodeCache::DigestOf(b)));
+}
+
+TEST(CodeCacheTest, DigestMismatchEvictsAndMisses) {
+  CodeCache cache(4);
+  Folder real = MakeCode("the real agent");
+  Folder corrupt = MakeCode("not that agent at all");
+  std::string digest = CodeCache::DigestOf(real);
+  // Plant an entry whose content does not hash to its key (Put trusts the
+  // caller; Get must not).
+  cache.Put(digest, corrupt, EncodeFolder(corrupt));
+  EXPECT_EQ(cache.Get(digest), nullptr);
+  EXPECT_EQ(cache.stats().digest_mismatches, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_FALSE(cache.Contains(digest));
+}
+
+// --- Kernel protocol -------------------------------------------------------
+
+// A two-site kernel with the cache on; `hopper` jumps once per launch so
+// every journey is launch-at-a, transfer a->b.
+class CodeCacheKernelTest : public ::testing::Test {
+ protected:
+  static KernelOptions Options() {
+    KernelOptions options;
+    options.seed = 7;
+    options.reliability.mode = Reliability::kReliable;
+    options.code_cache.enabled = true;
+    return options;
+  }
+
+  explicit CodeCacheKernelTest(KernelOptions options = Options()) : kernel_(options) {
+    a_ = kernel_.AddSite("a");
+    b_ = kernel_.AddSite("b");
+    kernel_.net().AddLink(a_, b_, LinkParams{kMillisecond, 1'000'000});
+  }
+
+  // Launches an agent at `a` that jumps to `b` and bumps an arrival counter.
+  void RunJourney(const std::string& marker) {
+    Briefcase bc;
+    bc.SetString("AGENT", marker);
+    bc.folder("HOPS").PushBackString("b");
+    Status launched = kernel_.LaunchAgent(
+        a_, "if {[bc_len HOPS] > 0} { jump [bc_pop HOPS] } else { cab_append arrivals N 1 }",
+        bc);
+    ASSERT_TRUE(launched.ok()) << launched.ToString();
+    kernel_.sim().Run();
+  }
+
+  uint64_t Arrivals() {
+    Place* place = kernel_.place(b_);
+    if (place == nullptr || !place->HasCabinet("arrivals")) {
+      return 0;
+    }
+    return place->Cabinet("arrivals").List("N").size();
+  }
+
+  Kernel kernel_;
+  SiteId a_ = 0;
+  SiteId b_ = 0;
+};
+
+TEST_F(CodeCacheKernelTest, SecondJourneyWithSameCodeShipsStub) {
+  RunJourney("one");
+  EXPECT_EQ(kernel_.code_cache_stats().full_sends, 1u);
+  EXPECT_EQ(kernel_.code_cache_stats().stub_sends, 0u);
+  uint64_t full_bytes = kernel_.net().stats().bytes_on_wire;
+
+  kernel_.net().ResetStats();
+  RunJourney("two");
+  EXPECT_EQ(kernel_.code_cache_stats().stub_sends, 1u);
+  EXPECT_EQ(kernel_.code_cache_stats().need_code_sent, 0u);
+  EXPECT_GT(kernel_.code_cache_stats().bytes_saved, 0u);
+  EXPECT_LT(kernel_.net().stats().bytes_on_wire, full_bytes);
+  EXPECT_EQ(Arrivals(), 2u);
+
+  // The receiver resolved the stub from its cache.
+  EXPECT_GE(kernel_.place(b_)->code_cache().stats().hits, 1u);
+}
+
+TEST_F(CodeCacheKernelTest, EvictedDigestFallsBackViaNeedCode) {
+  // Warm the belief, then evict everything at the receiver: the sender still
+  // stubs, the receiver misses and answers NeedCode, and the full-source
+  // resend completes the delivery.  No journey is lost to the optimisation.
+  RunJourney("one");
+  kernel_.place(b_)->set_code_cache_capacity(1);
+  Folder unrelated = MakeCode("something else entirely");
+  kernel_.place(b_)->code_cache().Put(CodeCache::DigestOf(unrelated), unrelated,
+                                      EncodeFolder(unrelated));
+
+  RunJourney("two");
+  const auto& cs = kernel_.code_cache_stats();
+  EXPECT_EQ(cs.stub_sends, 1u);
+  EXPECT_GE(cs.need_code_sent, 1u);
+  EXPECT_GE(cs.full_resends, 1u);
+  EXPECT_EQ(Arrivals(), 2u);
+}
+
+TEST_F(CodeCacheKernelTest, CorruptCacheEntryIsRejectedAndRecovered) {
+  RunJourney("one");
+  // Corrupt the receiver's entry in place: replace the journey code's digest
+  // with different content.  The stub must NOT activate the wrong agent.
+  Place* b_place = kernel_.place(b_);
+  ASSERT_EQ(b_place->code_cache().size(), 1u);
+  // Recover the digest the sender will stub with: re-derive it from a fresh
+  // launch briefcase's CODE folder.
+  Briefcase probe;
+  probe.folder(kCodeFolder).PushBackString(
+      "if {[bc_len HOPS] > 0} { jump [bc_pop HOPS] } else { cab_append arrivals N 1 }");
+  std::string digest = CodeCache::DigestOf(probe.folder(kCodeFolder));
+  Folder corrupt = MakeCode("cab_set arrivals HIJACKED 1");
+  b_place->code_cache().Put(digest, corrupt, EncodeFolder(corrupt));
+
+  RunJourney("two");
+  const auto& cs = kernel_.code_cache_stats();
+  EXPECT_GE(cs.need_code_sent, 1u);
+  EXPECT_GE(cs.full_resends, 1u);
+  EXPECT_GE(b_place->code_cache().stats().digest_mismatches, 1u);
+  EXPECT_EQ(Arrivals(), 2u);
+  EXPECT_FALSE(kernel_.place(b_)->Cabinet("arrivals").HasFolder("HIJACKED"));
+}
+
+TEST_F(CodeCacheKernelTest, RestartInvalidatesSenderBeliefs) {
+  RunJourney("one");
+  EXPECT_EQ(kernel_.code_cache_stats().full_sends, 1u);
+
+  // The crash empties b's cache; the restart hook must drop a's beliefs
+  // about b, so the next journey ships full source again (no stub, no
+  // NeedCode round trip).
+  kernel_.CrashSite(b_);
+  kernel_.RestartSite(b_);
+  EXPECT_GE(kernel_.code_cache_stats().invalidations, 1u);
+
+  RunJourney("two");
+  const auto& cs = kernel_.code_cache_stats();
+  EXPECT_EQ(cs.stub_sends, 0u);
+  EXPECT_EQ(cs.full_sends, 2u);
+  EXPECT_EQ(cs.need_code_sent, 0u);
+  EXPECT_EQ(Arrivals(), 1u);  // Pre-crash arrivals were volatile and died with b.
+}
+
+// Fire-and-forget stubs have no pending entry; NeedCode recovery must come
+// from the bounded stub-send records.
+TEST(CodeCacheFireAndForgetTest, NeedCodeRecoveryWithoutPendingEntry) {
+  KernelOptions options;
+  options.seed = 11;
+  options.reliability.mode = Reliability::kOff;
+  options.code_cache.enabled = true;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("a");
+  SiteId b = kernel.AddSite("b");
+  kernel.net().AddLink(a, b, LinkParams{kMillisecond, 1'000'000});
+
+  auto journey = [&](const char* marker) {
+    Briefcase bc;
+    bc.SetString("AGENT", marker);
+    bc.folder("HOPS").PushBackString("b");
+    (void)kernel.LaunchAgent(
+        a, "if {[bc_len HOPS] > 0} { jump [bc_pop HOPS] } else { cab_append arrivals N 1 }",
+        bc);
+    kernel.sim().Run();
+  };
+  journey("one");
+  // Empty b's cache under a's feet: the next stub must miss and recover.
+  kernel.place(b)->set_code_cache_capacity(1);
+  Folder unrelated = MakeCode("other agent");
+  kernel.place(b)->code_cache().Put(CodeCache::DigestOf(unrelated), unrelated,
+                                    EncodeFolder(unrelated));
+  journey("two");
+
+  const auto& cs = kernel.code_cache_stats();
+  EXPECT_EQ(cs.stub_sends, 1u);
+  EXPECT_GE(cs.need_code_sent, 1u);
+  EXPECT_GE(cs.full_resends, 1u);
+  EXPECT_EQ(kernel.place(b)->Cabinet("arrivals").List("N").size(), 2u);
+}
+
+// --- Cache-off determinism -------------------------------------------------
+//
+// The optimisation must be invisible when disabled: for a fixed seed the
+// trace JSON is bit-identical to the pre-cache kernel's, and the metrics
+// snapshot is bit-identical once the (unconditionally registered, all-zero)
+// code_cache.* keys are stripped.  The golden hashes below were captured
+// from the tree immediately before the code cache landed; a change here
+// means the default-off wire or trace behaviour drifted.
+TEST(CodeCacheDeterminismTest, CacheOffMatchesPreCacheGolden) {
+  KernelOptions options;
+  options.seed = 1995;
+  options.reliability.mode = Reliability::kReliable;
+  options.code_cache.enabled = false;  // Explicit: env must not leak in.
+  Kernel k(options);
+  SiteId s0 = k.AddSite("s0");
+  SiteId s1 = k.AddSite("s1");
+  SiteId s2 = k.AddSite("s2");
+  SiteId s3 = k.AddSite("s3");
+  k.net().AddLink(s0, s1, LinkParams{2 * kMillisecond, 1'000'000});
+  k.net().AddLink(s1, s2, LinkParams{2 * kMillisecond, 1'000'000});
+  k.net().AddLink(s2, s3, LinkParams{2 * kMillisecond, 1'000'000});
+  k.net().SetLinkLoss(s1, s2, 0.10);
+
+  const char* walker = R"(
+    cab_append visits SEEN [site]
+    if {[bc_len ITINERARY] > 0} {
+      jump [bc_pop ITINERARY]
+    } else {
+      cab_set visits DONE 1
+    }
+  )";
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  for (const char* hop : {"s1", "s2", "s3", "s1", "s0"}) {
+    bc.folder("ITINERARY").PushBackString(hop);
+  }
+  ASSERT_TRUE(k.LaunchAgent(s0, walker, bc).ok());
+  k.sim().Run();
+
+  EXPECT_EQ(DigestToHex(Sha256::Hash(k.trace().ChromeTraceJson())),
+            "51d7aec700eb754789ce2f86b71042d6a403435200b8ed7afe97141b3938a56f");
+
+  std::istringstream lines(k.metrics().TextSnapshot());
+  std::string stripped;
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("code_cache.", 0) != 0) {
+      stripped += line;
+      stripped += '\n';
+    }
+  }
+  EXPECT_EQ(DigestToHex(Sha256::Hash(stripped)),
+            "fadf3710f6c3f60039a616ca462a8d35fc080b5f187c6bd0fa82989507c8e715");
+
+  EXPECT_EQ(k.net().stats().bytes_on_wire, 1898u);
+  EXPECT_EQ(k.net().stats().messages_sent, 11u);
+  EXPECT_TRUE(k.place(s0)->Cabinet("visits").HasFolder("DONE"));
+  // And the cache counters really were inert.
+  EXPECT_EQ(k.code_cache_stats().stub_sends, 0u);
+  EXPECT_EQ(k.code_cache_stats().full_sends, 0u);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -62,7 +62,7 @@ TEST(FolderTest, AtAndIteration) {
   EXPECT_EQ(ToString(f.At(0)), "x");
   EXPECT_EQ(ToString(f.At(1)), "y");
   size_t count = 0;
-  for (const Bytes& b : f) {
+  for (const SharedBytes& b : f) {
     (void)b;
     ++count;
   }

@@ -50,7 +50,7 @@ TEST(IntegrationTest, PayPerDataItinerary) {
         return PermissionDeniedError("underpaid");
       }
       // Bank one payment element in the till; the rest travels on.
-      at.Cabinet("shop").Append("TILL", *payment->PopFront());
+      at.Cabinet("shop").Append("TILL", payment->PopFront()->ToBytes());
       bc.folder("DATA").PushBackString(
           *at.Cabinet("shop").GetSingleString("DATUM"));
       return OkStatus();

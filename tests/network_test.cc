@@ -19,8 +19,8 @@ class NetworkTest : public ::testing::Test {
 
   // Records deliveries at `site` into `log`.
   void Record(SiteId site, std::vector<Delivered>* log) {
-    net_.SetHandler(site, [this, log](SiteId from, const Bytes& payload) {
-      log->push_back({from, payload, sim_.Now()});
+    net_.SetHandler(site, [this, log](SiteId from, const SharedBytes& payload) {
+      log->push_back({from, payload.ToBytes(), sim_.Now()});
     });
   }
 
@@ -211,7 +211,7 @@ TEST_F(NetworkTest, ResetStatsClears) {
   SiteId a = net_.AddSite("a");
   SiteId b = net_.AddSite("b");
   net_.AddLink(a, b);
-  net_.SetHandler(b, [](SiteId, const Bytes&) {});
+  net_.SetHandler(b, [](SiteId, const SharedBytes&) {});
   ASSERT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
   sim_.Run();
   EXPECT_GT(net_.stats().messages_sent, 0u);
