@@ -1,0 +1,247 @@
+// E13 — Crash-atomic cabinet persistence.
+//
+// Paper §6: "file cabinets can be flushed to disk when permanence is
+// required."  This experiment prices that permanence and verifies the
+// machinery behind it scales the way the design claims:
+//
+//   1. Flush latency vs cabinet size, MemDisk vs FileDisk (real fsync-less
+//      filesystem I/O): the cost of an explicit snapshot.
+//   2. Write-ahead overhead per mutation: time and log bytes each mutation
+//      pays for crash survival without explicit flushes.
+//   3. Recovery time vs log length across compaction thresholds: the knob
+//      that bounds how much log a restart must replay.
+//   4. A kernel crash/recover scenario (armed disk, mid-flush crash) whose
+//      unified metrics snapshot — including the storage.* keys — is exported
+//      for the CI smoke check.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cabinet.h"
+#include "core/kernel.h"
+#include "storage/crash_disk.h"
+#include "storage/disk.h"
+#include "storage/disk_log.h"
+
+namespace tacoma {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+// A cabinet with `elements` ~64-byte entries spread over a handful of folders
+// (the paper's visit lists: many small records, few folders).
+void Populate(FileCabinet* cab, int elements) {
+  // Strings built with += rather than `"literal" + std::to_string(...)`:
+  // gcc 12's -Wrestrict misfires on the latter at -O2 (PR 105651).
+  for (int i = 0; i < elements; ++i) {
+    std::string value = "element-";
+    value += std::to_string(i);
+    value += "-padding-padding-padding-padding-padding-padding";
+    std::string folder = "F";
+    folder += std::to_string(i % 4);
+    cab->AppendString(folder, value);
+  }
+}
+
+void FlushLatency(bool smoke) {
+  const int repeats = smoke ? 5 : 20;
+  std::vector<int> sizes = smoke ? std::vector<int>{100, 1000}
+                                 : std::vector<int>{100, 1000, 10000};
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tacoma_bench_e13";
+  std::filesystem::remove_all(dir);
+
+  bench::Table table({"elements", "disk", "snapshot bytes", "flush p50 us",
+                      "flush p95 us"});
+  for (int elements : sizes) {
+    for (bool file_backed : {false, true}) {
+      MemDisk mem;
+      FileDisk file(dir.string());
+      Disk* disk = file_backed ? static_cast<Disk*>(&file) : &mem;
+      FileCabinet cab("bench");
+      cab.AttachStorage(std::make_unique<DiskLog>(disk, "cab.bench"));
+      Populate(&cab, elements);
+
+      std::vector<double> micros;
+      for (int r = 0; r < repeats; ++r) {
+        // Touch one element so each flush snapshots fresh state.
+        cab.AppendString("F0", "touch-" + std::to_string(r));
+        Clock::time_point start = Clock::now();
+        if (!cab.Flush().ok()) {
+          std::fprintf(stderr, "flush failed\n");
+          return;
+        }
+        micros.push_back(MicrosSince(start));
+      }
+      table.AddRow({bench::Fmt("%d", elements), file_backed ? "file" : "mem",
+                    bench::Fmt("%zu", cab.Serialize().size()),
+                    bench::Fmt("%.1f", bench::Percentile(micros, 50)),
+                    bench::Fmt("%.1f", bench::Percentile(micros, 95))});
+    }
+  }
+  std::printf("\nFlush latency: explicit snapshot of an n-element cabinet\n"
+              "(epoch-stamped snapshot + atomic rename commit):\n");
+  table.Print();
+  std::filesystem::remove_all(dir);
+}
+
+void WalOverhead(bool smoke) {
+  const int mutations = smoke ? 2000 : 20000;
+  bench::Table table({"write-ahead", "mutations", "us/mutation",
+                      "disk bytes/mutation"});
+  for (bool write_ahead : {false, true}) {
+    MemDisk mem;
+    FileCabinet cab("bench");
+    cab.AttachStorage(std::make_unique<DiskLog>(&mem, "cab.bench"), write_ahead);
+    size_t bytes_before = mem.TotalBytes();
+    Clock::time_point start = Clock::now();
+    Populate(&cab, mutations);
+    double micros = MicrosSince(start);
+    table.AddRow(
+        {write_ahead ? "on" : "off", bench::Fmt("%d", mutations),
+         bench::Fmt("%.3f", micros / mutations),
+         bench::Fmt("%.1f", static_cast<double>(mem.TotalBytes() - bytes_before) /
+                                mutations)});
+  }
+  std::printf("\nWrite-ahead overhead: what each mutation pays for crash\n"
+              "survival without explicit flushes (MemDisk):\n");
+  table.Print();
+}
+
+void RecoveryVsThreshold(bool smoke) {
+  const int mutations = smoke ? 2000 : 20000;
+  std::vector<uint64_t> thresholds = {0, 64, 256, 1024};
+  bench::Table table({"threshold", "autocompactions", "records replayed",
+                      "recovery us"});
+  for (uint64_t threshold : thresholds) {
+    MemDisk mem;
+    StorageStats stats;
+    FileCabinet cab("bench");
+    cab.AttachStorage(std::make_unique<DiskLog>(&mem, "cab.bench"),
+                      /*write_ahead=*/true);
+    cab.set_storage_stats(&stats);
+    cab.set_compaction_threshold(threshold);
+    Populate(&cab, mutations);
+
+    FileCabinet recovered("bench");
+    recovered.AttachStorage(std::make_unique<DiskLog>(&mem, "cab.bench"),
+                            /*write_ahead=*/true);
+    recovered.set_storage_stats(&stats);
+    Clock::time_point start = Clock::now();
+    if (!recovered.Recover().ok()) {
+      std::fprintf(stderr, "recovery failed\n");
+      return;
+    }
+    double micros = MicrosSince(start);
+    table.AddRow({threshold == 0 ? "off" : bench::Fmt("%llu",
+                                                      (unsigned long long)threshold),
+                  bench::Fmt("%llu", (unsigned long long)stats.autocompactions),
+                  bench::Fmt("%llu", (unsigned long long)stats.records_replayed),
+                  bench::Fmt("%.1f", micros)});
+  }
+  std::printf("\nRecovery vs compaction threshold: %d write-ahead mutations,\n"
+              "then a cold Recover().  The threshold bounds the log a restart\n"
+              "must replay (off = the whole history):\n", mutations);
+  table.Print();
+}
+
+// Metrics snapshot of the crash/recover scenario, exported for the CI smoke
+// check (must contain the storage.* keys).
+std::string g_metrics_json;
+
+void CrashRecoverScenario(bool smoke) {
+  const int tokens = smoke ? 50 : 500;
+  KernelOptions options;
+  options.seed = 13;
+  options.cabinet_write_ahead = true;
+  options.cabinet_compaction_threshold = 64;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+
+  for (int i = 0; i < tokens; ++i) {
+    std::string token = "t";
+    token += std::to_string(i);
+    kernel.place(site)->Cabinet("visits").AppendString("SEEN", token);
+  }
+  (void)kernel.place(site)->Cabinet("visits").Flush();
+  // More work, then a disk that dies mid-flush and a site crash on top.
+  for (int i = 0; i < tokens; ++i) {
+    std::string token = "u";
+    token += std::to_string(i);
+    kernel.place(site)->Cabinet("visits").AppendString("MORE", token);
+  }
+  kernel.ArmDiskCrash(site, /*ops_from_now=*/1, /*tear_fraction=*/0.4);
+  (void)kernel.place(site)->Cabinet("visits").Flush();
+  kernel.CrashSite(site);
+
+  Clock::time_point start = Clock::now();
+  kernel.RestartSite(site);
+  double restart_micros = MicrosSince(start);
+  size_t recovered = kernel.place(site)->Cabinet("visits").Size("SEEN") +
+                     kernel.place(site)->Cabinet("visits").Size("MORE");
+
+  g_metrics_json = kernel.metrics().JsonSnapshot();
+  std::printf("\nCrash/recover scenario: %d+%d tokens, disk armed mid-flush,\n"
+              "site crashed and restarted.  Recovered %zu/%d tokens in %.1f us\n"
+              "(storage.recoveries=%lld, records_replayed=%lld, "
+              "stale_records_dropped=%lld).\n",
+              tokens, tokens, recovered, 2 * tokens, restart_micros,
+              static_cast<long long>(
+                  kernel.metrics().Value("storage.recoveries").value_or(0)),
+              static_cast<long long>(
+                  kernel.metrics().Value("storage.records_replayed").value_or(0)),
+              static_cast<long long>(
+                  kernel.metrics().Value("storage.stale_records_dropped")
+                      .value_or(0)));
+}
+
+}  // namespace
+}  // namespace tacoma
+
+// Flags:
+//   --smoke              trimmed sweep for CI (smaller cabinets, fewer repeats)
+//   --metrics-out PATH   write the crash/recover scenario's unified metrics
+//                        registry snapshot as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  tacoma::bench::PrintHeader(
+      "E13 — Crash-atomic cabinet persistence",
+      "cabinets can be flushed to disk when permanence is required (paper "
+      "S6); permanence must be cheap, recovery fast, and a crash at any "
+      "disk operation must never corrupt or double-apply state");
+  tacoma::FlushLatency(smoke);
+  tacoma::WalOverhead(smoke);
+  tacoma::RecoveryVsThreshold(smoke);
+  tacoma::CrashRecoverScenario(smoke);
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"bench_e13_persistence\",\"smoke\":%s,\"metrics\":%s}\n",
+                 smoke ? "true" : "false", tacoma::g_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out);
+  }
+  return 0;
+}

@@ -29,10 +29,19 @@ run_stage() {
   ctest --test-dir "${dir}" "${CTEST_ARGS[@]}"
 }
 
+# The storage/cabinet/crash-recovery suite gets an explicit focused run under
+# each sanitizer: torn-write recovery walks byte buffers at the edge of
+# truncation, exactly where ASan/UBSan earn their keep.
+STORAGE_TESTS='DiskTest|FileDiskTest|DiskLogTest|FileCabinetTest|CabinetTest|CrashDiskTest|CrashPointSweepTest|KernelRecoveryTest'
+
 run_stage plain
 run_stage asan-ubsan -DTACOMA_SANITIZE=address,undefined
+echo "=== [asan-ubsan] storage/cabinet focus ==="
+ctest --test-dir build-ci/asan-ubsan "${CTEST_ARGS[@]}" -R "${STORAGE_TESTS}"
 if [[ "${RUN_TSAN}" == "1" ]]; then
   run_stage tsan -DTACOMA_SANITIZE=thread
+  echo "=== [tsan] storage/cabinet focus ==="
+  ctest --test-dir build-ci/tsan "${CTEST_ARGS[@]}" -R "${STORAGE_TESTS}"
 fi
 
 # Metrics validation: the snapshot at $1 must contain every key in
@@ -76,5 +85,17 @@ E12_JSON="build-ci/release/e12_metrics.json"
   > /dev/null
 check_metrics "${E12_JSON}"
 echo "=== [perf-smoke] ok ==="
+
+# Persistence smoke: the same Release tree runs the crash-atomic persistence
+# bench — flush latency, WAL overhead, recovery with an armed disk — and its
+# snapshot must carry the storage.* counters.
+echo "=== [release] build bench_e13_persistence (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e13_persistence
+echo "=== [perf-smoke] bench_e13_persistence --smoke ==="
+E13_JSON="build-ci/release/e13_metrics.json"
+./build-ci/release/bench/bench_e13_persistence --smoke --metrics-out "${E13_JSON}" \
+  > /dev/null
+check_metrics "${E13_JSON}"
+echo "=== [perf-smoke] e13 ok ==="
 
 echo "=== all checks passed ==="

@@ -50,13 +50,38 @@ void FileCabinet::LogOp(Op op, const std::string& folder, const Bytes& element) 
   if (log_ == nullptr || !write_ahead_) {
     return;
   }
+  ++mutations_since_compact_;
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(op));
   enc.PutString(folder);
   enc.PutBytes(element);
-  // Best effort: the simulated disk never fails; a real disk error here would
-  // surface on the next Flush().
-  (void)log_->Append(enc.buffer());
+  Status appended = log_->Append(enc.buffer());
+  if (!appended.ok()) {
+    // The mutation still applies in memory, but it is not durable: remember
+    // the first failure (sticky) and surface it from the next Flush().
+    if (storage_stats_ != nullptr) {
+      ++storage_stats_->wal_append_errors;
+    }
+    if (wal_error_.ok()) {
+      wal_error_ = std::move(appended);
+    }
+  }
+}
+
+void FileCabinet::MaybeAutoCompact() {
+  if (log_ == nullptr || !write_ahead_ || compaction_threshold_ == 0 ||
+      mutations_since_compact_ < compaction_threshold_) {
+    return;
+  }
+  if (storage_stats_ != nullptr) {
+    ++storage_stats_->autocompactions;
+  }
+  Status compacted = log_->Compact(Serialize());
+  // Nothing is lost on failure — the write-ahead records are still in the
+  // log, recovery just replays more of them.  Reset the counter either way
+  // so a failing disk is retried a full threshold later, not every mutation.
+  mutations_since_compact_ = 0;
+  (void)compacted;
 }
 
 // --- Public operations -----------------------------------------------------------
@@ -64,6 +89,7 @@ void FileCabinet::LogOp(Op op, const std::string& folder, const Bytes& element) 
 void FileCabinet::Append(const std::string& folder, Bytes element) {
   LogOp(Op::kAppend, folder, element);
   ApplyAppend(folder, std::move(element));
+  MaybeAutoCompact();
 }
 
 void FileCabinet::AppendString(const std::string& folder, std::string_view element) {
@@ -73,6 +99,7 @@ void FileCabinet::AppendString(const std::string& folder, std::string_view eleme
 void FileCabinet::Set(const std::string& folder, Bytes element) {
   LogOp(Op::kSet, folder, element);
   ApplySet(folder, std::move(element));
+  MaybeAutoCompact();
 }
 
 void FileCabinet::SetString(const std::string& folder, std::string_view element) {
@@ -140,12 +167,16 @@ bool FileCabinet::HasFolder(const std::string& folder) const {
 
 bool FileCabinet::EraseFolder(const std::string& folder) {
   LogOp(Op::kEraseFolder, folder, Bytes());
-  return ApplyEraseFolder(folder);
+  bool erased = ApplyEraseFolder(folder);
+  MaybeAutoCompact();
+  return erased;
 }
 
 bool FileCabinet::EraseElement(const std::string& folder, const Bytes& element) {
   LogOp(Op::kEraseElement, folder, element);
-  return ApplyEraseElement(folder, element);
+  bool erased = ApplyEraseElement(folder, element);
+  MaybeAutoCompact();
+  return erased;
 }
 
 std::vector<std::string> FileCabinet::FolderNames() const {
@@ -168,7 +199,20 @@ Status FileCabinet::Flush() {
   if (log_ == nullptr) {
     return FailedPreconditionError("cabinet " + name_ + " has no storage attached");
   }
-  return log_->Compact(Serialize());
+  TACOMA_RETURN_IF_ERROR(log_->Compact(Serialize()));
+  mutations_since_compact_ = 0;
+  if (!wal_error_.ok()) {
+    // The compaction just made the full state durable again, but write-ahead
+    // records were lost in the interim: a crash inside that window would have
+    // dropped mutations.  Report the window once, then clear it.
+    Status window = std::move(wal_error_);
+    wal_error_ = OkStatus();
+    return DataLossError("cabinet " + name_ +
+                         ": write-ahead appends failed since last flush "
+                         "(state is durable again as of this flush): " +
+                         window.ToString());
+  }
+  return OkStatus();
 }
 
 Status FileCabinet::Recover() {
@@ -185,6 +229,14 @@ Status FileCabinet::Recover() {
   }
   for (const Bytes& record : contents->records) {
     TACOMA_RETURN_IF_ERROR(Replay(record));
+  }
+  wal_error_ = OkStatus();
+  mutations_since_compact_ = contents->records.size();
+  if (storage_stats_ != nullptr) {
+    ++storage_stats_->recoveries;
+    storage_stats_->torn_tails += contents->truncated_tail ? 1 : 0;
+    storage_stats_->records_replayed += contents->records.size();
+    storage_stats_->stale_records_dropped += contents->stale_records_dropped;
   }
   return OkStatus();
 }

@@ -66,10 +66,29 @@ class FileCabinet {
   void AttachStorage(std::unique_ptr<DiskLog> log, bool write_ahead = false);
   bool HasStorage() const { return log_ != nullptr; }
 
-  // Snapshots the full cabinet to storage.
+  // Storage-layer accounting sink (owned by the kernel, shared across
+  // cabinets).  Recoveries, replayed records, torn tails, and lost WAL
+  // appends are counted into it.
+  void set_storage_stats(StorageStats* stats) { storage_stats_ = stats; }
+  // With write-ahead logging, compact (snapshot + clear the log) once this
+  // many mutations accumulate since the last compaction (0 = only explicit
+  // Flush).  Bounds how much log a recovery has to replay.
+  void set_compaction_threshold(uint64_t mutations) {
+    compaction_threshold_ = mutations;
+  }
+
+  // Snapshots the full cabinet to storage.  If any write-ahead append failed
+  // since the last flush, that loss is surfaced here (after compacting, so
+  // the returned error means "state is durable again now, but there was a
+  // window in which it was not").
   Status Flush();
   // Rebuilds in-memory state from storage (snapshot + logged mutations).
   Status Recover();
+
+  // First write-ahead append failure since the last successful Flush().
+  // Mutations are applied in memory regardless; this records that they were
+  // not made durable.
+  const Status& wal_error() const { return wal_error_; }
 
   // --- Whole-cabinet serialization (used by Flush and by tests) ------------------
 
@@ -93,6 +112,9 @@ class FileCabinet {
   bool ApplyEraseFolder(const std::string& folder);
   bool ApplyEraseElement(const std::string& folder, const Bytes& element);
   void LogOp(Op op, const std::string& folder, const Bytes& element);
+  // Compacts when the write-ahead log has grown past the threshold.  Called
+  // after a mutation is applied, so the snapshot includes it.
+  void MaybeAutoCompact();
   Status Replay(const Bytes& record);
 
   std::string name_;
@@ -100,6 +122,10 @@ class FileCabinet {
   std::unique_ptr<DiskLog> log_;
   bool write_ahead_ = false;
   uint64_t mutations_ = 0;
+  uint64_t mutations_since_compact_ = 0;
+  uint64_t compaction_threshold_ = 0;
+  Status wal_error_;
+  StorageStats* storage_stats_ = nullptr;
 };
 
 }  // namespace tacoma

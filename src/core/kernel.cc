@@ -215,6 +215,20 @@ void Kernel::RegisterKernelMetrics() {
     return total;
   });
 
+  // Storage-layer durability accounting (see docs/persistence.md).  The
+  // StorageStats struct is kernel-owned, so the counters survive the site
+  // crashes whose recoveries they count.
+  metrics_.AddProbe("storage.recoveries", [this] { return storage_stats_.recoveries; });
+  metrics_.AddProbe("storage.torn_tails", [this] { return storage_stats_.torn_tails; });
+  metrics_.AddProbe("storage.records_replayed",
+                    [this] { return storage_stats_.records_replayed; });
+  metrics_.AddProbe("storage.stale_records_dropped",
+                    [this] { return storage_stats_.stale_records_dropped; });
+  metrics_.AddProbe("storage.wal_append_errors",
+                    [this] { return storage_stats_.wal_append_errors; });
+  metrics_.AddProbe("storage.autocompactions",
+                    [this] { return storage_stats_.autocompactions; });
+
   // The trace buffer's own health.
   metrics_.AddProbe("trace.events_recorded", [this] { return trace_.recorded(); });
   metrics_.AddProbe("trace.events_dropped", [this] { return trace_.dropped(); });
@@ -272,11 +286,16 @@ bool Kernel::PlaceAlive(SiteId site, uint64_t generation) {
   return p != nullptr && p->generation() == generation;
 }
 
-MemDisk& Kernel::disk(SiteId site) {
+Disk& Kernel::disk(SiteId site) {
   while (disks_.size() <= site) {
-    disks_.push_back(std::make_unique<MemDisk>());
+    disks_.push_back(std::make_unique<SiteDisk>());
   }
-  return *disks_[site];
+  return disks_[site]->crash;
+}
+
+void Kernel::ArmDiskCrash(SiteId site, uint64_t ops_from_now, double tear_fraction) {
+  disk(site);  // Ensure the disk exists.
+  disks_[site]->crash.Arm(ops_from_now, tear_fraction);
 }
 
 void Kernel::AddPlaceInitializer(std::function<void(Place&)> init) {
@@ -361,6 +380,12 @@ void Kernel::RestartSite(SiteId site) {
   }
   if (places_[site] != nullptr) {
     return;  // Already up.
+  }
+  if (site < disks_.size()) {
+    // Remount the disk: a crashed/armed fault injector is cleared, the bytes
+    // that landed before the fault stay exactly as they are — recovery below
+    // has to cope with whatever torn state the crash left.
+    disks_[site]->crash.Reset();
   }
   net_.RestartSite(site);
   CreatePlace(site);
@@ -481,7 +506,7 @@ void Kernel::AppendDedupJournal(SiteId to, SiteId from, uint64_t id) {
 }
 
 void Kernel::LoadDedupJournal(SiteId site) {
-  MemDisk& d = disk(site);
+  Disk& d = disk(site);
   if (!d.Exists(kDedupJournalFile)) {
     return;
   }
@@ -897,7 +922,7 @@ void Kernel::HandleNack(SiteId to, Decoder* dec) {
   pending_.erase(it);
 }
 
-void Kernel::HandleNeedCode(SiteId to, SiteId from, Decoder* dec) {
+void Kernel::HandleNeedCode(SiteId to, SiteId /*from*/, Decoder* dec) {
   uint64_t id = 0;
   if (!dec->GetU64(&id)) {
     return;

@@ -22,7 +22,9 @@
 #include "core/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "storage/crash_disk.h"
 #include "storage/disk.h"
+#include "storage/disk_log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 
@@ -99,6 +101,11 @@ struct KernelOptions {
   uint64_t step_limit = 5'000'000;
   // Write-ahead logging for cabinets (durable without explicit flushes).
   bool cabinet_write_ahead = false;
+  // With write-ahead cabinets: compact (snapshot + clear the log) once this
+  // many mutations accumulate since the last compaction (0 = only explicit
+  // Flush).  Bounds how long recovery after a crash takes; bench_e13
+  // measures the trade-off.
+  uint64_t cabinet_compaction_threshold = 0;
   // What every Place does with agent CODE that fails static admission
   // analysis (see tacl/analyze.h): run it anyway, warn, or reject it before
   // the interpreter sees it.
@@ -190,8 +197,10 @@ class Kernel {
   // True when the place at `site` is up and still the same incarnation —
   // the check timers must make before dereferencing a captured place.
   bool PlaceAlive(SiteId site, uint64_t generation);
-  // Disk contents survive crashes.
-  MemDisk& disk(SiteId site);
+  // Disk contents survive crashes.  Every site disk is a CrashDisk over a
+  // MemDisk, so fault injection (ArmDiskCrash, the ChaosHarness) can make
+  // persistence fail mid-flush; unarmed it is transparent.
+  Disk& disk(SiteId site);
   size_t site_count() const { return net_.site_count(); }
 
   // Applied to every Place now and on every future (re)creation — modules
@@ -203,8 +212,14 @@ class Kernel {
   // Kills the site: volatile Place state is lost; disk survives.
   void CrashSite(SiteId site);
   // Brings the site back with a fresh Place; flushed cabinets are recovered
-  // and place initializers re-run.
+  // and place initializers re-run.  A crashed/armed site disk is reset
+  // (remounted) first, keeping exactly the bytes that landed before the
+  // fault.
   void RestartSite(SiteId site);
+  // Arms the site's disk to fail `ops_from_now` mutating operations later
+  // (torn writes/partial appends keep `tear_fraction` of the payload), so a
+  // subsequent CrashSite lands mid-flush.  See storage/crash_disk.h.
+  void ArmDiskCrash(SiteId site, uint64_t ops_from_now, double tear_fraction = 0.5);
 
   // --- Agent movement -----------------------------------------------------------------
 
@@ -227,6 +242,11 @@ class Kernel {
 
   const Stats& stats() const { return stats_; }
   const CodeCacheStats& code_cache_stats() const { return code_stats_; }
+  // Storage-layer accounting (cabinet recoveries, replayed records, torn
+  // tails, lost WAL appends).  Kernel-owned so it survives site crashes;
+  // exported as the storage.* metrics.
+  StorageStats& storage_stats() { return storage_stats_; }
+  const StorageStats& storage_stats() const { return storage_stats_; }
   const KernelOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 
@@ -275,6 +295,12 @@ class Kernel {
     std::deque<uint64_t> order;
     std::set<uint64_t> seen;
   };
+  // A site's persistent storage: the MemDisk holds the bytes (surviving
+  // crashes), the CrashDisk in front of it is the fault-injection point.
+  struct SiteDisk {
+    MemDisk mem;
+    CrashDisk crash{&mem};
+  };
 
   void CreatePlace(SiteId site);
   void HandleDelivery(SiteId to, SiteId from, const SharedBytes& payload);
@@ -316,7 +342,7 @@ class Kernel {
   Network net_;
   Rng rng_;
   std::vector<std::unique_ptr<Place>> places_;    // Indexed by SiteId; null when down.
-  std::vector<std::unique_ptr<MemDisk>> disks_;   // Indexed by SiteId; survives crashes.
+  std::vector<std::unique_ptr<SiteDisk>> disks_;  // Indexed by SiteId; survives crashes.
   std::vector<std::function<void(Place&)>> place_initializers_;
   uint64_t next_transfer_id_ = 0;
   uint64_t next_trace_id_ = 0;
@@ -332,6 +358,7 @@ class Kernel {
   std::deque<uint64_t> stub_send_order_;
   Stats stats_;
   CodeCacheStats code_stats_;
+  StorageStats storage_stats_;
   TraceBuffer trace_;
   MetricsRegistry metrics_;
   Histogram* ack_rtt_us_ = nullptr;       // kernel.transfer_ack_rtt_us.

@@ -77,6 +77,8 @@ FileCabinet& Place::Cabinet(const std::string& cabinet) {
   fresh->AttachStorage(
       std::make_unique<DiskLog>(&kernel_->disk(site_), "cab." + cabinet),
       kernel_->options().cabinet_write_ahead);
+  fresh->set_storage_stats(&kernel_->storage_stats());
+  fresh->set_compaction_threshold(kernel_->options().cabinet_compaction_threshold);
   FileCabinet& ref = *fresh;
   cabinets_.emplace(cabinet, std::move(fresh));
   return ref;
@@ -96,9 +98,11 @@ std::vector<std::string> Place::CabinetNames() const {
 }
 
 void Place::RecoverCabinets() {
-  // Cabinet storage files are named "cab.<name>.snap" / "cab.<name>.log".
+  // Cabinet storage files are named "cab.<name>.snap" / "cab.<name>.log"; a
+  // "cab.<name>.snap.tmp" is an in-flight compaction a crash abandoned — not
+  // a cabinet of its own, and superseded by whatever the .snap holds.
   for (const std::string& file : kernel_->disk(site_).List()) {
-    if (file.rfind("cab.", 0) != 0) {
+    if (file.rfind("cab.", 0) != 0 || file.ends_with(".tmp")) {
       continue;
     }
     size_t dot = file.rfind('.');

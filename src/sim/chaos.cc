@@ -17,6 +17,8 @@ void ChaosHarness::SetSiteHooks(SiteHook crash, SiteHook restart) {
   restart_ = std::move(restart);
 }
 
+void ChaosHarness::SetDiskArmHook(DiskArmHook arm) { arm_disk_ = std::move(arm); }
+
 void ChaosHarness::AddInvariant(std::string name, Invariant check) {
   invariants_.emplace_back(std::move(name), std::move(check));
 }
@@ -49,6 +51,19 @@ void ChaosHarness::ScheduleSiteFaults() {
       continue;
     }
     busy_until[victim] = t + downtime + 1;
+    if (options_.disk_fault_prob > 0 && arm_disk_ &&
+        rng_.UniformDouble() < options_.disk_fault_prob) {
+      // Arm the victim's disk shortly before the crash: the next few flush /
+      // journal operations fail (the last one torn), so the crash lands in
+      // the middle of a persistence sequence instead of between them.
+      uint64_t ops = 1 + rng_.Uniform(options_.max_disk_fault_ops);
+      double tear = rng_.UniformDouble();
+      SimTime arm_at = t > options_.disk_fault_lead ? t - options_.disk_fault_lead : 0;
+      sim_->At(arm_at, [this, victim, ops, tear] {
+        ++report_.disk_faults;
+        arm_disk_(victim, ops, tear);
+      });
+    }
     sim_->At(t, [this, victim] {
       ++report_.crashes;
       crash_(victim);
@@ -168,6 +183,8 @@ void ChaosHarness::RegisterMetrics(MetricsRegistry* registry,
   registry->AddProbe(prefix + "restores", [this] { return report_.restores; });
   registry->AddProbe(prefix + "loss_flaps",
                      [this] { return report_.loss_flaps; });
+  registry->AddProbe(prefix + "disk_faults",
+                     [this] { return report_.disk_faults; });
   registry->AddProbe(prefix + "checks", [this] { return report_.checks; });
   registry->AddProbe(prefix + "violations",
                      [this] { return static_cast<uint64_t>(report_.violations.size()); });

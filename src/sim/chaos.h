@@ -50,6 +50,19 @@ struct ChaosOptions {
   SimTime mean_flap_interval = 100 * kMillisecond;
   double max_loss = 0.5;
 
+  // Mid-flush disk faults: with this probability a scheduled site crash is
+  // preceded (by disk_fault_lead) by arming the site's disk — via the
+  // DiskArmHook — to fail a few mutating operations later, so the crash
+  // lands in the middle of whatever flush/journal activity is in flight
+  // (torn write, partial append, failed rename).  0 disables; the rng draws
+  // are only taken when enabled, so existing seeds keep their schedules.
+  double disk_fault_prob = 0.0;
+  // Uniform [1, max_disk_fault_ops] mutating operations pass between arming
+  // and the injected failure.
+  uint64_t max_disk_fault_ops = 6;
+  // Lead time between arming the disk and the site crash itself.
+  SimTime disk_fault_lead = 20 * kMillisecond;
+
   // Cadence of invariant evaluation while the storm runs.
   SimTime check_interval = 100 * kMillisecond;
 
@@ -61,6 +74,12 @@ struct ChaosOptions {
 class ChaosHarness {
  public:
   using SiteHook = std::function<void(SiteId)>;
+  // Arms a site's disk to fail `ops_from_now` mutating operations later with
+  // `tear_fraction` of a torn payload landing (see Kernel::ArmDiskCrash /
+  // storage/crash_disk.h).  The layering note above applies: the harness
+  // cannot know about CrashDisk, so the kernel side is injected.
+  using DiskArmHook =
+      std::function<void(SiteId, uint64_t ops_from_now, double tear_fraction)>;
   // Returns OkStatus while the invariant holds; the error message of a
   // violation is recorded in the report.
   using Invariant = std::function<Status()>;
@@ -71,6 +90,7 @@ class ChaosHarness {
     uint64_t cuts = 0;
     uint64_t restores = 0;
     uint64_t loss_flaps = 0;
+    uint64_t disk_faults = 0;
     uint64_t checks = 0;
     std::vector<std::string> violations;
   };
@@ -83,6 +103,9 @@ class ChaosHarness {
   // and recreate Places).  Without hooks, site faults fall back to the raw
   // Network::CrashSite / RestartSite, which upper layers will not notice.
   void SetSiteHooks(SiteHook crash, SiteHook restart);
+  // Required for disk_fault_prob > 0 (site crashes cannot land mid-flush
+  // without a way to arm the site's disk).
+  void SetDiskArmHook(DiskArmHook arm);
 
   void AddInvariant(std::string name, Invariant check);
 
@@ -118,6 +141,7 @@ class ChaosHarness {
   Rng rng_;
   SiteHook crash_;
   SiteHook restart_;
+  DiskArmHook arm_disk_;
   std::vector<std::pair<std::string, Invariant>> invariants_;
   Report report_;
 };

@@ -10,7 +10,11 @@ std::vector<SiteId> AddSites(Network* net, size_t n) {
   ids.reserve(n);
   size_t base = net->site_count();
   for (size_t i = 0; i < n; ++i) {
-    ids.push_back(net->AddSite("s" + std::to_string(base + i)));
+    // Built in two steps: gcc 12's -Wrestrict misfires on
+    // `"literal" + std::to_string(...)` at -O2 (PR 105651).
+    std::string name = "s";
+    name += std::to_string(base + i);
+    ids.push_back(net->AddSite(name));
   }
   return ids;
 }

@@ -1,0 +1,112 @@
+#include "storage/crash_disk.h"
+
+#include <algorithm>
+
+namespace tacoma {
+
+void CrashDisk::Arm(uint64_t ops_from_now, double tear_fraction) {
+  armed_ = true;
+  countdown_ = ops_from_now;
+  tear_fraction_ = std::clamp(tear_fraction, 0.0, 1.0);
+}
+
+void CrashDisk::Reset() {
+  armed_ = false;
+  crashed_ = false;
+  countdown_ = 0;
+}
+
+bool CrashDisk::TickFails() {
+  ++mutating_ops_;
+  if (!armed_) {
+    return false;
+  }
+  if (countdown_ > 0) {
+    --countdown_;
+    return false;
+  }
+  armed_ = false;
+  crashed_ = true;
+  ++faults_injected_;
+  return true;
+}
+
+Bytes CrashDisk::TornPrefix(const Bytes& data) const {
+  size_t keep = static_cast<size_t>(static_cast<double>(data.size()) * tear_fraction_);
+  keep = std::min(keep, data.size());
+  return Bytes(data.begin(), data.begin() + static_cast<long>(keep));
+}
+
+Status CrashDisk::CrashedError(const std::string& op) const {
+  return UnavailableError("disk crashed: " + op);
+}
+
+Status CrashDisk::Write(const std::string& name, const Bytes& data) {
+  if (crashed_) {
+    return CrashedError("write " + name);
+  }
+  if (TickFails()) {
+    // Torn write: a prefix of the payload replaces the file before the
+    // failure surfaces — the worst case a non-atomic overwrite allows.  With
+    // tear_fraction 0 the crash fires before the write reaches the disk at
+    // all, so the old contents survive (distinct from an empty prefix, which
+    // would truncate the file).
+    if (tear_fraction_ > 0.0) {
+      (void)base_->Write(name, TornPrefix(data));
+    }
+    return DataLossError("injected torn write: " + name);
+  }
+  return base_->Write(name, data);
+}
+
+Result<Bytes> CrashDisk::Read(const std::string& name) const {
+  if (crashed_) {
+    return CrashedError("read " + name);
+  }
+  return base_->Read(name);
+}
+
+Status CrashDisk::Append(const std::string& name, const Bytes& data) {
+  if (crashed_) {
+    return CrashedError("append " + name);
+  }
+  if (TickFails()) {
+    (void)base_->Append(name, TornPrefix(data));
+    return DataLossError("injected partial append: " + name);
+  }
+  return base_->Append(name, data);
+}
+
+Status CrashDisk::Remove(const std::string& name) {
+  if (crashed_) {
+    return CrashedError("remove " + name);
+  }
+  if (TickFails()) {
+    return UnavailableError("injected failed remove: " + name);
+  }
+  return base_->Remove(name);
+}
+
+Status CrashDisk::Rename(const std::string& from, const std::string& to) {
+  if (crashed_) {
+    return CrashedError("rename " + from);
+  }
+  if (TickFails()) {
+    // Renames are atomic: the injected failure leaves both names untouched.
+    return UnavailableError("injected failed rename: " + from + " -> " + to);
+  }
+  return base_->Rename(from, to);
+}
+
+bool CrashDisk::Exists(const std::string& name) const {
+  return !crashed_ && base_->Exists(name);
+}
+
+std::vector<std::string> CrashDisk::List() const {
+  if (crashed_) {
+    return {};
+  }
+  return base_->List();
+}
+
+}  // namespace tacoma

@@ -1,0 +1,87 @@
+// Fault-injecting Disk decorator for crash-point testing.
+//
+// Crash-safety claims about the persistence layer ("a crash between these two
+// writes cannot corrupt the cabinet") are only worth anything if a crash can
+// actually be made to land between those two writes.  CrashDisk wraps any
+// Disk and counts its mutating operations (Write, Append, Remove, Rename);
+// Arm(k) makes the k-th mutating operation from now fail the way a dying disk
+// does:
+//
+//   - Write/Append land a torn prefix of the payload (a partial sector
+//     flush) before reporting failure; a tear_fraction of 0 means the crash
+//     fired before the operation reached the disk at all, so the previous
+//     contents survive untouched;
+//   - Remove/Rename fail with no effect (directory ops are atomic: they
+//     either happened or they didn't).
+//
+// After the injected failure the disk is "crashed": every operation fails
+// (reads included — the process is dead) until Reset(), which models the
+// restart remounting the device with whatever bytes actually landed.
+//
+// The op counter runs whether or not a fault is armed, so a test can dry-run
+// a workload once to learn its operation count N, then sweep every crash
+// point k in [0, N) — the crash-point sweep in tests/crash_recovery_test.cc.
+// The kernel wraps every site disk in one of these, and the ChaosHarness
+// arms them just before scheduled site crashes so simulated failures land
+// mid-flush.
+#ifndef TACOMA_STORAGE_CRASH_DISK_H_
+#define TACOMA_STORAGE_CRASH_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+class CrashDisk : public Disk {
+ public:
+  explicit CrashDisk(Disk* base) : base_(base) {}
+
+  // The mutating operation `ops_from_now` ops ahead fails (0 = the very next
+  // one).  For Write/Append, `tear_fraction` of the payload (clamped to
+  // [0, 1]) still lands before the failure; 0 means nothing reached the disk
+  // (a Write leaves the old file intact).  Re-arming replaces any armed
+  // fault.
+  void Arm(uint64_t ops_from_now, double tear_fraction = 0.5);
+  void Disarm() { armed_ = false; }
+
+  // Clears the crashed state (and any armed fault), as a restart remounting
+  // the disk would.  The bytes that landed stay exactly as they are.
+  void Reset();
+
+  bool armed() const { return armed_; }
+  bool crashed() const { return crashed_; }
+  // Total mutating operations observed (including the failed one).
+  uint64_t mutating_ops() const { return mutating_ops_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  Status Write(const std::string& name, const Bytes& data) override;
+  Result<Bytes> Read(const std::string& name) const override;
+  Status Append(const std::string& name, const Bytes& data) override;
+  Status Remove(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List() const override;
+
+ private:
+  // Counts one mutating op; true when this is the op that must fail.
+  bool TickFails();
+  Bytes TornPrefix(const Bytes& data) const;
+  Status CrashedError(const std::string& op) const;
+
+  Disk* base_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t countdown_ = 0;
+  double tear_fraction_ = 0.5;
+  uint64_t mutating_ops_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_STORAGE_CRASH_DISK_H_

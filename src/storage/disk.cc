@@ -32,6 +32,16 @@ Status MemDisk::Remove(const std::string& name) {
   return OkStatus();
 }
 
+Status MemDisk::Rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return OkStatus();
+}
+
 bool MemDisk::Exists(const std::string& name) const { return files_.contains(name); }
 
 std::vector<std::string> MemDisk::List() const {
@@ -56,15 +66,75 @@ FileDisk::FileDisk(std::string directory) : directory_(std::move(directory)) {
   std::filesystem::create_directories(directory_, ec);
 }
 
-std::string FileDisk::PathFor(const std::string& name) const {
-  // Flatten to a safe filename: path separators and dots become underscores.
-  std::string safe = name;
-  for (char& c : safe) {
-    if (c == '/' || c == '\\' || c == '.') {
-      c = '_';
+namespace {
+
+bool IsPlainNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '.' || c == '_' || c == '-';
+}
+
+char HexDigit(unsigned v) { return static_cast<char>(v < 10 ? '0' + v : 'A' + (v - 10)); }
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+void AppendEscaped(std::string* out, char c) {
+  unsigned byte = static_cast<unsigned char>(c);
+  out->push_back('%');
+  out->push_back(HexDigit(byte >> 4));
+  out->push_back(HexDigit(byte & 0xf));
+}
+
+}  // namespace
+
+std::string FileDisk::EscapeName(const std::string& name) {
+  // Dots stay literal (so "a.b" and "a_b" cannot collide, unlike the old
+  // flatten-to-underscore scheme), but a name that is nothing but dots would
+  // alias "." or ".." — those are escaped entirely.
+  bool all_dots = !name.empty();
+  for (char c : name) {
+    if (c != '.') {
+      all_dots = false;
+      break;
     }
   }
-  return directory_ + "/" + safe;
+  std::string safe;
+  safe.reserve(name.size());
+  for (char c : name) {
+    if (IsPlainNameChar(c) && !(all_dots && c == '.')) {
+      safe.push_back(c);
+    } else {
+      AppendEscaped(&safe, c);
+    }
+  }
+  return safe;
+}
+
+std::string FileDisk::UnescapeName(const std::string& filename) {
+  std::string name;
+  name.reserve(filename.size());
+  for (size_t i = 0; i < filename.size(); ++i) {
+    if (filename[i] == '%' && i + 2 < filename.size()) {
+      int hi = HexValue(filename[i + 1]);
+      int lo = HexValue(filename[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        name.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    // Foreign file with a malformed escape: return it verbatim.
+    name.push_back(filename[i]);
+  }
+  return name;
+}
+
+std::string FileDisk::PathFor(const std::string& name) const {
+  return directory_ + "/" + EscapeName(name);
 }
 
 Status FileDisk::Write(const std::string& name, const Bytes& data) {
@@ -98,8 +168,28 @@ Status FileDisk::Append(const std::string& name, const Bytes& data) {
 
 Status FileDisk::Remove(const std::string& name) {
   std::error_code ec;
-  if (!std::filesystem::remove(PathFor(name), ec) || ec) {
+  bool removed = std::filesystem::remove(PathFor(name), ec);
+  if (ec) {
+    // A real I/O failure (permissions, non-empty directory, ...) is not the
+    // same as absence; callers like DiskLog::Destroy tolerate only the latter.
+    return InternalError("cannot remove " + name + ": " + ec.message());
+  }
+  if (!removed) {
     return NotFoundError("no such file: " + name);
+  }
+  return OkStatus();
+}
+
+Status FileDisk::Rename(const std::string& from, const std::string& to) {
+  if (!Exists(from)) {
+    return NotFoundError("no such file: " + from);
+  }
+  std::error_code ec;
+  // POSIX rename: atomic replacement of `to`, which is what makes the
+  // DiskLog snapshot swap crash-safe on a real filesystem.
+  std::filesystem::rename(PathFor(from), PathFor(to), ec);
+  if (ec) {
+    return InternalError("cannot rename " + from + " -> " + to + ": " + ec.message());
   }
   return OkStatus();
 }
@@ -113,7 +203,9 @@ std::vector<std::string> FileDisk::List() const {
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
-    names.push_back(entry.path().filename().string());
+    // Undo the filename escaping so callers see the names they stored —
+    // DiskLog names like "cab.system.snap" must round-trip through List().
+    names.push_back(UnescapeName(entry.path().filename().string()));
   }
   return names;
 }

@@ -26,7 +26,12 @@ class Disk {
   virtual Status Write(const std::string& name, const Bytes& data) = 0;
   virtual Result<Bytes> Read(const std::string& name) const = 0;
   virtual Status Append(const std::string& name, const Bytes& data) = 0;
+  // NotFound when the file is absent; any other code is a real I/O failure.
   virtual Status Remove(const std::string& name) = 0;
+  // Atomically replaces `to` with `from` (the destination, if present, is
+  // overwritten as one step — the foundation of DiskLog's crash-safe
+  // snapshot swap).  NotFound when `from` is absent.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual bool Exists(const std::string& name) const = 0;
   virtual std::vector<std::string> List() const = 0;
 };
@@ -37,6 +42,7 @@ class MemDisk : public Disk {
   Result<Bytes> Read(const std::string& name) const override;
   Status Append(const std::string& name, const Bytes& data) override;
   Status Remove(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> List() const override;
 
@@ -49,15 +55,23 @@ class MemDisk : public Disk {
 
 class FileDisk : public Disk {
  public:
-  // Creates `directory` if missing.  Names are sanitized to flat filenames.
+  // Creates `directory` if missing.  Names are escaped to flat filenames with
+  // a reversible %XX scheme (see EscapeName), so distinct logical names never
+  // collide on disk and List() returns the original names.
   explicit FileDisk(std::string directory);
 
   Status Write(const std::string& name, const Bytes& data) override;
   Result<Bytes> Read(const std::string& name) const override;
   Status Append(const std::string& name, const Bytes& data) override;
   Status Remove(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> List() const override;
+
+  // Reversible flat-filename escaping: [A-Za-z0-9._-] pass through (except
+  // '%', and names that are entirely dots); everything else becomes %XX.
+  static std::string EscapeName(const std::string& name);
+  static std::string UnescapeName(const std::string& filename);
 
  private:
   std::string PathFor(const std::string& name) const;

@@ -4,24 +4,68 @@
 
 namespace tacoma {
 
+namespace {
+
+// Checksum covering both the payload and the epoch it is stamped with, so a
+// corrupt epoch can never smuggle a record into the wrong compaction era.
+uint64_t FrameChecksum(uint64_t epoch, const Bytes& payload) {
+  return Fnv1a64(payload) ^ (0x9e3779b97f4a7c15ULL * (epoch + 1));
+}
+
+}  // namespace
+
 DiskLog::DiskLog(Disk* disk, std::string name) : disk_(disk), name_(std::move(name)) {}
 
+void DiskLog::EnsureEpoch() {
+  if (epoch_known_) {
+    return;
+  }
+  if (!disk_->Exists(SnapFile())) {
+    epoch_known_ = true;  // Fresh log: epoch 0.
+    return;
+  }
+  auto snap = disk_->Read(SnapFile());
+  if (!snap.ok()) {
+    // Disk unreadable right now; retry on the next call rather than pinning
+    // epoch 0 over a snapshot that may carry a later one.
+    return;
+  }
+  Decoder dec(*snap);
+  uint64_t epoch = 0;
+  if (dec.GetU64(&epoch)) {
+    epoch_ = epoch;
+  }
+  epoch_known_ = true;
+}
+
 Status DiskLog::Append(const Bytes& record) {
+  EnsureEpoch();
   Encoder enc;
+  enc.PutU64(epoch_);
   enc.PutBytes(record);
-  enc.PutU64(Fnv1a64(record));
+  enc.PutU64(FrameChecksum(epoch_, record));
   return disk_->Append(LogFile(), enc.buffer());
 }
 
 Status DiskLog::Compact(const Bytes& state) {
+  EnsureEpoch();
+  const uint64_t epoch = epoch_ + 1;
   Encoder enc;
+  enc.PutU64(epoch);
   enc.PutBytes(state);
-  enc.PutU64(Fnv1a64(state));
-  TACOMA_RETURN_IF_ERROR(disk_->Write(SnapFile(), enc.buffer()));
-  return disk_->Write(LogFile(), Bytes());
+  enc.PutU64(FrameChecksum(epoch, state));
+  TACOMA_RETURN_IF_ERROR(disk_->Write(TmpFile(), enc.buffer()));
+  // The swap is the commit point: a crash before it leaves the old snapshot
+  // and log intact; a crash after it leaves the new snapshot plus stale
+  // records that Load() discards by epoch.
+  TACOMA_RETURN_IF_ERROR(disk_->Rename(TmpFile(), SnapFile()));
+  epoch_ = epoch;
+  // Clearing the log only reclaims space; stale records are harmless now.
+  (void)disk_->Write(LogFile(), Bytes());
+  return OkStatus();
 }
 
-Result<LogContents> DiskLog::Load() const {
+Result<LogContents> DiskLog::Load() {
   LogContents out;
 
   if (disk_->Exists(SnapFile())) {
@@ -30,12 +74,15 @@ Result<LogContents> DiskLog::Load() const {
       return snap.status();
     }
     Decoder dec(*snap);
+    uint64_t epoch = 0;
     Bytes state;
     uint64_t sum = 0;
-    if (!dec.GetBytes(&state) || !dec.GetU64(&sum) || Fnv1a64(state) != sum) {
+    if (!dec.GetU64(&epoch) || !dec.GetBytes(&state) || !dec.GetU64(&sum) ||
+        FrameChecksum(epoch, state) != sum) {
       return DataLossError("corrupt snapshot: " + name_);
     }
     out.snapshot = std::move(state);
+    out.snapshot_epoch = epoch;
   }
 
   if (disk_->Exists(LogFile())) {
@@ -45,27 +92,40 @@ Result<LogContents> DiskLog::Load() const {
     }
     Decoder dec(*log);
     while (dec.remaining() > 0) {
+      uint64_t epoch = 0;
       Bytes record;
       uint64_t sum = 0;
-      if (!dec.GetBytes(&record) || !dec.GetU64(&sum) || Fnv1a64(record) != sum) {
+      if (!dec.GetU64(&epoch) || !dec.GetBytes(&record) || !dec.GetU64(&sum) ||
+          FrameChecksum(epoch, record) != sum) {
         // Torn tail (crash mid-append): keep what decoded cleanly.
         out.truncated_tail = true;
         break;
+      }
+      if (epoch < out.snapshot_epoch) {
+        // The snapshot already folded this mutation in: the crash landed
+        // between Compact's rename and its log clear.
+        ++out.stale_records_dropped;
+        continue;
       }
       out.records.push_back(std::move(record));
     }
   }
 
+  epoch_ = out.snapshot_epoch;
+  epoch_known_ = true;
   return out;
 }
 
 Status DiskLog::Destroy() {
-  // Remove both; "not found" is fine for either.
-  Status a = disk_->Remove(LogFile());
-  Status b = disk_->Remove(SnapFile());
-  (void)a;
-  (void)b;
-  return OkStatus();
+  Status out = OkStatus();
+  for (const std::string& file : {LogFile(), SnapFile(), TmpFile()}) {
+    Status s = disk_->Remove(file);
+    // Absence is fine; a real I/O failure (permissions, ...) is not.
+    if (!s.ok() && s.code() != StatusCode::kNotFound && out.ok()) {
+      out = s;
+    }
+  }
+  return out;
 }
 
 }  // namespace tacoma

@@ -1,0 +1,359 @@
+// Crash-point-injected recovery testing (see docs/persistence.md).
+//
+// The property under test: whatever single disk operation a crash lands on —
+// a torn write, a partial append, a failed rename, mid-Compact or mid-append
+// — recovering the cabinet afterwards yields a clean PREFIX of the mutation
+// history.  Never a duplicated mutation (the pre-fix Compact/replay
+// double-apply), never a reordered one, and never less than what a
+// successful Flush() promised was durable.
+//
+// The sweep is exhaustive: a dry run counts the workload's mutating disk
+// operations N, then the workload is re-run N times with the CrashDisk armed
+// at every operation index k in [0, N).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cabinet.h"
+#include "core/kernel.h"
+#include "sim/chaos.h"
+#include "storage/crash_disk.h"
+#include "storage/disk.h"
+#include "storage/disk_log.h"
+
+namespace tacoma {
+namespace {
+
+// --- CrashDisk unit behaviour ----------------------------------------------------
+
+TEST(CrashDiskTest, TransparentWhileUnarmed) {
+  MemDisk mem;
+  CrashDisk disk(&mem);
+  ASSERT_TRUE(disk.Write("f", ToBytes("abc")).ok());
+  ASSERT_TRUE(disk.Append("f", ToBytes("def")).ok());
+  EXPECT_EQ(ToString(*disk.Read("f")), "abcdef");
+  ASSERT_TRUE(disk.Rename("f", "g").ok());
+  ASSERT_TRUE(disk.Remove("g").ok());
+  EXPECT_EQ(disk.mutating_ops(), 4u);
+  EXPECT_FALSE(disk.crashed());
+}
+
+TEST(CrashDiskTest, ArmedWriteTearsPayloadThenEverythingFails) {
+  MemDisk mem;
+  CrashDisk disk(&mem);
+  disk.Arm(/*ops_from_now=*/1, /*tear_fraction=*/0.5);
+  ASSERT_TRUE(disk.Write("a", ToBytes("survives")).ok());
+  Status torn = disk.Write("b", ToBytes("123456"));
+  EXPECT_EQ(torn.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(disk.crashed());
+  // Half the payload landed before the fault: the torn-write model.
+  EXPECT_EQ(ToString(*mem.Read("b")), "123");
+  // The process is dead until the restart remounts the disk.
+  EXPECT_FALSE(disk.Write("c", ToBytes("x")).ok());
+  EXPECT_FALSE(disk.Read("a").ok());
+  EXPECT_FALSE(disk.Exists("a"));
+  disk.Reset();
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_EQ(ToString(*disk.Read("a")), "survives");
+}
+
+TEST(CrashDiskTest, FailedRenameHasNoEffect) {
+  MemDisk mem;
+  CrashDisk disk(&mem);
+  ASSERT_TRUE(disk.Write("src", ToBytes("s")).ok());
+  ASSERT_TRUE(disk.Write("dst", ToBytes("d")).ok());
+  disk.Arm(0);
+  EXPECT_FALSE(disk.Rename("src", "dst").ok());
+  disk.Reset();
+  // Atomic op: both names exactly as they were.
+  EXPECT_EQ(ToString(*disk.Read("src")), "s");
+  EXPECT_EQ(ToString(*disk.Read("dst")), "d");
+}
+
+// --- The crash-point sweep -------------------------------------------------------
+
+// One scripted cabinet workload, shared by the dry run, the crash runs, and
+// the prefix-state oracle.
+struct Step {
+  enum Kind { kAppend, kSet, kEraseElement, kEraseFolder, kFlush } kind;
+  std::string folder;
+  std::string value;
+};
+
+std::vector<Step> Workload() {
+  return {
+      {Step::kAppend, "LOG", "a0"},
+      {Step::kAppend, "LOG", "a1"},
+      {Step::kSet, "STATE", "s0"},
+      {Step::kFlush, "", ""},
+      {Step::kAppend, "LOG", "a2"},
+      {Step::kEraseElement, "LOG", "a1"},
+      {Step::kSet, "STATE", "s1"},
+      {Step::kFlush, "", ""},
+      {Step::kAppend, "LOG", "a3"},
+      {Step::kAppend, "SCRATCH", "tmp"},
+      {Step::kEraseFolder, "SCRATCH", ""},
+      {Step::kAppend, "LOG", "a4"},
+  };
+}
+
+// Applies one step to a cabinet; Flush status is returned (mutations return
+// OK — their durability is what the sweep probes).
+Status ApplyStep(FileCabinet* cab, const Step& step) {
+  switch (step.kind) {
+    case Step::kAppend:
+      cab->AppendString(step.folder, step.value);
+      return OkStatus();
+    case Step::kSet:
+      cab->SetString(step.folder, step.value);
+      return OkStatus();
+    case Step::kEraseElement:
+      cab->EraseElement(step.folder, ToBytes(step.value));
+      return OkStatus();
+    case Step::kEraseFolder:
+      cab->EraseFolder(step.folder);
+      return OkStatus();
+    case Step::kFlush:
+      return cab->Flush();
+  }
+  return OkStatus();
+}
+
+// The oracle: serialized cabinet state after every mutation-count prefix of
+// the workload (flushes don't mutate, so prefixes are counted in mutations).
+// prefix_states[i] = state after the first i mutations.
+std::vector<Bytes> PrefixStates() {
+  std::vector<Bytes> states;
+  FileCabinet cab("oracle");
+  states.push_back(cab.Serialize());
+  for (const Step& step : Workload()) {
+    if (step.kind == Step::kFlush) {
+      continue;
+    }
+    (void)ApplyStep(&cab, step);
+    states.push_back(cab.Serialize());
+  }
+  return states;
+}
+
+// Runs the workload against a write-ahead cabinet on `disk`, stopping early
+// if the disk dies.  Returns the durability floor: the number of leading
+// mutations guaranteed recoverable (every mutation whose write-ahead append
+// succeeded, which subsumes everything a successful Flush covered).
+size_t RunWorkload(CrashDisk* disk, StorageStats* stats) {
+  FileCabinet cab("swept");
+  cab.AttachStorage(std::make_unique<DiskLog>(disk, "cab.swept"),
+                    /*write_ahead=*/true);
+  cab.set_storage_stats(stats);
+  size_t durable_floor = 0;
+  size_t applied = 0;
+  for (const Step& step : Workload()) {
+    if (disk->crashed()) {
+      break;  // The site is dead; no more work reaches the disk.
+    }
+    (void)ApplyStep(&cab, step);
+    if (step.kind != Step::kFlush) {
+      ++applied;
+      if (cab.wal_error().ok()) {
+        durable_floor = applied;
+      }
+    }
+  }
+  return durable_floor;
+}
+
+TEST(CrashPointSweepTest, EveryCrashPointRecoversToAPrefix) {
+  // Dry run: count the workload's mutating disk operations.
+  uint64_t total_ops = 0;
+  {
+    MemDisk mem;
+    CrashDisk disk(&mem);
+    StorageStats stats;
+    size_t floor = RunWorkload(&disk, &stats);
+    total_ops = disk.mutating_ops();
+    EXPECT_EQ(floor, 10u);  // All mutations durable when nothing fails.
+  }
+  // 12 steps: 10 mutating appends + 2 flushes at 3 ops each (tmp, rename,
+  // clear).  If the workload or the flush write pattern changes, the sweep
+  // below still covers it — this just pins that it exercises what we think.
+  ASSERT_EQ(total_ops, 16u);
+
+  const std::vector<Bytes> prefixes = PrefixStates();
+
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    for (double tear : {0.0, 0.5, 1.0}) {
+      SCOPED_TRACE("crash at op " + std::to_string(k) + " tear " +
+                   std::to_string(tear));
+      MemDisk mem;
+      CrashDisk disk(&mem);
+      StorageStats stats;
+      disk.Arm(k, tear);
+      size_t durable_floor = RunWorkload(&disk, &stats);
+      ASSERT_TRUE(disk.crashed());
+
+      // Restart: remount the disk and recover a fresh cabinet from it.
+      disk.Reset();
+      FileCabinet recovered("swept");
+      recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.swept"),
+                              /*write_ahead=*/true);
+      recovered.set_storage_stats(&stats);
+      ASSERT_TRUE(recovered.Recover().ok());
+
+      // The recovered state must be exactly some prefix of history.  Distinct
+      // prefixes can serialize identically (append-then-erase-folder returns
+      // to an earlier state), so take the longest match.
+      Bytes state = recovered.Serialize();
+      size_t match = prefixes.size();
+      for (size_t i = prefixes.size(); i-- > 0;) {
+        if (prefixes[i] == state) {
+          match = i;
+          break;
+        }
+      }
+      ASSERT_LT(match, prefixes.size())
+          << "recovered state matches no prefix of the mutation history";
+      // ...and no shorter than what the write-ahead log acknowledged.
+      EXPECT_GE(match, durable_floor);
+
+      // Recovery is a working state: the cabinet accepts new durable work.
+      recovered.AppendString("LOG", "post-crash");
+      EXPECT_TRUE(recovered.Flush().ok());
+    }
+  }
+}
+
+TEST(CrashPointSweepTest, CompactLogClearCrashDoesNotDoubleApply) {
+  // The regression the tentpole fixes.  Ops: two appends (0, 1), then Flush's
+  // Compact = tmp write (2), rename (3), log clear (4).  Crashing at op 4
+  // leaves the new snapshot AND the old records on disk — the pre-fix
+  // recovery replayed those records on top of the snapshot, doubling every
+  // element ("a0 a1 a0 a1"); epoch filtering must drop them instead.
+  MemDisk mem;
+  CrashDisk disk(&mem);
+  disk.Arm(4, /*tear_fraction=*/0.0);  // The clear never reaches the disk.
+  FileCabinet cab("dbl");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.dbl"),
+                    /*write_ahead=*/true);
+  cab.AppendString("LOG", "a0");
+  cab.AppendString("LOG", "a1");
+  EXPECT_TRUE(cab.Flush().ok());  // Snapshot is durable; only the clear died.
+  EXPECT_TRUE(disk.crashed());
+  // The double-apply precondition really holds: snapshot present AND the old
+  // records still in the log.
+  EXPECT_TRUE(mem.Exists("cab.dbl.snap"));
+  EXPECT_FALSE(mem.Read("cab.dbl.log")->empty());
+
+  disk.Reset();
+  StorageStats stats;
+  FileCabinet recovered("dbl");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.dbl"),
+                          /*write_ahead=*/true);
+  recovered.set_storage_stats(&stats);
+  ASSERT_TRUE(recovered.Recover().ok());
+
+  auto log = recovered.ListStrings("LOG");
+  ASSERT_EQ(log.size(), 2u) << "mutations were double-applied on recovery";
+  EXPECT_EQ(log[0], "a0");
+  EXPECT_EQ(log[1], "a1");
+  EXPECT_EQ(stats.stale_records_dropped, 2u);
+  EXPECT_EQ(stats.records_replayed, 0u);
+}
+
+TEST(CrashPointSweepTest, WalAppendErrorIsStickyAndSurfacedOnNextFlush) {
+  MemDisk mem;
+  CrashDisk disk(&mem);
+  StorageStats stats;
+  FileCabinet cab("wal");
+  cab.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.wal"),
+                    /*write_ahead=*/true);
+  cab.set_storage_stats(&stats);
+
+  cab.AppendString("LOG", "durable");
+  disk.Arm(0, /*tear_fraction=*/0.0);
+  cab.AppendString("LOG", "lost");  // Append fails silently at the call site...
+  EXPECT_FALSE(cab.wal_error().ok());
+  EXPECT_EQ(stats.wal_append_errors, 1u);
+  EXPECT_EQ(cab.Size("LOG"), 2u);  // ...but still applies in memory.
+
+  // While the disk is down, Flush reports the compaction failure.
+  EXPECT_FALSE(cab.Flush().ok());
+  EXPECT_FALSE(cab.wal_error().ok());
+
+  // Disk back: the flush compacts successfully, then surfaces the durability
+  // window exactly once.
+  disk.Reset();
+  Status surfaced = cab.Flush();
+  EXPECT_EQ(surfaced.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(cab.wal_error().ok());
+  EXPECT_TRUE(cab.Flush().ok());
+
+  // And the post-reset snapshot covers everything, lost append included.
+  FileCabinet recovered("wal");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&disk, "cab.wal"), true);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.Size("LOG"), 2u);
+}
+
+TEST(CrashPointSweepTest, AutoCompactionBoundsReplayLength) {
+  MemDisk mem;
+  StorageStats stats;
+  FileCabinet cab("auto");
+  cab.AttachStorage(std::make_unique<DiskLog>(&mem, "cab.auto"),
+                    /*write_ahead=*/true);
+  cab.set_storage_stats(&stats);
+  cab.set_compaction_threshold(8);
+  for (int i = 0; i < 30; ++i) {
+    cab.AppendString("LOG", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(stats.autocompactions, 3u);  // At mutations 8, 16, 24.
+
+  FileCabinet recovered("auto");
+  recovered.AttachStorage(std::make_unique<DiskLog>(&mem, "cab.auto"), true);
+  recovered.set_storage_stats(&stats);
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(recovered.Size("LOG"), 30u);
+  // Only the post-compaction tail was replayed, not all 30 mutations.
+  EXPECT_EQ(stats.records_replayed, 6u);
+}
+
+// --- Kernel restart path ---------------------------------------------------------
+
+TEST(KernelRecoveryTest, RestartRecoversCabinetsAndCountsStorageMetrics) {
+  KernelOptions options;
+  options.cabinet_write_ahead = true;
+  Kernel kernel(options);
+  SiteId a = kernel.AddSite("a");
+  SiteId b = kernel.AddSite("b");
+  kernel.net().AddLink(a, b, LinkParams{kMillisecond, 1'000'000});
+
+  kernel.place(a)->Cabinet("visits").AppendString("SEEN", "x");
+  kernel.place(a)->Cabinet("visits").AppendString("SEEN", "y");
+  ASSERT_TRUE(kernel.place(a)->Cabinet("visits").Flush().ok());
+  kernel.place(a)->Cabinet("visits").AppendString("SEEN", "z");
+
+  // Crash mid-flush: the disk dies on the rename, then the site goes down.
+  kernel.ArmDiskCrash(a, /*ops_from_now=*/1, /*tear_fraction=*/0.3);
+  Status flush = kernel.place(a)->Cabinet("visits").Flush();
+  EXPECT_FALSE(flush.ok());
+  kernel.CrashSite(a);
+  EXPECT_EQ(kernel.place(a), nullptr);
+
+  kernel.RestartSite(a);
+  ASSERT_NE(kernel.place(a), nullptr);
+  FileCabinet& visits = kernel.place(a)->Cabinet("visits");
+  // The flushed prefix plus the write-ahead tail both survived.
+  EXPECT_TRUE(visits.ContainsString("SEEN", "x"));
+  EXPECT_TRUE(visits.ContainsString("SEEN", "y"));
+  EXPECT_TRUE(visits.ContainsString("SEEN", "z"));
+  EXPECT_EQ(visits.Size("SEEN"), 3u);
+
+  // Recovery surfaced in the metrics registry.
+  EXPECT_GE(kernel.metrics().Value("storage.recoveries").value_or(0), 1);
+  EXPECT_GE(kernel.metrics().Value("storage.records_replayed").value_or(0), 1);
+  EXPECT_TRUE(kernel.metrics().Has("storage.torn_tails"));
+  EXPECT_TRUE(kernel.metrics().Has("storage.wal_append_errors"));
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -370,8 +370,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, CrashDuringTransferTest,
                          ::testing::Values(Reliability::kOff,
                                            Reliability::kAtMostOnce,
                                            Reliability::kReliable),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case Reliability::kOff:
                                return "Off";
                              case Reliability::kAtMostOnce:

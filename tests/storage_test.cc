@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 
@@ -80,11 +81,92 @@ TYPED_TEST(DiskTest, EmptyFileRoundTrip) {
   EXPECT_TRUE(read->empty());
 }
 
+TYPED_TEST(DiskTest, RenameMovesContents) {
+  ASSERT_TRUE(this->disk_->Write("src", ToBytes("payload")).ok());
+  ASSERT_TRUE(this->disk_->Rename("src", "dst").ok());
+  EXPECT_FALSE(this->disk_->Exists("src"));
+  EXPECT_EQ(ToString(*this->disk_->Read("dst")), "payload");
+}
+
+TYPED_TEST(DiskTest, RenameOverwritesDestination) {
+  ASSERT_TRUE(this->disk_->Write("src", ToBytes("new")).ok());
+  ASSERT_TRUE(this->disk_->Write("dst", ToBytes("old")).ok());
+  ASSERT_TRUE(this->disk_->Rename("src", "dst").ok());
+  EXPECT_FALSE(this->disk_->Exists("src"));
+  EXPECT_EQ(ToString(*this->disk_->Read("dst")), "new");
+}
+
+TYPED_TEST(DiskTest, RenameMissingSourceIsNotFound) {
+  EXPECT_EQ(this->disk_->Rename("ghost", "dst").code(), StatusCode::kNotFound);
+}
+
+TYPED_TEST(DiskTest, DottedNamesDoNotCollide) {
+  // Pre-fix, FileDisk flattened '.', '/', and '\' all to '_', so these four
+  // logical names shared one backing file.
+  ASSERT_TRUE(this->disk_->Write("a.b", ToBytes("dot")).ok());
+  ASSERT_TRUE(this->disk_->Write("a_b", ToBytes("under")).ok());
+  ASSERT_TRUE(this->disk_->Write("a/b", ToBytes("slash")).ok());
+  ASSERT_TRUE(this->disk_->Write("a\\b", ToBytes("backslash")).ok());
+  EXPECT_EQ(ToString(*this->disk_->Read("a.b")), "dot");
+  EXPECT_EQ(ToString(*this->disk_->Read("a_b")), "under");
+  EXPECT_EQ(ToString(*this->disk_->Read("a/b")), "slash");
+  EXPECT_EQ(ToString(*this->disk_->Read("a\\b")), "backslash");
+  EXPECT_EQ(this->disk_->List().size(), 4u);
+}
+
+TYPED_TEST(DiskTest, ListReturnsOriginalNames) {
+  ASSERT_TRUE(this->disk_->Write("cab.system.snap", ToBytes("s")).ok());
+  ASSERT_TRUE(this->disk_->Write("dir/inner", ToBytes("i")).ok());
+  ASSERT_TRUE(this->disk_->Write("percent%name", ToBytes("p")).ok());
+  auto names = this->disk_->List();
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "cab.system.snap");
+  EXPECT_EQ(names[1], "dir/inner");
+  EXPECT_EQ(names[2], "percent%name");
+}
+
 TEST(MemDiskTest, TotalBytes) {
   MemDisk disk;
   ASSERT_TRUE(disk.Write("a", Bytes(10)).ok());
   ASSERT_TRUE(disk.Write("b", Bytes(5)).ok());
   EXPECT_EQ(disk.TotalBytes(), 15u);
+}
+
+TEST(FileDiskTest, EscapeNameRoundTrips) {
+  for (const std::string& name :
+       {std::string("plain"), std::string("cab.system.snap"), std::string("a/b\\c"),
+        std::string("100%"), std::string("sp ace"), std::string(".."),
+        std::string("."), std::string("\x01\x7f"), std::string("%25")}) {
+    EXPECT_EQ(FileDisk::UnescapeName(FileDisk::EscapeName(name)), name) << name;
+  }
+}
+
+TEST(FileDiskTest, EscapeNameNeverEmitsPathSeparators) {
+  for (const std::string& name :
+       {std::string("../../etc/passwd"), std::string(".."), std::string("a/b")}) {
+    std::string escaped = FileDisk::EscapeName(name);
+    EXPECT_EQ(escaped.find('/'), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find('\\'), std::string::npos) << escaped;
+    EXPECT_NE(escaped, "..");
+    EXPECT_NE(escaped, ".");
+  }
+}
+
+TEST(FileDiskTest, RemoveDistinguishesIoErrorFromAbsence) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("tacoma_disk_rm_" + std::to_string(::getpid()));
+  FileDisk disk(dir.string());
+  // Absence is NotFound...
+  EXPECT_EQ(disk.Remove("ghost").code(), StatusCode::kNotFound);
+  // ...but a name whose backing path cannot be removed (here: a non-empty
+  // directory planted where the file would live) is a real I/O error.  The
+  // pre-fix code reported "no such file" for both.
+  std::filesystem::create_directories(dir / "blocked" / "inner");
+  Status s = disk.Remove("blocked");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(DiskLogTest, AppendAndLoad) {
@@ -172,9 +254,83 @@ TEST(DiskLogTest, DestroyRemovesFiles) {
   DiskLog log(&disk, "test");
   ASSERT_TRUE(log.Append(ToBytes("x")).ok());
   ASSERT_TRUE(log.Compact(ToBytes("y")).ok());
+  ASSERT_TRUE(disk.Write("test.snap.tmp", ToBytes("left-over")).ok());
   ASSERT_TRUE(log.Destroy().ok());
   EXPECT_FALSE(disk.Exists("test.log"));
   EXPECT_FALSE(disk.Exists("test.snap"));
+  EXPECT_FALSE(disk.Exists("test.snap.tmp"));
+}
+
+TEST(DiskLogTest, CompactBumpsEpochAndStampsLaterAppends) {
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  EXPECT_EQ(log.epoch(), 0u);
+  ASSERT_TRUE(log.Compact(ToBytes("state")).ok());
+  EXPECT_EQ(log.epoch(), 1u);
+  ASSERT_TRUE(log.Append(ToBytes("after")).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->snapshot_epoch, 1u);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(ToString(contents->records[0]), "after");
+}
+
+TEST(DiskLogTest, StaleRecordsFromCrashedCompactAreDropped) {
+  // The pre-fix double-apply window: Compact() wrote the snapshot, then a
+  // crash prevented the log clear, so Load() saw snapshot + the already
+  // folded-in records and replayed them again.  Reconstruct exactly that
+  // disk state by restoring the pre-compact log file after compacting.
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("one")).ok());
+  ASSERT_TRUE(log.Append(ToBytes("two")).ok());
+  Bytes pre_compact_log = *disk.Read("test.log");
+  ASSERT_TRUE(log.Compact(ToBytes("snapshot-of-one-two")).ok());
+  ASSERT_TRUE(disk.Write("test.log", pre_compact_log).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(ToString(contents->snapshot), "snapshot-of-one-two");
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_EQ(contents->stale_records_dropped, 2u);
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST(DiskLogTest, FreshDiskLogPrimesEpochFromSnapshot) {
+  // A new DiskLog over an existing file set (the restart path) must not stamp
+  // appends with epoch 0 when the snapshot already carries a later epoch —
+  // Load() would wrongly discard them as stale.
+  MemDisk disk;
+  {
+    DiskLog writer(&disk, "test");
+    ASSERT_TRUE(writer.Compact(ToBytes("durable")).ok());
+  }
+  DiskLog reborn(&disk, "test");
+  ASSERT_TRUE(reborn.Append(ToBytes("post-restart")).ok());
+
+  DiskLog reader(&disk, "test");
+  auto contents = reader.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(ToString(contents->snapshot), "durable");
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(ToString(contents->records[0]), "post-restart");
+  EXPECT_EQ(contents->stale_records_dropped, 0u);
+}
+
+TEST(DiskLogTest, AbandonedTmpSnapshotIsIgnored) {
+  // A crash after writing <name>.snap.tmp but before the rename leaves the
+  // tmp file behind; recovery must see the committed state, not the tmp.
+  MemDisk disk;
+  DiskLog log(&disk, "test");
+  ASSERT_TRUE(log.Append(ToBytes("only")).ok());
+  ASSERT_TRUE(disk.Write("test.snap.tmp", ToBytes("garbage from a dying flush")).ok());
+
+  auto contents = log.Load();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->snapshot.empty());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(ToString(contents->records[0]), "only");
 }
 
 TEST(DiskLogTest, ManyRecordsSurvive) {

@@ -324,7 +324,7 @@ TEST_F(SystemAgentsTest, ProbeReturnsMetricsSnapshot) {
   ASSERT_TRUE(kernel_.place(a_)->Meet("probe", bc).ok());
   ASSERT_TRUE(bc.GetString("METRICS_JSON").has_value());
   ASSERT_TRUE(bc.GetString("METRICS_TEXT").has_value());
-  const std::string& json = *bc.GetString("METRICS_JSON");
+  const std::string json = *bc.GetString("METRICS_JSON");
   EXPECT_NE(json.find("\"kernel.transfers_sent\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"kernel.retries_sent\""), std::string::npos);
   EXPECT_NE(json.find("\"place.meets\""), std::string::npos);
@@ -345,7 +345,7 @@ TEST_F(SystemAgentsTest, ProbeWhatAllIncludesTrace) {
   Briefcase bc;
   bc.SetString("WHAT", "all");
   ASSERT_TRUE(kernel_.place(a_)->Meet("probe", bc).ok());
-  const std::string& trace = *bc.GetString("TRACE_JSON");
+  const std::string trace = *bc.GetString("TRACE_JSON");
   EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(trace.find("transfer.send"), std::string::npos);
   EXPECT_NE(trace.find("meet.dispatch"), std::string::npos);
