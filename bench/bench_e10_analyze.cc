@@ -7,8 +7,15 @@
 // activation costs in E9.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "core/kernel.h"
 #include "tacl/analyze.h"
 
 namespace tacoma::tacl {
@@ -115,6 +122,177 @@ void BM_AnalyzeDeepNesting(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeDeepNesting)->Arg(8)->Arg(32);
 
+// The shipped example agents, the workload the admission-path numbers are
+// quoted over.
+std::vector<std::string> LoadExampleScripts() {
+  std::vector<std::string> scripts;
+  const std::filesystem::path dir =
+      std::filesystem::path(TACOMA_SOURCE_DIR) / "examples" / "agents";
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tacl") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    scripts.push_back(buffer.str());
+  }
+  return scripts;
+}
+
+void BM_AdmissionColdAnalyze(benchmark::State& state) {
+  // Full admission cost on a cache miss: build the analysis interpreter and
+  // run the effect-inference pass, per example script.
+  Kernel kernel;
+  SiteId site = kernel.AddSite("bench");
+  std::vector<std::string> scripts = LoadExampleScripts();
+  for (auto _ : state) {
+    for (const std::string& script : scripts) {
+      benchmark::DoNotOptimize(kernel.place(site)->AnalyzeAgentCode(script));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(scripts.size()));
+}
+BENCHMARK(BM_AdmissionColdAnalyze);
+
+void BM_AdmissionCacheHit(benchmark::State& state) {
+  // Admission for a digest the kernel has already analyzed: SHA-256 + cache
+  // lookup + policy evaluation, no parsing, no interpreter construction.
+  Kernel kernel;
+  SiteId site = kernel.AddSite("bench");
+  std::vector<std::string> scripts = LoadExampleScripts();
+  for (const std::string& script : scripts) {
+    (void)kernel.place(site)->CheckAdmission(script);  // Warm the cache.
+  }
+  for (auto _ : state) {
+    for (const std::string& script : scripts) {
+      benchmark::DoNotOptimize(kernel.place(site)->CheckAdmission(script));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(scripts.size()));
+}
+BENCHMARK(BM_AdmissionCacheHit);
+
+// --- Smoke mode ---------------------------------------------------------------
+//
+// ci/check.sh runs `bench_e10_analyze --smoke` as an acceptance gate:
+//   1. cache-hit admission must be ≥10× faster than cold analysis over the
+//      example scripts;
+//   2. an enforce-mode policy table denying exfiltration-risk must bounce an
+//      adversarial agent at admission, with the dead-letter return observed
+//      at the origin site.
+
+int RunSmoke() {
+  using Clock = std::chrono::steady_clock;
+
+  // 1: cold vs cache-hit admission ratio.
+  {
+    Kernel kernel;
+    SiteId site = kernel.AddSite("bench");
+    std::vector<std::string> scripts = LoadExampleScripts();
+    if (scripts.empty()) {
+      std::printf("SMOKE FAIL: no example scripts found\n");
+      return 1;
+    }
+    constexpr int kRounds = 50;
+    auto cold_start = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      for (const std::string& script : scripts) {
+        benchmark::DoNotOptimize(kernel.place(site)->AnalyzeAgentCode(script));
+      }
+    }
+    auto cold_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - cold_start)
+                       .count();
+    for (const std::string& script : scripts) {
+      (void)kernel.place(site)->CheckAdmission(script);  // Warm the cache.
+    }
+    auto hit_start = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      for (const std::string& script : scripts) {
+        benchmark::DoNotOptimize(kernel.place(site)->CheckAdmission(script));
+      }
+    }
+    auto hit_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - hit_start)
+                      .count();
+    double ratio = hit_us > 0 ? static_cast<double>(cold_us) / hit_us : 1e9;
+    std::printf("admission over %zu scripts x %d rounds: cold %lld us, "
+                "cache-hit %lld us, ratio %.1fx\n",
+                scripts.size(), kRounds, static_cast<long long>(cold_us),
+                static_cast<long long>(hit_us), ratio);
+    if (ratio < 10.0) {
+      std::printf("SMOKE FAIL: cache-hit admission is not >=10x faster\n");
+      return 1;
+    }
+  }
+
+  // 2: policy rejection with a dead-letter return.
+  {
+    KernelOptions options;
+    options.reliability.mode = Reliability::kReliable;
+    Kernel kernel(options);
+    SiteId origin = kernel.AddSite("origin");
+    SiteId target = kernel.AddSite("target");
+    kernel.net().AddLink(origin, target);
+
+    auto rules = AdmissionRules::Parse(
+        "mode enforce\n"
+        "deny errors\n"
+        "deny slug exfiltration-risk\n");
+    if (!rules.ok()) {
+      std::printf("SMOKE FAIL: policy parse: %s\n",
+                  rules.status().message().c_str());
+      return 1;
+    }
+    kernel.place(target)->set_admission_rules(*rules);
+
+    std::string dead_letter_reason;
+    kernel.place(origin)->RegisterAgent(
+        "morgue", [&dead_letter_reason](Place&, Briefcase& bc) {
+          dead_letter_reason = bc.GetString("DEADLETTER_REASON").value_or("?");
+          return OkStatus();
+        });
+
+    // The adversary reads a SECRET folder and moves to the host it names.
+    Briefcase bc;
+    bc.folder(kCodeFolder).PushBackString(
+        "set dest [bc_get SECRET_ROUTE]\n"
+        "move $dest\n");
+    bc.SetString("SECRET_ROUTE", "elsewhere");
+    TransferOptions transfer;
+    transfer.dead_letter = "morgue";
+    Status sent = kernel.TransferAgent(origin, target, "ag_tacl", bc, transfer);
+    if (!sent.ok()) {
+      std::printf("SMOKE FAIL: transfer refused: %s\n", sent.ToString().c_str());
+      return 1;
+    }
+    kernel.sim().Run();
+
+    const auto& stats = kernel.place(target)->stats();
+    std::printf("policy rejection: rejected_agents=%llu dead_letter=\"%s\"\n",
+                static_cast<unsigned long long>(stats.rejected_agents),
+                dead_letter_reason.c_str());
+    if (stats.rejected_agents != 1) {
+      std::printf("SMOKE FAIL: adversarial agent was not rejected at admission\n");
+      return 1;
+    }
+    if (dead_letter_reason.empty()) {
+      std::printf("SMOKE FAIL: no dead-letter return observed at origin\n");
+      return 1;
+    }
+  }
+
+  std::printf("SMOKE OK\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace tacoma::tacl
 
@@ -122,6 +300,11 @@ int main(int argc, char** argv) {
   std::printf(
       "E10 — static admission analysis throughput (CODE folders are verified\n"
       "before activation; this prices the check against E9 activation costs)\n\n");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return tacoma::tacl::RunSmoke();
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -35,6 +35,23 @@ run_stage() {
 STORAGE_TESTS='DiskTest|FileDiskTest|DiskLogTest|FileCabinetTest|CabinetTest|CrashDiskTest|CrashPointSweepTest|KernelRecoveryTest'
 
 run_stage plain
+
+# clang-tidy stage (bugprone/performance/readability-container checks from the
+# checked-in .clang-tidy).  Runs over the analyzer/admission surface using the
+# plain tree's compile_commands.json; skipped with a notice when clang-tidy is
+# not installed (the CI image may not carry it).  WarningsAsErrors is empty,
+# so only hard errors (e.g. tidy-visible compile breakage) fail the stage.
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "=== [clang-tidy] src/tacl src/core ==="
+  cmake -B build-ci/plain -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  clang-tidy -p build-ci/plain --quiet \
+    src/tacl/analyze.cc src/core/admission.cc src/core/place.cc \
+    src/core/bindings.cc
+  echo "=== [clang-tidy] ok ==="
+else
+  echo "=== [clang-tidy] skipped: clang-tidy not installed ==="
+fi
+
 run_stage asan-ubsan -DTACOMA_SANITIZE=address,undefined
 echo "=== [asan-ubsan] storage/cabinet focus ==="
 ctest --test-dir build-ci/asan-ubsan "${CTEST_ARGS[@]}" -R "${STORAGE_TESTS}"
@@ -97,5 +114,15 @@ E13_JSON="build-ci/release/e13_metrics.json"
   > /dev/null
 check_metrics "${E13_JSON}"
 echo "=== [perf-smoke] e13 ok ==="
+
+# Admission smoke: the analyze bench in smoke mode asserts the digest-keyed
+# manifest cache gives ≥10× faster admission than cold analysis and that an
+# enforce-mode policy table bounces an exfiltrating agent into its dead-letter
+# contact.
+echo "=== [release] build bench_e10_analyze (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e10_analyze
+echo "=== [admission-smoke] bench_e10_analyze --smoke ==="
+./build-ci/release/bench/bench_e10_analyze --smoke
+echo "=== [admission-smoke] ok ==="
 
 echo "=== all checks passed ==="

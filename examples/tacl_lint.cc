@@ -2,13 +2,15 @@
 //
 // Agent authors get the same checks a Place's admission pass applies, before
 // their agent ever travels: parse errors, unknown commands, arity mismatches,
-// unset variables, unreachable code, and the capability summary a site would
-// use to gate admission.
+// unset variables, unreachable code, effect advisories, and the effect
+// manifest a site would evaluate its admission policy against.
 //
-// Usage: tacl_lint [--strict] [--capabilities] [--builtin-only] file.tacl ...
+// Usage: tacl_lint [--strict] [--capabilities] [--manifest] [--json]
+//                  [--policy rules.txt] [--builtin-only] file.tacl ...
 //        tacl_lint -            (read one script from stdin)
 //
-// Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage error.
+// Exit status: 0 clean, 1 diagnostics at the failing severity (or a policy
+// violation with --policy), 2 usage error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/place.h"
 #include "tacl/analyze.h"
 
@@ -42,12 +45,59 @@ void PrintCapabilities(const tacoma::tacl::CapabilitySummary& caps) {
   }
 }
 
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+// One JSON object per file: name, diagnostics (with slug/severity/line), and
+// the effect manifest.  Single line, stable field order, machine-diffable.
+std::string ReportToJson(const std::string& name,
+                         const tacoma::tacl::AnalysisReport& report) {
+  std::string out = "{\"file\":";
+  AppendJsonString(&out, name);
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : report.diagnostics) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"line\":" + std::to_string(d.line) + ",\"severity\":";
+    AppendJsonString(&out, tacoma::tacl::SeverityName(d.severity));
+    out += ",\"slug\":";
+    AppendJsonString(&out, d.code);
+    out += ",\"message\":";
+    AppendJsonString(&out, d.message);
+    out += "}";
+  }
+  out += "],\"manifest\":" + report.manifest.ToJson() + "}";
+  return out;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: tacl_lint [--strict] [--capabilities] [--builtin-only] "
-               "file.tacl ... | -\n"
+               "usage: tacl_lint [--strict] [--capabilities] [--manifest] "
+               "[--json] [--policy rules.txt] [--builtin-only] file.tacl ... | -\n"
                "  --strict        warnings also fail the lint\n"
                "  --capabilities  print what each script touches\n"
+               "  --manifest      print each script's EffectManifest as JSON\n"
+               "  --json          print the full report (diagnostics + manifest) as JSON\n"
+               "  --policy FILE   evaluate an admission rules table; violations fail\n"
                "  --builtin-only  lint against the TACL standard library only\n");
   return 2;
 }
@@ -59,13 +109,25 @@ int main(int argc, char** argv) {
 
   bool strict = false;
   bool capabilities = false;
+  bool manifest = false;
+  bool json = false;
   bool builtin_only = false;
+  std::string policy_file;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
     } else if (std::strcmp(argv[i], "--capabilities") == 0) {
       capabilities = true;
+    } else if (std::strcmp(argv[i], "--manifest") == 0) {
+      manifest = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      policy_file = argv[++i];
     } else if (std::strcmp(argv[i], "--builtin-only") == 0) {
       builtin_only = true;
     } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
@@ -76,6 +138,25 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     return Usage();
+  }
+
+  AdmissionRules rules;
+  bool have_policy = false;
+  if (!policy_file.empty()) {
+    std::ifstream in(policy_file);
+    if (!in) {
+      std::fprintf(stderr, "tacl_lint: cannot open policy %s\n", policy_file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = AdmissionRules::Parse(buffer.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "tacl_lint: %s\n", parsed.status().message().c_str());
+      return 2;
+    }
+    rules = *parsed;
+    have_policy = true;
   }
 
   // The same command surface an agent sees at a plain site: TACL builtins
@@ -91,6 +172,8 @@ int main(int argc, char** argv) {
 
   size_t errors = 0;
   size_t warnings = 0;
+  size_t notes = 0;
+  size_t policy_violations = 0;
   for (const std::string& file : files) {
     std::string source;
     if (file == "-") {
@@ -109,21 +192,43 @@ int main(int argc, char** argv) {
       source = buffer.str();
     }
 
+    const std::string display = file == "-" ? "<stdin>" : file;
     tacl::AnalysisReport report = tacl::Analyze(source, options);
-    std::string rendered = report.ToString(file == "-" ? "<stdin>" : file);
-    if (!rendered.empty()) {
-      std::fputs(rendered.c_str(), stdout);
+    if (json) {
+      std::printf("%s\n", ReportToJson(display, report).c_str());
+    } else {
+      std::string rendered = report.ToString(display);
+      if (!rendered.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+      }
     }
     errors += report.error_count();
     warnings += report.warning_count();
+    notes += report.note_count();
     if (capabilities) {
       std::printf("%s: capabilities\n", file.c_str());
       PrintCapabilities(report.capabilities);
     }
+    if (manifest && !json) {
+      std::printf("%s: manifest %s\n", display.c_str(),
+                  report.manifest.ToJson().c_str());
+    }
+    if (have_policy) {
+      AdmissionSummary summary = AdmissionSummary::FromReport(report);
+      for (const std::string& violation : rules.Violations(summary)) {
+        std::printf("%s: policy violation: %s\n", display.c_str(),
+                    violation.c_str());
+        ++policy_violations;
+      }
+    }
   }
 
-  if (errors + warnings > 0) {
-    std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
+  if (!json && errors + warnings + notes > 0) {
+    std::printf("%zu error(s), %zu warning(s), %zu note(s)\n", errors, warnings,
+                notes);
   }
-  return errors > 0 || (strict && warnings > 0) ? 1 : 0;
+  if (errors > 0 || (strict && warnings > 0) || policy_violations > 0) {
+    return 1;
+  }
+  return 0;
 }

@@ -1,0 +1,203 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "tacl/list.h"
+
+namespace tacoma {
+
+AdmissionSummary AdmissionSummary::FromReport(const tacl::AnalysisReport& report) {
+  AdmissionSummary summary;
+  summary.errors = report.error_count();
+  summary.first_error = report.FirstError();
+  for (const tacl::Diagnostic& d : report.diagnostics) {
+    summary.slugs.insert(d.code);
+  }
+  summary.manifest = report.manifest;
+  return summary;
+}
+
+namespace {
+
+std::vector<std::string> SplitWhitespace(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.emplace_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+Status DirectiveError(size_t line, const std::string& message) {
+  return InvalidArgumentError("policy line " + std::to_string(line) + ": " +
+                              message);
+}
+
+Result<int64_t> ParseCeiling(const std::string& token, size_t line) {
+  if (token == "unlimited") {
+    return static_cast<int64_t>(-1);
+  }
+  auto value = tacl::ParseInt(token);
+  if (!value.has_value() || *value < 0) {
+    return DirectiveError(line, "expected a non-negative count or \"unlimited\", got \"" +
+                                    token + "\"");
+  }
+  return *value;
+}
+
+}  // namespace
+
+Result<AdmissionRules> AdmissionRules::Parse(std::string_view text) {
+  AdmissionRules rules;
+  size_t line_no = 0;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+    if (head == "mode") {
+      if (tokens.size() != 2) {
+        return DirectiveError(line_no, "mode takes exactly one of off|warn|enforce");
+      }
+      if (tokens[1] == "off") {
+        rules.mode = Mode::kOff;
+      } else if (tokens[1] == "warn") {
+        rules.mode = Mode::kWarn;
+      } else if (tokens[1] == "enforce") {
+        rules.mode = Mode::kEnforce;
+      } else {
+        return DirectiveError(line_no, "unknown mode \"" + tokens[1] + "\"");
+      }
+    } else if (head == "max") {
+      if (tokens.size() != 3) {
+        return DirectiveError(line_no, "max takes a dimension and a ceiling");
+      }
+      TACOMA_ASSIGN_OR_RETURN(int64_t ceiling, ParseCeiling(tokens[2], line_no));
+      if (tokens[1] == "hops") {
+        rules.max_hops = ceiling;
+      } else if (tokens[1] == "clones") {
+        rules.max_clones = ceiling;
+      } else if (tokens[1] == "spend") {
+        rules.max_spend = ceiling;
+      } else {
+        return DirectiveError(line_no,
+                              "unknown max dimension \"" + tokens[1] + "\"");
+      }
+    } else if (head == "deny" || head == "allow") {
+      const bool deny = head == "deny";
+      if (tokens.size() < 2) {
+        return DirectiveError(line_no, head + " needs a subject");
+      }
+      const std::string& what = tokens[1];
+      auto rest_into = [&](std::set<std::string>* target) -> Status {
+        if (tokens.size() < 3) {
+          return DirectiveError(line_no, head + " " + what + " needs at least one name");
+        }
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          target->insert(tokens[i]);
+        }
+        return OkStatus();
+      };
+      if (what == "errors") {
+        if (tokens.size() != 2) {
+          return DirectiveError(line_no, head + " errors takes no operands");
+        }
+        rules.deny_errors = deny;
+      } else if (what == "dynamic-targets") {
+        if (tokens.size() != 2) {
+          return DirectiveError(line_no, head + " dynamic-targets takes no operands");
+        }
+        rules.deny_dynamic_targets = deny;
+      } else if (what == "slug" && deny) {
+        TACOMA_RETURN_IF_ERROR(rest_into(&rules.deny_slugs));
+      } else if (what == "host") {
+        TACOMA_RETURN_IF_ERROR(
+            rest_into(deny ? &rules.deny_hosts : &rules.allow_hosts));
+      } else if (what == "cabinet" && deny) {
+        TACOMA_RETURN_IF_ERROR(rest_into(&rules.deny_cabinets));
+      } else if (what == "folder" && deny) {
+        TACOMA_RETURN_IF_ERROR(rest_into(&rules.deny_folders));
+      } else {
+        return DirectiveError(line_no,
+                              "unknown directive \"" + head + " " + what + "\"");
+      }
+    } else {
+      return DirectiveError(line_no, "unknown directive \"" + head + "\"");
+    }
+  }
+  return rules;
+}
+
+std::vector<std::string> AdmissionRules::Violations(
+    const AdmissionSummary& summary) const {
+  std::vector<std::string> violations;
+  if (mode == Mode::kOff) {
+    return violations;
+  }
+  if (deny_errors && summary.errors > 0) {
+    violations.push_back("static analysis failed: " + summary.first_error);
+  }
+  for (const std::string& slug : deny_slugs) {
+    if (summary.slugs.contains(slug)) {
+      violations.push_back("denied effect class [" + slug + "] present");
+    }
+  }
+  const tacl::EffectManifest& m = summary.manifest;
+  if (deny_dynamic_targets && m.dynamic_targets) {
+    violations.push_back("script computes effect targets at run time");
+  }
+  auto check_ceiling = [&violations](int64_t ceiling, int64_t bound,
+                                     const char* what) {
+    if (ceiling < 0) {
+      return;
+    }
+    if (bound == tacl::kUnboundedEffect || bound > ceiling) {
+      violations.push_back(std::string(what) + " bound " +
+                           tacl::EffectBoundToString(bound) +
+                           " exceeds ceiling " + std::to_string(ceiling));
+    }
+  };
+  check_ceiling(max_hops, m.hop_bound, "hop");
+  check_ceiling(max_clones, m.clone_bound, "clone");
+  check_ceiling(max_spend, m.spend_bound, "spend");
+  for (const std::string& host : m.hosts) {
+    if (deny_hosts.contains(host)) {
+      violations.push_back("host \"" + host + "\" is denied");
+    } else if (!allow_hosts.empty() && !allow_hosts.contains(host)) {
+      violations.push_back("host \"" + host + "\" is not in the allow list");
+    }
+  }
+  auto check_names = [&violations](const std::set<std::string>& denied,
+                                   const std::set<std::string>& read,
+                                   const std::set<std::string>& written,
+                                   const char* what) {
+    for (const std::string& name : denied) {
+      if (read.contains(name) || written.contains(name)) {
+        violations.push_back(std::string(what) + " \"" + name + "\" is denied");
+      }
+    }
+  };
+  check_names(deny_cabinets, m.cabinets_read, m.cabinets_written, "cabinet");
+  check_names(deny_folders, m.folders_read, m.folders_written, "folder");
+  return violations;
+}
+
+}  // namespace tacoma

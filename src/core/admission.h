@@ -1,0 +1,83 @@
+// Declarative admission policy for agent code.
+//
+// A place never executes a CODE folder blindly: before activation the script
+// is statically analyzed (tacl/analyze.h) and the resulting EffectManifest is
+// checked against the site's AdmissionRules — a small allow/deny table over
+// effect classes plus spend/hop ceilings.  The analysis result is wrapped in
+// an AdmissionSummary and cached kernel-wide, keyed by the SHA-256 digest of
+// the code (plus a fingerprint of the command surface it was analyzed
+// against), so a returning or much-cloned agent is admitted without
+// re-parsing.
+#ifndef TACOMA_CORE_ADMISSION_H_
+#define TACOMA_CORE_ADMISSION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tacl/analyze.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+// Everything admission needs from a static analysis, small enough to cache:
+// the error count and first error (for deny-errors mode), the set of
+// diagnostic slugs seen, and the effect manifest.
+struct AdmissionSummary {
+  size_t errors = 0;
+  std::string first_error;
+  std::set<std::string> slugs;  // Diagnostic codes present in the report.
+  tacl::EffectManifest manifest;
+
+  static AdmissionSummary FromReport(const tacl::AnalysisReport& report);
+};
+
+// A site's admission policy.  Parsed from a line-oriented table (one
+// directive per line, `#` comments):
+//
+//   mode off|warn|enforce
+//   deny errors            # reject scripts whose analysis found errors
+//   allow errors
+//   deny slug <slug>...    # e.g. deny slug exfiltration-risk unbounded-spend
+//   deny dynamic-targets   # reject scripts with computed effect operands
+//   max hops <N|unlimited>
+//   max clones <N|unlimited>
+//   max spend <N|unlimited>
+//   deny host <host>...
+//   allow host <host>...   # when non-empty, static hosts must all be listed
+//   deny cabinet <name>...
+//   deny folder <name>...
+//
+// Host/cabinet/folder rules match the *static* name sets; scripts that
+// compute targets at run time carry dynamic_targets=true, so an airtight
+// policy combines them with `deny dynamic-targets`.
+struct AdmissionRules {
+  enum class Mode {
+    kOff,      // No analysis at admission.
+    kWarn,     // Analyze, log violations, admit anyway.
+    kEnforce,  // Reject agents whose manifest violates the table.
+  };
+
+  Mode mode = Mode::kWarn;
+  bool deny_errors = true;
+  std::set<std::string> deny_slugs;
+  bool deny_dynamic_targets = false;
+  int64_t max_hops = -1;    // -1 = no ceiling (note: distinct from ⊤!).
+  int64_t max_clones = -1;  // Ceilings compare against manifest bounds; a
+  int64_t max_spend = -1;   // bound of ⊤ violates any finite ceiling.
+  std::set<std::string> allow_hosts;  // Empty = any host.
+  std::set<std::string> deny_hosts;
+  std::set<std::string> deny_cabinets;
+  std::set<std::string> deny_folders;
+
+  static Result<AdmissionRules> Parse(std::string_view text);
+
+  // Human-readable violation descriptions; empty means admissible.
+  std::vector<std::string> Violations(const AdmissionSummary& summary) const;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_ADMISSION_H_

@@ -30,7 +30,7 @@ const tacl::SignatureTable& AgentPrimitiveSignatures() {
       {"clone", {1, 1}},      {"send", {3, 3}},       {"site", {0, 0}},
       {"agent_id", {0, 0}},   {"self_code", {0, 0}},  {"now_us", {0, 0}},
       {"agents", {0, 0}},     {"log", {1, 1}},        {"detach", {2, 2}},
-      {"rng_uniform", {1, 1}},
+      {"rng_uniform", {1, 1}}, {"pay", {2, 2}},       {"withdraw", {1, 1}},
   };
   return *table;
 }
@@ -68,9 +68,46 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Error("wrong # args: should be \"" + usage + "\"");
   };
 
+  // Runtime effect monitor (see tacl::EffectRecord and Place::RunAgentCode).
+  // Effects are recorded per *attempt*, after the arity check and before the
+  // operation — mirroring exactly what the static analyzer models: the
+  // operand names of each primitive, not the internal folder traffic the
+  // primitive causes.  `activation->effects` is read at call time because the
+  // place arms the monitor after binding.
+  auto fx_folder_read = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->folders_read.insert(name);
+    }
+  };
+  auto fx_folder_write = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->folders_written.insert(name);
+    }
+  };
+  auto fx_cab_read = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->cabinets_read.insert(name);
+    }
+  };
+  auto fx_cab_write = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->cabinets_written.insert(name);
+    }
+  };
+  auto fx_host = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->hosts.insert(name);
+    }
+  };
+  auto fx_agent = [activation](const std::string& name) {
+    if (auto* fx = activation->effects) {
+      fx->agents_met.insert(name);
+    }
+  };
+
   // --- Briefcase -------------------------------------------------------------
 
-  interp->Register("bc_put", [activation, guard, wrong_args](
+  interp->Register("bc_put", [activation, guard, wrong_args, fx_folder_write](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -78,11 +115,12 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 3) {
       return wrong_args("bc_put folder value");
     }
+    fx_folder_write(argv[1]);
     activation->briefcase->folder(argv[1]).PushBackString(argv[2]);
     return Ok();
   });
 
-  interp->Register("bc_push", [activation, guard, wrong_args](
+  interp->Register("bc_push", [activation, guard, wrong_args, fx_folder_write](
                                   Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -90,11 +128,13 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 3) {
       return wrong_args("bc_push folder value");
     }
+    fx_folder_write(argv[1]);
     activation->briefcase->folder(argv[1]).PushFrontString(argv[2]);
     return Ok();
   });
 
-  interp->Register("bc_pop", [activation, guard, wrong_args](
+  interp->Register("bc_pop", [activation, guard, wrong_args, fx_folder_read,
+                              fx_folder_write](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -102,6 +142,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_pop folder");
     }
+    fx_folder_read(argv[1]);
+    fx_folder_write(argv[1]);
     Folder* f = activation->briefcase->Find(argv[1]);
     if (f == nullptr || f->empty()) {
       return Error("folder \"" + argv[1] + "\" is empty");
@@ -109,7 +151,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(*f->PopFrontString());
   });
 
-  interp->Register("bc_pop_back", [activation, guard, wrong_args](
+  interp->Register("bc_pop_back", [activation, guard, wrong_args, fx_folder_read,
+                                   fx_folder_write](
                                       Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -117,6 +160,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_pop_back folder");
     }
+    fx_folder_read(argv[1]);
+    fx_folder_write(argv[1]);
     Folder* f = activation->briefcase->Find(argv[1]);
     if (f == nullptr || f->empty()) {
       return Error("folder \"" + argv[1] + "\" is empty");
@@ -124,7 +169,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(*f->PopBackString());
   });
 
-  interp->Register("bc_peek", [activation, guard, wrong_args](
+  interp->Register("bc_peek", [activation, guard, wrong_args, fx_folder_read](
                                   Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -132,6 +177,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_peek folder");
     }
+    fx_folder_read(argv[1]);
     const Folder* f = activation->briefcase->Find(argv[1]);
     if (f == nullptr || f->empty()) {
       return Error("folder \"" + argv[1] + "\" is empty");
@@ -139,7 +185,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(*f->FrontString());
   });
 
-  interp->Register("bc_get", [activation, guard, wrong_args](
+  interp->Register("bc_get", [activation, guard, wrong_args, fx_folder_read](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -147,6 +193,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_get folder");
     }
+    fx_folder_read(argv[1]);
     auto v = activation->briefcase->GetString(argv[1]);
     if (!v.has_value()) {
       return Error("folder \"" + argv[1] + "\" is empty");
@@ -154,7 +201,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(*v);
   });
 
-  interp->Register("bc_set", [activation, guard, wrong_args](
+  interp->Register("bc_set", [activation, guard, wrong_args, fx_folder_write](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -162,11 +209,12 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 3) {
       return wrong_args("bc_set folder value");
     }
+    fx_folder_write(argv[1]);
     activation->briefcase->SetString(argv[1], argv[2]);
     return Ok();
   });
 
-  interp->Register("bc_len", [activation, guard, wrong_args](
+  interp->Register("bc_len", [activation, guard, wrong_args, fx_folder_read](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -174,11 +222,12 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_len folder");
     }
+    fx_folder_read(argv[1]);
     const Folder* f = activation->briefcase->Find(argv[1]);
     return Ok(std::to_string(f == nullptr ? 0 : f->size()));
   });
 
-  interp->Register("bc_list", [activation, guard, wrong_args](
+  interp->Register("bc_list", [activation, guard, wrong_args, fx_folder_read](
                                   Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -186,6 +235,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_list folder");
     }
+    fx_folder_read(argv[1]);
     const Folder* f = activation->briefcase->Find(argv[1]);
     if (f == nullptr) {
       return Ok("");
@@ -193,7 +243,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(tacl::FormatList(f->AsStrings()));
   });
 
-  interp->Register("bc_has", [activation, guard, wrong_args](
+  interp->Register("bc_has", [activation, guard, wrong_args, fx_folder_read](
                                  Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -201,10 +251,11 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_has folder");
     }
+    fx_folder_read(argv[1]);
     return Ok(activation->briefcase->Has(argv[1]) ? "1" : "0");
   });
 
-  interp->Register("bc_clear", [activation, guard, wrong_args](
+  interp->Register("bc_clear", [activation, guard, wrong_args, fx_folder_write](
                                    Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -212,6 +263,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2) {
       return wrong_args("bc_clear folder");
     }
+    fx_folder_write(argv[1]);
     activation->briefcase->Remove(argv[1]);
     return Ok();
   });
@@ -226,29 +278,32 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
 
   // --- File cabinets -------------------------------------------------------------
 
-  interp->Register("cab_append", [activation, wrong_args](
+  interp->Register("cab_append", [activation, wrong_args, fx_cab_write](
                                      Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 4) {
       return wrong_args("cab_append cabinet folder value");
     }
+    fx_cab_write(argv[1]);
     activation->place->Cabinet(argv[1]).AppendString(argv[2], argv[3]);
     return Ok();
   });
 
-  interp->Register("cab_set", [activation, wrong_args](
+  interp->Register("cab_set", [activation, wrong_args, fx_cab_write](
                                   Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 4) {
       return wrong_args("cab_set cabinet folder value");
     }
+    fx_cab_write(argv[1]);
     activation->place->Cabinet(argv[1]).SetString(argv[2], argv[3]);
     return Ok();
   });
 
-  interp->Register("cab_get", [activation, wrong_args](
+  interp->Register("cab_get", [activation, wrong_args, fx_cab_read](
                                   Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 4) {
       return wrong_args("cab_get cabinet folder index");
     }
+    fx_cab_read(argv[1]);
     auto index = tacl::ParseInt(argv[3]);
     if (!index.has_value() || *index < 0) {
       return Error("bad index \"" + argv[3] + "\"");
@@ -261,53 +316,59 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return Ok(ToString(*v));
   });
 
-  interp->Register("cab_list", [activation, wrong_args](
+  interp->Register("cab_list", [activation, wrong_args, fx_cab_read](
                                    Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 3) {
       return wrong_args("cab_list cabinet folder");
     }
+    fx_cab_read(argv[1]);
     return Ok(tacl::FormatList(activation->place->Cabinet(argv[1]).ListStrings(argv[2])));
   });
 
-  interp->Register("cab_len", [activation, wrong_args](
+  interp->Register("cab_len", [activation, wrong_args, fx_cab_read](
                                   Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 3) {
       return wrong_args("cab_len cabinet folder");
     }
+    fx_cab_read(argv[1]);
     return Ok(std::to_string(activation->place->Cabinet(argv[1]).Size(argv[2])));
   });
 
-  interp->Register("cab_contains", [activation, wrong_args](
+  interp->Register("cab_contains", [activation, wrong_args, fx_cab_read](
                                        Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 4) {
       return wrong_args("cab_contains cabinet folder value");
     }
+    fx_cab_read(argv[1]);
     return Ok(activation->place->Cabinet(argv[1]).ContainsString(argv[2], argv[3])
                   ? "1"
                   : "0");
   });
 
-  interp->Register("cab_erase", [activation, wrong_args](
+  interp->Register("cab_erase", [activation, wrong_args, fx_cab_write](
                                     Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 3) {
       return wrong_args("cab_erase cabinet folder");
     }
+    fx_cab_write(argv[1]);
     return Ok(activation->place->Cabinet(argv[1]).EraseFolder(argv[2]) ? "1" : "0");
   });
 
-  interp->Register("cab_folders", [activation, wrong_args](
+  interp->Register("cab_folders", [activation, wrong_args, fx_cab_read](
                                       Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 2) {
       return wrong_args("cab_folders cabinet");
     }
+    fx_cab_read(argv[1]);
     return Ok(tacl::FormatList(activation->place->Cabinet(argv[1]).FolderNames()));
   });
 
-  interp->Register("cab_flush", [activation, wrong_args](
+  interp->Register("cab_flush", [activation, wrong_args, fx_cab_write](
                                     Interp&, const std::vector<std::string>& argv) {
     if (argv.size() != 2) {
       return wrong_args("cab_flush cabinet");
     }
+    fx_cab_write(argv[1]);
     Status s = activation->place->Cabinet(argv[1]).Flush();
     if (!s.ok()) {
       return Error(s.ToString());
@@ -322,7 +383,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
   // named folders travel (the paper's briefcase-as-argument-list: "each
   // folder containing the value of one argument"); on return, everything in
   // the sub-briefcase — including folders the met agent added — merges back.
-  interp->Register("meet", [activation, guard, wrong_args](
+  interp->Register("meet", [activation, guard, wrong_args, fx_agent,
+                            fx_folder_read, fx_folder_write](
                                Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -330,6 +392,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 2 && argv.size() != 3) {
       return wrong_args("meet agent ?folderList?");
     }
+    fx_agent(argv[1]);
     if (argv.size() == 2) {
       Status s = activation->place->Meet(argv[1], *activation->briefcase);
       if (!s.ok()) {
@@ -341,6 +404,10 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     auto names = tacl::ParseList(argv[2]);
     if (!names.ok()) {
       return Error("meet: bad folder list: " + std::string(names.status().message()));
+    }
+    for (const std::string& name : *names) {
+      fx_folder_read(name);
+      fx_folder_write(name);
     }
     Briefcase& main = *activation->briefcase;
     Briefcase args_bc;
@@ -361,13 +428,17 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
 
   // move host ?contact? — ship the briefcase via rexec; this activation's
   // state is gone afterwards.
-  interp->Register("move", [activation, guard, wrong_args](
+  interp->Register("move", [activation, guard, wrong_args, fx_host](
                                Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
     }
     if (argv.size() != 2 && argv.size() != 3) {
       return wrong_args("move host ?contact?");
+    }
+    fx_host(argv[1]);
+    if (auto* fx = activation->effects) {
+      ++fx->hops;
     }
     Briefcase& bc = *activation->briefcase;
     bc.SetString(kHostFolder, argv[1]);
@@ -385,13 +456,17 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
   // jump host — push this activation's own code back into CODE and move, so
   // the same program restarts at the destination (the classic TACOMA
   // itinerary pattern: briefcase state decides the phase).
-  interp->Register("jump", [activation, guard, wrong_args](
+  interp->Register("jump", [activation, guard, wrong_args, fx_host](
                                Interp& in, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
     }
     if (argv.size() != 2) {
       return wrong_args("jump host");
+    }
+    fx_host(argv[1]);
+    if (auto* fx = activation->effects) {
+      ++fx->hops;
     }
     Briefcase& bc = *activation->briefcase;
     bc.folder(kCodeFolder).PushFrontString(activation->code);
@@ -411,13 +486,17 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
 
   // clone host — send a copy of this agent (code + briefcase) to `host`;
   // the local activation continues.
-  interp->Register("clone", [activation, guard, wrong_args](
+  interp->Register("clone", [activation, guard, wrong_args, fx_host](
                                 Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
     }
     if (argv.size() != 2) {
       return wrong_args("clone host");
+    }
+    fx_host(argv[1]);
+    if (auto* fx = activation->effects) {
+      ++fx->clones;
     }
     Kernel* kernel = activation->place->kernel();
     auto destination = kernel->net().FindSite(argv[1]);
@@ -442,7 +521,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
 
   // send host agent folder — courier sugar: ship one briefcase folder to a
   // named agent on another site.
-  interp->Register("send", [activation, guard, wrong_args](
+  interp->Register("send", [activation, guard, wrong_args, fx_host, fx_agent,
+                            fx_folder_read](
                                Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -450,6 +530,9 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (argv.size() != 4) {
       return wrong_args("send host agent folder");
     }
+    fx_host(argv[1]);
+    fx_agent(argv[2]);
+    fx_folder_read(argv[3]);
     Briefcase& bc = *activation->briefcase;
     bc.SetString(kHostFolder, argv[1]);
     bc.SetString(kContactFolder, argv[2]);
@@ -543,6 +626,78 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     }
     return Ok(std::to_string(
         activation->place->rng().Uniform(static_cast<uint64_t>(*bound))));
+  });
+
+  // --- ECU spending -------------------------------------------------------------
+  //
+  // The briefcase's WALLET folder holds the agent's spendable balance (an
+  // integer of ECUs).  `pay amount payee` debits it and records the transfer
+  // in SPENT; `withdraw amount` debits and returns the amount (cash in hand).
+  // Both are the spend events the analyzer bounds: the amount operand is what
+  // static analysis reads, so the effect record logs the same quantity.
+
+  auto debit_wallet = [activation](int64_t amount) -> Result<int64_t> {
+    auto balance_str = activation->briefcase->GetString("WALLET");
+    if (!balance_str.has_value()) {
+      return FailedPreconditionError("no WALLET folder in briefcase");
+    }
+    auto balance = tacl::ParseInt(*balance_str);
+    if (!balance.has_value()) {
+      return FailedPreconditionError("WALLET holds a non-numeric balance");
+    }
+    if (*balance < amount) {
+      return FailedPreconditionError("insufficient funds: balance " +
+                                     *balance_str + ", need " +
+                                     std::to_string(amount));
+    }
+    int64_t remaining = *balance - amount;
+    activation->briefcase->SetString("WALLET", std::to_string(remaining));
+    return remaining;
+  };
+
+  interp->Register("pay", [activation, guard, wrong_args, debit_wallet](
+                              Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 3) {
+      return wrong_args("pay amount payee");
+    }
+    auto amount = tacl::ParseInt(argv[1]);
+    if (!amount.has_value() || *amount <= 0) {
+      return Error("bad amount \"" + argv[1] + "\"");
+    }
+    if (auto* fx = activation->effects) {
+      fx->spend += *amount;
+    }
+    auto remaining = debit_wallet(*amount);
+    if (!remaining.ok()) {
+      return Error("pay: " + remaining.status().message());
+    }
+    activation->briefcase->folder("SPENT").PushBackString(argv[2] + " " + argv[1]);
+    return Ok(std::to_string(*remaining));
+  });
+
+  interp->Register("withdraw", [activation, guard, wrong_args, debit_wallet](
+                                   Interp&, const std::vector<std::string>& argv) {
+    if (auto g = guard()) {
+      return *g;
+    }
+    if (argv.size() != 2) {
+      return wrong_args("withdraw amount");
+    }
+    auto amount = tacl::ParseInt(argv[1]);
+    if (!amount.has_value() || *amount <= 0) {
+      return Error("bad amount \"" + argv[1] + "\"");
+    }
+    if (auto* fx = activation->effects) {
+      fx->spend += *amount;
+    }
+    auto remaining = debit_wallet(*amount);
+    if (!remaining.ok()) {
+      return Error("withdraw: " + remaining.status().message());
+    }
+    return Ok(argv[1]);
   });
 }
 

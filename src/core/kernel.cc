@@ -172,6 +172,28 @@ void Kernel::RegisterKernelMetrics() {
   metrics_.AddProbe("place.arrival_meet_failures", [sum_places] {
     return sum_places(&Place::Stats::arrival_meet_failures);
   });
+  metrics_.AddProbe("place.admission_checks", [sum_places] {
+    return sum_places(&Place::Stats::admission_checks);
+  });
+  metrics_.AddProbe("place.admission_policy_violations", [sum_places] {
+    return sum_places(&Place::Stats::admission_policy_violations);
+  });
+
+  // Runtime-vs-static effect drift (the analyzer's continuous soundness
+  // check) and the kernel-wide admission-summary cache.
+  metrics_.AddProbe("tacl.manifest_violations", [sum_places] {
+    return sum_places(&Place::Stats::manifest_violations);
+  });
+  metrics_.AddProbe("tacl.manifest_violations_static", [sum_places] {
+    return sum_places(&Place::Stats::manifest_violations_static);
+  });
+  metrics_.AddProbe("tacl.manifest_cache_hits",
+                    [this] { return admission_stats_.hits; });
+  metrics_.AddProbe("tacl.manifest_cache_misses",
+                    [this] { return admission_stats_.misses; });
+  metrics_.AddProbe("tacl.manifest_cache_entries", [this] {
+    return static_cast<uint64_t>(admission_cache_.size());
+  });
 
   // Content-addressed CODE cache.  Registered unconditionally so snapshots
   // keep a stable key set whether or not the cache is enabled (all zero when
@@ -298,6 +320,39 @@ void Kernel::ArmDiskCrash(SiteId site, uint64_t ops_from_now, double tear_fracti
   disks_[site]->crash.Arm(ops_from_now, tear_fraction);
 }
 
+std::shared_ptr<const AdmissionSummary> Kernel::LookupAdmission(
+    const std::string& key) {
+  auto it = admission_cache_.find(key);
+  if (it == admission_cache_.end()) {
+    ++admission_stats_.misses;
+    return nullptr;
+  }
+  ++admission_stats_.hits;
+  // LRU touch: move the key to the back of the recency order.
+  auto pos = std::find(admission_order_.begin(), admission_order_.end(), key);
+  if (pos != admission_order_.end()) {
+    admission_order_.erase(pos);
+  }
+  admission_order_.push_back(key);
+  return it->second;
+}
+
+void Kernel::StoreAdmission(const std::string& key,
+                            std::shared_ptr<const AdmissionSummary> summary) {
+  if (options_.admission_cache_capacity == 0) {
+    return;
+  }
+  while (admission_cache_.size() >= options_.admission_cache_capacity &&
+         !admission_order_.empty()) {
+    admission_cache_.erase(admission_order_.front());
+    admission_order_.pop_front();
+    ++admission_stats_.evictions;
+  }
+  if (admission_cache_.emplace(key, std::move(summary)).second) {
+    admission_order_.push_back(key);
+  }
+}
+
 void Kernel::AddPlaceInitializer(std::function<void(Place&)> init) {
   for (auto& place : places_) {
     if (place != nullptr) {
@@ -315,6 +370,10 @@ void Kernel::CreatePlace(SiteId site) {
   auto place = std::make_unique<Place>(this, site, net_.site_name(site));
   place->set_step_limit(options_.step_limit);
   place->set_admission_policy(options_.admission_policy);
+  if (options_.admission_rules.has_value()) {
+    place->set_admission_rules(*options_.admission_rules);
+  }
+  place->set_effect_monitor(options_.effect_monitor);
   place->set_code_cache_capacity(options_.code_cache.capacity);
   InstallSystemAgents(*place);
   PopulateSitesFolder(*place);

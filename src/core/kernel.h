@@ -110,6 +110,15 @@ struct KernelOptions {
   // analysis (see tacl/analyze.h): run it anyway, warn, or reject it before
   // the interpreter sees it.
   AdmissionPolicy admission_policy = AdmissionPolicy::kWarn;
+  // Full declarative admission policy table (core/admission.h).  When set it
+  // wins over `admission_policy`; the enum remains as the simple façade.
+  std::optional<AdmissionRules> admission_rules;
+  // Record every admitted activation's actual effects and count departures
+  // from its static manifest (tacl.manifest_violations).
+  bool effect_monitor = true;
+  // Kernel-wide cache of admission analyses, keyed by CODE digest + command
+  // fingerprint.  Shared by all places and kept across RestartSite.
+  size_t admission_cache_capacity = 4096;
   // Default delivery discipline for every TransferAgent call.
   ReliabilityOptions reliability;
   // Journey tracing: stamp a TRACE folder on every launch and transfer and
@@ -167,6 +176,16 @@ class Kernel {
     uint64_t nacks_sent = 0;
     uint64_t dead_letters_delivered = 0;  // Returned briefcases met their contact.
     uint64_t dead_letters_dropped = 0;    // Designated contact unreachable.
+  };
+
+  // Accounting for the kernel-wide admission-summary cache.  Content
+  // addressed (CODE digest + command-surface fingerprint), so entries stay
+  // valid across RestartSite; a place whose command surface changes gets a
+  // new fingerprint, which strands — not corrupts — old entries.
+  struct AdmissionCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
   // Sender/receiver accounting for the content-addressed CODE cache (the
@@ -240,7 +259,18 @@ class Kernel {
   // into the briefcase and meets ag_tacl).
   Status LaunchAgent(SiteId site, const std::string& code, Briefcase bc = Briefcase());
 
+  // --- Admission-summary cache (used by Place::Admit) -------------------------
+
+  // Returns the cached analysis summary for `key`, or nullptr (LRU-touching
+  // on hit).
+  std::shared_ptr<const AdmissionSummary> LookupAdmission(const std::string& key);
+  void StoreAdmission(const std::string& key,
+                      std::shared_ptr<const AdmissionSummary> summary);
+
   const Stats& stats() const { return stats_; }
+  const AdmissionCacheStats& admission_cache_stats() const {
+    return admission_stats_;
+  }
   const CodeCacheStats& code_cache_stats() const { return code_stats_; }
   // Storage-layer accounting (cabinet recoveries, replayed records, torn
   // tails, lost WAL appends).  Kernel-owned so it survives site crashes;
@@ -356,6 +386,10 @@ class Kernel {
   std::map<SiteId, std::map<SiteId, std::set<std::string>>> known_code_;
   std::map<uint64_t, StubSend> stub_sends_;  // Keyed by transfer id.
   std::deque<uint64_t> stub_send_order_;
+  // Admission-summary cache: map + LRU order (front = least recent).
+  std::map<std::string, std::shared_ptr<const AdmissionSummary>> admission_cache_;
+  std::deque<std::string> admission_order_;
+  AdmissionCacheStats admission_stats_;
   Stats stats_;
   CodeCacheStats code_stats_;
   StorageStats storage_stats_;

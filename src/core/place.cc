@@ -1,7 +1,10 @@
 #include "core/place.h"
 
+#include <algorithm>
+
 #include "core/kernel.h"
 #include "core/trace.h"
+#include "crypto/sha256.h"
 #include "util/log.h"
 
 namespace tacoma {
@@ -130,20 +133,87 @@ void Place::EmitAgentOutput(const std::string& line) {
   }
 }
 
-const Place::AdmissionVerdict& Place::Admit(const tacl::Interp& interp,
-                                            const std::string& code) {
-  auto it = admission_cache_.find(code);
-  if (it != admission_cache_.end()) {
-    return it->second;
+AdmissionPolicy Place::admission_policy() const {
+  switch (admission_rules_.mode) {
+    case AdmissionRules::Mode::kOff:
+      return AdmissionPolicy::kOff;
+    case AdmissionRules::Mode::kWarn:
+      return AdmissionPolicy::kWarn;
+    case AdmissionRules::Mode::kEnforce:
+      return AdmissionPolicy::kReject;
   }
-  if (admission_cache_.size() >= 1024) {
-    admission_cache_.clear();  // Crude bound; adversaries don't get to grow it.
+  return AdmissionPolicy::kWarn;
+}
+
+void Place::set_admission_policy(AdmissionPolicy policy) {
+  AdmissionRules rules;  // deny_errors=true, nothing else denied.
+  switch (policy) {
+    case AdmissionPolicy::kOff:
+      rules.mode = AdmissionRules::Mode::kOff;
+      break;
+    case AdmissionPolicy::kWarn:
+      rules.mode = AdmissionRules::Mode::kWarn;
+      break;
+    case AdmissionPolicy::kReject:
+      rules.mode = AdmissionRules::Mode::kEnforce;
+      break;
+  }
+  admission_rules_ = std::move(rules);
+}
+
+const std::string& Place::CommandFingerprint(const tacl::Interp& interp) {
+  if (cmd_fingerprint_.empty()) {
+    std::vector<std::string> names = interp.CommandNames();
+    std::sort(names.begin(), names.end());
+    Sha256 hasher;
+    for (const std::string& name : names) {
+      hasher.Update(name);
+      hasher.Update(std::string_view("\n", 1));
+    }
+    cmd_fingerprint_ = DigestToHex(hasher.Finish()).substr(0, 16);
+  }
+  return cmd_fingerprint_;
+}
+
+std::shared_ptr<const AdmissionSummary> Place::Admit(const tacl::Interp& interp,
+                                                     const std::string& code) {
+  const std::string key =
+      DigestToHex(Sha256::Hash(code)) + "/" + CommandFingerprint(interp);
+  if (auto cached = kernel_->LookupAdmission(key)) {
+    return cached;
   }
   tacl::AnalysisReport report = tacl::Analyze(code, AgentAnalyzerOptions(interp));
-  AdmissionVerdict verdict;
-  verdict.ok = report.ok();
-  verdict.first_error = report.FirstError();
-  return admission_cache_.emplace(code, std::move(verdict)).first->second;
+  auto summary = std::make_shared<const AdmissionSummary>(
+      AdmissionSummary::FromReport(report));
+  kernel_->StoreAdmission(key, summary);
+  return summary;
+}
+
+Place::AdmissionDecision Place::CheckAdmission(const std::string& code) {
+  AdmissionDecision decision;
+  if (!cmd_fingerprint_.empty()) {
+    // Fast path: the command surface is fingerprinted, so a cache hit skips
+    // building the throwaway interpreter entirely.
+    const std::string key =
+        DigestToHex(Sha256::Hash(code)) + "/" + cmd_fingerprint_;
+    if (auto cached = kernel_->LookupAdmission(key)) {
+      decision.summary = std::move(cached);
+      decision.violations = admission_rules_.Violations(*decision.summary);
+      return decision;
+    }
+  }
+  Activation scratch;
+  Briefcase empty;
+  scratch.place = this;
+  scratch.briefcase = &empty;
+  tacl::Interp interp;
+  BindAgentPrimitives(&interp, &scratch);
+  for (const Binder& binder : binders_) {
+    binder(&interp, &scratch);
+  }
+  decision.summary = Admit(interp, code);
+  decision.violations = admission_rules_.Violations(*decision.summary);
+  return decision;
 }
 
 tacl::AnalysisReport Place::AnalyzeAgentCode(const std::string& code) {
@@ -199,22 +269,45 @@ Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
     binder(&interp, &activation);
   }
 
-  if (admission_policy_ != AdmissionPolicy::kOff) {
-    const AdmissionVerdict& verdict = Admit(interp, code);
-    if (!verdict.ok) {
-      if (admission_policy_ == AdmissionPolicy::kReject) {
+  std::shared_ptr<const AdmissionSummary> summary;
+  if (admission_rules_.mode != AdmissionRules::Mode::kOff) {
+    summary = Admit(interp, code);
+    ++stats_.admission_checks;
+    std::vector<std::string> violations = admission_rules_.Violations(*summary);
+    if (!violations.empty()) {
+      stats_.admission_policy_violations += violations.size();
+      if (admission_rules_.mode == AdmissionRules::Mode::kEnforce) {
         ++stats_.failed_activations;
         ++stats_.rejected_agents;
         return PermissionDeniedError("agent " + agent_id + " rejected at " + name_ +
-                                     " by admission analysis: " + verdict.first_error);
+                                     " by admission analysis: " + violations.front());
       }
       TLOG_WARN << "site " << name_ << ": agent " << agent_id
-                << " failed admission analysis (policy=warn): " << verdict.first_error;
+                << " violates admission policy (mode=warn): " << violations.front();
     }
+  }
+
+  // Soundness cross-check: record what the activation actually does and
+  // compare against what the analyzer said it could do.
+  tacl::EffectRecord record;
+  if (effect_monitor_ && summary != nullptr) {
+    activation.effects = &record;
   }
 
   tacl::Outcome out = interp.Eval(code);
   stats_.interp_steps += interp.steps();
+
+  if (activation.effects != nullptr) {
+    std::vector<std::string> drift =
+        tacl::ManifestViolations(summary->manifest, record);
+    stats_.manifest_violations += drift.size();
+    if (!summary->manifest.dynamic_targets && !drift.empty()) {
+      // The manifest claimed to be exact; drift here is an analyzer bug.
+      stats_.manifest_violations_static += drift.size();
+      TLOG_WARN << "site " << name_ << ": agent " << agent_id
+                << " escaped its static manifest: " << drift.front();
+    }
+  }
 
   if (out.code == tacl::Code::kError) {
     ++stats_.failed_activations;

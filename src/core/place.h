@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "core/admission.h"
 #include "core/briefcase.h"
 #include "core/cabinet.h"
 #include "core/codecache.h"
@@ -32,11 +33,11 @@ namespace tacoma {
 class Kernel;
 class Place;
 
-// What a Place does with an agent whose CODE fails static analysis (parse
-// errors, unknown commands, arity mismatches — see tacl/analyze.h).
+// Legacy three-state admission knob, kept as a convenience façade over the
+// declarative AdmissionRules table (core/admission.h):
 //   kOff    run everything, analyze nothing (the pre-verifier behaviour);
-//   kWarn   run it, but log the diagnostics (default: visibility first);
-//   kReject refuse the activation before the interpreter sees the code.
+//   kWarn   analyze and log violations, but admit (default: visibility first);
+//   kReject refuse activations whose analysis found errors.
 enum class AdmissionPolicy { kOff, kWarn, kReject };
 
 // A resident agent's meet handler: receives the briefcase (in/out, like an
@@ -52,6 +53,11 @@ struct Activation {
   std::string code;          // The source being executed (for self_code).
   std::string agent_id;
   bool departed = false;     // Set once the agent has moved away.
+  // When the runtime effect monitor is on, the agent primitives record the
+  // operand names and counts of every effectful call here (see
+  // tacl::EffectRecord); the place cross-checks the record against the static
+  // manifest after evaluation.  Null = monitoring off for this activation.
+  tacl::EffectRecord* effects = nullptr;
 };
 
 class Place {
@@ -66,6 +72,14 @@ class Place {
     // Transfers that arrived here but whose meet was refused (missing
     // contact, admission rejection, malformed briefcase).
     uint64_t arrival_meet_failures = 0;
+    uint64_t admission_checks = 0;  // Activations evaluated against the rules.
+    // Policy-table violations seen at admission (counted in warn mode too).
+    uint64_t admission_policy_violations = 0;
+    // Runtime effects outside the static manifest.  The _static variant counts
+    // only activations whose manifest had dynamic_targets=false — those are
+    // analyzer soundness bugs, and the chaos soak asserts the counter is zero.
+    uint64_t manifest_violations = 0;
+    uint64_t manifest_violations_static = 0;
   };
 
   Place(Kernel* kernel, SiteId site, std::string name);
@@ -117,9 +131,33 @@ class Place {
   // --- Admission (static analysis of incoming CODE) ---------------------------------
 
   // Every activation's source is analyzed against the commands actually bound
-  // at this place before it runs; the policy decides what failure means.
-  AdmissionPolicy admission_policy() const { return admission_policy_; }
-  void set_admission_policy(AdmissionPolicy policy) { admission_policy_ = policy; }
+  // at this place before it runs; the rules table decides what the resulting
+  // manifest means (core/admission.h).
+  const AdmissionRules& admission_rules() const { return admission_rules_; }
+  void set_admission_rules(AdmissionRules rules) {
+    admission_rules_ = std::move(rules);
+  }
+
+  // Legacy façade over the rules table.  kOff/kWarn/kReject map onto
+  // mode=off/warn/enforce with deny_errors=true and nothing else denied,
+  // preserving the original "reject on analysis errors" semantics.
+  AdmissionPolicy admission_policy() const;
+  void set_admission_policy(AdmissionPolicy policy);
+
+  // Runtime effect monitor: when on, every admitted activation's actual
+  // effects are recorded and cross-checked against its static manifest.
+  void set_effect_monitor(bool on) { effect_monitor_ = on; }
+  bool effect_monitor() const { return effect_monitor_; }
+
+  // The admission decision for `code` at this place: the cached-or-computed
+  // analysis summary plus any rules violations.  Does not count stats or
+  // reject anything — RunAgentCode applies the policy; this is the
+  // reproducible query form (bench, tools, tests).
+  struct AdmissionDecision {
+    std::shared_ptr<const AdmissionSummary> summary;
+    std::vector<std::string> violations;
+  };
+  AdmissionDecision CheckAdmission(const std::string& code);
 
   // Analyzes `code` exactly as the admission check would (builtins + agent
   // primitives + every command the place's binders register), without
@@ -129,7 +167,12 @@ class Place {
   // Extension hook: modules (cash, scheduling, fault tolerance) add binders
   // that register extra TACL commands for every activation at this place.
   using Binder = std::function<void(tacl::Interp*, Activation*)>;
-  void AddBinder(Binder binder) { binders_.push_back(std::move(binder)); }
+  void AddBinder(Binder binder) {
+    binders_.push_back(std::move(binder));
+    // The command surface changed, so cached summaries keyed under the old
+    // fingerprint no longer describe this place's analysis environment.
+    cmd_fingerprint_.clear();
+  }
 
   // Where `log`/`puts` output from agents goes.
   void set_agent_output(std::function<void(const std::string&)> sink) {
@@ -151,14 +194,17 @@ class Place {
   void set_code_cache_capacity(size_t capacity) { code_cache_.set_capacity(capacity); }
 
  private:
-  // Cached admission verdict for one CODE string: whether analysis passed and,
-  // if not, the first error.  Resident TACL agents re-run the same source on
-  // every meet; the cache keeps admission off that hot path.
-  struct AdmissionVerdict {
-    bool ok = true;
-    std::string first_error;
-  };
-  const AdmissionVerdict& Admit(const tacl::Interp& interp, const std::string& code);
+  // Returns the cached-or-computed analysis summary for `code`.  The cache
+  // lives in the kernel, keyed by SHA-256 CODE digest + a fingerprint of this
+  // place's command surface: identical code admitted at different places (or
+  // at this site after a RestartSite) reuses one analysis, and a binder added
+  // later changes the fingerprint, which invalidates stale summaries the same
+  // way restart invalidates CodeCache beliefs.
+  std::shared_ptr<const AdmissionSummary> Admit(const tacl::Interp& interp,
+                                                const std::string& code);
+  // Digest of the sorted command names `interp` exposes (lazily computed;
+  // cleared by AddBinder).
+  const std::string& CommandFingerprint(const tacl::Interp& interp);
 
   Kernel* kernel_;
   SiteId site_;
@@ -167,9 +213,10 @@ class Place {
   std::map<std::string, std::unique_ptr<FileCabinet>> cabinets_;
   std::function<void(const std::string&)> agent_output_;
   std::vector<Binder> binders_;
-  std::map<std::string, AdmissionVerdict> admission_cache_;
   uint64_t step_limit_ = 5'000'000;
-  AdmissionPolicy admission_policy_ = AdmissionPolicy::kWarn;
+  AdmissionRules admission_rules_;  // Default: mode=warn, deny errors.
+  bool effect_monitor_ = true;
+  std::string cmd_fingerprint_;
   uint64_t generation_ = 0;
   int meet_depth_ = 0;
   Stats stats_;

@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <optional>
 
 #include "tacl/list.h"
 
 namespace tacoma::tacl {
 
 std::string_view SeverityName(Severity severity) {
-  return severity == Severity::kError ? "error" : "warning";
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "note";
 }
 
 size_t AnalysisReport::error_count() const {
@@ -20,7 +30,19 @@ size_t AnalysisReport::error_count() const {
 }
 
 size_t AnalysisReport::warning_count() const {
-  return diagnostics.size() - error_count();
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kWarning ? 1 : 0;
+  }
+  return n;
+}
+
+size_t AnalysisReport::note_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kNote ? 1 : 0;
+  }
+  return n;
 }
 
 std::string AnalysisReport::FirstError() const {
@@ -49,6 +71,166 @@ std::string AnalysisReport::ToString(std::string_view name) const {
     out += "]\n";
   }
   return out;
+}
+
+// --- Effect lattice ----------------------------------------------------------
+
+int64_t EffectAdd(int64_t a, int64_t b) {
+  if (a == kUnboundedEffect || b == kUnboundedEffect) {
+    return kUnboundedEffect;
+  }
+  return a + b;
+}
+
+int64_t EffectMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;  // Zero iterations annihilate even unbounded contributions.
+  }
+  if (a == kUnboundedEffect || b == kUnboundedEffect) {
+    return kUnboundedEffect;
+  }
+  return a * b;
+}
+
+std::string EffectBoundToString(int64_t bound) {
+  return bound == kUnboundedEffect ? "unbounded" : std::to_string(bound);
+}
+
+bool IsSensitiveFolder(std::string_view name) {
+  if (name.rfind("SECRET", 0) == 0) {
+    return true;
+  }
+  return name.find("WALLET") != std::string_view::npos ||
+         name.find("RECEIPT") != std::string_view::npos;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonSet(std::string* out, const char* key,
+                   const std::set<std::string>& values) {
+  AppendJsonString(out, key);
+  *out += ":[";
+  bool first = true;
+  for (const std::string& v : values) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    AppendJsonString(out, v);
+  }
+  *out += "]";
+}
+
+void AppendJsonBound(std::string* out, const char* key, int64_t bound) {
+  AppendJsonString(out, key);
+  out->push_back(':');
+  if (bound == kUnboundedEffect) {
+    *out += "\"unbounded\"";
+  } else {
+    *out += std::to_string(bound);
+  }
+}
+
+void AppendJsonBool(std::string* out, const char* key, bool value) {
+  AppendJsonString(out, key);
+  out->push_back(':');
+  *out += value ? "true" : "false";
+}
+
+}  // namespace
+
+std::string EffectManifest::ToJson() const {
+  // Keys emitted in alphabetical order; the encoding is canonical (the same
+  // manifest always produces the same bytes).
+  std::string out = "{";
+  AppendJsonSet(&out, "agents_met", agents_met);
+  out += ",";
+  AppendJsonSet(&out, "cabinets_read", cabinets_read);
+  out += ",";
+  AppendJsonSet(&out, "cabinets_written", cabinets_written);
+  out += ",";
+  AppendJsonBound(&out, "clone_bound", clone_bound);
+  out += ",";
+  AppendJsonBool(&out, "dynamic_targets", dynamic_targets);
+  out += ",";
+  AppendJsonBool(&out, "exfiltration_risk", exfiltration_risk);
+  out += ",";
+  AppendJsonSet(&out, "folders_read", folders_read);
+  out += ",";
+  AppendJsonSet(&out, "folders_written", folders_written);
+  out += ",";
+  AppendJsonBound(&out, "hop_bound", hop_bound);
+  out += ",";
+  AppendJsonSet(&out, "hosts", hosts);
+  out += ",";
+  AppendJsonBool(&out, "reads_sensitive", reads_sensitive);
+  out += ",";
+  AppendJsonBound(&out, "spend_bound", spend_bound);
+  out += "}";
+  return out;
+}
+
+std::vector<std::string> ManifestViolations(const EffectManifest& manifest,
+                                            const EffectRecord& actual) {
+  std::vector<std::string> violations;
+  auto check_set = [&violations](const std::set<std::string>& allowed,
+                                 const std::set<std::string>& used,
+                                 const char* what) {
+    for (const std::string& name : used) {
+      if (!allowed.contains(name)) {
+        violations.push_back(std::string(what) + " \"" + name +
+                             "\" not in static manifest");
+      }
+    }
+  };
+  check_set(manifest.folders_read, actual.folders_read, "folder read");
+  check_set(manifest.folders_written, actual.folders_written, "folder write");
+  check_set(manifest.cabinets_read, actual.cabinets_read, "cabinet read");
+  check_set(manifest.cabinets_written, actual.cabinets_written, "cabinet write");
+  check_set(manifest.agents_met, actual.agents_met, "agent contact");
+  check_set(manifest.hosts, actual.hosts, "host");
+  auto check_bound = [&violations](int64_t bound, int64_t used, const char* what) {
+    if (bound != kUnboundedEffect && used > bound) {
+      violations.push_back(std::string(what) + " count " + std::to_string(used) +
+                           " exceeds static bound " + std::to_string(bound));
+    }
+  };
+  check_bound(manifest.hop_bound, actual.hops, "hop");
+  check_bound(manifest.clone_bound, actual.clones, "clone");
+  check_bound(manifest.spend_bound, actual.spend, "spend");
+  return violations;
 }
 
 const SignatureTable& BuiltinCommandSignatures() {
@@ -81,8 +263,62 @@ bool IsLiteral(const Word& w) {
 
 const std::string& LiteralText(const Word& w) { return w.parts[0].text; }
 
+// A word that is exactly one $variable substitution (the shape proc argument
+// forwarding resolves: `proc go {h} { move $h }`).
+const std::string* SingleVariable(const Word& w) {
+  if (w.parts.size() == 1 && w.parts[0].kind == WordPart::Kind::kVariable) {
+    return &w.parts[0].text;
+  }
+  return nullptr;
+}
+
 bool IsVarNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Which manifest set a literal effect operand lands in.
+enum class EffectKind {
+  kFolderRead,
+  kFolderWrite,
+  kCabinetRead,
+  kCabinetWrite,
+  kAgent,
+  kHost,
+};
+
+// Read/write classification for the briefcase and cabinet primitive families.
+// Kept in lockstep with the runtime recorder in core/bindings.cc — the
+// monitor's soundness contract depends on the two sides agreeing.
+void BcEffectKinds(const std::string& name, bool* read, bool* write) {
+  *read = *write = false;
+  if (name == "bc_get" || name == "bc_peek" || name == "bc_list" ||
+      name == "bc_has" || name == "bc_len") {
+    *read = true;
+  } else if (name == "bc_put" || name == "bc_push" || name == "bc_set" ||
+             name == "bc_clear") {
+    *write = true;
+  } else {
+    *read = *write = true;  // bc_pop / bc_pop_back / unknown bc_*: both.
+  }
+}
+
+void CabEffectKinds(const std::string& name, bool* read, bool* write) {
+  *read = *write = false;
+  if (name == "cab_get" || name == "cab_list" || name == "cab_len" ||
+      name == "cab_contains" || name == "cab_folders") {
+    *read = true;
+  } else if (name == "cab_append" || name == "cab_set" || name == "cab_erase" ||
+             name == "cab_flush") {
+    *write = true;
+  } else {
+    *read = *write = true;
+  }
+}
+
+// bc commands whose result carries folder *contents* (taint sources).
+bool IsBcContentRead(const std::string& name) {
+  return name == "bc_get" || name == "bc_peek" || name == "bc_pop" ||
+         name == "bc_pop_back" || name == "bc_list";
 }
 
 class Analyzer {
@@ -97,6 +333,10 @@ class Analyzer {
     Scope top;
     AnalyzeBlock(script, 1, 0, &top);
     FinishScope(top);
+    InstantiateProcEffects();
+    PropagateTaint();
+    EmitEffectNotes();
+    FillCapabilitySummary();
     std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
                        return a.line < b.line;
@@ -113,6 +353,26 @@ class Analyzer {
     std::set<std::string> defined;
     std::map<std::string, size_t> first_read;  // name -> line
     bool dynamic = false;
+  };
+
+  // Per-proc effect summary collected while walking the body: numeric
+  // contributions (to be scaled by how often the proc can be called) and
+  // parameterized targets (`move $h` where h is a parameter) resolved from
+  // literal call-site arguments afterwards — one level of forwarding.
+  struct ProcEffects {
+    std::vector<std::string> params;
+    std::vector<std::pair<EffectKind, size_t>> param_effects;  // (kind, param idx)
+    int64_t hops = 0;
+    int64_t clones = 0;
+    int64_t spend = 0;
+  };
+
+  // One observed call of a script proc: literal arguments (nullopt when
+  // computed) and the loop multiplier at the call site.
+  struct CallSite {
+    std::vector<std::optional<std::string>> args;
+    int64_t multiplier = 1;
+    size_t line = 1;
   };
 
   void Diag(Severity severity, size_t line, std::string_view code,
@@ -141,7 +401,9 @@ class Analyzer {
         const std::string& name = LiteralText(cmd.words[0]);
         if (name == "proc" && cmd.words.size() == 4) {
           if (IsLiteral(cmd.words[1])) {
-            procs_[LiteralText(cmd.words[1])] = ProcSignature(cmd.words[2]);
+            const std::string& proc_name = LiteralText(cmd.words[1]);
+            procs_[proc_name] = ProcSignature(cmd.words[2]);
+            proc_effects_[proc_name].params = ProcParamNames(cmd.words[2]);
           } else {
             dynamic_procs_ = true;
           }
@@ -194,6 +456,22 @@ class Analyzer {
     return sig;
   }
 
+  static std::vector<std::string> ProcParamNames(const Word& params_word) {
+    std::vector<std::string> names;
+    if (!IsLiteral(params_word)) {
+      return names;
+    }
+    auto params = ParseList(LiteralText(params_word));
+    if (!params.ok()) {
+      return names;
+    }
+    for (const std::string& p : *params) {
+      auto parts = ParseList(p);
+      names.push_back(parts.ok() && !parts->empty() ? (*parts)[0] : p);
+    }
+    return names;
+  }
+
   // --- Pass 2: diagnostics -----------------------------------------------------
 
   void AnalyzeBlock(std::string_view script, size_t base_line, size_t depth,
@@ -204,6 +482,8 @@ class Analyzer {
         Diag(Severity::kWarning, base_line, "analysis-limit",
              "nesting exceeds analysis depth; deeper code not checked");
       }
+      // Unanalyzed code can do anything: the manifest no longer bounds it.
+      report_.manifest.dynamic_targets = true;
       return;
     }
     auto parsed = ParseScript(script);
@@ -270,7 +550,10 @@ class Analyzer {
     }
 
     if (!IsLiteral(cmd.words[0])) {
-      return false;  // Computed command name: nothing to check statically.
+      // Computed command name: nothing to check statically, and the manifest
+      // cannot claim to bound what it invokes.
+      report_.manifest.dynamic_targets = true;
+      return false;
     }
     const std::string& name = LiteralText(cmd.words[0]);
     const size_t line = AbsLine(base_line, cmd.line);
@@ -278,7 +561,9 @@ class Analyzer {
 
     CheckCommand(name, nargs, line);
     TrackVariables(name, cmd, base_line, scope);
-    TrackCapabilities(name, cmd);
+    TrackEffects(name, cmd, base_line);
+    TrackTaint(name, cmd, base_line, depth);
+    RecordCallSite(name, cmd, line);
     RecurseBodies(name, cmd, base_line, depth, scope);
 
     // `move`/`jump` unwind the activation like `return` (the agent departs);
@@ -376,34 +661,395 @@ class Analyzer {
       bool static_eval = words.size() == 2 && IsLiteral(words[1]);
       if (!static_eval) {
         scope->dynamic = true;  // Built strings can set anything.
+        // A built string can invoke any primitive: effects are unbounded in
+        // the set dimension (numeric bounds stay best-effort; see docs).
+        report_.manifest.dynamic_targets = true;
       }
     }
   }
 
-  void TrackCapabilities(const std::string& name, const ParsedCommand& cmd) {
-    auto record = [&](size_t index, std::set<std::string>* into) {
-      if (index >= cmd.words.size()) {
-        return;
-      }
-      if (IsLiteral(cmd.words[index])) {
-        into->insert(LiteralText(cmd.words[index]));
-      } else {
-        report_.capabilities.dynamic_targets = true;
-      }
-    };
-    CapabilitySummary& caps = report_.capabilities;
-    if (name.rfind("bc_", 0) == 0 && cmd.words.size() >= 2) {
-      record(1, &caps.briefcase_folders);
-    } else if (name.rfind("cab_", 0) == 0 && cmd.words.size() >= 2) {
-      record(1, &caps.cabinets);
-    } else if (name == "meet") {
-      record(1, &caps.agents_met);
-    } else if (name == "move" || name == "jump" || name == "clone") {
-      record(1, &caps.hosts);
-    } else if (name == "send") {
-      record(1, &caps.hosts);
-      record(2, &caps.agents_met);
+  // --- Effect inference --------------------------------------------------------
+
+  // Records a literal effect target into the manifest set for `kind`.
+  void RecordEffectName(EffectKind kind, const std::string& name) {
+    EffectManifest& m = report_.manifest;
+    switch (kind) {
+      case EffectKind::kFolderRead:
+        m.folders_read.insert(name);
+        break;
+      case EffectKind::kFolderWrite:
+        m.folders_written.insert(name);
+        break;
+      case EffectKind::kCabinetRead:
+        m.cabinets_read.insert(name);
+        break;
+      case EffectKind::kCabinetWrite:
+        m.cabinets_written.insert(name);
+        break;
+      case EffectKind::kAgent:
+        m.agents_met.insert(name);
+        break;
+      case EffectKind::kHost:
+        m.hosts.insert(name);
+        break;
     }
+  }
+
+  // If `w` is exactly `$param` of the innermost enclosing proc, returns the
+  // parameter index — the one level of argument forwarding we resolve.
+  std::optional<size_t> ParamIndex(const Word& w) {
+    if (proc_stack_.empty()) {
+      return std::nullopt;
+    }
+    const std::string* var = SingleVariable(w);
+    if (var == nullptr) {
+      return std::nullopt;
+    }
+    const auto& params = proc_effects_[proc_stack_.back()].params;
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (params[i] == *var) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // An effect operand: literal → manifest set; `$param` in a proc body →
+  // parameterized effect resolved from call sites; anything else → dynamic.
+  void EffectTarget(const ParsedCommand& cmd, size_t index, EffectKind kind) {
+    if (index >= cmd.words.size()) {
+      return;
+    }
+    const Word& w = cmd.words[index];
+    if (IsLiteral(w)) {
+      RecordEffectName(kind, LiteralText(w));
+      return;
+    }
+    if (auto param = ParamIndex(w)) {
+      proc_effects_[proc_stack_.back()].param_effects.emplace_back(kind, *param);
+      return;
+    }
+    report_.manifest.dynamic_targets = true;
+  }
+
+  // Numeric contributions accumulate into the innermost proc summary (scaled
+  // later by call-site multiplicity) or straight into the manifest.
+  void AddNumericEffect(int64_t ProcEffects::*proc_field,
+                        int64_t EffectManifest::*manifest_field, int64_t amount,
+                        size_t line, size_t* first_unbounded_line) {
+    int64_t scaled = EffectMul(amount, loop_mult_);
+    int64_t* slot = proc_stack_.empty()
+                        ? &(report_.manifest.*manifest_field)
+                        : &(proc_effects_[proc_stack_.back()].*proc_field);
+    *slot = EffectAdd(*slot, scaled);
+    if (*slot == kUnboundedEffect && *first_unbounded_line == 0) {
+      *first_unbounded_line = line;
+    }
+  }
+
+  void TrackEffects(const std::string& name, const ParsedCommand& cmd,
+                    size_t base_line) {
+    const size_t line = AbsLine(base_line, cmd.line);
+    if (name.rfind("bc_", 0) == 0 && cmd.words.size() >= 2) {
+      bool read = false;
+      bool write = false;
+      BcEffectKinds(name, &read, &write);
+      if (read) {
+        EffectTarget(cmd, 1, EffectKind::kFolderRead);
+      }
+      if (write) {
+        EffectTarget(cmd, 1, EffectKind::kFolderWrite);
+      }
+    } else if (name.rfind("cab_", 0) == 0 && cmd.words.size() >= 2) {
+      bool read = false;
+      bool write = false;
+      CabEffectKinds(name, &read, &write);
+      if (read) {
+        EffectTarget(cmd, 1, EffectKind::kCabinetRead);
+      }
+      if (write) {
+        EffectTarget(cmd, 1, EffectKind::kCabinetWrite);
+      }
+    } else if (name == "meet") {
+      EffectTarget(cmd, 1, EffectKind::kAgent);
+      if (cmd.words.size() >= 3) {
+        // The folder list is adopted into the sub-briefcase and merged back:
+        // each named folder is both read and written.
+        if (IsLiteral(cmd.words[2])) {
+          auto folders = ParseList(LiteralText(cmd.words[2]));
+          if (folders.ok()) {
+            for (const std::string& f : *folders) {
+              RecordEffectName(EffectKind::kFolderRead, f);
+              RecordEffectName(EffectKind::kFolderWrite, f);
+            }
+          }
+        } else {
+          report_.manifest.dynamic_targets = true;
+        }
+      }
+    } else if (name == "move" || name == "jump") {
+      EffectTarget(cmd, 1, EffectKind::kHost);
+      AddNumericEffect(&ProcEffects::hops, &EffectManifest::hop_bound, 1, line,
+                       &first_unbounded_hop_line_);
+    } else if (name == "clone") {
+      EffectTarget(cmd, 1, EffectKind::kHost);
+      AddNumericEffect(&ProcEffects::clones, &EffectManifest::clone_bound, 1,
+                       line, &first_unbounded_hop_line_);
+    } else if (name == "send") {
+      EffectTarget(cmd, 1, EffectKind::kHost);
+      EffectTarget(cmd, 2, EffectKind::kAgent);
+      EffectTarget(cmd, 3, EffectKind::kFolderRead);  // Courier ships the folder.
+    } else if (name == "pay" || name == "withdraw") {
+      if (name == "pay" && first_pay_line_ == 0) {
+        first_pay_line_ = line;
+      }
+      int64_t amount = kUnboundedEffect;
+      if (cmd.words.size() >= 2 && IsLiteral(cmd.words[1])) {
+        auto parsed = ParseInt(LiteralText(cmd.words[1]));
+        if (parsed.has_value() && *parsed >= 0) {
+          amount = *parsed;
+        }
+      }
+      AddNumericEffect(&ProcEffects::spend, &EffectManifest::spend_bound, amount,
+                       line, &first_unbounded_spend_line_);
+    }
+  }
+
+  // Calls of script procs: remember the literal arguments and the loop
+  // multiplier, so parameterized effects and per-proc numeric contributions
+  // can be instantiated after the walk.  A call made from inside another proc
+  // body has unknown multiplicity (we resolve one level only): ⊤.
+  void RecordCallSite(const std::string& name, const ParsedCommand& cmd,
+                      size_t line) {
+    if (!procs_.contains(name)) {
+      return;
+    }
+    CallSite site;
+    site.line = line;
+    site.multiplier = proc_stack_.empty() ? loop_mult_ : kUnboundedEffect;
+    for (size_t i = 1; i < cmd.words.size(); ++i) {
+      if (IsLiteral(cmd.words[i])) {
+        site.args.emplace_back(LiteralText(cmd.words[i]));
+      } else {
+        site.args.emplace_back(std::nullopt);
+      }
+    }
+    calls_[name].push_back(std::move(site));
+  }
+
+  // --- Taint (sensitive folders → movement operands) ---------------------------
+
+  // True when `script` (a bracketed substitution) reads the *contents* of a
+  // sensitive folder at any nesting level.
+  bool ScriptReadsSensitive(std::string_view script, size_t depth) {
+    if (depth > kMaxAnalysisDepth) {
+      return false;
+    }
+    auto parsed = ParseScript(script);
+    if (!parsed.ok()) {
+      return false;
+    }
+    for (const ParsedCommand& cmd : *parsed) {
+      if (cmd.words.empty()) {
+        continue;
+      }
+      if (IsLiteral(cmd.words[0])) {
+        const std::string& name = LiteralText(cmd.words[0]);
+        if (IsBcContentRead(name) && cmd.words.size() >= 2 &&
+            IsLiteral(cmd.words[1]) &&
+            IsSensitiveFolder(LiteralText(cmd.words[1]))) {
+          return true;
+        }
+        if ((name == "cab_get" || name == "cab_list") && cmd.words.size() >= 3 &&
+            IsLiteral(cmd.words[2]) &&
+            IsSensitiveFolder(LiteralText(cmd.words[2]))) {
+          return true;
+        }
+      }
+      for (const Word& w : cmd.words) {
+        for (const WordPart& part : w.parts) {
+          if (part.kind == WordPart::Kind::kScript &&
+              ScriptReadsSensitive(part.text, depth + 1)) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  void TrackTaint(const std::string& name, const ParsedCommand& cmd,
+                  size_t base_line, size_t depth) {
+    const auto& words = cmd.words;
+    // Assignments: `set v <expr>` (and append/lappend) make v depend on every
+    // variable in the value and taint it directly if the value substitutes a
+    // sensitive read.
+    if ((name == "set" && words.size() == 3) ||
+        ((name == "append" || name == "lappend") && words.size() >= 3)) {
+      if (IsLiteral(words[1])) {
+        const std::string& var = LiteralText(words[1]);
+        for (size_t i = 2; i < words.size(); ++i) {
+          for (const WordPart& part : words[i].parts) {
+            if (part.kind == WordPart::Kind::kVariable) {
+              var_deps_[var].insert(part.text);
+            } else if (part.kind == WordPart::Kind::kScript &&
+                       ScriptReadsSensitive(part.text, depth)) {
+              tainted_.insert(var);
+            }
+          }
+        }
+      }
+      return;
+    }
+    // Sinks: data flowing into movement/communication operands leaves the
+    // site.  Any variable or sensitive substitution in an operand is flagged.
+    if (name == "move" || name == "jump" || name == "clone" || name == "send" ||
+        name == "meet") {
+      for (size_t i = 1; i < words.size(); ++i) {
+        const size_t line = AbsLine(base_line, words[i].line);
+        for (const WordPart& part : words[i].parts) {
+          if (part.kind == WordPart::Kind::kVariable) {
+            sink_uses_.push_back({part.text, line, name});
+          } else if (part.kind == WordPart::Kind::kScript &&
+                     ScriptReadsSensitive(part.text, depth)) {
+            direct_risks_.emplace(
+                line, "operand of \"" + name + "\" reads a sensitive folder");
+          }
+        }
+      }
+      if (name == "send" && words.size() >= 4 && IsLiteral(words[3]) &&
+          IsSensitiveFolder(LiteralText(words[3]))) {
+        direct_risks_.emplace(AbsLine(base_line, words[3].line),
+                              "sensitive folder \"" + LiteralText(words[3]) +
+                                  "\" is shipped off-site by \"send\"");
+      }
+    }
+  }
+
+  struct SinkUse {
+    std::string var;
+    size_t line;
+    std::string command;
+  };
+
+  void PropagateTaint() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [var, deps] : var_deps_) {
+        if (tainted_.contains(var)) {
+          continue;
+        }
+        for (const std::string& dep : deps) {
+          if (tainted_.contains(dep)) {
+            tainted_.insert(var);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Post-walk synthesis ------------------------------------------------------
+
+  void InstantiateProcEffects() {
+    for (auto& [name, effects] : proc_effects_) {
+      auto calls_it = calls_.find(name);
+      if (calls_it == calls_.end()) {
+        continue;  // Never called: contributes nothing.
+      }
+      int64_t total_mult = 0;
+      for (const CallSite& site : calls_it->second) {
+        total_mult = EffectAdd(total_mult, site.multiplier);
+        for (const auto& [kind, index] : effects.param_effects) {
+          if (index < site.args.size() && site.args[index].has_value()) {
+            RecordEffectName(kind, *site.args[index]);
+          } else {
+            report_.manifest.dynamic_targets = true;
+          }
+        }
+      }
+      EffectManifest& m = report_.manifest;
+      auto fold = [&](int64_t contribution, int64_t EffectManifest::*field,
+                      size_t* first_unbounded_line) {
+        int64_t scaled = EffectMul(contribution, total_mult);
+        m.*field = EffectAdd(m.*field, scaled);
+        if (m.*field == kUnboundedEffect && *first_unbounded_line == 0 &&
+            !calls_it->second.empty()) {
+          *first_unbounded_line = calls_it->second.front().line;
+        }
+      };
+      fold(effects.hops, &EffectManifest::hop_bound, &first_unbounded_hop_line_);
+      fold(effects.clones, &EffectManifest::clone_bound,
+           &first_unbounded_hop_line_);
+      fold(effects.spend, &EffectManifest::spend_bound,
+           &first_unbounded_spend_line_);
+    }
+  }
+
+  void EmitEffectNotes() {
+    EffectManifest& m = report_.manifest;
+    for (const std::string& folder : m.folders_read) {
+      if (IsSensitiveFolder(folder)) {
+        m.reads_sensitive = true;
+        break;
+      }
+    }
+
+    if (m.hop_bound == kUnboundedEffect || m.clone_bound == kUnboundedEffect) {
+      Diag(Severity::kNote, first_unbounded_hop_line_, kDiagUnboundedItinerary,
+           "movement inside a loop with no literal bound; itinerary size is "
+           "unbounded");
+    }
+    if (m.spend_bound == kUnboundedEffect) {
+      Diag(Severity::kNote, first_unbounded_spend_line_, kDiagUnboundedSpend,
+           "pay/withdraw amount is not a literal (or repeats unboundedly); "
+           "spend is unbounded");
+    }
+    if (first_pay_line_ != 0) {
+      bool reads_receipt = false;
+      for (const std::string& folder : m.folders_read) {
+        if (folder.find("RECEIPT") != std::string::npos) {
+          reads_receipt = true;
+          break;
+        }
+      }
+      if (!reads_receipt) {
+        Diag(Severity::kNote, first_pay_line_, kDiagUncheckedReceipt,
+             "payment is made but no receipt folder is ever read");
+      }
+    }
+
+    // Exfiltration: direct sensitive flows plus tainted variables reaching a
+    // movement/communication operand (one note per line and cause).
+    std::set<std::pair<size_t, std::string>> emitted = direct_risks_;
+    for (const SinkUse& use : sink_uses_) {
+      if (tainted_.contains(use.var)) {
+        emitted.emplace(use.line, "variable \"" + use.var +
+                                      "\" may carry sensitive folder contents "
+                                      "into \"" +
+                                      use.command + "\"");
+      }
+    }
+    for (const auto& [line, message] : emitted) {
+      m.exfiltration_risk = true;
+      Diag(Severity::kNote, line, kDiagExfiltrationRisk,
+           "possible exfiltration: " + message);
+    }
+  }
+
+  void FillCapabilitySummary() {
+    const EffectManifest& m = report_.manifest;
+    CapabilitySummary& caps = report_.capabilities;
+    caps.briefcase_folders = m.folders_read;
+    caps.briefcase_folders.insert(m.folders_written.begin(),
+                                  m.folders_written.end());
+    caps.cabinets = m.cabinets_read;
+    caps.cabinets.insert(m.cabinets_written.begin(), m.cabinets_written.end());
+    caps.agents_met = m.agents_met;
+    caps.hosts = m.hosts;
+    caps.dynamic_targets = m.dynamic_targets;
   }
 
   void RecurseBodies(const std::string& name, const ParsedCommand& cmd,
@@ -425,15 +1071,35 @@ class Analyzer {
     if (name == "if") {
       AnalyzeIf(cmd, base_line, depth, scope);
     } else if (name == "while") {
+      // Condition and body both run per iteration; with no literal trip
+      // count every effect inside is unbounded.
+      int64_t saved = loop_mult_;
+      loop_mult_ = kUnboundedEffect;
       condition(1);
       body(2);
+      loop_mult_ = saved;
     } else if (name == "for" && words.size() == 5) {
-      body(1);
+      body(1);  // Init runs once.
+      int64_t saved = loop_mult_;
+      loop_mult_ = kUnboundedEffect;
       condition(2);
       body(3);
       body(4);
+      loop_mult_ = saved;
     } else if (name == "foreach" && words.size() == 4) {
+      // A literal element list gives an exact trip count; a computed list
+      // gives ⊤.
+      int64_t trips = kUnboundedEffect;
+      if (IsLiteral(words[2])) {
+        auto items = ParseList(LiteralText(words[2]));
+        if (items.ok()) {
+          trips = static_cast<int64_t>(items->size());
+        }
+      }
+      int64_t saved = loop_mult_;
+      loop_mult_ = EffectMul(loop_mult_, trips);
       body(3);
+      loop_mult_ = saved;
     } else if (name == "catch") {
       body(1);
     } else if (name == "eval" && words.size() == 2) {
@@ -445,7 +1111,9 @@ class Analyzer {
     } else if (name == "proc" && words.size() == 4) {
       AnalyzeProcBody(cmd, base_line, depth);
     } else if (name == "detach" && words.size() == 3) {
-      // The continuation runs later in a fresh interpreter: new scope.
+      // The continuation runs later in a fresh interpreter: new scope.  Its
+      // effects are folded into this manifest (a superset is sound; the
+      // detached activation is also analyzed standalone when it runs).
       if (words[2].braced || IsLiteral(words[2])) {
         Scope detached;
         AnalyzeBlock(LiteralText(words[2]), AbsLine(base_line, words[2].line),
@@ -506,6 +1174,7 @@ class Analyzer {
       return;
     }
     Scope proc_scope;
+    bool named = IsLiteral(words[1]);
     if (IsLiteral(words[2])) {
       auto params = ParseList(LiteralText(words[2]));
       if (params.ok()) {
@@ -518,8 +1187,24 @@ class Analyzer {
     } else {
       proc_scope.dynamic = true;
     }
+    // The body's numeric effects count per *call*, so they accumulate into
+    // the proc summary under a fresh multiplier and are scaled by call-site
+    // multiplicity afterwards.  A dynamically-named proc can't be linked to
+    // call sites: its effects go to the enclosing context with multiplier ⊤
+    // (it may be called any number of times).
+    int64_t saved_mult = loop_mult_;
+    if (named) {
+      proc_stack_.push_back(LiteralText(words[1]));
+      loop_mult_ = 1;
+    } else {
+      loop_mult_ = kUnboundedEffect;
+    }
     AnalyzeBlock(LiteralText(words[3]), AbsLine(base_line, words[3].line),
                  depth + 1, &proc_scope);
+    loop_mult_ = saved_mult;
+    if (named) {
+      proc_stack_.pop_back();
+    }
     FinishScope(proc_scope);
   }
 
@@ -644,6 +1329,21 @@ class Analyzer {
   bool dynamic_procs_ = false;
   bool has_upvar_ = false;
   bool depth_warned_ = false;
+
+  // Effect-inference state.
+  std::map<std::string, ProcEffects> proc_effects_;
+  std::map<std::string, std::vector<CallSite>> calls_;
+  std::vector<std::string> proc_stack_;  // Innermost named proc being walked.
+  int64_t loop_mult_ = 1;                // Iterations of the enclosing loops.
+  size_t first_unbounded_hop_line_ = 0;
+  size_t first_unbounded_spend_line_ = 0;
+  size_t first_pay_line_ = 0;
+
+  // Taint state.
+  std::map<std::string, std::set<std::string>> var_deps_;  // var → vars it reads
+  std::set<std::string> tainted_;
+  std::vector<SinkUse> sink_uses_;
+  std::set<std::pair<size_t, std::string>> direct_risks_;  // (line, cause)
 };
 
 }  // namespace

@@ -9,16 +9,22 @@
 //   - reads of variables never set on any path in their scope (warning)
 //   - unreachable commands after an unconditional return/break/continue/
 //     error/move/jump                       (warning)
-// and extracts a capability summary — which briefcase folders, cabinets,
-// hosts and agents the script names — so sites can enforce admission policy.
+//   - effect advisories: unbounded itineraries or spend, payments with no
+//     receipt check, sensitive data flowing into movement operands (note)
+// and infers a structured EffectManifest — which briefcase folders the script
+// reads vs writes, which cabinets, hosts and agents it touches, upper bounds
+// on hops / clones / ECU spend, and taint flags — so sites can enforce a
+// declarative admission policy (core/admission.h).
 //
 // The analysis is deliberately conservative: a diagnostic is only produced
 // when the script would misbehave on *every* path.  Dynamic constructs
 // (computed command names, `eval` of built strings, computed variable names)
-// suppress the affected checks rather than guessing.
+// suppress the affected checks rather than guessing, and mark the manifest's
+// dynamic_targets flag so consumers know the name sets are a lower bound.
 #ifndef TACOMA_TACL_ANALYZE_H_
 #define TACOMA_TACL_ANALYZE_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -29,7 +35,10 @@
 
 namespace tacoma::tacl {
 
-enum class Severity { kWarning, kError };
+// Notes are effect advisories: possibly intentional, never admission-fatal by
+// default (a policy table can still deny their slugs).  Warnings are likely
+// mistakes; errors describe scripts that misbehave on every path.
+enum class Severity { kNote, kWarning, kError };
 std::string_view SeverityName(Severity severity);
 
 struct Diagnostic {
@@ -46,10 +55,80 @@ inline constexpr std::string_view kDiagUnknownCommand = "unknown-command";
 inline constexpr std::string_view kDiagBadArity = "bad-arity";
 inline constexpr std::string_view kDiagUnsetVariable = "unset-variable";
 inline constexpr std::string_view kDiagUnreachable = "unreachable-code";
+inline constexpr std::string_view kDiagExfiltrationRisk = "exfiltration-risk";
+inline constexpr std::string_view kDiagUnboundedItinerary = "unbounded-itinerary";
+inline constexpr std::string_view kDiagUnboundedSpend = "unbounded-spend";
+inline constexpr std::string_view kDiagUncheckedReceipt = "unchecked-receipt";
 
-// What the script can touch, as far as the static pass can see.  Only
-// literal operands are recorded; any computed operand sets dynamic_targets,
-// signalling that the summary is a lower bound.
+// --- Effect lattice ----------------------------------------------------------
+//
+// Numeric effects (hops, clones, ECU spend) live in the lattice
+// 0 < 1 < 2 < ... < ⊤, where ⊤ ("unbounded", encoded as -1) means the static
+// pass could not bound the quantity — a movement or payment inside a loop
+// with no literal trip count, or a non-literal amount.
+
+inline constexpr int64_t kUnboundedEffect = -1;
+
+// Saturating lattice arithmetic: ⊤ absorbs addition; multiplication by zero
+// annihilates even ⊤ (a loop over an empty literal list runs zero times).
+int64_t EffectAdd(int64_t a, int64_t b);
+int64_t EffectMul(int64_t a, int64_t b);
+// "unbounded" or the decimal value — the rendering ToJson and messages use.
+std::string EffectBoundToString(int64_t bound);
+
+// Folders whose contents are presumed secret for taint purposes: names
+// starting with "SECRET" and names containing "WALLET" or "RECEIPT".
+bool IsSensitiveFolder(std::string_view name);
+
+// What the script can do, as far as the static pass can prove.  Name sets
+// hold literal operands only; any computed operand sets dynamic_targets,
+// marking the sets as lower bounds (the numeric bounds stay sound only for
+// the statically-visible commands — see docs/analysis.md).
+struct EffectManifest {
+  std::set<std::string> folders_read;      // bc reads + send payload folders
+  std::set<std::string> folders_written;   // bc writes (pop counts as both)
+  std::set<std::string> cabinets_read;     // cab_get/list/len/contains/folders
+  std::set<std::string> cabinets_written;  // cab_append/set/erase/flush
+  std::set<std::string> agents_met;        // meet / send contact operands
+  std::set<std::string> hosts;             // move / jump / clone / send hosts
+  int64_t hop_bound = 0;    // move + jump occurrences (⊤ = unbounded).
+  int64_t clone_bound = 0;  // clone occurrences (⊤ = unbounded).
+  int64_t spend_bound = 0;  // Sum of literal pay/withdraw amounts (⊤ = unbounded).
+  bool reads_sensitive = false;     // Reads any sensitive folder.
+  bool exfiltration_risk = false;   // Sensitive data may flow into movement.
+  bool dynamic_targets = false;     // Some operand is computed at run time.
+
+  // Canonical single-line JSON: keys in alphabetical order, sets sorted,
+  // unbounded rendered as the string "unbounded".  Byte-stable across runs,
+  // so manifests can be digested, cached, and golden-tested.
+  std::string ToJson() const;
+};
+
+// Actual effects one activation performed, recorded by the interpreter
+// bindings when the runtime effect monitor is on.  Mirrors exactly what the
+// analyzer models: operand names of bc_*/cab_*/meet/move/jump/clone/send and
+// pay/withdraw amounts — not internal folder traffic those primitives cause.
+struct EffectRecord {
+  std::set<std::string> folders_read;
+  std::set<std::string> folders_written;
+  std::set<std::string> cabinets_read;
+  std::set<std::string> cabinets_written;
+  std::set<std::string> agents_met;
+  std::set<std::string> hosts;
+  int64_t hops = 0;
+  int64_t clones = 0;
+  int64_t spend = 0;
+};
+
+// Soundness cross-check: every recorded effect must be admitted by the
+// manifest (sets by membership, counters by bound).  Returns one description
+// per violation; empty means the activation stayed inside its manifest.  For
+// manifests with dynamic_targets the set checks routinely fire (the sets are
+// lower bounds) — the caller decides what a violation means in that case.
+std::vector<std::string> ManifestViolations(const EffectManifest& manifest,
+                                            const EffectRecord& actual);
+
+// Back-compat flat view of the manifest (merged read/write sets).
 struct CapabilitySummary {
   std::set<std::string> briefcase_folders;  // bc_* folder operands
   std::set<std::string> cabinets;           // cab_* cabinet operands
@@ -83,11 +162,13 @@ struct AnalyzerOptions {
 struct AnalysisReport {
   std::vector<Diagnostic> diagnostics;
   CapabilitySummary capabilities;
+  EffectManifest manifest;
   size_t commands_analyzed = 0;
 
   bool ok() const { return error_count() == 0; }
   size_t error_count() const;
   size_t warning_count() const;
+  size_t note_count() const;
   // First error-severity diagnostic formatted as "line N: message", or "".
   std::string FirstError() const;
   // One diagnostic per line: "<name>:<line>: <severity>: <message> [<code>]".

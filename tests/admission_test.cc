@@ -1,0 +1,323 @@
+// Declarative admission rules, the digest-keyed admission cache, and the
+// runtime effect monitor (core/admission.h, Place::CheckAdmission).
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+
+namespace tacoma {
+namespace {
+
+using tacl::kUnboundedEffect;
+
+// --- Policy-table parsing ---------------------------------------------------------
+
+TEST(AdmissionRulesTest, ParseFullTable) {
+  auto rules = AdmissionRules::Parse(
+      "# site policy\n"
+      "mode enforce\n"
+      "deny errors\n"
+      "deny slug exfiltration-risk unbounded-spend\n"
+      "deny dynamic-targets\n"
+      "max hops 3\n"
+      "max clones 0\n"
+      "max spend unlimited\n"
+      "allow host alpha beta\n"
+      "deny host darkside\n"
+      "deny cabinet ledger\n"
+      "deny folder SECRET_KEYS\n");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->mode, AdmissionRules::Mode::kEnforce);
+  EXPECT_TRUE(rules->deny_errors);
+  EXPECT_TRUE(rules->deny_slugs.contains("exfiltration-risk"));
+  EXPECT_TRUE(rules->deny_slugs.contains("unbounded-spend"));
+  EXPECT_TRUE(rules->deny_dynamic_targets);
+  EXPECT_EQ(rules->max_hops, 3);
+  EXPECT_EQ(rules->max_clones, 0);
+  EXPECT_EQ(rules->max_spend, -1);
+  EXPECT_TRUE(rules->allow_hosts.contains("alpha"));
+  EXPECT_TRUE(rules->deny_hosts.contains("darkside"));
+  EXPECT_TRUE(rules->deny_cabinets.contains("ledger"));
+  EXPECT_TRUE(rules->deny_folders.contains("SECRET_KEYS"));
+}
+
+TEST(AdmissionRulesTest, ParseErrorsNameTheLine) {
+  auto rules = AdmissionRules::Parse("mode warn\nfrob everything\n");
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("line 2"), std::string::npos)
+      << rules.status().ToString();
+
+  EXPECT_FALSE(AdmissionRules::Parse("mode sideways\n").ok());
+  EXPECT_FALSE(AdmissionRules::Parse("max hops many\n").ok());
+}
+
+// --- Rule evaluation --------------------------------------------------------------
+
+AdmissionSummary SummaryFor(const std::string& script) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  return AdmissionSummary::FromReport(kernel.place(site)->AnalyzeAgentCode(script));
+}
+
+TEST(AdmissionRulesTest, ModeOffReportsNothing) {
+  AdmissionRules rules;
+  rules.mode = AdmissionRules::Mode::kOff;
+  AdmissionSummary bad = SummaryFor("frobnicate everything\n");
+  EXPECT_GT(bad.errors, 0u);
+  EXPECT_TRUE(rules.Violations(bad).empty());
+}
+
+TEST(AdmissionRulesTest, DenyErrorsCarriesFirstError) {
+  AdmissionRules rules;  // Default: warn, deny errors.
+  auto violations = rules.Violations(SummaryFor("frobnicate\n"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("frobnicate"), std::string::npos);
+}
+
+TEST(AdmissionRulesTest, DenySlugMatchesNotes) {
+  AdmissionRules rules;
+  rules.deny_slugs.insert("exfiltration-risk");
+  AdmissionSummary risky =
+      SummaryFor("set d [bc_get SECRET_ROUTE]\nmove $d\n");
+  EXPECT_TRUE(risky.slugs.contains("exfiltration-risk"));
+  auto violations = rules.Violations(risky);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("exfiltration-risk"), std::string::npos);
+  EXPECT_TRUE(rules.Violations(SummaryFor("bc_put RESULT ok\n")).empty());
+}
+
+TEST(AdmissionRulesTest, CeilingsCompareManifestBounds) {
+  AdmissionRules rules;
+  rules.max_hops = 1;
+  AdmissionSummary two_hops =
+      SummaryFor("if {1} { move a }\nif {1} { jump b }\n");
+  EXPECT_FALSE(rules.Violations(two_hops).empty());
+
+  // ⊤ violates any finite ceiling.
+  AdmissionSummary unbounded = SummaryFor("while {1} { if {1} { move a } }\n");
+  EXPECT_EQ(unbounded.manifest.hop_bound, kUnboundedEffect);
+  EXPECT_FALSE(rules.Violations(unbounded).empty());
+
+  // No ceiling admits ⊤.
+  rules.max_hops = -1;
+  EXPECT_TRUE(rules.Violations(unbounded).empty());
+}
+
+TEST(AdmissionRulesTest, HostListsAreChecked) {
+  AdmissionRules rules;
+  rules.allow_hosts = {"alpha", "beta"};
+  EXPECT_TRUE(rules.Violations(SummaryFor("move alpha\n")).empty());
+  EXPECT_FALSE(rules.Violations(SummaryFor("move gamma\n")).empty());
+
+  AdmissionRules deny;
+  deny.deny_hosts = {"darkside"};
+  EXPECT_FALSE(deny.Violations(SummaryFor("jump darkside\n")).empty());
+  EXPECT_TRUE(deny.Violations(SummaryFor("jump alpha\n")).empty());
+}
+
+TEST(AdmissionRulesTest, CabinetAndFolderDenies) {
+  AdmissionRules rules;
+  rules.deny_cabinets = {"ledger"};
+  rules.deny_folders = {"SECRET_KEYS"};
+  EXPECT_FALSE(
+      rules.Violations(SummaryFor("cab_append ledger AUDITS x\n")).empty());
+  EXPECT_FALSE(rules.Violations(SummaryFor("bc_get SECRET_KEYS\n")).empty());
+  EXPECT_TRUE(rules.Violations(SummaryFor("bc_get QUERY\n")).empty());
+}
+
+TEST(AdmissionRulesTest, DenyDynamicTargets) {
+  AdmissionRules rules;
+  rules.deny_dynamic_targets = true;
+  EXPECT_FALSE(
+      rules.Violations(SummaryFor("set n [bc_pop I]\njump $n\n")).empty());
+  EXPECT_TRUE(rules.Violations(SummaryFor("jump alpha\n")).empty());
+}
+
+// --- Digest-keyed admission cache -------------------------------------------------
+
+TEST(AdmissionCacheTest, SharedAcrossPlaces) {
+  Kernel kernel;
+  SiteId a = kernel.AddSite("a");
+  SiteId b = kernel.AddSite("b");
+  const std::string code = "cab_set out RESULT ok\n";
+  ASSERT_TRUE(kernel.LaunchAgent(a, code).ok());
+  EXPECT_EQ(kernel.admission_cache_stats().misses, 1u);
+  // Same digest, same command surface: the analysis is reused at site b.
+  ASSERT_TRUE(kernel.LaunchAgent(b, code).ok());
+  EXPECT_EQ(kernel.admission_cache_stats().misses, 1u);
+  EXPECT_GE(kernel.admission_cache_stats().hits, 1u);
+}
+
+TEST(AdmissionCacheTest, SurvivesRestartSite) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  const std::string code = "cab_set out RESULT ok\n";
+  ASSERT_TRUE(kernel.LaunchAgent(site, code).ok());
+  uint64_t misses = kernel.admission_cache_stats().misses;
+  kernel.RestartSite(site);
+  ASSERT_TRUE(kernel.LaunchAgent(site, code).ok());
+  // The new incarnation has the same command surface; no re-analysis.
+  EXPECT_EQ(kernel.admission_cache_stats().misses, misses);
+  EXPECT_GE(kernel.admission_cache_stats().hits, 1u);
+}
+
+TEST(AdmissionCacheTest, BinderInvalidatesFingerprint) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  const std::string code = "cab_set out RESULT ok\n";
+  ASSERT_TRUE(kernel.LaunchAgent(site, code).ok());
+  EXPECT_EQ(kernel.admission_cache_stats().misses, 1u);
+  // A new binder changes the command surface, so the old summary no longer
+  // describes this place's analysis environment: fresh key, fresh analysis.
+  kernel.place(site)->AddBinder([](tacl::Interp* interp, Activation*) {
+    interp->Register("wx_scan",
+                     [](tacl::Interp&, const std::vector<std::string>&) {
+                       return tacl::Ok("");
+                     });
+  });
+  ASSERT_TRUE(kernel.LaunchAgent(site, code).ok());
+  EXPECT_EQ(kernel.admission_cache_stats().misses, 2u);
+}
+
+TEST(AdmissionCacheTest, CapacityBoundsEntries) {
+  KernelOptions options;
+  options.admission_cache_capacity = 1;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  ASSERT_TRUE(kernel.LaunchAgent(site, "cab_set out A 1\n").ok());
+  ASSERT_TRUE(kernel.LaunchAgent(site, "cab_set out B 2\n").ok());
+  ASSERT_TRUE(kernel.LaunchAgent(site, "cab_set out A 1\n").ok());
+  EXPECT_EQ(kernel.admission_cache_stats().misses, 3u);
+  EXPECT_GE(kernel.admission_cache_stats().evictions, 2u);
+}
+
+TEST(AdmissionCacheTest, CheckAdmissionReturnsSharedSummary) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  auto first = kernel.place(site)->CheckAdmission("bc_put RESULT ok\n");
+  auto second = kernel.place(site)->CheckAdmission("bc_put RESULT ok\n");
+  ASSERT_NE(first.summary, nullptr);
+  EXPECT_EQ(first.summary.get(), second.summary.get());
+  EXPECT_TRUE(first.violations.empty());
+}
+
+// --- Enforcement through the rules table ------------------------------------------
+
+TEST(AdmissionEnforceTest, CeilingRejectsAtActivation) {
+  KernelOptions options;
+  auto rules = AdmissionRules::Parse("mode enforce\nmax hops 0\n");
+  ASSERT_TRUE(rules.ok());
+  options.admission_rules = *rules;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  Status s = kernel.LaunchAgent(site, "jump elsewhere\n");
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("admission"), std::string::npos);
+  EXPECT_EQ(kernel.place(site)->stats().rejected_agents, 1u);
+
+  // Hop-free agents still run.
+  EXPECT_TRUE(kernel.LaunchAgent(site, "cab_set out RESULT ok\n").ok());
+}
+
+TEST(AdmissionEnforceTest, WarnModeCountsButAdmits) {
+  Kernel kernel;  // Default rules: warn, deny errors.
+  SiteId site = kernel.AddSite("s");
+  ASSERT_TRUE(
+      kernel.LaunchAgent(site, "if {0} { frobnicate }\ncab_set out R ran\n").ok());
+  const auto& stats = kernel.place(site)->stats();
+  EXPECT_GE(stats.admission_checks, 1u);
+  EXPECT_GE(stats.admission_policy_violations, 1u);
+  EXPECT_EQ(stats.rejected_agents, 0u);
+  EXPECT_EQ(*kernel.place(site)->Cabinet("out").GetSingleString("R"), "ran");
+}
+
+// --- Runtime effect monitor -------------------------------------------------------
+
+TEST(EffectMonitorTest, StaticScriptStaysInsideManifest) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  ASSERT_TRUE(kernel
+                  .LaunchAgent(site,
+                               "bc_put RESULT 1\n"
+                               "bc_get RESULT\n"
+                               "cab_append ledger AUDITS x\n")
+                  .ok());
+  const auto& stats = kernel.place(site)->stats();
+  EXPECT_GE(stats.admission_checks, 1u);
+  EXPECT_EQ(stats.manifest_violations, 0u);
+  EXPECT_EQ(stats.manifest_violations_static, 0u);
+}
+
+TEST(EffectMonitorTest, ComputedTargetDriftIsCountedButNotStatic) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  kernel.place(site)->RegisterAgent(
+      "echo", [](Place&, Briefcase&) { return OkStatus(); });
+  // The script's static manifest cannot name "echo": the meet target is
+  // computed (dynamic_targets=true), so the runtime record drifts from the
+  // manifest — counted, but not an analyzer soundness bug.
+  Briefcase bc;
+  bc.SetString("WHO", "echo");
+  ASSERT_TRUE(
+      kernel.LaunchAgent(site, "set who [bc_get WHO]\nmeet $who\n", bc).ok());
+  const auto& stats = kernel.place(site)->stats();
+  EXPECT_GE(stats.manifest_violations, 1u);
+  EXPECT_EQ(stats.manifest_violations_static, 0u);
+}
+
+TEST(EffectMonitorTest, MonitorOffRecordsNothing) {
+  KernelOptions options;
+  options.effect_monitor = false;
+  Kernel kernel(options);
+  SiteId site = kernel.AddSite("s");
+  kernel.place(site)->RegisterAgent(
+      "echo", [](Place&, Briefcase&) { return OkStatus(); });
+  Briefcase bc;
+  bc.SetString("WHO", "echo");
+  ASSERT_TRUE(
+      kernel.LaunchAgent(site, "set who [bc_get WHO]\nmeet $who\n", bc).ok());
+  EXPECT_EQ(kernel.place(site)->stats().manifest_violations, 0u);
+}
+
+// --- pay / withdraw ---------------------------------------------------------------
+
+TEST(ElectronicCurrencyTest, PayDebitsWalletAndLogsSpend) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  Briefcase bc;
+  bc.SetString("WALLET", "10");
+  ASSERT_TRUE(kernel.place(site)
+                  ->RunAgentCode("pay 4 vendor\n", bc, "buyer")
+                  .ok());
+  EXPECT_EQ(bc.GetString("WALLET").value_or(""), "6");
+  auto spent = bc.folder("SPENT").AsStrings();
+  ASSERT_EQ(spent.size(), 1u);
+  EXPECT_EQ(spent[0], "vendor 4");
+}
+
+TEST(ElectronicCurrencyTest, InsufficientFundsFailTheActivation) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  Briefcase bc;
+  bc.SetString("WALLET", "3");
+  EXPECT_FALSE(kernel.place(site)
+                   ->RunAgentCode("pay 5 vendor\n", bc, "buyer")
+                   .ok());
+  EXPECT_EQ(bc.GetString("WALLET").value_or(""), "3");  // Nothing debited.
+}
+
+TEST(ElectronicCurrencyTest, WithdrawReturnsTheAmount) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s");
+  Briefcase bc;
+  bc.SetString("WALLET", "10");
+  ASSERT_TRUE(kernel.place(site)
+                  ->RunAgentCode("bc_put GOT [withdraw 2]\n", bc, "buyer")
+                  .ok());
+  EXPECT_EQ(bc.GetString("WALLET").value_or(""), "8");
+  EXPECT_EQ(bc.GetString("GOT").value_or(""), "2");
+}
+
+}  // namespace
+}  // namespace tacoma

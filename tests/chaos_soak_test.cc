@@ -24,6 +24,9 @@ struct SoakOutcome {
   ChaosHarness::Report report;
   int sent_tokens = 0;
   std::string metrics_text;  // Unified snapshot (kernel + chaos) at quiesce.
+  // Admission + effect-monitor counters at quiesce (summed over up places).
+  int64_t admission_checks = 0;
+  int64_t manifest_violations_static = 0;
 };
 
 SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
@@ -75,6 +78,19 @@ SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
     }
     return OkStatus();
   });
+  // Analyzer soundness under fire: an activation whose manifest had
+  // dynamic_targets=false must never perform an effect outside it — any such
+  // drift is an analyzer bug, not agent behaviour.
+  chaos.AddInvariant("effect manifests sound", [&kernel] {
+    int64_t drift =
+        kernel.metrics().Value("tacl.manifest_violations_static").value_or(0);
+    if (drift != 0) {
+      return InternalError("statically-bounded activations drifted from their "
+                           "manifests " +
+                           std::to_string(drift) + " times");
+    }
+    return OkStatus();
+  });
   chaos.AddInvariant("network stats sane", [&kernel] {
     const auto& n = kernel.net().stats();
     if (n.messages_delivered > n.messages_sent) {
@@ -101,7 +117,17 @@ SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
       bc.SetString("TOKEN", "t" + std::to_string(outcome.sent_tokens));
       TransferOptions transfer_options;
       transfer_options.dead_letter = "morgue";
-      if (kernel.TransferAgent(from, to, "sink", bc, transfer_options).ok()) {
+      // Every third transfer is a TACL agent, so the admission path and the
+      // runtime effect monitor run under the storm too.  The script is fully
+      // static (dynamic_targets=false): any drift from its manifest would be
+      // an analyzer soundness bug.
+      const char* contact = "sink";
+      if (outcome.sent_tokens % 3 == 0) {
+        bc.folder(kCodeFolder).PushBackString(
+            "cab_append soak TOKENS [bc_get TOKEN]\n");
+        contact = "ag_tacl";
+      }
+      if (kernel.TransferAgent(from, to, contact, bc, transfer_options).ok()) {
         ++outcome.sent_tokens;
       }
     });
@@ -115,6 +141,10 @@ SoakOutcome RunSoak(Reliability mode, uint64_t seed) {
   outcome.pending = kernel.pending_transfers();
   outcome.report = chaos.report();
   outcome.metrics_text = kernel.metrics().TextSnapshot();
+  outcome.admission_checks =
+      kernel.metrics().Value("place.admission_checks").value_or(0);
+  outcome.manifest_violations_static =
+      kernel.metrics().Value("tacl.manifest_violations_static").value_or(0);
 
   // One-line soak summary so a green run still shows how much work happened.
   const ChaosHarness::Report& r = outcome.report;
@@ -166,6 +196,11 @@ TEST_P(ChaosSoakTest, StormKeepsInvariants) {
 
   // Everything quiesced: no transfer left in limbo.
   EXPECT_EQ(outcome.pending, 0u);
+
+  // The TACL slice of the workload went through admission, and no
+  // statically-bounded activation ever drifted from its effect manifest.
+  EXPECT_GT(outcome.admission_checks, 0);
+  EXPECT_EQ(outcome.manifest_violations_static, 0);
 
   if (GetParam() != Reliability::kOff) {
     // Dedup modes: at-most-once activation, even across ack loss and crashes.

@@ -293,14 +293,17 @@ TEST(CodeCacheDeterminismTest, CacheOffMatchesPreCacheGolden) {
   EXPECT_EQ(DigestToHex(Sha256::Hash(k.trace().ChromeTraceJson())),
             "51d7aec700eb754789ce2f86b71042d6a403435200b8ed7afe97141b3938a56f");
 
-  // Keys added after the golden was captured (all unconditionally registered
-  // and inert in this scenario) are stripped alongside the code_cache.* ones:
-  // storage.* landed with the crash-atomic persistence work.
+  // Keys added after the golden was captured (all unconditionally registered)
+  // are stripped alongside the code_cache.* ones: storage.* landed with the
+  // crash-atomic persistence work, place.admission_*/tacl.manifest_* with the
+  // effect-manifest admission work.
   std::istringstream lines(k.metrics().TextSnapshot());
   std::string stripped;
   std::string line;
   while (std::getline(lines, line)) {
-    if (line.rfind("code_cache.", 0) != 0 && line.rfind("storage.", 0) != 0) {
+    if (line.rfind("code_cache.", 0) != 0 && line.rfind("storage.", 0) != 0 &&
+        line.rfind("place.admission_", 0) != 0 &&
+        line.rfind("tacl.manifest_", 0) != 0) {
       stripped += line;
       stripped += '\n';
     }

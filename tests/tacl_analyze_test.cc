@@ -284,5 +284,242 @@ TEST(AnalyzeTest, ExampleAgentScriptsLintClean) {
   EXPECT_GE(checked, 5u);
 }
 
+// --- Effect lattice ---------------------------------------------------------------
+
+TEST(EffectLatticeTest, AddSaturatesAtUnbounded) {
+  EXPECT_EQ(EffectAdd(2, 3), 5);
+  EXPECT_EQ(EffectAdd(kUnboundedEffect, 3), kUnboundedEffect);
+  EXPECT_EQ(EffectAdd(0, kUnboundedEffect), kUnboundedEffect);
+}
+
+TEST(EffectLatticeTest, MulZeroAnnihilatesUnbounded) {
+  EXPECT_EQ(EffectMul(2, 3), 6);
+  EXPECT_EQ(EffectMul(kUnboundedEffect, 3), kUnboundedEffect);
+  EXPECT_EQ(EffectMul(0, kUnboundedEffect), 0);
+  EXPECT_EQ(EffectMul(kUnboundedEffect, 0), 0);
+}
+
+TEST(EffectLatticeTest, BoundRendering) {
+  EXPECT_EQ(EffectBoundToString(7), "7");
+  EXPECT_EQ(EffectBoundToString(kUnboundedEffect), "unbounded");
+}
+
+TEST(EffectLatticeTest, SensitiveFolderNames) {
+  EXPECT_TRUE(IsSensitiveFolder("SECRET_ROUTE"));
+  EXPECT_TRUE(IsSensitiveFolder("SECRETS"));
+  EXPECT_TRUE(IsSensitiveFolder("MY_WALLET"));
+  EXPECT_TRUE(IsSensitiveFolder("RECEIPT"));
+  EXPECT_FALSE(IsSensitiveFolder("RESULT"));
+  EXPECT_FALSE(IsSensitiveFolder("ITINERARY"));
+}
+
+// --- Effect manifests -------------------------------------------------------------
+
+TEST(ManifestTest, ReadWriteSplit) {
+  const char* script =
+      "bc_get QUERY\n"
+      "bc_put RESULT 42\n"
+      "set v [bc_pop STACK]\n"
+      "cab_append ledger AUDITS x\n"
+      "cab_list field SAMPLES\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  const EffectManifest& m = report.manifest;
+  EXPECT_TRUE(m.folders_read.contains("QUERY"));
+  EXPECT_FALSE(m.folders_written.contains("QUERY"));
+  EXPECT_TRUE(m.folders_written.contains("RESULT"));
+  EXPECT_FALSE(m.folders_read.contains("RESULT"));
+  // pop mutates: both read and write.
+  EXPECT_TRUE(m.folders_read.contains("STACK"));
+  EXPECT_TRUE(m.folders_written.contains("STACK"));
+  EXPECT_TRUE(m.cabinets_written.contains("ledger"));
+  EXPECT_FALSE(m.cabinets_read.contains("ledger"));
+  EXPECT_TRUE(m.cabinets_read.contains("field"));
+  EXPECT_FALSE(m.dynamic_targets);
+}
+
+TEST(ManifestTest, StraightLineHopAndCloneBounds) {
+  const char* script =
+      "clone mirror\n"
+      "if {1} { move alpha } else { jump beta }\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  EXPECT_EQ(report.manifest.clone_bound, 1);
+  // Both branches contribute: a sound upper bound, not a path-sensitive one.
+  EXPECT_EQ(report.manifest.hop_bound, 2);
+  EXPECT_TRUE(report.manifest.hosts.contains("mirror"));
+  EXPECT_TRUE(report.manifest.hosts.contains("alpha"));
+  EXPECT_TRUE(report.manifest.hosts.contains("beta"));
+}
+
+TEST(ManifestTest, ForeachLiteralListMultipliesEffects) {
+  AnalysisReport report =
+      Analyze("foreach s {a b c} { clone mirror }\n", AgentOptions());
+  EXPECT_EQ(report.manifest.clone_bound, 3);
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnboundedItinerary));
+}
+
+TEST(ManifestTest, WhileLoopMakesMovementUnbounded) {
+  AnalysisReport report =
+      Analyze("while {1} { if {1} { move relay } }\n", AgentOptions());
+  EXPECT_EQ(report.manifest.hop_bound, kUnboundedEffect);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnboundedItinerary));
+  // Advisory only: a note, not a warning or error.
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warning_count(), 0u);
+  EXPECT_GE(report.note_count(), 1u);
+}
+
+TEST(ManifestTest, ForeachOverComputedListIsUnbounded) {
+  AnalysisReport report = Analyze(
+      "foreach s [bc_list ITINERARY] { if {1} { jump $s } }\n", AgentOptions());
+  EXPECT_EQ(report.manifest.hop_bound, kUnboundedEffect);
+  EXPECT_TRUE(report.manifest.dynamic_targets);  // jump target is computed.
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnboundedItinerary));
+}
+
+TEST(ManifestTest, ProcForwardingResolvesLiteralArguments) {
+  const char* script =
+      "proc go {h} { move $h }\n"
+      "go siteB\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  EXPECT_TRUE(report.manifest.hosts.contains("siteB"))
+      << report.manifest.ToJson();
+  EXPECT_EQ(report.manifest.hop_bound, 1);
+  EXPECT_FALSE(report.manifest.dynamic_targets);
+  // The back-compat capability view sees the forwarded host too.
+  EXPECT_TRUE(report.capabilities.hosts.contains("siteB"));
+}
+
+TEST(ManifestTest, ProcCalledFromLoopScalesEffects) {
+  const char* script =
+      "proc go {h} { move $h }\n"
+      "foreach h {a b} { go $h }\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  // Two call sites' worth of hops; the computed argument is dynamic.
+  EXPECT_EQ(report.manifest.hop_bound, 2);
+  EXPECT_TRUE(report.manifest.dynamic_targets);
+}
+
+TEST(ManifestTest, UncalledProcContributesNoCounts) {
+  AnalysisReport report =
+      Analyze("proc never {} { move siteX }\nbc_put RESULT ok\n", AgentOptions());
+  // Numeric effects are per-call-site: a proc nobody calls adds no hops.
+  EXPECT_EQ(report.manifest.hop_bound, 0);
+  // Literal names are collected script-wide (a sound superset): the dead
+  // proc's destination still shows up in the host set.
+  EXPECT_TRUE(report.manifest.hosts.contains("siteX"));
+}
+
+TEST(ManifestTest, LiteralSpendIsSummed) {
+  const char* script =
+      "bc_get RECEIPT\n"
+      "pay 5 vendor\n"
+      "pay 3 vendor\n"
+      "withdraw 2\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  EXPECT_EQ(report.manifest.spend_bound, 10);
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUnboundedSpend));
+  EXPECT_FALSE(HasDiagnostic(report, kDiagUncheckedReceipt));
+}
+
+TEST(ManifestTest, NonLiteralSpendIsUnbounded) {
+  AnalysisReport report =
+      Analyze("set n [bc_get PRICE]\npay $n vendor\n", AgentOptions());
+  EXPECT_EQ(report.manifest.spend_bound, kUnboundedEffect);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUnboundedSpend));
+}
+
+TEST(ManifestTest, PayWithoutReceiptReadIsNoted) {
+  AnalysisReport report = Analyze("pay 5 vendor\n", AgentOptions());
+  EXPECT_TRUE(HasDiagnostic(report, kDiagUncheckedReceipt, 1));
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(ManifestTest, MeetFolderListIsReadAndWritten) {
+  AnalysisReport report =
+      Analyze("meet broker {QUERY RESULT}\n", AgentOptions());
+  const EffectManifest& m = report.manifest;
+  EXPECT_TRUE(m.agents_met.contains("broker"));
+  EXPECT_TRUE(m.folders_read.contains("QUERY"));
+  EXPECT_TRUE(m.folders_written.contains("QUERY"));
+  EXPECT_TRUE(m.folders_read.contains("RESULT"));
+  EXPECT_TRUE(m.folders_written.contains("RESULT"));
+}
+
+TEST(ManifestTest, TaintFlowsFromSensitiveReadToMovement) {
+  const char* script =
+      "set route [bc_get SECRET_ROUTE]\n"
+      "set hop $route\n"
+      "move $hop\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  EXPECT_TRUE(report.manifest.reads_sensitive);
+  EXPECT_TRUE(report.manifest.exfiltration_risk);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagExfiltrationRisk, 3));
+  EXPECT_TRUE(report.manifest.dynamic_targets);
+  EXPECT_TRUE(report.ok());  // Still a note, not an error.
+}
+
+TEST(ManifestTest, SendingSensitiveFolderIsDirectRisk) {
+  AnalysisReport report =
+      Analyze("send hub collector SECRET_KEYS\n", AgentOptions());
+  EXPECT_TRUE(report.manifest.exfiltration_risk);
+  EXPECT_TRUE(HasDiagnostic(report, kDiagExfiltrationRisk, 1));
+}
+
+TEST(ManifestTest, NonSensitiveFlowsAreNotFlagged) {
+  const char* script =
+      "set next [bc_pop ITINERARY]\n"
+      "jump $next\n";
+  AnalysisReport report = Analyze(script, AgentOptions());
+  EXPECT_FALSE(report.manifest.exfiltration_risk);
+  EXPECT_FALSE(report.manifest.reads_sensitive);
+  EXPECT_FALSE(HasDiagnostic(report, kDiagExfiltrationRisk));
+}
+
+TEST(ManifestTest, ToJsonIsCanonical) {
+  AnalysisReport a = Analyze("bc_get B\nbc_get A\nmove x\n", AgentOptions());
+  AnalysisReport b = Analyze("bc_get A\nbc_get B\nmove x\n", AgentOptions());
+  // Same effects in a different order produce identical bytes.
+  EXPECT_EQ(a.manifest.ToJson(), b.manifest.ToJson());
+  EXPECT_NE(a.manifest.ToJson().find("\"hop_bound\":1"), std::string::npos);
+  AnalysisReport c = Analyze("while {1} { if {1} { move x } }\n", AgentOptions());
+  EXPECT_NE(c.manifest.ToJson().find("\"hop_bound\":\"unbounded\""),
+            std::string::npos);
+}
+
+// --- Manifest soundness cross-check -------------------------------------------------
+
+TEST(ManifestViolationsTest, RecordInsideManifestIsClean) {
+  EffectManifest m;
+  m.folders_read.insert("QUERY");
+  m.folders_written.insert("RESULT");
+  m.hosts.insert("alpha");
+  m.hop_bound = 2;
+  EffectRecord r;
+  r.folders_read.insert("QUERY");
+  r.hosts.insert("alpha");
+  r.hops = 1;
+  EXPECT_TRUE(ManifestViolations(m, r).empty());
+}
+
+TEST(ManifestViolationsTest, UndeclaredTargetsAndExceededBoundsReported) {
+  EffectManifest m;
+  m.hop_bound = 1;
+  EffectRecord r;
+  r.hosts.insert("elsewhere");
+  r.hops = 2;
+  r.spend = 1;
+  std::vector<std::string> violations = ManifestViolations(m, r);
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_NE(violations[0].find("elsewhere"), std::string::npos);
+}
+
+TEST(ManifestViolationsTest, UnboundedAdmitsAnyCount) {
+  EffectManifest m;
+  m.hop_bound = kUnboundedEffect;
+  EffectRecord r;
+  r.hops = 1000;
+  EXPECT_TRUE(ManifestViolations(m, r).empty());
+}
+
 }  // namespace
 }  // namespace tacoma::tacl

@@ -1,0 +1,86 @@
+// Golden-file lock on the analyzer's output for every shipped example agent:
+// the full diagnostic listing and the canonical effect-manifest JSON.  Any
+// analyzer change that shifts what is reported for real scripts shows up here
+// as a diff, not as a silent behaviour change.
+//
+// Regenerate after an intentional change with:
+//   TACOMA_REGEN_GOLDEN=1 ctest --test-dir build -R ManifestGolden
+// then review the diff under tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "tacl/analyze.h"
+
+namespace tacoma {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("TACOMA_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+void CheckGolden(const fs::path& golden, const std::string& actual) {
+  if (RegenRequested()) {
+    std::ofstream out(golden);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden;
+    return;
+  }
+  ASSERT_TRUE(fs::exists(golden))
+      << golden << " is missing; run with TACOMA_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(ReadFile(golden), actual)
+      << "analyzer output drifted from " << golden
+      << "; regenerate with TACOMA_REGEN_GOLDEN=1 if the change is intended";
+}
+
+TEST(ManifestGoldenTest, ExampleAgentsMatchGoldenFiles) {
+  const fs::path agents = fs::path(TACOMA_SOURCE_DIR) / "examples" / "agents";
+  const fs::path golden_dir = fs::path(TACOMA_SOURCE_DIR) / "tests" / "golden";
+  ASSERT_TRUE(fs::exists(agents)) << agents;
+  if (RegenRequested()) {
+    fs::create_directories(golden_dir);
+  }
+
+  // Analyze against a real place's command surface, exactly as admission does.
+  Kernel kernel;
+  SiteId site = kernel.AddSite("golden");
+
+  std::vector<fs::path> scripts;
+  for (const auto& entry : fs::directory_iterator(agents)) {
+    if (entry.path().extension() == ".tacl") {
+      scripts.push_back(entry.path());
+    }
+  }
+  std::sort(scripts.begin(), scripts.end());
+  ASSERT_GE(scripts.size(), 5u);
+
+  for (const fs::path& script : scripts) {
+    SCOPED_TRACE(script.filename().string());
+    tacl::AnalysisReport report =
+        kernel.place(site)->AnalyzeAgentCode(ReadFile(script));
+    const std::string stem = script.stem().string();
+    CheckGolden(golden_dir / (stem + ".diag.txt"),
+                report.ToString(script.filename().string()));
+    CheckGolden(golden_dir / (stem + ".manifest.json"),
+                report.manifest.ToJson() + "\n");
+  }
+}
+
+}  // namespace
+}  // namespace tacoma
