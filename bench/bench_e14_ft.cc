@@ -1,0 +1,345 @@
+// E14 — Exactly-once agent survival: recovery latency and relaunch
+// amplification under failure.
+//
+// The paper's §5 rear guards give at-least-once recovery; the completion
+// registry (ft/registry.h) squeezes that to an exactly-once end-to-end
+// contract.  This experiment quantifies what the squeeze costs and how fast
+// it reacts:
+//
+//   1. Crash-rate sweep: resolution rate, median relaunch-to-reactivation
+//      latency, and relaunch amplification (extra incarnations per launched
+//      agent) as per-site crash probability rises.
+//   2. Partition storms: correlated group link-cuts (plus crashes and loss
+//      flaps) drive false suspicions; stale incarnations are quenched by the
+//      fences while every agent still resolves exactly once.
+//
+// ci/check.sh runs `bench_e14_ft --smoke` as an acceptance gate: under the
+// seed-1995 partition storm every agent must resolve exactly once, stale
+// incarnations must have been quenched (the storm provokes them), and the
+// median relaunch-to-reactivation latency must stay under 250ms.
+#include <algorithm>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "ft/rearguard.h"
+#include "sim/chaos.h"
+#include "sim/topology.h"
+
+namespace tacoma {
+namespace {
+
+constexpr char kWalker[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    ft_jump [bc_pop ITINERARY]
+  } else {
+    ft_complete
+  }
+)";
+
+struct E14Outcome {
+  size_t launched = 0;
+  ft::CompletionRegistry::Stats registry;
+  ft::RearGuard::Stats guard;
+  std::vector<SimTime> reactivation_latencies;
+  bool exactly_once = false;
+  std::string exactly_once_error;
+  ChaosHarness::Report report;
+  std::string metrics_json;
+};
+
+// Most interesting run's unified snapshot, exported for the CI smoke check.
+std::string g_metrics_json;
+
+// One-shot crashes, e8-style: each data site crashes with probability
+// `crash_prob` at a random moment during the walk window and restarts 250ms
+// later.  `walkers` guarded agents rotate through the mesh and report home.
+E14Outcome RunCrashTrial(double crash_prob, uint64_t seed, int walkers = 6) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = Reliability::kReliable;
+  Kernel kernel(options);
+  SiteId home = kernel.AddSite("home");
+  std::vector<SiteId> sites;
+  for (int i = 0; i < 6; ++i) {
+    sites.push_back(kernel.AddSite("d" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < sites.size(); ++i) {
+    kernel.net().AddLink(home, sites[i]);
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      kernel.net().AddLink(sites[i], sites[j]);
+    }
+  }
+  ft::GuardOptions guard_options;
+  guard_options.heartbeat = 25 * kMillisecond;
+  guard_options.max_misses = 2;
+  guard_options.max_relaunches = 6;
+  guard_options.lease = 2 * kSecond;
+  ft::RearGuard guard(&kernel, guard_options);
+  guard.Install();
+
+  // Crashes land inside the walk window (walkers are staggered over ~18ms, a
+  // hop takes ~1ms) so they catch agents resident or in flight, like E8.
+  Rng rng(seed * 7919 + 13);
+  for (SiteId site : sites) {
+    if (rng.Bernoulli(crash_prob)) {
+      SimTime when = 1 + rng.Uniform(30 * kMillisecond);
+      kernel.sim().At(when, [&kernel, site] { kernel.CrashSite(site); });
+      kernel.sim().At(when + 250 * kMillisecond,
+                      [&kernel, site] { kernel.RestartSite(site); });
+    }
+  }
+
+  E14Outcome out;
+  for (int w = 0; w < walkers; ++w) {
+    kernel.sim().At(1 + static_cast<SimTime>(w) * 3 * kMillisecond,
+                    [&kernel, &guard, &sites, &out, home, w] {
+      Briefcase bc;
+      for (size_t h = 0; h < 5; ++h) {
+        bc.folder("ITINERARY").PushBackString(
+            kernel.net().site_name(sites[(w + h) % sites.size()]));
+      }
+      bc.folder("ITINERARY").PushBackString("home");
+      if (guard.LaunchGuarded(home, kWalker, std::move(bc),
+                              "w" + std::to_string(w)).ok()) {
+        ++out.launched;
+      }
+    });
+  }
+  kernel.sim().RunUntil(8 * kSecond);
+
+  Status verdict = guard.registry().CheckExactlyOnce(home, /*require_resolved=*/true);
+  out.exactly_once = verdict.ok();
+  out.exactly_once_error = verdict.ToString();
+  out.registry = guard.registry().stats();
+  out.guard = guard.stats();
+  out.reactivation_latencies = guard.relaunch_latencies();
+  return out;
+}
+
+// Partition-mode storm: correlated bipartition cuts plus crashes and loss
+// flaps over a 3x3 grid, with a dozen guarded walkers riding it out.
+E14Outcome RunPartitionStorm(uint64_t seed) {
+  KernelOptions options;
+  options.seed = seed;
+  options.reliability.mode = Reliability::kReliable;
+  Kernel kernel(options);
+  auto sites = BuildGrid(&kernel.net(), 3, 3);
+  kernel.AdoptNetworkSites();
+  const SiteId home = sites[0];
+  const std::string home_name = kernel.net().site_name(home);
+
+  ft::GuardOptions guard_options;
+  guard_options.heartbeat = 30 * kMillisecond;
+  guard_options.max_misses = 2;
+  guard_options.max_relaunches = 5;
+  guard_options.lease = 1500 * kMillisecond;
+  ft::RearGuard guard(&kernel, guard_options);
+  guard.Install();
+
+  ChaosOptions chaos_options;
+  chaos_options.seed = seed * 2654435761 + 9;
+  chaos_options.horizon = 2 * kSecond;
+  chaos_options.protected_sites = {home};
+  chaos_options.mean_partition_interval = 350 * kMillisecond;
+  ChaosHarness chaos(&kernel.sim(), &kernel.net(), chaos_options);
+  chaos.SetSiteHooks([&kernel](SiteId s) { kernel.CrashSite(s); },
+                     [&kernel](SiteId s) { kernel.RestartSite(s); });
+  chaos.RegisterMetrics(&kernel.metrics());
+
+  E14Outcome out;
+  Rng workload_rng(seed * 7919 + 3);
+  for (int i = 0; i < 12; ++i) {
+    const SimTime when = 1 + static_cast<SimTime>(i) * 45 * kMillisecond;
+    kernel.sim().At(when, [&kernel, &guard, &workload_rng, &sites, &out,
+                           &home_name, home, i] {
+      Briefcase bc;
+      const size_t hops = 3 + workload_rng.Uniform(3);
+      for (size_t h = 0; h < hops; ++h) {
+        SiteId hop = sites[1 + workload_rng.Uniform(sites.size() - 1)];
+        bc.folder("ITINERARY").PushBackString(kernel.net().site_name(hop));
+      }
+      bc.folder("ITINERARY").PushBackString(home_name);
+      if (guard.LaunchGuarded(home, kWalker, std::move(bc),
+                              "ag" + std::to_string(i)).ok()) {
+        ++out.launched;
+      }
+    });
+  }
+
+  chaos.Start();
+  kernel.sim().RunUntil(12 * kSecond);
+
+  Status verdict = guard.registry().CheckExactlyOnce(home, /*require_resolved=*/true);
+  out.exactly_once = verdict.ok();
+  out.exactly_once_error = verdict.ToString();
+  out.registry = guard.registry().stats();
+  out.guard = guard.stats();
+  out.reactivation_latencies = guard.relaunch_latencies();
+  out.report = chaos.report();
+  out.metrics_json = kernel.metrics().JsonSnapshot();
+  return out;
+}
+
+SimTime Median(std::vector<SimTime> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+void CrashRateSweep(bool smoke) {
+  const int kTrials = smoke ? 3 : 15;
+  bench::Table table({"crash prob/site", "resolved", "median reactivation (ms)",
+                      "relaunch amplification", "deadletters"});
+  std::vector<double> probs = smoke ? std::vector<double>{0.0, 0.3}
+                                    : std::vector<double>{0.0, 0.1, 0.3, 0.5,
+                                                          0.7};
+  for (double p : probs) {
+    size_t launched = 0;
+    uint64_t resolved = 0, relaunches = 0, deadletters = 0;
+    std::vector<SimTime> latencies;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      E14Outcome out = RunCrashTrial(p, 1000 + static_cast<uint64_t>(trial));
+      launched += out.launched;
+      resolved += out.registry.resolved;
+      relaunches += out.guard.relaunches;
+      deadletters += out.registry.deadletters;
+      latencies.insert(latencies.end(), out.reactivation_latencies.begin(),
+                       out.reactivation_latencies.end());
+    }
+    table.AddRow(
+        {bench::Fmt("%.0f%%", p * 100),
+         bench::Fmt("%llu/%zu", (unsigned long long)resolved, launched),
+         latencies.empty()
+             ? "-"
+             : bench::Fmt("%.1f", static_cast<double>(Median(latencies)) /
+                                      kMillisecond),
+         bench::Fmt("%.2f", static_cast<double>(relaunches) /
+                                static_cast<double>(launched)),
+         bench::Fmt("%llu", (unsigned long long)deadletters)});
+  }
+  std::printf("\nCrash-rate sweep: %d trials per cell, 6 walkers x 6 hops over a\n"
+              "full mesh; crashed sites restart after 250ms.  Amplification is\n"
+              "extra incarnations per launched agent; every row resolves every\n"
+              "agent exactly once (complete or dead-letter):\n", kTrials);
+  table.Print();
+}
+
+void PartitionStormTable(bool smoke) {
+  bench::Table table({"seed", "partitions", "crashes", "relaunches", "quenches",
+                      "resolved", "median reactivation (ms)", "exactly-once"});
+  std::vector<uint64_t> seeds = smoke ? std::vector<uint64_t>{1995}
+                                      : std::vector<uint64_t>{1995, 7, 42};
+  for (uint64_t seed : seeds) {
+    E14Outcome out = RunPartitionStorm(seed);
+    if (seed == 1995) {
+      g_metrics_json = out.metrics_json;
+    }
+    table.AddRow(
+        {bench::Fmt("%llu", (unsigned long long)seed),
+         bench::Fmt("%llu", (unsigned long long)out.report.partitions),
+         bench::Fmt("%llu", (unsigned long long)out.report.crashes),
+         bench::Fmt("%llu", (unsigned long long)out.guard.relaunches),
+         bench::Fmt("%llu", (unsigned long long)(out.guard.quenches +
+                                                 out.registry.duplicates_quenched)),
+         bench::Fmt("%llu/%zu", (unsigned long long)out.registry.resolved,
+                    out.launched),
+         out.reactivation_latencies.empty()
+             ? "-"
+             : bench::Fmt("%.1f",
+                          static_cast<double>(Median(out.reactivation_latencies)) /
+                              kMillisecond),
+         out.exactly_once ? "yes" : "NO"});
+  }
+  std::printf("\nPartition storms: correlated bipartition cuts + crashes + loss\n"
+              "flaps.  False suspicions relaunch agents that were merely\n"
+              "partitioned away; incarnation fences quench the stale copies while\n"
+              "the registry keeps the end-to-end outcome exactly-once:\n");
+  table.Print();
+}
+
+int RunSmoke() {
+  E14Outcome out = RunPartitionStorm(/*seed=*/1995);
+  g_metrics_json = out.metrics_json;
+  const SimTime median = Median(out.reactivation_latencies);
+  const uint64_t quenches = out.guard.quenches + out.registry.duplicates_quenched;
+  std::printf("[smoke] partitions=%llu crashes=%llu relaunches=%llu "
+              "quenches=%llu resolved=%llu/%zu median_reactivation=%.1fms\n",
+              (unsigned long long)out.report.partitions,
+              (unsigned long long)out.report.crashes,
+              (unsigned long long)out.guard.relaunches,
+              (unsigned long long)quenches,
+              (unsigned long long)out.registry.resolved, out.launched,
+              static_cast<double>(median) / kMillisecond);
+  if (!out.exactly_once) {
+    std::printf("SMOKE FAIL: exactly-once violated: %s\n",
+                out.exactly_once_error.c_str());
+    return 1;
+  }
+  if (out.registry.resolved != out.launched) {
+    std::printf("SMOKE FAIL: %llu of %zu agents resolved\n",
+                (unsigned long long)out.registry.resolved, out.launched);
+    return 1;
+  }
+  if (out.guard.relaunches == 0) {
+    std::printf("SMOKE FAIL: the storm provoked no relaunches\n");
+    return 1;
+  }
+  if (quenches == 0) {
+    std::printf("SMOKE FAIL: no stale incarnation was quenched under the storm\n");
+    return 1;
+  }
+  if (median > 250 * kMillisecond) {
+    std::printf("SMOKE FAIL: median relaunch-to-reactivation %.1fms > 250ms\n",
+                static_cast<double>(median) / kMillisecond);
+    return 1;
+  }
+  std::printf("[smoke] ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tacoma
+
+// Flags:
+//   --smoke              gated partition-storm run for CI (plus trimmed tables)
+//   --metrics-out PATH   write the seed-1995 partition storm's unified metrics
+//                        registry snapshot as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  tacoma::bench::PrintHeader(
+      "E14 — Exactly-once agent survival: recovery latency and amplification",
+      "durable rear guards and incarnation fences turn at-least-once recovery "
+      "into an exactly-once completion contract (paper S5)");
+  int rc = 0;
+  if (smoke) {
+    rc = tacoma::RunSmoke();
+  }
+  tacoma::CrashRateSweep(smoke);
+  tacoma::PartitionStormTable(smoke);
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"bench_e14_ft\",\"smoke\":%s,\"metrics\":%s}\n",
+                 smoke ? "true" : "false", tacoma::g_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out);
+  }
+  return rc;
+}

@@ -9,11 +9,17 @@
 // site crashes with probability p at a random moment during the walk (and
 // restarts later).  Completion rate, completion time, and message overhead
 // are compared with and without rear guards, over R independent trials.
+#include <cstring>
+
 #include "bench/bench_util.h"
 #include "ft/rearguard.h"
 
 namespace tacoma {
 namespace {
+
+// Metrics snapshot from the last guarded trial, exported via --metrics-out so
+// ci/check.sh can verify the ft.* key surface against the golden list.
+std::string g_metrics_json;
 
 constexpr char kGuardedAgent[] = R"(
   cab_append t VISITS [site]
@@ -93,15 +99,25 @@ TrialOutcome RunTrial(bool guarded, size_t hops, double crash_prob, uint64_t see
   }
   out.transfers = kernel.stats().transfers_sent;
   out.relaunches = guard.stats().relaunches;
+  if (guarded) {
+    g_metrics_json = kernel.metrics().JsonSnapshot();
+  }
   return out;
 }
 
-void SweepFailureRate() {
+// Returns false if the smoke gate fails: with a full mesh and restarting
+// sites, rear guards must complete every trial at every swept crash rate.
+bool SweepFailureRate(bool smoke) {
   const size_t kHops = 6;
-  const int kTrials = 25;
+  const int kTrials = smoke ? 5 : 25;
+  bool guarded_always_completed = true;
   bench::Table table({"crash prob/site", "variant", "completed", "mean msgs",
                       "relaunches (total)"});
-  for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+  std::vector<double> probs = smoke
+                                  ? std::vector<double>{0.0, 0.3}
+                                  : std::vector<double>{0.0, 0.05, 0.1, 0.2,
+                                                        0.3, 0.5};
+  for (double p : probs) {
     for (bool guarded : {false, true}) {
       int completed = 0;
       uint64_t messages = 0;
@@ -112,6 +128,9 @@ void SweepFailureRate() {
         completed += out.completed ? 1 : 0;
         messages += out.transfers;
         relaunches += out.relaunches;
+      }
+      if (guarded && completed != kTrials) {
+        guarded_always_completed = false;
       }
       table.AddRow({bench::Fmt("%.0f%%", p * 100), guarded ? "rear guards" : "bare",
                     bench::Fmt("%d/%d", completed, kTrials),
@@ -124,12 +143,15 @@ void SweepFailureRate() {
               "relaunch from checkpoints (at-least-once semantics):\n",
               kHops, kTrials);
   table.Print();
+  return guarded_always_completed;
 }
 
-void OverheadTable() {
+void OverheadTable(bool smoke) {
   // The price of protection in the failure-free case.
   bench::Table table({"hops", "variant", "sim time (ms)", "messages"});
-  for (size_t hops : {2u, 4u, 8u, 16u}) {
+  std::vector<size_t> hop_counts =
+      smoke ? std::vector<size_t>{2, 8} : std::vector<size_t>{2, 4, 8, 16};
+  for (size_t hops : hop_counts) {
     for (bool guarded : {false, true}) {
       TrialOutcome out = RunTrial(guarded, hops, 0.0, 555);
       table.AddRow({bench::Fmt("%zu", hops), guarded ? "rear guards" : "bare",
@@ -143,17 +165,20 @@ void OverheadTable() {
   table.Print();
 }
 
-void HeartbeatAblation() {
+void HeartbeatAblation(bool smoke) {
   // Design-choice ablation: the heartbeat sets the failure-detection latency
   // vs message-overhead trade-off (recovery fires after max_misses+1 ticks).
   const size_t kHops = 6;
-  const int kTrials = 20;
+  const int kTrials = smoke ? 5 : 20;
   const double kCrashProb = 0.3;
   bench::Table table({"heartbeat", "completed", "mean completion (ms)",
                       "mean msgs"});
-  for (SimTime heartbeat : {10 * kMillisecond, 25 * kMillisecond,
-                            50 * kMillisecond, 100 * kMillisecond,
-                            200 * kMillisecond}) {
+  std::vector<SimTime> heartbeats =
+      smoke ? std::vector<SimTime>{25 * kMillisecond, 100 * kMillisecond}
+            : std::vector<SimTime>{10 * kMillisecond, 25 * kMillisecond,
+                                   50 * kMillisecond, 100 * kMillisecond,
+                                   200 * kMillisecond};
+  for (SimTime heartbeat : heartbeats) {
     int completed = 0;
     uint64_t messages = 0;
     std::vector<SimTime> times;
@@ -212,14 +237,49 @@ void CyclicTable() {
 }  // namespace
 }  // namespace tacoma
 
-int main() {
+// Flags:
+//   --smoke              trimmed trial counts plus a completion gate for CI
+//   --metrics-out PATH   write the last guarded trial's unified metrics
+//                        registry snapshot as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   tacoma::bench::PrintHeader(
       "E8 — Rear guards: computations survive site failures",
       "a rear guard left at each hop relaunches vanished agents and retires "
       "when no longer needed (paper S5)");
-  tacoma::SweepFailureRate();
-  tacoma::OverheadTable();
-  tacoma::HeartbeatAblation();
+  bool guarded_ok = tacoma::SweepFailureRate(smoke);
+  tacoma::OverheadTable(smoke);
+  tacoma::HeartbeatAblation(smoke);
   tacoma::CyclicTable();
-  return 0;
+  int rc = 0;
+  if (smoke && !guarded_ok) {
+    std::printf("SMOKE FAIL: a guarded trial failed to complete its itinerary\n");
+    rc = 1;
+  } else if (smoke) {
+    std::printf("\n[smoke] ok\n");
+  }
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"bench_e8_rearguard\",\"smoke\":%s,\"metrics\":%s}\n",
+                 smoke ? "true" : "false", tacoma::g_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out);
+  }
+  return rc;
 }

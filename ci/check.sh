@@ -61,12 +61,18 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   ctest --test-dir build-ci/tsan "${CTEST_ARGS[@]}" -R "${STORAGE_TESTS}"
 fi
 
-# Metrics validation: the snapshot at $1 must contain every key in
-# ci/metrics_golden_keys.txt (grep-only validation, no jq/python dependency).
+# Metrics validation: the snapshot at $1 must contain every golden key in
+# scope $2 (grep-only validation, no jq/python dependency).  Scope "core"
+# stops at the `# scope:ft` marker — the ft.* keys only exist in snapshots
+# from binaries that install the rear guard; scope "all" checks everything.
 check_metrics() {
   local json="$1"
+  local scope="${2:-core}"
   local missing=0
   while IFS= read -r key; do
+    if [[ "${key}" == "# scope:ft" && "${scope}" == "core" ]]; then
+      break
+    fi
     [[ -z "${key}" || "${key}" == \#* ]] && continue
     if ! grep -q "\"${key}\"" "${json}"; then
       echo "metrics snapshot missing key: ${key}"
@@ -74,7 +80,7 @@ check_metrics() {
     fi
   done < ci/metrics_golden_keys.txt
   if [[ "${missing}" != "0" ]]; then
-    echo "=== FAILED: ${json} does not match golden keys ==="
+    echo "=== FAILED: ${json} does not match golden keys (scope ${scope}) ==="
     exit 1
   fi
 }
@@ -85,7 +91,7 @@ echo "=== [metrics-smoke] bench_e11_reliable --smoke ==="
 METRICS_JSON="build-ci/plain/e11_metrics.json"
 ./build-ci/plain/bench/bench_e11_reliable --smoke --metrics-out "${METRICS_JSON}" \
   > /dev/null
-check_metrics "${METRICS_JSON}"
+check_metrics "${METRICS_JSON}" core
 echo "=== [metrics-smoke] ok ==="
 
 # Perf smoke: a Release (-O2 -DNDEBUG) build runs the migration bench in smoke
@@ -100,7 +106,7 @@ echo "=== [perf-smoke] bench_e12_migration --smoke ==="
 E12_JSON="build-ci/release/e12_metrics.json"
 ./build-ci/release/bench/bench_e12_migration --smoke --metrics-out "${E12_JSON}" \
   > /dev/null
-check_metrics "${E12_JSON}"
+check_metrics "${E12_JSON}" core
 echo "=== [perf-smoke] ok ==="
 
 # Persistence smoke: the same Release tree runs the crash-atomic persistence
@@ -112,7 +118,7 @@ echo "=== [perf-smoke] bench_e13_persistence --smoke ==="
 E13_JSON="build-ci/release/e13_metrics.json"
 ./build-ci/release/bench/bench_e13_persistence --smoke --metrics-out "${E13_JSON}" \
   > /dev/null
-check_metrics "${E13_JSON}"
+check_metrics "${E13_JSON}" core
 echo "=== [perf-smoke] e13 ok ==="
 
 # Admission smoke: the analyze bench in smoke mode asserts the digest-keyed
@@ -124,5 +130,23 @@ cmake --build build-ci/release -j"${JOBS}" --target bench_e10_analyze
 echo "=== [admission-smoke] bench_e10_analyze --smoke ==="
 ./build-ci/release/bench/bench_e10_analyze --smoke
 echo "=== [admission-smoke] ok ==="
+
+# Fault-tolerance smoke: rear guards complete every guarded itinerary in the
+# E8 sweep, and the E14 partition-mode chaos storm resolves every agent
+# exactly once (with stale incarnations quenched and the median relaunch-to-
+# reactivation latency gated).  Both snapshots must carry the ft.* counters.
+echo "=== [release] build bench_e8_rearguard bench_e14_ft (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e8_rearguard bench_e14_ft
+echo "=== [ft-smoke] bench_e8_rearguard --smoke ==="
+E8_JSON="build-ci/release/e8_metrics.json"
+./build-ci/release/bench/bench_e8_rearguard --smoke --metrics-out "${E8_JSON}" \
+  > /dev/null
+check_metrics "${E8_JSON}" all
+echo "=== [ft-smoke] bench_e14_ft --smoke (partition-mode chaos) ==="
+E14_JSON="build-ci/release/e14_metrics.json"
+./build-ci/release/bench/bench_e14_ft --smoke --metrics-out "${E14_JSON}" \
+  > /dev/null
+check_metrics "${E14_JSON}" all
+echo "=== [ft-smoke] ok ==="
 
 echo "=== all checks passed ==="

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/kernel.h"
+#include "ft/rearguard.h"
 #include "sim/topology.h"
 #include "util/log.h"
 
@@ -27,7 +28,8 @@ using namespace tacoma;
 // across commands, like a real session.
 class Shell {
  public:
-  explicit Shell(Kernel* kernel, SiteId site) : kernel_(kernel), site_(site) {
+  Shell(Kernel* kernel, ft::RearGuard* guard, SiteId site)
+      : kernel_(kernel), guard_(guard), site_(site) {
     kernel_->place(site_)->set_agent_output(
         [](const std::string& line) { std::printf("%s\n", line.c_str()); });
   }
@@ -60,6 +62,15 @@ class Shell {
                   "%llu bytes saved on the wire\n",
                   (long long)hits, (long long)misses, rate,
                   (unsigned long long)kernel_->code_cache_stats().bytes_saved);
+      const ft::RearGuard::Stats& ft = guard_->stats();
+      const ft::CompletionRegistry::Stats& reg = guard_->registry().stats();
+      std::printf("; ft: %zu guards live, %llu relaunches, %llu quenches, "
+                  "%llu dead-letters, %llu of %llu agents resolved\n",
+                  guard_->TotalGuards(), (unsigned long long)ft.relaunches,
+                  (unsigned long long)(ft.quenches + reg.duplicates_quenched),
+                  (unsigned long long)(ft.guard_deadletters + reg.deadletters),
+                  (unsigned long long)reg.resolved,
+                  (unsigned long long)reg.launches);
       return true;
     }
     if (line == "trace") {
@@ -82,6 +93,7 @@ class Shell {
 
  private:
   Kernel* kernel_;
+  ft::RearGuard* guard_;
   SiteId site_;
   Briefcase briefcase_;
 };
@@ -123,7 +135,11 @@ int main(int argc, char** argv) {
   Kernel kernel;
   auto ids = BuildRing(&kernel.net(), 4);
   kernel.AdoptNetworkSites();
-  Shell shell(&kernel, ids[0]);
+  // Rear guards on every site: hand-launched travellers can use ft_jump /
+  // ft_complete, and `stats` reports the exactly-once machinery.
+  ft::RearGuard guard(&kernel);
+  guard.Install();
+  Shell shell(&kernel, &guard, ids[0]);
 
   bool demo = (argc > 1 && std::strcmp(argv[1], "--demo") == 0) || !isatty(0);
   if (demo) {

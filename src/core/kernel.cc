@@ -476,30 +476,43 @@ void Kernel::RetryTick(uint64_t id) {
   bool past_deadline = r.deadline > 0 && sim_.Now() >= t.first_sent + r.deadline;
   if (out_of_attempts || past_deadline) {
     ++stats_.transfers_expired;
-    TraceTransferEvent(t, "transfer.expire",
-                       out_of_attempts ? "retry attempts exhausted" : "deadline passed");
-    DeadLetter(t, out_of_attempts ? "retry attempts exhausted" : "deadline passed");
+    const char* why = out_of_attempts ? "retry attempts exhausted" : "deadline passed";
+    // Detach the entry before dead-lettering: Meet runs the dead-letter
+    // contact synchronously, and whatever that agent does (including new
+    // reliable transfers) must not see or mutate this half-erased entry.
+    PendingTransfer expired = std::move(it->second);
     pending_.erase(it);
+    TraceTransferEvent(expired, "transfer.expire", why);
+    DeadLetter(expired, why);
     return;
   }
   ++t.attempts;
+  const uint64_t attempt = t.attempts;
   // A send refused right now (destination down, no route) still consumes an
   // attempt; the next backoff may find the site restarted or a link restored.
   Status sent = net_.Send(t.from, t.to, t.frame);
+  // Send can deliver synchronously, in which case the receiver's ack rides
+  // the same call stack back through HandleAck and erases this entry — the
+  // reference above is dangling now.  Re-find before touching anything.
+  it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;  // Acked (or nacked) inside the synchronous send.
+  }
+  PendingTransfer& live = it->second;
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++stats_.retries_sent;
     // A retransmitted stub saves the same bytes again (the full frame is what
     // a cache-less kernel would have retried).
-    if (!t.full_frame.empty() && t.full_frame.size() > t.frame.size()) {
-      code_stats_.bytes_saved += t.full_frame.size() - t.frame.size();
+    if (!live.full_frame.empty() && live.full_frame.size() > live.frame.size()) {
+      code_stats_.bytes_saved += live.full_frame.size() - live.frame.size();
     }
-    TraceTransferEvent(t, "transfer.retry", "attempt " + std::to_string(t.attempts));
+    TraceTransferEvent(live, "transfer.retry", "attempt " + std::to_string(attempt));
   }
-  t.backoff = std::min(
-      r.retry_max, static_cast<SimTime>(static_cast<double>(t.backoff) *
+  live.backoff = std::min(
+      r.retry_max, static_cast<SimTime>(static_cast<double>(live.backoff) *
                                         std::max(1.0, r.retry_multiplier)));
-  ScheduleRetry(id, Jittered(t.backoff));
+  ScheduleRetry(id, Jittered(live.backoff));
 }
 
 void Kernel::DeadLetter(const PendingTransfer& transfer, const std::string& reason) {

@@ -1,23 +1,45 @@
 #include "ft/rearguard.h"
 
+#include <algorithm>
+
 #include "core/trace.h"
 #include "tacl/list.h"
 #include "util/log.h"
 
 namespace tacoma::ft {
+namespace {
+
+// Durable guard-table op stream ("ftguard.log") record kinds.  The snapshot
+// written on compaction reuses the record encoding, so replay is one path.
+constexpr uint8_t kGOpRecord = 1;       // Insert/overwrite one guard record.
+constexpr uint8_t kGOpRemove = 2;       // Erase the record at a key.
+constexpr uint8_t kGOpRetireAgent = 3;  // Durably mark an agent retired.
+constexpr uint8_t kGOpFence = 4;        // Raise an incarnation fence.
+constexpr uint8_t kGOpRelaunch = 5;     // Bump a record's relaunch state.
+
+}  // namespace
 
 RearGuard::RearGuard(Kernel* kernel, GuardOptions options)
-    : kernel_(kernel), options_(options) {}
+    : kernel_(kernel),
+      options_(options),
+      registry_(std::make_unique<CompletionRegistry>(kernel, options.durable)) {}
 
-std::string RearGuard::Key(const std::string& agent, uint32_t seq) {
-  return agent + "#" + std::to_string(seq);
+std::string RearGuard::Key(const std::string& agent, const std::string& branch,
+                           uint32_t seq) {
+  return agent + "#" + branch + "#" + std::to_string(seq);
+}
+
+std::string RearGuard::FenceKey(const std::string& agent, const std::string& branch) {
+  return agent + "|" + branch;
 }
 
 RearGuard::SiteTable& RearGuard::TableFor(Place& place) {
   SiteTable& table = tables_[place.site()];
   if (table.generation != place.generation()) {
-    // New incarnation: the old guards died with the old place.
+    // New incarnation: the old guards died with the old place.  (Durable
+    // state is reloaded by RecoverGuards, which calls this first.)
     table.records.clear();
+    table.fences.clear();
     table.retired_agents.clear();
     table.generation = place.generation();
   }
@@ -61,17 +83,43 @@ size_t RearGuard::TotalGuards() const {
 void RearGuard::Install() {
   RearGuard* self = this;
   MetricsRegistry& metrics = kernel_->metrics();
-  metrics.AddProbe("ft.rearguard.deposits", [self] { return self->stats_.deposits; });
-  metrics.AddProbe("ft.rearguard.pings_sent",
-                   [self] { return self->stats_.pings_sent; });
-  metrics.AddProbe("ft.rearguard.replies_received",
+  metrics.AddProbe("ft.deposits", [self] { return self->stats_.deposits; });
+  metrics.AddProbe("ft.pings_sent", [self] { return self->stats_.pings_sent; });
+  metrics.AddProbe("ft.replies_received",
                    [self] { return self->stats_.replies_received; });
-  metrics.AddProbe("ft.rearguard.relaunches",
-                   [self] { return self->stats_.relaunches; });
-  metrics.AddProbe("ft.rearguard.retire_waves",
-                   [self] { return self->stats_.retire_waves; });
-  metrics.AddProbe("ft.rearguard.records_retired",
+  metrics.AddProbe("ft.relaunches", [self] { return self->stats_.relaunches; });
+  metrics.AddProbe("ft.retire_waves", [self] { return self->stats_.retire_waves; });
+  metrics.AddProbe("ft.records_retired",
                    [self] { return self->stats_.records_retired; });
+  metrics.AddProbe("ft.quenches", [self] { return self->stats_.quenches; });
+  metrics.AddProbe("ft.guard_deadletters",
+                   [self] { return self->stats_.guard_deadletters; });
+  metrics.AddProbe("ft.lease_expiries",
+                   [self] { return self->stats_.lease_expiries; });
+  metrics.AddProbe("ft.recovered_records",
+                   [self] { return self->stats_.recovered_records; });
+  metrics.AddProbe("ft.launches",
+                   [self] { return self->registry_->stats().launches; });
+  metrics.AddProbe("ft.fanouts", [self] { return self->registry_->stats().fanouts; });
+  metrics.AddProbe("ft.completions",
+                   [self] { return self->registry_->stats().completions; });
+  metrics.AddProbe("ft.deadletters",
+                   [self] { return self->registry_->stats().deadletters; });
+  metrics.AddProbe("ft.duplicates_quenched",
+                   [self] { return self->registry_->stats().duplicates_quenched; });
+  metrics.AddProbe("ft.resolved",
+                   [self] { return self->registry_->stats().resolved; });
+  metrics.AddProbe("ft.guards_live",
+                   [self] { return static_cast<uint64_t>(self->TotalGuards()); });
+  reactivation_hist_ =
+      &metrics.AddHistogram("ft.relaunch_reactivation_us", SimTimeBucketsUs());
+
+  registry_->SetResolutionHandler(
+      [self](SiteId home, const std::string& agent,
+             const CompletionRegistry::AgentState& state) {
+        self->OnResolved(home, agent, state);
+      });
+
   kernel_->AddPlaceInitializer([self](Place& place) {
     place.RegisterAgent("rearguard", [self](Place& at, Briefcase& bc) {
       return self->OnMeet(at, bc);
@@ -102,11 +150,22 @@ void RearGuard::Install() {
             if (auto s = tacl::ParseInt(bc.GetString("GUARD_SEQ").value_or("0"))) {
               seq = static_cast<uint32_t>(std::max<int64_t>(0, *s));
             }
+            uint32_t inc = 0;
+            if (auto i = tacl::ParseInt(bc.GetString("GUARD_INC").value_or("0"))) {
+              inc = static_cast<uint32_t>(std::max<int64_t>(0, *i));
+            }
             std::string prev = bc.GetString("GUARD_PREV").value_or("");
+            std::string branch = bc.GetString("GUARD_BRANCH").value_or("");
 
             // Prepare the post-hop briefcase state, then checkpoint it with
-            // the code pushed so a relaunch restarts the same program.
+            // the code pushed so a relaunch restarts the same program.  The
+            // first ft_jump of an undeclared launch stamps GUARD_HOME: the
+            // site the computation's outcome must report back to.
             bc.SetString("GUARD_AGENT", agent);
+            if (!bc.Has("GUARD_HOME")) {
+              bc.SetString("GUARD_HOME", here.name());
+            }
+            bc.SetString("GUARD_INC", std::to_string(inc));
             bc.SetString("GUARD_SEQ", std::to_string(seq + 1));
             bc.SetString("GUARD_PREV", here.name());
             Briefcase checkpoint = bc;
@@ -115,13 +174,24 @@ void RearGuard::Install() {
             Briefcase deposit;
             deposit.SetString("GUARD_OP", "deposit");
             deposit.SetString("GUARD_AGENT", agent);
+            deposit.SetString("GUARD_BRANCH", branch);
+            deposit.SetString("GUARD_INC", std::to_string(inc));
             deposit.SetString("GUARD_SEQ", std::to_string(seq));
             deposit.SetString("GUARD_NEXT", next);
             deposit.SetString("GUARD_RECORD_PREV", prev);
+            if (const Folder* tr = bc.Find(kTraceFolder)) {
+              deposit.folder(kTraceFolder) = *tr;
+            }
             deposit.folder("CKPT").PushBack(checkpoint.Serialize());
             Status deposited = here.Meet("rearguard", deposit);
             if (!deposited.ok()) {
               return Error("ft_jump: " + deposited.ToString());
+            }
+            if (deposit.GetString("GUARD_VERDICT").value_or("") == "quench") {
+              // This copy's incarnation is stale (or the agent already
+              // retired): a newer incarnation owns the computation.  End
+              // quietly instead of re-walking the itinerary.
+              return Outcome{tacl::Code::kReturn, ""};
             }
 
             // Now the ordinary jump (push code, rexec).
@@ -139,7 +209,7 @@ void RearGuard::Install() {
             return Outcome{tacl::Code::kReturn, ""};
           });
 
-      // ft_retire — the computation finished; unwind the guard chain.
+      // ft_retire — immediate guard-chain unwind (registry-less path).
       interp->Register(
           "ft_retire", [self, activation](tacl::Interp&,
                                           const std::vector<std::string>& argv) {
@@ -158,7 +228,71 @@ void RearGuard::Install() {
             }
             return Ok();
           });
+
+      // ft_complete — report this branch's terminal outcome to the home
+      // registry; retirement waves fire when the whole computation resolves.
+      interp->Register(
+          "ft_complete", [self, activation](tacl::Interp&,
+                                            const std::vector<std::string>& argv) {
+            if (argv.size() != 1) {
+              return Error("wrong # args: should be \"ft_complete\"");
+            }
+            Briefcase& bc = *activation->briefcase;
+            Place& here = *activation->place;
+            std::string agent = bc.GetString("GUARD_AGENT").value_or(
+                activation->agent_id.empty() ? "agent" : activation->agent_id);
+            BranchOutcome outcome;
+            outcome.branch = bc.GetString("GUARD_BRANCH").value_or("");
+            outcome.kind = "complete";
+            if (auto i = tacl::ParseInt(bc.GetString("GUARD_INC").value_or("0"))) {
+              outcome.incarnation = static_cast<uint32_t>(std::max<int64_t>(0, *i));
+            }
+            outcome.endpoint = here.name();
+            outcome.prev = bc.GetString("GUARD_PREV").value_or("");
+            std::string home = bc.GetString("GUARD_HOME").value_or(here.name());
+            Status s = self->ReportOutcome(here.site(), agent, std::move(outcome),
+                                           home, &bc, nullptr);
+            if (!s.ok()) {
+              return Error("ft_complete: " + s.ToString());
+            }
+            return Ok();
+          });
+
+      // ft_fanout n — declare the clone fan-out's join barrier at home.
+      interp->Register(
+          "ft_fanout", [self, activation](tacl::Interp&,
+                                          const std::vector<std::string>& argv) {
+            if (argv.size() != 2) {
+              return Error("wrong # args: should be \"ft_fanout branches\"");
+            }
+            auto n = tacl::ParseInt(argv[1]);
+            if (!n.has_value() || *n < 1) {
+              return Error("ft_fanout: branches must be a positive integer");
+            }
+            Briefcase& bc = *activation->briefcase;
+            Place& here = *activation->place;
+            std::string agent = bc.GetString("GUARD_AGENT").value_or(
+                activation->agent_id.empty() ? "agent" : activation->agent_id);
+            bc.SetString("GUARD_AGENT", agent);
+            if (!bc.Has("GUARD_HOME")) {
+              bc.SetString("GUARD_HOME", here.name());
+            }
+            std::string home = *bc.GetString("GUARD_HOME");
+            Status s = self->SendFanout(here.site(), agent,
+                                        static_cast<int>(*n), home);
+            if (!s.ok()) {
+              return Error("ft_fanout: " + s.ToString());
+            }
+            return Ok();
+          });
     });
+
+    // Durable recovery: a restarted site reloads its guard table and its
+    // slice of the completion registry before any agent can arrive.
+    self->RecoverGuards(place);
+    if (self->options_.durable) {
+      self->registry_->RecoverSite(place.site());
+    }
   });
 }
 
@@ -179,6 +313,12 @@ Status RearGuard::OnMeet(Place& place, Briefcase& bc) {
   if (op == "retire") {
     return HandleRetire(place, bc, /*is_wave_origin=*/false);
   }
+  if (op == "outcome") {
+    return HandleOutcome(place, bc);
+  }
+  if (op == "fanout") {
+    return HandleFanout(place, bc);
+  }
   return InvalidArgumentError("rearguard: unknown GUARD_OP \"" + op + "\"");
 }
 
@@ -194,18 +334,56 @@ Status RearGuard::HandleDeposit(Place& place, Briefcase& bc) {
   if (!seq.has_value() || *seq < 0) {
     return InvalidArgumentError("rearguard: bad GUARD_SEQ");
   }
+  std::string branch = bc.GetString("GUARD_BRANCH").value_or("");
+  uint32_t inc = 0;
+  if (auto i = tacl::ParseInt(bc.GetString("GUARD_INC").value_or("0"))) {
+    inc = static_cast<uint32_t>(std::max<int64_t>(0, *i));
+  }
+
+  SiteTable& table = TableFor(place);
+  const std::string fkey = FenceKey(*agent, branch);
+  auto fence_it = table.fences.find(fkey);
+  const uint32_t fence = fence_it == table.fences.end() ? 0 : fence_it->second;
+  if (table.retired_agents.contains(*agent) || inc < fence) {
+    // Incarnation fencing: a stale copy (or a durably retired agent) must
+    // not deposit a guard and must not hop onward.  The verdict folder tells
+    // ft_jump to end the activation quietly.
+    ++stats_.quenches;
+    RecordFtSpan("ft.quench", place.site(), &bc,
+                 *agent + " inc " + std::to_string(inc) + " < fence " +
+                     std::to_string(fence));
+    bc.SetString("GUARD_VERDICT", "quench");
+    return OkStatus();
+  }
+  if (inc > fence) {
+    table.fences[fkey] = inc;
+    Encoder enc;
+    enc.PutU8(kGOpFence);
+    enc.PutString(fkey);
+    enc.PutU32(inc);
+    PersistGuardOp(place.site(), enc.Take());
+  }
 
   GuardRecord record;
   record.agent = *agent;
+  record.branch = branch;
   record.seq = static_cast<uint32_t>(*seq);
+  record.inc = inc;
+  record.last_inc = inc;
   record.checkpoint = *ckpt->Front();
   record.next_site = *next;
   record.prev_site = bc.GetString("GUARD_RECORD_PREV").value_or("");
+  record.deposited_at = kernel_->sim().Now();
 
-  SiteTable& table = TableFor(place);
-  std::string key = Key(record.agent, record.seq);
+  TrackReactivation(*agent, branch, inc);
+
+  std::string key = Key(*agent, branch, record.seq);
   table.records[key] = std::move(record);
+  PersistRecord(place.site(), key, table.records[key]);
   ++stats_.deposits;
+  RecordFtSpan("ft.deposit", place.site(), &bc,
+               *agent + " seq " + *seq_str + " -> " + *next);
+  bc.SetString("GUARD_VERDICT", "ok");
 
   SchedulePing(place.site(), place.generation(), key);
   return OkStatus();
@@ -222,21 +400,50 @@ void RearGuard::PingTick(SiteId site, uint64_t generation, const std::string& ke
   }
   SiteTable& table = tables_[site];
   auto it = table.records.find(key);
-  if (it == table.records.end() || it->second.retired) {
-    return;  // Retired or removed: the chain unwound.
+  if (it == table.records.end()) {
+    return;  // Removed: the chain unwound.
   }
+
+  // Lease GC first: an orphaned record (its retire wave lost, its agent
+  // wedged) must not leak forever.  Unretired orphans dead-letter home.
+  const SimTime now = kernel_->sim().Now();
+  if (options_.lease > 0 && now >= it->second.deposited_at + options_.lease) {
+    ++stats_.lease_expiries;
+    if (!it->second.retired) {
+      DeadLetterRecord(site, it->second, "guard lease expired");
+      it = table.records.find(key);  // Reporting can reenter and erase.
+    }
+    if (it != table.records.end()) {
+      RemoveRecord(site, table, key);
+    }
+    return;  // No reschedule: the record is gone.
+  }
+  if (it->second.retired) {
+    // Keep ticking a retired record only to let the lease reap it.
+    if (options_.lease > 0) {
+      SchedulePing(site, generation, key);
+    }
+    return;
+  }
+
+  ++it->second.misses;
+  if (it->second.misses > options_.max_misses) {
+    if (!Recover(site, table, key)) {
+      return;  // Dead-lettered and removed; nothing left to ping.
+    }
+    it = table.records.find(key);
+    if (it == table.records.end()) {
+      return;  // A reentrant retire wave removed it during recovery.
+    }
+  }
+
   GuardRecord& record = it->second;
-
-  ++record.misses;
-  if (record.misses > options_.max_misses) {
-    Recover(site, record);
-  }
-
   auto next = kernel_->net().FindSite(record.next_site);
   if (next.has_value() && kernel_->net().IsUp(*next)) {
     Briefcase ping;
     ping.SetString("GUARD_OP", "status");
     ping.SetString("GUARD_AGENT", record.agent);
+    ping.SetString("GUARD_BRANCH", record.branch);
     ping.SetString("GUARD_KEY", key);
     ping.SetString("REPLY_HOST", kernel_->net().site_name(site));
     // Fire-and-forget regardless of the kernel's reliability mode: a lost
@@ -258,6 +465,7 @@ Status RearGuard::HandleStatusRequest(Place& place, Briefcase& bc) {
   if (!agent || !key || !reply_host) {
     return InvalidArgumentError("rearguard: malformed status request");
   }
+  std::string branch = bc.GetString("GUARD_BRANCH").value_or("");
 
   SiteTable& table = TableFor(place);
   std::string state = "unknown";
@@ -265,7 +473,7 @@ Status RearGuard::HandleStatusRequest(Place& place, Briefcase& bc) {
     state = "retired";
   } else {
     for (const auto& [k, rec] : table.records) {
-      if (rec.agent == *agent && !rec.retired) {
+      if (rec.agent == *agent && rec.branch == branch && !rec.retired) {
         state = "active";
         break;
       }
@@ -316,18 +524,30 @@ Status RearGuard::HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin)
   }
 
   SiteTable& table = TableFor(place);
-  table.retired_agents.insert(*agent);
+  if (table.retired_agents.insert(*agent).second) {
+    Encoder enc;
+    enc.PutU8(kGOpRetireAgent);
+    enc.PutString(*agent);
+    PersistGuardOp(place.site(), enc.Take());
+  }
 
   // Remove this agent's records here and forward the wave to each distinct
   // predecessor those records named.
   std::set<std::string> predecessors;
+  size_t removed = 0;
   for (auto it = table.records.begin(); it != table.records.end();) {
     if (it->second.agent == *agent) {
       if (!it->second.prev_site.empty()) {
         predecessors.insert(it->second.prev_site);
       }
       ++stats_.records_retired;
+      ++removed;
+      std::string key = it->first;
       it = table.records.erase(it);
+      Encoder enc;
+      enc.PutU8(kGOpRemove);
+      enc.PutString(key);
+      PersistGuardOp(place.site(), enc.Take());
     } else {
       ++it;
     }
@@ -340,6 +560,8 @@ Status RearGuard::HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin)
       predecessors.insert(prev);
     }
   }
+  RecordFtSpan("ft.retire", place.site(), &bc,
+               *agent + " removed " + std::to_string(removed));
 
   for (const std::string& prev : predecessors) {
     auto prev_site = kernel_->net().FindSite(prev);
@@ -349,21 +571,229 @@ Status RearGuard::HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin)
     Briefcase wave;
     wave.SetString("GUARD_OP", "retire");
     wave.SetString("GUARD_AGENT", *agent);
-    (void)kernel_->TransferAgent(place.site(), *prev_site, "rearguard", wave);
+    // Reliable: a lost wave would leave upstream guards to the lease GC.
+    (void)kernel_->TransferAgent(place.site(), *prev_site, "rearguard", wave,
+                                 TransferOptions{.mode = Reliability::kReliable});
   }
   return OkStatus();
 }
 
-void RearGuard::Recover(SiteId site, GuardRecord& record) {
-  if (options_.max_relaunches != 0 && record.relaunches >= options_.max_relaunches) {
+Status RearGuard::HandleOutcome(Place& place, Briefcase& bc) {
+  auto agent = bc.GetString("GUARD_AGENT");
+  auto kind = bc.GetString("OUTCOME_KIND");
+  if (!agent || !kind || (*kind != "complete" && *kind != "deadletter")) {
+    return InvalidArgumentError("rearguard: malformed outcome");
+  }
+  // Mis-delivered (home moved or the sender guessed wrong): forward one hop.
+  std::string home_name = bc.GetString("GUARD_HOME").value_or("");
+  if (!home_name.empty() && home_name != place.name()) {
+    auto home = kernel_->net().FindSite(home_name);
+    if (home.has_value() && *home != place.site()) {
+      return kernel_->TransferAgent(place.site(), *home, "rearguard", bc,
+                                    TransferOptions{.mode = Reliability::kReliable});
+    }
+  }
+
+  BranchOutcome outcome;
+  outcome.branch = bc.GetString("GUARD_BRANCH").value_or("");
+  outcome.kind = *kind;
+  outcome.reason = bc.GetString("DEADLETTER_REASON").value_or("");
+  if (auto i = tacl::ParseInt(bc.GetString("GUARD_INC").value_or("0"))) {
+    outcome.incarnation = static_cast<uint32_t>(std::max<int64_t>(0, *i));
+  }
+  outcome.endpoint = bc.GetString("OUTCOME_ENDPOINT").value_or(place.name());
+  outcome.prev = bc.GetString("GUARD_RECORD_PREV").value_or("");
+
+  TrackReactivation(*agent, outcome.branch, outcome.incarnation);
+  const std::string branch = outcome.branch;
+  const std::string endpoint = outcome.endpoint;
+  const std::string prev = outcome.prev;
+  bool accepted = registry_->RecordOutcome(place.site(), *agent, std::move(outcome));
+  if (!accepted) {
+    // A stale incarnation finished the itinerary too.  Quench it, and unwind
+    // the duplicate's guard chain so its records don't wait for the lease.
+    ++stats_.quenches;
+    RecordFtSpan("ft.quench", place.site(), &bc,
+                 *agent + " duplicate outcome for branch \"" + branch + "\"");
+    FireRetireWave(place.site(), *agent, endpoint, prev);
+  }
+  return OkStatus();
+}
+
+Status RearGuard::HandleFanout(Place& place, Briefcase& bc) {
+  auto agent = bc.GetString("GUARD_AGENT");
+  auto n_str = bc.GetString("GUARD_FANOUT");
+  if (!agent || !n_str) {
+    return InvalidArgumentError("rearguard: malformed fanout");
+  }
+  auto n = tacl::ParseInt(*n_str);
+  if (!n.has_value() || *n < 1) {
+    return InvalidArgumentError("rearguard: bad GUARD_FANOUT");
+  }
+  std::string home_name = bc.GetString("GUARD_HOME").value_or("");
+  if (!home_name.empty() && home_name != place.name()) {
+    auto home = kernel_->net().FindSite(home_name);
+    if (home.has_value() && *home != place.site()) {
+      return kernel_->TransferAgent(place.site(), *home, "rearguard", bc,
+                                    TransferOptions{.mode = Reliability::kReliable});
+    }
+  }
+  registry_->DeclareFanout(place.site(), *agent, static_cast<int>(*n));
+  return OkStatus();
+}
+
+Status RearGuard::SendFanout(SiteId from, const std::string& agent, int branches,
+                             const std::string& home_name) {
+  std::optional<SiteId> home;
+  if (!home_name.empty()) {
+    home = kernel_->net().FindSite(home_name);
+  }
+  if (!home.has_value() || *home == from) {
+    registry_->DeclareFanout(from, agent, branches);
+    return OkStatus();
+  }
+  Briefcase msg;
+  msg.SetString("GUARD_OP", "fanout");
+  msg.SetString("GUARD_AGENT", agent);
+  msg.SetString("GUARD_FANOUT", std::to_string(branches));
+  msg.SetString("GUARD_HOME", home_name);
+  return kernel_->TransferAgent(from, *home, "rearguard", msg,
+                                TransferOptions{.mode = Reliability::kReliable});
+}
+
+Status RearGuard::ReportOutcome(SiteId from, const std::string& agent,
+                                BranchOutcome outcome, const std::string& home_name,
+                                const Briefcase* trace_src,
+                                const SharedBytes* checkpoint) {
+  std::optional<SiteId> home;
+  if (!home_name.empty()) {
+    home = kernel_->net().FindSite(home_name);
+  }
+  if (!home.has_value() || *home == from) {
+    // Home is this site (or unknown, in which case the local registry is the
+    // best durable record we have).
+    TrackReactivation(agent, outcome.branch, outcome.incarnation);
+    const std::string branch = outcome.branch;
+    const std::string endpoint = outcome.endpoint;
+    const std::string prev = outcome.prev;
+    bool accepted = registry_->RecordOutcome(from, agent, std::move(outcome));
+    if (!accepted) {
+      ++stats_.quenches;
+      RecordFtSpan("ft.quench", from, trace_src,
+                   agent + " duplicate outcome for branch \"" + branch + "\"");
+      FireRetireWave(from, agent, endpoint, prev);
+    }
+    return OkStatus();
+  }
+  Briefcase msg;
+  msg.SetString("GUARD_OP", "outcome");
+  msg.SetString("GUARD_AGENT", agent);
+  msg.SetString("GUARD_BRANCH", outcome.branch);
+  msg.SetString("GUARD_INC", std::to_string(outcome.incarnation));
+  msg.SetString("GUARD_HOME", home_name);
+  msg.SetString("OUTCOME_KIND", outcome.kind);
+  if (!outcome.reason.empty()) {
+    msg.SetString("DEADLETTER_REASON", outcome.reason);
+  }
+  msg.SetString("OUTCOME_ENDPOINT", outcome.endpoint);
+  msg.SetString("GUARD_RECORD_PREV", outcome.prev);
+  if (checkpoint != nullptr) {
+    msg.folder("CKPT").PushBack(*checkpoint);
+  }
+  if (trace_src != nullptr) {
+    if (const Folder* tr = trace_src->Find(kTraceFolder)) {
+      msg.folder(kTraceFolder) = *tr;
+    }
+  }
+  return kernel_->TransferAgent(from, *home, "rearguard", msg,
+                                TransferOptions{.mode = Reliability::kReliable});
+}
+
+void RearGuard::OnResolved(SiteId home, const std::string& agent,
+                           const CompletionRegistry::AgentState& state) {
+  // One retirement wave per branch endpoint — the join barrier guarantees
+  // every branch has its terminal outcome, so no wave tears down a guard a
+  // still-running branch needs.
+  for (const auto& [branch, outcome] : state.outcomes) {
+    FireRetireWave(home, agent, outcome.endpoint, outcome.prev);
+  }
+  if (!options_.completion_contact.empty()) {
+    Place* place = kernel_->place(home);
+    if (place != nullptr) {
+      Briefcase note;
+      note.SetString("GUARD_AGENT", agent);
+      note.SetString("OUTCOME_KIND", state.final_kind);
+      for (const auto& [branch, outcome] : state.outcomes) {
+        if (outcome.kind == "deadletter") {
+          note.SetString("DEADLETTER_REASON", outcome.reason);
+          break;
+        }
+      }
+      (void)place->Meet(options_.completion_contact, note);
+    }
+  }
+}
+
+void RearGuard::FireRetireWave(SiteId from, const std::string& agent,
+                               const std::string& endpoint, const std::string& prev) {
+  Briefcase wave;
+  wave.SetString("GUARD_OP", "retire_wave");
+  wave.SetString("GUARD_AGENT", agent);
+  wave.SetString("GUARD_PREV", prev);
+  std::optional<SiteId> dest;
+  if (!endpoint.empty()) {
+    dest = kernel_->net().FindSite(endpoint);
+  }
+  if (!dest.has_value() || *dest == from) {
+    Place* place = kernel_->place(from);
+    if (place != nullptr) {
+      (void)place->Meet("rearguard", wave);
+    }
     return;
+  }
+  (void)kernel_->TransferAgent(from, *dest, "rearguard", wave,
+                               TransferOptions{.mode = Reliability::kReliable});
+}
+
+bool RearGuard::Recover(SiteId site, SiteTable& table, const std::string& key) {
+  auto it = table.records.find(key);
+  if (it == table.records.end()) {
+    return false;
+  }
+  GuardRecord& record = it->second;
+  if (options_.max_relaunches != 0 && record.relaunches >= options_.max_relaunches) {
+    DeadLetterRecord(site, record,
+                     "relaunch budget exhausted (" +
+                         std::to_string(record.relaunches) + ")");
+    // Reporting can reenter the table (local retire wave) — re-check by key.
+    if (table.records.contains(key)) {
+      RemoveRecord(site, table, key);
+    }
+    return false;
   }
   auto checkpoint = Briefcase::Deserialize(record.checkpoint);
   if (!checkpoint.ok()) {
     TLOG_WARN << "rearguard: corrupt checkpoint for " << record.agent;
-    return;
+    DeadLetterRecord(site, record,
+                     "corrupt checkpoint: " + checkpoint.status().ToString());
+    if (table.records.contains(key)) {
+      RemoveRecord(site, table, key);
+    }
+    return false;
   }
   Briefcase bc = std::move(checkpoint).value();
+
+  // Fence the relaunch: the new incarnation outranks both everything this
+  // record launched before and everything this site has witnessed, so the
+  // vanished copy — if it merely went quiet — is quenched wherever it next
+  // deposits.
+  uint32_t fence = 0;
+  if (auto f = table.fences.find(FenceKey(record.agent, record.branch));
+      f != table.fences.end()) {
+    fence = f->second;
+  }
+  const uint32_t new_inc = std::max(record.last_inc, fence) + 1;
+  bc.SetString("GUARD_INC", std::to_string(new_inc));
   bc.SetString("GUARD_RELAUNCH", std::to_string(record.relaunches + 1));
 
   // Candidate destinations: the original next site, then itinerary entries
@@ -391,6 +821,9 @@ void RearGuard::Recover(SiteId site, GuardRecord& record) {
     }
   }
 
+  const std::string agent_name = record.agent;
+  const std::string pending_key =
+      record.agent + "|" + record.branch + "|" + std::to_string(new_inc);
   for (const std::string& destination : candidates) {
     auto dest = kernel_->net().FindSite(destination);
     if (!dest.has_value() || !kernel_->net().IsUp(*dest)) {
@@ -399,34 +832,359 @@ void RearGuard::Recover(SiteId site, GuardRecord& record) {
     if (!kernel_->net().HopCount(site, *dest).has_value()) {
       continue;
     }
+    // Registered before the send: a synchronous delivery can run the new
+    // incarnation — and land its next deposit — inside TransferAgent, and the
+    // reactivation match must find this entry.
+    pending_relaunches_[pending_key] = kernel_->sim().Now();
     Status sent = kernel_->TransferAgent(site, *dest, "ag_tacl", bc);
-    if (sent.ok()) {
-      ++stats_.relaunches;
-      ++record.relaunches;
-      record.misses = 0;
-      // The relaunch hop keeps the vanished agent's journey: the checkpoint
-      // briefcase still carries its TRACE folder, so the transfer above
-      // chained under the original trace id.  Mark the guard's intervention.
-      if (kernel_->options().trace_enabled) {
-        if (auto ctx = TraceContext::FromBriefcase(bc)) {
-          TraceEvent ev;
-          ev.trace_id = ctx->trace_id;
-          ev.span_id = ctx->span_id;
-          ev.hop = ctx->hop;
-          ev.name = "agent.relaunch";
-          ev.site = kernel_->net().site_name(site);
-          ev.site_id = site;
-          ev.ts = kernel_->sim().Now();
-          ev.detail = bc.GetString("AGENT").value_or("agent") + " -> " + destination;
-          kernel_->trace().Record(std::move(ev));
-        }
+    if (!sent.ok()) {
+      pending_relaunches_.erase(pending_key);
+      continue;
+    }
+    ++stats_.relaunches;
+    // The relaunch hop keeps the vanished agent's journey: the checkpoint
+    // briefcase still carries its TRACE folder, so the transfer above
+    // chained under the original trace id.  Mark the guard's intervention.
+    RecordFtSpan("ft.relaunch", site, &bc,
+                 agent_name + " inc " + std::to_string(new_inc) + " -> " +
+                     destination);
+    // A synchronous delivery can also complete the whole journey inline:
+    // the retire wave then erased this record while TransferAgent was on
+    // the stack, so `record` may be dangling — re-find before mutating.
+    auto live = table.records.find(key);
+    if (live == table.records.end()) {
+      if (relaunch_hook_) {
+        relaunch_hook_(site, agent_name, new_inc);
       }
-      return;
+      return false;  // Resolved and retired during the send; nothing to ping.
+    }
+    GuardRecord& survivor = live->second;
+    ++survivor.relaunches;
+    survivor.last_inc = new_inc;
+    survivor.misses = 0;
+    survivor.unreachable_rounds = 0;
+    Encoder enc;
+    enc.PutU8(kGOpRelaunch);
+    enc.PutString(key);
+    enc.PutVarint(static_cast<uint64_t>(survivor.relaunches));
+    enc.PutU32(survivor.last_inc);
+    PersistGuardOp(site, enc.Take());
+    if (relaunch_hook_) {
+      relaunch_hook_(site, agent_name, new_inc);
+    }
+    return true;
+  }
+  // Nothing reachable right now.
+  ++record.unreachable_rounds;
+  if (options_.max_unreachable_rounds > 0 &&
+      record.unreachable_rounds >= options_.max_unreachable_rounds) {
+    DeadLetterRecord(site, record,
+                     "itinerary unreachable: no candidate site reachable");
+    if (table.records.contains(key)) {
+      RemoveRecord(site, table, key);
+    }
+    return false;
+  }
+  // Reset the miss counter and keep watching; a later tick retries once
+  // something comes back (or the lease dead-letters the checkpoint).
+  record.misses = 0;
+  return true;
+}
+
+void RearGuard::DeadLetterRecord(SiteId site, GuardRecord& record,
+                                 const std::string& reason) {
+  ++stats_.guard_deadletters;
+  BranchOutcome outcome;
+  outcome.branch = record.branch;
+  outcome.kind = "deadletter";
+  outcome.reason = reason;
+  outcome.incarnation = record.last_inc;
+  outcome.endpoint = kernel_->net().site_name(site);
+  outcome.prev = record.prev_site;
+  const std::string agent = record.agent;
+  SharedBytes checkpoint = record.checkpoint;
+  std::string home_name;
+  Briefcase ckpt_bc;
+  const Briefcase* trace_src = nullptr;
+  if (auto parsed = Briefcase::Deserialize(checkpoint); parsed.ok()) {
+    ckpt_bc = std::move(parsed).value();
+    home_name = ckpt_bc.GetString("GUARD_HOME").value_or("");
+    trace_src = &ckpt_bc;
+  }
+  TLOG_WARN << "rearguard: dead-lettering " << agent << " at "
+            << outcome.endpoint << ": " << reason;
+  // `record` must not be touched past this point: reporting a local outcome
+  // can resolve the agent and fire a retire wave that erases it.
+  (void)ReportOutcome(site, agent, std::move(outcome), home_name, trace_src,
+                      &checkpoint);
+}
+
+void RearGuard::RemoveRecord(SiteId site, SiteTable& table, const std::string& key) {
+  if (table.records.erase(key) > 0) {
+    Encoder enc;
+    enc.PutU8(kGOpRemove);
+    enc.PutString(key);
+    PersistGuardOp(site, enc.Take());
+  }
+}
+
+DiskLog* RearGuard::GuardLog(SiteId site) {
+  if (!options_.durable) {
+    return nullptr;
+  }
+  DurableLog& dl = guard_logs_[site];
+  if (dl.log == nullptr) {
+    dl.log = std::make_unique<DiskLog>(&kernel_->disk(site), "ftguard");
+  }
+  return dl.log.get();
+}
+
+void RearGuard::PersistGuardOp(SiteId site, const Bytes& op) {
+  DiskLog* log = GuardLog(site);
+  if (log == nullptr) {
+    return;
+  }
+  // A failed append (armed disk, mid-storm) costs durability of this one op,
+  // not correctness: the in-memory table still serves, and recovery after
+  // the crash falls back to predecessor healing plus re-quench.
+  (void)log->Append(op);
+  DurableLog& dl = guard_logs_[site];
+  if (++dl.ops_since_compact >= options_.compact_threshold) {
+    dl.ops_since_compact = 0;
+    (void)log->Compact(EncodeTableSnapshot(tables_[site]));
+  }
+}
+
+void RearGuard::PersistRecord(SiteId site, const std::string& key,
+                              const GuardRecord& record) {
+  if (!options_.durable) {
+    return;
+  }
+  Encoder enc;
+  enc.PutU8(kGOpRecord);
+  EncodeRecord(&enc, key, record);
+  PersistGuardOp(site, enc.Take());
+}
+
+void RearGuard::EncodeRecord(Encoder* enc, const std::string& key,
+                             const GuardRecord& record) {
+  enc->PutString(key);
+  enc->PutString(record.agent);
+  enc->PutString(record.branch);
+  enc->PutU32(record.seq);
+  enc->PutU32(record.inc);
+  enc->PutU32(record.last_inc);
+  enc->PutVarint(static_cast<uint64_t>(record.relaunches));
+  enc->PutU8(record.retired ? 1 : 0);
+  enc->PutString(record.next_site);
+  enc->PutString(record.prev_site);
+  enc->PutBytes(record.checkpoint);
+}
+
+bool RearGuard::DecodeRecord(Decoder* dec, std::string* key, GuardRecord* record) {
+  uint64_t relaunches = 0;
+  uint8_t retired = 0;
+  if (!dec->GetString(key) || !dec->GetString(&record->agent) ||
+      !dec->GetString(&record->branch) || !dec->GetU32(&record->seq) ||
+      !dec->GetU32(&record->inc) || !dec->GetU32(&record->last_inc) ||
+      !dec->GetVarint(&relaunches) || !dec->GetU8(&retired) ||
+      !dec->GetString(&record->next_site) || !dec->GetString(&record->prev_site) ||
+      !dec->GetSharedBytes(&record->checkpoint)) {
+    return false;
+  }
+  record->relaunches = static_cast<int>(relaunches);
+  record->retired = retired != 0;
+  return true;
+}
+
+Bytes RearGuard::EncodeTableSnapshot(const SiteTable& table) const {
+  Encoder enc;
+  enc.PutVarint(table.records.size());
+  for (const auto& [key, record] : table.records) {
+    EncodeRecord(&enc, key, record);
+  }
+  enc.PutVarint(table.fences.size());
+  for (const auto& [fkey, inc] : table.fences) {
+    enc.PutString(fkey);
+    enc.PutU32(inc);
+  }
+  enc.PutVarint(table.retired_agents.size());
+  for (const std::string& agent : table.retired_agents) {
+    enc.PutString(agent);
+  }
+  return enc.Take();
+}
+
+void RearGuard::RecoverGuards(Place& place) {
+  SiteTable& table = TableFor(place);  // Clears any stale-generation state.
+  if (!options_.durable) {
+    return;
+  }
+  DiskLog* log = GuardLog(place.site());
+  auto contents = log->Load();
+  if (!contents.ok()) {
+    TLOG_WARN << "rearguard: guard recovery failed at " << place.name() << ": "
+              << contents.status().ToString();
+    return;
+  }
+  guard_logs_[place.site()].ops_since_compact = 0;
+
+  if (!contents->snapshot.empty()) {
+    Decoder dec(contents->snapshot);
+    uint64_t n = 0;
+    if (dec.GetVarint(&n)) {
+      for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+        std::string key;
+        GuardRecord record;
+        if (!DecodeRecord(&dec, &key, &record)) {
+          break;
+        }
+        table.records[key] = std::move(record);
+      }
+    }
+    if (dec.GetVarint(&n)) {
+      for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+        std::string fkey;
+        uint32_t inc = 0;
+        if (!dec.GetString(&fkey) || !dec.GetU32(&inc)) {
+          break;
+        }
+        table.fences[fkey] = std::max(table.fences[fkey], inc);
+      }
+    }
+    if (dec.GetVarint(&n)) {
+      for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+        std::string agent;
+        if (!dec.GetString(&agent)) {
+          break;
+        }
+        table.retired_agents.insert(agent);
+      }
     }
   }
-  // Nothing reachable right now: reset the miss counter and keep watching;
-  // a later tick retries once something comes back.
-  record.misses = 0;
+
+  for (const Bytes& op_bytes : contents->records) {
+    Decoder dec(op_bytes);
+    uint8_t op = 0;
+    if (!dec.GetU8(&op)) {
+      continue;
+    }
+    switch (op) {
+      case kGOpRecord: {
+        std::string key;
+        GuardRecord record;
+        if (DecodeRecord(&dec, &key, &record)) {
+          table.records[key] = std::move(record);
+        }
+        break;
+      }
+      case kGOpRemove: {
+        std::string key;
+        if (dec.GetString(&key)) {
+          table.records.erase(key);
+        }
+        break;
+      }
+      case kGOpRetireAgent: {
+        std::string agent;
+        if (dec.GetString(&agent)) {
+          table.retired_agents.insert(agent);
+        }
+        break;
+      }
+      case kGOpFence: {
+        std::string fkey;
+        uint32_t inc = 0;
+        if (dec.GetString(&fkey) && dec.GetU32(&inc)) {
+          table.fences[fkey] = std::max(table.fences[fkey], inc);
+        }
+        break;
+      }
+      case kGOpRelaunch: {
+        std::string key;
+        uint64_t relaunches = 0;
+        uint32_t last_inc = 0;
+        if (dec.GetString(&key) && dec.GetVarint(&relaunches) &&
+            dec.GetU32(&last_inc)) {
+          auto it = table.records.find(key);
+          if (it != table.records.end()) {
+            it->second.relaunches = static_cast<int>(relaunches);
+            it->second.last_inc = std::max(it->second.last_inc, last_inc);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Recovered records restart their watch with a clean slate and a fresh
+  // lease — the downtime already consumed an unknown slice of the old one.
+  const SimTime now = kernel_->sim().Now();
+  for (auto& [key, record] : table.records) {
+    record.misses = 0;
+    record.unreachable_rounds = 0;
+    record.deposited_at = now;
+    SchedulePing(place.site(), place.generation(), key);
+  }
+  stats_.recovered_records += table.records.size();
+}
+
+void RearGuard::RecordFtSpan(const std::string& name, SiteId site,
+                             const Briefcase* ctx_src, const std::string& detail) {
+  if (!kernel_->options().trace_enabled) {
+    return;
+  }
+  TraceEvent ev;
+  if (ctx_src != nullptr) {
+    if (auto ctx = TraceContext::FromBriefcase(*ctx_src)) {
+      ev.trace_id = ctx->trace_id;
+      ev.span_id = ctx->span_id;
+      ev.hop = ctx->hop;
+    }
+  }
+  ev.name = name;
+  ev.site = kernel_->net().site_name(site);
+  ev.site_id = site;
+  ev.ts = kernel_->sim().Now();
+  ev.detail = detail;
+  kernel_->trace().Record(std::move(ev));
+}
+
+void RearGuard::TrackReactivation(const std::string& agent, const std::string& branch,
+                                  uint32_t inc) {
+  if (inc == 0 || pending_relaunches_.empty()) {
+    return;
+  }
+  auto it = pending_relaunches_.find(agent + "|" + branch + "|" + std::to_string(inc));
+  if (it == pending_relaunches_.end()) {
+    return;
+  }
+  const SimTime latency = kernel_->sim().Now() - it->second;
+  pending_relaunches_.erase(it);
+  relaunch_latencies_.push_back(latency);
+  if (reactivation_hist_ != nullptr) {
+    reactivation_hist_->Observe(static_cast<uint64_t>(latency));
+  }
+}
+
+Status RearGuard::LaunchGuarded(SiteId home, const std::string& code, Briefcase bc,
+                                const std::string& agent, const std::string& branch) {
+  registry_->RegisterLaunch(home, agent);
+  bc.SetString("GUARD_AGENT", agent);
+  bc.SetString("GUARD_HOME", kernel_->net().site_name(home));
+  if (!bc.Has("GUARD_INC")) {
+    bc.SetString("GUARD_INC", "0");
+  }
+  if (!branch.empty()) {
+    bc.SetString("GUARD_BRANCH", branch);
+  }
+  return kernel_->LaunchAgent(home, code, std::move(bc));
+}
+
+void RearGuard::DeclareFanout(SiteId home, const std::string& agent, int branches) {
+  registry_->DeclareFanout(home, agent, branches);
 }
 
 }  // namespace tacoma::ft

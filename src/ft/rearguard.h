@@ -11,43 +11,76 @@
 // Protocol implemented here:
 //   - ft_jump (a TACL primitive added by this module) checkpoints the agent
 //     (code + briefcase) with the local "rearguard" resident, then moves on.
-//     Each hop gets a fresh (agent, seq) guard record, so cyclic itineraries
-//     produce distinct guards per visit rather than colliding.
+//     Each hop gets a fresh (agent, branch, seq) guard record, so cyclic
+//     itineraries produce distinct guards per visit rather than colliding.
 //   - A guard pings the next site's rearguard every heartbeat; any reply
 //     ("active": a later guard record exists there; "retired") clears the
 //     miss counter.  max_misses consecutive silent/unknown ticks trigger
 //     recovery: the checkpoint is relaunched to the next reachable site on
-//     the agent's ITINERARY (skipping the dead one).
-//   - ft_retire starts the retirement wave: guards for the agent are removed
-//     site by site, each site forwarding the wave to the predecessor sites
-//     its records name.  The wave terminates because records are deleted as
-//     it passes (cycles included).
-//   - Guards are themselves volatile agents: a crash kills a site's guard
-//     table.  The chain heals because the predecessor's guard is still
-//     watching this site and will observe "unknown".
+//     the agent's ITINERARY (skipping the dead one) under a freshly fenced
+//     incarnation number.
+//   - Guard records, incarnation fences, and retired-agent marks are
+//     persisted per site through the crash-atomic DiskLog stack
+//     ("ftguard.log"/"ftguard.snap"), so RestartSite recovers the site's
+//     guard table instead of relying solely on predecessor healing.
+//   - Incarnation fencing: every deposit carries GUARD_INC; a site quenches
+//     deposits whose incarnation is older than the durable fence for that
+//     (agent, branch), and deposits for agents it durably knows are retired.
+//     A quenched ft_jump ends the stale copy's activation instead of letting
+//     it re-walk the itinerary.
+//   - ft_complete reports the computation's terminal outcome to the home
+//     site's CompletionRegistry (registry.h), which accepts exactly one
+//     outcome per (agent, branch) and — once every declared clone branch has
+//     resolved (ft_fanout's join barrier) — fires the retirement waves.
+//     ft_retire remains as the registry-less immediate wave.
+//   - Graceful degradation: relaunch-budget exhaustion, an unreachable
+//     itinerary, and lease expiry all dead-letter the checkpoint home with a
+//     structured DEADLETTER_REASON instead of dropping it silently; the
+//     lease also garbage-collects orphaned guards so storms cannot leak
+//     records forever.
 //
-// Semantics note: recovery is at-least-once.  If a site fails after the agent
-// moved past it, the predecessor may relaunch a stale checkpoint and part of
-// the itinerary re-executes; agents make their per-site work idempotent (the
-// paper's visit-record idiom does exactly this).  Duplicate completions are
-// detected at the home site by the DONE marker idiom used in the tests.
+// Semantics: recovery remains at-least-once below the registry (a false
+// suspicion can re-execute part of an itinerary; per-site work stays
+// idempotent, the paper's visit-record idiom), but the end-to-end contract
+// is exactly-once — every launched agent completes exactly once or
+// dead-letters exactly once.  tests/ft_exactly_once_test.cc enforces this
+// under combined crash/partition/disk-fault storms; see
+// docs/fault_tolerance.md.
 #ifndef TACOMA_FT_REARGUARD_H_
 #define TACOMA_FT_REARGUARD_H_
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/kernel.h"
+#include "ft/registry.h"
+#include "serial/encoder.h"
+#include "storage/disk_log.h"
 
 namespace tacoma::ft {
 
 struct GuardOptions {
   SimTime heartbeat = 50 * kMillisecond;
   int max_misses = 3;
-  // Relaunch at most this many times per guard record (0 = unlimited).
+  // Relaunch at most this many times per guard record (0 = unlimited); the
+  // exhausted checkpoint dead-letters home instead of being dropped.
   int max_relaunches = 8;
+  // Persist guard tables and the completion registry through DiskLog.
+  bool durable = true;
+  // A guard record older than this dead-letters its checkpoint home (if not
+  // already retired) and is removed — the orphan GC.  0 disables.
+  SimTime lease = 8 * kSecond;
+  // Recovery rounds with no reachable candidate before the checkpoint
+  // dead-letters home (0 = keep watching until the lease expires).
+  int max_unreachable_rounds = 0;
+  // Durable-log mutations between snapshot compactions.
+  uint64_t compact_threshold = 64;
+  // Resident at the home place met once per resolved agent (empty = none).
+  std::string completion_contact;
 };
 
 class RearGuard {
@@ -59,41 +92,82 @@ class RearGuard {
     uint64_t relaunches = 0;
     uint64_t retire_waves = 0;
     uint64_t records_retired = 0;
+    uint64_t quenches = 0;           // Stale-incarnation deposits/outcomes refused.
+    uint64_t guard_deadletters = 0;  // Checkpoints dead-lettered home by guards.
+    uint64_t lease_expiries = 0;     // Records reaped by the lease GC.
+    uint64_t recovered_records = 0;  // Guard records reloaded from disk.
   };
 
   RearGuard(Kernel* kernel, GuardOptions options = {});
 
-  // Installs the "rearguard" resident on every place and the ft_jump /
-  // ft_retire TACL primitives.
+  // Installs the "rearguard" resident on every place, the ft_jump /
+  // ft_retire / ft_complete / ft_fanout TACL primitives, the ft.* metrics,
+  // and durable guard-table recovery on place (re)creation.
   void Install();
+
+  // Launches `code` at `home` under the exactly-once contract: the agent is
+  // durably registered with the home registry and its briefcase stamped with
+  // GUARD_AGENT / GUARD_HOME / GUARD_INC (and GUARD_BRANCH when `branch` is
+  // non-empty, for externally driven fan-outs).
+  Status LaunchGuarded(SiteId home, const std::string& code, Briefcase bc,
+                       const std::string& agent, const std::string& branch = "");
+
+  // Declares `agent`'s clone fan-out directly at the home registry (the
+  // TACL-level ft_fanout does the same from wherever the agent clones).
+  void DeclareFanout(SiteId home, const std::string& agent, int branches);
 
   // Live guard records at a site (0 while the site is down).
   size_t GuardCount(SiteId site) const;
   size_t TotalGuards() const;
   const Stats& stats() const { return stats_; }
   const GuardOptions& options() const { return options_; }
+  CompletionRegistry& registry() { return *registry_; }
+  const CompletionRegistry& registry() const { return *registry_; }
+
+  // Called after every successful relaunch send — chaos harnesses use it to
+  // crash the relauncher mid-recovery.
+  using RelaunchHook =
+      std::function<void(SiteId site, const std::string& agent, uint32_t incarnation)>;
+  void SetRelaunchHook(RelaunchHook hook) { relaunch_hook_ = std::move(hook); }
+
+  // Relaunch-to-reactivation latencies (relaunch send until the relaunched
+  // incarnation's next deposit or outcome), for bench_e14_ft.
+  const std::vector<SimTime>& relaunch_latencies() const {
+    return relaunch_latencies_;
+  }
 
  private:
   struct GuardRecord {
     std::string agent;
+    std::string branch;      // "" for unbranched computations.
     uint32_t seq = 0;
-    SharedBytes checkpoint; // Serialized briefcase, CODE included.
-    std::string next_site;  // Where the agent went from here.
-    std::string prev_site;  // Where the previous guard sits ("" at origin).
+    uint32_t inc = 0;        // Incarnation that deposited this record.
+    uint32_t last_inc = 0;   // Highest incarnation this record relaunched.
+    SharedBytes checkpoint;  // Serialized briefcase, CODE included.
+    std::string next_site;   // Where the agent went from here.
+    std::string prev_site;   // Where the previous guard sits ("" at origin).
     int misses = 0;
     int relaunches = 0;
+    int unreachable_rounds = 0;
     bool retired = false;
+    SimTime deposited_at = 0;  // Lease anchor (reset on recovery).
   };
   struct SiteTable {
     uint64_t generation = 0;  // Place generation this table belongs to.
-    std::map<std::string, GuardRecord> records;  // key = agent '#' seq.
+    std::map<std::string, GuardRecord> records;  // key = agent '#' branch '#' seq.
+    std::map<std::string, uint32_t> fences;      // agent '|' branch -> min live inc.
     std::set<std::string> retired_agents;
   };
+  struct DurableLog {
+    std::unique_ptr<DiskLog> log;
+    uint64_t ops_since_compact = 0;
+  };
 
-  static std::string Key(const std::string& agent, uint32_t seq);
+  static std::string Key(const std::string& agent, const std::string& branch,
+                         uint32_t seq);
+  static std::string FenceKey(const std::string& agent, const std::string& branch);
 
-  // Returns this site's table, resetting it when the place was reincarnated
-  // (volatile guard state dies with the site).
+  // Returns this site's table, resetting it when the place was reincarnated.
   SiteTable& TableFor(Place& place);
   const SiteTable* PeekTable(SiteId site) const;
 
@@ -102,15 +176,64 @@ class RearGuard {
   Status HandleStatusRequest(Place& place, Briefcase& bc);
   Status HandleStatusReply(Place& place, Briefcase& bc);
   Status HandleRetire(Place& place, Briefcase& bc, bool is_wave_origin);
+  Status HandleOutcome(Place& place, Briefcase& bc);
+  Status HandleFanout(Place& place, Briefcase& bc);
 
   void SchedulePing(SiteId site, uint64_t generation, const std::string& key);
   void PingTick(SiteId site, uint64_t generation, const std::string& key);
-  void Recover(SiteId site, GuardRecord& record);
+  // Relaunches (or dead-letters) the record at `key`.  Returns false when the
+  // record was removed (dead-lettered); callers must re-find by key either
+  // way — recovery can reenter the table through local retire waves.
+  bool Recover(SiteId site, SiteTable& table, const std::string& key);
+
+  // Routes a fan-out declaration to `home_name`'s registry — locally when
+  // home is this site or unknown, reliably over the wire otherwise.
+  Status SendFanout(SiteId from, const std::string& agent, int branches,
+                    const std::string& home_name);
+
+  // Sends `outcome` (with optional checkpoint payload) to `home_name`'s
+  // registry — locally when home is this site or unknown, reliably over the
+  // wire otherwise.
+  Status ReportOutcome(SiteId from, const std::string& agent, BranchOutcome outcome,
+                       const std::string& home_name, const Briefcase* trace_src,
+                       const SharedBytes* checkpoint);
+  // Registry resolution: one retirement wave per branch endpoint, plus the
+  // completion-contact notification.
+  void OnResolved(SiteId home, const std::string& agent,
+                  const CompletionRegistry::AgentState& state);
+  void FireRetireWave(SiteId from, const std::string& agent,
+                      const std::string& endpoint, const std::string& prev);
+  // Budget exhaustion / unreachable itinerary / lease expiry: the checkpoint
+  // goes home as a DEADLETTER outcome instead of being dropped.
+  void DeadLetterRecord(SiteId site, GuardRecord& record, const std::string& reason);
+  void RemoveRecord(SiteId site, SiteTable& table, const std::string& key);
+
+  // Durable guard-table plumbing (no-ops when !options_.durable).
+  DiskLog* GuardLog(SiteId site);
+  void PersistGuardOp(SiteId site, const Bytes& op);
+  void PersistRecord(SiteId site, const std::string& key, const GuardRecord& record);
+  static void EncodeRecord(Encoder* enc, const std::string& key,
+                           const GuardRecord& record);
+  static bool DecodeRecord(Decoder* dec, std::string* key, GuardRecord* record);
+  Bytes EncodeTableSnapshot(const SiteTable& table) const;
+  void RecoverGuards(Place& place);
+
+  void RecordFtSpan(const std::string& name, SiteId site, const Briefcase* ctx_src,
+                    const std::string& detail);
+  void TrackReactivation(const std::string& agent, const std::string& branch,
+                         uint32_t inc);
 
   Kernel* kernel_;
   GuardOptions options_;
   std::map<SiteId, SiteTable> tables_;
+  std::map<SiteId, DurableLog> guard_logs_;
+  std::unique_ptr<CompletionRegistry> registry_;
   Stats stats_;
+  RelaunchHook relaunch_hook_;
+  // agent '|' branch '|' inc -> relaunch send time, awaiting reactivation.
+  std::map<std::string, SimTime> pending_relaunches_;
+  std::vector<SimTime> relaunch_latencies_;
+  Histogram* reactivation_hist_ = nullptr;
 };
 
 }  // namespace tacoma::ft

@@ -1,0 +1,297 @@
+#include "ft/registry.h"
+
+#include "serial/encoder.h"
+#include "util/log.h"
+
+namespace tacoma::ft {
+namespace {
+
+// Durable op stream ("ftreg.log") record kinds.  The snapshot written by
+// Compact() reuses the same per-agent encoding, so replay is one code path.
+constexpr uint8_t kOpLaunch = 1;
+constexpr uint8_t kOpFanout = 2;
+constexpr uint8_t kOpOutcome = 3;
+
+void EncodeOutcome(Encoder* enc, const BranchOutcome& outcome) {
+  enc->PutString(outcome.branch);
+  enc->PutString(outcome.kind);
+  enc->PutString(outcome.reason);
+  enc->PutU32(outcome.incarnation);
+  enc->PutString(outcome.endpoint);
+  enc->PutString(outcome.prev);
+}
+
+bool DecodeOutcome(Decoder* dec, BranchOutcome* outcome) {
+  return dec->GetString(&outcome->branch) && dec->GetString(&outcome->kind) &&
+         dec->GetString(&outcome->reason) && dec->GetU32(&outcome->incarnation) &&
+         dec->GetString(&outcome->endpoint) && dec->GetString(&outcome->prev);
+}
+
+}  // namespace
+
+CompletionRegistry::CompletionRegistry(Kernel* kernel, bool durable)
+    : kernel_(kernel), durable_(durable) {}
+
+void CompletionRegistry::SetResolutionHandler(ResolutionHandler handler) {
+  on_resolved_ = std::move(handler);
+}
+
+CompletionRegistry::SiteState& CompletionRegistry::StateFor(SiteId site) {
+  SiteState& state = sites_[site];
+  if (durable_ && state.log == nullptr) {
+    state.log = std::make_unique<DiskLog>(&kernel_->disk(site), "ftreg");
+  }
+  return state;
+}
+
+void CompletionRegistry::Persist(SiteId site, const Bytes& op) {
+  if (!durable_ || recovering_) {
+    return;
+  }
+  SiteState& state = StateFor(site);
+  // A failed append (armed disk, mid-storm) costs durability of this one op,
+  // not correctness: the in-memory table still quenches, and recovery after
+  // the crash falls back to at-least-once healing plus re-quench on the
+  // re-delivered outcome.
+  (void)state.log->Append(op);
+  if (++state.ops_since_compact >= compact_threshold_) {
+    state.ops_since_compact = 0;
+    (void)state.log->Compact(EncodeSnapshot(state));
+  }
+}
+
+Bytes CompletionRegistry::EncodeSnapshot(const SiteState& state) const {
+  Encoder enc;
+  enc.PutVarint(state.agents.size());
+  for (const auto& [agent, st] : state.agents) {
+    enc.PutString(agent);
+    enc.PutU8(st.launched ? 1 : 0);
+    // expected_branches is -1 until declared; shift by one to stay unsigned.
+    enc.PutVarint(static_cast<uint64_t>(st.expected_branches + 1));
+    enc.PutVarint(st.outcomes.size());
+    for (const auto& [branch, outcome] : st.outcomes) {
+      EncodeOutcome(&enc, outcome);
+    }
+  }
+  return enc.Take();
+}
+
+void CompletionRegistry::RegisterLaunch(SiteId home, const std::string& agent) {
+  AgentState& state = StateFor(home).agents[agent];
+  if (!state.launched) {
+    state.launched = true;
+    ++stats_.launches;
+    Encoder enc;
+    enc.PutU8(kOpLaunch);
+    enc.PutString(agent);
+    Persist(home, enc.Take());
+  }
+}
+
+void CompletionRegistry::DeclareFanout(SiteId home, const std::string& agent,
+                                       int branches) {
+  if (branches < 1) {
+    return;
+  }
+  AgentState& state = StateFor(home).agents[agent];
+  if (state.expected_branches >= 0) {
+    return;  // First declaration wins.
+  }
+  state.expected_branches = branches;
+  ++stats_.fanouts;
+  Encoder enc;
+  enc.PutU8(kOpFanout);
+  enc.PutString(agent);
+  enc.PutVarint(static_cast<uint64_t>(branches));
+  Persist(home, enc.Take());
+  EvaluateResolution(home, agent, state, /*fire_handlers=*/!recovering_);
+}
+
+bool CompletionRegistry::RecordOutcome(SiteId home, const std::string& agent,
+                                       BranchOutcome outcome) {
+  AgentState& state = StateFor(home).agents[agent];
+  if (state.resolved || state.outcomes.contains(outcome.branch)) {
+    ++stats_.duplicates_quenched;
+    return false;
+  }
+  if (outcome.kind == "complete") {
+    ++stats_.completions;
+  } else {
+    ++stats_.deadletters;
+  }
+  Encoder enc;
+  enc.PutU8(kOpOutcome);
+  enc.PutString(agent);
+  EncodeOutcome(&enc, outcome);
+  // Mutate before persisting: Persist may compact, and the snapshot it
+  // writes must already contain this outcome (compaction clears the log).
+  const std::string branch = outcome.branch;
+  state.outcomes[branch] = std::move(outcome);
+  Persist(home, enc.Take());
+  EvaluateResolution(home, agent, state, /*fire_handlers=*/!recovering_);
+  return true;
+}
+
+void CompletionRegistry::EvaluateResolution(SiteId home, const std::string& agent,
+                                            AgentState& state, bool fire_handlers) {
+  if (state.resolved) {
+    return;
+  }
+  if (state.expected_branches < 0) {
+    // No fan-out declared: the computation resolves on its unbranched
+    // outcome.  Branch outcomes arriving before the (reliable, possibly
+    // delayed) fan-out declaration wait at the barrier.
+    if (!state.outcomes.contains("")) {
+      return;
+    }
+  } else if (state.outcomes.size() < static_cast<size_t>(state.expected_branches)) {
+    return;
+  }
+  state.resolved = true;
+  state.final_kind = "complete";
+  for (const auto& [branch, outcome] : state.outcomes) {
+    if (outcome.kind != "complete") {
+      state.final_kind = "deadletter";
+      break;
+    }
+  }
+  ++stats_.resolved;
+  if (fire_handlers && on_resolved_) {
+    on_resolved_(home, agent, state);
+  }
+}
+
+void CompletionRegistry::RecoverSite(SiteId site) {
+  if (!durable_) {
+    return;
+  }
+  SiteState& state = StateFor(site);
+  state.agents.clear();
+  state.ops_since_compact = 0;
+  auto contents = state.log->Load();
+  if (!contents.ok()) {
+    TLOG_WARN << "ftreg: recovery failed for site " << site << ": "
+              << contents.status().ToString();
+    return;
+  }
+  recovering_ = true;
+  if (!contents->snapshot.empty()) {
+    Decoder dec(contents->snapshot);
+    uint64_t agents = 0;
+    if (dec.GetVarint(&agents)) {
+      for (uint64_t i = 0; i < agents && dec.ok(); ++i) {
+        std::string agent;
+        uint8_t launched = 0;
+        uint64_t expected_plus1 = 0;
+        uint64_t outcomes = 0;
+        if (!dec.GetString(&agent) || !dec.GetU8(&launched) ||
+            !dec.GetVarint(&expected_plus1) || !dec.GetVarint(&outcomes)) {
+          break;
+        }
+        AgentState& st = state.agents[agent];
+        st.launched = launched != 0;
+        st.expected_branches = static_cast<int>(expected_plus1) - 1;
+        if (st.launched) {
+          ++stats_.recovered;
+        }
+        for (uint64_t j = 0; j < outcomes; ++j) {
+          BranchOutcome outcome;
+          if (!DecodeOutcome(&dec, &outcome)) {
+            break;
+          }
+          st.outcomes[outcome.branch] = std::move(outcome);
+        }
+        EvaluateResolution(site, agent, st, /*fire_handlers=*/false);
+      }
+    }
+  }
+  for (const Bytes& record : contents->records) {
+    Decoder dec(record);
+    uint8_t op = 0;
+    std::string agent;
+    if (!dec.GetU8(&op) || !dec.GetString(&agent)) {
+      continue;
+    }
+    AgentState& st = state.agents[agent];
+    switch (op) {
+      case kOpLaunch:
+        if (!st.launched) {
+          st.launched = true;
+          ++stats_.recovered;
+        }
+        break;
+      case kOpFanout: {
+        uint64_t branches = 0;
+        if (dec.GetVarint(&branches) && st.expected_branches < 0) {
+          st.expected_branches = static_cast<int>(branches);
+        }
+        break;
+      }
+      case kOpOutcome: {
+        BranchOutcome outcome;
+        if (DecodeOutcome(&dec, &outcome) && !st.resolved &&
+            !st.outcomes.contains(outcome.branch)) {
+          st.outcomes[outcome.branch] = std::move(outcome);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    EvaluateResolution(site, agent, st, /*fire_handlers=*/false);
+  }
+  recovering_ = false;
+}
+
+const CompletionRegistry::AgentState* CompletionRegistry::Find(
+    SiteId home, const std::string& agent) const {
+  auto site_it = sites_.find(home);
+  if (site_it == sites_.end()) {
+    return nullptr;
+  }
+  auto agent_it = site_it->second.agents.find(agent);
+  if (agent_it == site_it->second.agents.end()) {
+    return nullptr;
+  }
+  return &agent_it->second;
+}
+
+Status CompletionRegistry::CheckExactlyOnce(SiteId home, bool require_resolved) const {
+  auto site_it = sites_.find(home);
+  if (site_it == sites_.end()) {
+    return OkStatus();
+  }
+  for (const auto& [agent, state] : site_it->second.agents) {
+    if (!state.launched) {
+      continue;
+    }
+    if (state.resolved && state.final_kind != "complete" &&
+        state.final_kind != "deadletter") {
+      return InternalError("registry: agent " + agent + " resolved to \"" +
+                           state.final_kind + "\"");
+    }
+    if (state.expected_branches >= 0 &&
+        state.outcomes.size() > static_cast<size_t>(state.expected_branches)) {
+      return InternalError("registry: agent " + agent + " has " +
+                           std::to_string(state.outcomes.size()) + " outcomes for " +
+                           std::to_string(state.expected_branches) + " branches");
+    }
+    if (require_resolved && !state.resolved) {
+      return InternalError("registry: agent " + agent +
+                           " never resolved (lost, neither COMPLETE nor DEADLETTER)");
+    }
+  }
+  return OkStatus();
+}
+
+Status CompletionRegistry::CheckExactlyOnceEverywhere(bool require_resolved) const {
+  for (const auto& [site, state] : sites_) {
+    Status s = CheckExactlyOnce(site, require_resolved);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tacoma::ft

@@ -1,0 +1,133 @@
+// Completion registry — the home site's durable, exactly-once outcome table.
+//
+// The rear-guard protocol (rearguard.h) makes recovery at-least-once: a
+// false suspicion relaunches a checkpoint while the original is still
+// walking, so two incarnations of one computation can both reach the end of
+// their itinerary.  The registry is where at-least-once is squeezed down to
+// exactly-once: every launched agent owns one entry at its home site, and
+// the FIRST terminal outcome recorded for each (agent, branch) wins —
+// "complete" or "deadletter", never both, never twice.  Later outcomes from
+// stale incarnations are quenched (counted, reported to the duplicate
+// handler so their guard chains can be unwound, and otherwise ignored).
+//
+// Clone fan-out gets a join barrier here: DeclareFanout(agent, n) tells the
+// registry the computation split into n branches, and the agent resolves
+// only when all n branch outcomes are in.  Retirement waves therefore fire
+// once per branch, after the whole fan-out has ended — not when the first
+// branch finishes (which would tear down guards the other branches still
+// need).
+//
+// Entries are persisted through the same crash-atomic DiskLog stack the file
+// cabinets use ("ftreg.log"/"ftreg.snap" on the site's disk), so a home-site
+// restart recovers the table and a pre-crash outcome still quenches its
+// post-crash duplicate.
+#ifndef TACOMA_FT_REGISTRY_H_
+#define TACOMA_FT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/kernel.h"
+#include "storage/disk_log.h"
+
+namespace tacoma::ft {
+
+// One recorded end-of-life for one branch of one agent computation.
+struct BranchOutcome {
+  std::string branch;        // "" = the unbranched computation.
+  std::string kind;          // "complete" | "deadletter".
+  std::string reason;        // Structured DEADLETTER_REASON for dead-letters.
+  uint32_t incarnation = 0;  // Incarnation that produced the outcome.
+  std::string endpoint;      // Site name where the outcome originated.
+  std::string prev;          // GUARD_PREV at the endpoint (retire-wave entry).
+};
+
+class CompletionRegistry {
+ public:
+  struct Stats {
+    uint64_t launches = 0;
+    uint64_t fanouts = 0;
+    uint64_t completions = 0;
+    uint64_t deadletters = 0;
+    uint64_t duplicates_quenched = 0;
+    uint64_t resolved = 0;
+    uint64_t recovered = 0;  // Entries rebuilt from disk after a restart.
+  };
+
+  struct AgentState {
+    bool launched = false;
+    // Branches the join barrier waits for; -1 until a fan-out is declared
+    // (an undeclared agent resolves on its single "" branch outcome).
+    int expected_branches = -1;
+    std::map<std::string, BranchOutcome> outcomes;  // key = branch.
+    bool resolved = false;
+    std::string final_kind;  // "complete" iff every branch completed.
+  };
+
+  // Fired exactly once per agent, when its last awaited branch outcome
+  // lands (never during recovery replay — pre-crash resolutions already had
+  // their side effects).
+  using ResolutionHandler =
+      std::function<void(SiteId home, const std::string& agent, const AgentState&)>;
+
+  CompletionRegistry(Kernel* kernel, bool durable);
+
+  void SetResolutionHandler(ResolutionHandler handler);
+
+  // Durably notes that `agent` was launched from `home`; CheckExactlyOnce
+  // holds every registered launch to the exactly-once contract.
+  void RegisterLaunch(SiteId home, const std::string& agent);
+
+  // Declares that `agent` fans out into `branches` clone branches (join
+  // barrier).  First declaration wins; may resolve the agent immediately if
+  // the branch outcomes already arrived.
+  void DeclareFanout(SiteId home, const std::string& agent, int branches);
+
+  // Records one branch outcome.  Returns true if this outcome was accepted
+  // (first for its branch) and false if it was quenched as a duplicate or
+  // the agent had already resolved.
+  bool RecordOutcome(SiteId home, const std::string& agent, BranchOutcome outcome);
+
+  // Rebuilds a site's table from its disk (no handlers fire).  Called by the
+  // rear guard's place initializer on every (re)creation of the place.
+  void RecoverSite(SiteId site);
+
+  const AgentState* Find(SiteId home, const std::string& agent) const;
+
+  // The exactly-once contract over one home site's registered launches:
+  // every branch carries at most one outcome (structural), and — when
+  // `require_resolved` — every launched agent has resolved to exactly one
+  // final COMPLETE or DEADLETTER.
+  Status CheckExactlyOnce(SiteId home, bool require_resolved) const;
+  // The same check over every site that holds registry state.
+  Status CheckExactlyOnceEverywhere(bool require_resolved) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SiteState {
+    std::map<std::string, AgentState> agents;
+    std::unique_ptr<DiskLog> log;
+    uint64_t ops_since_compact = 0;
+  };
+
+  SiteState& StateFor(SiteId site);
+  void Persist(SiteId site, const Bytes& op);
+  void EvaluateResolution(SiteId home, const std::string& agent, AgentState& state,
+                          bool fire_handlers);
+  Bytes EncodeSnapshot(const SiteState& state) const;
+
+  Kernel* kernel_;
+  bool durable_;
+  uint64_t compact_threshold_ = 64;
+  std::map<SiteId, SiteState> sites_;
+  Stats stats_;
+  ResolutionHandler on_resolved_;
+  bool recovering_ = false;
+};
+
+}  // namespace tacoma::ft
+
+#endif  // TACOMA_FT_REGISTRY_H_

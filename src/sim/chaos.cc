@@ -72,6 +72,25 @@ void ChaosHarness::ScheduleSiteFaults() {
       ++report_.restarts;
       restart_(victim);
     });
+    // Crash-during-recovery: hit the site again right after it comes back,
+    // while guard reload / registry replay / relaunch timers are in flight.
+    if (options_.recrash_prob > 0 &&
+        rng_.UniformDouble() < options_.recrash_prob) {
+      SimTime delay = 1 + rng_.Uniform(options_.max_recrash_delay);
+      SimTime t2 = t + downtime + delay;
+      if (t2 + options_.recrash_downtime < options_.horizon) {
+        busy_until[victim] = t2 + options_.recrash_downtime + 1;
+        sim_->At(t2, [this, victim] {
+          ++report_.recrashes;
+          ++report_.crashes;
+          crash_(victim);
+        });
+        sim_->At(t2 + options_.recrash_downtime, [this, victim] {
+          ++report_.restarts;
+          restart_(victim);
+        });
+      }
+    }
   }
   // Safety net: everything the storm may have left down comes back at the
   // horizon (restarting an up site is a no-op at every layer).
@@ -140,6 +159,62 @@ void ChaosHarness::ScheduleLossFlaps() {
   }
 }
 
+void ChaosHarness::SchedulePartitions() {
+  auto links = net_->Links();
+  if (options_.mean_partition_interval == 0 || links.empty() ||
+      net_->site_count() < 2) {
+    return;
+  }
+  SimTime t = 0;
+  while (true) {
+    t += std::max<SimTime>(
+        1, static_cast<SimTime>(rng_.Exponential(
+               static_cast<double>(options_.mean_partition_interval))));
+    if (t >= options_.horizon) {
+      break;
+    }
+    // Draw a random bipartition; links crossing it are cut together and heal
+    // together (a correlated failure, not independent per-link noise).
+    std::vector<uint8_t> side(net_->site_count(), 0);
+    size_t ones = 0;
+    for (size_t i = 0; i < side.size(); ++i) {
+      side[i] = static_cast<uint8_t>(rng_.Uniform(2));
+      ones += side[i];
+    }
+    SimTime duration = options_.min_partition +
+                       rng_.Uniform(options_.max_partition - options_.min_partition + 1);
+    if (ones == 0 || ones == side.size()) {
+      continue;  // Degenerate split: nothing crosses.
+    }
+    std::vector<std::pair<SiteId, SiteId>> crossing;
+    for (auto [a, b] : links) {
+      if (side[a] != side[b]) {
+        crossing.push_back({a, b});
+      }
+    }
+    if (crossing.empty()) {
+      continue;
+    }
+    sim_->At(t, [this, crossing] {
+      ++report_.partitions;
+      for (auto [a, b] : crossing) {
+        net_->CutLink(a, b);
+      }
+    });
+    sim_->At(t + duration, [this, crossing] {
+      ++report_.partition_heals;
+      for (auto [a, b] : crossing) {
+        net_->RestoreLink(a, b);
+      }
+    });
+  }
+  // Horizon safety net (the independent cut storm's own net may be disabled
+  // while partitions are on).
+  for (auto [a, b] : links) {
+    sim_->At(options_.horizon, [this, a, b] { net_->RestoreLink(a, b); });
+  }
+}
+
 void ChaosHarness::ScheduleChecks() {
   if (options_.check_interval == 0) {
     return;
@@ -154,6 +229,9 @@ void ChaosHarness::Start() {
   ScheduleSiteFaults();
   ScheduleLinkFaults();
   ScheduleLossFlaps();
+  // New modes draw from the rng only after (and gated independently of) the
+  // legacy storms, so pre-partition seeds keep their exact schedules.
+  SchedulePartitions();
   ScheduleChecks();
 }
 
@@ -185,6 +263,10 @@ void ChaosHarness::RegisterMetrics(MetricsRegistry* registry,
                      [this] { return report_.loss_flaps; });
   registry->AddProbe(prefix + "disk_faults",
                      [this] { return report_.disk_faults; });
+  registry->AddProbe(prefix + "partitions", [this] { return report_.partitions; });
+  registry->AddProbe(prefix + "partition_heals",
+                     [this] { return report_.partition_heals; });
+  registry->AddProbe(prefix + "recrashes", [this] { return report_.recrashes; });
   registry->AddProbe(prefix + "checks", [this] { return report_.checks; });
   registry->AddProbe(prefix + "violations",
                      [this] { return static_cast<uint64_t>(report_.violations.size()); });

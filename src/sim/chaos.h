@@ -63,6 +63,26 @@ struct ChaosOptions {
   // Lead time between arming the disk and the site crash itself.
   SimTime disk_fault_lead = 20 * kMillisecond;
 
+  // Partition mode: correlated group link-cuts that heal.  Each partition
+  // event draws a random bipartition of the sites and cuts every link that
+  // crosses it, restoring all of them when the partition heals — unlike the
+  // independent per-link cut storm, both halves stay internally connected
+  // while being mutually unreachable.  0 disables; the rng draws are only
+  // taken when enabled, so existing seeds keep their schedules.
+  SimTime mean_partition_interval = 0;
+  SimTime min_partition = 80 * kMillisecond;
+  SimTime max_partition = 300 * kMillisecond;
+
+  // Crash-during-recovery targeting: with this probability, a restarted site
+  // is crashed again shortly after it comes back (uniform [1,
+  // max_recrash_delay] after the restart), so recovery code paths — guard
+  // reload, registry replay, relaunch timers — are themselves interrupted.
+  // The second downtime is fixed at recrash_downtime.  0 disables (draws
+  // gated, same seed-stability rule as above).
+  double recrash_prob = 0.0;
+  SimTime max_recrash_delay = 40 * kMillisecond;
+  SimTime recrash_downtime = 60 * kMillisecond;
+
   // Cadence of invariant evaluation while the storm runs.
   SimTime check_interval = 100 * kMillisecond;
 
@@ -91,6 +111,9 @@ class ChaosHarness {
     uint64_t restores = 0;
     uint64_t loss_flaps = 0;
     uint64_t disk_faults = 0;
+    uint64_t partitions = 0;
+    uint64_t partition_heals = 0;
+    uint64_t recrashes = 0;
     uint64_t checks = 0;
     std::vector<std::string> violations;
   };
@@ -132,6 +155,7 @@ class ChaosHarness {
   void ScheduleSiteFaults();
   void ScheduleLinkFaults();
   void ScheduleLossFlaps();
+  void SchedulePartitions();
   void ScheduleChecks();
   bool IsProtected(SiteId site) const;
 

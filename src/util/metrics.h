@@ -17,7 +17,7 @@
 //
 // Naming convention: "<subsystem>.<field>" with lowercase dotted prefixes —
 // kernel.transfers_sent, net.bytes_on_wire, place.meets, mint.issued,
-// ft.rearguard.relaunches, chaos.crashes (see docs/observability.md).
+// ft.relaunches, chaos.crashes (see docs/observability.md).
 #ifndef TACOMA_UTIL_METRICS_H_
 #define TACOMA_UTIL_METRICS_H_
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/chaos.h"
+
 namespace tacoma::ft {
 namespace {
 
@@ -182,9 +184,10 @@ TEST_F(RearGuardTest, GuardsDieWithTheirSite) {
   EXPECT_EQ(guard_.TotalGuards(), 1u);
 }
 
-TEST(RearGuardLimitsTest, RelaunchCountBounded) {
+TEST(RearGuardLimitsTest, RelaunchBudgetExhaustionDeadLetters) {
   // A guard whose protege never arrives anywhere relaunches at most
-  // max_relaunches times, then keeps watching quietly.
+  // max_relaunches times, then dead-letters the checkpoint home with a
+  // structured reason — the record must not be dropped silently or leaked.
   Kernel kernel;
   SiteId home = kernel.AddSite("home");
   SiteId s1 = kernel.AddSite("s1");
@@ -206,7 +209,171 @@ TEST(RearGuardLimitsTest, RelaunchCountBounded) {
 
   kernel.sim().RunUntil(2 * kSecond);  // Dozens of heartbeat rounds.
   EXPECT_EQ(guard.stats().relaunches, 2u);
-  EXPECT_EQ(guard.GuardCount(home), 1u);  // Still watching, just not spamming.
+  EXPECT_EQ(guard.stats().guard_deadletters, 1u);
+  EXPECT_EQ(guard.GuardCount(home), 0u);  // Removed, not leaked.
+  const auto* state = guard.registry().Find(home, "lost");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  EXPECT_EQ(state->final_kind, "deadletter");
+  ASSERT_TRUE(state->outcomes.contains(""));
+  EXPECT_NE(state->outcomes.at("").reason.find("relaunch budget"),
+            std::string::npos);
+}
+
+TEST(RearGuardLimitsTest, UnreachableItineraryDeadLetters) {
+  // Every candidate site permanently unreachable: after
+  // max_unreachable_rounds recovery attempts the checkpoint dead-letters
+  // with a structured reason instead of being watched (or dropped) forever.
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId s1 = kernel.AddSite("s1");
+  kernel.net().AddLink(home, s1);
+  GuardOptions options;
+  options.heartbeat = 20 * kMillisecond;
+  options.max_misses = 1;
+  options.max_unreachable_rounds = 2;
+  RearGuard guard(&kernel, options);
+  guard.Install();
+
+  Briefcase checkpoint;
+  checkpoint.folder(kCodeFolder).PushBackString("set x noop");
+  Briefcase deposit;
+  deposit.SetString("GUARD_OP", "deposit");
+  deposit.SetString("GUARD_AGENT", "stranded");
+  deposit.SetString("GUARD_SEQ", "0");
+  deposit.SetString("GUARD_NEXT", "s1");
+  deposit.folder("CKPT").PushBack(checkpoint.Serialize());
+  ASSERT_TRUE(kernel.place(home)->Meet("rearguard", deposit).ok());
+  kernel.CrashSite(s1);  // The only destination never comes back.
+
+  kernel.sim().RunUntil(2 * kSecond);
+  EXPECT_EQ(guard.stats().relaunches, 0u);
+  EXPECT_EQ(guard.stats().guard_deadletters, 1u);
+  EXPECT_EQ(guard.GuardCount(home), 0u);
+  const auto* state = guard.registry().Find(home, "stranded");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  ASSERT_TRUE(state->outcomes.contains(""));
+  EXPECT_NE(state->outcomes.at("").reason.find("unreachable"), std::string::npos);
+}
+
+TEST(RearGuardDurabilityTest, GuardTableSurvivesSiteRestart) {
+  // Durable guards: RestartSite recovers the site's guard table from the
+  // crash-atomic DiskLog instead of relying solely on predecessor healing.
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId s1 = kernel.AddSite("s1");
+  SiteId s2 = kernel.AddSite("s2");
+  kernel.net().AddLink(home, s1);
+  kernel.net().AddLink(s1, s2);
+  RearGuard guard(&kernel, GuardOptions{50 * kMillisecond, 3, 8});
+  guard.Install();
+
+  Briefcase checkpoint;
+  checkpoint.folder(kCodeFolder).PushBackString("set x noop");
+  Briefcase deposit;
+  deposit.SetString("GUARD_OP", "deposit");
+  deposit.SetString("GUARD_AGENT", "traveler");
+  deposit.SetString("GUARD_SEQ", "0");
+  deposit.SetString("GUARD_NEXT", "s2");
+  deposit.folder("CKPT").PushBack(checkpoint.Serialize());
+  ASSERT_TRUE(kernel.place(s1)->Meet("rearguard", deposit).ok());
+  ASSERT_EQ(guard.GuardCount(s1), 1u);
+
+  kernel.CrashSite(s1);
+  EXPECT_EQ(guard.GuardCount(s1), 0u);  // The volatile table died...
+  kernel.RestartSite(s1);
+  EXPECT_EQ(guard.GuardCount(s1), 1u);  // ...and the disk brought it back.
+  EXPECT_GE(guard.stats().recovered_records, 1u);
+}
+
+TEST(RearGuardDurabilityTest, NonDurableGuardTableDiesWithSite) {
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId s1 = kernel.AddSite("s1");
+  kernel.net().AddLink(home, s1);
+  GuardOptions options;
+  options.durable = false;
+  RearGuard guard(&kernel, options);
+  guard.Install();
+
+  Briefcase deposit;
+  deposit.SetString("GUARD_OP", "deposit");
+  deposit.SetString("GUARD_AGENT", "ephemeral");
+  deposit.SetString("GUARD_SEQ", "0");
+  deposit.SetString("GUARD_NEXT", "s1");
+  deposit.folder("CKPT").PushBack(Briefcase().Serialize());
+  ASSERT_TRUE(kernel.place(home)->Meet("rearguard", deposit).ok());
+  ASSERT_EQ(guard.GuardCount(home), 1u);
+
+  kernel.CrashSite(home);
+  kernel.RestartSite(home);
+  EXPECT_EQ(guard.GuardCount(home), 0u);
+  EXPECT_EQ(guard.stats().recovered_records, 0u);
+}
+
+TEST(RearGuardFencingTest, StaleIncarnationQuenchedAtDeposit) {
+  // Incarnation fencing: once a site has witnessed incarnation 2 of an
+  // agent, an incarnation-0 copy that walks in is quenched — it deposits no
+  // guard and its ft_jump ends the activation instead of hopping onward.
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId s1 = kernel.AddSite("s1");
+  kernel.net().AddLink(home, s1);
+  RearGuard guard(&kernel, GuardOptions{50 * kMillisecond, 3, 8});
+  guard.Install();
+
+  Briefcase fresh;
+  fresh.SetString("GUARD_OP", "deposit");
+  fresh.SetString("GUARD_AGENT", "walker");
+  fresh.SetString("GUARD_INC", "2");
+  fresh.SetString("GUARD_SEQ", "0");
+  fresh.SetString("GUARD_NEXT", "s1");
+  fresh.folder("CKPT").PushBack(Briefcase().Serialize());
+  ASSERT_TRUE(kernel.place(home)->Meet("rearguard", fresh).ok());
+  EXPECT_EQ(fresh.GetString("GUARD_VERDICT").value_or(""), "ok");
+  ASSERT_EQ(guard.GuardCount(home), 1u);
+
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");  // GUARD_INC defaults to 0: stale.
+  bc.folder("ITINERARY").PushBackString("s1");
+  ASSERT_TRUE(kernel.LaunchAgent(home, kGuardedAgent, std::move(bc)).ok());
+  kernel.sim().RunUntil(50 * kMillisecond);
+
+  EXPECT_GE(guard.stats().quenches, 1u);
+  EXPECT_EQ(guard.GuardCount(home), 1u);  // No new record for the stale copy.
+  // The stale copy never hopped onward.
+  EXPECT_EQ(kernel.place(s1)->Cabinet("t").Size("VISITS"), 0u);
+}
+
+TEST(RearGuardFencingTest, RetiredAgentArrivalsQuenched) {
+  // A durably retired agent cannot re-deposit: late copies of an already
+  // finished computation are quenched on arrival, even after a restart.
+  Kernel kernel;
+  SiteId home = kernel.AddSite("home");
+  SiteId s1 = kernel.AddSite("s1");
+  kernel.net().AddLink(home, s1);
+  RearGuard guard(&kernel, GuardOptions{50 * kMillisecond, 3, 8});
+  guard.Install();
+
+  Briefcase wave;
+  wave.SetString("GUARD_OP", "retire_wave");
+  wave.SetString("GUARD_AGENT", "finished");
+  ASSERT_TRUE(kernel.place(home)->Meet("rearguard", wave).ok());
+
+  kernel.CrashSite(home);
+  kernel.RestartSite(home);  // The retired mark survives on disk.
+
+  Briefcase late;
+  late.SetString("GUARD_OP", "deposit");
+  late.SetString("GUARD_AGENT", "finished");
+  late.SetString("GUARD_SEQ", "3");
+  late.SetString("GUARD_NEXT", "s1");
+  late.folder("CKPT").PushBack(Briefcase().Serialize());
+  ASSERT_TRUE(kernel.place(home)->Meet("rearguard", late).ok());
+  EXPECT_EQ(late.GetString("GUARD_VERDICT").value_or(""), "quench");
+  EXPECT_GE(guard.stats().quenches, 1u);
+  EXPECT_EQ(guard.GuardCount(home), 0u);
 }
 
 TEST_F(RearGuardTest, DepositProtocolValidation) {
@@ -325,6 +492,207 @@ TEST_F(RearGuardTest, CloneFanOutEachBranchGuarded) {
   EXPECT_EQ(DoneAt(home_).value_or(""), "home");
   EXPECT_EQ(guard_.stats().retire_waves, 2u);
   EXPECT_EQ(guard_.TotalGuards(), 0u);
+}
+
+// Registry-backed variant of the canonical walker: the last site reports the
+// branch outcome to the home registry (ft_complete) instead of firing an
+// immediate retire wave, so fan-out branches join at the barrier.
+constexpr char kGuardedCompleteAgent[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    ft_jump [bc_pop ITINERARY]
+  } else {
+    cab_append t DONE [bc_get GUARD_AGENT]
+    ft_complete
+  }
+)";
+
+TEST_F(RearGuardTest, FanoutJoinBarrierHoldsUntilAllBranches) {
+  // Two guarded branches of one computation; retirement must wait at the join
+  // barrier until BOTH have reported, even though branch b0 finishes in
+  // milliseconds while b1's destination site is dead.
+  guard_.DeclareFanout(home_, "fan", 2);
+  for (int branch = 0; branch < 2; ++branch) {
+    Briefcase bc;
+    bc.folder("ITINERARY").PushBackString("s1");
+    if (branch == 1) {
+      bc.folder("ITINERARY").PushBackString("s2");
+    }
+    bc.folder("ITINERARY").PushBackString("home");
+    ASSERT_TRUE(guard_
+                    .LaunchGuarded(home_, kGuardedCompleteAgent, std::move(bc),
+                                   "fan", branch == 0 ? "b0" : "b1")
+                    .ok());
+  }
+  // Crash s2 while b1 is in flight from s1 (the s1 hop lands ~2ms).
+  kernel_.sim().After(1500, [this] { kernel_.CrashSite(s2_); });
+  // Mid-flight: b0 has completed, b1 has not even been relaunched yet — the
+  // barrier must be holding and no retirement wave may have fired.
+  kernel_.sim().After(100 * kMillisecond, [this] {
+    const auto* state = guard_.registry().Find(home_, "fan");
+    ASSERT_NE(state, nullptr);
+    EXPECT_TRUE(state->outcomes.contains("b0"));
+    EXPECT_FALSE(state->resolved);
+    EXPECT_EQ(guard_.stats().retire_waves, 0u);
+  });
+  kernel_.sim().RunUntil(5 * kSecond);
+
+  const auto* state = guard_.registry().Find(home_, "fan");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  EXPECT_EQ(state->final_kind, "complete");  // b1 recovered past the dead site.
+  EXPECT_EQ(state->outcomes.size(), 2u);
+  EXPECT_EQ(guard_.registry().stats().completions, 2u);
+  EXPECT_EQ(guard_.registry().stats().resolved, 1u);
+  EXPECT_TRUE(guard_.registry().CheckExactlyOnce(home_, /*require_resolved=*/true).ok());
+  EXPECT_EQ(guard_.stats().retire_waves, 2u);  // One per branch endpoint.
+  EXPECT_EQ(guard_.TotalGuards(), 0u);
+}
+
+TEST_F(RearGuardTest, TaclFanoutAndCloneJoinAtHome) {
+  // The whole fan-out expressed in agent code: ft_fanout declares the
+  // barrier, clone ships branch b1 to s2, the parent continues as b0.
+  constexpr char kCloneFanout[] = R"(
+    if {[bc_has FANNED]} {
+      cab_append t VISITS [site]
+      if {[bc_len ITINERARY] > 0} {
+        ft_jump [bc_pop ITINERARY]
+      } else {
+        cab_append t DONE [bc_get GUARD_AGENT]
+        ft_complete
+      }
+    } else {
+      bc_set FANNED 1
+      ft_fanout 2
+      bc_put ITINERARY home
+      bc_set GUARD_BRANCH b1
+      clone s2
+      bc_set GUARD_BRANCH b0
+      ft_jump s1
+    }
+  )";
+  ASSERT_TRUE(guard_.LaunchGuarded(home_, kCloneFanout, Briefcase(), "fan2").ok());
+  kernel_.sim().RunUntil(2 * kSecond);
+
+  const auto* state = guard_.registry().Find(home_, "fan2");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  EXPECT_EQ(state->final_kind, "complete");
+  EXPECT_EQ(state->outcomes.size(), 2u);
+  EXPECT_EQ(guard_.registry().stats().fanouts, 1u);
+  EXPECT_EQ(guard_.registry().stats().completions, 2u);
+  // Both branches walked their itineraries: s1, s2, and home twice.
+  EXPECT_EQ(TotalVisits(), 4u);
+  EXPECT_EQ(kernel_.place(home_)->Cabinet("t").Size("DONE"), 2u);
+  EXPECT_EQ(guard_.TotalGuards(), 0u);
+}
+
+// --- Seeded chaos-storm coverage for the paper's two stated complications:
+// cyclic itineraries and clone fan-out, each surviving a crash/cut/flap storm
+// with the registry enforcing exactly-one outcome per branch. ---
+
+struct StormRig {
+  explicit StormRig(uint64_t seed, GuardOptions guard_options)
+      : kernel([seed] {
+          KernelOptions o;
+          o.seed = seed;
+          o.reliability.mode = Reliability::kReliable;
+          return o;
+        }()),
+        guard(&kernel, guard_options) {
+    home = kernel.AddSite("home");
+    s1 = kernel.AddSite("s1");
+    s2 = kernel.AddSite("s2");
+    kernel.net().AddLink(home, s1);
+    kernel.net().AddLink(s1, s2);
+    kernel.net().AddLink(s2, home);
+    guard.Install();
+
+    ChaosOptions chaos_options;
+    chaos_options.seed = seed;
+    chaos_options.horizon = 1500 * kMillisecond;
+    chaos_options.protected_sites = {home};
+    chaos = std::make_unique<ChaosHarness>(&kernel.sim(), &kernel.net(),
+                                           chaos_options);
+    chaos->SetSiteHooks([this](SiteId s) { kernel.CrashSite(s); },
+                        [this](SiteId s) { kernel.RestartSite(s); });
+    chaos->AddInvariant("exactly-once registry", [this] {
+      return guard.registry().CheckExactlyOnce(home, /*require_resolved=*/false);
+    });
+  }
+
+  Kernel kernel;
+  RearGuard guard;
+  std::unique_ptr<ChaosHarness> chaos;
+  SiteId home = 0, s1 = 0, s2 = 0;
+};
+
+GuardOptions StormGuardOptions() {
+  GuardOptions options;
+  options.heartbeat = 30 * kMillisecond;
+  options.max_misses = 2;
+  options.max_relaunches = 6;
+  options.lease = 2 * kSecond;
+  return options;
+}
+
+TEST(RearGuardChaosTest, CyclicItineraryUnderStormResolvesExactlyOnce) {
+  StormRig rig(/*seed=*/1995, StormGuardOptions());
+  // The §5 hard case — a cyclic itinerary whose revisits must not collide —
+  // walked while the storm crashes sites and cuts links around it.
+  Briefcase bc;
+  for (const char* hop : {"s1", "home", "s2", "home"}) {
+    bc.folder("ITINERARY").PushBackString(hop);
+  }
+  ASSERT_TRUE(
+      rig.guard.LaunchGuarded(rig.home, kGuardedCompleteAgent, std::move(bc),
+                              "cyclist")
+          .ok());
+  rig.chaos->Start();
+  rig.kernel.sim().RunUntil(10 * kSecond);  // Storm, quiesce, lease GC.
+
+  EXPECT_GT(rig.chaos->report().crashes, 0u);
+  EXPECT_TRUE(rig.chaos->report().violations.empty())
+      << rig.chaos->report().violations.front();
+  // Exactly one outcome, nothing lost, nothing leaked.
+  EXPECT_TRUE(
+      rig.guard.registry().CheckExactlyOnce(rig.home, /*require_resolved=*/true).ok());
+  const auto* state = rig.guard.registry().Find(rig.home, "cyclist");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  EXPECT_EQ(rig.guard.registry().stats().resolved, 1u);
+  EXPECT_EQ(rig.guard.TotalGuards(), 0u);
+  if (state->final_kind == "complete") {
+    EXPECT_GE(rig.kernel.place(rig.home)->Cabinet("t").Size("DONE"), 1u);
+  }
+}
+
+TEST(RearGuardChaosTest, FanoutJoinBarrierUnderStormRetiresOnce) {
+  StormRig rig(/*seed=*/1995, StormGuardOptions());
+  rig.guard.DeclareFanout(rig.home, "fan", 2);
+  for (int branch = 0; branch < 2; ++branch) {
+    Briefcase bc;
+    bc.folder("ITINERARY").PushBackString(branch == 0 ? "s1" : "s2");
+    bc.folder("ITINERARY").PushBackString("home");
+    ASSERT_TRUE(rig.guard
+                    .LaunchGuarded(rig.home, kGuardedCompleteAgent, std::move(bc),
+                                   "fan", branch == 0 ? "b0" : "b1")
+                    .ok());
+  }
+  rig.chaos->Start();
+  rig.kernel.sim().RunUntil(10 * kSecond);
+
+  EXPECT_GT(rig.chaos->report().crashes, 0u);
+  EXPECT_TRUE(rig.chaos->report().violations.empty())
+      << rig.chaos->report().violations.front();
+  const auto* state = rig.guard.registry().Find(rig.home, "fan");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->resolved);
+  EXPECT_EQ(state->outcomes.size(), 2u);
+  EXPECT_EQ(rig.guard.registry().stats().resolved, 1u);
+  EXPECT_TRUE(
+      rig.guard.registry().CheckExactlyOnce(rig.home, /*require_resolved=*/true).ok());
+  EXPECT_EQ(rig.guard.TotalGuards(), 0u);
 }
 
 }  // namespace
