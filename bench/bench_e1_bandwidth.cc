@@ -24,13 +24,16 @@ using stormcast::ScenarioOptions;
 using stormcast::Thresholds;
 using stormcast::Topology;
 
-void SweepSites(Topology topology, const char* topology_name) {
+void SweepSites(Topology topology, const char* topology_name, bool smoke,
+                bench::MetricsArtifact* artifact) {
   // The paper's regime: raw data much larger than the agent.  The agent
   // carries per-site summaries home (the expert system's inputs); the
   // selectivity sweep below maps what happens as it hauls more raw readings.
   bench::Table table({"sites", "samples/site", "agent bytes", "c/s bytes", "ratio",
                       "agent msgs", "c/s msgs", "verdicts agree"});
-  for (size_t sites : {4u, 8u, 16u, 32u, 64u}) {
+  const std::vector<size_t> full = {4, 8, 16, 32, 64};
+  const std::vector<size_t> quick = {4, 8};
+  for (size_t sites : smoke ? quick : full) {
     ScenarioOptions options;
     options.sensor_count = sites;
     options.samples_per_site = 384;
@@ -53,6 +56,15 @@ void SweepSites(Topology topology, const char* topology_name) {
                   bench::Fmt("%llu", (unsigned long long)agent.messages),
                   bench::Fmt("%llu", (unsigned long long)cs.messages),
                   agent.prediction.storm == cs.prediction.storm ? "yes" : "NO"});
+    if (artifact != nullptr && topology == Topology::kStar && sites == 8) {
+      // The canonical configuration CI tracks across commits.
+      artifact->Set("agent_bytes", agent.bytes_on_wire);
+      artifact->Set("cs_bytes", cs.bytes_on_wire);
+      artifact->SetDouble("ratio", static_cast<double>(cs.bytes_on_wire) /
+                                       std::max<uint64_t>(1, agent.bytes_on_wire));
+      artifact->Set("verdicts_agree",
+                    agent.prediction.storm == cs.prediction.storm ? 1 : 0);
+    }
   }
   std::printf("\nTopology: %s (c/s ratio > 1 means the agent conserved bandwidth)\n",
               topology_name);
@@ -96,13 +108,19 @@ void SweepSelectivity() {
 }  // namespace
 }  // namespace tacoma
 
-int main() {
+int main(int argc, char** argv) {
+  tacoma::bench::SmokeArgs smoke = tacoma::bench::ParseSmokeArgs(&argc, argv);
+  tacoma::bench::MetricsArtifact artifact("e1_bandwidth");
   tacoma::bench::PrintHeader(
       "E1 — Bandwidth: mobile agent vs client/server collection (StormCast)",
       "agents conserve network bandwidth by filtering at the data (paper S1)");
-  tacoma::SweepSites(tacoma::stormcast::Topology::kStar, "star (home is hub)");
+  tacoma::SweepSites(tacoma::stormcast::Topology::kStar, "star (home is hub)",
+                     smoke.smoke, &artifact);
   tacoma::SweepSites(tacoma::stormcast::Topology::kLine,
-                     "line (home at one end; c/s data crosses many links)");
-  tacoma::SweepSelectivity();
-  return 0;
+                     "line (home at one end; c/s data crosses many links)",
+                     smoke.smoke, nullptr);
+  if (!smoke.smoke) {
+    tacoma::SweepSelectivity();
+  }
+  return artifact.WriteTo(smoke.metrics_out) ? 0 : 1;
 }

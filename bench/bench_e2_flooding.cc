@@ -65,10 +65,13 @@ FloodOutcome RunFlood(const std::string& topology, size_t n, bool naive, int ttl
   return out;
 }
 
-void SweepTopology(const std::string& topology) {
+void SweepTopology(const std::string& topology, bool smoke,
+                   bench::MetricsArtifact* artifact) {
   bench::Table table({"sites", "mode", "reached", "agent activations", "transfers",
                       "bounded"});
-  for (size_t n : {8u, 16u, 32u, 64u}) {
+  const std::vector<size_t> full = {8, 16, 32, 64};
+  const std::vector<size_t> quick = {8, 16};
+  for (size_t n : smoke ? quick : full) {
     FloodOutcome visited = RunFlood(topology, n, /*naive=*/false, 0, 42);
     table.AddRow({bench::Fmt("%zu", n), "visit-records",
                   bench::Fmt("%zu/%zu", visited.sites_reached, visited.total_sites),
@@ -82,6 +85,12 @@ void SweepTopology(const std::string& topology) {
                   bench::Fmt("%llu", (unsigned long long)naive.activations),
                   bench::Fmt("%llu", (unsigned long long)naive.transfers),
                   naive.exploded ? "NO (event limit!)" : "only by TTL"});
+    if (artifact != nullptr && topology == "ring" && n == 16) {
+      artifact->Set("visit_record_activations", visited.activations);
+      artifact->Set("naive_activations", naive.activations);
+      artifact->Set("visit_record_reached", visited.sites_reached);
+      artifact->Set("visit_record_transfers", visited.transfers);
+    }
   }
   std::printf("\nTopology: %s\n", topology.c_str());
   table.Print();
@@ -106,14 +115,18 @@ void TtlGrowth() {
 }  // namespace
 }  // namespace tacoma
 
-int main() {
+int main(int argc, char** argv) {
+  tacoma::bench::SmokeArgs smoke = tacoma::bench::ParseSmokeArgs(&argc, argv);
+  tacoma::bench::MetricsArtifact artifact("e2_flooding");
   tacoma::bench::PrintHeader(
       "E2 — Flooding: site-local visit records bound the agent population",
       "clone-only flooding grows without bound; recording visits in a "
       "site-local folder lets agents terminate instead (paper S2)");
-  tacoma::SweepTopology("ring");
-  tacoma::SweepTopology("grid");
-  tacoma::SweepTopology("random");
-  tacoma::TtlGrowth();
-  return 0;
+  tacoma::SweepTopology("ring", smoke.smoke, &artifact);
+  if (!smoke.smoke) {
+    tacoma::SweepTopology("grid", false, nullptr);
+    tacoma::SweepTopology("random", false, nullptr);
+    tacoma::TtlGrowth();
+  }
+  return artifact.WriteTo(smoke.metrics_out) ? 0 : 1;
 }

@@ -135,10 +135,12 @@ FraudOutcome RunFraudSweep(double fraud_rate, ProviderPolicy policy, uint64_t se
   return out;
 }
 
-void FraudTable() {
+void FraudTable(bool smoke, bench::MetricsArtifact* artifact) {
   bench::Table table({"fraud rate", "policy", "frauds", "blocked", "goods lost",
                       "court convictions"});
-  for (double rate : {0.0, 0.1, 0.25, 0.5}) {
+  const std::vector<double> full = {0.0, 0.1, 0.25, 0.5};
+  const std::vector<double> quick = {0.25};
+  for (double rate : smoke ? quick : full) {
     for (ProviderPolicy policy :
          {ProviderPolicy::kValidateFirst, ProviderPolicy::kTrusting}) {
       FraudOutcome out = RunFraudSweep(rate, policy, 1995);
@@ -148,6 +150,17 @@ void FraudTable() {
            bench::Fmt("%d", out.frauds_attempted),
            bench::Fmt("%d", out.frauds_blocked), bench::Fmt("%d", out.goods_lost),
            bench::Fmt("%d", out.court_convictions)});
+      if (artifact != nullptr && rate == 0.25) {
+        const char* prefix = policy == ProviderPolicy::kValidateFirst
+                                 ? "validate_first_"
+                                 : "trusting_";
+        artifact->Set(std::string(prefix) + "frauds",
+                      static_cast<uint64_t>(out.frauds_attempted));
+        artifact->Set(std::string(prefix) + "blocked",
+                      static_cast<uint64_t>(out.frauds_blocked));
+        artifact->Set(std::string(prefix) + "goods_lost",
+                      static_cast<uint64_t>(out.goods_lost));
+      }
     }
   }
   std::printf(
@@ -160,11 +173,19 @@ void FraudTable() {
 }  // namespace tacoma
 
 int main(int argc, char** argv) {
+  // Strip --smoke/--metrics-out first: google-benchmark rejects flags it
+  // does not know.
+  tacoma::bench::SmokeArgs smoke = tacoma::bench::ParseSmokeArgs(&argc, argv);
+  tacoma::bench::MetricsArtifact artifact("e5_cash");
   std::printf(
       "E5 — Electronic cash: mint throughput and double-spend detection "
       "(paper S3)\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  tacoma::FraudTable();
-  return 0;
+  if (!smoke.smoke) {
+    // The microbenches burn wall-clock calibrating; the smoke run only needs
+    // the deterministic fraud sweep.
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  tacoma::FraudTable(smoke.smoke, &artifact);
+  return artifact.WriteTo(smoke.metrics_out) ? 0 : 1;
 }

@@ -88,11 +88,11 @@ PolicyOutcome RunPolicy(Policy policy, bool use_broker, size_t workers, size_t j
   return out;
 }
 
-void PolicyTable() {
+void PolicyTable(bool smoke, bench::MetricsArtifact* artifact) {
   bench::Table table({"policy", "completed", "mean latency (ms)", "p99 (ms)",
                       "busy-time imbalance"});
   const size_t kWorkers = 4;
-  const size_t kJobs = 120;
+  const size_t kJobs = smoke ? 40 : 120;
   const SimTime kReport = 10 * kMillisecond;
 
   struct Row {
@@ -111,6 +111,12 @@ void PolicyTable() {
     table.AddRow({row.name, bench::Fmt("%zu/%zu", out.completed, kJobs),
                   bench::Fmt("%.1f", out.mean_ms), bench::Fmt("%.1f", out.p99_ms),
                   bench::Fmt("%.2f", out.imbalance)});
+    if (artifact != nullptr && row.policy == Policy::kLeastLoaded && row.use_broker) {
+      artifact->Set("least_loaded_completed", out.completed);
+      artifact->SetDouble("least_loaded_mean_ms", out.mean_ms);
+      artifact->SetDouble("least_loaded_p99_ms", out.p99_ms);
+      artifact->SetDouble("least_loaded_imbalance", out.imbalance);
+    }
   }
   std::printf("\n4 workers with speeds 1x/2x/3x/4x, 120 jobs (40ms nominal each,\n"
               "6ms inter-arrival).  Load/capacity-aware policies should cut latency\n"
@@ -136,12 +142,16 @@ void StalenessTable() {
 }  // namespace
 }  // namespace tacoma
 
-int main() {
+int main(int argc, char** argv) {
+  tacoma::bench::SmokeArgs smoke = tacoma::bench::ParseSmokeArgs(&argc, argv);
+  tacoma::bench::MetricsArtifact artifact("e7_broker");
   tacoma::bench::PrintHeader(
       "E7 — Broker scheduling: load- and capacity-aware placement",
       "brokers distribute requests amongst providers based on load and "
       "capacity (paper S4)");
-  tacoma::PolicyTable();
-  tacoma::StalenessTable();
-  return 0;
+  tacoma::PolicyTable(smoke.smoke, &artifact);
+  if (!smoke.smoke) {
+    tacoma::StalenessTable();
+  }
+  return artifact.WriteTo(smoke.metrics_out) ? 0 : 1;
 }

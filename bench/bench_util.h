@@ -8,10 +8,13 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace tacoma::bench {
@@ -67,6 +70,92 @@ inline std::string Fmt(const char* format, ...) {
   va_end(args);
   return buf;
 }
+
+// --- CI smoke mode and metrics artifacts ------------------------------------
+//
+// Every retrofitted bench binary accepts two flags:
+//   --smoke               reduced sweeps, sized for CI (seconds, not minutes)
+//   --metrics-out <path>  write the run's headline numbers as one JSON object
+// ParseSmokeArgs strips both out of argv in place, so downstream argument
+// parsers (google-benchmark's Initialize in bench_e5) never see them.
+
+struct SmokeArgs {
+  bool smoke = false;
+  std::string metrics_out;  // Empty: no artifact.
+};
+
+inline SmokeArgs ParseSmokeArgs(int* argc, char** argv) {
+  SmokeArgs out;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      out.smoke = true;
+    } else if (arg == "--metrics-out" && i + 1 < *argc) {
+      out.metrics_out = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      out.metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return out;
+}
+
+// Headline numbers of one bench run, written as
+// {"bench":"<name>","metrics":{...}} for the CI perf-smoke trajectory
+// artifacts (ci/check.sh collects them as BENCH_*.json).  Keys are sorted, so
+// a fixed-seed run produces a byte-identical artifact.
+class MetricsArtifact {
+ public:
+  explicit MetricsArtifact(std::string bench) : bench_(std::move(bench)) {}
+
+  void Set(const std::string& name, uint64_t value) {
+    values_[name] = std::to_string(value);
+  }
+  void SetDouble(const std::string& name, double value) {
+    values_[name] = Fmt("%.4f", value);
+  }
+  // `json` must already be valid JSON (a nested document, a quoted string).
+  void SetRaw(const std::string& name, std::string json) {
+    values_[name] = std::move(json);
+  }
+
+  std::string Json() const {
+    std::string out = "{\"bench\":\"" + JsonEscape(bench_) + "\",\"metrics\":{";
+    bool first = true;
+    for (const auto& [name, value] : values_) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"' + JsonEscape(name) + "\":" + value;
+    }
+    out += "}}";
+    return out;
+  }
+
+  // Writes the artifact; empty path is a no-op success (flag not given).
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics artifact: %s\n", path.c_str());
+      return false;
+    }
+    const std::string doc = Json();
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return written == doc.size();
+  }
+
+ private:
+  std::string bench_;
+  std::map<std::string, std::string> values_;
+};
 
 // Percentile over a copy (p in [0, 100]).  Thin aliases over the shared
 // statistics helpers in util/metrics.h, kept so bench code reads naturally.

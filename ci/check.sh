@@ -131,6 +131,45 @@ echo "=== [admission-smoke] bench_e10_analyze --smoke ==="
 ./build-ci/release/bench/bench_e10_analyze --smoke
 echo "=== [admission-smoke] ok ==="
 
+# Telemetry smoke: the continuous-telemetry bench gates metering overhead,
+# byte-identical sampler histories across two seeded runs, and a chaos soak
+# whose injected invariant failure must leave a parseable flight record that
+# attributes ≥95% of bytes-on-wire to per-agent ledger entries (the bench
+# exits non-zero if any deterministic gate fails).
+echo "=== [release] build bench_e15_telemetry (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e15_telemetry
+echo "=== [telemetry-smoke] bench_e15_telemetry --smoke ==="
+E15_JSON="build-ci/release/BENCH_E15_telemetry.json"
+E15_FLIGHT="build-ci/release/BENCH_E15_flight.json"
+./build-ci/release/bench/bench_e15_telemetry --smoke \
+  --metrics-out "${E15_JSON}" --flight-out "${E15_FLIGHT}"
+# Re-assert both artifacts parse (a truncated write must fail CI even though
+# the bench validated the documents it generated in memory).
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${E15_JSON}" "${E15_FLIGHT}" << 'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        json.load(f)
+EOF
+else
+  grep -q '"attribution_ratio"' "${E15_JSON}"
+  grep -q '"reason"' "${E15_FLIGHT}"
+fi
+echo "=== [telemetry-smoke] ok ==="
+
+# Bench smoke: the remaining retrofitted experiment benches run their reduced
+# sweeps and drop headline-number artifacts for the perf trajectory.
+echo "=== [release] build e1/e2/e5/e7 benches (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target \
+  bench_e1_bandwidth bench_e2_flooding bench_e5_cash bench_e7_broker
+for b in e1_bandwidth e2_flooding e5_cash e7_broker; do
+  echo "=== [bench-smoke] bench_${b} --smoke ==="
+  ./build-ci/release/bench/"bench_${b}" --smoke \
+    --metrics-out "build-ci/release/BENCH_${b}.json" > /dev/null
+done
+echo "=== [bench-smoke] ok ==="
+
 # Fault-tolerance smoke: rear guards complete every guarded itinerary in the
 # E8 sweep, and the E14 partition-mode chaos storm resolves every agent
 # exactly once (with stale incarnations quenched and the median relaunch-to-

@@ -83,6 +83,41 @@ class Shell {
       std::printf("%s\n", kernel_->trace().ChromeTraceJson().c_str());
       return true;
     }
+    if (line == "top") {
+      // The resource ledger's biggest spenders (metered cost, cost-descending).
+      std::printf("%s", kernel_->accounts().TextTop(10).c_str());
+      std::printf("; %zu accounts, totals: %llu steps, %llu bytes, %llu hops\n",
+                  kernel_->accounts().size(),
+                  (unsigned long long)kernel_->accounts().totals().eval_steps,
+                  (unsigned long long)kernel_->accounts().totals().bytes_sent,
+                  (unsigned long long)kernel_->accounts().totals().hops);
+      return true;
+    }
+    if (line.rfind("account ", 0) == 0) {
+      // Every incarnation row for one agent id.
+      std::string agent = line.substr(8);
+      auto rows = kernel_->accounts().ForAgent(agent);
+      if (rows.empty()) {
+        std::printf("no account for \"%s\"\n", agent.c_str());
+        return true;
+      }
+      for (const auto& [key, acct] : rows) {
+        std::printf("%s inc=%llu: %llu activations, %llu steps, %llu bytes, "
+                    "%llu hops, %llu meets, %llu flushes, %llu ecu spent, "
+                    "%llu ecu billed (cost %llu)\n",
+                    key.agent.c_str(), (unsigned long long)key.incarnation,
+                    (unsigned long long)acct.activations,
+                    (unsigned long long)acct.eval_steps,
+                    (unsigned long long)acct.bytes_sent,
+                    (unsigned long long)acct.hops,
+                    (unsigned long long)acct.meets,
+                    (unsigned long long)acct.flushes,
+                    (unsigned long long)acct.ecu_spent,
+                    (unsigned long long)acct.ecu_billed,
+                    (unsigned long long)acct.Cost());
+      }
+      return true;
+    }
     // Evaluate in a persistent briefcase: wrap via ag_tacl semantics by hand.
     Status status = kernel_->place(site_)->RunAgentCode(line, briefcase_, "shell");
     if (!status.ok()) {
@@ -113,6 +148,7 @@ int RunDemo(Kernel* kernel, Shell* shell) {
       "run",
       "log \"traveller delivered; wire carried [expr {[now_us] / 1000}] ms of traffic\"",
       "trace",
+      "top",
       "stats",
   };
   for (const char* line : script) {
@@ -149,7 +185,9 @@ int main(int argc, char** argv) {
   std::printf("TACOMA shell at site \"%s\" (4-site ring).  Commands are TACL;\n"
               "extras: `run` drains the simulator, `stats` prints the metrics\n"
               "snapshot, `trace` summarizes agent journeys (`trace json` for\n"
-              "Chrome-trace output), `exit` leaves.\n",
+              "Chrome-trace output), `top` ranks agents by metered resource\n"
+              "cost, `account <agent>` itemizes one agent's ledger, `exit`\n"
+              "leaves.\n",
               kernel.net().site_name(ids[0]).c_str());
   std::string line;
   for (;;) {

@@ -1,0 +1,71 @@
+#include "cash/billing.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace tacoma::cash {
+
+namespace {
+
+// The briefcase folder pay/withdraw debit (see core/bindings.cc): one decimal
+// string balance.
+constexpr char kWalletFolder[] = "WALLET";
+
+// Strict non-negative decimal parse; anything else reads as "no funds".
+bool ParseBalance(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+uint64_t PriceOf(const BillingPrices& prices, const ResourceAccount& usage) {
+  uint64_t total = usage.activations * prices.per_activation +
+                   usage.hops * prices.per_hop;
+  if (prices.eval_steps_per_ecu > 0) {
+    total += usage.eval_steps / prices.eval_steps_per_ecu;
+  }
+  if (prices.bytes_per_ecu > 0) {
+    total += usage.bytes_sent / prices.bytes_per_ecu;
+  }
+  return total;
+}
+
+void InstallWalletBilling(Kernel* kernel, BillingPrices prices) {
+  kernel->SetBillingHook([prices](const AccountKey& /*key*/,
+                                  const ResourceAccount& usage,
+                                  uint64_t already_billed,
+                                  Briefcase* bc) -> BillingOutcome {
+    BillingOutcome outcome;
+    uint64_t due_total = PriceOf(prices, usage);
+    if (due_total <= already_billed) {
+      return outcome;  // Everything metered so far is already settled.
+    }
+    uint64_t due = due_total - already_billed;
+    uint64_t balance = 0;
+    auto held = bc->GetString(kWalletFolder);
+    if (!held.has_value() || !ParseBalance(*held, &balance)) {
+      // No wallet (or an unreadable one): nothing to collect.  The shortfall
+      // still accrues, so freeloading is visible in the ledger.
+      outcome.shortfall = due;
+      return outcome;
+    }
+    uint64_t take = std::min(balance, due);
+    bc->SetString(kWalletFolder, std::to_string(balance - take));
+    outcome.billed = take;
+    outcome.shortfall = due - take;
+    return outcome;
+  });
+}
+
+}  // namespace tacoma::cash

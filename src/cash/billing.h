@@ -1,0 +1,46 @@
+// Usage-based billing — the kernel meters, cash prices.
+//
+// The paper's §3 electronic currency gives agents a hard resource bound:
+// "the amount of currency an agent carries limits the resources it can
+// consume".  The account ledger (core/account.h) measures consumption; this
+// module closes the loop by pricing the metered usage in ECUs and debiting
+// the agent's briefcase WALLET at each activation boundary.  An agent that
+// runs out of cash keeps running — TACOMA bills, it does not kill — but the
+// uncollected remainder is recorded as account.billing_shortfall, which is
+// what a stricter admission policy would key on.
+//
+// Layering: core cannot link cash, so the kernel only holds a BillingHook
+// std::function (see Kernel::SetBillingHook); this module builds the standard
+// one.
+#ifndef TACOMA_CASH_BILLING_H_
+#define TACOMA_CASH_BILLING_H_
+
+#include <cstdint>
+
+#include "core/kernel.h"
+
+namespace tacoma::cash {
+
+// Integer price list.  Chunked rates bill one ECU per `*_per_ecu` units
+// (floor division, so an agent is never billed for a partial chunk); zero
+// disables that resource's charge entirely.
+struct BillingPrices {
+  uint64_t per_activation = 0;       // ECUs per activation.
+  uint64_t per_hop = 1;              // ECUs per agent-transfer hop.
+  uint64_t eval_steps_per_ecu = 10'000;  // 1 ECU per this many TACL steps.
+  uint64_t bytes_per_ecu = 4'096;        // 1 ECU per this many wire bytes.
+};
+
+// Total ECU price of cumulative `usage` under `prices`.
+uint64_t PriceOf(const BillingPrices& prices, const ResourceAccount& usage);
+
+// Installs the standard WALLET-debiting hook on `kernel`: at each
+// (non-departed) activation end, price the agent's cumulative usage, subtract
+// what previous settlements collected, and debit the difference from the
+// briefcase's WALLET folder.  An underfunded wallet is drained to zero and
+// the remainder reported as shortfall.
+void InstallWalletBilling(Kernel* kernel, BillingPrices prices = {});
+
+}  // namespace tacoma::cash
+
+#endif  // TACOMA_CASH_BILLING_H_

@@ -1,0 +1,193 @@
+#include "core/account.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/briefcase.h"
+#include "util/json.h"
+
+namespace tacoma {
+
+namespace {
+
+// The rear guard stamps every deposit/relaunch with a monotonic incarnation
+// in this folder (see ft/rearguard.h); unguarded agents are incarnation 0.
+constexpr char kIncarnationFolder[] = "GUARD_INC";
+
+uint64_t IncarnationOf(const Briefcase& bc) {
+  auto inc = bc.GetString(kIncarnationFolder);
+  if (!inc.has_value() || inc->empty()) {
+    return 0;
+  }
+  char* end = nullptr;
+  uint64_t value = std::strtoull(inc->c_str(), &end, 10);
+  return end != nullptr && *end == '\0' ? value : 0;
+}
+
+void AppendAccountJson(std::string* out, const ResourceAccount& a) {
+  *out += "{\"activations\":" + std::to_string(a.activations) +
+          ",\"eval_steps\":" + std::to_string(a.eval_steps) +
+          ",\"bytes_sent\":" + std::to_string(a.bytes_sent) +
+          ",\"hops\":" + std::to_string(a.hops) +
+          ",\"meets\":" + std::to_string(a.meets) +
+          ",\"flushes\":" + std::to_string(a.flushes) +
+          ",\"ecu_spent\":" + std::to_string(a.ecu_spent) +
+          ",\"ecu_billed\":" + std::to_string(a.ecu_billed) +
+          ",\"cost\":" + std::to_string(a.Cost()) + "}";
+}
+
+}  // namespace
+
+AccountKey AccountKeyFor(const Briefcase& bc) {
+  return AccountKey{bc.GetString("AGENT").value_or("agent"), IncarnationOf(bc)};
+}
+
+AccountKey AccountKeyFor(const std::string& agent_id, const Briefcase& bc) {
+  return AccountKey{agent_id, IncarnationOf(bc)};
+}
+
+AccountLedger::AccountLedger(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+ResourceAccount& AccountLedger::Touch(const AccountKey& key) {
+  auto [it, inserted] = accounts_.try_emplace(key);
+  if (inserted && accounts_.size() > capacity_) {
+    // Evict the cheapest OTHER account.  The fresh entry is still at cost 0
+    // and would otherwise always be the victim — erasing and re-inserting it
+    // would leave the table one past its bound forever.
+    EvictCheapest(key);
+  }
+  return it->second;
+}
+
+void AccountLedger::EvictCheapest(const AccountKey& keep) {
+  auto victim = accounts_.end();
+  uint64_t victim_cost = 0;
+  for (auto it = accounts_.begin(); it != accounts_.end(); ++it) {
+    if (it->first == keep) {
+      continue;
+    }
+    if (victim == accounts_.end() || it->second.Cost() < victim_cost) {
+      victim = it;
+      victim_cost = it->second.Cost();
+    }
+  }
+  if (victim != accounts_.end()) {
+    accounts_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void AccountLedger::ChargeActivation(const AccountKey& key, uint64_t eval_steps) {
+  ResourceAccount& a = Touch(key);
+  ++a.activations;
+  a.eval_steps += eval_steps;
+  ++totals_.activations;
+  totals_.eval_steps += eval_steps;
+}
+
+void AccountLedger::ChargeBytes(const AccountKey& key, uint64_t bytes,
+                                uint64_t hops) {
+  ResourceAccount& a = Touch(key);
+  a.bytes_sent += bytes;
+  a.hops += hops;
+  totals_.bytes_sent += bytes;
+  totals_.hops += hops;
+}
+
+void AccountLedger::ChargeMeet(const AccountKey& key) {
+  ++Touch(key).meets;
+  ++totals_.meets;
+}
+
+void AccountLedger::ChargeFlush(const AccountKey& key) {
+  ++Touch(key).flushes;
+  ++totals_.flushes;
+}
+
+void AccountLedger::ChargeSpend(const AccountKey& key, uint64_t ecus) {
+  Touch(key).ecu_spent += ecus;
+  totals_.ecu_spent += ecus;
+}
+
+void AccountLedger::ChargeBilled(const AccountKey& key, uint64_t ecus,
+                                 uint64_t shortfall) {
+  Touch(key).ecu_billed += ecus;
+  totals_.ecu_billed += ecus;
+  billing_shortfall_ += shortfall;
+}
+
+const ResourceAccount* AccountLedger::Find(const AccountKey& key) const {
+  auto it = accounts_.find(key);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<AccountKey, ResourceAccount>> AccountLedger::ForAgent(
+    const std::string& agent) const {
+  std::vector<std::pair<AccountKey, ResourceAccount>> rows;
+  for (auto it = accounts_.lower_bound(AccountKey{agent, 0});
+       it != accounts_.end() && it->first.agent == agent; ++it) {
+    rows.push_back(*it);
+  }
+  return rows;
+}
+
+std::vector<std::pair<AccountKey, ResourceAccount>> AccountLedger::TopK(
+    size_t k) const {
+  std::vector<std::pair<AccountKey, ResourceAccount>> rows(accounts_.begin(),
+                                                           accounts_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    uint64_t ca = a.second.Cost();
+    uint64_t cb = b.second.Cost();
+    return ca != cb ? ca > cb : a.first < b.first;
+  });
+  if (rows.size() > k) {
+    rows.resize(k);
+  }
+  return rows;
+}
+
+std::string AccountLedger::JsonSnapshot(size_t top_k) const {
+  std::string out = "{\"entries\":" + std::to_string(accounts_.size()) +
+                    ",\"evictions\":" + std::to_string(evictions_) +
+                    ",\"billing_shortfall\":" + std::to_string(billing_shortfall_) +
+                    ",\"totals\":";
+  AppendAccountJson(&out, totals_);
+  out += ",\"top\":[";
+  bool first = true;
+  for (const auto& [key, account] : TopK(top_k)) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"agent\":\"" + JsonEscape(key.agent) +
+           "\",\"incarnation\":" + std::to_string(key.incarnation) + ",\"usage\":";
+    AppendAccountJson(&out, account);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AccountLedger::TextTop(size_t k) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s %-4s %10s %8s %10s %5s %6s %7s %6s %6s\n",
+                "agent", "inc", "cost", "activ", "steps", "hops", "meets",
+                "bytes", "flush", "ecu");
+  std::string out = buf;
+  for (const auto& [key, a] : TopK(k)) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s %-4llu %10llu %8llu %10llu %5llu %6llu %7llu %6llu %6llu\n",
+                  key.agent.c_str(), (unsigned long long)key.incarnation,
+                  (unsigned long long)a.Cost(), (unsigned long long)a.activations,
+                  (unsigned long long)a.eval_steps, (unsigned long long)a.hops,
+                  (unsigned long long)a.meets, (unsigned long long)a.bytes_sent,
+                  (unsigned long long)a.flushes,
+                  (unsigned long long)(a.ecu_spent + a.ecu_billed));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tacoma

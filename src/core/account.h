@@ -1,0 +1,122 @@
+// Per-agent resource accounting.
+//
+// The paper's §3 answers "who pays for an agent's resource consumption?"
+// with electronic cash, but paying requires metering first.  The
+// AccountLedger is the kernel's meter: one account per (agent id,
+// incarnation), charged at the kernel's choke points —
+//   - Place::RunAgentCode    activations + TACL eval steps (the
+//                            deterministic stand-in for CPU time);
+//   - Kernel::TransferAgent  hops, plus bytes-on-wire for the accepted frame
+//                            (frame size × planned route length, so multi-hop
+//                            routes bill every link the frame will traverse);
+//   - the retry loop / control frames   retransmissions, acks, nacks and
+//                            NeedCode traffic bill the transfer's agent;
+//   - transfer accept        arrival meets;
+//   - cab_flush              cabinet flush operations;
+//   - pay / withdraw         ECU spend.
+// Incarnations come from the rear guard's GUARD_INC folder, so a relaunched
+// agent's consumption is ledgered separately from its lost predecessor's.
+//
+// The ledger is kernel-owned (it survives site crashes, like StorageStats)
+// and bounded: past `capacity` accounts, the cheapest account is evicted
+// into the totals (which are exact regardless of eviction).
+#ifndef TACOMA_CORE_ACCOUNT_H_
+#define TACOMA_CORE_ACCOUNT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tacoma {
+
+class Briefcase;
+
+struct AccountKey {
+  std::string agent;
+  uint64_t incarnation = 0;
+
+  bool operator<(const AccountKey& o) const {
+    return agent != o.agent ? agent < o.agent : incarnation < o.incarnation;
+  }
+  bool operator==(const AccountKey& o) const {
+    return agent == o.agent && incarnation == o.incarnation;
+  }
+};
+
+// The ledger key for a briefcase: AGENT folder (default "agent") plus the
+// rear guard's GUARD_INC incarnation (0 when unguarded).  The overload with
+// an explicit agent id serves activation paths where the runtime knows the
+// agent better than the briefcase does.
+AccountKey AccountKeyFor(const Briefcase& bc);
+AccountKey AccountKeyFor(const std::string& agent_id, const Briefcase& bc);
+
+struct ResourceAccount {
+  uint64_t activations = 0;
+  uint64_t eval_steps = 0;   // TACL commands executed (deterministic CPU).
+  uint64_t bytes_sent = 0;   // Frame bytes × links, charged at the sender.
+  uint64_t hops = 0;         // Agent transfers initiated.
+  uint64_t meets = 0;        // Arrival dispatches at receivers.
+  uint64_t flushes = 0;      // Agent-initiated cabinet flushes.
+  uint64_t ecu_spent = 0;    // pay/withdraw debits.
+  uint64_t ecu_billed = 0;   // Collected by the billing hook.
+
+  // One scalar "metered cost" for top-K ranking and the shell's `top`
+  // command: steps and bytes at unit weight, structural operations at a
+  // fixed premium, ECU motion weighted heaviest (it is already money).
+  uint64_t Cost() const {
+    return eval_steps + bytes_sent + 10 * (activations + meets + flushes) +
+           50 * hops + 100 * (ecu_spent + ecu_billed);
+  }
+};
+
+class AccountLedger {
+ public:
+  explicit AccountLedger(size_t capacity = 4096);
+
+  void ChargeActivation(const AccountKey& key, uint64_t eval_steps);
+  // `bytes` is already multiplied by the route length; `hops` is 1 for a
+  // fresh transfer, 0 for retransmissions/control frames.
+  void ChargeBytes(const AccountKey& key, uint64_t bytes, uint64_t hops);
+  void ChargeMeet(const AccountKey& key);
+  void ChargeFlush(const AccountKey& key);
+  void ChargeSpend(const AccountKey& key, uint64_t ecus);
+  void ChargeBilled(const AccountKey& key, uint64_t ecus, uint64_t shortfall);
+
+  // Null when the account was never charged (or was evicted).
+  const ResourceAccount* Find(const AccountKey& key) const;
+  // Every incarnation row for one agent, incarnation-ascending.
+  std::vector<std::pair<AccountKey, ResourceAccount>> ForAgent(
+      const std::string& agent) const;
+  // Top k accounts by Cost() descending; ties broken by key ascending so the
+  // ordering is deterministic.
+  std::vector<std::pair<AccountKey, ResourceAccount>> TopK(size_t k) const;
+
+  // Exact aggregate across all accounts, evicted ones included.
+  const ResourceAccount& totals() const { return totals_; }
+  size_t size() const { return accounts_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t billing_shortfall() const { return billing_shortfall_; }
+
+  // {"entries":N,"evictions":N,"totals":{...},"top":[{...},...]} — sorted,
+  // deterministic, agent names JSON-escaped.
+  std::string JsonSnapshot(size_t top_k) const;
+  // Fixed-width table of the top k accounts (the shell's `top` command).
+  std::string TextTop(size_t k) const;
+
+ private:
+  ResourceAccount& Touch(const AccountKey& key);
+  // Evicts the cheapest account other than `keep` (the entry being charged).
+  void EvictCheapest(const AccountKey& keep);
+
+  size_t capacity_;
+  std::map<AccountKey, ResourceAccount> accounts_;
+  ResourceAccount totals_;
+  uint64_t evictions_ = 0;
+  uint64_t billing_shortfall_ = 0;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_CORE_ACCOUNT_H_

@@ -373,6 +373,10 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (!s.ok()) {
       return Error(s.ToString());
     }
+    if (Kernel* k = activation->place->kernel(); k->accounting_enabled()) {
+      k->accounts().ChargeFlush(
+          AccountKeyFor(activation->agent_id, *activation->briefcase));
+    }
     return Ok();
   });
 
@@ -636,6 +640,17 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
   // Both are the spend events the analyzer bounds: the amount operand is what
   // static analysis reads, so the effect record logs the same quantity.
 
+  // Successful debits are also metered in the kernel's resource ledger: ECU
+  // spend is a resource like bytes or steps, and the flight recorder's top-K
+  // should surface an agent burning cash as readily as one flooding the wire.
+  auto charge_spend = [activation](int64_t amount) {
+    if (Kernel* k = activation->place->kernel(); k->accounting_enabled()) {
+      k->accounts().ChargeSpend(
+          AccountKeyFor(activation->agent_id, *activation->briefcase),
+          static_cast<uint64_t>(amount));
+    }
+  };
+
   auto debit_wallet = [activation](int64_t amount) -> Result<int64_t> {
     auto balance_str = activation->briefcase->GetString("WALLET");
     if (!balance_str.has_value()) {
@@ -655,7 +670,8 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     return remaining;
   };
 
-  interp->Register("pay", [activation, guard, wrong_args, debit_wallet](
+  interp->Register("pay", [activation, guard, wrong_args, debit_wallet,
+                           charge_spend](
                               Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -674,11 +690,13 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (!remaining.ok()) {
       return Error("pay: " + remaining.status().message());
     }
+    charge_spend(*amount);
     activation->briefcase->folder("SPENT").PushBackString(argv[2] + " " + argv[1]);
     return Ok(std::to_string(*remaining));
   });
 
-  interp->Register("withdraw", [activation, guard, wrong_args, debit_wallet](
+  interp->Register("withdraw", [activation, guard, wrong_args, debit_wallet,
+                                charge_spend](
                                    Interp&, const std::vector<std::string>& argv) {
     if (auto g = guard()) {
       return *g;
@@ -697,6 +715,7 @@ void BindAgentPrimitives(tacl::Interp* interp, Activation* activation) {
     if (!remaining.ok()) {
       return Error("withdraw: " + remaining.status().message());
     }
+    charge_spend(*amount);
     return Ok(argv[1]);
   });
 }

@@ -1,0 +1,115 @@
+// Flight recorder — the kernel's black box.
+//
+// When something goes wrong (a chaos invariant breaks, an error is logged, or
+// a caller asks explicitly), the kernel freezes its observable state into one
+// JSON document: the reason, the metrics snapshot, the tail of the trace
+// buffer, the sampler's recent history, and the top-K resource ledger.  The
+// dump is atomic (written to "<path>.tmp" and renamed) so a crash mid-dump
+// never leaves a truncated artifact where CI expects parseable JSON.
+//
+// Everything in the record derives from simulated time and seeded
+// randomness, so for a fixed seed the same failure produces a byte-identical
+// black box — a flight record diff between two runs IS the nondeterminism.
+#include <cstdio>
+
+#include "core/kernel.h"
+#include "sim/chaos.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace tacoma {
+
+std::string Kernel::FlightRecordJson(const std::string& reason) const {
+  const TelemetryOptions& t = options_.telemetry;
+  std::string out = "{\"reason\":\"" + JsonEscape(reason) + "\"";
+  out += ",\"sim_time_us\":" + std::to_string(sim_.Now());
+  out += ",\"seed\":" + std::to_string(options_.seed);
+  out += ",\"dumps\":" + std::to_string(flight_dumps_);
+  out += ",\"accounts\":" + accounts_.JsonSnapshot(t.flight_top_k);
+  out += ",\"sampler\":" + sampler_.JsonHistory(t.flight_series_tail);
+  out += ",\"metrics\":" + metrics_.JsonSnapshot();
+  out += ",\"trace\":{\"recorded\":" + std::to_string(trace_.recorded()) +
+         ",\"dropped\":" + std::to_string(trace_.dropped()) + ",\"events\":[";
+  const std::deque<TraceEvent>& events = trace_.events();
+  size_t start = 0;
+  if (t.flight_trace_tail > 0 && events.size() > t.flight_trace_tail) {
+    start = events.size() - t.flight_trace_tail;
+  }
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i > start) {
+      out += ',';
+    }
+    out += "{\"trace\":" + std::to_string(ev.trace_id) +
+           ",\"span\":" + std::to_string(ev.span_id) +
+           ",\"hop\":" + std::to_string(ev.hop) + ",\"name\":\"" +
+           JsonEscape(ev.name) + "\",\"site\":\"" + JsonEscape(ev.site) +
+           "\",\"ts\":" + std::to_string(ev.ts) + ",\"detail\":\"" +
+           JsonEscape(ev.detail) + "\"}";
+  }
+  out += "]}}";
+  return out;
+}
+
+Status Kernel::DumpFlightRecord(const std::string& path, const std::string& reason) {
+  // Re-entrancy: assembling or writing a dump may itself TLOG_ERROR (which,
+  // with flight_on_log_error, would recurse right back in here).  One dump at
+  // a time; nested triggers are dropped, not queued.
+  if (flight_dumping_) {
+    return OkStatus();
+  }
+  const std::string target =
+      path.empty() ? options_.telemetry.flight_path : path;
+  if (target.empty()) {
+    ++flight_dump_errors_;
+    return InvalidArgumentError("no flight-record path configured");
+  }
+  flight_dumping_ = true;
+  const std::string doc = FlightRecordJson(reason);
+  const std::string tmp = target + ".tmp";
+  Status result = OkStatus();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    result = InternalError("flight record: cannot open " + tmp);
+  } else {
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    int closed = std::fclose(f);
+    if (written != doc.size() || closed != 0) {
+      result = InternalError("flight record: short write to " + tmp);
+      std::remove(tmp.c_str());
+    } else if (std::rename(tmp.c_str(), target.c_str()) != 0) {
+      result = InternalError("flight record: cannot rename " + tmp);
+      std::remove(tmp.c_str());
+    }
+  }
+  if (result.ok()) {
+    ++flight_dumps_;
+    flight_last_dump_us_ = sim_.Now();
+  } else {
+    ++flight_dump_errors_;
+  }
+  flight_dumping_ = false;
+  return result;
+}
+
+void Kernel::AttachFlightRecorder(ChaosHarness* harness, const std::string& path) {
+  if (!path.empty()) {
+    // Remember the override so later triggers (log hook, explicit dumps with
+    // an empty path) target the same artifact.
+    options_.telemetry.flight_path = path;
+  }
+  const std::string target = options_.telemetry.flight_path;
+  if (harness != nullptr) {
+    harness->SetViolationHook([this, target](const std::string& violation) {
+      (void)DumpFlightRecord(target, "chaos.violation: " + violation);
+    });
+  }
+  if (options_.telemetry.flight_on_log_error && log_hook_id_ == 0 &&
+      !target.empty()) {
+    log_hook_id_ = SetLogErrorHook([this, target](const std::string& message) {
+      (void)DumpFlightRecord(target, "log.error: " + message);
+    });
+  }
+}
+
+}  // namespace tacoma

@@ -84,13 +84,42 @@ Result<TransferOptions> TransferOptionsFromBriefcase(const Briefcase& bc) {
   return options;
 }
 
+std::vector<std::string> DefaultSampledMetrics() {
+  return {"kernel.transfers_sent",
+          "kernel.transfers_delivered",
+          "kernel.pending_transfers",
+          "net.bytes_on_wire",
+          "net.messages_lost",
+          "place.activations",
+          "place.meets",
+          "account.bytes_sent",
+          "account.eval_steps",
+          "kernel.transfer_delivery_us.p99"};
+}
+
 Kernel::Kernel(KernelOptions options)
     : options_(options),
       net_(&sim_),
       rng_(options.seed),
-      trace_(options.trace_capacity) {
+      trace_(options.trace_capacity),
+      accounts_(options.telemetry.ledger_capacity),
+      sampler_(&metrics_, SamplerOptions{options.telemetry.sample_capacity}) {
   net_.set_loss_seed(rng_.Next());
   RegisterKernelMetrics();
+  const std::vector<std::string>& tracked =
+      options_.telemetry.sampled_metrics.empty()
+          ? DefaultSampledMetrics()
+          : options_.telemetry.sampled_metrics;
+  for (const std::string& name : tracked) {
+    sampler_.Track(name);
+  }
+  if (options_.telemetry.flight_on_log_error &&
+      !options_.telemetry.flight_path.empty()) {
+    log_hook_id_ = SetLogErrorHook([this](const std::string& message) {
+      (void)DumpFlightRecord(options_.telemetry.flight_path,
+                             "log.error: " + message);
+    });
+  }
   // Keep every place's site-local SITES folder (§2) in sync with topology.
   net_.SetTopologyHook([this](SiteId a, SiteId b) {
     for (SiteId site : {a, b}) {
@@ -101,7 +130,51 @@ Kernel::Kernel(KernelOptions options)
   });
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  if (log_hook_id_ != 0) {
+    ClearLogErrorHook(log_hook_id_);
+  }
+}
+
+void Kernel::ScheduleSampling(SimTime until) {
+  SimTime interval = options_.telemetry.sample_interval;
+  if (interval == 0) {
+    return;
+  }
+  // Pre-queued like the chaos schedule: a bounded set of ticks, so a
+  // Simulator::Run after the horizon still drains the queue.
+  for (SimTime t = sim_.Now() + interval; t <= until; t += interval) {
+    sim_.At(t, [this] { SampleNow(); });
+  }
+}
+
+void Kernel::ChargeWire(const AccountKey& key, SiteId from, SiteId to,
+                        size_t frame_bytes, uint64_t hops) {
+  if (!options_.telemetry.accounting) {
+    return;
+  }
+  // Bill the whole planned route: the network counts bytes per link
+  // traversed, so a 2-hop relay costs its agent twice the frame.  Routes can
+  // change while the frame is in flight; bench_e15 gates the resulting
+  // attribution error at ≤5% of bytes-on-wire.
+  uint64_t links = static_cast<uint64_t>(
+      std::max<size_t>(1, net_.HopCount(from, to).value_or(1)));
+  accounts_.ChargeBytes(key, static_cast<uint64_t>(frame_bytes) * links, hops);
+}
+
+void Kernel::BillActivation(const AccountKey& key, Briefcase* bc) {
+  if (!billing_ || !options_.telemetry.accounting) {
+    return;
+  }
+  const ResourceAccount* account = accounts_.Find(key);
+  if (account == nullptr) {
+    return;
+  }
+  BillingOutcome outcome = billing_(key, *account, account->ecu_billed, bc);
+  if (outcome.billed > 0 || outcome.shortfall > 0) {
+    accounts_.ChargeBilled(key, outcome.billed, outcome.shortfall);
+  }
+}
 
 void Kernel::RegisterKernelMetrics() {
   // The kernel's own transfer accounting, re-registered as pull-style probes
@@ -254,6 +327,40 @@ void Kernel::RegisterKernelMetrics() {
   // The trace buffer's own health.
   metrics_.AddProbe("trace.events_recorded", [this] { return trace_.recorded(); });
   metrics_.AddProbe("trace.events_dropped", [this] { return trace_.dropped(); });
+
+  // Per-agent resource accounting (core/account.h).  Registered
+  // unconditionally so snapshots keep a stable key set; all zero when
+  // telemetry.accounting is off.
+  metrics_.AddProbe("account.agents",
+                    [this] { return static_cast<uint64_t>(accounts_.size()); });
+  metrics_.AddProbe("account.evictions", [this] { return accounts_.evictions(); });
+  metrics_.AddProbe("account.activations",
+                    [this] { return accounts_.totals().activations; });
+  metrics_.AddProbe("account.eval_steps",
+                    [this] { return accounts_.totals().eval_steps; });
+  metrics_.AddProbe("account.bytes_sent",
+                    [this] { return accounts_.totals().bytes_sent; });
+  metrics_.AddProbe("account.hops", [this] { return accounts_.totals().hops; });
+  metrics_.AddProbe("account.meets", [this] { return accounts_.totals().meets; });
+  metrics_.AddProbe("account.flushes", [this] { return accounts_.totals().flushes; });
+  metrics_.AddProbe("account.ecu_spent",
+                    [this] { return accounts_.totals().ecu_spent; });
+  metrics_.AddProbe("account.ecu_billed",
+                    [this] { return accounts_.totals().ecu_billed; });
+  metrics_.AddProbe("account.billing_shortfall",
+                    [this] { return accounts_.billing_shortfall(); });
+
+  // The sampler's and flight recorder's own health.
+  metrics_.AddProbe("sampler.samples", [this] { return sampler_.samples_taken(); });
+  metrics_.AddProbe("sampler.series", [this] {
+    return static_cast<uint64_t>(sampler_.series().size());
+  });
+  metrics_.AddProbe("sampler.points_dropped",
+                    [this] { return sampler_.points_dropped(); });
+  metrics_.AddProbe("flight.dumps", [this] { return flight_dumps_; });
+  metrics_.AddProbe("flight.dump_errors", [this] { return flight_dump_errors_; });
+  metrics_.AddProbe("flight.last_dump_us",
+                    [this] { return static_cast<uint64_t>(flight_last_dump_us_); });
 
   // Sim-time distributions.
   ack_rtt_us_ = &metrics_.AddHistogram("kernel.transfer_ack_rtt_us",
@@ -502,6 +609,9 @@ void Kernel::RetryTick(uint64_t id) {
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++stats_.retries_sent;
+    // Retries re-bill the wire bytes but not the hop: the agent committed to
+    // one logical move, however many retransmissions it takes.
+    ChargeWire(live.account, live.from, live.to, live.frame.size(), 0);
     // A retransmitted stub saves the same bytes again (the full frame is what
     // a cache-less kernel would have retried).
     if (!live.full_frame.empty() && live.full_frame.size() > live.frame.size()) {
@@ -629,6 +739,12 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   }
   Reliability mode = transfer_options.mode.value_or(options_.reliability.mode);
   uint64_t id = ++next_transfer_id_;
+  // Ledger key for everything this transfer puts on the wire (the first
+  // send, retries, control frames it provokes): the travelling agent pays.
+  AccountKey account;
+  if (options_.telemetry.accounting) {
+    account = AccountKeyFor(bc);
+  }
   uint8_t flags = 0;
   if (mode == Reliability::kAtMostOnce) {
     flags = kFlagDedup;
@@ -722,10 +838,11 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
       return sent;
     }
     ++stats_.transfers_sent;
+    ChargeWire(account, from, to, frame.size(), 1);
     if (stubbed) {
       // No pending entry will exist for this id, so keep the full frame
       // around (bounded) in case the receiver answers NeedCode.
-      RememberStubSend(id, StubSend{from, to, full_frame, code_digest});
+      RememberStubSend(id, StubSend{from, to, full_frame, code_digest, account});
     }
     return OkStatus();
   }
@@ -735,6 +852,11 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   // or dead-letters the briefcase when the budget runs dry.
   if (sent.ok()) {
     ++stats_.transfers_sent;
+    ChargeWire(account, from, to, frame.size(), 1);
+  } else if (options_.telemetry.accounting) {
+    // Queued but not on the wire yet: the hop is committed, the bytes are
+    // charged by whichever retry the network accepts.
+    accounts_.ChargeBytes(account, 0, 1);
   }
   ++stats_.transfers_reliable;
   PendingTransfer t;
@@ -751,6 +873,7 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   t.attempts = 1;
   t.first_sent = sim_.Now();
   t.trace = span;
+  t.account = account;
   t.backoff = options_.reliability.retry_initial;
   pending_.emplace(id, std::move(t));
   ScheduleRetry(id, Jittered(options_.reliability.retry_initial));
@@ -778,7 +901,7 @@ void Kernel::InvalidateCodeBeliefsAbout(SiteId site) {
 }
 
 void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
-                         const std::string& reason) {
+                         const std::string& reason, const AccountKey* bill) {
   Encoder enc;
   enc.PutU8(kind);
   enc.PutU64(id);
@@ -788,7 +911,13 @@ void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_
   // Best effort: a lost ack is repaired by the sender's retry + our dedup
   // window; a lost nack by retry + repeated nack; a lost NeedCode by retry +
   // repeated miss.
-  (void)net_.Send(from_site, to_site, enc.Take());
+  SharedBytes frame = enc.TakeShared();
+  Status sent = net_.Send(from_site, to_site, frame);
+  if (sent.ok() && bill != nullptr) {
+    // Control traffic is overhead the travelling agent provoked; it pays for
+    // the acks/nacks/NeedCode its transfer generates, but no extra hop.
+    ChargeWire(*bill, from_site, to_site, frame.size(), 0);
+  }
   if (kind == kFrameAck) {
     ++stats_.acks_sent;
   } else if (kind == kFrameNack) {
@@ -860,6 +989,12 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     return;
   }
   bool want_ack = (flags & kFlagWantAck) != 0;
+  // Everything the receiving side puts back on the wire for this transfer
+  // (ack, nack, NeedCode) is billed to the travelling agent's account.
+  AccountKey arrival_key;
+  if (options_.telemetry.accounting) {
+    arrival_key = AccountKeyFor(*bc);
+  }
   std::optional<TraceContext> span;
   if (options_.trace_enabled) {
     span = TraceContext::FromBriefcase(*bc);
@@ -886,7 +1021,7 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     ++stats_.duplicates_suppressed;
     record_arrival("transfer.dup", "duplicate suppressed");
     if (want_ack) {
-      SendControl(kFrameAck, to, from, id, "");
+      SendControl(kFrameAck, to, from, id, "", &arrival_key);
     }
     return;
   }
@@ -903,7 +1038,7 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     const Folder* cached = destination->code_cache().Get(digest_hex);
     if (cached == nullptr) {
       record_arrival("code.cache_miss", digest_hex.substr(0, 12));
-      SendControl(kFrameNeedCode, to, from, id, "");
+      SendControl(kFrameNeedCode, to, from, id, "", &arrival_key);
       return;
     }
     record_arrival("code.cache_hit", digest_hex.substr(0, 12));
@@ -932,6 +1067,9 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
   // order: a child transfer.send from inside the meet follows its parent's
   // meet.dispatch.
   record_arrival("meet.dispatch", contact);
+  if (options_.telemetry.accounting) {
+    accounts_.ChargeMeet(arrival_key);
+  }
   Status met = destination->Meet(contact, briefcase);
   if (!met.ok()) {
     record_arrival("meet.fail", met.ToString());
@@ -950,7 +1088,7 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
       // Deliberately NOT recorded as seen: if this nack is lost, the sender's
       // retransmission must be re-processed and re-nacked, not re-acked as a
       // duplicate of a successful activation.
-      SendControl(kFrameNack, to, from, id, met.ToString());
+      SendControl(kFrameNack, to, from, id, met.ToString(), &arrival_key);
       return;
     }
   }
@@ -958,7 +1096,7 @@ void Kernel::HandleData(SiteId to, SiteId from, Place* destination, Decoder* dec
     RecordSeen(to, from, id);
   }
   if (want_ack) {
-    SendControl(kFrameAck, to, from, id, "");
+    SendControl(kFrameAck, to, from, id, "", &arrival_key);
   }
 }
 
@@ -1018,6 +1156,7 @@ void Kernel::HandleNeedCode(SiteId to, SiteId /*from*/, Decoder* dec) {
     if (sent.ok()) {
       ++stats_.transfers_sent;
       ++code_stats_.full_resends;
+      ChargeWire(t.account, t.from, t.to, t.frame.size(), 0);
     }
     // The retry loop stays scheduled; from here on it retries the full frame.
     return;
@@ -1035,6 +1174,7 @@ void Kernel::HandleNeedCode(SiteId to, SiteId /*from*/, Decoder* dec) {
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++code_stats_.full_resends;
+    ChargeWire(record.account, record.from, record.to, record.full_frame.size(), 0);
   }
 }
 

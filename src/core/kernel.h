@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/account.h"
 #include "core/place.h"
 #include "core/trace.h"
 #include "sim/network.h"
@@ -27,9 +28,11 @@
 #include "storage/disk_log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/sampler.h"
 
 namespace tacoma {
 
+class ChaosHarness;
 class Decoder;
 
 // Delivery discipline for agent transfers (the end-to-end argument applied to
@@ -95,6 +98,57 @@ struct CodeCacheOptions {
 // the cache; anything else (or unset) leaves it off.
 CodeCacheOptions DefaultCodeCacheOptions();
 
+// Continuous telemetry: per-agent resource accounting (core/account.h), the
+// time-series sampler (util/sampler.h), and the flight recorder.  All three
+// derive only from simulated time, so for a fixed seed two runs produce
+// byte-identical ledgers, histories, and flight records.
+struct TelemetryOptions {
+  // Meter per-agent consumption at the kernel choke points.  Cheap (a map
+  // touch per charge; bench_e15 gates the overhead at ≤5% on the E1
+  // workload) and on by default, like tracing.
+  bool accounting = true;
+  // Bounded account table; the cheapest account is evicted past this
+  // (totals stay exact).
+  size_t ledger_capacity = 4096;
+
+  // Sampler cadence for Kernel::ScheduleSampling (SampleNow works always).
+  SimTime sample_interval = 10 * kMillisecond;
+  // Ring entries retained per series.
+  size_t sample_capacity = 240;
+  // Metric names to track ("<name>" scalar or "<histogram>.p99"); empty
+  // selects DefaultSampledMetrics().
+  std::vector<std::string> sampled_metrics;
+
+  // When non-empty: the flight recorder's dump target.  A chaos invariant
+  // violation (via AttachFlightRecorder) or — with flight_on_log_error — any
+  // TLOG_ERROR line triggers an atomic dump here; DumpFlightRecord always
+  // works explicitly.
+  std::string flight_path;
+  bool flight_on_log_error = false;
+  // Last N trace events included in a flight record.
+  size_t flight_trace_tail = 256;
+  // Ledger accounts and sampler points per series included.
+  size_t flight_top_k = 10;
+  size_t flight_series_tail = 32;
+};
+
+// The default series set: transfer flow, wire pressure, agent activity, the
+// metered account totals, and the delivery-latency tail.
+std::vector<std::string> DefaultSampledMetrics();
+
+// Outcome of one billing settlement (cash/billing.h provides the standard
+// WALLET-debiting hook; anything with this shape can be installed).
+struct BillingOutcome {
+  uint64_t billed = 0;     // ECUs actually collected.
+  uint64_t shortfall = 0;  // ECUs due but not covered by the wallet.
+};
+// Called at the end of a (non-departed) activation with the agent's
+// cumulative metered usage and what was already billed; the hook prices the
+// difference and debits the briefcase.
+using BillingHook = std::function<BillingOutcome(
+    const AccountKey&, const ResourceAccount&, uint64_t already_billed,
+    Briefcase*)>;
+
 struct KernelOptions {
   uint64_t seed = 42;
   // Per-activation TACL command budget (0 = unlimited).
@@ -128,6 +182,8 @@ struct KernelOptions {
   size_t trace_capacity = 8192;
   // Migration-payload optimisation (stub CODE transfers).
   CodeCacheOptions code_cache = DefaultCodeCacheOptions();
+  // Continuous telemetry (accounting, sampler, flight recorder).
+  TelemetryOptions telemetry;
 };
 
 // Per-transfer overrides for TransferAgent.
@@ -293,6 +349,45 @@ class Kernel {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // --- Continuous telemetry ---------------------------------------------------
+
+  // The per-agent resource ledger (kernel-owned: survives site crashes).
+  AccountLedger& accounts() { return accounts_; }
+  const AccountLedger& accounts() const { return accounts_; }
+  bool accounting_enabled() const { return options_.telemetry.accounting; }
+  // Charges `frame_bytes` × the current route length from `from` to `to`
+  // (plus `hops` agent-transfer hops) to `key`.  No-op with accounting off.
+  void ChargeWire(const AccountKey& key, SiteId from, SiteId to,
+                  size_t frame_bytes, uint64_t hops);
+  // Settles an activation's metered usage against its briefcase WALLET via
+  // the installed billing hook (cash/billing.h); unset = metering only.
+  void SetBillingHook(BillingHook hook) { billing_ = std::move(hook); }
+  void BillActivation(const AccountKey& key, Briefcase* bc);
+
+  // The time-series sampler over this kernel's registry.
+  TimeSeriesSampler& sampler() { return sampler_; }
+  const TimeSeriesSampler& sampler() const { return sampler_; }
+  // Takes one reading now.
+  void SampleNow() { sampler_.Sample(sim_.Now()); }
+  // Pre-queues sampler ticks every telemetry.sample_interval up to (and
+  // including) `until`, like the chaos harness pre-generates its schedule —
+  // bounded, so Simulator::Run still drains.  Call before running.
+  void ScheduleSampling(SimTime until);
+
+  // Flight recorder (flight_recorder.cc): assembles reason, sim time, the
+  // metrics snapshot, the last N trace events, sampler tails, and the top-K
+  // account ledger into one JSON document...
+  std::string FlightRecordJson(const std::string& reason) const;
+  // ...and atomically persists it (written to "<path>.tmp", then renamed).
+  // Counted in flight.dumps / flight.dump_errors.
+  Status DumpFlightRecord(const std::string& path, const std::string& reason);
+  // Wires the harness's invariant violations to DumpFlightRecord, so every
+  // soak failure leaves a post-mortem artifact at `path` (empty: the
+  // telemetry.flight_path option).  Also installs the TLOG_ERROR trigger
+  // when telemetry.flight_on_log_error is set.
+  void AttachFlightRecorder(ChaosHarness* harness, const std::string& path = "");
+  uint64_t flight_dumps() const { return flight_dumps_; }
+
  private:
   // Sender-side record of an unacked reliable transfer.  Lives "at" the
   // origin site: CrashSite(from) abandons it.
@@ -311,6 +406,7 @@ class Kernel {
     SimTime first_sent = 0;
     SimTime backoff = 0;  // Wait before the next retransmission.
     TraceContext trace;   // Span of this transfer (zeroed when tracing is off).
+    AccountKey account;   // Ledger key retransmissions are charged to.
   };
   // Sender-side NeedCode recovery record for a stubbed transfer that has no
   // pending entry (fire-and-forget / at-most-once).  Bounded FIFO.
@@ -319,6 +415,7 @@ class Kernel {
     SiteId to = 0;
     SharedBytes full_frame;
     std::string code_digest;
+    AccountKey account;  // Ledger key a NeedCode full resend is charged to.
   };
   // Receiver-side per-sender window of recently activated transfer ids.
   struct DedupWindow {
@@ -344,8 +441,10 @@ class Kernel {
   // beliefs about it are stale.
   void InvalidateCodeBeliefsAbout(SiteId site);
   void RememberStubSend(uint64_t id, StubSend record);
+  // `bill` (when non-null, accounting on) is the ledger key the control
+  // frame's wire bytes are charged to — the agent whose transfer provoked it.
   void SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_t id,
-                   const std::string& reason);
+                   const std::string& reason, const AccountKey* bill = nullptr);
   void ScheduleRetry(uint64_t id, SimTime delay);
   void RetryTick(uint64_t id);
   SimTime Jittered(SimTime base);
@@ -397,6 +496,15 @@ class Kernel {
   MetricsRegistry metrics_;
   Histogram* ack_rtt_us_ = nullptr;       // kernel.transfer_ack_rtt_us.
   Histogram* delivery_us_ = nullptr;      // kernel.transfer_delivery_us.
+  AccountLedger accounts_;
+  BillingHook billing_;
+  TimeSeriesSampler sampler_;
+  // Flight-recorder state (flight_recorder.cc).
+  uint64_t flight_dumps_ = 0;
+  uint64_t flight_dump_errors_ = 0;
+  SimTime flight_last_dump_us_ = 0;
+  bool flight_dumping_ = false;  // Re-entrancy guard (a dump may TLOG_ERROR).
+  int log_hook_id_ = 0;          // Registration for the TLOG_ERROR trigger.
 };
 
 }  // namespace tacoma

@@ -297,6 +297,19 @@ Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
   tacl::Outcome out = interp.Eval(code);
   stats_.interp_steps += interp.steps();
 
+  if (kernel_->accounting_enabled()) {
+    // The activation boundary is the metering point: one activation plus
+    // however many interpreter steps it burned.  Billing settles here too,
+    // but only for agents still present — a departed agent's WALLET is
+    // already encoded in the frame that carried it away, and its next
+    // activation settles there.
+    AccountKey key = AccountKeyFor(agent_id, bc);
+    kernel_->accounts().ChargeActivation(key, interp.steps());
+    if (!activation.departed) {
+      kernel_->BillActivation(key, &bc);
+    }
+  }
+
   if (activation.effects != nullptr) {
     std::vector<std::string> drift =
         tacl::ManifestViolations(summary->manifest, record);

@@ -200,15 +200,19 @@ Status Relay(Place& place, Briefcase& bc) {
 // probe: observability as an agent, per the paper's §2 dictum that all
 // services are agents.  Meet it (locally, or remotely via rexec/relay) and it
 // serializes the kernel's metrics and trace state into the briefcase:
-//   WHAT           "metrics" (default), "trace", or "all"
+//   WHAT           "metrics" (default), "trace", "account", "series", or "all"
 //   METRICS_JSON   unified registry snapshot (JSON)
 //   METRICS_TEXT   the same snapshot, one "name value" line per metric
 //   TRACE_JSON     the trace buffer as Chrome-trace JSON
+//   ACCOUNT_JSON   the per-agent resource ledger (top 10 by metered cost)
+//   SERIES_JSON    the time-series sampler's retained history
 //   PROBE_SITE / PROBE_TIME_US   where and when the reading was taken
 Status Probe(Place& place, Briefcase& bc) {
   std::string what = bc.GetString("WHAT").value_or("metrics");
-  if (what != "metrics" && what != "trace" && what != "all") {
-    return InvalidArgumentError("probe: WHAT must be metrics, trace, or all");
+  if (what != "metrics" && what != "trace" && what != "account" &&
+      what != "series" && what != "all") {
+    return InvalidArgumentError(
+        "probe: WHAT must be metrics, trace, account, series, or all");
   }
   Kernel* kernel = place.kernel();
   if (what == "metrics" || what == "all") {
@@ -217,6 +221,12 @@ Status Probe(Place& place, Briefcase& bc) {
   }
   if (what == "trace" || what == "all") {
     bc.SetString("TRACE_JSON", kernel->trace().ChromeTraceJson());
+  }
+  if (what == "account" || what == "all") {
+    bc.SetString("ACCOUNT_JSON", kernel->accounts().JsonSnapshot(10));
+  }
+  if (what == "series" || what == "all") {
+    bc.SetString("SERIES_JSON", kernel->sampler().JsonHistory());
   }
   bc.SetString("PROBE_SITE", place.name());
   bc.SetString("PROBE_TIME_US", std::to_string(kernel->sim().Now()));

@@ -23,6 +23,10 @@ void ChaosHarness::AddInvariant(std::string name, Invariant check) {
   invariants_.emplace_back(std::move(name), std::move(check));
 }
 
+void ChaosHarness::SetViolationHook(ViolationHook hook) {
+  on_violation_ = std::move(hook);
+}
+
 bool ChaosHarness::IsProtected(SiteId site) const {
   return std::find(options_.protected_sites.begin(), options_.protected_sites.end(),
                    site) != options_.protected_sites.end();
@@ -244,7 +248,10 @@ Status ChaosHarness::CheckNow() {
       std::string violation = name + " at t=" + std::to_string(sim_->Now()) + "us: " +
                               s.ToString();
       TLOG_ERROR << "chaos invariant violated: " << violation;
-      report_.violations.push_back(std::move(violation));
+      report_.violations.push_back(violation);
+      if (on_violation_) {
+        on_violation_(violation);
+      }
       if (first.ok()) {
         first = s;
       }

@@ -103,6 +103,10 @@ class ChaosHarness {
   // Returns OkStatus while the invariant holds; the error message of a
   // violation is recorded in the report.
   using Invariant = std::function<Status()>;
+  // Invoked once per recorded violation (after it lands in the report), with
+  // the formatted violation text.  The kernel's flight recorder hangs off
+  // this to dump its black box at the moment an invariant first breaks.
+  using ViolationHook = std::function<void(const std::string&)>;
 
   struct Report {
     uint64_t crashes = 0;
@@ -131,6 +135,8 @@ class ChaosHarness {
   void SetDiskArmHook(DiskArmHook arm);
 
   void AddInvariant(std::string name, Invariant check);
+  // At most one hook; replaces any previous one (empty clears).
+  void SetViolationHook(ViolationHook hook);
 
   // Pre-generates the whole seeded fault schedule and queues it on the
   // simulator, along with periodic invariant checks.  Call once, before
@@ -167,6 +173,7 @@ class ChaosHarness {
   SiteHook restart_;
   DiskArmHook arm_disk_;
   std::vector<std::pair<std::string, Invariant>> invariants_;
+  ViolationHook on_violation_;
   Report report_;
 };
 

@@ -13,13 +13,21 @@ std::string FormatDouble1(double v) {
   return buf;
 }
 
+KernelOptions ScenarioKernelOptions(const ScenarioOptions& options) {
+  KernelOptions ko;
+  ko.seed = options.seed;
+  ko.step_limit = 50'000'000;
+  ko.telemetry.accounting = options.accounting;
+  return ko;
+}
+
 }  // namespace
 
 Scenario::Scenario(ScenarioOptions options)
     : options_(options),
       field_(options.seed, options.sensor_count, options.samples_per_site,
              options.storm_events),
-      kernel_(std::make_unique<Kernel>(KernelOptions{options.seed, 50'000'000, false})) {
+      kernel_(std::make_unique<Kernel>(ScenarioKernelOptions(options))) {
   // Topology: home plus one site per sensor.
   home_ = kernel_->AddSite("home");
   for (size_t i = 0; i < options_.sensor_count; ++i) {

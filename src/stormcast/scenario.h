@@ -32,6 +32,9 @@ struct ScenarioOptions {
   // Agents scan with native code (fast, used by benches) or pure TACL
   // (exercises the language; keep sample counts modest).
   bool native_scan = true;
+  // Per-agent resource accounting (kernel telemetry).  bench_e15 flips this
+  // to measure the metering overhead on the E1 workload.
+  bool accounting = true;
 };
 
 struct Prediction {

@@ -1,0 +1,30 @@
+// Tiny JSON helpers shared by every export surface (metrics snapshots, trace
+// dumps, sampler histories, flight records) and the tests/CI that gate them.
+//
+// This is deliberately NOT a JSON library: the repo's exports are built by
+// hand (sorted keys, deterministic formatting) and only ever need two things
+// from this header — escaping free-text strings on the way out, and a strict
+// syntax check so tests and smoke benches can assert "this artifact parses"
+// without a parser dependency in CI.
+#ifndef TACOMA_UTIL_JSON_H_
+#define TACOMA_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace tacoma {
+
+// Escapes `raw` for inclusion inside a JSON string literal (quotes not
+// included): backslash, double quote, and control characters (\uXXXX).
+std::string JsonEscape(std::string_view raw);
+
+// Strict recursive-descent syntax check over a complete JSON document
+// (object/array/string/number/true/false/null, UTF-8 passed through).
+// Returns true iff `text` is one valid JSON value with nothing but
+// whitespace around it.  Used by tests and smoke benches to gate exported
+// artifacts.
+bool JsonParses(std::string_view text);
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_JSON_H_

@@ -6,9 +6,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
 
 namespace tacoma {
 namespace {
+
+struct ErrorHooks {
+  std::mutex mu;
+  std::map<int, std::function<void(const std::string&)>> hooks;
+  int next_id = 1;
+  bool running = false;  // Re-entrancy guard: hooks may TLOG_ERROR.
+};
+
+ErrorHooks& Hooks() {
+  static ErrorHooks* hooks = new ErrorHooks();  // Leaked: outlives all users.
+  return *hooks;
+}
 
 // Reads TACOMA_LOG_LEVEL once (first logger touch).  Accepts the level names
 // (off, error, warn, info, debug, case-insensitive) or the numeric values of
@@ -63,6 +78,20 @@ void SetLogLevel(LogLevel level) { Level().store(level); }
 
 LogLevel GetLogLevel() { return Level().load(); }
 
+int SetLogErrorHook(std::function<void(const std::string&)> hook) {
+  ErrorHooks& h = Hooks();
+  std::lock_guard<std::mutex> lock(h.mu);
+  int id = h.next_id++;
+  h.hooks[id] = std::move(hook);
+  return id;
+}
+
+void ClearLogErrorHook(int id) {
+  ErrorHooks& h = Hooks();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.hooks.erase(id);
+}
+
 void LogLine(LogLevel level, const std::string& message) {
   if (GetLogLevel() < level) {
     return;
@@ -80,9 +109,35 @@ void LogLine(LogLevel level, const std::string& message) {
                  static_cast<long long>(elapsed_ms / 1000),
                  static_cast<long long>(elapsed_ms % 1000), LevelTag(level),
                  message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+  }
+  if (level != LogLevel::kError) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+  // Fire error hooks after the line is on stderr, so a crashing hook still
+  // leaves the message visible.  Copy the hooks out under the lock: a hook may
+  // register or clear hooks (a kernel dump tearing down another kernel).
+  ErrorHooks& h = Hooks();
+  std::vector<std::function<void(const std::string&)>> fire;
+  {
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (h.running || h.hooks.empty()) {
+      return;  // Reentrant error from inside a hook: logged, not re-hooked.
+    }
+    h.running = true;
+    fire.reserve(h.hooks.size());
+    for (const auto& [id, hook] : h.hooks) {
+      fire.push_back(hook);
+    }
+  }
+  for (const auto& hook : fire) {
+    hook(message);
+  }
+  {
+    std::lock_guard<std::mutex> lock(h.mu);
+    h.running = false;
+  }
 }
 
 }  // namespace tacoma

@@ -13,6 +13,7 @@
 #ifndef TACOMA_UTIL_LOG_H_
 #define TACOMA_UTIL_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,6 +27,16 @@ LogLevel GetLogLevel();
 
 // Emits one log line (already filtered by the macros below).
 void LogLine(LogLevel level, const std::string& message);
+
+// Registers a callback invoked (after the line is written) for every
+// error-level message that passes the threshold — with the default "off"
+// level nothing fires.  Returns a registration id for ClearLogErrorHook, so
+// several kernels can each hang a flight recorder off the process-wide logger
+// and detach only their own on destruction.  Hooks run synchronously on the
+// logging thread and must tolerate reentrant TLOG_ERROR (the logger does not
+// recurse into hooks while one is already running).
+int SetLogErrorHook(std::function<void(const std::string&)> hook);
+void ClearLogErrorHook(int id);
 
 namespace internal {
 

@@ -105,6 +105,11 @@ std::optional<int64_t> MetricsRegistry::Value(const std::string& name) const {
   return std::nullopt;
 }
 
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 std::string MetricsRegistry::TextSnapshot() const {
   // Scalars (counters, probes, gauges) merge into one sorted namespace;
   // histograms render their derived statistics.
@@ -171,7 +176,11 @@ std::string MetricsRegistry::JsonSnapshot() const {
     }
     first = false;
     out += '"' + name + "\":{\"count\":" + std::to_string(histogram->count()) +
-           ",\"sum\":" + std::to_string(histogram->sum()) + ",\"buckets\":[";
+           ",\"sum\":" + std::to_string(histogram->sum()) +
+           ",\"p50\":" + std::to_string(histogram->ApproxPercentile(50)) +
+           ",\"p90\":" + std::to_string(histogram->ApproxPercentile(90)) +
+           ",\"p99\":" + std::to_string(histogram->ApproxPercentile(99)) +
+           ",\"buckets\":[";
     const auto& bounds = histogram->bounds();
     const auto& counts = histogram->bucket_counts();
     for (size_t i = 0; i < counts.size(); ++i) {

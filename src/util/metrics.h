@@ -101,12 +101,18 @@ class MetricsRegistry {
   bool Has(const std::string& name) const;
   // Point-in-time value of a scalar metric (counter, probe, or gauge).
   std::optional<int64_t> Value(const std::string& name) const;
+  // The named histogram, or nullptr.  Used by the sampler to read tracked
+  // percentiles without owning the instrument.
+  const Histogram* FindHistogram(const std::string& name) const;
 
   // "name value" per line, names sorted; histograms render count/sum/mean and
   // approximate p50/p99.
   std::string TextSnapshot() const;
   // {"counters":{...},"gauges":{...},"histograms":{...}} with sorted keys;
-  // probes appear under "counters".
+  // probes appear under "counters".  Each histogram carries count/sum, the
+  // precomputed approximate p50/p90/p99, and its buckets with explicit "le"
+  // bounds, so downstream consumers (sampler, benches, CI trajectories)
+  // never recompute percentiles from raw buckets.
   std::string JsonSnapshot() const;
 
  private:

@@ -1,0 +1,101 @@
+#include "util/sampler.h"
+
+#include <algorithm>
+
+namespace tacoma {
+
+namespace {
+
+// Splits "kernel.transfer_delivery_us.p99" into histogram name + percentile.
+// Returns false when `name` has no ".pNN" suffix.
+bool SplitPercentile(const std::string& name, std::string* base, double* pct) {
+  size_t dot = name.rfind(".p");
+  if (dot == std::string::npos || dot + 2 >= name.size()) {
+    return false;
+  }
+  const std::string digits = name.substr(dot + 2);
+  if (digits.empty() || digits.size() > 2 ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    return false;
+  }
+  *base = name.substr(0, dot);
+  *pct = std::stod(digits);
+  return true;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
+                                     SamplerOptions options)
+    : registry_(registry), options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+}
+
+void TimeSeriesSampler::Track(const std::string& name) {
+  series_.try_emplace(name);
+}
+
+int64_t TimeSeriesSampler::Read(const std::string& name) const {
+  if (auto value = registry_->Value(name)) {
+    return *value;
+  }
+  std::string base;
+  double pct = 0;
+  if (SplitPercentile(name, &base, &pct)) {
+    if (const Histogram* h = registry_->FindHistogram(base)) {
+      return static_cast<int64_t>(h->ApproxPercentile(pct));
+    }
+  }
+  return 0;  // Not registered (yet): the series reads as flat zero.
+}
+
+void TimeSeriesSampler::Sample(uint64_t now_us) {
+  ++samples_;
+  for (auto& [name, series] : series_) {
+    series.points.push_back(Point{now_us, Read(name)});
+    while (series.points.size() > options_.capacity) {
+      series.points.pop_front();
+      ++series.dropped;
+    }
+  }
+}
+
+uint64_t TimeSeriesSampler::points_dropped() const {
+  uint64_t total = 0;
+  for (const auto& [name, series] : series_) {
+    total += series.dropped;
+  }
+  return total;
+}
+
+std::string TimeSeriesSampler::JsonHistory(size_t tail) const {
+  std::string out = "{\"capacity\":" + std::to_string(options_.capacity) +
+                    ",\"samples\":" + std::to_string(samples_) + ",\"series\":[";
+  bool first = true;
+  for (const auto& [name, series] : series_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    // Metric names follow "<subsystem>.<field>" and need no escaping.
+    out += "{\"name\":\"" + name +
+           "\",\"dropped\":" + std::to_string(series.dropped) + ",\"points\":[";
+    size_t start = 0;
+    if (tail > 0 && series.points.size() > tail) {
+      start = series.points.size() - tail;
+    }
+    for (size_t i = start; i < series.points.size(); ++i) {
+      if (i > start) {
+        out += ',';
+      }
+      out += '[' + std::to_string(series.points[i].ts_us) + ',' +
+             std::to_string(series.points[i].value) + ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,76 @@
+// Time-series sampler over a MetricsRegistry.
+//
+// Snapshot metrics answer "what is the count now"; the ROADMAP's adaptive
+// planner and shard-balance work need "how did it get there".  The sampler
+// records selected scalar metrics (counters, probes, gauges) — and histogram
+// percentiles via the "<histogram>.pNN" suffix form — into one bounded ring
+// buffer per series.  Timestamps are simulator microseconds supplied by the
+// caller, so for a fixed seed two runs produce byte-identical histories; the
+// kernel drives the cadence (Kernel::ScheduleSampling pre-queues seeded
+// deterministic ticks, SampleNow takes a manual reading).
+#ifndef TACOMA_UTIL_SAMPLER_H_
+#define TACOMA_UTIL_SAMPLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace tacoma {
+
+struct SamplerOptions {
+  // Ring entries retained per series; the oldest point is evicted (and
+  // counted) past this.
+  size_t capacity = 240;
+};
+
+class TimeSeriesSampler {
+ public:
+  struct Point {
+    uint64_t ts_us = 0;
+    int64_t value = 0;
+  };
+
+  struct Series {
+    std::deque<Point> points;
+    uint64_t dropped = 0;  // Points evicted from the ring.
+  };
+
+  // The registry must outlive the sampler.
+  TimeSeriesSampler(const MetricsRegistry* registry, SamplerOptions options = {});
+
+  // Adds a series.  `name` is either a scalar metric name or
+  // "<histogram>.p50" / ".p90" / ".p99" for a tracked percentile.  Unknown
+  // names are tracked anyway and sample as 0 until the metric appears —
+  // services register their metrics after the kernel builds the sampler.
+  void Track(const std::string& name);
+  bool Tracks(const std::string& name) const { return series_.contains(name); }
+
+  // Takes one reading of every tracked series at time `now_us`.
+  void Sample(uint64_t now_us);
+
+  const std::map<std::string, Series>& series() const { return series_; }
+  uint64_t samples_taken() const { return samples_; }
+  uint64_t points_dropped() const;
+
+  // Full history: {"capacity":N,"samples":N,"series":[{"name":...,
+  // "dropped":N,"points":[[ts,v],...]},...]} — series sorted by name,
+  // deterministic for a fixed seed.  `tail` bounds points per series
+  // (0 = all retained points); the flight recorder dumps tails.
+  std::string JsonHistory(size_t tail = 0) const;
+
+ private:
+  int64_t Read(const std::string& name) const;
+
+  const MetricsRegistry* registry_;
+  SamplerOptions options_;
+  std::map<std::string, Series> series_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_SAMPLER_H_

@@ -296,14 +296,17 @@ TEST(CodeCacheDeterminismTest, CacheOffMatchesPreCacheGolden) {
   // Keys added after the golden was captured (all unconditionally registered)
   // are stripped alongside the code_cache.* ones: storage.* landed with the
   // crash-atomic persistence work, place.admission_*/tacl.manifest_* with the
-  // effect-manifest admission work.
+  // effect-manifest admission work, account.*/sampler.*/flight.* with the
+  // continuous-telemetry work.
   std::istringstream lines(k.metrics().TextSnapshot());
   std::string stripped;
   std::string line;
   while (std::getline(lines, line)) {
     if (line.rfind("code_cache.", 0) != 0 && line.rfind("storage.", 0) != 0 &&
         line.rfind("place.admission_", 0) != 0 &&
-        line.rfind("tacl.manifest_", 0) != 0) {
+        line.rfind("tacl.manifest_", 0) != 0 &&
+        line.rfind("account.", 0) != 0 && line.rfind("sampler.", 0) != 0 &&
+        line.rfind("flight.", 0) != 0) {
       stripped += line;
       stripped += '\n';
     }

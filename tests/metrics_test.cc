@@ -133,6 +133,38 @@ TEST(MetricsTest, JsonSnapshotShape) {
   EXPECT_NE(json.find("\"inf\""), std::string::npos);
 }
 
+TEST(MetricsTest, JsonSnapshotHistogramsCarryPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.AddHistogram("lat", {10, 100, 1000});
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(500);
+  }
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("\"p50\":" + std::to_string(h.ApproxPercentile(50))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p90\":" + std::to_string(h.ApproxPercentile(90))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p99\":" + std::to_string(h.ApproxPercentile(99))),
+            std::string::npos);
+  // Bucket bounds ride along so a consumer can reconstruct the CDF.
+  EXPECT_NE(json.find("\"le\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":1000"), std::string::npos);
+}
+
+TEST(MetricsTest, FindHistogramLocatesInstrument) {
+  MetricsRegistry registry;
+  Histogram& h = registry.AddHistogram("lat", {10, 100});
+  h.Observe(50);
+  const Histogram* found = registry.FindHistogram("lat");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &h);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+}
+
 TEST(MetricsTest, SharedStatisticsHelpers) {
   std::vector<uint64_t> values{5, 1, 9, 3, 7};
   EXPECT_EQ(PercentileOf(values, 0), 1u);

@@ -1,0 +1,549 @@
+// Continuous telemetry: the per-agent account ledger, the time-series
+// sampler, the flight recorder, and the WALLET billing hook.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cash/billing.h"
+#include "core/account.h"
+#include "core/briefcase.h"
+#include "core/kernel.h"
+#include "sim/chaos.h"
+#include "sim/topology.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/sampler.h"
+
+namespace tacoma {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- AccountKey derivation ---------------------------------------------------
+
+TEST(AccountKeyTest, ReadsAgentAndGuardIncarnation) {
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  bc.SetString("GUARD_INC", "7");
+  AccountKey key = AccountKeyFor(bc);
+  EXPECT_EQ(key.agent, "walker");
+  EXPECT_EQ(key.incarnation, 7u);
+
+  AccountKey named = AccountKeyFor("resident", bc);
+  EXPECT_EQ(named.agent, "resident");
+  EXPECT_EQ(named.incarnation, 7u);
+}
+
+TEST(AccountKeyTest, DefaultsAndMalformedIncarnation) {
+  Briefcase empty;
+  AccountKey key = AccountKeyFor(empty);
+  EXPECT_EQ(key.agent, "agent");
+  EXPECT_EQ(key.incarnation, 0u);
+
+  Briefcase bad;
+  bad.SetString("GUARD_INC", "7x");
+  EXPECT_EQ(AccountKeyFor(bad).incarnation, 0u);
+}
+
+// --- AccountLedger -----------------------------------------------------------
+
+TEST(AccountLedgerTest, ChargesAccumulatePerKeyAndInTotals) {
+  AccountLedger ledger(16);
+  AccountKey a{"a", 0};
+  AccountKey a2{"a", 2};  // A relaunched incarnation ledgered separately.
+  ledger.ChargeActivation(a, 100);
+  ledger.ChargeBytes(a, 512, 1);
+  ledger.ChargeBytes(a, 512, 0);  // Retry: bytes again, no new hop.
+  ledger.ChargeMeet(a);
+  ledger.ChargeFlush(a);
+  ledger.ChargeSpend(a, 3);
+  ledger.ChargeActivation(a2, 50);
+
+  const ResourceAccount* acct = ledger.Find(a);
+  ASSERT_NE(acct, nullptr);
+  EXPECT_EQ(acct->activations, 1u);
+  EXPECT_EQ(acct->eval_steps, 100u);
+  EXPECT_EQ(acct->bytes_sent, 1024u);
+  EXPECT_EQ(acct->hops, 1u);
+  EXPECT_EQ(acct->meets, 1u);
+  EXPECT_EQ(acct->flushes, 1u);
+  EXPECT_EQ(acct->ecu_spent, 3u);
+
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.totals().eval_steps, 150u);
+  EXPECT_EQ(ledger.totals().bytes_sent, 1024u);
+
+  auto rows = ledger.ForAgent("a");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first.incarnation, 0u);  // Incarnation-ascending.
+  EXPECT_EQ(rows[1].first.incarnation, 2u);
+  EXPECT_EQ(ledger.Find(AccountKey{"nobody", 0}), nullptr);
+}
+
+TEST(AccountLedgerTest, EvictsCheapestPastCapacityTotalsStayExact) {
+  AccountLedger ledger(2);
+  ledger.ChargeActivation(AccountKey{"rich", 0}, 1000);
+  ledger.ChargeActivation(AccountKey{"mid", 0}, 100);
+  ledger.ChargeActivation(AccountKey{"poor", 0}, 1);  // Insert forces eviction.
+
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.evictions(), 1u);
+  // The cheapest OTHER account was the victim — the fresh entry survives to
+  // take its charge; totals are exact regardless.
+  EXPECT_NE(ledger.Find(AccountKey{"rich", 0}), nullptr);
+  EXPECT_NE(ledger.Find(AccountKey{"poor", 0}), nullptr);
+  EXPECT_EQ(ledger.Find(AccountKey{"mid", 0}), nullptr);
+  EXPECT_EQ(ledger.totals().eval_steps, 1101u);
+  EXPECT_EQ(ledger.totals().activations, 3u);
+}
+
+TEST(AccountLedgerTest, TopKRanksByCostWithDeterministicTies) {
+  AccountLedger ledger(16);
+  ledger.ChargeBytes(AccountKey{"big", 0}, 5000, 1);
+  ledger.ChargeBytes(AccountKey{"twin_b", 0}, 100, 0);
+  ledger.ChargeBytes(AccountKey{"twin_a", 0}, 100, 0);
+  ledger.ChargeBytes(AccountKey{"small", 0}, 1, 0);
+
+  auto top = ledger.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first.agent, "big");
+  EXPECT_EQ(top[1].first.agent, "twin_a");  // Equal cost: key-ascending.
+  EXPECT_EQ(top[2].first.agent, "twin_b");
+}
+
+TEST(AccountLedgerTest, JsonSnapshotParsesAndBoundsTop) {
+  AccountLedger ledger(16);
+  for (int i = 0; i < 5; ++i) {
+    ledger.ChargeActivation(AccountKey{"agent\"" + std::to_string(i), 0},
+                            static_cast<uint64_t>(10 * (i + 1)));
+  }
+  std::string json = ledger.JsonSnapshot(2);
+  EXPECT_TRUE(JsonParses(json)) << json;
+  EXPECT_NE(json.find("\"entries\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  // Only the top-2 rows are listed even though five accounts exist.
+  EXPECT_NE(json.find("agent\\\"4"), std::string::npos);
+  EXPECT_EQ(json.find("agent\\\"0"), std::string::npos);
+}
+
+// --- Time-series sampler -----------------------------------------------------
+
+TEST(SamplerTest, RingEvictsOldestAndCountsDropped) {
+  MetricsRegistry registry;
+  Counter& c = registry.AddCounter("svc.ticks");
+  TimeSeriesSampler sampler(&registry, SamplerOptions{3});
+  sampler.Track("svc.ticks");
+  for (uint64_t t = 1; t <= 5; ++t) {
+    c.Increment();
+    sampler.Sample(t * 100);
+  }
+  const auto& series = sampler.series().at("svc.ticks");
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_EQ(series.dropped, 2u);
+  EXPECT_EQ(series.points.front().ts_us, 300u);  // Oldest two evicted.
+  EXPECT_EQ(series.points.back().value, 5);
+  EXPECT_EQ(sampler.samples_taken(), 5u);
+  EXPECT_EQ(sampler.points_dropped(), 2u);
+}
+
+TEST(SamplerTest, TracksHistogramPercentilesViaSuffix) {
+  MetricsRegistry registry;
+  Histogram& h = registry.AddHistogram("lat", {10, 100, 1000});
+  TimeSeriesSampler sampler(&registry);
+  sampler.Track("lat.p99");
+  for (int i = 0; i < 99; ++i) {
+    h.Observe(5);
+  }
+  h.Observe(900);
+  sampler.Sample(10);
+  const auto& series = sampler.series().at("lat.p99");
+  ASSERT_EQ(series.points.size(), 1u);
+  EXPECT_EQ(series.points[0].value,
+            static_cast<int64_t>(h.ApproxPercentile(99)));
+}
+
+TEST(SamplerTest, UnknownMetricSamplesZeroUntilRegistered) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  sampler.Track("late.arrival");
+  sampler.Sample(1);
+  registry.AddCounter("late.arrival").Increment(9);
+  sampler.Sample(2);
+  const auto& series = sampler.series().at("late.arrival");
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_EQ(series.points[0].value, 0);
+  EXPECT_EQ(series.points[1].value, 9);
+}
+
+TEST(SamplerTest, JsonHistoryDeterministicParsesAndTails) {
+  MetricsRegistry registry;
+  Counter& c = registry.AddCounter("a.n");
+  auto run = [&registry, &c] {
+    TimeSeriesSampler sampler(&registry, SamplerOptions{8});
+    sampler.Track("a.n");
+    for (uint64_t t = 1; t <= 4; ++t) {
+      sampler.Sample(t * 10);
+    }
+    return sampler.JsonHistory();
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(JsonParses(first)) << first;
+  (void)c;
+
+  TimeSeriesSampler sampler(&registry, SamplerOptions{8});
+  sampler.Track("a.n");
+  for (uint64_t t = 1; t <= 6; ++t) {
+    sampler.Sample(t);
+  }
+  std::string tailed = sampler.JsonHistory(/*tail=*/2);
+  EXPECT_TRUE(JsonParses(tailed)) << tailed;
+  // Six points retained, two exported.
+  EXPECT_EQ(tailed.find("[1,"), std::string::npos);
+  EXPECT_NE(tailed.find("[6,"), std::string::npos);
+}
+
+// --- Kernel choke-point charging --------------------------------------------
+
+TEST(KernelAccountingTest, TransferChargesSenderBytesHopsAndMeets) {
+  Kernel kernel;
+  auto sites = BuildLine(&kernel.net(), 3);
+  kernel.AdoptNetworkSites();
+  kernel.place(sites[2])->RegisterAgent(
+      "sink", [](Place&, Briefcase&) { return OkStatus(); });
+
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  // Two links from line end to end: bytes bill both traversals.
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[2], "sink", bc).ok());
+  kernel.sim().Run();
+
+  const ResourceAccount* acct =
+      kernel.accounts().Find(AccountKey{"walker", 0});
+  ASSERT_NE(acct, nullptr);
+  EXPECT_EQ(acct->hops, 1u);
+  EXPECT_EQ(acct->meets, 1u);
+  EXPECT_GT(acct->bytes_sent, 0u);
+  // The ledger's frame × links charge is exactly what the store-and-forward
+  // network counted per traversal.
+  EXPECT_EQ(acct->bytes_sent, kernel.net().stats().bytes_on_wire);
+}
+
+TEST(KernelAccountingTest, TaclActivationChargesEvalSteps) {
+  Kernel kernel;
+  SiteId site = kernel.AddSite("s0");
+  ASSERT_TRUE(kernel.LaunchAgent(site, "bc_set X 1; bc_set Y 2").ok());
+  kernel.sim().Run();
+
+  // The launched payload runs under ag_tacl with the default key.
+  const ResourceAccount* acct = kernel.accounts().Find(AccountKey{"agent", 0});
+  ASSERT_NE(acct, nullptr);
+  EXPECT_GE(acct->activations, 1u);
+  EXPECT_GT(acct->eval_steps, 0u);
+}
+
+TEST(KernelAccountingTest, AccountingOffMetersNothingButKeepsProbes) {
+  KernelOptions options;
+  options.telemetry.accounting = false;
+  Kernel kernel(options);
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  kernel.place(sites[1])->RegisterAgent(
+      "sink", [](Place&, Briefcase&) { return OkStatus(); });
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  kernel.sim().Run();
+
+  EXPECT_EQ(kernel.accounts().size(), 0u);
+  EXPECT_FALSE(kernel.accounting_enabled());
+  // The metric key set is mode-independent (CI goldens rely on this).
+  std::string snapshot = kernel.metrics().TextSnapshot();
+  EXPECT_NE(snapshot.find("account.agents 0"), std::string::npos);
+  EXPECT_NE(snapshot.find("account.bytes_sent 0"), std::string::npos);
+}
+
+TEST(KernelAccountingTest, ScheduledSamplingIsSeededDeterministic) {
+  auto run = [] {
+    KernelOptions options;
+    options.seed = 77;
+    Kernel kernel(options);
+    auto sites = BuildRing(&kernel.net(), 4);
+    kernel.AdoptNetworkSites();
+    kernel.AddPlaceInitializer([](Place& place) {
+      place.RegisterAgent("sink",
+                          [](Place&, Briefcase&) { return OkStatus(); });
+    });
+    for (int i = 0; i < 8; ++i) {
+      kernel.sim().At(1 + i * 5 * kMillisecond, [&kernel, &sites, i] {
+        Briefcase bc;
+        bc.SetString("AGENT", "w" + std::to_string(i % 2));
+        (void)kernel.TransferAgent(sites[i % 4], sites[(i + 1) % 4], "sink",
+                                   bc);
+      });
+    }
+    kernel.ScheduleSampling(100 * kMillisecond);
+    kernel.sim().Run();
+    return kernel.sampler().JsonHistory();
+  };
+  std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_TRUE(JsonParses(first));
+}
+
+// --- WALLET billing hook -----------------------------------------------------
+
+TEST(BillingTest, PriceOfAppliesRates) {
+  cash::BillingPrices prices;
+  prices.per_activation = 2;
+  prices.per_hop = 3;
+  prices.eval_steps_per_ecu = 100;
+  prices.bytes_per_ecu = 1000;
+  ResourceAccount usage;
+  usage.activations = 2;
+  usage.hops = 1;
+  usage.eval_steps = 250;
+  usage.bytes_sent = 2500;
+  EXPECT_EQ(cash::PriceOf(prices, usage), 2u * 2 + 3 + 2 + 2);
+
+  cash::BillingPrices off;
+  off.per_activation = 0;
+  off.per_hop = 0;
+  off.eval_steps_per_ecu = 0;
+  off.bytes_per_ecu = 0;
+  EXPECT_EQ(cash::PriceOf(off, usage), 0u);
+}
+
+TEST(BillingTest, WalletDebitedAtActivationBoundary) {
+  Kernel kernel;
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  cash::BillingPrices prices;
+  prices.per_activation = 4;
+  prices.per_hop = 1;
+  cash::InstallWalletBilling(&kernel, prices);
+
+  // Billing settles at the TACL activation boundary, so the agent travels as
+  // code for ag_tacl rather than meeting a native resident.
+  Briefcase bc;
+  bc.SetString("AGENT", "payer");
+  bc.SetString("WALLET", "100");
+  bc.folder(kCodeFolder).PushBackString("bc_set DONE 1");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "ag_tacl", bc).ok());
+  kernel.sim().Run();
+
+  const ResourceAccount* acct = kernel.accounts().Find(AccountKey{"payer", 0});
+  ASSERT_NE(acct, nullptr);
+  // One activation (4) + one hop (1), fully covered by the wallet.
+  EXPECT_EQ(acct->ecu_billed, 5u);
+  EXPECT_EQ(kernel.accounts().billing_shortfall(), 0u);
+}
+
+TEST(BillingTest, ShortfallRecordedWhenWalletRunsDry) {
+  Kernel kernel;
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  cash::BillingPrices prices;
+  prices.per_activation = 10;
+  cash::InstallWalletBilling(&kernel, prices);
+
+  Briefcase funded;
+  funded.SetString("AGENT", "broke");
+  funded.SetString("WALLET", "3");
+  funded.folder(kCodeFolder).PushBackString("bc_set DONE 1");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "ag_tacl", funded).ok());
+
+  Briefcase walletless;
+  walletless.SetString("AGENT", "stowaway");
+  walletless.folder(kCodeFolder).PushBackString("bc_set DONE 1");
+  ASSERT_TRUE(
+      kernel.TransferAgent(sites[0], sites[1], "ag_tacl", walletless).ok());
+  kernel.sim().Run();
+
+  const ResourceAccount* broke = kernel.accounts().Find(AccountKey{"broke", 0});
+  ASSERT_NE(broke, nullptr);
+  EXPECT_EQ(broke->ecu_billed, 3u);  // Everything the wallet had.
+  const ResourceAccount* stowaway =
+      kernel.accounts().Find(AccountKey{"stowaway", 0});
+  ASSERT_NE(stowaway, nullptr);
+  EXPECT_EQ(stowaway->ecu_billed, 0u);  // No wallet: all shortfall.
+  // Unpaid remainder from "broke" plus the stowaway's whole bill.
+  EXPECT_GT(kernel.accounts().billing_shortfall(), 0u);
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, ExplicitDumpIsAtomicAndParses) {
+  const std::string path = TempPath("flight_explicit.json");
+  std::remove(path.c_str());
+  Kernel kernel;
+  auto sites = BuildLine(&kernel.net(), 2);
+  kernel.AdoptNetworkSites();
+  kernel.place(sites[1])->RegisterAgent(
+      "sink", [](Place&, Briefcase&) { return OkStatus(); });
+  Briefcase bc;
+  bc.SetString("AGENT", "walker");
+  ASSERT_TRUE(kernel.TransferAgent(sites[0], sites[1], "sink", bc).ok());
+  kernel.sim().Run();
+
+  ASSERT_TRUE(kernel.DumpFlightRecord(path, "manual test dump").ok());
+  EXPECT_EQ(kernel.flight_dumps(), 1u);
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // Renamed into place.
+
+  std::string doc = ReadFileOrEmpty(path);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_TRUE(JsonParses(doc)) << doc.substr(0, 200);
+  EXPECT_NE(doc.find("\"reason\":\"manual test dump\""), std::string::npos);
+  EXPECT_NE(doc.find("\"accounts\""), std::string::npos);
+  EXPECT_NE(doc.find("\"sampler\""), std::string::npos);
+  EXPECT_NE(doc.find("\"trace\""), std::string::npos);
+  EXPECT_NE(doc.find("\"walker\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, EmptyTargetIsAnError) {
+  Kernel kernel;
+  EXPECT_FALSE(kernel.DumpFlightRecord("", "nowhere to land").ok());
+  EXPECT_EQ(kernel.flight_dumps(), 0u);
+}
+
+TEST(FlightRecorderTest, ChaosViolationTriggersDump) {
+  const std::string path = TempPath("flight_violation.json");
+  std::remove(path.c_str());
+  Kernel kernel;
+  auto sites = BuildRing(&kernel.net(), 3);
+  kernel.AdoptNetworkSites();
+
+  ChaosOptions chaos_options;
+  chaos_options.horizon = 100 * kMillisecond;
+  ChaosHarness chaos(&kernel.sim(), &kernel.net(), chaos_options);
+  chaos.AddInvariant("always.broken",
+                     [] { return InternalError("synthetic breakage"); });
+  kernel.AttachFlightRecorder(&chaos, path);
+
+  EXPECT_FALSE(chaos.CheckNow().ok());
+  EXPECT_GE(kernel.flight_dumps(), 1u);
+  std::string doc = ReadFileOrEmpty(path);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_TRUE(JsonParses(doc));
+  EXPECT_NE(doc.find("chaos.violation"), std::string::npos);
+  EXPECT_NE(doc.find("synthetic breakage"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, LogErrorTriggersDumpWhenEnabled) {
+  const std::string path = TempPath("flight_logerr.json");
+  std::remove(path.c_str());
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  {
+    KernelOptions options;
+    options.telemetry.flight_path = path;
+    options.telemetry.flight_on_log_error = true;
+    Kernel kernel(options);
+    TLOG_ERROR << "something terrible happened";
+    EXPECT_GE(kernel.flight_dumps(), 1u);
+    std::string doc = ReadFileOrEmpty(path);
+    ASSERT_FALSE(doc.empty());
+    EXPECT_TRUE(JsonParses(doc));
+    EXPECT_NE(doc.find("log.error"), std::string::npos);
+    EXPECT_NE(doc.find("something terrible happened"), std::string::npos);
+  }
+  // The kernel detached its hook on destruction: further errors do nothing.
+  std::remove(path.c_str());
+  TLOG_ERROR << "after teardown";
+  EXPECT_FALSE(FileExists(path));
+  SetLogLevel(saved);
+}
+
+// --- Log error hooks (the process-wide trigger plumbing) ---------------------
+
+TEST(LogHookTest, FiresOnlyForErrorLevelAndDetaches) {
+  LogLevel saved = GetLogLevel();
+  int fired = 0;
+  int id = SetLogErrorHook([&fired](const std::string&) { ++fired; });
+
+  SetLogLevel(LogLevel::kOff);
+  TLOG_ERROR << "suppressed";
+  EXPECT_EQ(fired, 0);
+
+  SetLogLevel(LogLevel::kError);
+  TLOG_ERROR << "counted";
+  EXPECT_EQ(fired, 1);
+  TLOG_WARN << "not an error";
+  EXPECT_EQ(fired, 1);
+
+  ClearLogErrorHook(id);
+  TLOG_ERROR << "after detach";
+  EXPECT_EQ(fired, 1);
+  SetLogLevel(saved);
+}
+
+TEST(LogHookTest, ReentrantErrorsDoNotRecurse) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int fired = 0;
+  int id = SetLogErrorHook([&fired](const std::string&) {
+    ++fired;
+    // A hook that itself logs an error must not re-enter the hook set.
+    TLOG_ERROR << "from inside the hook";
+  });
+  TLOG_ERROR << "outer";
+  EXPECT_EQ(fired, 1);
+  ClearLogErrorHook(id);
+  SetLogLevel(saved);
+}
+
+// --- JSON helpers ------------------------------------------------------------
+
+TEST(JsonUtilTest, EscapeHandlesQuotesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  std::string escaped = JsonEscape(std::string(1, '\x01'));
+  EXPECT_TRUE(JsonParses("\"" + escaped + "\""));
+}
+
+TEST(JsonUtilTest, ParsesAcceptsDocumentsRejectsGarbage) {
+  EXPECT_TRUE(JsonParses("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}"));
+  EXPECT_TRUE(JsonParses("[]"));
+  EXPECT_TRUE(JsonParses("-1.5e3"));
+  EXPECT_FALSE(JsonParses("{\"a\":}"));
+  EXPECT_FALSE(JsonParses("{\"a\":1"));
+  EXPECT_FALSE(JsonParses("[1,]"));
+  EXPECT_FALSE(JsonParses(""));
+  EXPECT_FALSE(JsonParses("{} trailing"));
+}
+
+}  // namespace
+}  // namespace tacoma

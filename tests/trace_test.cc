@@ -10,6 +10,7 @@
 #include "core/kernel.h"
 #include "core/trace.h"
 #include "sim/topology.h"
+#include "util/json.h"
 
 namespace tacoma {
 namespace {
@@ -205,6 +206,99 @@ TEST(TraceJourneyTest, TracingDisabledStampsNothing) {
   for (const std::string& f : folders) {
     EXPECT_NE(f, kTraceFolder);
   }
+}
+
+// --- Wrap-around behaviour (the flight recorder dumps tails of a buffer
+// that has usually wrapped by the time anything goes wrong) ------------------
+
+TEST(TraceBufferTest, ForTraceStaysCausallyOrderedAfterWrap) {
+  TraceBuffer buffer(/*capacity=*/6);
+  // Two interleaved journeys, 5 events each: the buffer keeps only the last
+  // 6 events overall.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    for (uint64_t trace : {uint64_t{1}, uint64_t{2}}) {
+      TraceEvent ev;
+      ev.trace_id = trace;
+      ev.span_id = i;
+      ev.name = "step" + std::to_string(i);
+      ev.ts = i * 10;
+      buffer.Record(std::move(ev));
+    }
+  }
+  EXPECT_EQ(buffer.recorded(), 10u);
+  EXPECT_EQ(buffer.dropped(), 4u);
+
+  std::vector<TraceEvent> journey = buffer.ForTrace(1);
+  ASSERT_EQ(journey.size(), 3u);  // Steps 1-2 of trace 1 were evicted.
+  EXPECT_EQ(journey.front().name, "step3");
+  EXPECT_EQ(journey.back().name, "step5");
+  for (size_t i = 1; i < journey.size(); ++i) {
+    EXPECT_LE(journey[i - 1].ts, journey[i].ts);  // Still time-ordered.
+  }
+}
+
+TEST(TraceBufferTest, ChromeTraceJsonParsesAfterWrap) {
+  TraceBuffer buffer(/*capacity=*/4);
+  for (uint64_t i = 1; i <= 12; ++i) {
+    TraceEvent ev;
+    ev.trace_id = i % 3;
+    ev.span_id = i;
+    ev.name = "hop\"" + std::to_string(i);  // Needs JSON escaping.
+    ev.site = "s" + std::to_string(i % 4);
+    ev.ts = i * 7;
+    buffer.Record(std::move(ev));
+  }
+  EXPECT_EQ(buffer.dropped(), 8u);
+  std::string json = buffer.ChromeTraceJson();
+  EXPECT_TRUE(JsonParses(json)) << json;
+  // Only retained events are exported.
+  EXPECT_EQ(json.find("hop\\\"8"), std::string::npos);
+  EXPECT_NE(json.find("hop\\\"12"), std::string::npos);
+}
+
+TEST(TraceBufferTest, ClearResetsEventsAndCounters) {
+  TraceBuffer buffer(/*capacity=*/2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.name = "e";
+    buffer.Record(std::move(ev));
+  }
+  EXPECT_EQ(buffer.recorded(), 5u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  buffer.Clear();
+  // A fresh start: the shell's `trace clear` zeroes the counters too.
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.ForTrace(0).size(), 0u);
+  EXPECT_EQ(buffer.recorded(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  // Recording resumes normally after the reset.
+  TraceEvent ev;
+  ev.name = "fresh";
+  buffer.Record(std::move(ev));
+  EXPECT_EQ(buffer.recorded(), 1u);
+  EXPECT_EQ(buffer.events().front().name, "fresh");
+}
+
+TEST(KernelTraceWrapTest, WrappedKernelBufferStillExportsValidJson) {
+  KernelOptions options;
+  options.trace_capacity = 16;  // Tiny: the workload wraps it many times.
+  Kernel kernel(options);
+  auto sites = BuildRing(&kernel.net(), 4);
+  kernel.AdoptNetworkSites();
+  kernel.AddPlaceInitializer([](Place& place) {
+    place.RegisterAgent("sink", [](Place&, Briefcase&) { return OkStatus(); });
+  });
+  for (int i = 0; i < 32; ++i) {
+    kernel.sim().At(1 + i * kMillisecond, [&kernel, &sites, i] {
+      Briefcase bc;
+      (void)kernel.TransferAgent(sites[i % 4], sites[(i + 1) % 4], "sink", bc);
+    });
+  }
+  kernel.sim().Run();
+
+  EXPECT_GT(kernel.trace().dropped(), 0u);
+  EXPECT_LE(kernel.trace().events().size(), 16u);
+  EXPECT_TRUE(JsonParses(kernel.trace().ChromeTraceJson()));
 }
 
 }  // namespace
