@@ -131,6 +131,19 @@ echo "=== [admission-smoke] bench_e10_analyze --smoke ==="
 ./build-ci/release/bench/bench_e10_analyze --smoke
 echo "=== [admission-smoke] ok ==="
 
+# VM smoke: the bytecode-VM bench gates the >=10x parse-heavy and >=2x
+# builtin-heavy speedups over the tree-walker, asserts CODE compile counts
+# stay flat across repeated 5-hop itineraries (warm digest hits skip parse
+# and compile), and re-runs the E11-style lossy-ring soak under both engines
+# demanding identical delivery.  Its snapshot must carry the vm.* counters.
+echo "=== [release] build bench_e16_vm (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target bench_e16_vm
+echo "=== [vm-smoke] bench_e16_vm --smoke ==="
+E16_JSON="build-ci/release/e16_metrics.json"
+./build-ci/release/bench/bench_e16_vm --smoke --metrics-out "${E16_JSON}"
+check_metrics "${E16_JSON}" core
+echo "=== [vm-smoke] ok ==="
+
 # Telemetry smoke: the continuous-telemetry bench gates metering overhead,
 # byte-identical sampler histories across two seeded runs, and a chaos soak
 # whose injected invariant failure must leave a parseable flight record that

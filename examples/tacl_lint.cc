@@ -6,7 +6,7 @@
 // manifest a site would evaluate its admission policy against.
 //
 // Usage: tacl_lint [--strict] [--capabilities] [--manifest] [--json]
-//                  [--policy rules.txt] [--builtin-only] file.tacl ...
+//                  [--disasm] [--policy rules.txt] [--builtin-only] file.tacl ...
 //        tacl_lint -            (read one script from stdin)
 //
 // Exit status: 0 clean, 1 diagnostics at the failing severity (or a policy
@@ -22,6 +22,8 @@
 #include "core/admission.h"
 #include "core/place.h"
 #include "tacl/analyze.h"
+#include "tacl/vm/bytecode.h"
+#include "tacl/vm/compiler.h"
 
 namespace {
 
@@ -92,11 +94,12 @@ std::string ReportToJson(const std::string& name,
 int Usage() {
   std::fprintf(stderr,
                "usage: tacl_lint [--strict] [--capabilities] [--manifest] "
-               "[--json] [--policy rules.txt] [--builtin-only] file.tacl ... | -\n"
+               "[--json] [--disasm] [--policy rules.txt] [--builtin-only] file.tacl ... | -\n"
                "  --strict        warnings also fail the lint\n"
                "  --capabilities  print what each script touches\n"
                "  --manifest      print each script's EffectManifest as JSON\n"
                "  --json          print the full report (diagnostics + manifest) as JSON\n"
+               "  --disasm        print each script's compiled bytecode listing\n"
                "  --policy FILE   evaluate an admission rules table; violations fail\n"
                "  --builtin-only  lint against the TACL standard library only\n");
   return 2;
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
   bool capabilities = false;
   bool manifest = false;
   bool json = false;
+  bool disasm = false;
   bool builtin_only = false;
   std::string policy_file;
   std::vector<std::string> files;
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
       manifest = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--disasm") == 0) {
+      disasm = true;
     } else if (std::strcmp(argv[i], "--policy") == 0) {
       if (i + 1 >= argc) {
         return Usage();
@@ -212,6 +218,21 @@ int main(int argc, char** argv) {
     if (manifest && !json) {
       std::printf("%s: manifest %s\n", display.c_str(),
                   report.manifest.ToJson().c_str());
+    }
+    if (disasm) {
+      // The same compile a place's digest-keyed unit cache would perform,
+      // with builtin inlining on (a fresh interp's command surface).
+      tacl::vm::CompileOptions copts;
+      Status compile_error = OkStatus();
+      auto unit = tacl::vm::Compile(source, copts, &compile_error);
+      if (unit == nullptr) {
+        std::printf("%s: disasm unavailable: %s\n", display.c_str(),
+                    compile_error.message().c_str());
+        ++errors;
+      } else {
+        std::printf("%s: disassembly\n%s", display.c_str(),
+                    tacl::vm::Disassemble(*unit).c_str());
+      }
     }
     if (have_policy) {
       AdmissionSummary summary = AdmissionSummary::FromReport(report);

@@ -5,7 +5,8 @@
 
 namespace tacoma {
 
-CodeCache::CodeCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+CodeCache::CodeCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), units_(capacity_) {}
 
 std::string CodeCache::DigestOf(const Folder& code) {
   Encoder enc;
@@ -49,6 +50,24 @@ void CodeCache::set_capacity(size_t capacity) {
   capacity_ = capacity == 0 ? 1 : capacity;
   EvictToCapacity();
 }
+
+std::shared_ptr<const tacl::vm::CompiledUnit> CodeCache::GetUnit(
+    const std::string& digest_hex) {
+  if (auto* unit = units_.Get(digest_hex)) {
+    ++unit_stats_.hits;
+    return *unit;
+  }
+  ++unit_stats_.misses;
+  return nullptr;
+}
+
+void CodeCache::PutUnit(const std::string& digest_hex,
+                        std::shared_ptr<const tacl::vm::CompiledUnit> unit) {
+  ++unit_stats_.inserts;
+  units_.Put(digest_hex, std::move(unit));
+}
+
+void CodeCache::ClearUnits() { units_.Clear(); }
 
 void CodeCache::EvictToCapacity() {
   while (entries_.size() > capacity_) {

@@ -18,10 +18,13 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/folder.h"
+#include "tacl/vm/bytecode.h"
 #include "util/bytes.h"
+#include "util/lru.h"
 
 namespace tacoma {
 
@@ -62,6 +65,33 @@ class CodeCache {
   void set_capacity(size_t capacity);
   const Stats& stats() const { return stats_; }
 
+  // --- Compiled-unit side cache -----------------------------------------------
+  //
+  // Warm hops skip the parse too: alongside the folder bytes, the place keeps
+  // the CODE's compiled bytecode unit under the same SHA-256 digest key.  A
+  // unit is immutable and interp-independent (inlining mismatches are caught
+  // at run time by the interp's builtin epoch), so one compile serves every
+  // later activation of the same code at this place.  Volatile like the rest
+  // of the cache, and cleared whenever the place's command surface changes.
+
+  struct UnitStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;  // LRU pressure on the unit side cache.
+  };
+
+  // Returns the cached unit (refreshing its LRU position) or nullptr.
+  std::shared_ptr<const tacl::vm::CompiledUnit> GetUnit(const std::string& digest_hex);
+  void PutUnit(const std::string& digest_hex,
+               std::shared_ptr<const tacl::vm::CompiledUnit> unit);
+  void ClearUnits();
+  UnitStats unit_stats() const {
+    UnitStats s = unit_stats_;
+    s.evictions = units_.evictions();
+    return s;
+  }
+
  private:
   struct Entry {
     Folder code;
@@ -75,6 +105,8 @@ class CodeCache {
   std::list<std::string> lru_;  // Front = most recently used.
   std::map<std::string, Entry> entries_;
   Stats stats_;
+  LruMap<std::shared_ptr<const tacl::vm::CompiledUnit>> units_;
+  UnitStats unit_stats_;
 };
 
 }  // namespace tacoma

@@ -310,6 +310,46 @@ void Kernel::RegisterKernelMetrics() {
     return total;
   });
 
+  // Bytecode-VM counters (registered unconditionally, like every probe: all
+  // zero when TACOMA_TACL_VM=0 routes evaluation through the tree-walker).
+  // Per-activation interpreter stats are folded into Place::Stats after each
+  // activation; the digest-keyed compiled-unit cache is summed live.
+  metrics_.AddProbe("vm.compiles",
+                    [sum_places] { return sum_places(&Place::Stats::vm_compiles); });
+  metrics_.AddProbe("vm.unit_cache_hits", [sum_places] {
+    return sum_places(&Place::Stats::vm_unit_cache_hits);
+  });
+  metrics_.AddProbe("vm.unit_cache_evictions", [sum_places] {
+    return sum_places(&Place::Stats::vm_unit_cache_evictions);
+  });
+  metrics_.AddProbe("vm.dispatches",
+                    [sum_places] { return sum_places(&Place::Stats::vm_dispatches); });
+  metrics_.AddProbe("vm.invokes",
+                    [sum_places] { return sum_places(&Place::Stats::vm_invokes); });
+  metrics_.AddProbe("vm.shimmers",
+                    [sum_places] { return sum_places(&Place::Stats::vm_shimmers); });
+  metrics_.AddProbe("vm.stmt_fallbacks", [sum_places] {
+    return sum_places(&Place::Stats::vm_stmt_fallbacks);
+  });
+  metrics_.AddProbe("tacl.parse_cache_evictions", [sum_places] {
+    return sum_places(&Place::Stats::tacl_parse_cache_evictions);
+  });
+  auto sum_unit_caches = [this](uint64_t CodeCache::UnitStats::* field) {
+    uint64_t total = 0;
+    for (const auto& place : places_) {
+      if (place != nullptr) {
+        total += place->code_cache().unit_stats().*field;
+      }
+    }
+    return total;
+  };
+  metrics_.AddProbe("vm.code_cache_unit_hits", [sum_unit_caches] {
+    return sum_unit_caches(&CodeCache::UnitStats::hits);
+  });
+  metrics_.AddProbe("vm.code_cache_unit_misses", [sum_unit_caches] {
+    return sum_unit_caches(&CodeCache::UnitStats::misses);
+  });
+
   // Storage-layer durability accounting (see docs/persistence.md).  The
   // StorageStats struct is kernel-owned, so the counters survive the site
   // crashes whose recoveries they count.

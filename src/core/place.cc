@@ -294,8 +294,40 @@ Status Place::RunAgentCode(const std::string& code, Briefcase& bc,
     activation.effects = &record;
   }
 
-  tacl::Outcome out = interp.Eval(code);
+  tacl::Outcome out;
+  if (interp.vm_enabled()) {
+    // Digest-keyed compiled-unit fast path: the same CODE activated again at
+    // this place (a warm hop, a resident TACL agent met repeatedly) skips
+    // both the parse and the compile.  The key is the same SHA-256 digest
+    // admission uses, so one string hash serves both caches.
+    const std::string digest = DigestToHex(Sha256::Hash(code));
+    std::shared_ptr<const tacl::vm::CompiledUnit> unit = code_cache_.GetUnit(digest);
+    if (unit == nullptr) {
+      Status compile_error = OkStatus();
+      unit = interp.CompileUnit(code, &compile_error);
+      if (unit == nullptr) {
+        // Same shape Eval would have produced for the unparsable script.
+        out = tacl::Error("parse error: " + compile_error.message());
+      } else {
+        code_cache_.PutUnit(digest, unit);
+      }
+    }
+    if (unit != nullptr) {
+      out = interp.RunUnit(unit);
+    }
+  } else {
+    out = interp.Eval(code);
+  }
   stats_.interp_steps += interp.steps();
+  const tacl::Interp::VmStats vm = interp.vm_stats();
+  stats_.vm_compiles += vm.compiles;
+  stats_.vm_unit_cache_hits += vm.unit_cache_hits;
+  stats_.vm_unit_cache_evictions += vm.unit_cache_evictions;
+  stats_.vm_dispatches += vm.dispatches;
+  stats_.vm_invokes += vm.invokes;
+  stats_.vm_shimmers += vm.shimmers;
+  stats_.vm_stmt_fallbacks += vm.stmt_fallbacks;
+  stats_.tacl_parse_cache_evictions += interp.parse_cache_evictions();
 
   if (kernel_->accounting_enabled()) {
     // The activation boundary is the metering point: one activation plus

@@ -80,6 +80,16 @@ class Place {
     // analyzer soundness bugs, and the chaos soak asserts the counter is zero.
     uint64_t manifest_violations = 0;
     uint64_t manifest_violations_static = 0;
+    // Bytecode-VM counters, aggregated from each activation interpreter after
+    // it runs (tacl::Interp::VmStats) plus the place's digest-keyed unit cache.
+    uint64_t vm_compiles = 0;
+    uint64_t vm_unit_cache_hits = 0;       // Per-interp (script-text keyed).
+    uint64_t vm_unit_cache_evictions = 0;
+    uint64_t vm_dispatches = 0;
+    uint64_t vm_invokes = 0;
+    uint64_t vm_shimmers = 0;
+    uint64_t vm_stmt_fallbacks = 0;
+    uint64_t tacl_parse_cache_evictions = 0;
   };
 
   Place(Kernel* kernel, SiteId site, std::string name);
@@ -170,8 +180,10 @@ class Place {
   void AddBinder(Binder binder) {
     binders_.push_back(std::move(binder));
     // The command surface changed, so cached summaries keyed under the old
-    // fingerprint no longer describe this place's analysis environment.
+    // fingerprint no longer describe this place's analysis environment, and
+    // cached compiled units were built against the old surface.
     cmd_fingerprint_.clear();
+    code_cache_.ClearUnits();
   }
 
   // Where `log`/`puts` output from agents goes.

@@ -817,7 +817,11 @@ class ExprParser {
       if (!need(2)) {
         return Val::Int(0);
       }
-      return Val::Double(std::pow(num(args[0]).AsDouble(), num(args[1]).AsDouble()));
+      // Sequence the conversions: function-argument evaluation order is
+      // unspecified, and first-error-wins must pick args[0]'s error.
+      double base = num(args[0]).AsDouble();
+      double exponent = num(args[1]).AsDouble();
+      return Val::Double(std::pow(base, exponent));
     }
     if (name == "floor") {
       if (!need(1)) {

@@ -1,20 +1,70 @@
 #include "tacl/interp.h"
 
+#include <cstdlib>
+
 #include "tacl/list.h"
+#include "tacl/vm/compiler.h"
+#include "tacl/vm/vm.h"
 
 namespace tacoma::tacl {
 
 namespace {
-constexpr size_t kParseCacheMax = 512;
+constexpr size_t kParseCacheCapacity = 128;
+constexpr size_t kUnitCacheCapacity = 128;
+
+// The builtins the bytecode compiler inlines; shadowing or removing one of
+// these invalidates inlined fast paths (see Interp::NoteCommandMutation).
+bool IsInlinableBuiltin(const std::string& name) {
+  return name == "set" || name == "incr" || name == "if" || name == "while" ||
+         name == "for" || name == "foreach" || name == "break" ||
+         name == "continue" || name == "return" || name == "expr";
+}
+
+bool ReadVmEnvDefault() {
+  const char* env = std::getenv("TACOMA_TACL_VM");
+  if (env == nullptr) {
+    return true;
+  }
+  std::string v(env);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+bool& VmDefaultFlag() {
+  static bool flag = ReadVmEnvDefault();
+  return flag;
+}
 }  // namespace
 
-Interp::Interp() {
+bool VmDefaultEnabled() { return VmDefaultFlag(); }
+void SetVmDefaultEnabled(bool enabled) { VmDefaultFlag() = enabled; }
+
+Interp::Interp()
+    : parse_cache_(kParseCacheCapacity),
+      unit_cache_(kUnitCacheCapacity),
+      vm_enabled_(VmDefaultEnabled()) {
   frames_.emplace_back();
   RegisterBuiltins(this);
+  builtins_ready_ = true;
+}
+
+void Interp::NoteCommandMutation(const std::string& name, bool removed) {
+  if (removed) {
+    ++command_table_epoch_;
+  }
+  if (builtins_ready_ && IsInlinableBuiltin(name)) {
+    ++builtin_epoch_;
+    // Cached units that inlined this builtin would degrade statement-by-
+    // statement; recompiles (generic invokes only) replace them.
+    unit_cache_.Clear();
+  }
 }
 
 void Interp::Register(const std::string& name, CommandFn fn) {
   commands_[name] = std::move(fn);
+  NoteCommandMutation(name, /*removed=*/false);
 }
 
 bool Interp::HasCommand(const std::string& name) const {
@@ -24,6 +74,7 @@ bool Interp::HasCommand(const std::string& name) const {
 void Interp::RemoveCommand(const std::string& name) {
   commands_.erase(name);
   procs_.erase(name);
+  NoteCommandMutation(name, /*removed=*/true);
 }
 
 std::vector<std::string> Interp::CommandNames() const {
@@ -73,10 +124,24 @@ std::optional<std::string> Interp::GetVar(const std::string& name) const {
   if (it == frame->vars.end()) {
     return std::nullopt;
   }
-  return it->second;
+  return it->second.AsString();
 }
 
 void Interp::SetVar(const std::string& name, std::string value) {
+  auto [frame, resolved] = ResolveVar(name);
+  frame->vars[resolved] = vm::Value::Str(std::move(value));
+}
+
+const vm::Value* Interp::GetVarValue(const std::string& name) {
+  auto [frame, resolved] = ResolveVar(name);
+  auto it = frame->vars.find(resolved);
+  if (it == frame->vars.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void Interp::SetVarValue(const std::string& name, vm::Value value) {
   auto [frame, resolved] = ResolveVar(name);
   frame->vars[resolved] = std::move(value);
 }
@@ -147,6 +212,7 @@ Status Interp::DefineProc(const std::string& name, const std::string& params,
     }
     return interp.CallProc(name, it->second, argv);
   };
+  NoteCommandMutation(name, /*removed=*/false);
   return OkStatus();
 }
 
@@ -176,9 +242,9 @@ Outcome Interp::CallProc(const std::string& name, const Proc& proc,
   size_t given = argv.size() - 1;
   for (size_t i = 0; i < params.size(); ++i) {
     if (i < given) {
-      frame.vars[params[i].name] = argv[i + 1];
+      frame.vars[params[i].name] = vm::Value::Str(argv[i + 1]);
     } else if (params[i].default_value.has_value()) {
-      frame.vars[params[i].name] = *params[i].default_value;
+      frame.vars[params[i].name] = vm::Value::Str(*params[i].default_value);
     } else {
       return Error("wrong # args: should be \"" + name + " ...\"");
     }
@@ -188,7 +254,7 @@ Outcome Interp::CallProc(const std::string& name, const Proc& proc,
     for (size_t i = params.size() + 1; i < argv.size(); ++i) {
       rest.push_back(argv[i]);
     }
-    frame.vars["args"] = FormatList(rest);
+    frame.vars["args"] = vm::Value::Str(FormatList(rest));
   } else if (given > params.size()) {
     return Error("wrong # args: should be \"" + name + " ...\"");
   }
@@ -211,9 +277,8 @@ Outcome Interp::CallProc(const std::string& name, const Proc& proc,
 std::shared_ptr<const std::vector<ParsedCommand>> Interp::ParseCached(
     std::string_view script, Status* error) {
   std::string key(script);
-  auto it = parse_cache_.find(key);
-  if (it != parse_cache_.end()) {
-    return it->second;
+  if (auto* cached = parse_cache_.Get(key)) {
+    return *cached;
   }
   auto parsed = ParseScript(script);
   if (!parsed.ok()) {
@@ -222,14 +287,18 @@ std::shared_ptr<const std::vector<ParsedCommand>> Interp::ParseCached(
   }
   auto shared =
       std::make_shared<const std::vector<ParsedCommand>>(std::move(parsed).value());
-  if (parse_cache_.size() >= kParseCacheMax) {
-    parse_cache_.clear();
-  }
-  parse_cache_.emplace(std::move(key), shared);
+  parse_cache_.Put(std::move(key), shared);
   return shared;
 }
 
 Outcome Interp::Eval(std::string_view script) {
+  if (vm_enabled_) {
+    return EvalCompiled(script);
+  }
+  return EvalTree(script);
+}
+
+Outcome Interp::EvalTree(std::string_view script) {
   Status parse_error = OkStatus();
   auto commands = ParseCached(script, &parse_error);
   if (commands == nullptr) {
@@ -244,6 +313,62 @@ Outcome Interp::Eval(std::string_view script) {
     return Error("invoked \"break\" or \"continue\" outside of a loop");
   }
   return out;
+}
+
+std::shared_ptr<const vm::CompiledUnit> Interp::CompileUnit(std::string_view script,
+                                                            Status* error) {
+  vm::CompileOptions options;
+  options.inline_builtins = builtin_epoch_ == 0;
+  ++vm_stats_.compiles;
+  return vm::Compile(script, options, error);
+}
+
+Outcome Interp::EvalCompiled(std::string_view script) {
+  std::string key(script);
+  if (auto* cached = unit_cache_.Get(key)) {
+    ++vm_stats_.unit_cache_hits;
+    return RunUnit(*cached);
+  }
+  Status error = OkStatus();
+  auto unit = CompileUnit(script, &error);
+  if (unit == nullptr) {
+    return Error("parse error: " + error.message());
+  }
+  unit_cache_.Put(std::move(key), unit);
+  return RunUnit(unit);
+}
+
+Outcome Interp::RunUnit(const std::shared_ptr<const vm::CompiledUnit>& unit) {
+  ++eval_depth_;
+  Outcome out = vm::Runner(*this, *unit).Run();
+  --eval_depth_;
+  if (eval_depth_ == 0 &&
+      (out.code == Code::kBreak || out.code == Code::kContinue)) {
+    return Error("invoked \"break\" or \"continue\" outside of a loop");
+  }
+  return out;
+}
+
+Outcome Interp::ExecParsedCommand(const ParsedCommand& cmd) {
+  std::vector<std::string> argv;
+  argv.reserve(cmd.words.size());
+  for (const Word& word : cmd.words) {
+    std::string value;
+    Outcome sub = SubstituteWord(word, &value);
+    if (!sub.ok()) {
+      return sub;
+    }
+    argv.push_back(std::move(value));
+  }
+  if (argv.empty()) {
+    return Ok();  // Unreachable: the parser filters empty commands.
+  }
+  return EvalCommand(argv);
+}
+
+const Interp::CommandFn* Interp::FindCommandFn(const std::string& name) const {
+  auto it = commands_.find(name);
+  return it == commands_.end() ? nullptr : &it->second;
 }
 
 Outcome Interp::RunParsed(const std::vector<ParsedCommand>& commands) {

@@ -22,9 +22,15 @@
 #include <vector>
 
 #include "tacl/parse.h"
+#include "tacl/vm/bytecode.h"
+#include "util/lru.h"
 #include "util/status.h"
 
 namespace tacoma::tacl {
+
+namespace vm {
+class Runner;
+}  // namespace vm
 
 // Tcl-style result codes.  kReturn/kBreak/kContinue unwind to the construct
 // that consumes them (proc call, loop); reaching top level as kBreak/kContinue
@@ -110,10 +116,43 @@ class Interp {
   void set_context(void* context) { context_ = context; }
   void* context() const { return context_; }
 
+  // --- Bytecode VM ----------------------------------------------------------------
+
+  struct VmStats {
+    uint64_t compiles = 0;            // Units compiled by this interp.
+    uint64_t unit_cache_hits = 0;     // Per-interp unit-cache hits.
+    uint64_t unit_cache_evictions = 0;
+    uint64_t dispatches = 0;          // VM instructions executed.
+    uint64_t invokes = 0;             // Generic command invocations from the VM.
+    uint64_t shimmers = 0;            // Numeric->string materializations.
+    uint64_t stmt_fallbacks = 0;      // Epoch-mismatch per-statement fallbacks.
+  };
+
+  // Eval routes through the VM when enabled (the default follows
+  // VmDefaultEnabled()); the tree-walk engine remains as EvalTree, both for
+  // fallbacks and as the differential-testing oracle.
+  void set_vm_enabled(bool on) { vm_enabled_ = on; }
+  bool vm_enabled() const { return vm_enabled_; }
+  VmStats vm_stats() const {
+    VmStats s = vm_stats_;
+    s.unit_cache_evictions = unit_cache_.evictions();
+    return s;
+  }
+  uint64_t parse_cache_evictions() const { return parse_cache_.evictions(); }
+
+  // Compiles `script` against the interp's current builtin surface.  Returns
+  // nullptr and sets *error on a parse failure.  Counts a compile.
+  std::shared_ptr<const vm::CompiledUnit> CompileUnit(std::string_view script,
+                                                      Status* error);
+  // Runs a pre-compiled unit (e.g. from a place's digest-keyed code cache),
+  // with Eval's top-level break/continue conversion.
+  Outcome RunUnit(const std::shared_ptr<const vm::CompiledUnit>& unit);
+
  private:
   friend class FrameGuard;
+  friend class vm::Runner;
   struct Frame {
-    std::map<std::string, std::string> vars;
+    std::map<std::string, vm::Value> vars;
     // Aliased names: local name -> (absolute frame index, name there).
     // `global x` is the special case {0, x}; `upvar` makes arbitrary ones.
     std::map<std::string, std::pair<size_t, std::string>> links;
@@ -139,6 +178,24 @@ class Interp {
   Outcome CallProc(const std::string& name, const Proc& proc,
                    const std::vector<std::string>& argv);
 
+  // The tree-walk evaluation path (also the VM's differential oracle).
+  Outcome EvalTree(std::string_view script);
+  // The VM evaluation path: per-interp unit cache keyed by script text.
+  Outcome EvalCompiled(std::string_view script);
+  // Substitutes and dispatches one parsed command without counting a step —
+  // the per-statement fallback the VM uses when a unit's inlined builtins no
+  // longer match the interp's builtin surface (the kStmt op has already
+  // counted the step, exactly as RunParsed would have).
+  Outcome ExecParsedCommand(const ParsedCommand& cmd);
+  const CommandFn* FindCommandFn(const std::string& name) const;
+  // Epoch bookkeeping for command-table mutations (Register/Remove/proc
+  // definition); shadowing an inlinable builtin invalidates inlined units.
+  void NoteCommandMutation(const std::string& name, bool removed);
+
+  // Typed variable access for the VM (dual-representation values).
+  const vm::Value* GetVarValue(const std::string& name);
+  void SetVarValue(const std::string& name, vm::Value value);
+
   // Parse cache: loop bodies are re-evaluated constantly; caching the parse
   // keeps interpretation roughly linear.
   std::shared_ptr<const std::vector<ParsedCommand>> ParseCached(std::string_view script,
@@ -147,7 +204,8 @@ class Interp {
   std::map<std::string, CommandFn> commands_;
   std::map<std::string, Proc> procs_;
   std::vector<Frame> frames_;
-  std::map<std::string, std::shared_ptr<const std::vector<ParsedCommand>>> parse_cache_;
+  LruMap<std::shared_ptr<const std::vector<ParsedCommand>>> parse_cache_;
+  LruMap<std::shared_ptr<const vm::CompiledUnit>> unit_cache_;
 
   uint64_t steps_ = 0;
   int eval_depth_ = 0;
@@ -155,7 +213,25 @@ class Interp {
   size_t max_depth_ = 256;
   OutputFn output_;
   void* context_ = nullptr;
+
+  bool vm_enabled_;  // Initialized from VmDefaultEnabled().
+  // Bumped when an inlinable builtin is registered/removed/shadowed after
+  // construction; nonzero disables inlined-unit fast paths (see Op::kStmt).
+  uint64_t builtin_epoch_ = 0;
+  // Bumped when a command is removed (erase invalidates map nodes that VM
+  // runners may hold CommandFn pointers into).
+  uint64_t command_table_epoch_ = 0;
+  bool builtins_ready_ = false;  // True once the constructor's builtins are in.
+  VmStats vm_stats_;
+  uint64_t vm_shimmers_claimed_ = 0;  // Nested-runner shimmer attribution.
 };
+
+// Process-wide default for new interps, initialized lazily from the
+// TACOMA_TACL_VM environment variable (on unless "0"/"off"/"false").
+// SetVmDefaultEnabled overrides it (benchmarks and differential tests flip
+// engines per run).
+bool VmDefaultEnabled();
+void SetVmDefaultEnabled(bool enabled);
 
 // Registers the standard command set (set/if/while/list/string/expr/...).
 // Called by the Interp constructor; exposed for tests that build bare interps.

@@ -1,0 +1,150 @@
+// TACL bytecode: instruction set, compiled-unit layout, and disassembler.
+//
+// A CompiledUnit is a flat instruction array over three constant pools
+// (values, names, parsed-command trees) plus side tables describing loops,
+// foreach headers, expr barriers, and per-statement fallback anchors.  The
+// compiler inlines only forms whose semantics it fully understands
+// (set/incr/if/while/for/foreach/break/continue/return/expr and the full expr
+// grammar); everything else becomes a generic invoke that dispatches through
+// the same registered CommandFn the tree-walk engine would call, so observable
+// behavior — Outcome codes, values, error strings, step counts — is identical
+// by construction.
+#ifndef TACOMA_TACL_VM_BYTECODE_H_
+#define TACOMA_TACL_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tacl/parse.h"
+#include "tacl/vm/value.h"
+
+namespace tacoma::tacl::vm {
+
+enum class Op : uint8_t {
+  // --- statements / control ---
+  kStmt,             // a=stmt index: count one interp step, check the step
+                     // limit, and (if the unit inlined builtins) verify the
+                     // builtin surface is unchanged — on epoch mismatch the
+                     // whole source statement is re-run through the tree-walk
+                     // and execution resumes at stmts[a].next_pc.
+  kJump,             // a=target pc
+  kDone,             // return Ok(result register)
+  kReturnEmpty,      // raise {kReturn, ""} through the outcome handler
+  kReturnValue,      // pop v -> raise {kReturn, str(v)}
+  kRaiseCode,        // a=Code as int: raise {code, ""} — a break/continue with
+                     // no enclosing compiled loop (the unit returns it and the
+                     // caller — an outer loop, proc call, or Eval — consumes it)
+
+  // --- operand stack ---
+  kPushConst,        // a=const index
+  kLoadVar,          // a=name index: push variable value (error if unset)
+  kConcat,           // a=n: pop n values, push their string concatenation
+  kPopN,             // a=n: discard n values (stack cleanup before a compiled
+                     // break/continue jumps out of word assembly)
+
+  // --- result register ---
+  kResultClear,      // result = "" (fresh Eval of a block)
+  kResultPop,        // pop v -> result = v
+  kPushResult,       // push result (doubles normalized: the tree-walk engine
+                     // passes nested-script results through Outcome strings)
+
+  // --- variables / invocation ---
+  kSetVar,           // a=name index: pop v, store normalized, result = v
+  kIncrVar,          // a=name index: pop delta, incr semantics, result = new
+  kInvoke,           // a=name index (argv[0]), b=argc: pop argc words,
+                     // dispatch via Interp::commands_, result = outcome value
+  kInvokeDyn,        // a=argc: like kInvoke but argv[0] popped from the stack
+
+  // --- branches ---
+  kJumpIfFalse,      // a=target: pop v, expr-Truthy, jump if false
+  kCondJumpIfFalse,  // a=target: pop v, EvalCondition truthiness, jump if false
+  kJumpZeroPushZero, // a=target: pop v, Truthy; if false push Int(0) and jump
+                     // (short-circuit &&)
+  kJumpOnePushOne,   // a=target: pop v, Truthy; if true push Int(1) and jump
+                     // (short-circuit ||)
+  kTruthy,           // pop v, push Int(0|1) by expr-Truthy
+
+  // --- expr operators (exact ExprParser semantics, messages included) ---
+  kAdd, kSub, kMul, kDiv, kMod,
+  kNeg, kToNum, kNot, kBitNot,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+  kStrEq, kStrNe,    // eq / ne
+  kMathFn,           // a=MathFn id, b=argc: pop argc args, apply
+  kFail,             // a=const index: raise Error(message) — used for errors
+                     // the tree-walk engine only reports when a live branch
+                     // actually reaches them (e.g. unknown math function)
+
+  // --- foreach ---
+  kForeachBegin,     // a=foreach index: pop values word, ParseList (error:
+                     // "bad value list in foreach"), push iteration state
+  kForeachIter,      // a=foreach index, b=exit pc: assign next stride of vars
+                     // or (when exhausted) pop state and jump to exit
+  kForeachEnd,       // pop iteration state (break landing pad)
+
+  // --- fallbacks (tree-walk escape hatches, exact by definition) ---
+  kEvalExprPush,     // a=const index (expr text): EvalExpr, push string result
+  kCondEvalPush,     // a=const index (cond text): EvalCondition, push Int(0|1)
+  kEvalScriptPush,   // a=const index (script text): Interp::Eval, push value
+};
+
+struct Instr {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+};
+
+// One compiled source statement: which ParsedCommand it came from and where
+// execution resumes after the statement, for the epoch-mismatch fallback.
+struct StmtRef {
+  uint32_t tree;     // index into CompiledUnit::trees
+  uint32_t index;    // command index within that tree
+  uint32_t next_pc;  // pc of the first instruction after this statement
+};
+
+struct ForeachInfo {
+  std::vector<std::string> names;  // loop variables (compile-time literal)
+};
+
+// Loop extent for unwinding kBreak/kContinue outcomes returned by generic
+// invokes (or fallback evals) executed inside an inlined loop body.  Entries
+// are appended as loops finish compiling, so inner loops precede outer ones
+// and the first range containing a pc is the innermost.
+struct LoopInfo {
+  uint32_t body_begin = 0;   // [body_begin, body_end) — pcs of the loop body
+  uint32_t body_end = 0;
+  uint32_t break_pc = 0;     // jump target for break
+  uint32_t continue_pc = 0;  // jump target for continue
+  uint32_t stack_depth = 0;  // operand-stack depth at loop statement entry
+  uint32_t foreach_depth = 0;  // live foreach states inside the body
+};
+
+struct CompiledUnit {
+  std::vector<Instr> code;
+  std::vector<Value> consts;
+  std::vector<std::string> names;
+  std::vector<std::shared_ptr<const std::vector<ParsedCommand>>> trees;
+  std::vector<StmtRef> stmts;
+  std::vector<ForeachInfo> foreachs;
+  std::vector<LoopInfo> loops;
+  bool inlined = false;  // true if any builtin was inlined (epoch-guarded)
+};
+
+// Math functions the expr compiler pre-resolves.
+enum class MathFn : uint8_t {
+  kAbs, kInt, kDouble, kRound, kSqrt, kPow, kFloor, kCeil, kExp, kLog, kFmod,
+  kMin, kMax,
+};
+
+const char* OpName(Op op);
+const char* MathFnName(MathFn fn);
+
+// Deterministic human-readable listing (used by `tacl_lint --disasm` and the
+// golden test).
+std::string Disassemble(const CompiledUnit& unit);
+
+}  // namespace tacoma::tacl::vm
+
+#endif  // TACOMA_TACL_VM_BYTECODE_H_

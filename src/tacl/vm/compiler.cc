@@ -1,0 +1,1321 @@
+#include "tacl/vm/compiler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tacl/interp.h"
+#include "tacl/list.h"
+#include "tacl/vm/ops.h"
+
+namespace tacoma::tacl::vm {
+namespace {
+
+// Inline compilation depth bound for nested scripts (bodies, [subs]); deeper
+// nesting falls back to tree-walk eval ops, which handle any depth the
+// tree-walk engine itself can.
+constexpr int kMaxInlineScriptDepth = 32;
+constexpr int kMaxExprDepth = 64;
+
+bool IsLiteralWord(const Word& w) {
+  return w.parts.size() == 1 && w.parts[0].kind == WordPart::Kind::kLiteral;
+}
+
+const std::string& LiteralText(const Word& w) { return w.parts[0].text; }
+
+// Static operand-stack effect of one instruction (branch merges are handled
+// explicitly at the emission sites).
+int DepthDelta(Op op, int32_t a, int32_t b) {
+  switch (op) {
+    case Op::kPushConst:
+    case Op::kLoadVar:
+    case Op::kPushResult:
+    case Op::kEvalExprPush:
+    case Op::kCondEvalPush:
+    case Op::kEvalScriptPush:
+      return 1;
+    case Op::kResultPop:
+    case Op::kSetVar:
+    case Op::kIncrVar:
+    case Op::kCondJumpIfFalse:
+    case Op::kJumpIfFalse:
+    case Op::kJumpZeroPushZero:
+    case Op::kJumpOnePushOne:
+    case Op::kReturnValue:
+    case Op::kForeachBegin:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kBitAnd:
+    case Op::kBitOr:
+    case Op::kBitXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpGt:
+    case Op::kCmpGe:
+    case Op::kStrEq:
+    case Op::kStrNe:
+      return -1;
+    case Op::kConcat:
+      return -(a - 1);
+    case Op::kPopN:
+      return -a;
+    case Op::kInvoke:
+      return -b;
+    case Op::kInvokeDyn:
+      return -a;
+    case Op::kMathFn:
+      return 1 - b;
+    default:
+      return 0;
+  }
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const CompileOptions& opts) : opts_(opts) {}
+
+  std::shared_ptr<const CompiledUnit> Run(std::string_view script, Status* error) {
+    auto parsed = ParseScript(script);
+    if (!parsed.ok()) {
+      *error = parsed.status();
+      return nullptr;
+    }
+    auto tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(parsed).value());
+    CompileBlock(tree, /*clear_result=*/false);
+    Emit(Op::kDone);
+    return std::make_shared<const CompiledUnit>(std::move(unit_));
+  }
+
+ private:
+  struct LoopCtx {
+    std::vector<uint32_t> break_jumps;
+    std::vector<uint32_t> continue_jumps;
+    uint32_t stack_depth = 0;
+    uint32_t foreach_depth = 0;
+  };
+
+  // --- emission helpers -----------------------------------------------------
+
+  uint32_t Pc() const { return static_cast<uint32_t>(unit_.code.size()); }
+
+  uint32_t Emit(Op op, int32_t a = 0, int32_t b = 0) {
+    unit_.code.push_back({op, a, b});
+    depth_ += DepthDelta(op, a, b);
+    return Pc() - 1;
+  }
+
+  void Patch(uint32_t pc, uint32_t target) {
+    unit_.code[pc].a = static_cast<int32_t>(target);
+  }
+
+  int32_t AddConst(const Value& v) {
+    std::string key;
+    switch (v.kind()) {
+      case Value::Kind::kString:
+        key = "s:" + v.AsString();
+        break;
+      case Value::Kind::kInt:
+        key = (v.has_string() ? "I:" + v.AsString() + "|" : "i:") +
+              std::to_string(v.int_value());
+        break;
+      case Value::Kind::kDouble: {
+        uint64_t bits = 0;
+        double d = v.dbl_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        key = "d:" + std::to_string(bits);
+        break;
+      }
+    }
+    auto [it, inserted] =
+        const_index_.emplace(std::move(key), static_cast<int32_t>(unit_.consts.size()));
+    if (inserted) {
+      unit_.consts.push_back(v);
+    }
+    return it->second;
+  }
+
+  int32_t AddName(const std::string& name) {
+    auto [it, inserted] =
+        name_index_.emplace(name, static_cast<int32_t>(unit_.names.size()));
+    if (inserted) {
+      unit_.names.push_back(name);
+    }
+    return it->second;
+  }
+
+  int32_t AddTree(std::shared_ptr<const std::vector<ParsedCommand>> tree) {
+    unit_.trees.push_back(std::move(tree));
+    return static_cast<int32_t>(unit_.trees.size()) - 1;
+  }
+
+  void EmitFail(const std::string& message) {
+    Emit(Op::kFail, AddConst(Value::Str(message)));
+  }
+
+  // Rollback state for abandoned expr compilations.
+  struct Snapshot {
+    size_t code, stmts, foreachs, loops, trees;
+    int depth;
+    bool inlined;
+  };
+  Snapshot Snap() const {
+    return {unit_.code.size(),  unit_.stmts.size(), unit_.foreachs.size(),
+            unit_.loops.size(), unit_.trees.size(), depth_,
+            unit_.inlined};
+  }
+  void Restore(const Snapshot& s) {
+    unit_.code.resize(s.code);
+    unit_.stmts.resize(s.stmts);
+    unit_.foreachs.resize(s.foreachs);
+    unit_.loops.resize(s.loops);
+    unit_.trees.resize(s.trees);
+    depth_ = s.depth;
+    unit_.inlined = s.inlined;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  void CompileBlock(const std::shared_ptr<const std::vector<ParsedCommand>>& tree,
+                    bool clear_result) {
+    if (clear_result) {
+      Emit(Op::kResultClear);
+    }
+    int32_t tree_idx = AddTree(tree);
+    for (size_t i = 0; i < tree->size(); ++i) {
+      uint32_t stmt_idx = static_cast<uint32_t>(unit_.stmts.size());
+      unit_.stmts.push_back({static_cast<uint32_t>(tree_idx),
+                             static_cast<uint32_t>(i), 0});
+      Emit(Op::kStmt, static_cast<int32_t>(stmt_idx));
+      CompileCommand((*tree)[i]);
+      unit_.stmts[stmt_idx].next_pc = Pc();
+    }
+  }
+
+  void CompileCommand(const ParsedCommand& cmd) {
+    if (cmd.words.empty()) {
+      return;  // The parser filters empty commands; a bare kStmt is exact.
+    }
+    if (opts_.inline_builtins && IsLiteralWord(cmd.words[0])) {
+      const std::string& name = LiteralText(cmd.words[0]);
+      bool handled = false;
+      if (name == "set") {
+        handled = CompileSet(cmd);
+      } else if (name == "incr") {
+        handled = CompileIncr(cmd);
+      } else if (name == "if") {
+        handled = CompileIf(cmd);
+      } else if (name == "while") {
+        handled = CompileWhile(cmd);
+      } else if (name == "for") {
+        handled = CompileFor(cmd);
+      } else if (name == "foreach") {
+        handled = CompileForeach(cmd);
+      } else if (name == "break") {
+        handled = CompileBreakContinue(cmd, Code::kBreak);
+      } else if (name == "continue") {
+        handled = CompileBreakContinue(cmd, Code::kContinue);
+      } else if (name == "return") {
+        handled = CompileReturn(cmd);
+      } else if (name == "expr") {
+        handled = CompileExprCmd(cmd);
+      }
+      if (handled) {
+        unit_.inlined = true;
+        return;
+      }
+    }
+    CompileGeneric(cmd);
+  }
+
+  void CompileGeneric(const ParsedCommand& cmd) {
+    if (IsLiteralWord(cmd.words[0])) {
+      for (size_t i = 1; i < cmd.words.size(); ++i) {
+        CompileWord(cmd.words[i]);
+      }
+      Emit(Op::kInvoke, AddName(LiteralText(cmd.words[0])),
+           static_cast<int32_t>(cmd.words.size()) - 1);
+    } else {
+      for (const Word& w : cmd.words) {
+        CompileWord(w);
+      }
+      Emit(Op::kInvokeDyn, static_cast<int32_t>(cmd.words.size()));
+    }
+  }
+
+  // Pushes exactly one value.
+  void CompileWord(const Word& w) {
+    if (IsLiteralWord(w)) {
+      Emit(Op::kPushConst, AddConst(Value::Str(LiteralText(w))));
+      return;
+    }
+    for (const WordPart& part : w.parts) {
+      switch (part.kind) {
+        case WordPart::Kind::kLiteral:
+          Emit(Op::kPushConst, AddConst(Value::Str(part.text)));
+          break;
+        case WordPart::Kind::kVariable:
+          Emit(Op::kLoadVar, AddName(part.text));
+          break;
+        case WordPart::Kind::kScript:
+          CompileScriptPartPush(part.text);
+          break;
+      }
+    }
+    if (w.parts.size() > 1) {
+      Emit(Op::kConcat, static_cast<int32_t>(w.parts.size()));
+    }
+  }
+
+  // Nested script in word context: evaluate, push the result.
+  void CompileScriptPartPush(const std::string& text) {
+    if (script_depth_ >= kMaxInlineScriptDepth) {
+      Emit(Op::kEvalScriptPush, AddConst(Value::Str(text)));
+      return;
+    }
+    auto parsed = ParseScript(text);
+    if (!parsed.ok()) {
+      // Runtime Eval reports the identical "parse error: ..." the tree-walk
+      // substitution would.
+      Emit(Op::kEvalScriptPush, AddConst(Value::Str(text)));
+      return;
+    }
+    auto tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(parsed).value());
+    ++script_depth_;
+    CompileBlock(tree, /*clear_result=*/true);
+    --script_depth_;
+    Emit(Op::kPushResult);
+  }
+
+  // Inline `if`/`else` branch body: result register takes the body's result.
+  void CompileBodyEval(const std::string& text) {
+    if (script_depth_ < kMaxInlineScriptDepth) {
+      auto parsed = ParseScript(text);
+      if (parsed.ok()) {
+        auto tree = std::make_shared<const std::vector<ParsedCommand>>(
+            std::move(parsed).value());
+        ++script_depth_;
+        CompileBlock(tree, /*clear_result=*/true);
+        --script_depth_;
+        return;
+      }
+    }
+    Emit(Op::kEvalScriptPush, AddConst(Value::Str(text)));
+    Emit(Op::kResultPop);
+  }
+
+  // Pushes the condition's value (compiled expr, or an EvalCondition fallback
+  // that pushes 0/1).
+  void CompileCondition(const std::string& text) {
+    if (!CompileExprText(text)) {
+      Emit(Op::kCondEvalPush, AddConst(Value::Str(text)));
+    }
+  }
+
+  // --- inlined builtins -----------------------------------------------------
+
+  bool CompileSet(const ParsedCommand& cmd) {
+    if (cmd.words.size() == 2 && IsLiteralWord(cmd.words[1])) {
+      Emit(Op::kLoadVar, AddName(LiteralText(cmd.words[1])));
+      Emit(Op::kResultPop);
+      return true;
+    }
+    if (cmd.words.size() == 3 && IsLiteralWord(cmd.words[1])) {
+      CompileWord(cmd.words[2]);
+      Emit(Op::kSetVar, AddName(LiteralText(cmd.words[1])));
+      return true;
+    }
+    return false;
+  }
+
+  bool CompileIncr(const ParsedCommand& cmd) {
+    if ((cmd.words.size() != 2 && cmd.words.size() != 3) ||
+        !IsLiteralWord(cmd.words[1])) {
+      return false;
+    }
+    if (cmd.words.size() == 2) {
+      Emit(Op::kPushConst, AddConst(Value::Int(1)));
+    } else if (IsLiteralWord(cmd.words[2])) {
+      const std::string& text = LiteralText(cmd.words[2]);
+      if (auto d = ParseInt(text)) {
+        Emit(Op::kPushConst, AddConst(Value::IntWithString(*d, text)));
+      } else {
+        Emit(Op::kPushConst, AddConst(Value::Str(text)));
+      }
+    } else {
+      CompileWord(cmd.words[2]);
+    }
+    Emit(Op::kIncrVar, AddName(LiteralText(cmd.words[1])));
+    return true;
+  }
+
+  bool CompileIf(const ParsedCommand& cmd) {
+    for (const Word& w : cmd.words) {
+      if (!IsLiteralWord(w)) {
+        return false;
+      }
+    }
+    const auto& words = cmd.words;
+    const size_t n = words.size();
+    std::vector<uint32_t> end_jumps;
+    size_t i = 1;
+    bool closed = false;
+    // Mirror CmdIf's scan; structural errors become kFail at the exact chain
+    // position where the scan would hit them at run time.
+    while (i < n) {
+      if (i + 1 >= n) {
+        EmitFail("wrong # args: no expression after \"if\"/\"elseif\"");
+        closed = true;
+        break;
+      }
+      const std::string& cond = LiteralText(words[i]);
+      size_t body_index = i + 1;
+      if (LiteralText(words[body_index]) == "then") {
+        ++body_index;
+      }
+      if (body_index >= n) {
+        EmitFail("wrong # args: no script following condition");
+        closed = true;
+        break;
+      }
+      CompileCondition(cond);
+      uint32_t jf = Emit(Op::kCondJumpIfFalse);
+      CompileBodyEval(LiteralText(words[body_index]));
+      end_jumps.push_back(Emit(Op::kJump));
+      Patch(jf, Pc());
+      i = body_index + 1;
+      if (i >= n) {
+        Emit(Op::kResultClear);
+        closed = true;
+        break;
+      }
+      if (LiteralText(words[i]) == "elseif") {
+        ++i;
+        continue;
+      }
+      if (LiteralText(words[i]) == "else") {
+        if (i + 1 >= n) {
+          EmitFail("wrong # args: no script following \"else\"");
+        } else {
+          CompileBodyEval(LiteralText(words[i + 1]));
+        }
+        closed = true;
+        break;
+      }
+      CompileBodyEval(LiteralText(words[i]));  // Bare trailing script as else.
+      closed = true;
+      break;
+    }
+    if (!closed) {
+      Emit(Op::kResultClear);  // `if 0 b elseif<end>`: CmdIf returns Ok().
+    }
+    for (uint32_t pc : end_jumps) {
+      Patch(pc, Pc());
+    }
+    return true;
+  }
+
+  bool CompileWhile(const ParsedCommand& cmd) {
+    if (cmd.words.size() != 3 || !IsLiteralWord(cmd.words[1]) ||
+        !IsLiteralWord(cmd.words[2]) || script_depth_ >= kMaxInlineScriptDepth) {
+      return false;
+    }
+    auto body = ParseScript(LiteralText(cmd.words[2]));
+    if (!body.ok()) {
+      return false;  // CmdWhile reports the parse error per iteration.
+    }
+    auto body_tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(body).value());
+
+    LoopCtx ctx;
+    ctx.stack_depth = static_cast<uint32_t>(depth_);
+    ctx.foreach_depth = static_cast<uint32_t>(foreach_depth_);
+
+    uint32_t cond_pc = Pc();
+    CompileCondition(LiteralText(cmd.words[1]));
+    uint32_t jf = Emit(Op::kCondJumpIfFalse);
+
+    loop_stack_.push_back(std::move(ctx));
+    uint32_t body_begin = Pc();
+    ++script_depth_;
+    CompileBlock(body_tree, /*clear_result=*/false);
+    --script_depth_;
+    uint32_t body_end = Emit(Op::kJump, static_cast<int32_t>(cond_pc));
+    uint32_t exit_pc = Pc();
+    Patch(jf, exit_pc);
+    Emit(Op::kResultClear);
+
+    LoopCtx done = std::move(loop_stack_.back());
+    loop_stack_.pop_back();
+    for (uint32_t pc : done.break_jumps) {
+      Patch(pc, exit_pc);
+    }
+    for (uint32_t pc : done.continue_jumps) {
+      Patch(pc, cond_pc);
+    }
+    unit_.loops.push_back({body_begin, body_end, exit_pc, cond_pc,
+                           done.stack_depth, done.foreach_depth});
+    return true;
+  }
+
+  bool CompileFor(const ParsedCommand& cmd) {
+    if (cmd.words.size() != 5 || script_depth_ >= kMaxInlineScriptDepth) {
+      return false;
+    }
+    for (const Word& w : cmd.words) {
+      if (!IsLiteralWord(w)) {
+        return false;
+      }
+    }
+    auto start = ParseScript(LiteralText(cmd.words[1]));
+    auto body = ParseScript(LiteralText(cmd.words[4]));
+    auto next = ParseScript(LiteralText(cmd.words[3]));
+    if (!start.ok() || !body.ok() || !next.ok()) {
+      return false;
+    }
+    auto start_tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(start).value());
+    auto body_tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(body).value());
+    auto next_tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(next).value());
+
+    LoopCtx ctx;
+    ctx.stack_depth = static_cast<uint32_t>(depth_);
+    ctx.foreach_depth = static_cast<uint32_t>(foreach_depth_);
+
+    ++script_depth_;
+    // Start runs outside the loop scope: a break/continue in it belongs to an
+    // enclosing loop (CmdFor propagates the start outcome verbatim).
+    CompileBlock(start_tree, /*clear_result=*/false);
+    uint32_t cond_pc = Pc();
+    CompileCondition(LiteralText(cmd.words[2]));
+    uint32_t jf = Emit(Op::kCondJumpIfFalse);
+
+    loop_stack_.push_back(std::move(ctx));
+    uint32_t body_begin = Pc();
+    CompileBlock(body_tree, /*clear_result=*/false);
+    uint32_t body_end = Pc();
+    LoopCtx done = std::move(loop_stack_.back());
+    loop_stack_.pop_back();
+
+    // Next also runs outside the loop scope (its outcome propagates out).
+    uint32_t cont_pc = Pc();
+    CompileBlock(next_tree, /*clear_result=*/false);
+    --script_depth_;
+    Emit(Op::kJump, static_cast<int32_t>(cond_pc));
+    uint32_t exit_pc = Pc();
+    Patch(jf, exit_pc);
+    Emit(Op::kResultClear);
+
+    for (uint32_t pc : done.break_jumps) {
+      Patch(pc, exit_pc);
+    }
+    for (uint32_t pc : done.continue_jumps) {
+      Patch(pc, cont_pc);
+    }
+    unit_.loops.push_back({body_begin, body_end, exit_pc, cont_pc,
+                           done.stack_depth, done.foreach_depth});
+    return true;
+  }
+
+  bool CompileForeach(const ParsedCommand& cmd) {
+    if (cmd.words.size() != 4 || !IsLiteralWord(cmd.words[1]) ||
+        !IsLiteralWord(cmd.words[3]) || script_depth_ >= kMaxInlineScriptDepth) {
+      return false;
+    }
+    auto names = ParseList(LiteralText(cmd.words[1]));
+    if (!names.ok() || names->empty()) {
+      return false;  // CmdForeach reports "bad variable list in foreach".
+    }
+    auto body = ParseScript(LiteralText(cmd.words[3]));
+    if (!body.ok()) {
+      return false;
+    }
+    auto body_tree = std::make_shared<const std::vector<ParsedCommand>>(
+        std::move(body).value());
+
+    LoopCtx ctx;
+    ctx.stack_depth = static_cast<uint32_t>(depth_);
+
+    CompileWord(cmd.words[2]);  // Values word: any form.
+    int32_t f_idx = static_cast<int32_t>(unit_.foreachs.size());
+    unit_.foreachs.push_back({std::move(names).value()});
+    Emit(Op::kForeachBegin, f_idx);
+    ++foreach_depth_;
+    ctx.foreach_depth = static_cast<uint32_t>(foreach_depth_);
+
+    uint32_t iter_pc = Pc();
+    uint32_t iter = Emit(Op::kForeachIter, f_idx);
+    loop_stack_.push_back(std::move(ctx));
+    uint32_t body_begin = Pc();
+    ++script_depth_;
+    CompileBlock(body_tree, /*clear_result=*/false);
+    --script_depth_;
+    uint32_t body_end = Emit(Op::kJump, static_cast<int32_t>(iter_pc));
+    uint32_t break_pc = Pc();
+    Emit(Op::kForeachEnd);
+    uint32_t exit_pc = Pc();
+    Emit(Op::kResultClear);
+    unit_.code[iter].b = static_cast<int32_t>(exit_pc);
+    --foreach_depth_;
+
+    LoopCtx done = std::move(loop_stack_.back());
+    loop_stack_.pop_back();
+    for (uint32_t pc : done.break_jumps) {
+      Patch(pc, break_pc);
+    }
+    for (uint32_t pc : done.continue_jumps) {
+      Patch(pc, iter_pc);
+    }
+    unit_.loops.push_back({body_begin, body_end, break_pc, iter_pc,
+                           done.stack_depth, done.foreach_depth});
+    return true;
+  }
+
+  bool CompileBreakContinue(const ParsedCommand& cmd, Code code) {
+    if (cmd.words.size() != 1) {
+      return false;  // Generic invoke reports WrongArgs.
+    }
+    if (!loop_stack_.empty()) {
+      LoopCtx& loop = loop_stack_.back();
+      int saved_depth = depth_;
+      int saved_foreach = foreach_depth_;
+      int pops = depth_ - static_cast<int>(loop.stack_depth);
+      if (pops > 0) {
+        Emit(Op::kPopN, pops);
+      }
+      for (int i = foreach_depth_; i > static_cast<int>(loop.foreach_depth); --i) {
+        Emit(Op::kForeachEnd);
+      }
+      uint32_t j = Emit(Op::kJump);
+      (code == Code::kBreak ? loop.break_jumps : loop.continue_jumps).push_back(j);
+      depth_ = saved_depth;  // The jump leaves; code after it is dead.
+      foreach_depth_ = saved_foreach;
+    } else {
+      Emit(Op::kRaiseCode, static_cast<int32_t>(code));
+    }
+    return true;
+  }
+
+  bool CompileReturn(const ParsedCommand& cmd) {
+    if (cmd.words.size() == 1) {
+      Emit(Op::kReturnEmpty);
+      return true;
+    }
+    if (cmd.words.size() == 2) {
+      CompileWord(cmd.words[1]);
+      Emit(Op::kReturnValue);
+      return true;
+    }
+    return false;  // Generic invoke reports WrongArgs.
+  }
+
+  bool CompileExprCmd(const ParsedCommand& cmd) {
+    if (cmd.words.size() < 2) {
+      return false;
+    }
+    std::string text;
+    for (size_t i = 1; i < cmd.words.size(); ++i) {
+      if (!IsLiteralWord(cmd.words[i])) {
+        return false;
+      }
+      if (i > 1) {
+        text.push_back(' ');
+      }
+      text += LiteralText(cmd.words[i]);
+    }
+    if (!CompileExprText(text)) {
+      Emit(Op::kEvalExprPush, AddConst(Value::Str(text)));
+    }
+    Emit(Op::kResultPop);
+    return true;
+  }
+
+  // --- expression compiler --------------------------------------------------
+  //
+  // Mirrors ExprParser's grammar (src/tacl/expr.cc) instruction-for-check.
+  // Each Expr* method emits code that pushes exactly one value, and returns
+  // the folded constant when the emitted code is a single kPushConst (so a
+  // parent operator over two constants can replace them with the result —
+  // computed by the very same ops the VM runs, so folding can't drift).
+  // Unconditional parse-time failures (syntax errors) abort compilation and
+  // the whole expr falls back to the tree-walk evaluator, which reports the
+  // identical message; live-gated errors (unknown function, arity) compile to
+  // instructions that only fire when a live branch reaches them.
+
+  struct ExprCtx {
+    const std::string& s;
+    size_t pos = 0;
+    bool failed = false;
+    int depth = 0;
+  };
+
+  static void SkipSpace(ExprCtx& c) {
+    while (c.pos < c.s.size() &&
+           std::isspace(static_cast<unsigned char>(c.s[c.pos]))) {
+      ++c.pos;
+    }
+  }
+  static char Peek(const ExprCtx& c) {
+    return c.pos < c.s.size() ? c.s[c.pos] : '\0';
+  }
+  static char PeekAt(const ExprCtx& c, size_t ahead) {
+    return c.pos + ahead < c.s.size() ? c.s[c.pos + ahead] : '\0';
+  }
+  static bool Consume(ExprCtx& c, std::string_view op) {
+    SkipSpace(c);
+    if (c.s.compare(c.pos, op.size(), op) == 0) {
+      c.pos += op.size();
+      return true;
+    }
+    return false;
+  }
+  static bool ConsumeExact(ExprCtx& c, std::string_view op,
+                           std::string_view not_followed_by) {
+    SkipSpace(c);
+    if (c.s.compare(c.pos, op.size(), op) != 0) {
+      return false;
+    }
+    char next = c.pos + op.size() < c.s.size() ? c.s[c.pos + op.size()] : '\0';
+    if (not_followed_by.find(next) != std::string_view::npos && next != '\0') {
+      return false;
+    }
+    c.pos += op.size();
+    return true;
+  }
+  static bool ConsumeWord(ExprCtx& c, std::string_view word) {
+    SkipSpace(c);
+    if (c.s.compare(c.pos, word.size(), word) != 0) {
+      return false;
+    }
+    char next = c.pos + word.size() < c.s.size() ? c.s[c.pos + word.size()] : '\0';
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+      return false;
+    }
+    c.pos += word.size();
+    return true;
+  }
+
+  bool CompileExprText(const std::string& text) {
+    Snapshot snap = Snap();
+    ExprCtx c{text};
+    int entry_depth = depth_;
+    ExprTernary(c);
+    if (!c.failed) {
+      SkipSpace(c);
+      if (c.pos != text.size()) {
+        c.failed = true;  // "trailing characters" — runtime fallback reports it.
+      }
+    }
+    if (c.failed || depth_ != entry_depth + 1) {
+      Restore(snap);
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Value> ExprConst(const Value& v) {
+    Emit(Op::kPushConst, AddConst(v));
+    return v;
+  }
+
+  // Replace the single kPushConst a folded subtree emitted with a new one.
+  std::optional<Value> Refold1(const Value& v) {
+    unit_.code.pop_back();
+    --depth_;
+    return ExprConst(v);
+  }
+  // Replace the two trailing kPushConst of a folded binop with the result.
+  std::optional<Value> Refold2(const Value& v) {
+    unit_.code.pop_back();
+    unit_.code.pop_back();
+    depth_ -= 2;
+    return ExprConst(v);
+  }
+
+  std::optional<Value> FoldArith(std::optional<Value> l, std::optional<Value> r,
+                                 char op, Op code) {
+    if (l && r) {
+      Value out;
+      std::string err;
+      if (Arith(op, *l, *r, &out, &err)) {
+        return Refold2(out);
+      }
+    }
+    Emit(code);
+    return std::nullopt;
+  }
+
+  std::optional<Value> FoldIntBinop(std::optional<Value> l, std::optional<Value> r,
+                                    char op, Op code) {
+    if (l && r) {
+      Value out;
+      std::string err;
+      if (IntBinop(op, *l, *r, &out, &err)) {
+        return Refold2(out);
+      }
+    }
+    Emit(code);
+    return std::nullopt;
+  }
+
+  std::optional<Value> FoldCompare(std::optional<Value> l, std::optional<Value> r,
+                                   const char* op, Op code) {
+    if (l && r) {
+      return Refold2(Value::Int(Compare(*l, *r, op)));
+    }
+    Emit(code);
+    return std::nullopt;
+  }
+
+  std::optional<Value> FoldStrEq(std::optional<Value> l, std::optional<Value> r,
+                                 bool want_equal, Op code) {
+    if (l && r) {
+      bool equal = l->AsString() == r->AsString();
+      return Refold2(Value::Int(want_equal == equal ? 1 : 0));
+    }
+    Emit(code);
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprTernary(ExprCtx& c) {
+    if (++c.depth > kMaxExprDepth) {
+      c.failed = true;
+      return std::nullopt;
+    }
+    std::optional<Value> cond = ExprOr(c);
+    SkipSpace(c);
+    if (!Consume(c, "?")) {
+      --c.depth;
+      return cond;
+    }
+    if (c.failed) {
+      return std::nullopt;
+    }
+    uint32_t jf = Emit(Op::kJumpIfFalse);
+    int base = depth_;
+    ExprTernary(c);
+    SkipSpace(c);
+    if (!Consume(c, ":")) {
+      c.failed = true;  // "missing ':' in ternary expression" — unconditional.
+      return std::nullopt;
+    }
+    uint32_t je = Emit(Op::kJump);
+    Patch(jf, Pc());
+    depth_ = base;  // Else path enters without the then-value.
+    ExprTernary(c);
+    Patch(je, Pc());
+    --c.depth;
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprOr(ExprCtx& c) {
+    std::optional<Value> lhs = ExprAnd(c);
+    while (!c.failed && Consume(c, "||")) {
+      uint32_t j = Emit(Op::kJumpOnePushOne);
+      ExprAnd(c);
+      Emit(Op::kTruthy);
+      Patch(j, Pc());
+      lhs = std::nullopt;
+    }
+    return lhs;
+  }
+
+  std::optional<Value> ExprAnd(ExprCtx& c) {
+    std::optional<Value> lhs = ExprBitOr(c);
+    while (!c.failed && Consume(c, "&&")) {
+      uint32_t j = Emit(Op::kJumpZeroPushZero);
+      ExprBitOr(c);
+      Emit(Op::kTruthy);
+      Patch(j, Pc());
+      lhs = std::nullopt;
+    }
+    return lhs;
+  }
+
+  std::optional<Value> ExprBitOr(ExprCtx& c) {
+    std::optional<Value> lhs = ExprBitXor(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      if (Peek(c) == '|' && PeekAt(c, 1) != '|') {
+        ++c.pos;
+        std::optional<Value> rhs = ExprBitXor(c);
+        if (c.failed) {
+          return std::nullopt;
+        }
+        lhs = FoldIntBinop(lhs, rhs, '|', Op::kBitOr);
+      } else {
+        return lhs;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprBitXor(ExprCtx& c) {
+    std::optional<Value> lhs = ExprBitAnd(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      if (Peek(c) == '^') {
+        ++c.pos;
+        std::optional<Value> rhs = ExprBitAnd(c);
+        if (c.failed) {
+          return std::nullopt;
+        }
+        lhs = FoldIntBinop(lhs, rhs, '^', Op::kBitXor);
+      } else {
+        return lhs;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprBitAnd(ExprCtx& c) {
+    std::optional<Value> lhs = ExprEquality(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      if (Peek(c) == '&' && PeekAt(c, 1) != '&') {
+        ++c.pos;
+        std::optional<Value> rhs = ExprEquality(c);
+        if (c.failed) {
+          return std::nullopt;
+        }
+        lhs = FoldIntBinop(lhs, rhs, '&', Op::kBitAnd);
+      } else {
+        return lhs;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprEquality(ExprCtx& c) {
+    std::optional<Value> lhs = ExprRelational(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      int op;
+      if (Consume(c, "==")) {
+        op = 0;
+      } else if (Consume(c, "!=")) {
+        op = 1;
+      } else if (ConsumeWord(c, "eq")) {
+        op = 2;
+      } else if (ConsumeWord(c, "ne")) {
+        op = 3;
+      } else {
+        return lhs;
+      }
+      std::optional<Value> rhs = ExprRelational(c);
+      if (c.failed) {
+        return std::nullopt;
+      }
+      if (op >= 2) {
+        lhs = FoldStrEq(lhs, rhs, op == 2, op == 2 ? Op::kStrEq : Op::kStrNe);
+      } else {
+        lhs = FoldCompare(lhs, rhs, op == 0 ? "==" : "!=",
+                          op == 0 ? Op::kCmpEq : Op::kCmpNe);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprRelational(ExprCtx& c) {
+    std::optional<Value> lhs = ExprShift(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      const char* op = nullptr;
+      Op code = Op::kCmpLt;
+      if (Consume(c, "<=")) {
+        op = "<=";
+        code = Op::kCmpLe;
+      } else if (Consume(c, ">=")) {
+        op = ">=";
+        code = Op::kCmpGe;
+      } else if (ConsumeExact(c, "<", "<=")) {
+        op = "<";
+        code = Op::kCmpLt;
+      } else if (ConsumeExact(c, ">", ">=")) {
+        op = ">";
+        code = Op::kCmpGt;
+      } else {
+        return lhs;
+      }
+      std::optional<Value> rhs = ExprShift(c);
+      if (c.failed) {
+        return std::nullopt;
+      }
+      lhs = FoldCompare(lhs, rhs, op, code);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprShift(ExprCtx& c) {
+    std::optional<Value> lhs = ExprAdditive(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      char op;
+      Op code;
+      if (Consume(c, "<<")) {
+        op = 'l';
+        code = Op::kShl;
+      } else if (Consume(c, ">>")) {
+        op = 'r';
+        code = Op::kShr;
+      } else {
+        return lhs;
+      }
+      std::optional<Value> rhs = ExprAdditive(c);
+      if (c.failed) {
+        return std::nullopt;
+      }
+      lhs = FoldIntBinop(lhs, rhs, op, code);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprAdditive(ExprCtx& c) {
+    std::optional<Value> lhs = ExprMultiplicative(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      char op = Peek(c);
+      if (op != '+' && op != '-') {
+        return lhs;
+      }
+      ++c.pos;
+      std::optional<Value> rhs = ExprMultiplicative(c);
+      if (c.failed) {
+        return std::nullopt;
+      }
+      lhs = FoldArith(lhs, rhs, op, op == '+' ? Op::kAdd : Op::kSub);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprMultiplicative(ExprCtx& c) {
+    std::optional<Value> lhs = ExprUnary(c);
+    while (!c.failed) {
+      SkipSpace(c);
+      char op = Peek(c);
+      if (op != '*' && op != '/' && op != '%') {
+        return lhs;
+      }
+      ++c.pos;
+      std::optional<Value> rhs = ExprUnary(c);
+      if (c.failed) {
+        return std::nullopt;
+      }
+      lhs = FoldArith(lhs, rhs, op,
+                      op == '*' ? Op::kMul : op == '/' ? Op::kDiv : Op::kMod);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprUnary(ExprCtx& c) {
+    if (++c.depth > kMaxExprDepth) {
+      c.failed = true;
+      return std::nullopt;
+    }
+    SkipSpace(c);
+    char ch = Peek(c);
+    if (ch == '-' || ch == '+' || ch == '!' || ch == '~') {
+      ++c.pos;
+      std::optional<Value> v = ExprUnary(c);
+      --c.depth;
+      if (c.failed) {
+        return std::nullopt;
+      }
+      Op code = ch == '-'   ? Op::kNeg
+                : ch == '+' ? Op::kToNum
+                : ch == '!' ? Op::kNot
+                            : Op::kBitNot;
+      if (v) {
+        Value out;
+        std::string err;
+        if (Unary(ch, *v, &out, &err)) {
+          return Refold1(out);
+        }
+      }
+      Emit(code);
+      return std::nullopt;
+    }
+    --c.depth;
+    return ExprPrimary(c);
+  }
+
+  std::optional<Value> ExprPrimary(ExprCtx& c) {
+    SkipSpace(c);
+    if (c.pos >= c.s.size()) {
+      c.failed = true;  // "premature end of expression"
+      return std::nullopt;
+    }
+    char ch = Peek(c);
+    if (ch == '(') {
+      ++c.pos;
+      std::optional<Value> v = ExprTernary(c);
+      SkipSpace(c);
+      if (!Consume(c, ")")) {
+        c.failed = true;  // "missing close parenthesis"
+        return std::nullopt;
+      }
+      return v;
+    }
+    if (ch == '$') {
+      return ExprVariable(c);
+    }
+    if (ch == '[') {
+      return ExprCommandSub(c);
+    }
+    if (ch == '"') {
+      return ExprStringLiteral(c);
+    }
+    if (ch == '{') {
+      return ExprBracedLiteral(c);
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(PeekAt(c, 1))))) {
+      return ExprNumber(c);
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      return ExprWordOrFunction(c);
+    }
+    c.failed = true;  // "unexpected character ... in expression"
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprVariable(ExprCtx& c) {
+    ++c.pos;  // '$'
+    std::string name;
+    if (Peek(c) == '{') {
+      ++c.pos;
+      while (c.pos < c.s.size() && c.s[c.pos] != '}') {
+        name.push_back(c.s[c.pos++]);
+      }
+      if (c.pos >= c.s.size()) {
+        c.failed = true;  // "missing close-brace for variable name"
+        return std::nullopt;
+      }
+      ++c.pos;
+    } else {
+      while (c.pos < c.s.size() &&
+             (std::isalnum(static_cast<unsigned char>(c.s[c.pos])) ||
+              c.s[c.pos] == '_')) {
+        name.push_back(c.s[c.pos++]);
+      }
+    }
+    if (name.empty()) {
+      c.failed = true;  // "invalid '$' in expression"
+      return std::nullopt;
+    }
+    Emit(Op::kLoadVar, AddName(name));
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprCommandSub(ExprCtx& c) {
+    // Never compiled inline.  The tree-walk ExprParser keeps parsing after a
+    // failure and STILL EVALUATES later live command substitutions (their side
+    // effects and step charges happen even though the first error wins), and
+    // it converts any non-Ok nested outcome into an expression error.  An
+    // expr with a [sub] therefore falls back wholesale to the tree-walk
+    // evaluator, which reproduces all of that by definition.
+    c.failed = true;
+    return std::nullopt;
+  }
+
+  std::optional<Value> ExprStringLiteral(ExprCtx& c) {
+    ++c.pos;  // '"'
+    std::string value;
+    while (c.pos < c.s.size() && c.s[c.pos] != '"') {
+      if (c.s[c.pos] == '\\' && c.pos + 1 < c.s.size()) {
+        char e = c.s[c.pos + 1];
+        value.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        c.pos += 2;
+        continue;
+      }
+      value.push_back(c.s[c.pos++]);
+    }
+    if (c.pos >= c.s.size()) {
+      c.failed = true;  // "missing close-quote in expression"
+      return std::nullopt;
+    }
+    ++c.pos;
+    return ExprConst(Value::Str(std::move(value)));
+  }
+
+  std::optional<Value> ExprBracedLiteral(ExprCtx& c) {
+    ++c.pos;  // '{'
+    std::string value;
+    int depth = 1;
+    while (c.pos < c.s.size()) {
+      char ch = c.s[c.pos];
+      if (ch == '{') {
+        ++depth;
+      } else if (ch == '}') {
+        if (--depth == 0) {
+          break;
+        }
+      }
+      value.push_back(ch);
+      ++c.pos;
+    }
+    if (depth != 0) {
+      c.failed = true;  // "missing close-brace in expression"
+      return std::nullopt;
+    }
+    ++c.pos;
+    return ExprConst(Value::Str(std::move(value)));
+  }
+
+  std::optional<Value> ExprNumber(ExprCtx& c) {
+    size_t start = c.pos;
+    if (Peek(c) == '0' && (PeekAt(c, 1) == 'x' || PeekAt(c, 1) == 'X')) {
+      c.pos += 2;
+      while (c.pos < c.s.size() &&
+             std::isxdigit(static_cast<unsigned char>(c.s[c.pos]))) {
+        ++c.pos;
+      }
+      auto v = ParseInt(c.s.substr(start, c.pos - start));
+      if (!v.has_value()) {
+        c.failed = true;  // "malformed hex number"
+        return std::nullopt;
+      }
+      return ExprConst(Value::Int(*v));
+    }
+    bool is_double = false;
+    while (c.pos < c.s.size()) {
+      char ch = c.s[c.pos];
+      if (std::isdigit(static_cast<unsigned char>(ch))) {
+        ++c.pos;
+      } else if (ch == '.') {
+        is_double = true;
+        ++c.pos;
+      } else if ((ch == 'e' || ch == 'E') && c.pos + 1 < c.s.size() &&
+                 (std::isdigit(static_cast<unsigned char>(c.s[c.pos + 1])) ||
+                  c.s[c.pos + 1] == '+' || c.s[c.pos + 1] == '-')) {
+        is_double = true;
+        c.pos += 2;
+      } else {
+        break;
+      }
+    }
+    std::string text = c.s.substr(start, c.pos - start);
+    if (is_double) {
+      auto v = ParseDouble(text);
+      if (!v.has_value()) {
+        c.failed = true;  // "malformed number"
+        return std::nullopt;
+      }
+      return ExprConst(Value::Dbl(*v));
+    }
+    auto v = ParseInt(text);
+    if (!v.has_value()) {
+      c.failed = true;
+      return std::nullopt;
+    }
+    return ExprConst(Value::Int(*v));
+  }
+
+  std::optional<Value> ExprWordOrFunction(ExprCtx& c) {
+    size_t start = c.pos;
+    while (c.pos < c.s.size() &&
+           (std::isalnum(static_cast<unsigned char>(c.s[c.pos])) ||
+            c.s[c.pos] == '_')) {
+      ++c.pos;
+    }
+    std::string word = c.s.substr(start, c.pos - start);
+    SkipSpace(c);
+    if (Peek(c) == '(') {
+      ++c.pos;
+      int entry_depth = depth_;
+      std::vector<std::optional<Value>> args;
+      SkipSpace(c);
+      if (Peek(c) != ')') {
+        while (true) {
+          args.push_back(ExprTernary(c));
+          SkipSpace(c);
+          if (Consume(c, ",")) {
+            continue;
+          }
+          break;
+        }
+      }
+      if (!Consume(c, ")")) {
+        c.failed = true;  // "missing close parenthesis in function call"
+        return std::nullopt;
+      }
+      if (c.failed) {
+        return std::nullopt;
+      }
+      int argc = static_cast<int>(args.size());
+      MathFn fn;
+      if (!LookupMathFn(word, &fn)) {
+        // Live-gated in the tree-walk engine: args evaluate, then the call
+        // fails — so this must be a runtime error, not a compile failure.
+        EmitFail("unknown math function \"" + word + "\"");
+        depth_ = entry_depth + 1;
+        return std::nullopt;
+      }
+      bool all_const = true;
+      for (const auto& a : args) {
+        if (!a) {
+          all_const = false;
+          break;
+        }
+      }
+      if (all_const) {
+        std::vector<Value> vals;
+        vals.reserve(args.size());
+        for (const auto& a : args) {
+          vals.push_back(*a);
+        }
+        Value out;
+        std::string err;
+        if (CallMathFn(fn, MathFnName(fn), vals, &out, &err)) {
+          for (int i = 0; i < argc; ++i) {
+            unit_.code.pop_back();
+          }
+          depth_ -= argc;
+          return ExprConst(out);
+        }
+      }
+      Emit(Op::kMathFn, static_cast<int32_t>(fn), argc);
+      return std::nullopt;
+    }
+    if (word == "true" || word == "yes" || word == "on") {
+      return ExprConst(Value::Int(1));
+    }
+    if (word == "false" || word == "no" || word == "off") {
+      return ExprConst(Value::Int(0));
+    }
+    c.failed = true;  // "unknown word ... in expression (missing $?)"
+    return std::nullopt;
+  }
+
+  CompileOptions opts_;
+  CompiledUnit unit_;
+  std::map<std::string, int32_t> const_index_;
+  std::map<std::string, int32_t> name_index_;
+  std::vector<LoopCtx> loop_stack_;
+  int depth_ = 0;
+  int script_depth_ = 0;
+  int foreach_depth_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const CompiledUnit> Compile(std::string_view script,
+                                            const CompileOptions& options,
+                                            Status* error) {
+  return Compiler(options).Run(script, error);
+}
+
+}  // namespace tacoma::tacl::vm

@@ -1,0 +1,44 @@
+// TACL bytecode compiler.
+//
+// Compiles a script to a CompiledUnit.  The compiler is conservative by
+// design: it inlines only the control/variable builtins whose semantics are
+// replicated exactly by dedicated opcodes (set, incr, if, while, for,
+// foreach, break, continue, return, expr) and the full expr grammar; any
+// word, shape, or sub-expression it cannot prove out compiles to a generic
+// invoke or a tree-walk fallback instruction, which dispatch through the very
+// same code paths the tree-walk engine uses.  The only unrecoverable failure
+// is a top-level parse error — exactly the case where the tree-walk engine
+// fails too, with the same message.
+//
+// Compilation is purely static (no Interp needed), so a unit can be shared
+// across interpreters and cached by script digest.  Validity of the inlined
+// builtins is re-checked at run time via the interpreter's builtin epoch (see
+// Op::kStmt), so a script that shadows `set` with a proc mid-flight degrades
+// statement-by-statement to the tree-walk path instead of misbehaving.
+#ifndef TACOMA_TACL_VM_COMPILER_H_
+#define TACOMA_TACL_VM_COMPILER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "tacl/vm/bytecode.h"
+#include "util/status.h"
+
+namespace tacoma::tacl::vm {
+
+struct CompileOptions {
+  // Inline the builtin control/variable commands.  Turned off when the
+  // interpreter has already shadowed one of them at compile time (nonzero
+  // builtin epoch): everything becomes generic invokes, which are always
+  // valid.
+  bool inline_builtins = true;
+};
+
+// Returns nullptr and sets *error on a top-level parse failure.
+std::shared_ptr<const CompiledUnit> Compile(std::string_view script,
+                                            const CompileOptions& options,
+                                            Status* error);
+
+}  // namespace tacoma::tacl::vm
+
+#endif  // TACOMA_TACL_VM_COMPILER_H_

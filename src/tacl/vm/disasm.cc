@@ -1,0 +1,196 @@
+#include <cstdio>
+#include <string>
+
+#include "tacl/vm/bytecode.h"
+
+namespace tacoma::tacl::vm {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kStmt: return "stmt";
+    case Op::kJump: return "jump";
+    case Op::kDone: return "done";
+    case Op::kReturnEmpty: return "return_empty";
+    case Op::kReturnValue: return "return_value";
+    case Op::kRaiseCode: return "raise";
+    case Op::kPushConst: return "push";
+    case Op::kLoadVar: return "load";
+    case Op::kConcat: return "concat";
+    case Op::kPopN: return "popn";
+    case Op::kResultClear: return "result_clear";
+    case Op::kResultPop: return "result_pop";
+    case Op::kPushResult: return "push_result";
+    case Op::kSetVar: return "setvar";
+    case Op::kIncrVar: return "incrvar";
+    case Op::kInvoke: return "invoke";
+    case Op::kInvokeDyn: return "invoke_dyn";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kCondJumpIfFalse: return "cond_jump_if_false";
+    case Op::kJumpZeroPushZero: return "jump_zero_push0";
+    case Op::kJumpOnePushOne: return "jump_one_push1";
+    case Op::kTruthy: return "truthy";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kToNum: return "tonum";
+    case Op::kNot: return "not";
+    case Op::kBitNot: return "bitnot";
+    case Op::kBitAnd: return "bitand";
+    case Op::kBitOr: return "bitor";
+    case Op::kBitXor: return "bitxor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCmpEq: return "cmp_eq";
+    case Op::kCmpNe: return "cmp_ne";
+    case Op::kCmpLt: return "cmp_lt";
+    case Op::kCmpLe: return "cmp_le";
+    case Op::kCmpGt: return "cmp_gt";
+    case Op::kCmpGe: return "cmp_ge";
+    case Op::kStrEq: return "str_eq";
+    case Op::kStrNe: return "str_ne";
+    case Op::kMathFn: return "mathfn";
+    case Op::kFail: return "fail";
+    case Op::kForeachBegin: return "foreach_begin";
+    case Op::kForeachIter: return "foreach_iter";
+    case Op::kForeachEnd: return "foreach_end";
+    case Op::kEvalExprPush: return "eval_expr";
+    case Op::kCondEvalPush: return "eval_cond";
+    case Op::kEvalScriptPush: return "eval_script";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ConstRepr(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      return "int " + v.AsString();
+    case Value::Kind::kDouble:
+      return "dbl " + v.AsString();
+    case Value::Kind::kString:
+      return "str " + Quote(v.AsString());
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const CompiledUnit& unit) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "unit: code=%zu consts=%zu names=%zu stmts=%zu foreachs=%zu "
+                "loops=%zu inlined=%d\n",
+                unit.code.size(), unit.consts.size(), unit.names.size(),
+                unit.stmts.size(), unit.foreachs.size(), unit.loops.size(),
+                unit.inlined ? 1 : 0);
+  out += line;
+  for (size_t i = 0; i < unit.consts.size(); ++i) {
+    out += "const " + std::to_string(i) + ": " + ConstRepr(unit.consts[i]) + "\n";
+  }
+  for (size_t i = 0; i < unit.names.size(); ++i) {
+    out += "name " + std::to_string(i) + ": " + unit.names[i] + "\n";
+  }
+  for (size_t i = 0; i < unit.foreachs.size(); ++i) {
+    out += "foreach " + std::to_string(i) + ":";
+    for (const std::string& n : unit.foreachs[i].names) {
+      out += " " + n;
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < unit.loops.size(); ++i) {
+    const LoopInfo& l = unit.loops[i];
+    std::snprintf(line, sizeof(line),
+                  "loop %zu: body=[%u,%u) break=%u continue=%u stack=%u "
+                  "fstates=%u\n",
+                  i, l.body_begin, l.body_end, l.break_pc, l.continue_pc,
+                  l.stack_depth, l.foreach_depth);
+    out += line;
+  }
+  for (size_t pc = 0; pc < unit.code.size(); ++pc) {
+    const Instr& in = unit.code[pc];
+    std::snprintf(line, sizeof(line), "%4zu  %-18s", pc, OpName(in.op));
+    out += line;
+    switch (in.op) {
+      case Op::kStmt:
+        out += " s" + std::to_string(in.a) + " next=" +
+               std::to_string(unit.stmts[in.a].next_pc);
+        break;
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kCondJumpIfFalse:
+      case Op::kJumpZeroPushZero:
+      case Op::kJumpOnePushOne:
+        out += " ->" + std::to_string(in.a);
+        break;
+      case Op::kPushConst:
+      case Op::kFail:
+      case Op::kEvalExprPush:
+      case Op::kCondEvalPush:
+      case Op::kEvalScriptPush:
+        out += " c" + std::to_string(in.a) + " ; " +
+               ConstRepr(unit.consts[in.a]);
+        break;
+      case Op::kLoadVar:
+      case Op::kSetVar:
+      case Op::kIncrVar:
+        out += " " + unit.names[in.a];
+        break;
+      case Op::kInvoke:
+        out += " " + unit.names[in.a] + " argc=" + std::to_string(in.b);
+        break;
+      case Op::kInvokeDyn:
+        out += " argc=" + std::to_string(in.a);
+        break;
+      case Op::kConcat:
+      case Op::kPopN:
+        out += " n=" + std::to_string(in.a);
+        break;
+      case Op::kRaiseCode:
+        out += " code=" + std::to_string(in.a);
+        break;
+      case Op::kMathFn:
+        out += std::string(" ") + MathFnName(static_cast<MathFn>(in.a)) +
+               " argc=" + std::to_string(in.b);
+        break;
+      case Op::kForeachBegin:
+        out += " f" + std::to_string(in.a);
+        break;
+      case Op::kForeachIter:
+        out += " f" + std::to_string(in.a) + " exit=" + std::to_string(in.b);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tacoma::tacl::vm

@@ -1,0 +1,534 @@
+#include "tacl/vm/ops.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "tacl/list.h"
+
+namespace tacoma::tacl::vm {
+namespace {
+
+double NumAsDouble(const Value& v) {
+  return v.kind() == Value::Kind::kDouble ? v.dbl_value()
+                                          : static_cast<double>(v.int_value());
+}
+
+bool BothInt(const Value& a, const Value& b) {
+  return a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt;
+}
+
+// Non-failing numeric probe (ExprParser::TryNumber).
+bool TryNumber(const Value& v, Value* out) {
+  if (v.kind() != Value::Kind::kString) {
+    *out = v;
+    return true;
+  }
+  const std::string& s = v.AsString();
+  if (auto i = ParseInt(s)) {
+    *out = Value::Int(*i);
+    return true;
+  }
+  if (auto d = ParseDouble(s)) {
+    *out = Value::Dbl(*d);
+    return true;
+  }
+  return false;
+}
+
+std::string Lower(const std::string& s) {
+  std::string lower = s;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
+
+}  // namespace
+
+bool ToNumber(const Value& v, Value* out, std::string* error) {
+  if (TryNumber(v, out)) {
+    return true;
+  }
+  *error = "can't use non-numeric string \"" + v.AsString() + "\" as operand";
+  return false;
+}
+
+bool Truthy(const Value& v, bool* out, std::string* error) {
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      *out = v.int_value() != 0;
+      return true;
+    case Value::Kind::kDouble:
+      *out = v.dbl_value() != 0.0;
+      return true;
+    case Value::Kind::kString:
+      break;
+  }
+  const std::string& s = v.AsString();
+  if (auto i = ParseInt(s)) {
+    *out = *i != 0;
+    return true;
+  }
+  if (auto d = ParseDouble(s)) {
+    *out = *d != 0.0;
+    return true;
+  }
+  std::string lower = Lower(s);
+  if (lower == "true" || lower == "yes" || lower == "on") {
+    *out = true;
+    return true;
+  }
+  if (lower == "false" || lower == "no" || lower == "off") {
+    *out = false;
+    return true;
+  }
+  *error = "expected boolean value but got \"" + s + "\"";
+  return false;
+}
+
+bool CondTruthy(const Value& v, bool* out, std::string* error) {
+  // Ints are exact either way; everything else takes the string path the
+  // tree-walk EvalCondition takes on the expr's result string (this is where
+  // Inf/NaN renderings and boolean words get their defined behavior).
+  if (v.kind() == Value::Kind::kInt) {
+    *out = v.int_value() != 0;
+    return true;
+  }
+  const std::string& s = v.AsString();
+  if (auto i = ParseInt(s)) {
+    *out = *i != 0;
+    return true;
+  }
+  if (auto d = ParseDouble(s)) {
+    *out = *d != 0.0;
+    return true;
+  }
+  std::string lower = Lower(s);
+  if (lower == "true" || lower == "yes" || lower == "on") {
+    *out = true;
+    return true;
+  }
+  if (lower == "false" || lower == "no" || lower == "off") {
+    *out = false;
+    return true;
+  }
+  *error = "expected boolean value but got \"" + s + "\"";
+  return false;
+}
+
+bool Arith(char op, const Value& lhs, const Value& rhs, Value* out,
+           std::string* error) {
+  Value a, b;
+  if (!ToNumber(lhs, &a, error) || !ToNumber(rhs, &b, error)) {
+    return false;
+  }
+  if (BothInt(a, b)) {
+    int64_t x = a.int_value();
+    int64_t y = b.int_value();
+    switch (op) {
+      case '+':
+        *out = Value::Int(x + y);
+        return true;
+      case '-':
+        *out = Value::Int(x - y);
+        return true;
+      case '*':
+        *out = Value::Int(x * y);
+        return true;
+      case '/':
+        if (y == 0) {
+          *error = "divide by zero";
+          return false;
+        }
+        *out = Value::Int(x / y);
+        return true;
+      case '%':
+        if (y == 0) {
+          *error = "divide by zero";
+          return false;
+        }
+        *out = Value::Int(x % y);
+        return true;
+    }
+  }
+  double x = NumAsDouble(a);
+  double y = NumAsDouble(b);
+  switch (op) {
+    case '+':
+      *out = Value::Dbl(x + y);
+      return true;
+    case '-':
+      *out = Value::Dbl(x - y);
+      return true;
+    case '*':
+      *out = Value::Dbl(x * y);
+      return true;
+    case '/':
+      if (y == 0.0) {
+        *error = "divide by zero";
+        return false;
+      }
+      *out = Value::Dbl(x / y);
+      return true;
+    case '%':
+      *error = "can't apply % to floating-point values";
+      return false;
+  }
+  *error = "internal: bad arithmetic operator";
+  return false;
+}
+
+bool IntBinop(char op, const Value& lhs, const Value& rhs, Value* out,
+              std::string* error) {
+  Value a, b;
+  if (!ToNumber(lhs, &a, error) || !ToNumber(rhs, &b, error)) {
+    return false;
+  }
+  if (!BothInt(a, b)) {
+    *error = "bitwise operators require integer operands";
+    return false;
+  }
+  int64_t x = a.int_value();
+  int64_t y = b.int_value();
+  switch (op) {
+    case '|':
+      *out = Value::Int(x | y);
+      return true;
+    case '^':
+      *out = Value::Int(x ^ y);
+      return true;
+    case '&':
+      *out = Value::Int(x & y);
+      return true;
+    case 'l':
+      *out = Value::Int(y < 0 || y > 63 ? 0 : x << y);
+      return true;
+    case 'r':
+      *out = Value::Int(y < 0 || y > 63 ? (x < 0 ? -1 : 0) : x >> y);
+      return true;
+  }
+  *error = "internal: bad bitwise operator";
+  return false;
+}
+
+int64_t Compare(const Value& lhs, const Value& rhs, const char* op) {
+  Value lnum, rnum;
+  bool lok = TryNumber(lhs, &lnum);
+  bool rok = TryNumber(rhs, &rnum);
+  int cmp;
+  if (lok && rok) {
+    if (BothInt(lnum, rnum)) {
+      int64_t a = lnum.int_value();
+      int64_t b = rnum.int_value();
+      cmp = a < b ? -1 : a > b ? 1 : 0;
+    } else {
+      double a = NumAsDouble(lnum);
+      double b = NumAsDouble(rnum);
+      cmp = a < b ? -1 : a > b ? 1 : 0;
+    }
+  } else {
+    const std::string& a = lhs.AsString();
+    const std::string& b = rhs.AsString();
+    cmp = a < b ? -1 : a > b ? 1 : 0;
+  }
+  std::string_view o = op;
+  if (o == "==") {
+    return cmp == 0;
+  }
+  if (o == "!=") {
+    return cmp != 0;
+  }
+  if (o == "<") {
+    return cmp < 0;
+  }
+  if (o == "<=") {
+    return cmp <= 0;
+  }
+  if (o == ">") {
+    return cmp > 0;
+  }
+  return cmp >= 0;  // ">="
+}
+
+bool Unary(char op, const Value& v, Value* out, std::string* error) {
+  if (op == '!') {
+    bool truth = false;
+    if (!Truthy(v, &truth, error)) {
+      return false;
+    }
+    *out = Value::Int(truth ? 0 : 1);
+    return true;
+  }
+  Value n;
+  if (!ToNumber(v, &n, error)) {
+    return false;
+  }
+  switch (op) {
+    case '+':
+      *out = n;
+      return true;
+    case '-':
+      *out = n.kind() == Value::Kind::kInt ? Value::Int(-n.int_value())
+                                           : Value::Dbl(-n.dbl_value());
+      return true;
+    case '~':
+      if (n.kind() != Value::Kind::kInt) {
+        *error = "can't apply ~ to a floating-point value";
+        return false;
+      }
+      *out = Value::Int(~n.int_value());
+      return true;
+  }
+  *error = "internal: bad unary operator";
+  return false;
+}
+
+bool LookupMathFn(const std::string& name, MathFn* out) {
+  if (name == "abs") {
+    *out = MathFn::kAbs;
+  } else if (name == "int") {
+    *out = MathFn::kInt;
+  } else if (name == "double") {
+    *out = MathFn::kDouble;
+  } else if (name == "round") {
+    *out = MathFn::kRound;
+  } else if (name == "sqrt") {
+    *out = MathFn::kSqrt;
+  } else if (name == "pow") {
+    *out = MathFn::kPow;
+  } else if (name == "floor") {
+    *out = MathFn::kFloor;
+  } else if (name == "ceil") {
+    *out = MathFn::kCeil;
+  } else if (name == "exp") {
+    *out = MathFn::kExp;
+  } else if (name == "log") {
+    *out = MathFn::kLog;
+  } else if (name == "fmod") {
+    *out = MathFn::kFmod;
+  } else if (name == "min") {
+    *out = MathFn::kMin;
+  } else if (name == "max") {
+    *out = MathFn::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* MathFnName(MathFn fn) {
+  switch (fn) {
+    case MathFn::kAbs:
+      return "abs";
+    case MathFn::kInt:
+      return "int";
+    case MathFn::kDouble:
+      return "double";
+    case MathFn::kRound:
+      return "round";
+    case MathFn::kSqrt:
+      return "sqrt";
+    case MathFn::kPow:
+      return "pow";
+    case MathFn::kFloor:
+      return "floor";
+    case MathFn::kCeil:
+      return "ceil";
+    case MathFn::kExp:
+      return "exp";
+    case MathFn::kLog:
+      return "log";
+    case MathFn::kFmod:
+      return "fmod";
+    case MathFn::kMin:
+      return "min";
+    case MathFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+bool CallMathFn(MathFn fn, const char* name, const std::vector<Value>& args,
+                Value* out, std::string* error) {
+  auto wrong_args = [&] {
+    *error = "wrong # args for math function \"" + std::string(name) + "\"";
+    return false;
+  };
+  auto num = [&](const Value& v, Value* n) { return ToNumber(v, n, error); };
+
+  switch (fn) {
+    case MathFn::kAbs: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = v.kind() == Value::Kind::kInt
+                 ? Value::Int(v.int_value() < 0 ? -v.int_value() : v.int_value())
+                 : Value::Dbl(std::fabs(v.dbl_value()));
+      return true;
+    }
+    case MathFn::kInt: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Int(v.kind() == Value::Kind::kInt
+                            ? v.int_value()
+                            : static_cast<int64_t>(v.dbl_value()));
+      return true;
+    }
+    case MathFn::kDouble: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Dbl(NumAsDouble(v));
+      return true;
+    }
+    case MathFn::kRound: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Int(static_cast<int64_t>(std::llround(NumAsDouble(v))));
+      return true;
+    }
+    case MathFn::kSqrt: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      double x = NumAsDouble(v);
+      if (x < 0) {
+        *error = "domain error: sqrt of negative value";
+        return false;
+      }
+      *out = Value::Dbl(std::sqrt(x));
+      return true;
+    }
+    case MathFn::kPow: {
+      if (args.size() != 2) {
+        return wrong_args();
+      }
+      Value a, b;
+      if (!num(args[0], &a) || !num(args[1], &b)) {
+        return false;
+      }
+      *out = Value::Dbl(std::pow(NumAsDouble(a), NumAsDouble(b)));
+      return true;
+    }
+    case MathFn::kFloor: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Dbl(std::floor(NumAsDouble(v)));
+      return true;
+    }
+    case MathFn::kCeil: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Dbl(std::ceil(NumAsDouble(v)));
+      return true;
+    }
+    case MathFn::kExp: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      *out = Value::Dbl(std::exp(NumAsDouble(v)));
+      return true;
+    }
+    case MathFn::kLog: {
+      if (args.size() != 1) {
+        return wrong_args();
+      }
+      Value v;
+      if (!num(args[0], &v)) {
+        return false;
+      }
+      double x = NumAsDouble(v);
+      if (x <= 0) {
+        *error = "domain error: log of non-positive value";
+        return false;
+      }
+      *out = Value::Dbl(std::log(x));
+      return true;
+    }
+    case MathFn::kFmod: {
+      if (args.size() != 2) {
+        return wrong_args();
+      }
+      // The tree-walk engine converts the divisor first and reports divide by
+      // zero before even looking at the dividend.
+      Value b;
+      if (!num(args[1], &b)) {
+        return false;
+      }
+      double y = NumAsDouble(b);
+      if (y == 0.0) {
+        *error = "divide by zero";
+        return false;
+      }
+      Value a;
+      if (!num(args[0], &a)) {
+        return false;
+      }
+      *out = Value::Dbl(std::fmod(NumAsDouble(a), y));
+      return true;
+    }
+    case MathFn::kMin:
+    case MathFn::kMax: {
+      if (args.empty()) {
+        return wrong_args();
+      }
+      Value best;
+      if (!num(args[0], &best)) {
+        return false;
+      }
+      for (size_t i = 1; i < args.size(); ++i) {
+        Value v;
+        if (!num(args[i], &v)) {
+          return false;
+        }
+        bool less = BothInt(v, best) ? v.int_value() < best.int_value()
+                                     : NumAsDouble(v) < NumAsDouble(best);
+        if ((fn == MathFn::kMin) == less) {
+          best = v;
+        }
+      }
+      *out = best;
+      return true;
+    }
+  }
+  *error = "internal: bad math function";
+  return false;
+}
+
+}  // namespace tacoma::tacl::vm

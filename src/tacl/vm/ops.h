@@ -1,0 +1,59 @@
+// Runtime operator semantics for the TACL bytecode VM.
+//
+// Each helper replicates one ExprParser operator (src/tacl/expr.cc) exactly —
+// same coercion order, same integer/double promotion, same error strings.
+// The compiler's constant folder calls the same helpers, so a folded constant
+// can never disagree with what the tree-walk engine would have produced; a
+// helper that fails simply isn't folded and the error surfaces at run time.
+//
+// Failure convention: return false and set *error (callers mirror
+// ExprParser::Fail's first-error-wins by not calling further helpers).
+#ifndef TACOMA_TACL_VM_OPS_H_
+#define TACOMA_TACL_VM_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "tacl/vm/bytecode.h"
+#include "tacl/vm/value.h"
+
+namespace tacoma::tacl::vm {
+
+// ExprParser::ToNumber — int/double pass through, strings parse or fail with
+// "can't use non-numeric string ... as operand".
+bool ToNumber(const Value& v, Value* out, std::string* error);
+
+// ExprParser::Truthy — expr-internal truthiness (doubles compared natively).
+bool Truthy(const Value& v, bool* out, std::string* error);
+
+// Interp::EvalCondition truthiness: the tree-walk engine interprets the expr
+// *result string*, so doubles here take the string path (ints are exact
+// either way).  Used for `if`/`while`/`for` conditions.
+bool CondTruthy(const Value& v, bool* out, std::string* error);
+
+// ExprParser::Arith for + - * / %.
+bool Arith(char op, const Value& lhs, const Value& rhs, Value* out,
+           std::string* error);
+
+// ExprParser::IntBinop for | ^ & and shifts ('l' = <<, 'r' = >>).
+bool IntBinop(char op, const Value& lhs, const Value& rhs, Value* out,
+              std::string* error);
+
+// ExprParser::Compare for == != < <= > >= (never fails: non-numeric operands
+// fall back to string comparison).
+int64_t Compare(const Value& lhs, const Value& rhs, const char* op);
+
+// Unary operators: '-' '+' (numeric coercion), '!' (truthy negate),
+// '~' (integer complement).
+bool Unary(char op, const Value& v, Value* out, std::string* error);
+
+// ExprParser::CallFunction with a pre-resolved MathFn id.
+bool CallMathFn(MathFn fn, const char* name, const std::vector<Value>& args,
+                Value* out, std::string* error);
+
+// Maps a function name to its MathFn id; false if unknown.
+bool LookupMathFn(const std::string& name, MathFn* out);
+
+}  // namespace tacoma::tacl::vm
+
+#endif  // TACOMA_TACL_VM_OPS_H_

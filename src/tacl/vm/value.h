@@ -1,0 +1,129 @@
+// Dual-representation TACL value (feather-style "shimmer" cell).
+//
+// The tree-walk interpreter stores every variable as a string and re-parses it
+// on each numeric use.  The VM instead keeps the native representation (int64
+// or double) alongside a lazily materialized string, so `incr i` in a loop
+// never round-trips through FormatInt/ParseInt.  Exactness contract with the
+// tree-walk engine:
+//
+//   * kInt     — FormatInt/ParseInt round-trip exactly, so the native int is
+//                always interchangeable with its string form.
+//   * kDouble  — FormatDouble (%.12g) is NOT round-trip safe.  A double value
+//                that the tree-walk engine would have observed *as a string*
+//                (stored in a variable, or produced by a nested script) must
+//                be normalized first: format, re-parse, and keep the reparsed
+//                double plus the cached string (NormalizedForStore).  Doubles
+//                that only live inside one expr evaluation stay exact, which
+//                is also what the tree-walk ExprParser does with Val::Double.
+//   * kString  — identical to the tree-walk representation.
+//
+// Materializing the string form of a numeric value is a "shimmer"; the VM
+// counts them (thread-local) so metrics can expose the conversion tax.
+#ifndef TACOMA_TACL_VM_VALUE_H_
+#define TACOMA_TACL_VM_VALUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "tacl/list.h"
+
+namespace tacoma::tacl::vm {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { kString, kInt, kDouble };
+
+  Value() : kind_(Kind::kString), has_str_(true) {}
+
+  static Value Str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.has_str_ = true;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.has_str_ = false;
+    v.int_ = i;
+    return v;
+  }
+  static Value Dbl(double d) {
+    Value v;
+    v.kind_ = Kind::kDouble;
+    v.has_str_ = false;
+    v.dbl_ = d;
+    return v;
+  }
+  // An int constant that remembers its source spelling (e.g. "0x10"), so a
+  // later string view shows exactly what the tree-walk engine would have had.
+  static Value IntWithString(int64_t i, std::string s) {
+    Value v = Int(i);
+    v.has_str_ = true;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool has_string() const { return has_str_; }
+  int64_t int_value() const { return int_; }
+  double dbl_value() const { return dbl_; }
+
+  // String view of the value; materializes (and caches) the string form of a
+  // numeric value, counting one shimmer.
+  const std::string& AsString() const {
+    if (!has_str_) {
+      str_ = kind_ == Kind::kInt ? FormatInt(int_) : FormatDouble(dbl_);
+      has_str_ = true;
+      ++shimmer_count;
+    }
+    return str_;
+  }
+
+  // Integer view with tree-walk semantics: an int is native; anything else
+  // goes through the string, exactly as ParseInt(stored string) would.
+  std::optional<int64_t> AsInt() const {
+    if (kind_ == Kind::kInt) {
+      return int_;
+    }
+    return ParseInt(AsString());
+  }
+
+  // Returns the value a tree-walk engine would observe after storing this
+  // value as a string: ints and strings are already exact; doubles are
+  // formatted and re-parsed so later numeric reads agree bit-for-bit with
+  // "parse of the stored string".
+  Value NormalizedForStore() const {
+    if (kind_ != Kind::kDouble) {
+      return *this;
+    }
+    const std::string& s = AsString();
+    if (std::optional<double> d = ParseDouble(s)) {
+      Value v = Dbl(*d);
+      v.has_str_ = true;
+      v.str_ = s;
+      return v;
+    }
+    return Str(s);  // NaN-ish renderings that do not parse back.
+  }
+
+  // Thread-local count of numeric->string materializations, sampled by the
+  // VM around each unit execution.  The simulation is single-threaded;
+  // thread_local keeps the sanitizer builds honest.
+  static thread_local uint64_t shimmer_count;
+
+ private:
+  Kind kind_;
+  mutable bool has_str_;
+  int64_t int_ = 0;
+  double dbl_ = 0.0;
+  mutable std::string str_;
+};
+
+}  // namespace tacoma::tacl::vm
+
+#endif  // TACOMA_TACL_VM_VALUE_H_

@@ -1,0 +1,506 @@
+#include "tacl/vm/vm.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tacl/list.h"
+#include "tacl/vm/ops.h"
+
+namespace tacoma::tacl::vm {
+
+thread_local uint64_t Value::shimmer_count = 0;
+
+Runner::Runner(Interp& interp, const CompiledUnit& unit)
+    : interp_(interp),
+      unit_(unit),
+      fn_cache_(unit.names.size(), nullptr),
+      fn_epoch_(interp.command_table_epoch_) {}
+
+Outcome Runner::Run() {
+  // Shimmer attribution: each Runner claims the materializations that happened
+  // while it ran, minus those already claimed by nested Runners (a kInvoke can
+  // re-enter Eval on the same interp), so vm.shimmers sums without double
+  // counting.
+  const uint64_t s0 = Value::shimmer_count;
+  const uint64_t c0 = interp_.vm_shimmers_claimed_;
+  Outcome out = Exec();
+  const uint64_t total = Value::shimmer_count - s0;
+  const uint64_t nested = interp_.vm_shimmers_claimed_ - c0;
+  interp_.vm_stats_.shimmers += total - nested;
+  interp_.vm_shimmers_claimed_ = c0 + total;
+  interp_.vm_stats_.dispatches += dispatched_;
+  return out;
+}
+
+const Interp::CommandFn* Runner::LookupFn(int32_t name_index) {
+  if (fn_epoch_ != interp_.command_table_epoch_) {
+    std::fill(fn_cache_.begin(), fn_cache_.end(), nullptr);
+    fn_epoch_ = interp_.command_table_epoch_;
+  }
+  const Interp::CommandFn*& slot = fn_cache_[name_index];
+  if (slot == nullptr) {
+    // Misses stay null and re-resolve next time: a proc defined mid-script
+    // must become visible to later invocations.
+    slot = interp_.FindCommandFn(unit_.names[name_index]);
+  }
+  return slot;
+}
+
+bool Runner::Unwind(Outcome o, uint32_t pc, uint32_t* resume) {
+  if (o.code == Code::kBreak || o.code == Code::kContinue) {
+    // Bind to the innermost compiled loop whose body contains pc; discard any
+    // operand-stack entries and foreach states the abandoned statement left
+    // behind (a break can fire mid-word-assembly via a [substitution]).
+    const LoopInfo* loop = nullptr;
+    for (const LoopInfo& l : unit_.loops) {
+      if (pc >= l.body_begin && pc < l.body_end &&
+          (loop == nullptr || l.body_begin > loop->body_begin)) {
+        loop = &l;
+      }
+    }
+    if (loop != nullptr) {
+      stack_.resize(loop->stack_depth);
+      fstates_.resize(loop->foreach_depth);
+      *resume = o.code == Code::kBreak ? loop->break_pc : loop->continue_pc;
+      return true;
+    }
+  }
+  // Errors, returns, and unbound break/continue leave the unit; the caller
+  // (an enclosing tree-walk construct, CallProc, or Eval) consumes the code.
+  final_ = std::move(o);
+  return false;
+}
+
+namespace {
+
+char ArithChar(Op op) {
+  switch (op) {
+    case Op::kAdd: return '+';
+    case Op::kSub: return '-';
+    case Op::kMul: return '*';
+    case Op::kDiv: return '/';
+    default: return '%';
+  }
+}
+
+char IntBinopChar(Op op) {
+  switch (op) {
+    case Op::kBitAnd: return '&';
+    case Op::kBitOr: return '|';
+    case Op::kBitXor: return '^';
+    case Op::kShl: return 'l';
+    default: return 'r';
+  }
+}
+
+const char* CompareOp(Op op) {
+  switch (op) {
+    case Op::kCmpEq: return "==";
+    case Op::kCmpNe: return "!=";
+    case Op::kCmpLt: return "<";
+    case Op::kCmpLe: return "<=";
+    case Op::kCmpGt: return ">";
+    default: return ">=";
+  }
+}
+
+}  // namespace
+
+// The RAISE macro routes a non-Ok outcome through Unwind: either execution
+// resumes at a loop edge or the outcome is final.  A plain block, not
+// do/while(0): the trailing `continue` must bind the dispatch loop.
+#define TACOMA_VM_RAISE(outcome)               \
+  {                                            \
+    if (!Unwind((outcome), pc, &pc)) {         \
+      return final_;                           \
+    }                                          \
+    continue;                                  \
+  }
+
+Outcome Runner::Exec() {
+  const Instr* code = unit_.code.data();
+  uint32_t pc = 0;
+  for (;;) {
+    const Instr& in = code[pc];
+    ++dispatched_;
+    switch (in.op) {
+      case Op::kStmt: {
+        ++interp_.steps_;
+        if (interp_.step_limit_ != 0 && interp_.steps_ > interp_.step_limit_) {
+          TACOMA_VM_RAISE(Error("step limit exceeded"));
+        }
+        if (unit_.inlined && interp_.builtin_epoch_ != 0) {
+          // The builtin surface changed under a unit that inlined builtins
+          // (e.g. a proc now shadows `set`).  Run this source statement
+          // through the tree-walk dispatcher and resume after it.
+          const StmtRef& ref = unit_.stmts[in.a];
+          ++interp_.vm_stats_.stmt_fallbacks;
+          Outcome out = interp_.ExecParsedCommand((*unit_.trees[ref.tree])[ref.index]);
+          if (out.code == Code::kOk) {
+            result_ = Value::Str(std::move(out.value));
+            pc = ref.next_pc;
+            continue;
+          }
+          TACOMA_VM_RAISE(std::move(out));
+        }
+        ++pc;
+        continue;
+      }
+      case Op::kJump:
+        pc = static_cast<uint32_t>(in.a);
+        continue;
+      case Op::kDone:
+        return Ok(result_.AsString());
+      case Op::kReturnEmpty:
+        TACOMA_VM_RAISE((Outcome{Code::kReturn, ""}));
+      case Op::kReturnValue: {
+        std::string v = stack_.back().AsString();
+        stack_.pop_back();
+        TACOMA_VM_RAISE((Outcome{Code::kReturn, std::move(v)}));
+      }
+      case Op::kRaiseCode:
+        TACOMA_VM_RAISE((Outcome{static_cast<Code>(in.a), ""}));
+
+      case Op::kPushConst:
+        stack_.push_back(unit_.consts[in.a]);
+        ++pc;
+        continue;
+      case Op::kLoadVar: {
+        const Value* v = interp_.GetVarValue(unit_.names[in.a]);
+        if (v == nullptr) {
+          TACOMA_VM_RAISE(Error("can't read \"" + unit_.names[in.a] +
+                                "\": no such variable"));
+        }
+        stack_.push_back(*v);
+        ++pc;
+        continue;
+      }
+      case Op::kConcat: {
+        const size_t n = static_cast<size_t>(in.a);
+        const size_t base = stack_.size() - n;
+        std::string s;
+        for (size_t i = base; i < stack_.size(); ++i) {
+          s.append(stack_[i].AsString());
+        }
+        stack_.resize(base);
+        stack_.push_back(Value::Str(std::move(s)));
+        ++pc;
+        continue;
+      }
+      case Op::kPopN:
+        stack_.resize(stack_.size() - static_cast<size_t>(in.a));
+        ++pc;
+        continue;
+
+      case Op::kResultClear:
+        result_ = Value();
+        ++pc;
+        continue;
+      case Op::kResultPop:
+        result_ = std::move(stack_.back());
+        stack_.pop_back();
+        ++pc;
+        continue;
+      case Op::kPushResult:
+        // Nested-script results cross an Outcome-string boundary in the
+        // tree-walk engine; normalize doubles so later numeric reads agree.
+        stack_.push_back(result_.NormalizedForStore());
+        ++pc;
+        continue;
+
+      case Op::kSetVar: {
+        Value stored = stack_.back().NormalizedForStore();
+        stack_.pop_back();
+        interp_.SetVarValue(unit_.names[in.a], stored);
+        result_ = std::move(stored);
+        ++pc;
+        continue;
+      }
+      case Op::kIncrVar: {
+        Value delta_v = std::move(stack_.back());
+        stack_.pop_back();
+        std::optional<int64_t> delta = delta_v.AsInt();
+        if (!delta.has_value()) {
+          TACOMA_VM_RAISE(
+              Error("expected integer but got \"" + delta_v.AsString() + "\""));
+        }
+        const std::string& name = unit_.names[in.a];
+        int64_t base = 0;
+        if (const Value* cur = interp_.GetVarValue(name)) {
+          std::optional<int64_t> b = cur->AsInt();
+          if (!b.has_value()) {
+            TACOMA_VM_RAISE(
+                Error("expected integer but got \"" + cur->AsString() + "\""));
+          }
+          base = *b;
+        }
+        Value next = Value::Int(base + *delta);
+        interp_.SetVarValue(name, next);
+        result_ = std::move(next);
+        ++pc;
+        continue;
+      }
+      case Op::kInvoke: {
+        const size_t argc = static_cast<size_t>(in.b);
+        const size_t base = stack_.size() - argc;
+        std::vector<std::string> argv;
+        argv.reserve(argc + 1);
+        argv.push_back(unit_.names[in.a]);
+        for (size_t i = base; i < stack_.size(); ++i) {
+          argv.push_back(stack_[i].AsString());
+        }
+        stack_.resize(base);
+        ++interp_.vm_stats_.invokes;
+        const Interp::CommandFn* fn = LookupFn(in.a);
+        Outcome out = fn != nullptr
+                          ? (*fn)(interp_, argv)
+                          : Error("invalid command name \"" + argv[0] + "\"");
+        if (out.code == Code::kOk) {
+          result_ = Value::Str(std::move(out.value));
+          ++pc;
+          continue;
+        }
+        TACOMA_VM_RAISE(std::move(out));
+      }
+      case Op::kInvokeDyn: {
+        const size_t argc = static_cast<size_t>(in.a);
+        const size_t base = stack_.size() - argc;
+        std::vector<std::string> argv;
+        argv.reserve(argc);
+        for (size_t i = base; i < stack_.size(); ++i) {
+          argv.push_back(stack_[i].AsString());
+        }
+        stack_.resize(base);
+        ++interp_.vm_stats_.invokes;
+        Outcome out = interp_.EvalCommand(argv);
+        if (out.code == Code::kOk) {
+          result_ = Value::Str(std::move(out.value));
+          ++pc;
+          continue;
+        }
+        TACOMA_VM_RAISE(std::move(out));
+      }
+
+      case Op::kJumpIfFalse: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        bool t;
+        std::string err;
+        if (!Truthy(v, &t, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        pc = t ? pc + 1 : static_cast<uint32_t>(in.a);
+        continue;
+      }
+      case Op::kCondJumpIfFalse: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        bool t;
+        std::string err;
+        if (!CondTruthy(v, &t, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        pc = t ? pc + 1 : static_cast<uint32_t>(in.a);
+        continue;
+      }
+      case Op::kJumpZeroPushZero: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        bool t;
+        std::string err;
+        if (!Truthy(v, &t, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        if (!t) {
+          stack_.push_back(Value::Int(0));
+          pc = static_cast<uint32_t>(in.a);
+        } else {
+          ++pc;
+        }
+        continue;
+      }
+      case Op::kJumpOnePushOne: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        bool t;
+        std::string err;
+        if (!Truthy(v, &t, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        if (t) {
+          stack_.push_back(Value::Int(1));
+          pc = static_cast<uint32_t>(in.a);
+        } else {
+          ++pc;
+        }
+        continue;
+      }
+      case Op::kTruthy: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        bool t;
+        std::string err;
+        if (!Truthy(v, &t, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        stack_.push_back(Value::Int(t ? 1 : 0));
+        ++pc;
+        continue;
+      }
+
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod: {
+        Value out;
+        std::string err;
+        if (!Arith(ArithChar(in.op), stack_[stack_.size() - 2], stack_.back(),
+                   &out, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        stack_.pop_back();
+        stack_.back() = std::move(out);
+        ++pc;
+        continue;
+      }
+      case Op::kNeg:
+      case Op::kToNum:
+      case Op::kNot:
+      case Op::kBitNot: {
+        const char op = in.op == Op::kNeg     ? '-'
+                        : in.op == Op::kToNum ? '+'
+                        : in.op == Op::kNot   ? '!'
+                                              : '~';
+        Value out;
+        std::string err;
+        if (!Unary(op, stack_.back(), &out, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        stack_.back() = std::move(out);
+        ++pc;
+        continue;
+      }
+      case Op::kBitAnd:
+      case Op::kBitOr:
+      case Op::kBitXor:
+      case Op::kShl:
+      case Op::kShr: {
+        Value out;
+        std::string err;
+        if (!IntBinop(IntBinopChar(in.op), stack_[stack_.size() - 2],
+                      stack_.back(), &out, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        stack_.pop_back();
+        stack_.back() = std::move(out);
+        ++pc;
+        continue;
+      }
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe: {
+        int64_t r = Compare(stack_[stack_.size() - 2], stack_.back(),
+                            CompareOp(in.op));
+        stack_.pop_back();
+        stack_.back() = Value::Int(r);
+        ++pc;
+        continue;
+      }
+      case Op::kStrEq:
+      case Op::kStrNe: {
+        const bool equal =
+            stack_[stack_.size() - 2].AsString() == stack_.back().AsString();
+        stack_.pop_back();
+        stack_.back() = Value::Int((in.op == Op::kStrEq) == equal ? 1 : 0);
+        ++pc;
+        continue;
+      }
+      case Op::kMathFn: {
+        const size_t argc = static_cast<size_t>(in.b);
+        const size_t base = stack_.size() - argc;
+        std::vector<Value> args(stack_.begin() + base, stack_.end());
+        stack_.resize(base);
+        const MathFn fn = static_cast<MathFn>(in.a);
+        Value out;
+        std::string err;
+        if (!CallMathFn(fn, MathFnName(fn), args, &out, &err)) {
+          TACOMA_VM_RAISE(Error(std::move(err)));
+        }
+        stack_.push_back(std::move(out));
+        ++pc;
+        continue;
+      }
+      case Op::kFail:
+        TACOMA_VM_RAISE(Error(unit_.consts[in.a].AsString()));
+
+      case Op::kForeachBegin: {
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        auto values = ParseList(v.AsString());
+        if (!values.ok()) {
+          TACOMA_VM_RAISE(Error("bad value list in foreach"));
+        }
+        fstates_.push_back({std::move(values).value(), 0});
+        ++pc;
+        continue;
+      }
+      case Op::kForeachIter: {
+        ForeachState& st = fstates_.back();
+        if (st.pos >= st.values.size()) {
+          fstates_.pop_back();
+          pc = static_cast<uint32_t>(in.b);
+          continue;
+        }
+        for (const std::string& name : unit_.foreachs[in.a].names) {
+          interp_.SetVarValue(
+              name, Value::Str(st.pos < st.values.size() ? st.values[st.pos] : ""));
+          ++st.pos;
+        }
+        ++pc;
+        continue;
+      }
+      case Op::kForeachEnd:
+        fstates_.pop_back();
+        ++pc;
+        continue;
+
+      case Op::kEvalExprPush: {
+        Outcome out = EvalExpr(interp_, unit_.consts[in.a].AsString());
+        if (out.code != Code::kOk) {
+          TACOMA_VM_RAISE(std::move(out));
+        }
+        stack_.push_back(Value::Str(std::move(out.value)));
+        ++pc;
+        continue;
+      }
+      case Op::kCondEvalPush: {
+        Result<bool> cond = interp_.EvalCondition(unit_.consts[in.a].AsString());
+        if (!cond.ok()) {
+          TACOMA_VM_RAISE(Error(std::string(cond.status().message())));
+        }
+        stack_.push_back(Value::Int(*cond ? 1 : 0));
+        ++pc;
+        continue;
+      }
+      case Op::kEvalScriptPush: {
+        Outcome out = interp_.Eval(unit_.consts[in.a].AsString());
+        if (out.code != Code::kOk) {
+          TACOMA_VM_RAISE(std::move(out));
+        }
+        stack_.push_back(Value::Str(std::move(out.value)));
+        ++pc;
+        continue;
+      }
+    }
+    // Unreachable: every opcode continues or returns.
+    return Error("vm: invalid opcode");
+  }
+}
+
+#undef TACOMA_VM_RAISE
+
+}  // namespace tacoma::tacl::vm

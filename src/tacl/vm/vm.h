@@ -1,0 +1,60 @@
+// TACL bytecode dispatch loop.
+//
+// A Runner executes one CompiledUnit against an Interp.  It is constructed
+// per evaluation (the operand stack and foreach states are evaluation-local);
+// the unit itself is immutable and shared.  Observable behavior — Outcome
+// codes and values, error strings, step counts, variable state — matches
+// Interp's tree-walk evaluation of the same source exactly; the differential
+// test suite (tests/vm_differential_test.cc) holds the two engines to that.
+#ifndef TACOMA_TACL_VM_VM_H_
+#define TACOMA_TACL_VM_VM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tacl/interp.h"
+#include "tacl/vm/bytecode.h"
+
+namespace tacoma::tacl::vm {
+
+class Runner {
+ public:
+  Runner(Interp& interp, const CompiledUnit& unit);
+
+  // Runs the unit to completion and returns its Outcome (the equivalent of
+  // Interp::RunParsed over the unit's source).  Call once per Runner.
+  Outcome Run();
+
+ private:
+  struct ForeachState {
+    std::vector<std::string> values;
+    size_t pos = 0;
+  };
+
+  Outcome Exec();
+
+  // Handles a non-Ok outcome raised at `pc`.  Returns true when execution
+  // resumes (a loop consumed a break/continue; *resume set, stacks unwound);
+  // false when the outcome (possibly converted by a barrier) is final in
+  // `final_`.
+  bool Unwind(Outcome o, uint32_t pc, uint32_t* resume);
+
+  // Resolved CommandFn for kInvoke, cached per name index; invalidated when
+  // the interp's command table epoch moves (a command was removed).
+  const Interp::CommandFn* LookupFn(int32_t name_index);
+
+  Interp& interp_;
+  const CompiledUnit& unit_;
+  std::vector<Value> stack_;
+  std::vector<ForeachState> fstates_;
+  Value result_;  // The running "last command result" register.
+  Outcome final_;
+  std::vector<const Interp::CommandFn*> fn_cache_;
+  uint64_t fn_epoch_;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace tacoma::tacl::vm
+
+#endif  // TACOMA_TACL_VM_VM_H_

@@ -1,0 +1,72 @@
+// A small string-keyed LRU map.
+//
+// Used for the interpreter's parse and compiled-unit caches: agent code is a
+// small working set of hot scripts (loop bodies, proc bodies), so a bounded
+// recency list with wholesale eviction of the coldest entry keeps memory flat
+// over a long-lived interpreter without the stampedes a clear-all policy
+// causes (the previous parse cache dropped everything at capacity, re-parsing
+// the hot set from scratch).
+#ifndef TACOMA_UTIL_LRU_H_
+#define TACOMA_UTIL_LRU_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace tacoma {
+
+template <typename V>
+class LruMap {
+ public:
+  explicit LruMap(size_t capacity) : capacity_(capacity) {}
+
+  // Returns a pointer to the cached value (touching the entry), or nullptr.
+  // The pointer is valid until the next Put/Clear.
+  V* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Inserts or replaces; evicts the least-recently-used entry when over
+  // capacity.
+  void Put(std::string key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(std::move(key), order_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  size_t size() const { return index_.size(); }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, V>> order_;  // Front = most recent.
+  std::map<std::string, typename std::list<std::pair<std::string, V>>::iterator>
+      index_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_UTIL_LRU_H_

@@ -1,0 +1,375 @@
+// Differential testing of the bytecode VM against the tree-walk oracle.
+//
+// Every script in the corpus runs twice — once through the compiled engine,
+// once through EvalTree — on otherwise identical interpreters, and the test
+// asserts the two engines are observationally indistinguishable: same
+// Outcome (code and value, including error-message text), same final
+// variable state, same side-effect trace (order included), same accounting
+// charge (steps), same `puts` output.  The corpus covers the constructs the
+// compiler special-cases (inlined builtins, the expression compiler, loop
+// unwinding, fallback paths) plus every shipped example agent, which runs
+// through a real Place under both engines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/briefcase.h"
+#include "core/kernel.h"
+#include "core/place.h"
+#include "tacl/interp.h"
+
+namespace tacoma {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Everything observable about one evaluation.
+struct Observation {
+  tacl::Code code = tacl::Code::kOk;
+  std::string value;
+  uint64_t steps = 0;
+  std::vector<std::string> output;        // puts lines, in order.
+  std::vector<std::string> side_effects;  // `probe ...` calls, in order.
+  std::vector<std::string> variables;     // "name=value", sorted by name.
+};
+
+Observation RunOn(tacl::Interp& interp, const std::string& script,
+                  uint64_t step_limit) {
+  Observation obs;
+  interp.set_step_limit(step_limit);
+  interp.set_output([&obs](const std::string& line) { obs.output.push_back(line); });
+  interp.Register("probe", [&obs](tacl::Interp&, const std::vector<std::string>& argv) {
+    std::string joined;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      if (i > 1) joined += " ";
+      joined += argv[i];
+    }
+    obs.side_effects.push_back(joined);
+    return tacl::Ok(std::to_string(argv.size() - 1));
+  });
+  tacl::Outcome out = interp.Eval(script);
+  obs.code = out.code;
+  obs.value = out.value;
+  obs.steps = interp.steps();
+  for (const std::string& name : interp.VarNames()) {
+    obs.variables.push_back(name + "=" + interp.GetVar(name).value_or("<unset>"));
+  }
+  std::sort(obs.variables.begin(), obs.variables.end());
+  return obs;
+}
+
+void ExpectIdentical(const std::string& script, uint64_t step_limit = 0) {
+  SCOPED_TRACE(script);
+  tacl::Interp tree;
+  tree.set_vm_enabled(false);
+  Observation want = RunOn(tree, script, step_limit);
+
+  tacl::Interp vm;
+  vm.set_vm_enabled(true);
+  Observation got = RunOn(vm, script, step_limit);
+
+  EXPECT_EQ(static_cast<int>(want.code), static_cast<int>(got.code));
+  EXPECT_EQ(want.value, got.value);
+  EXPECT_EQ(want.steps, got.steps) << "accounting charge diverged";
+  EXPECT_EQ(want.output, got.output);
+  EXPECT_EQ(want.side_effects, got.side_effects);
+  EXPECT_EQ(want.variables, got.variables);
+}
+
+TEST(VmDifferentialTest, VariablesAndIncr) {
+  ExpectIdentical("set a 5");
+  ExpectIdentical("set a 5; set b $a; set a");
+  ExpectIdentical("set x $nope");
+  ExpectIdentical("incr c; incr c; incr c 10; incr c -12; set c");
+  ExpectIdentical("set s hello; incr s");
+  ExpectIdentical("incr n bogus");
+  ExpectIdentical("set v 007; incr v 1");
+  ExpectIdentical("set a 1; unset a; set b $a");
+  ExpectIdentical("set name world; set msg \"hello $name\"; set msg");
+  ExpectIdentical("set a x; set b $a$a$a");
+}
+
+TEST(VmDifferentialTest, IfElse) {
+  ExpectIdentical("if {1} {probe then} else {probe else}");
+  ExpectIdentical("if {0} {probe then} else {probe else}");
+  ExpectIdentical("if {0} {probe a} elseif {0} {probe b} elseif {1} {probe c} else {probe d}");
+  ExpectIdentical("if {0} {probe a} elseif {0} {probe b}");
+  ExpectIdentical("set x 3; if {$x > 2} {set y big} else {set y small}; set y");
+  ExpectIdentical("if {1} then {probe legacy-then}");
+  // Structural errors must produce the oracle's exact message.
+  ExpectIdentical("if");
+  ExpectIdentical("if {1}");
+  ExpectIdentical("if {1} {probe a} else");
+  ExpectIdentical("if {1} {probe a} bogus {probe b}");
+  ExpectIdentical("if {notanumber} {probe a}");
+}
+
+TEST(VmDifferentialTest, WhileLoops) {
+  ExpectIdentical("set i 0; while {$i < 5} {incr i}; set i");
+  ExpectIdentical("set i 0; set s {}; while {$i < 10} {incr i; if {$i == 3} {continue}; if {$i > 6} {break}; append s $i}; set s");
+  ExpectIdentical("while {0} {probe never}");
+  ExpectIdentical("set i 0; while {$i < 3} {probe tick $i; incr i}");
+  // Error in the condition, error in the body.
+  ExpectIdentical("while {$undefined} {probe never}");
+  ExpectIdentical("set i 0; while {$i < 3} {incr i; bogus_cmd}");
+  // Nested loops with break/continue binding the right loop.
+  ExpectIdentical(
+      "set log {}; set i 0; while {$i < 3} {incr i; set j 0;"
+      " while {$j < 3} {incr j; if {$j == 2} {break}; lappend log $i.$j}};"
+      " set log");
+  ExpectIdentical(
+      "set log {}; set i 0; while {$i < 4} {incr i; if {$i == 2} {continue};"
+      " lappend log $i}; set log");
+}
+
+TEST(VmDifferentialTest, ForLoops) {
+  ExpectIdentical("for {set i 0} {$i < 5} {incr i} {probe i $i}");
+  ExpectIdentical("set s {}; for {set i 9} {$i > 5} {incr i -1} {append s $i}; set s");
+  ExpectIdentical("for {set i 0} {$i < 10} {incr i} {if {$i == 3} {break}}; set i");
+  // continue in a for loop still runs the next-script.
+  ExpectIdentical(
+      "set s {}; for {set i 0} {$i < 6} {incr i} {if {$i % 2} {continue};"
+      " append s $i}; set s");
+  // break inside the next-script binds an enclosing loop, not this one.
+  ExpectIdentical(
+      "set n 0; while {1} {for {set i 0} {$i < 2} {incr i; break} {incr n};"
+      " break}; list $n $i");
+  ExpectIdentical("for {set i 0} {$i < 2} {incr i}");
+  ExpectIdentical("for {bogus_cmd} {1} {} {probe body}");
+}
+
+TEST(VmDifferentialTest, ForeachLoops) {
+  ExpectIdentical("set s {}; foreach x {c b a} {set s $x$s}; set s");
+  ExpectIdentical("set out {}; foreach {k v} {a 1 b 2} {lappend out $k=$v}; set out");
+  ExpectIdentical("set out {}; foreach {k v} {a 1 b} {lappend out $k=$v}; set out");
+  ExpectIdentical("foreach x {} {probe never}; set x");
+  ExpectIdentical("set n 0; foreach x {1 2 3 4 5} {if {$x == 4} {break}; incr n}; set n");
+  ExpectIdentical("set s {}; foreach x {1 2 3} {if {$x == 2} {continue}; append s $x}; set s");
+  ExpectIdentical("foreach {} {1 2} {probe never}");
+  ExpectIdentical("foreach x {unbalanced \"brace} {probe never}");
+  // Nested foreach with break from the inner loop only.
+  ExpectIdentical(
+      "set log {}; foreach a {1 2} {foreach b {x y z} {if {$b eq \"y\"} {break};"
+      " lappend log $a$b}}; set log");
+  // break inside a foreach nested in a while unwinds the foreach state.
+  ExpectIdentical(
+      "set log {}; set i 0; while {$i < 3} {incr i; foreach v {p q} {lappend log $i$v;"
+      " if {$i == 2} {break}}}; set log");
+}
+
+TEST(VmDifferentialTest, ProcsAndReturn) {
+  ExpectIdentical("proc twice {x} {expr {$x * 2}}; twice 21");
+  ExpectIdentical("proc f {} {return early; probe never}; f");
+  ExpectIdentical("proc f {} {return}; f");
+  ExpectIdentical("proc add {a {b 10}} {expr {$a + $b}}; list [add 1] [add 1 2]");
+  ExpectIdentical("proc v {args} {llength $args}; v a b c");
+  ExpectIdentical(
+      "proc fib {n} {if {$n < 2} {return $n};"
+      " expr {[fib [expr {$n - 1}]] + [fib [expr {$n - 2}]]}}; fib 10");
+  // return terminates a loop inside the proc body.
+  ExpectIdentical("proc f {} {while {1} {return looped}}; f");
+  // Top-level return / break / continue.
+  ExpectIdentical("return 42");
+  ExpectIdentical("break");
+  ExpectIdentical("continue");
+  ExpectIdentical("while {1} {probe once; break}; probe after");
+}
+
+TEST(VmDifferentialTest, Expressions) {
+  ExpectIdentical("expr {1 + 2 * 3}");
+  ExpectIdentical("expr {(1 + 2) * 3}");
+  ExpectIdentical("expr {7 / 2}; expr {7 % 2}; expr {7.0 / 2}");
+  ExpectIdentical("expr {-7 / 2}; expr {-7 % 2}");
+  ExpectIdentical("expr {1 / 0}");
+  ExpectIdentical("expr {1 % 0}");
+  ExpectIdentical("expr {1.0 / 0}");
+  ExpectIdentical("expr {3 < 4 && 4 < 3}; expr {3 < 4 || 4 < 3}");
+  ExpectIdentical("expr {1 << 10}; expr {1024 >> 3}; expr {5 & 3}; expr {5 | 3}; expr {5 ^ 3}");
+  ExpectIdentical("expr {\"abc\" eq \"abc\"}; expr {\"abc\" ne \"abd\"}; expr {\"abc\" < \"abd\"}");
+  ExpectIdentical("expr {1 == 1.0}; expr {\"1\" eq \"1.0\"}");
+  ExpectIdentical("expr {1 ? \"yes\" : \"no\"}; expr {0 ? \"yes\" : \"no\"}");
+  ExpectIdentical("expr {!1}; expr {!0}; expr {~5}; expr {-(3)}");
+  ExpectIdentical("expr {abs(-5)}; expr {min(3, 1, 2)}; expr {max(3, 1, 2)}");
+  ExpectIdentical("expr {sqrt(16)}; expr {pow(2, 10)}; expr {fmod(7.5, 2.0)}");
+  ExpectIdentical("expr {round(2.5)}; expr {floor(2.5)}; expr {ceil(2.5)}");
+  ExpectIdentical("expr {double(3)}; expr {int(3.9)}");
+  ExpectIdentical("set x 4; expr {$x * $x}");
+  ExpectIdentical("expr {$missing + 1}");
+  ExpectIdentical("expr {1 +}");
+  ExpectIdentical("expr {)}");
+  ExpectIdentical("expr {nosuchfn(1)}");
+  ExpectIdentical("expr {fmod(1, 0)}");
+  ExpectIdentical("expr {true && false}; expr {yes || no}");
+  ExpectIdentical("expr {2 ** 3}");
+  ExpectIdentical("expr {1e3 + 1}; expr {0x10 + 1}; expr {.5 + .25}");
+  // Short-circuit must not evaluate (or error on) the dead operand.
+  ExpectIdentical("expr {0 && $undefined}");
+  ExpectIdentical("expr {1 || $undefined}");
+  ExpectIdentical("expr {1 ? 2 : $undefined}");
+  ExpectIdentical("set x 5; if {$x > 0 && $x < 10} {probe in-range}");
+}
+
+TEST(VmDifferentialTest, CommandSubstitution) {
+  ExpectIdentical("set a [expr {1 + 1}]");
+  ExpectIdentical("set a [list 1 2 3]; llength $a");
+  ExpectIdentical("probe [probe inner] outer");
+  ExpectIdentical("set x a[probe mid]b; set x");
+  // Errors inside a substitution propagate.
+  ExpectIdentical("set a [bogus_cmd]");
+  ExpectIdentical("set a [expr {1 +}]");
+  // Command substitution inside an expression (the non-compiled expr path),
+  // including the oracle's evaluate-after-error behaviour.
+  ExpectIdentical("expr {[probe one] + [probe two three]}");
+  ExpectIdentical("expr {$undefined + [probe still-runs]}");
+  ExpectIdentical("set i 0; while {[incr i] < 4} {probe lap $i}");
+  // break/continue raised while substituting a loop body's words.
+  ExpectIdentical("set i 0; while {$i < 3} {incr i; probe a[break]b}; set i");
+  ExpectIdentical("set i 0; while {$i < 3} {incr i; set x [continue]}; set i");
+}
+
+TEST(VmDifferentialTest, StepLimitAndDepth) {
+  ExpectIdentical("set i 0; while {$i < 1000} {incr i}", 100);
+  ExpectIdentical("set i 0; while {$i < 1000} {incr i}", 0);
+  ExpectIdentical("probe a; probe b; probe c", 3);
+  ExpectIdentical("probe a; probe b; probe c", 2);
+  ExpectIdentical("proc f {n} {if {$n > 0} {f [expr {$n - 1}]}}; f 10000");
+}
+
+TEST(VmDifferentialTest, MiscBuiltins) {
+  ExpectIdentical("puts hello; puts world");
+  ExpectIdentical("set l {}; lappend l a; lappend l b c; set l");
+  ExpectIdentical("string length abc; string toupper abc; string index abc 1");
+  ExpectIdentical("join {a b c} -");
+  ExpectIdentical("lindex {a b c} 1; lrange {a b c d} 1 2");
+  ExpectIdentical("bogus_cmd 1 2 3");
+  ExpectIdentical("");
+  ExpectIdentical("   ;  ; \n\n ;");
+  ExpectIdentical("# just a comment\nprobe after-comment");
+  ExpectIdentical("global g; set g 1; proc f {} {global g; incr g}; f; set g");
+  ExpectIdentical("proc f {} {upvar 1 x local; set local 99}; set x 1; f; set x");
+  ExpectIdentical("catch {bogus_cmd} msg; set msg");
+  ExpectIdentical("catch {expr {1 + 1}} val; set val");
+  ExpectIdentical("eval {set a 1; incr a}");
+  ExpectIdentical("set body {incr n}; set n 0; eval $body; eval $body; set n");
+}
+
+// Shadowing an inlined builtin after a unit is cached must route the shadowed
+// statements through the live command table (the epoch fallback), matching
+// what the tree-walker would do.
+TEST(VmDifferentialTest, BuiltinShadowingFallback) {
+  for (bool vm_on : {false, true}) {
+    SCOPED_TRACE(vm_on ? "vm" : "tree");
+    tacl::Interp interp;
+    interp.set_vm_enabled(vm_on);
+    // Warm the unit cache with an inlined `incr`.
+    ASSERT_EQ(interp.Eval("set n 0; incr n").code, tacl::Code::kOk);
+    // Shadow incr: now +2 per call.
+    interp.Register("incr",
+                    [](tacl::Interp& i, const std::vector<std::string>& argv) {
+                      int64_t v = std::stoll(i.GetVar(argv[1]).value_or("0"));
+                      i.SetVar(argv[1], std::to_string(v + 2));
+                      return tacl::Ok(std::to_string(v + 2));
+                    });
+    tacl::Outcome out = interp.Eval("set n 0; incr n");
+    EXPECT_EQ(out.code, tacl::Code::kOk);
+    EXPECT_EQ(out.value, "2") << "shadowed incr must win over the inlined one";
+  }
+}
+
+// A proc named after an inlined builtin behaves the same way.
+TEST(VmDifferentialTest, ProcShadowingInlinedBuiltin) {
+  ExpectIdentical("set r [expr {1 + 1}]; proc expr {args} {return shadowed};"
+                  " list $r [expr {1 + 1}]");
+}
+
+// --- Example agents through a real Place ------------------------------------------
+
+// Runs one agent script under both engines in identical fresh kernels and
+// compares the activation outcome, agent output, accounting, and the effect
+// monitor's verdicts.
+void ExpectAgentIdentical(const std::string& code) {
+  struct AgentObservation {
+    std::string status;
+    std::vector<std::string> output;
+    uint64_t steps = 0;
+    uint64_t manifest_violations = 0;
+    uint64_t failed_activations = 0;
+  };
+  AgentObservation results[2];
+  const bool saved = tacl::VmDefaultEnabled();
+  for (int engine = 0; engine < 2; ++engine) {
+    // Activation interpreters are built inside RunAgentCode, so the engine is
+    // selected through the process-wide default.
+    tacl::SetVmDefaultEnabled(engine == 1);
+    Kernel kernel;
+    SiteId site = kernel.AddSite("alpha");
+    kernel.AddSite("beta");
+    Place* place = kernel.place(site);
+    place->set_effect_monitor(true);
+    AgentObservation& obs = results[engine];
+    place->set_agent_output([&obs](const std::string& line) { obs.output.push_back(line); });
+    Briefcase bc;
+    Status status = place->RunAgentCode(code, bc, "diff-agent");
+    obs.status = status.ok() ? "ok" : status.message();
+    obs.steps = place->stats().interp_steps;
+    obs.manifest_violations = place->stats().manifest_violations;
+    obs.failed_activations = place->stats().failed_activations;
+  }
+  tacl::SetVmDefaultEnabled(saved);
+  EXPECT_EQ(results[0].status, results[1].status);
+  EXPECT_EQ(results[0].output, results[1].output);
+  EXPECT_EQ(results[0].steps, results[1].steps) << "accounting charge diverged";
+  EXPECT_EQ(results[0].manifest_violations, results[1].manifest_violations);
+  EXPECT_EQ(results[0].failed_activations, results[1].failed_activations);
+}
+
+TEST(VmDifferentialTest, ExampleAgentsRunIdentically) {
+  const fs::path agents = fs::path(TACOMA_SOURCE_DIR) / "examples" / "agents";
+  ASSERT_TRUE(fs::exists(agents)) << agents;
+  std::vector<fs::path> scripts;
+  for (const auto& entry : fs::directory_iterator(agents)) {
+    if (entry.path().extension() == ".tacl") {
+      scripts.push_back(entry.path());
+    }
+  }
+  std::sort(scripts.begin(), scripts.end());
+  ASSERT_GE(scripts.size(), 5u);
+  for (const fs::path& script : scripts) {
+    SCOPED_TRACE(script.filename().string());
+    ExpectAgentIdentical(ReadFile(script));
+  }
+}
+
+// A warm digest hit at the place must skip the compile entirely: repeating
+// the same CODE through one place compiles exactly once.
+TEST(VmDifferentialTest, WarmPlaceActivationSkipsCompile) {
+  const bool saved = tacl::VmDefaultEnabled();
+  tacl::SetVmDefaultEnabled(true);
+  Kernel kernel;
+  SiteId site = kernel.AddSite("alpha");
+  Place* place = kernel.place(site);
+  const std::string code = "set total 0; foreach x {1 2 3 4 5} {incr total $x}";
+  for (int hop = 0; hop < 5; ++hop) {
+    Briefcase bc;
+    ASSERT_TRUE(place->RunAgentCode(code, bc, "warm-agent").ok());
+  }
+  tacl::SetVmDefaultEnabled(saved);
+  EXPECT_EQ(place->stats().vm_compiles, 1u);
+  EXPECT_EQ(place->code_cache().unit_stats().hits, 4u);
+  EXPECT_EQ(place->code_cache().unit_stats().misses, 1u);
+  EXPECT_GT(place->stats().vm_dispatches, 0u);
+}
+
+}  // namespace
+}  // namespace tacoma

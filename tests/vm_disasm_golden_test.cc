@@ -1,0 +1,89 @@
+// Golden-file lock on the bytecode compiler's output for a representative
+// script corpus.  Any compiler change that shifts generated code — a new
+// optimization, an opcode renumbering, a folding fix — shows up as a golden
+// diff to be reviewed, not as a silent codegen change.
+//
+// Regenerate after an intentional change with:
+//   TACOMA_REGEN_GOLDEN=1 ctest --test-dir build -R VmDisasmGolden
+// then review the diff under tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tacl/vm/bytecode.h"
+#include "tacl/vm/compiler.h"
+
+namespace tacoma::tacl {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool RegenRequested() {
+  const char* env = std::getenv("TACOMA_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// One listing per corpus entry, separated by headers, all in one golden file.
+struct Snippet {
+  const char* title;
+  const char* script;
+};
+
+constexpr Snippet kCorpus[] = {
+    {"set-and-substitution", "set greeting hello\nset message \"$greeting world\"\n"},
+    {"constant-folding", "set x [expr {2 * 3 + 4}]\nset y [expr {1 < 2 && 3 < 4}]\n"},
+    {"counting-loop", "set total 0\nfor {set i 0} {$i < 10} {incr i} {incr total $i}\n"},
+    {"while-break-continue",
+     "set i 0\nwhile {$i < 10} {incr i; if {$i == 3} {continue}; if {$i > 6} "
+     "{break}; append s $i}\n"},
+    {"foreach-strides", "foreach {k v} {a 1 b 2} {lappend out $k=$v}\n"},
+    {"generic-invocation", "puts [join [list a b c] -]\n"},
+    {"expr-fallback-command-sub", "set n [expr {[llength {a b}] + 1}]\n"},
+    {"short-circuit-and-ternary",
+     "set v [expr {$a > 0 ? \"pos\" : \"non-pos\"}]\nset w [expr {$a > 0 && $b > 0}]\n"},
+};
+
+TEST(VmDisasmGoldenTest, CorpusMatchesGoldenListing) {
+  std::string actual;
+  for (const Snippet& snippet : kCorpus) {
+    actual += "==== ";
+    actual += snippet.title;
+    actual += " ====\n";
+    actual += snippet.script;
+    actual += "----\n";
+    vm::CompileOptions options;
+    Status error = OkStatus();
+    auto unit = vm::Compile(snippet.script, options, &error);
+    ASSERT_NE(unit, nullptr) << snippet.title << ": " << error.message();
+    actual += vm::Disassemble(*unit);
+    actual += "\n";
+  }
+
+  const fs::path golden =
+      fs::path(TACOMA_SOURCE_DIR) / "tests" / "golden" / "vm_disasm.txt";
+  if (RegenRequested()) {
+    std::ofstream out(golden);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden;
+    return;
+  }
+  ASSERT_TRUE(fs::exists(golden))
+      << golden << " is missing; run with TACOMA_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(ReadFile(golden), actual)
+      << "compiled bytecode drifted from " << golden
+      << "; regenerate with TACOMA_REGEN_GOLDEN=1 if the change is intended";
+}
+
+}  // namespace
+}  // namespace tacoma::tacl

@@ -1,0 +1,207 @@
+// Fuzz-ish differential testing: a seeded generator emits random-but-valid
+// TACL scripts biased toward the constructs the VM compiles specially —
+// nested loops, break/continue at surprising depths, expressions mixing
+// ints, doubles and strings, command substitution, procs — and every script
+// runs through both engines.  Any observable divergence (outcome, variables,
+// step charge, side-effect order) fails the test with the offending script
+// and its seed, which then reproduces deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tacl/interp.h"
+
+namespace tacoma::tacl {
+namespace {
+
+// Small deterministic PRNG (xorshift*), independent of the library's Rng so
+// the corpus never shifts when the simulator's generator changes.
+class ScriptRng {
+ public:
+  explicit ScriptRng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  // In [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+  bool Chance(int percent) { return Below(100) < static_cast<uint64_t>(percent); }
+
+ private:
+  uint64_t state_;
+};
+
+// Generates one statement, recursing into blocks up to `depth`.
+class ScriptGenerator {
+ public:
+  explicit ScriptGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Script() {
+    std::string s;
+    int statements = 1 + static_cast<int>(rng_.Below(6));
+    for (int i = 0; i < statements; ++i) {
+      s += Statement(2);
+      s += "\n";
+    }
+    return s;
+  }
+
+ private:
+  std::string Var() {
+    static const char* kNames[] = {"a", "b", "c", "n", "s", "acc"};
+    return kNames[rng_.Below(6)];
+  }
+
+  std::string Atom() {
+    switch (rng_.Below(6)) {
+      case 0: return std::to_string(static_cast<int64_t>(rng_.Below(200)) - 100);
+      case 1: return std::to_string(static_cast<int64_t>(rng_.Below(10))) + "." +
+                     std::to_string(static_cast<int64_t>(rng_.Below(100)));
+      case 2: return "$" + Var();
+      case 3: return "0";
+      case 4: return "1";
+      default: return std::to_string(static_cast<int64_t>(rng_.Below(7)));
+    }
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || rng_.Chance(30)) {
+      return Atom();
+    }
+    static const char* kOps[] = {"+", "-", "*", "/", "%", "<", "<=", ">", ">=",
+                                 "==", "!=", "&&", "||", "&", "|", "^"};
+    std::string lhs = Expr(depth - 1);
+    std::string rhs = Expr(depth - 1);
+    const char* op = kOps[rng_.Below(16)];
+    if (rng_.Chance(15)) {
+      return "min(" + lhs + ", " + rhs + ")";
+    }
+    if (rng_.Chance(10)) {
+      return "abs(" + lhs + ")";
+    }
+    return "(" + lhs + " " + op + " " + rhs + ")";
+  }
+
+  std::string Block(int depth, bool in_loop) {
+    std::string s;
+    int statements = 1 + static_cast<int>(rng_.Below(3));
+    for (int i = 0; i < statements; ++i) {
+      s += Statement(depth, in_loop);
+      s += "; ";
+    }
+    return s;
+  }
+
+  std::string Statement(int depth, bool in_loop = false) {
+    int pick = static_cast<int>(rng_.Below(in_loop ? 12 : 10));
+    switch (pick) {
+      case 0:
+        return "set " + Var() + " " + Atom();
+      case 1:
+        return "set " + Var() + " [expr {" + Expr(depth) + "}]";
+      case 2:
+        return "incr " + Var() + (rng_.Chance(50) ? " " + std::to_string(
+                                      static_cast<int64_t>(rng_.Below(5)) - 2)
+                                                  : "");
+      case 3:
+        return "probe " + Atom() + " " + Atom();
+      case 4:
+        if (depth <= 0) return "probe leaf";
+        return "if {" + Expr(depth - 1) + "} {" + Block(depth - 1, in_loop) +
+               "} else {" + Block(depth - 1, in_loop) + "}";
+      case 5: {
+        if (depth <= 0) return "set " + Var() + " 1";
+        // A bounded while: guard variable makes termination certain.
+        std::string guard = "g" + std::to_string(rng_.Below(3));
+        return "set " + guard + " 0; while {$" + guard + " < " +
+               std::to_string(2 + rng_.Below(5)) + "} {incr " + guard + "; " +
+               Block(depth - 1, true) + "}";
+      }
+      case 6: {
+        if (depth <= 0) return "probe leaf2";
+        std::string body = Block(depth - 1, true);
+        return "foreach v {p q r} {" + body + "}";
+      }
+      case 7: {
+        if (depth <= 0) return "incr n";
+        std::string iv = "i" + std::to_string(rng_.Below(2));
+        return "for {set " + iv + " 0} {$" + iv + " < " +
+               std::to_string(1 + rng_.Below(4)) + "} {incr " + iv + "} {" +
+               Block(depth - 1, true) + "}";
+      }
+      case 8:
+        return "append s " + Atom();
+      case 9:
+        return "lappend acc " + Atom();
+      case 10:
+        // Only generated when in_loop.
+        return rng_.Chance(60) ? "if {" + Expr(0) + "} {break}"
+                               : "break";
+      default:
+        return rng_.Chance(60) ? "if {" + Expr(0) + "} {continue}"
+                               : "continue";
+    }
+  }
+
+  ScriptRng rng_;
+};
+
+struct Observation {
+  Code code;
+  std::string value;
+  uint64_t steps;
+  std::vector<std::string> effects;
+  std::vector<std::string> variables;
+};
+
+Observation RunOn(Interp& interp, const std::string& script) {
+  Observation obs;
+  interp.set_step_limit(20000);  // Random nesting can still multiply out.
+  interp.Register("probe", [&obs](Interp&, const std::vector<std::string>& argv) {
+    std::string joined;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      if (i > 1) joined += " ";
+      joined += argv[i];
+    }
+    obs.effects.push_back(joined);
+    return Ok(std::to_string(argv.size() - 1));
+  });
+  Outcome out = interp.Eval(script);
+  obs.code = out.code;
+  obs.value = out.value;
+  obs.steps = interp.steps();
+  for (const std::string& name : interp.VarNames()) {
+    obs.variables.push_back(name + "=" + interp.GetVar(name).value_or("<unset>"));
+  }
+  std::sort(obs.variables.begin(), obs.variables.end());
+  return obs;
+}
+
+TEST(VmFuzzTest, OneThousandSeededScriptsMatchTreeWalk) {
+  for (uint64_t seed = 1; seed <= 1000; ++seed) {
+    ScriptGenerator gen(seed * 0x9E3779B9ULL);
+    const std::string script = gen.Script();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+
+    Interp tree;
+    tree.set_vm_enabled(false);
+    Observation want = RunOn(tree, script);
+
+    Interp vm;
+    vm.set_vm_enabled(true);
+    Observation got = RunOn(vm, script);
+
+    ASSERT_EQ(static_cast<int>(want.code), static_cast<int>(got.code));
+    ASSERT_EQ(want.value, got.value);
+    ASSERT_EQ(want.steps, got.steps) << "step charge diverged";
+    ASSERT_EQ(want.effects, got.effects);
+    ASSERT_EQ(want.variables, got.variables);
+  }
+}
+
+}  // namespace
+}  // namespace tacoma::tacl
