@@ -1,0 +1,339 @@
+// E17 — RPC vs migration over real sockets.
+//
+// The paper's prototype ran agents across UNIX workstations over TCP (§6);
+// PAPERS.md's ".NET Remoting vs Mobile agent" (arXiv:1006.4538) measures the
+// classic tradeoff on such a deployment: K client/server interactions cost K
+// network round trips under RPC but a single round trip under migration —
+// the agent carries its K queries with it and pays only in frame size.  This
+// bench reproduces that comparison on the real TCP/epoll transport
+// (net/tcp_transport.h), loopback sockets, no simulator shortcuts:
+//
+//   1. Raw transport: frame round-trip latency (p50/p99) and streaming
+//      throughput at small and large frame sizes.
+//   2. Kernel level: two kernels (one per "machine"), agents over TCP —
+//      K sequential round-trip agents (RPC) vs one agent carrying K queries
+//      (migration), wall-clock and frames on the wire.
+//
+// The migration agent rides the same kernel machinery as everything else:
+// rexec dispatch, CODE folders, and the CodeCache (on, so repeat journeys
+// ship 32-byte stubs — the cache-off column shows what that buys over real
+// sockets too).
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "core/kernel.h"
+#include "net/realtime.h"
+#include "net/tcp_transport.h"
+
+namespace tacoma {
+namespace {
+
+uint64_t MonoUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- Phase 1: raw transport ---------------------------------------------------
+
+struct RawNumbers {
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+  double frames_per_sec = 0;
+  double mbytes_per_sec = 0;
+};
+
+// Sequential ping/pong: a sends, b's handler echoes, a's handler completes
+// the round trip.  Loopback, so this is framing + epoll + syscall cost.
+RawNumbers PingPong(int rounds, size_t payload_bytes) {
+  TcpTransport ta;
+  TcpTransport tb;
+  if (!ta.Listen().ok() || !tb.Listen().ok()) {
+    return {};
+  }
+  ta.AddPeer(1, "127.0.0.1", tb.bound_port());
+  tb.AddPeer(0, "127.0.0.1", ta.bound_port());
+
+  int pongs = 0;
+  tb.SetHandler(1, [&tb](SiteId from, const SharedBytes& payload) {
+    (void)tb.Send(1, from, payload.ToBytes());
+  });
+  ta.SetHandler(0, [&pongs](SiteId, const SharedBytes&) { ++pongs; });
+
+  Bytes payload(payload_bytes, 0xa5);
+  std::vector<double> rtts;
+  rtts.reserve(rounds);
+  uint64_t t0 = MonoUs();
+  for (int i = 0; i < rounds; ++i) {
+    uint64_t sent = MonoUs();
+    (void)ta.Send(0, 1, payload);
+    int want = pongs + 1;
+    while (pongs < want) {
+      tb.Poll(1);
+      ta.Poll(1);
+    }
+    rtts.push_back(static_cast<double>(MonoUs() - sent));
+  }
+  double total_s = static_cast<double>(MonoUs() - t0) / 1e6;
+
+  RawNumbers out;
+  out.rtt_p50_us = bench::Percentile(rtts, 50);
+  out.rtt_p99_us = bench::Percentile(rtts, 99);
+  out.frames_per_sec = total_s > 0 ? 2.0 * rounds / total_s : 0;
+  out.mbytes_per_sec =
+      total_s > 0 ? 2.0 * rounds * payload_bytes / total_s / 1e6 : 0;
+  return out;
+}
+
+double g_rtt_p50 = 0;
+double g_rtt_p99 = 0;
+
+void RawSweep(bool smoke) {
+  const int rounds = smoke ? 300 : 3000;
+  bench::Table table({"payload", "rtt p50 (us)", "rtt p99 (us)", "frames/s",
+                      "MB/s"});
+  for (size_t bytes : {size_t{64}, size_t{4096}, size_t{65536}}) {
+    RawNumbers n = PingPong(bytes == 65536 ? rounds / 4 : rounds, bytes);
+    if (bytes == 64) {
+      g_rtt_p50 = n.rtt_p50_us;
+      g_rtt_p99 = n.rtt_p99_us;
+    }
+    table.AddRow({bench::Fmt("%zu B", bytes), bench::Fmt("%.0f", n.rtt_p50_us),
+                  bench::Fmt("%.0f", n.rtt_p99_us),
+                  bench::Fmt("%.0f", n.frames_per_sec),
+                  bench::Fmt("%.1f", n.mbytes_per_sec)});
+  }
+  std::printf("\nRaw transport, loopback ping/pong (%d sequential rounds;\n"
+              "each round = two frames through epoll + length-prefixed "
+              "framing):\n", rounds);
+  table.Print();
+}
+
+// --- Phase 2: RPC vs migration at the kernel level ---------------------------
+
+// One "machine": a kernel hosting one site, the other site remote over TCP.
+struct Machine {
+  Machine(const std::string& mine, bool cache_on) {
+    KernelOptions options;
+    options.code_cache.enabled = cache_on;
+    kernel = std::make_unique<Kernel>(options);
+    for (const std::string name : {"client", "server"}) {
+      SiteId id = name == mine ? kernel->AddSite(name)
+                               : kernel->AddRemoteSite(name);
+      (name == mine ? self : peer) = id;
+    }
+    kernel->net().AddLink(self, peer);
+    (void)tcp.Listen();
+  }
+
+  void Connect(Machine& other) {
+    tcp.AddPeer(peer, "127.0.0.1", other.tcp.bound_port());
+    kernel->SetTransport(&tcp);
+  }
+
+  std::unique_ptr<Kernel> kernel;
+  TcpTransport tcp;
+  SiteId self = kInvalidSite;
+  SiteId peer = kInvalidSite;
+};
+
+// The round-trip worker: visit the server, "serve" the carried QUERIES by
+// answering each (one folder append per query), come home, mark DONE.
+constexpr char kWorker[] = R"(
+  if {[bc_len ITINERARY] > 0} {
+    jump [bc_pop ITINERARY]
+  } else {
+    cab_append res DONE 1
+  }
+)";
+
+struct TripNumbers {
+  double wall_us = 0;
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+};
+
+uint64_t FramesSent(const Machine& c, const Machine& s) {
+  return c.tcp.transport_stats().frames_sent +
+         s.tcp.transport_stats().frames_sent;
+}
+
+uint64_t BytesSent(const Machine& c, const Machine& s) {
+  return c.tcp.transport_stats().bytes_sent +
+         s.tcp.transport_stats().bytes_sent;
+}
+
+// Pumps both machines until done() or 10 s of wall clock.
+bool Pump(Machine& c, Machine& s, const std::function<bool()>& done) {
+  RealtimePump pc(&c.kernel->sim(), &c.tcp);
+  RealtimePump ps(&s.kernel->sim(), &s.tcp);
+  uint64_t deadline = MonoUs() + 10'000'000;
+  while (MonoUs() < deadline) {
+    pc.Tick(1);
+    ps.Tick(1);
+    if (done()) {
+      return true;
+    }
+  }
+  return done();
+}
+
+int HomeCount(Machine& c) {
+  Place* home = c.kernel->place(c.self);
+  if (home == nullptr || !home->HasCabinet("res")) {
+    return 0;
+  }
+  return static_cast<int>(home->Cabinet("res").ListStrings("DONE").size());
+}
+
+// RPC style: each of the K interactions is its own agent making its own
+// round trip — K sequential (client blocks on each reply) journeys.
+TripNumbers RunRpc(Machine& c, Machine& s, int k, const std::string& query) {
+  uint64_t frames0 = FramesSent(c, s);
+  uint64_t bytes0 = BytesSent(c, s);
+  int base = HomeCount(c);
+  uint64_t t0 = MonoUs();
+  for (int i = 0; i < k; ++i) {
+    Briefcase bc;
+    bc.folder("ITINERARY").PushBackString("server");
+    bc.folder("ITINERARY").PushBackString("client");
+    bc.folder("QUERIES").PushBackString(query);
+    (void)c.kernel->LaunchAgent(c.self, kWorker, std::move(bc));
+    int want = base + i + 1;
+    Pump(c, s, [&] { return HomeCount(c) >= want; });
+  }
+  TripNumbers out;
+  out.wall_us = static_cast<double>(MonoUs() - t0);
+  out.frames = FramesSent(c, s) - frames0;
+  out.bytes = BytesSent(c, s) - bytes0;
+  return out;
+}
+
+// Migration style: one agent carries all K queries to the server, serves
+// them locally, and comes home — one round trip regardless of K.
+TripNumbers RunMigration(Machine& c, Machine& s, int k,
+                         const std::string& query) {
+  uint64_t frames0 = FramesSent(c, s);
+  uint64_t bytes0 = BytesSent(c, s);
+  int base = HomeCount(c);
+  uint64_t t0 = MonoUs();
+  Briefcase bc;
+  bc.folder("ITINERARY").PushBackString("server");
+  bc.folder("ITINERARY").PushBackString("client");
+  for (int i = 0; i < k; ++i) {
+    bc.folder("QUERIES").PushBackString(query);
+  }
+  (void)c.kernel->LaunchAgent(c.self, kWorker, std::move(bc));
+  Pump(c, s, [&] { return HomeCount(c) >= base + 1; });
+  TripNumbers out;
+  out.wall_us = static_cast<double>(MonoUs() - t0);
+  out.frames = FramesSent(c, s) - frames0;
+  out.bytes = BytesSent(c, s) - bytes0;
+  return out;
+}
+
+std::string g_metrics_json;
+double g_rpc_k16_us = 0;
+double g_mig_k16_us = 0;
+
+void RpcVsMigration(bool smoke) {
+  const std::vector<int> ks = smoke ? std::vector<int>{1, 4, 16}
+                                    : std::vector<int>{1, 4, 16, 64};
+  // 64 bytes of query payload per interaction, either carried one at a time
+  // (RPC) or all at once (migration).
+  const std::string query(64, 'q');
+
+  Machine client("client", /*cache_on=*/true);
+  Machine server("server", /*cache_on=*/true);
+  client.Connect(server);
+  server.Connect(client);
+  // Warm the journey once so the CodeCache is primed on both sides and the
+  // measured runs ship CODE stubs — steady-state, as in E12.
+  (void)RunMigration(client, server, 1, query);
+
+  bench::Table table({"K", "rpc wall (us)", "mig wall (us)", "speedup",
+                      "rpc frames", "mig frames", "rpc bytes", "mig bytes"});
+  for (int k : ks) {
+    TripNumbers rpc = RunRpc(client, server, k, query);
+    TripNumbers mig = RunMigration(client, server, k, query);
+    if (k == 16) {
+      g_rpc_k16_us = rpc.wall_us;
+      g_mig_k16_us = mig.wall_us;
+    }
+    table.AddRow({bench::Fmt("%d", k), bench::Fmt("%.0f", rpc.wall_us),
+                  bench::Fmt("%.0f", mig.wall_us),
+                  mig.wall_us > 0
+                      ? bench::Fmt("%.1fx", rpc.wall_us / mig.wall_us)
+                      : "-",
+                  bench::Fmt("%llu", (unsigned long long)rpc.frames),
+                  bench::Fmt("%llu", (unsigned long long)mig.frames),
+                  bench::Fmt("%llu", (unsigned long long)rpc.bytes),
+                  bench::Fmt("%llu", (unsigned long long)mig.bytes)});
+  }
+  std::printf("\nRPC vs migration, two kernels over TCP loopback (CodeCache\n"
+              "on, journeys warmed): K interactions as K round-trip agents\n"
+              "vs one agent carrying K x %zu-byte queries:\n", query.size());
+  table.Print();
+  std::printf("\nThe RPC column grows ~linearly with K (each interaction pays "
+              "a socket\nround trip); migration pays one round trip and a "
+              "slightly larger frame.\n");
+
+  g_metrics_json = client.kernel->metrics().JsonSnapshot();
+}
+
+}  // namespace
+}  // namespace tacoma
+
+// Flags:
+//   --smoke              trimmed rounds/sweeps for CI
+//   --metrics-out PATH   write the client kernel's unified metrics registry
+//                        snapshot (includes the net.transport.* edge
+//                        counters) as JSON to PATH
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics-out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  tacoma::bench::PrintHeader(
+      "E17 — RPC vs migration over real sockets",
+      "move the computation to the resource: K interactions cost K round "
+      "trips under RPC but one round trip under migration (paper S6 "
+      "deployment; arXiv:1006.4538 measures the same tradeoff)");
+  tacoma::RawSweep(smoke);
+  tacoma::RpcVsMigration(smoke);
+
+  // Sanity for the CI gate: migration must not be slower than RPC at K=16
+  // on loopback — if it is, the transport is making extra trips somewhere.
+  bool sane = tacoma::g_mig_k16_us > 0 && tacoma::g_rpc_k16_us > 0 &&
+              tacoma::g_mig_k16_us < tacoma::g_rpc_k16_us;
+  std::printf("\nK=16 check: rpc=%.0f us, migration=%.0f us -> %s\n",
+              tacoma::g_rpc_k16_us, tacoma::g_mig_k16_us,
+              sane ? "OK" : "FAIL");
+
+  if (metrics_out != nullptr) {
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"bench_e17_transport\",\"smoke\":%s,"
+                 "\"rtt_p50_us\":%.1f,\"rtt_p99_us\":%.1f,\"metrics\":%s}\n",
+                 smoke ? "true" : "false", tacoma::g_rtt_p50, tacoma::g_rtt_p99,
+                 tacoma::g_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("metrics snapshot written to %s\n", metrics_out);
+  }
+  return sane ? 0 : 1;
+}

@@ -201,4 +201,24 @@ E14_JSON="build-ci/release/e14_metrics.json"
 check_metrics "${E14_JSON}" all
 echo "=== [ft-smoke] ok ==="
 
+# Transport smoke: the E17 stack over real sockets — the conformance suite
+# runs the same contract against the sim backend and TCP loopback, two
+# tacoma_shell daemons complete a guarded multi-hop itinerary while
+# ProcessChaos SIGKILLs and respawns the server peer (exactly-once asserted
+# across the kill), and the RPC-vs-migration bench gates its K=16 sanity
+# check.  The bench snapshot must carry the net.transport.* edge counters.
+echo "=== [release] build tacoma_shell bench_e17_transport (-j${JOBS}) ==="
+cmake --build build-ci/release -j"${JOBS}" --target \
+  tacoma_shell bench_e17_transport transport_conformance_test
+echo "=== [transport-smoke] loopback conformance (sim + tcp backends) ==="
+timeout 120 ./build-ci/release/tests/transport_conformance_test
+echo "=== [transport-smoke] two-daemon process-kill smoke ==="
+timeout 150 ci/e17_daemon_smoke.sh build-ci/release
+echo "=== [transport-smoke] bench_e17_transport --smoke ==="
+E17_JSON="build-ci/release/e17_metrics.json"
+timeout 300 ./build-ci/release/bench/bench_e17_transport --smoke \
+  --metrics-out "${E17_JSON}" > /dev/null
+check_metrics "${E17_JSON}" core
+echo "=== [transport-smoke] ok ==="
+
 echo "=== all checks passed ==="

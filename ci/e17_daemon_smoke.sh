@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# E17 daemon smoke: two tacoma_shell daemon processes — one kernel each —
+# complete a multi-hop guarded itinerary over TCP loopback with the CodeCache
+# on, while the client daemon SIGKILLs and respawns the server peer through
+# the built-in ProcessChaos schedule (--chaos-spawn).  Gates:
+#
+#   1. the client exits 0 with an "EXACTLY_ONCE OK" verdict (every walker
+#      resolved exactly once across the kill),
+#   2. the chaos actually fired (CHAOS kills=1 respawns=1 — a run where all
+#      walkers finished before the kill landed is vacuous and fails),
+#   3. CODE stubs flowed (stubs=0 would mean the cache never engaged).
+#
+# Usage: ci/e17_daemon_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SHELL_BIN="${BUILD_DIR}/examples/tacoma_shell"
+[[ -x "${SHELL_BIN}" ]] || { echo "missing ${SHELL_BIN}"; exit 2; }
+
+STATE="$(mktemp -d /tmp/tacoma_e17.XXXXXX)"
+trap 'rm -rf "${STATE}"' EXIT
+mkdir -p "${STATE}/a" "${STATE}/b"
+
+# Loopback ports, spread by pid so parallel CI jobs don't collide.
+PORT_A=$((20000 + $$ % 20000))
+PORT_B=$((PORT_A + 1))
+
+SERVER_CMD="${SHELL_BIN} --daemon --sites a,b --me b \
+  --listen 127.0.0.1:${PORT_B} --peer a=127.0.0.1:${PORT_A} \
+  --state-dir ${STATE}/b --reliable --code-cache --run-ms 60000"
+
+OUT="${STATE}/client.out"
+set +e
+timeout 90 "${SHELL_BIN}" --daemon --sites a,b --me a \
+  --listen "127.0.0.1:${PORT_A}" --peer "b=127.0.0.1:${PORT_B}" \
+  --state-dir "${STATE}/a" --reliable --code-cache \
+  --launch 8 --launch-spread-ms 3000 --hops b,a,b,a \
+  --run-ms 45000 --wait-done 8 --seed 1995 \
+  --chaos-spawn "${SERVER_CMD}" --chaos-kills 1 | tee "${OUT}"
+RC=${PIPESTATUS[0]}
+set -e
+
+if [[ "${RC}" != "0" ]]; then
+  echo "=== FAILED: client daemon exited ${RC} ==="
+  exit 1
+fi
+grep -q "EXACTLY_ONCE OK" "${OUT}" || { echo "=== FAILED: no OK verdict ==="; exit 1; }
+grep -q "CHAOS kills=1 respawns=1" "${OUT}" \
+  || { echo "=== FAILED: chaos never fired (vacuous run) ==="; exit 1; }
+grep -q "EXACTLY_ONCE OK.* stubs=0 " "${OUT}" \
+  && { echo "=== FAILED: CodeCache shipped no stubs ==="; exit 1; }
+echo "=== e17 daemon smoke ok ==="

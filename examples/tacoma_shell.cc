@@ -8,16 +8,44 @@
 //
 // Run interactively:   ./tacoma_shell
 // Scripted demo:       ./tacoma_shell --demo   (also used when stdin is not a TTY)
+//
+// Daemon mode — one OS process per site, frames over TCP loopback:
+//
+//   ./tacoma_shell --daemon --sites a,b --me a --listen 127.0.0.1:7101
+//       --peer b=127.0.0.1:7102 --state-dir /tmp/tac/a --reliable
+//       --code-cache --launch 4 --hops b,a --run-ms 8000 --wait-done 4
+//
+// Every daemon must pass the same --sites list (in the same order) so SiteIds
+// agree across processes.  --state-dir makes site disks real directories, so
+// dedup journals, cabinets, and rear-guard tables survive a SIGKILL; restart
+// the daemon with the same flags and it recovers.  With --launch N the daemon
+// sends N ft-guarded walkers down --hops and exits 0 once each one resolved
+// exactly once (printed as the EXACTLY_ONCE verdict); without it the daemon
+// serves until --run-ms expires.
+//
+// Process-kill chaos: --chaos-spawn 'CMD' makes this daemon fork CMD (the
+// victim peer, typically another tacoma_shell --daemon with a --state-dir),
+// SIGKILL it on a seeded schedule, and respawn it with identical argv —
+// --chaos-kills bounds the SIGKILLs.  The EXACTLY_ONCE verdict must hold
+// across the kills; ci/e17_daemon_smoke.sh is the scripted version.
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/kernel.h"
 #include "ft/rearguard.h"
+#include "net/proc_chaos.h"
+#include "net/realtime.h"
+#include "net/tcp_transport.h"
 #include "sim/topology.h"
+#include "storage/disk.h"
 #include "util/log.h"
 
 namespace {
@@ -162,9 +190,362 @@ int RunDemo(Kernel* kernel, Shell* shell) {
   return arrival.has_value() ? 0 : 1;
 }
 
-}  // namespace
+// --- Daemon mode -------------------------------------------------------------
 
-int main(int argc, char** argv) {
+struct DaemonConfig {
+  std::vector<std::string> sites;        // Shared id space, same order everywhere.
+  std::string me;                        // Which of `sites` this process hosts.
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;
+  std::map<std::string, std::pair<std::string, uint16_t>> peers;  // name -> host:port
+  std::string state_dir;                 // Empty: volatile MemDisk.
+  bool reliable = false;
+  bool code_cache = false;
+  int launch = 0;                        // Guarded walkers to send (0 = serve only).
+  uint64_t launch_spread_ms = 0;         // Stagger launches across this window.
+  std::vector<std::string> hops;         // Walker itinerary (site names).
+  uint64_t run_ms = 10'000;
+  int wait_done = 0;                     // Exit once this many agents resolved.
+  uint64_t seed = 1995;
+  // Process-kill chaos: this daemon spawns the victim peer with `sh -c`,
+  // SIGKILLs it on a seeded schedule, and respawns it (same argv, so a
+  // --state-dir victim recovers its durable state).  Empty: no chaos.
+  std::string chaos_spawn;
+  uint64_t chaos_kills = 1;
+};
+
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      comma = value.size();
+    }
+    if (comma > start) {
+      out.push_back(value.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseHostPort(const std::string& value, std::string* host, uint16_t* port) {
+  size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= value.size()) {
+    return false;
+  }
+  *host = value.substr(0, colon);
+  long p = std::strtol(value.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+bool ParseDaemonFlags(int argc, char** argv, DaemonConfig* config) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--daemon") {
+      continue;
+    } else if (flag == "--sites" && need(i)) {
+      config->sites = SplitCommas(argv[++i]);
+    } else if (flag == "--me" && need(i)) {
+      config->me = argv[++i];
+    } else if (flag == "--listen" && need(i)) {
+      if (!ParseHostPort(argv[++i], &config->listen_host,
+                         &config->listen_port)) {
+        std::fprintf(stderr, "bad --listen %s (want host:port)\n", argv[i]);
+        return false;
+      }
+    } else if (flag == "--peer" && need(i)) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      std::string host;
+      uint16_t port = 0;
+      if (eq == std::string::npos ||
+          !ParseHostPort(spec.substr(eq + 1), &host, &port)) {
+        std::fprintf(stderr, "bad --peer %s (want name=host:port)\n",
+                     spec.c_str());
+        return false;
+      }
+      config->peers[spec.substr(0, eq)] = {host, port};
+    } else if (flag == "--state-dir" && need(i)) {
+      config->state_dir = argv[++i];
+    } else if (flag == "--reliable") {
+      config->reliable = true;
+    } else if (flag == "--code-cache") {
+      config->code_cache = true;
+    } else if (flag == "--launch" && need(i)) {
+      config->launch = std::atoi(argv[++i]);
+    } else if (flag == "--launch-spread-ms" && need(i)) {
+      config->launch_spread_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--hops" && need(i)) {
+      config->hops = SplitCommas(argv[++i]);
+    } else if (flag == "--run-ms" && need(i)) {
+      config->run_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--wait-done" && need(i)) {
+      config->wait_done = std::atoi(argv[++i]);
+    } else if (flag == "--seed" && need(i)) {
+      config->seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--chaos-spawn" && need(i)) {
+      config->chaos_spawn = argv[++i];
+    } else if (flag == "--chaos-kills" && need(i)) {
+      config->chaos_kills = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown daemon flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (config->sites.empty() || config->me.empty()) {
+    std::fprintf(stderr, "--daemon needs --sites and --me\n");
+    return false;
+  }
+  return true;
+}
+
+// The guarded walker: idempotent per-site work, one ft hop per itinerary
+// entry, a registry outcome at the end (same idiom as the ft soak tests).
+constexpr char kDaemonWalker[] = R"(
+  cab_append t VISITS [site]
+  if {[bc_len ITINERARY] > 0} {
+    ft_jump [bc_pop ITINERARY]
+  } else {
+    ft_complete
+  }
+)";
+
+int RunDaemon(const DaemonConfig& config) {
+  KernelOptions options;
+  options.seed = config.seed;
+  options.cabinet_write_ahead = true;
+  if (config.reliable) {
+    options.reliability.mode = Reliability::kReliable;
+  }
+  options.code_cache.enabled = config.code_cache;
+  if (!config.state_dir.empty()) {
+    std::string dir = config.state_dir;
+    options.disk_factory = [dir](SiteId, const std::string& name) {
+      return std::make_unique<FileDisk>(dir + "/" + name);
+    };
+  }
+  Kernel kernel(options);
+
+  // Same sites, same order, in every process — ids must agree on the wire.
+  SiteId my_site = kInvalidSite;
+  std::vector<SiteId> ids;
+  for (const std::string& name : config.sites) {
+    SiteId id = name == config.me ? kernel.AddSite(name)
+                                  : kernel.AddRemoteSite(name);
+    if (name == config.me) {
+      my_site = id;
+    }
+    ids.push_back(id);
+  }
+  if (my_site == kInvalidSite) {
+    std::fprintf(stderr, "--me %s is not in --sites\n", config.me.c_str());
+    return 2;
+  }
+  // Full-mesh links as topology metadata: frames travel over TCP, but hop
+  // counts, SITES folders, and the rear guard's reachability checks still
+  // read the sim network's map.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      kernel.net().AddLink(ids[i], ids[j]);
+    }
+  }
+
+  // Tuned for loopback latencies.  The lease must expire well inside the run
+  // budget: an agent lost in flight between two sites leaves live guard
+  // records on BOTH — each side's status ping sees the other's record and
+  // stays quiet, and it is the lease that breaks the standoff by
+  // dead-lettering the checkpoint home (exactly-once resolution, same
+  // contract the sim soaks assert).
+  ft::GuardOptions guard_options;
+  guard_options.heartbeat = 100 * kMillisecond;
+  guard_options.max_misses = 3;
+  guard_options.max_relaunches = 8;
+  guard_options.lease = 5 * kSecond;
+  guard_options.completion_contact = "ft_done";
+  ft::RearGuard guard(&kernel, guard_options);
+  guard.Install();
+
+  // Home-side completion contact: one printed DONE line per resolved agent.
+  std::map<std::string, int> done;
+  kernel.AddPlaceInitializer([&done](Place& place) {
+    place.RegisterAgent("ft_done", [&done](Place&, Briefcase& bc) {
+      std::string agent = bc.GetString("GUARD_AGENT").value_or("?");
+      int count = ++done[agent];
+      std::printf("DONE %s count=%d\n", agent.c_str(), count);
+      std::fflush(stdout);
+      return OkStatus();
+    });
+  });
+
+  TcpTransportOptions tcp_options;
+  tcp_options.listen_host = config.listen_host;
+  tcp_options.listen_port = config.listen_port;
+  TcpTransport tcp(tcp_options);
+  Status listening = tcp.Listen();
+  if (!listening.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", listening.ToString().c_str());
+    return 2;
+  }
+  for (const auto& [name, endpoint] : config.peers) {
+    auto site = kernel.net().FindSite(name);
+    if (!site.has_value()) {
+      std::fprintf(stderr, "--peer %s is not in --sites\n", name.c_str());
+      return 2;
+    }
+    tcp.AddPeer(*site, endpoint.first, endpoint.second);
+  }
+  kernel.SetTransport(&tcp);
+
+  std::printf("DAEMON site=%s id=%u port=%u pid=%d\n", config.me.c_str(),
+              my_site, tcp.bound_port(), getpid());
+  std::fflush(stdout);
+
+  // Launches go through sim timers so --launch-spread-ms can stagger them
+  // across a chaos window (a peer SIGKILLed mid-spread catches walkers at
+  // every stage: queued, in flight, and mid-itinerary on the dead site).
+  for (int i = 0; i < config.launch; ++i) {
+    SimTime when = config.launch == 1
+                       ? 0
+                       : config.launch_spread_ms * kMillisecond *
+                             static_cast<SimTime>(i) / (config.launch - 1);
+    kernel.sim().At(when, [&guard, &config, my_site, i] {
+      Briefcase bc;
+      for (const std::string& hop : config.hops) {
+        bc.folder("ITINERARY").PushBackString(hop);
+      }
+      Status launched = guard.LaunchGuarded(
+          my_site, kDaemonWalker, std::move(bc), "ag" + std::to_string(i));
+      if (!launched.ok()) {
+        std::fprintf(stderr, "launch %d failed: %s\n", i,
+                     launched.ToString().c_str());
+      }
+    });
+  }
+
+  RealtimePump pump(&kernel.sim(), &tcp);
+  auto all_done = [&] {
+    if (config.wait_done <= 0) {
+      return false;
+    }
+    if (static_cast<int>(done.size()) < config.wait_done) {
+      return false;
+    }
+    // Completion notes arrived for every agent; the registry verdict below
+    // settles exactly-once.
+    return true;
+  };
+  // With --chaos-spawn this daemon drives the ProcessChaos schedule from its
+  // own pump loop: the victim peer is forked, SIGKILLed (no flush, no
+  // goodbye), and respawned with identical argv while the walkers are in
+  // flight.  Exactly-once then has to come from the durable state machinery.
+  std::unique_ptr<ProcessChaos> chaos;
+  if (!config.chaos_spawn.empty()) {
+    ProcessChaos::Options chaos_options;
+    chaos_options.seed = config.seed;
+    chaos_options.max_kills = config.chaos_kills;
+    chaos = std::make_unique<ProcessChaos>(
+        [cmd = config.chaos_spawn]() -> pid_t {
+          pid_t pid = fork();
+          if (pid == 0) {
+            // `exec` so the pid we SIGKILL is the daemon, not the shell.
+            execl("/bin/sh", "sh", "-c", ("exec " + cmd).c_str(),
+                  static_cast<char*>(nullptr));
+            _exit(127);
+          }
+          return pid;
+        },
+        chaos_options);
+    if (!chaos->Start()) {
+      std::fprintf(stderr, "chaos victim failed to spawn\n");
+      return 2;
+    }
+  }
+
+  bool finished;
+  if (chaos != nullptr) {
+    finished = false;
+    while (pump.elapsed_us() < config.run_ms * 1000) {
+      pump.Tick(1);
+      chaos->Tick();
+      if (all_done()) {
+        finished = true;
+        break;
+      }
+    }
+    chaos->Stop();
+    std::printf("CHAOS kills=%llu respawns=%llu\n",
+                (unsigned long long)chaos->report().kills,
+                (unsigned long long)chaos->report().respawns);
+    std::fflush(stdout);
+  } else {
+    finished = pump.RunFor(config.run_ms, all_done);
+  }
+
+  if (config.wait_done > 0) {
+    Status verdict =
+        guard.registry().CheckExactlyOnce(my_site, /*require_resolved=*/true);
+    bool duplicates = false;
+    for (const auto& [agent, count] : done) {
+      if (count != 1) {
+        duplicates = true;
+        std::fprintf(stderr, "agent %s resolved %d times\n", agent.c_str(),
+                     count);
+      }
+    }
+    TransportStats net = tcp.transport_stats();
+    const ft::RearGuard::Stats& ft_stats = guard.stats();
+    const ft::CompletionRegistry::Stats& reg = guard.registry().stats();
+    std::printf("EXACTLY_ONCE %s done=%zu/%d duplicates=%d registry=%s "
+                "frames_sent=%llu frames_delivered=%llu reconnects=%llu "
+                "relaunches=%llu quenches=%llu deadletters=%llu resolved=%llu "
+                "stubs=%llu full=%llu\n",
+                finished && verdict.ok() && !duplicates ? "OK" : "FAIL",
+                done.size(), config.wait_done, duplicates ? 1 : 0,
+                verdict.ok() ? "ok" : verdict.ToString().c_str(),
+                (unsigned long long)net.frames_sent,
+                (unsigned long long)net.frames_delivered,
+                (unsigned long long)net.reconnects,
+                (unsigned long long)ft_stats.relaunches,
+                (unsigned long long)(ft_stats.quenches + reg.duplicates_quenched),
+                (unsigned long long)(ft_stats.guard_deadletters + reg.deadletters),
+                (unsigned long long)reg.resolved,
+                (unsigned long long)kernel.code_cache_stats().stub_sends,
+                (unsigned long long)kernel.code_cache_stats().full_sends);
+    std::fflush(stdout);
+    if (!(finished && verdict.ok() && !duplicates)) {
+      // Post-mortem for the smoke harness: where each journey stalled.
+      std::printf("--- trace summary:\n%s", kernel.trace().Summary().c_str());
+      std::printf("--- guards left here: %zu, pending transfers: %zu\n",
+                  guard.TotalGuards(), kernel.pending_transfers());
+      std::fflush(stdout);
+      return 1;
+    }
+    return 0;
+  }
+  const ft::RearGuard::Stats& ft_stats = guard.stats();
+  TransportStats net = tcp.transport_stats();
+  std::printf("DAEMON EXIT site=%s served_ms=%llu relaunches=%llu "
+              "recovered=%llu deposits=%llu quenches=%llu guards_left=%zu "
+              "frames_sent=%llu frames_delivered=%llu reconnects=%llu\n",
+              config.me.c_str(), (unsigned long long)config.run_ms,
+              (unsigned long long)ft_stats.relaunches,
+              (unsigned long long)ft_stats.recovered_records,
+              (unsigned long long)ft_stats.deposits,
+              (unsigned long long)ft_stats.quenches,
+              guard.TotalGuards(), (unsigned long long)net.frames_sent,
+              (unsigned long long)net.frames_delivered,
+              (unsigned long long)net.reconnects);
+  return 0;
+}
+
+int RunShell(int argc, char** argv) {
   // Surface site warnings (admission analysis, failed deliveries) on the
   // console; the logger is off by default.
   SetLogLevel(LogLevel::kWarn);
@@ -201,4 +582,20 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--daemon") == 0) {
+      SetLogLevel(LogLevel::kWarn);
+      DaemonConfig config;
+      if (!ParseDaemonFlags(argc, argv, &config)) {
+        return 2;
+      }
+      return RunDaemon(config);
+    }
+  }
+  return RunShell(argc, argv);
 }

@@ -218,6 +218,34 @@ void Kernel::RegisterKernelMetrics() {
                     [this] { return net_.stats().link_traversals; });
   metrics_.AddProbe("net.bytes_on_wire", [this] { return net_.stats().bytes_on_wire; });
 
+  // Transport-edge accounting (net/transport.h).  Under the sim backend
+  // these mirror the message counters (connection counters stay zero);
+  // under the TCP backend they count real sockets and wire bytes.
+  metrics_.AddProbe("net.transport.frames_sent",
+                    [this] { return transport_->transport_stats().frames_sent; });
+  metrics_.AddProbe("net.transport.frames_delivered", [this] {
+    return transport_->transport_stats().frames_delivered;
+  });
+  metrics_.AddProbe("net.transport.frames_dropped", [this] {
+    return transport_->transport_stats().frames_dropped;
+  });
+  metrics_.AddProbe("net.transport.sends_rejected", [this] {
+    return transport_->transport_stats().sends_rejected;
+  });
+  metrics_.AddProbe("net.transport.bytes_sent",
+                    [this] { return transport_->transport_stats().bytes_sent; });
+  metrics_.AddProbe("net.transport.bytes_received", [this] {
+    return transport_->transport_stats().bytes_received;
+  });
+  metrics_.AddProbe("net.transport.connects",
+                    [this] { return transport_->transport_stats().connects; });
+  metrics_.AddProbe("net.transport.accepts",
+                    [this] { return transport_->transport_stats().accepts; });
+  metrics_.AddProbe("net.transport.disconnects",
+                    [this] { return transport_->transport_stats().disconnects; });
+  metrics_.AddProbe("net.transport.reconnects",
+                    [this] { return transport_->transport_stats().reconnects; });
+
   // Per-place stats summed over live places (a crashed place's counters die
   // with it, like every other volatile state at the site).
   auto sum_places = [this](uint64_t Place::Stats::* field) {
@@ -432,6 +460,42 @@ SiteId Kernel::AddSite(const std::string& name) {
   return id;
 }
 
+SiteId Kernel::AddRemoteSite(const std::string& name) {
+  SiteId id = net_.AddSite(name);
+  while (places_.size() <= id) {
+    places_.push_back(nullptr);  // No Place here: the site lives elsewhere.
+  }
+  remote_sites_.insert(id);
+  // A transport-level reconnect means the remote process may have restarted
+  // (its volatile CodeCache gone): drop every local belief about it.  The
+  // NeedCode miss path self-heals even without this; the hook just avoids
+  // the wasted stub round trip.
+  transport_->SetRestartHook(id,
+                             [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
+  return id;
+}
+
+void Kernel::SetTransport(Transport* transport) {
+  transport_ = transport != nullptr ? transport : &net_;
+  // Re-register everything the old transport held: delivery handlers for
+  // hosted sites, restart hooks for hosted and remote sites.
+  for (SiteId site = 0; site < places_.size(); ++site) {
+    if (places_[site] == nullptr) {
+      continue;
+    }
+    transport_->SetHandler(site,
+                           [this, site](SiteId from, const SharedBytes& payload) {
+                             HandleDelivery(site, from, payload);
+                           });
+    transport_->SetRestartHook(site,
+                               [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
+  }
+  for (SiteId site : remote_sites_) {
+    transport_->SetRestartHook(site,
+                               [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
+  }
+}
+
 void Kernel::AdoptNetworkSites() {
   for (SiteId id = 0; id < net_.site_count(); ++id) {
     if (id >= places_.size() || places_[id] == nullptr) {
@@ -457,7 +521,16 @@ bool Kernel::PlaceAlive(SiteId site, uint64_t generation) {
 
 Disk& Kernel::disk(SiteId site) {
   while (disks_.size() <= site) {
-    disks_.push_back(std::make_unique<SiteDisk>());
+    SiteId id = static_cast<SiteId>(disks_.size());
+    std::unique_ptr<Disk> base;
+    if (options_.disk_factory) {
+      base = options_.disk_factory(
+          id, id < net_.site_count() ? net_.site_name(id) : std::string());
+    }
+    if (base == nullptr) {
+      base = std::make_unique<MemDisk>();
+    }
+    disks_.push_back(std::make_unique<SiteDisk>(std::move(base)));
   }
   return disks_[site]->crash;
 }
@@ -533,13 +606,15 @@ void Kernel::CreatePlace(SiteId site) {
     LoadDedupJournal(site);
   }
 
-  net_.SetHandler(site, [this, site](SiteId from, const SharedBytes& payload) {
-    HandleDelivery(site, from, payload);
-  });
+  transport_->SetHandler(site,
+                         [this, site](SiteId from, const SharedBytes& payload) {
+                           HandleDelivery(site, from, payload);
+                         });
   // A restart means the site's volatile CodeCache was lost: every sender's
   // beliefs about what this site holds are stale and must be dropped before
   // the first post-restart stub would miss.
-  net_.SetRestartHook(site, [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
+  transport_->SetRestartHook(site,
+                             [this](SiteId s) { InvalidateCodeBeliefsAbout(s); });
 }
 
 void Kernel::PopulateSitesFolder(Place& place) {
@@ -554,7 +629,7 @@ void Kernel::PopulateSitesFolder(Place& place) {
 
 void Kernel::CrashSite(SiteId site) {
   if (site >= places_.size() || places_[site] == nullptr) {
-    return;
+    return;  // Unknown, already down, or remote (no Place here to kill).
   }
   net_.CrashSite(site);
   places_[site].reset();  // Volatile state gone; disk_ survives.
@@ -581,8 +656,8 @@ void Kernel::CrashSite(SiteId site) {
 }
 
 void Kernel::RestartSite(SiteId site) {
-  if (site >= net_.site_count()) {
-    return;
+  if (site >= net_.site_count() || remote_sites_.count(site) != 0) {
+    return;  // Remote sites restart in their own process, not here.
   }
   if (places_[site] != nullptr) {
     return;  // Already up.
@@ -637,7 +712,7 @@ void Kernel::RetryTick(uint64_t id) {
   const uint64_t attempt = t.attempts;
   // A send refused right now (destination down, no route) still consumes an
   // attempt; the next backoff may find the site restarted or a link restored.
-  Status sent = net_.Send(t.from, t.to, t.frame);
+  Status sent = transport_->Send(t.from, t.to, t.frame);
   // Send can deliver synchronously, in which case the receiver's ack rides
   // the same call stack back through HandleAck and erases this entry — the
   // reference above is dangling now.  Re-find before touching anything.
@@ -868,7 +943,7 @@ Status Kernel::TransferAgent(SiteId from, SiteId to, const std::string& contact,
   }
   const bool stubbed = !code_digest.empty();
 
-  Status sent = net_.Send(from, to, frame);
+  Status sent = transport_->Send(from, to, frame);
   if (sent.ok() && stubbed && full_frame.size() > frame.size()) {
     code_stats_.bytes_saved += full_frame.size() - frame.size();
   }
@@ -952,7 +1027,7 @@ void Kernel::SendControl(uint8_t kind, SiteId from_site, SiteId to_site, uint64_
   // window; a lost nack by retry + repeated nack; a lost NeedCode by retry +
   // repeated miss.
   SharedBytes frame = enc.TakeShared();
-  Status sent = net_.Send(from_site, to_site, frame);
+  Status sent = transport_->Send(from_site, to_site, frame);
   if (sent.ok() && bill != nullptr) {
     // Control traffic is overhead the travelling agent provoked; it pays for
     // the acks/nacks/NeedCode its transfer generates, but no extra hop.
@@ -1192,7 +1267,7 @@ void Kernel::HandleNeedCode(SiteId to, SiteId /*from*/, Decoder* dec) {
     t.full_frame = SharedBytes();
     t.code_digest.clear();
     TraceTransferEvent(t, "transfer.needcode", "resending full source");
-    Status sent = net_.Send(t.from, t.to, t.frame);
+    Status sent = transport_->Send(t.from, t.to, t.frame);
     if (sent.ok()) {
       ++stats_.transfers_sent;
       ++code_stats_.full_resends;
@@ -1210,7 +1285,7 @@ void Kernel::HandleNeedCode(SiteId to, SiteId /*from*/, Decoder* dec) {
   StubSend record = std::move(sit->second);
   stub_sends_.erase(sit);
   known_code_[record.from][record.to].erase(record.code_digest);
-  Status sent = net_.Send(record.from, record.to, record.full_frame);
+  Status sent = transport_->Send(record.from, record.to, record.full_frame);
   if (sent.ok()) {
     ++stats_.transfers_sent;
     ++code_stats_.full_resends;

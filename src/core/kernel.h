@@ -21,6 +21,7 @@
 #include "core/account.h"
 #include "core/place.h"
 #include "core/trace.h"
+#include "net/transport.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "storage/crash_disk.h"
@@ -184,6 +185,13 @@ struct KernelOptions {
   CodeCacheOptions code_cache = DefaultCodeCacheOptions();
   // Continuous telemetry (accounting, sampler, flight recorder).
   TelemetryOptions telemetry;
+  // Backing store for each site's crash-surviving disk.  Default (unset):
+  // an in-memory MemDisk, right for single-process sims where "crash" means
+  // CrashSite.  A daemon passes a factory returning FileDisk so dedup
+  // journals, cabinets, and rear-guard state survive the OS process being
+  // SIGKILLed.  Called once per site, lazily.
+  std::function<std::unique_ptr<Disk>(SiteId site, const std::string& name)>
+      disk_factory;
 };
 
 // Per-transfer overrides for TransferAgent.
@@ -259,10 +267,29 @@ class Kernel {
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
 
+  // The transport frames actually travel over.  Defaults to the sim network;
+  // a daemon swaps in a TcpTransport via SetTransport.  The sim Network
+  // stays either way as the topology/metadata model (site names, SITES
+  // folders, hop counts for billing).
+  Transport& transport() { return *transport_; }
+  // Re-points frame traffic (sends, delivery handlers, restart hooks) at
+  // `transport`; nullptr restores the sim network.  Call before or after
+  // adding sites — existing places are re-registered on the new transport.
+  void SetTransport(Transport* transport);
+
   // --- Sites ------------------------------------------------------------------
 
   // Creates a network site plus its Place and disk.
   SiteId AddSite(const std::string& name);
+  // Registers a site hosted by ANOTHER process (daemon mode): it gets a
+  // SiteId and a name in the shared id space but no Place, no disk, and no
+  // delivery handler here — frames to it leave through the transport's peer
+  // table.  Every daemon must add the same sites in the same order so ids
+  // agree across processes.  A restart hook is installed so a transport-level
+  // reconnect drops stale CodeCache beliefs about the remote site.
+  SiteId AddRemoteSite(const std::string& name);
+  // True when `site` was added with AddRemoteSite.
+  bool IsRemoteSite(SiteId site) const { return remote_sites_.count(site) != 0; }
   // Creates Places for sites added directly on the network (topology
   // builders); call once after building a topology.
   void AdoptNetworkSites();
@@ -422,11 +449,15 @@ class Kernel {
     std::deque<uint64_t> order;
     std::set<uint64_t> seen;
   };
-  // A site's persistent storage: the MemDisk holds the bytes (surviving
-  // crashes), the CrashDisk in front of it is the fault-injection point.
+  // A site's persistent storage: the base Disk holds the bytes (a MemDisk
+  // surviving sim crashes, or a FileDisk surviving process kills — see
+  // KernelOptions::disk_factory); the CrashDisk in front of it is the
+  // fault-injection point.
   struct SiteDisk {
-    MemDisk mem;
-    CrashDisk crash{&mem};
+    explicit SiteDisk(std::unique_ptr<Disk> base_disk)
+        : base(std::move(base_disk)), crash(base.get()) {}
+    std::unique_ptr<Disk> base;
+    CrashDisk crash;
   };
 
   void CreatePlace(SiteId site);
@@ -469,6 +500,10 @@ class Kernel {
   KernelOptions options_;
   Simulator sim_;
   Network net_;
+  // Where frames go (and delivery handlers register).  &net_ by default;
+  // SetTransport swaps in a real socket backend.
+  Transport* transport_ = &net_;
+  std::set<SiteId> remote_sites_;  // Sites hosted by other processes.
   Rng rng_;
   std::vector<std::unique_ptr<Place>> places_;    // Indexed by SiteId; null when down.
   std::vector<std::unique_ptr<SiteDisk>> disks_;  // Indexed by SiteId; survives crashes.

@@ -1,0 +1,65 @@
+#include "net/epoll_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+
+namespace tacoma {
+
+EpollLoop::EpollLoop() : epfd_(epoll_create1(0)) {}
+
+EpollLoop::~EpollLoop() {
+  if (epfd_ >= 0) {
+    close(epfd_);
+  }
+}
+
+Status EpollLoop::Add(int fd, uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return InternalError(std::string("epoll_ctl ADD: ") + strerror(errno));
+  }
+  callbacks_[fd] = std::make_shared<Callback>(std::move(cb));
+  return OkStatus();
+}
+
+Status EpollLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return InternalError(std::string("epoll_ctl MOD: ") + strerror(errno));
+  }
+  return OkStatus();
+}
+
+void EpollLoop::Remove(int fd) {
+  epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EpollLoop::PollOnce(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n = epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
+                     timeout_ms);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) {
+      continue;  // Removed by an earlier callback in this batch.
+    }
+    auto cb = it->second;  // Keep alive across self-removal.
+    (*cb)(events[i].events);
+  }
+  return n;
+}
+
+}  // namespace tacoma

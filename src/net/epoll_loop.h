@@ -1,0 +1,50 @@
+// Thin epoll wrapper: fd -> callback registration plus a single-shot poll.
+//
+// Single-threaded by design, like everything else in TACOMA: callbacks run
+// inside PollOnce on the caller's thread, so the transport needs no locks.
+// Callbacks may Add/Modify/Remove fds (including their own) mid-dispatch;
+// removal is deferred-safe — a callback removed while a batch is being
+// dispatched is not invoked for later events in that batch.
+#ifndef TACOMA_NET_EPOLL_LOOP_H_
+#define TACOMA_NET_EPOLL_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "util/status.h"
+
+namespace tacoma {
+
+class EpollLoop {
+ public:
+  // Receives the epoll event mask (EPOLLIN | EPOLLOUT | EPOLLERR | ...).
+  using Callback = std::function<void(uint32_t events)>;
+
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  bool ok() const { return epfd_ >= 0; }
+
+  Status Add(int fd, uint32_t events, Callback cb);
+  Status Modify(int fd, uint32_t events);
+  // Unregisters fd (does not close it).
+  void Remove(int fd);
+
+  // Waits up to timeout_ms (-1 blocks, 0 polls) and dispatches callbacks.
+  // Returns the number of fds that had events, or -1 on epoll_wait error.
+  int PollOnce(int timeout_ms);
+
+ private:
+  int epfd_ = -1;
+  // shared_ptr so a callback that Removes itself mid-dispatch stays alive
+  // for the duration of its own invocation.
+  std::map<int, std::shared_ptr<Callback>> callbacks_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_EPOLL_LOOP_H_

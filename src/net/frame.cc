@@ -1,0 +1,80 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace tacoma {
+
+namespace {
+
+void PutU32Le(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32Le(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | static_cast<uint32_t>(in[1]) << 8 |
+         static_cast<uint32_t>(in[2]) << 16 | static_cast<uint32_t>(in[3]) << 24;
+}
+
+}  // namespace
+
+std::array<uint8_t, kFrameHeaderBytes> EncodeFrameHeader(SiteId from, SiteId to,
+                                                         uint32_t payload_len) {
+  std::array<uint8_t, kFrameHeaderBytes> h;
+  PutU32Le(h.data(), kFrameMagic);
+  PutU32Le(h.data() + 4, from);
+  PutU32Le(h.data() + 8, to);
+  PutU32Le(h.data() + 12, payload_len);
+  return h;
+}
+
+Status FrameReader::Feed(SharedBytes chunk, std::vector<WireFrame>* out) {
+  if (poisoned_) {
+    return DataLossError("frame stream poisoned by earlier corruption");
+  }
+
+  // Fast path: no carried-over partial, parse frames straight out of the
+  // chunk via Substr views (payloads share the chunk's allocation).  Slow
+  // path: stitch partial + chunk into one buffer first — that copy happens
+  // only when a frame straddled a read() boundary.
+  SharedBytes buf;
+  if (partial_.empty()) {
+    buf = std::move(chunk);
+  } else {
+    Bytes merged;
+    merged.reserve(partial_.size() + chunk.size());
+    merged.insert(merged.end(), partial_.begin(), partial_.end());
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+    buf = SharedBytes(std::move(merged));
+  }
+
+  size_t off = 0;
+  while (buf.size() - off >= kFrameHeaderBytes) {
+    const uint8_t* h = buf.data() + off;
+    if (GetU32Le(h) != kFrameMagic) {
+      poisoned_ = true;
+      return DataLossError("bad frame magic");
+    }
+    uint32_t len = GetU32Le(h + 12);
+    if (len > max_frame_bytes_) {
+      poisoned_ = true;
+      return DataLossError("frame length " + std::to_string(len) +
+                           " exceeds limit " + std::to_string(max_frame_bytes_));
+    }
+    if (buf.size() - off - kFrameHeaderBytes < len) {
+      break;  // Frame incomplete; wait for more bytes.
+    }
+    WireFrame f;
+    f.from = GetU32Le(h + 4);
+    f.to = GetU32Le(h + 8);
+    f.payload = buf.Substr(off + kFrameHeaderBytes, len);
+    out->push_back(std::move(f));
+    off += kFrameHeaderBytes + len;
+  }
+  partial_ = off < buf.size() ? buf.Substr(off, buf.size() - off) : SharedBytes();
+  return OkStatus();
+}
+
+}  // namespace tacoma

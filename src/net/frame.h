@@ -1,0 +1,71 @@
+// Length-prefixed frame encoding for the TCP transport.
+//
+// TCP is a byte stream; the kernel speaks in frames.  Every frame on the
+// wire is a fixed 16-byte header followed by the payload:
+//
+//   offset  size  field
+//   0       4     magic "TAC1" (0x54 0x41 0x43 0x31 on the wire)
+//   4       4     from-site id, little-endian
+//   8       4     to-site id, little-endian
+//   12      4     payload length in bytes, little-endian
+//   16      len   payload (opaque kernel frame)
+//
+// The header carries site ids — not addresses — because connections are
+// anonymous: any process that knows a peer's host:port can carry frames for
+// any site it hosts, exactly like the sim network's store-and-forward hops.
+// Authentication, dedup, and retries all live in the kernel layers above.
+//
+// FrameReader reassembles frames from arbitrary read() chunk boundaries.
+// When a chunk starts on a frame boundary the extracted payloads are Substr
+// views into the chunk's SharedBytes allocation (zero additional copies);
+// only partial-frame tails are stitched across chunks.
+#ifndef TACOMA_NET_FRAME_H_
+#define TACOMA_NET_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+constexpr size_t kFrameHeaderBytes = 16;
+constexpr uint32_t kFrameMagic = 0x31434154;  // "TAC1" read little-endian.
+
+struct WireFrame {
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+  SharedBytes payload;
+};
+
+// Encodes the 16-byte header for a frame carrying `payload_len` bytes.
+std::array<uint8_t, kFrameHeaderBytes> EncodeFrameHeader(SiteId from, SiteId to,
+                                                         uint32_t payload_len);
+
+// Incremental stream-to-frame reassembler; one per connection.
+class FrameReader {
+ public:
+  // Frames longer than `max_frame_bytes` poison the stream (a corrupt or
+  // hostile length prefix must not allocate unbounded memory).
+  explicit FrameReader(size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+  // Feeds one read() chunk; appends every completed frame to `*out`.  An
+  // error (bad magic, oversized length) is sticky: the connection carrying
+  // this stream is beyond resync and must be closed.
+  Status Feed(SharedBytes chunk, std::vector<WireFrame>* out);
+
+  // Bytes of an incomplete frame currently buffered.
+  size_t pending_bytes() const { return partial_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  SharedBytes partial_;  // Prefix of an incomplete frame (may alias a chunk).
+  bool poisoned_ = false;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_FRAME_H_

@@ -1,0 +1,87 @@
+#include "net/proc_chaos.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+
+namespace tacoma {
+
+uint64_t ProcessChaos::MonoMs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+ProcessChaos::ProcessChaos(Spawner spawner, Options options)
+    : spawner_(std::move(spawner)), options_(options), rng_(options.seed) {}
+
+ProcessChaos::~ProcessChaos() { Stop(); }
+
+bool ProcessChaos::Start() {
+  pid_ = spawner_();
+  if (pid_ <= 0) {
+    return false;
+  }
+  next_kill_ms = MonoMs() + static_cast<uint64_t>(rng_.UniformInt(
+                                static_cast<int64_t>(options_.min_uptime_ms),
+                                static_cast<int64_t>(options_.max_uptime_ms)));
+  return true;
+}
+
+void ProcessChaos::KillNow() {
+  if (pid_ <= 0) {
+    return;
+  }
+  kill(pid_, SIGKILL);
+  waitpid(pid_, nullptr, 0);
+  pid_ = -1;
+  ++report_.kills;
+  next_respawn_ms =
+      MonoMs() + static_cast<uint64_t>(rng_.UniformInt(
+                     static_cast<int64_t>(options_.min_downtime_ms),
+                     static_cast<int64_t>(options_.max_downtime_ms)));
+}
+
+bool ProcessChaos::RespawnNow() {
+  pid_ = spawner_();
+  if (pid_ <= 0) {
+    return false;
+  }
+  ++report_.respawns;
+  next_kill_ms = MonoMs() + static_cast<uint64_t>(rng_.UniformInt(
+                                static_cast<int64_t>(options_.min_uptime_ms),
+                                static_cast<int64_t>(options_.max_uptime_ms)));
+  return true;
+}
+
+bool ProcessChaos::Tick() {
+  if (stopped_) {
+    return false;
+  }
+  uint64_t now = MonoMs();
+  if (pid_ > 0) {
+    bool kills_left =
+        options_.max_kills == 0 || report_.kills < options_.max_kills;
+    if (kills_left && now >= next_kill_ms) {
+      KillNow();
+      return true;
+    }
+    return false;
+  }
+  if (now >= next_respawn_ms) {
+    return RespawnNow();
+  }
+  return false;
+}
+
+void ProcessChaos::Stop() {
+  stopped_ = true;
+  if (pid_ > 0) {
+    kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+}
+
+}  // namespace tacoma

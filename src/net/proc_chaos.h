@@ -1,0 +1,83 @@
+// Process-level chaos: SIGKILL a peer daemon, restart it, repeat.
+//
+// The sim-layer ChaosHarness injects site crashes inside one process; this
+// is its multi-process sibling.  A ProcessChaos owns one child process slot:
+// a Spawner launches (or relaunches) the peer, and a seeded uptime/downtime
+// schedule decides when the current incarnation is SIGKILLed and when the
+// next one starts.  SIGKILL — not SIGTERM — because the contract under test
+// is the paper's §5 fault-tolerance story: no flush, no goodbye, the process
+// is simply gone, and exactly-once survival must come from durable state
+// (dedup journals, rear-guard checkpoints) plus retries.
+//
+// Driven by non-blocking Tick() calls from the surviving side's pump loop,
+// so no extra threads or signal handlers are involved.
+#ifndef TACOMA_NET_PROC_CHAOS_H_
+#define TACOMA_NET_PROC_CHAOS_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+
+namespace tacoma {
+
+class ProcessChaos {
+ public:
+  // Launches one incarnation of the victim; returns its pid (< 0 = failure).
+  using Spawner = std::function<pid_t()>;
+
+  struct Options {
+    uint64_t seed = 1995;
+    uint64_t min_uptime_ms = 400;
+    uint64_t max_uptime_ms = 1500;
+    uint64_t min_downtime_ms = 150;
+    uint64_t max_downtime_ms = 600;
+    // Stop killing after this many SIGKILLs (0 = keep going forever).
+    uint64_t max_kills = 1;
+  };
+
+  struct Report {
+    uint64_t kills = 0;
+    uint64_t respawns = 0;
+  };
+
+  ProcessChaos(Spawner spawner, Options options);
+  // Reaps (and kills, if still running) the current incarnation.
+  ~ProcessChaos();
+  ProcessChaos(const ProcessChaos&) = delete;
+  ProcessChaos& operator=(const ProcessChaos&) = delete;
+
+  // Spawns the first incarnation and schedules its demise.
+  bool Start();
+
+  // Call frequently from the pump loop.  Kills or respawns when the seeded
+  // schedule says so.  Returns true if it acted this call.
+  bool Tick();
+
+  // Kills the current incarnation and stops scheduling further faults.
+  void Stop();
+
+  pid_t pid() const { return pid_; }
+  bool victim_up() const { return pid_ > 0; }
+  const Report& report() const { return report_; }
+
+ private:
+  static uint64_t MonoMs();
+  void KillNow();
+  bool RespawnNow();
+
+  Spawner spawner_;
+  Options options_;
+  Rng rng_;
+  pid_t pid_ = -1;
+  bool stopped_ = false;
+  uint64_t next_kill_ms = 0;     // Valid while the victim is up.
+  uint64_t next_respawn_ms = 0;  // Valid while the victim is down.
+  Report report_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_PROC_CHAOS_H_

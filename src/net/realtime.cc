@@ -1,0 +1,48 @@
+#include "net/realtime.h"
+
+#include <time.h>
+
+#include <algorithm>
+
+namespace tacoma {
+
+uint64_t RealtimePump::MonoUs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+RealtimePump::RealtimePump(Simulator* sim, TcpTransport* transport)
+    : sim_(sim), transport_(transport), start_us_(MonoUs()) {}
+
+uint64_t RealtimePump::elapsed_us() const { return MonoUs() - start_us_; }
+
+int RealtimePump::Tick(int max_wait_ms) {
+  uint64_t elapsed = elapsed_us();
+  sim_->RunUntil(elapsed);
+
+  int wait = max_wait_ms;
+  if (!sim_->Idle()) {
+    // Sleep no longer than the next due sim event (retry, heartbeat, ...).
+    SimTime next = sim_->NextEventTime();
+    uint64_t delta_ms = next > elapsed ? (next - elapsed) / 1000 : 0;
+    wait = static_cast<int>(std::min<uint64_t>(
+        delta_ms, static_cast<uint64_t>(max_wait_ms)));
+  }
+  return transport_->Poll(wait);
+}
+
+bool RealtimePump::RunFor(uint64_t wall_budget_ms,
+                          const std::function<bool()>& done) {
+  uint64_t deadline = elapsed_us() + wall_budget_ms * 1000;
+  while (elapsed_us() < deadline) {
+    Tick();
+    if (done && done()) {
+      return true;
+    }
+  }
+  return done ? done() : false;
+}
+
+}  // namespace tacoma

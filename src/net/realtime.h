@@ -1,0 +1,56 @@
+// Realtime pump: drives the deterministic simulator off the wall clock.
+//
+// The kernel's timers (retry backoff, rear-guard heartbeats, telemetry
+// sampling) are all simulator events.  In a daemon the simulator has no
+// Run() loop of its own — instead this pump maps wall-clock time since
+// start onto the sim clock (1 µs of wall time = 1 µs of sim time) and
+// interleaves:
+//
+//   1. run every sim event that has come due at the current wall offset,
+//   2. poll the TCP transport, sleeping at most until the next sim event
+//      is due (so a retry scheduled 80 ms out wakes the process in 80 ms,
+//      and an arriving frame wakes it immediately).
+//
+// The result: the exact same kernel code runs under `Simulator::Run()` in
+// tests and under this pump in a daemon, with real elapsed time standing in
+// for simulated time.
+#ifndef TACOMA_NET_REALTIME_H_
+#define TACOMA_NET_REALTIME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/tcp_transport.h"
+#include "sim/simulator.h"
+
+namespace tacoma {
+
+class RealtimePump {
+ public:
+  RealtimePump(Simulator* sim, TcpTransport* transport);
+
+  // One iteration: advance the sim to the current wall offset, then poll
+  // sockets for at most `max_wait_ms` (less if a sim event is due sooner).
+  // Returns the number of frames dispatched into handlers.
+  int Tick(int max_wait_ms = 20);
+
+  // Ticks until `done()` returns true or `wall_budget_ms` elapses.  A null
+  // `done` just runs out the budget.  Returns the final done() value
+  // (false for a null predicate).
+  bool RunFor(uint64_t wall_budget_ms, const std::function<bool()>& done = nullptr);
+
+  // Microseconds of wall time since the pump was constructed — this is also
+  // the sim-clock horizon the pump has advanced to.
+  uint64_t elapsed_us() const;
+
+ private:
+  static uint64_t MonoUs();
+
+  Simulator* sim_;
+  TcpTransport* transport_;
+  uint64_t start_us_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_REALTIME_H_

@@ -1,0 +1,494 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+
+namespace tacoma {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+// Frames gathered per sendmsg: each frame contributes two iovecs (header +
+// payload), and IOV_MAX is at least 16 everywhere.
+constexpr size_t kSendBatch = 8;
+
+int MakeNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags < 0 ? -1 : fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+uint64_t TcpTransport::MonoMs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {}
+
+TcpTransport::~TcpTransport() {
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    close(listen_fd_);
+  }
+  for (auto& [fd, in] : inbound_) {
+    loop_.Remove(fd);
+    close(fd);
+  }
+  for (auto& [site, peer] : peers_) {
+    if (peer.fd >= 0) {
+      loop_.Remove(peer.fd);
+      close(peer.fd);
+    }
+  }
+}
+
+Status TcpTransport::Listen() {
+  if (!loop_.ok()) {
+    return InternalError("epoll_create1 failed");
+  }
+  if (listen_fd_ >= 0) {
+    return FailedPreconditionError("already listening");
+  }
+  sockaddr_in addr;
+  if (!FillAddr(options_.listen_host, options_.listen_port, &addr)) {
+    return InvalidArgumentError("bad listen host " + options_.listen_host);
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, options_.backlog) != 0 || MakeNonBlocking(fd) != 0) {
+    Status s = InternalError(std::string("bind/listen: ") + strerror(errno));
+    close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  return loop_.Add(fd, EPOLLIN, [this](uint32_t) { OnAcceptable(); });
+}
+
+void TcpTransport::AddPeer(SiteId site, std::string host, uint16_t port) {
+  auto [it, inserted] = peers_.try_emplace(site, options_.max_frame_bytes);
+  it->second.host = std::move(host);
+  it->second.port = port;
+  if (inserted) {
+    it->second.backoff_ms = options_.reconnect_initial_ms;
+  }
+}
+
+void TcpTransport::SetHandler(SiteId site, Handler handler) {
+  handlers_[site] = std::move(handler);
+}
+
+void TcpTransport::SetRestartHook(SiteId site, RestartHook hook) {
+  restart_hooks_[site] = std::move(hook);
+}
+
+bool TcpTransport::PeerConnected(SiteId site) const {
+  auto it = peers_.find(site);
+  return it != peers_.end() && it->second.state == PeerState::kConnected;
+}
+
+size_t TcpTransport::QueuedFrames(SiteId site) const {
+  auto it = peers_.find(site);
+  return it == peers_.end() ? 0 : it->second.queue.size();
+}
+
+Status TcpTransport::Send(SiteId from, SiteId to, SharedBytes payload) {
+  if (payload.size() > options_.max_frame_bytes) {
+    ++stats_.sends_rejected;
+    return InvalidArgumentError("frame exceeds max_frame_bytes");
+  }
+  if (handlers_.count(to) != 0) {
+    // Local destination: queue to the inbox so the handler runs from Poll,
+    // never re-entrantly inside this Send.
+    ++stats_.frames_sent;
+    inbox_.push_back(WireFrame{from, to, std::move(payload)});
+    return OkStatus();
+  }
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
+    ++stats_.sends_rejected;
+    return NotFoundError("no peer registered for site " + std::to_string(to));
+  }
+  Peer& peer = it->second;
+  if (peer.queue.size() >= options_.max_queued_frames) {
+    ++stats_.sends_rejected;
+    return ResourceExhaustedError("peer " + std::to_string(to) +
+                                  " send queue full");
+  }
+  Outgoing out;
+  out.header =
+      EncodeFrameHeader(from, to, static_cast<uint32_t>(payload.size()));
+  out.payload = std::move(payload);
+  peer.queue.push_back(std::move(out));
+  ++stats_.frames_sent;
+  if (peer.state == PeerState::kConnected) {
+    FlushPeer(to);
+  } else if (peer.state == PeerState::kDisconnected &&
+             MonoMs() >= peer.next_attempt_ms) {
+    StartConnect(to);
+  }
+  return OkStatus();
+}
+
+void TcpTransport::OnAcceptable() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; epoll will re-arm.
+    }
+    if (MakeNonBlocking(fd) != 0) {
+      close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    ++stats_.accepts;
+    inbound_.emplace(fd, Inbound(options_.max_frame_bytes));
+    Status s = loop_.Add(
+        fd, EPOLLIN, [this, fd](uint32_t events) { OnInboundEvent(fd, events); });
+    if (!s.ok()) {
+      inbound_.erase(fd);
+      close(fd);
+    }
+  }
+}
+
+bool TcpTransport::ReadIntoInbox(int fd, FrameReader* reader) {
+  while (true) {
+    Bytes buf(kReadChunk);
+    ssize_t n = read(fd, buf.data(), buf.size());
+    if (n > 0) {
+      stats_.bytes_received += static_cast<uint64_t>(n);
+      buf.resize(static_cast<size_t>(n));
+      std::vector<WireFrame> frames;
+      if (!reader->Feed(SharedBytes(std::move(buf)), &frames).ok()) {
+        return false;  // Corrupt stream: caller closes the connection.
+      }
+      for (WireFrame& f : frames) {
+        if (handlers_.count(f.to) != 0) {
+          inbox_.push_back(std::move(f));
+        } else {
+          ++stats_.frames_dropped;  // Misrouted: we don't host that site.
+        }
+      }
+      if (static_cast<size_t>(n) < kReadChunk) {
+        return true;  // Drained (short read).
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;
+    }
+    return false;  // EOF or hard error.
+  }
+}
+
+void TcpTransport::OnInboundEvent(int fd, uint32_t events) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) {
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 ||
+      !ReadIntoInbox(fd, &it->second.reader)) {
+    CloseInbound(fd);
+  }
+}
+
+void TcpTransport::CloseInbound(int fd) {
+  loop_.Remove(fd);
+  close(fd);
+  inbound_.erase(fd);
+  ++stats_.disconnects;
+}
+
+void TcpTransport::StartConnect(SiteId site) {
+  Peer& peer = peers_.at(site);
+  sockaddr_in addr;
+  if (!FillAddr(peer.host, peer.port, &addr)) {
+    PeerConnFailure(site);
+    return;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || MakeNonBlocking(fd) != 0) {
+    if (fd >= 0) {
+      close(fd);
+    }
+    PeerConnFailure(site);
+    return;
+  }
+  SetNoDelay(fd);
+  peer.fd = fd;
+  peer.want_writable = false;
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    peer.fd = -1;
+    PeerConnFailure(site);
+    return;
+  }
+  peer.state = PeerState::kConnecting;
+  // EPOLLOUT signals connect completion; EPOLLIN covers a server that
+  // talks (or closes) immediately.
+  Status s = loop_.Add(fd, EPOLLOUT | EPOLLIN, [this, site](uint32_t events) {
+    OnPeerEvent(site, events);
+  });
+  if (!s.ok()) {
+    close(fd);
+    peer.fd = -1;
+    PeerConnFailure(site);
+  }
+}
+
+void TcpTransport::FinishConnect(SiteId site) {
+  Peer& peer = peers_.at(site);
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    PeerConnFailure(site);
+    return;
+  }
+  peer.state = PeerState::kConnected;
+  ++stats_.connects;
+  peer.backoff_ms = options_.reconnect_initial_ms;
+  bool reconnected = peer.was_connected;
+  peer.was_connected = true;
+  (void)loop_.Modify(peer.fd, EPOLLIN);
+  peer.want_writable = false;
+  if (reconnected) {
+    ++stats_.reconnects;
+    // The peer process (or the path to it) went away and came back: let
+    // upper layers drop cached beliefs about that site.
+    auto hook = restart_hooks_.find(site);
+    if (hook != restart_hooks_.end() && hook->second) {
+      hook->second(site);
+    }
+  }
+  FlushPeer(site);
+}
+
+void TcpTransport::PeerConnFailure(SiteId site) {
+  Peer& peer = peers_.at(site);
+  if (peer.fd >= 0) {
+    loop_.Remove(peer.fd);
+    close(peer.fd);
+    peer.fd = -1;
+  }
+  if (peer.state == PeerState::kConnected) {
+    ++stats_.disconnects;
+  }
+  peer.state = PeerState::kDisconnected;
+  peer.want_writable = false;
+  peer.next_attempt_ms = MonoMs() + peer.backoff_ms;
+  peer.backoff_ms = std::min(peer.backoff_ms * 2, options_.reconnect_max_ms);
+  // Queued frames survive: they flush after the reconnect succeeds.
+}
+
+void TcpTransport::OnPeerEvent(SiteId site, uint32_t events) {
+  auto it = peers_.find(site);
+  if (it == peers_.end() || it->second.fd < 0) {
+    return;
+  }
+  Peer& peer = it->second;
+  if (peer.state == PeerState::kConnecting) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      PeerConnFailure(site);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      FinishConnect(site);
+    }
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    PeerConnFailure(site);
+    return;
+  }
+  if ((events & EPOLLIN) != 0 && !ReadIntoInbox(peer.fd, &peer.reader)) {
+    PeerConnFailure(site);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushPeer(site);
+  }
+}
+
+void TcpTransport::SetPeerWritable(Peer* peer, bool want) {
+  if (peer->want_writable == want || peer->fd < 0) {
+    return;
+  }
+  peer->want_writable = want;
+  (void)loop_.Modify(peer->fd, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void TcpTransport::FlushPeer(SiteId site) {
+  Peer& peer = peers_.at(site);
+  if (peer.state != PeerState::kConnected) {
+    return;
+  }
+  while (!peer.queue.empty()) {
+    // Gather the fronts of the queue into one sendmsg: header and payload
+    // iovecs point straight at the Outgoing entries (the payload iovec
+    // aliases the refcounted SharedBytes — no copy into a send buffer).
+    iovec iov[2 * kSendBatch];
+    int iovcnt = 0;
+    size_t batched = 0;
+    for (const Outgoing& out : peer.queue) {
+      if (batched == kSendBatch) {
+        break;
+      }
+      if (out.header_off < out.header.size()) {
+        iov[iovcnt].iov_base =
+            const_cast<uint8_t*>(out.header.data()) + out.header_off;
+        iov[iovcnt].iov_len = out.header.size() - out.header_off;
+        ++iovcnt;
+      }
+      if (out.payload_off < out.payload.size()) {
+        iov[iovcnt].iov_base =
+            const_cast<uint8_t*>(out.payload.data()) + out.payload_off;
+        iov[iovcnt].iov_len = out.payload.size() - out.payload_off;
+        ++iovcnt;
+      }
+      ++batched;
+    }
+    if (iovcnt == 0) {
+      // Fully-written entries at the front (shouldn't persist, but be safe).
+      while (!peer.queue.empty() &&
+             peer.queue.front().header_off >= kFrameHeaderBytes &&
+             peer.queue.front().payload_off >= peer.queue.front().payload.size()) {
+        peer.queue.pop_front();
+      }
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = sendmsg(peer.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SetPeerWritable(&peer, true);
+        return;
+      }
+      PeerConnFailure(site);
+      return;
+    }
+    stats_.bytes_sent += static_cast<uint64_t>(n);
+    // Consume written bytes across the batched entries.
+    size_t left = static_cast<size_t>(n);
+    while (left > 0 && !peer.queue.empty()) {
+      Outgoing& out = peer.queue.front();
+      size_t header_rest = out.header.size() - out.header_off;
+      size_t take = std::min(left, header_rest);
+      out.header_off += take;
+      left -= take;
+      size_t payload_rest = out.payload.size() - out.payload_off;
+      take = std::min(left, payload_rest);
+      out.payload_off += take;
+      left -= take;
+      if (out.header_off >= out.header.size() &&
+          out.payload_off >= out.payload.size()) {
+        peer.queue.pop_front();
+      } else {
+        break;  // Partially written; the socket is likely full.
+      }
+    }
+  }
+  SetPeerWritable(&peer, false);
+}
+
+int TcpTransport::DispatchInbox() {
+  // Swap first: handlers may Send (which appends) — those frames dispatch on
+  // the next Poll, preserving the never-re-entrant contract.
+  std::deque<WireFrame> batch;
+  batch.swap(inbox_);
+  int dispatched = 0;
+  for (WireFrame& f : batch) {
+    auto it = handlers_.find(f.to);
+    if (it == handlers_.end() || !it->second) {
+      ++stats_.frames_dropped;
+      continue;
+    }
+    ++stats_.frames_delivered;
+    ++dispatched;
+    it->second(f.from, f.payload);
+  }
+  return dispatched;
+}
+
+void TcpTransport::DriveReconnects(uint64_t now_ms) {
+  for (auto& [site, peer] : peers_) {
+    if (peer.state == PeerState::kDisconnected && !peer.queue.empty() &&
+        now_ms >= peer.next_attempt_ms) {
+      StartConnect(site);
+    }
+  }
+}
+
+int TcpTransport::Poll(int timeout_ms) {
+  uint64_t now = MonoMs();
+  DriveReconnects(now);
+
+  int wait = timeout_ms;
+  if (!inbox_.empty()) {
+    wait = 0;  // Work is already queued; don't sleep on the poller.
+  } else {
+    // Don't sleep past the earliest scheduled reconnect attempt.
+    for (const auto& [site, peer] : peers_) {
+      if (peer.state == PeerState::kDisconnected && !peer.queue.empty()) {
+        uint64_t delta =
+            peer.next_attempt_ms > now ? peer.next_attempt_ms - now : 0;
+        int d = static_cast<int>(std::min<uint64_t>(delta, 60'000));
+        if (wait < 0 || d < wait) {
+          wait = d;  // (wait < 0 means "block forever" — cap it here.)
+        }
+      }
+    }
+  }
+  loop_.PollOnce(wait);
+
+  int dispatched = DispatchInbox();
+  // Handlers usually respond (ACKs, NeedCode, next-hop transfers); flush
+  // those now instead of waiting a poll cycle.
+  for (auto& [site, peer] : peers_) {
+    if (peer.state == PeerState::kConnected && !peer.queue.empty()) {
+      FlushPeer(site);
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace tacoma

@@ -1,0 +1,151 @@
+// TCP/epoll Transport backend: the kernel's frames over real sockets.
+//
+// Each OS process hosts one or more sites (handlers registered locally) and
+// knows its peers by host:port.  One TcpTransport per process:
+//
+//   - a non-blocking listener accepts anonymous inbound connections (frames
+//     identify their source site in the header, not the socket),
+//   - one non-blocking outbound connection per peer, established lazily on
+//     first send and re-established with exponential backoff on failure;
+//     frames queued while a peer is unreachable survive the reconnect,
+//   - sends gather the 16-byte header and the refcounted SharedBytes payload
+//     into one sendmsg iovec — the zero-copy path from briefcase to wire
+//     (the payload bytes are never memcpy'd into a transport buffer),
+//   - everything runs single-threaded from Poll(): socket readiness, frame
+//     reassembly, handler dispatch, and queue flushing all happen on the
+//     caller's thread, preserving the kernel's no-locks discipline.
+//
+// Delivery semantics match the Transport contract: fire-and-forget, no
+// ordering across peers, no duplicates suppressed here.  A self-send (the
+// destination handler lives in this process) is queued to the local inbox
+// and dispatched from the next Poll — never re-entrantly inside Send.
+//
+// Restart detection: when an outbound connection that was once established
+// is re-established after a failure, the restart hook registered for that
+// peer's site fires — upper layers use it to drop per-peer beliefs (e.g.
+// "peer has this CODE digest cached").  This is a best-effort hint; the
+// kernel's NeedCode miss path self-heals regardless.
+#ifndef TACOMA_NET_TCP_TRANSPORT_H_
+#define TACOMA_NET_TCP_TRANSPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/transport.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+struct TcpTransportOptions {
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = ephemeral; read back via bound_port().
+  int backlog = 16;
+  // Exponential backoff for outbound reconnects.
+  uint64_t reconnect_initial_ms = 50;
+  uint64_t reconnect_max_ms = 2000;
+  // Frames above this size poison the connection (hostile length prefix).
+  size_t max_frame_bytes = 64u << 20;
+  // Per-peer backpressure: Send returns ResourceExhausted beyond this.
+  size_t max_queued_frames = 4096;
+};
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = {});
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // Binds and listens; call once before Poll.  With listen_port = 0 the OS
+  // picks a free port, available from bound_port() afterwards.
+  Status Listen();
+  uint16_t bound_port() const { return bound_port_; }
+
+  // Registers where a remote site's frames should be sent.  Sites hosted by
+  // this process need no peer entry — their handlers are local.
+  void AddPeer(SiteId site, std::string host, uint16_t port);
+
+  // Runs one event-loop iteration: waits up to timeout_ms for socket
+  // readiness (0 polls), reads/reassembles frames, dispatches handlers,
+  // flushes queues, and drives pending reconnects.  Returns the number of
+  // frames dispatched into local handlers.
+  int Poll(int timeout_ms);
+
+  // --- Transport seam -------------------------------------------------------
+  void SetHandler(SiteId site, Handler handler) override;
+  void SetRestartHook(SiteId site, RestartHook hook) override;
+  Status Send(SiteId from, SiteId to, SharedBytes payload) override;
+  TransportStats transport_stats() const override { return stats_; }
+
+  // True while an established outbound connection to `site` exists.
+  bool PeerConnected(SiteId site) const;
+  size_t QueuedFrames(SiteId site) const;
+
+ private:
+  struct Outgoing {
+    std::array<uint8_t, kFrameHeaderBytes> header;
+    size_t header_off = 0;
+    SharedBytes payload;
+    size_t payload_off = 0;
+  };
+  enum class PeerState { kDisconnected, kConnecting, kConnected };
+  struct Peer {
+    std::string host;
+    uint16_t port = 0;
+    PeerState state = PeerState::kDisconnected;
+    int fd = -1;
+    bool want_writable = false;  // EPOLLOUT currently armed.
+    bool was_connected = false;  // Distinguishes reconnects from first contact.
+    uint64_t backoff_ms = 0;
+    uint64_t next_attempt_ms = 0;  // Earliest monotonic time to retry connect.
+    std::deque<Outgoing> queue;
+    FrameReader reader;
+    explicit Peer(size_t max_frame) : reader(max_frame) {}
+  };
+  struct Inbound {
+    FrameReader reader;
+    explicit Inbound(size_t max_frame) : reader(max_frame) {}
+  };
+
+  static uint64_t MonoMs();
+
+  void OnAcceptable();
+  // Shared read path for inbound and outbound sockets.  Returns false when
+  // the connection died (already cleaned up).
+  bool ReadIntoInbox(int fd, FrameReader* reader);
+  void OnInboundEvent(int fd, uint32_t events);
+  void OnPeerEvent(SiteId site, uint32_t events);
+  void StartConnect(SiteId site);
+  void FinishConnect(SiteId site);
+  void PeerConnFailure(SiteId site);
+  void CloseInbound(int fd);
+  // Writes as much of the peer's queue as the socket accepts (gathering up
+  // to kSendBatch frames per sendmsg); arms EPOLLOUT when the socket fills.
+  void FlushPeer(SiteId site);
+  void SetPeerWritable(Peer* peer, bool want);
+  int DispatchInbox();
+  void DriveReconnects(uint64_t now_ms);
+
+  TcpTransportOptions options_;
+  EpollLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::map<SiteId, Handler> handlers_;
+  std::map<SiteId, RestartHook> restart_hooks_;
+  std::map<SiteId, Peer> peers_;
+  std::map<int, Inbound> inbound_;
+  std::deque<WireFrame> inbox_;  // Received + local frames awaiting dispatch.
+  TransportStats stats_;
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_TCP_TRANSPORT_H_

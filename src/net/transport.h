@@ -1,0 +1,82 @@
+// Transport: the seam between the kernel and whatever moves frames
+// between sites.
+//
+// The kernel's reliability stack (ACK/NACK retries, dedup windows, CodeCache
+// stub/NeedCode recovery) speaks to the network through exactly three
+// operations: register a per-site delivery handler, register a per-site
+// restart hook, and send an opaque frame.  This interface captures that seam
+// so the same kernel runs unchanged over
+//
+//   - the deterministic single-threaded simulator (`sim/network.h`), the
+//     default for every test and experiment, and
+//   - the real TCP/epoll backend (`net/tcp_transport.h`), where each site is
+//     an OS process and frames cross actual sockets — the paper's §6
+//     deployment (UNIX workstations over rsh/TCP/Horus).
+//
+// A Transport makes NO reliability promises: Send is fire-and-forget once
+// accepted, frames can be lost, reordered across peers, or duplicated by the
+// layers above.  Delivery handlers must never be invoked re-entrantly from
+// inside the sender's Send call — local (self) sends are deferred to the
+// event loop like every remote delivery.
+#ifndef TACOMA_NET_TRANSPORT_H_
+#define TACOMA_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace tacoma {
+
+// Sites are dense small integers, assigned in creation order.  Both backends
+// share the id space: in a multi-process deployment every daemon adds the
+// same site list in the same order, so SiteId N names the same site
+// everywhere.
+using SiteId = uint32_t;
+constexpr SiteId kInvalidSite = 0xffffffff;
+
+// Backend-level frame accounting, distinct from the sim's NetworkStats (which
+// models links and hops): these count what crossed the transport's edge.
+// All-zero for backends that don't track a given quantity.
+struct TransportStats {
+  uint64_t frames_sent = 0;       // Send() calls accepted.
+  uint64_t frames_delivered = 0;  // Frames dispatched into a local handler.
+  uint64_t frames_dropped = 0;    // Accepted but discarded (overflow, no handler).
+  uint64_t sends_rejected = 0;    // Send() calls refused (unknown peer, backpressure).
+  uint64_t bytes_sent = 0;        // Payload + framing bytes written to the wire.
+  uint64_t bytes_received = 0;    // Payload + framing bytes read off the wire.
+  uint64_t connects = 0;          // Outbound connections established.
+  uint64_t accepts = 0;           // Inbound connections accepted.
+  uint64_t disconnects = 0;       // Established connections torn down.
+  uint64_t reconnects = 0;        // Connections re-established after a failure.
+};
+
+class Transport {
+ public:
+  // Called when a frame reaches its destination site.  The payload is a
+  // shared frame: the handler may keep views into it (they pin the
+  // allocation) but never mutate it.
+  using Handler = std::function<void(SiteId from, const SharedBytes& payload)>;
+  // Called when a site (or the connection to it) restarts, so upper layers
+  // can run recovery — the kernel uses this to drop per-peer beliefs like
+  // "that site has this CODE digest cached".
+  using RestartHook = std::function<void(SiteId site)>;
+
+  virtual ~Transport() = default;
+
+  virtual void SetHandler(SiteId site, Handler handler) = 0;
+  virtual void SetRestartHook(SiteId site, RestartHook hook) = 0;
+
+  // Hands one frame to the transport.  Ok means accepted (queued or
+  // delivered later), not delivered; errors mean the frame was not taken
+  // (unknown destination, no route, backpressure) and the caller may retry.
+  virtual Status Send(SiteId from, SiteId to, SharedBytes payload) = 0;
+
+  // Edge-level accounting; backends that don't track it return zeros.
+  virtual TransportStats transport_stats() const { return TransportStats{}; }
+};
+
+}  // namespace tacoma
+
+#endif  // TACOMA_NET_TRANSPORT_H_

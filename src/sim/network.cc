@@ -18,7 +18,8 @@ void Network::AddLink(SiteId a, SiteId b, LinkParams params) {
   for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
     auto [it, inserted] = links_.try_emplace({x, y});
     it->second.params = params;
-    it->second.up = true;
+    // A param-only re-add must not resurrect a cut link: `up` is owned by
+    // CutLink/RestoreLink once the link exists.
     if (inserted) {
       adjacency_[x].push_back(y);
     }
@@ -148,6 +149,17 @@ Status Network::Send(SiteId from, SiteId to, SharedBytes payload) {
                             sites_[to].name);
   }
   ++stats_.messages_sent;
+  if (from == to) {
+    // Self-sends defer to the event loop like every remote delivery, so a
+    // handler never runs re-entrantly inside the sender's Send call (the
+    // same re-entrancy class as the PR 7 use-after-free bugs).
+    uint32_t dest_epoch = sites_[to].epoch;
+    sim_->At(sim_->Now(),
+             [this, from, to, payload = std::move(payload), dest_epoch] {
+               ForwardHop(to, from, to, payload, dest_epoch);
+             });
+    return OkStatus();
+  }
   ForwardHop(from, from, to, payload, sites_[to].epoch);
   return OkStatus();
 }
@@ -206,8 +218,14 @@ void Network::ForwardHop(SiteId at, SiteId from, SiteId to,
 
   // The capture shares the frame (refcount bump), so an N-hop route holds
   // one allocation, not N copies of the payload.
-  sim_->At(arrive, [this, next, from, to, payload, dest_epoch] {
-    if (!sites_[next].up) {
+  //
+  // The intermediate hop's epoch is captured now: if `next` crashes and
+  // restarts while the frame is in flight, the restarted incarnation must
+  // not forward it (crash semantics are "queued deliveries to AND THROUGH a
+  // crashed site are dropped").
+  uint32_t next_epoch = sites_[next].epoch;
+  sim_->At(arrive, [this, next, from, to, payload, dest_epoch, next_epoch] {
+    if (!sites_[next].up || sites_[next].epoch != next_epoch) {
       ++stats_.messages_dropped;
       return;
     }
@@ -237,6 +255,9 @@ void Network::CutLink(SiteId a, SiteId b) {
   for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
     if (Link* link = FindLink(x, y)) {
       link->up = false;
+      // Everything queued on the wire is gone with the link; a later
+      // RestoreLink starts from an idle wire, not a stale backlog.
+      link->next_free = 0;
     }
   }
 }
@@ -272,6 +293,17 @@ void Network::ResetStats() {
   for (auto& [key, link] : links_) {
     link.stats = LinkStats{};
   }
+}
+
+TransportStats Network::transport_stats() const {
+  // Map the sim's message-level model onto the edge-level Transport view.
+  // Connection counters stay zero: the sim has no sockets.
+  TransportStats ts;
+  ts.frames_sent = stats_.messages_sent;
+  ts.frames_delivered = stats_.messages_delivered;
+  ts.frames_dropped = stats_.messages_dropped;
+  ts.bytes_sent = stats_.bytes_on_wire;
+  return ts;
 }
 
 LinkStats Network::DirectedLinkStats(SiteId a, SiteId b) const {

@@ -20,15 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace tacoma {
-
-using SiteId = uint32_t;
-constexpr SiteId kInvalidSite = 0xffffffff;
 
 struct LinkParams {
   SimTime latency = 1 * kMillisecond;          // Propagation delay per hop.
@@ -50,14 +48,11 @@ struct NetworkStats {
   uint64_t bytes_on_wire = 0;      // Sum over every traversed link.
 };
 
-class Network {
+class Network : public Transport {
  public:
-  // Called when a message reaches its destination site.  The payload is a
-  // shared frame: the handler may keep views into it (they pin the
-  // allocation) but never mutate it.
-  using Handler = std::function<void(SiteId from, const SharedBytes& payload)>;
-  // Called when a site restarts (so upper layers can run recovery).
-  using RestartHook = std::function<void(SiteId site)>;
+  // Handler/RestartHook come from the Transport seam (net/transport.h).
+  using Handler = Transport::Handler;
+  using RestartHook = Transport::RestartHook;
   // Called after a link is added (so upper layers can track adjacency).
   using TopologyHook = std::function<void(SiteId a, SiteId b)>;
 
@@ -69,7 +64,9 @@ class Network {
 
   SiteId AddSite(std::string name);
   // Adds an undirected link (both directions share params but have separate
-  // queues and stats).  Re-adding an existing link updates its params.
+  // queues and stats).  Re-adding an existing link updates its params only:
+  // a link downed by CutLink stays cut until RestoreLink, so topology
+  // re-registration never undoes failure injection.
   void AddLink(SiteId a, SiteId b, LinkParams params = LinkParams());
 
   size_t site_count() const { return sites_.size(); }
@@ -79,20 +76,24 @@ class Network {
 
   // --- Messaging ----------------------------------------------------------
 
-  void SetHandler(SiteId site, Handler handler);
-  void SetRestartHook(SiteId site, RestartHook hook);
+  void SetHandler(SiteId site, Handler handler) override;
+  void SetRestartHook(SiteId site, RestartHook hook) override;
   void SetTopologyHook(TopologyHook hook) { topology_hook_ = std::move(hook); }
 
   // Routes `payload` from `from` to `to` along the current shortest path.
   // Returns an error if no path exists right now or either endpoint is down;
   // once accepted, the message can still be silently lost to failures while
   // in flight (callers needing reliability build timeouts above this, as the
-  // paper's agents do).
+  // paper's agents do).  Delivery is always asynchronous — even a self-send
+  // (`from == to`) runs its handler from a simulator event, never from
+  // inside this call.
   //
   // The payload is a refcounted frame: an N-hop route schedules N link
   // traversals that all alias one allocation (frames are immutable once
   // sent), so forwarding and retransmission never deep-copy the bytes.
-  Status Send(SiteId from, SiteId to, SharedBytes payload);
+  Status Send(SiteId from, SiteId to, SharedBytes payload) override;
+
+  TransportStats transport_stats() const override;
 
   // --- Failure injection ---------------------------------------------------
 

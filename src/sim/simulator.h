@@ -49,6 +49,10 @@ class Simulator {
 
   bool Idle() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }
+  // Absolute time of the earliest pending event (only valid when !Idle()).
+  // A realtime pump uses this to size its socket-poll timeout: sleep no
+  // longer than the next due heartbeat/retry.
+  SimTime NextEventTime() const { return queue_.top().when; }
   size_t events_run() const { return events_run_; }
 
   // Safety valve for runaway agent populations (e.g. the unbounded-flooding

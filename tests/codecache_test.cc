@@ -299,7 +299,9 @@ TEST(CodeCacheDeterminismTest, CacheOffMatchesPreCacheGolden) {
   // effect-manifest admission work, account.*/sampler.*/flight.* with the
   // continuous-telemetry work, vm.*/tacl.parse_cache_evictions with the
   // bytecode VM (whose step accounting this hash still covers: the place.*
-  // and kernel.* lines must match the pre-VM golden byte-for-byte).
+  // and kernel.* lines must match the pre-VM golden byte-for-byte), and
+  // net.transport.* with the TCP transport seam (all-zero here: this run
+  // never leaves the sim backend).
   std::istringstream lines(k.metrics().TextSnapshot());
   std::string stripped;
   std::string line;
@@ -309,7 +311,8 @@ TEST(CodeCacheDeterminismTest, CacheOffMatchesPreCacheGolden) {
         line.rfind("tacl.manifest_", 0) != 0 &&
         line.rfind("account.", 0) != 0 && line.rfind("sampler.", 0) != 0 &&
         line.rfind("flight.", 0) != 0 && line.rfind("vm.", 0) != 0 &&
-        line.rfind("tacl.parse_cache_evictions", 0) != 0) {
+        line.rfind("tacl.parse_cache_evictions", 0) != 0 &&
+        line.rfind("net.transport.", 0) != 0) {
       stripped += line;
       stripped += '\n';
     }

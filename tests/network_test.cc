@@ -270,5 +270,108 @@ TEST_F(NetworkTest, RestartHookFires) {
   EXPECT_EQ(hooks, 1);
 }
 
+// Regression: a frame in flight TOWARD an intermediate hop must die when that
+// hop crashes and restarts before the frame lands — the restarted incarnation
+// must not forward traffic accepted by its predecessor.  (The hop lambda used
+// to check only `up`, so a quick crash+restart cycle let the frame through.)
+TEST_F(NetworkTest, InFlightFrameNotForwardedByRestartedIntermediate) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  SiteId c = net_.AddSite("c");
+  net_.AddLink(a, b, {10 * kMillisecond, 1'000'000});
+  net_.AddLink(b, c, {10 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(c, &log);
+
+  ASSERT_TRUE(net_.Send(a, c, ToBytes("x")).ok());
+  // The frame reaches b after ~10 ms; b bounces while it is still on the
+  // a-b wire.
+  sim_.After(3 * kMillisecond, [&] { net_.CrashSite(b); });
+  sim_.After(6 * kMillisecond, [&] { net_.RestartSite(b); });
+  sim_.Run();
+
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+// Regression: a self-send must be deferred through the event queue like any
+// other delivery.  Synchronous dispatch ran the handler inside the sender's
+// Send call — re-entrancy that let an agent jumping to its own site recurse
+// through the kernel until the meet-depth guard killed it.
+TEST_F(NetworkTest, SelfSendIsDeliveredAsynchronously) {
+  SiteId a = net_.AddSite("a");
+  std::vector<Delivered> log;
+  Record(a, &log);
+
+  ASSERT_TRUE(net_.Send(a, a, ToBytes("loop")).ok());
+  EXPECT_TRUE(log.empty()) << "handler ran re-entrantly inside Send";
+  sim_.Run();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, a);
+  EXPECT_EQ(log[0].at, 0u);  // Same instant, later event.
+  EXPECT_EQ(net_.stats().messages_delivered, 1u);
+}
+
+// Regression: a crashed self-addressed frame still honours epoch fencing.
+TEST_F(NetworkTest, SelfSendDroppedWhenSiteBouncesFirst) {
+  SiteId a = net_.AddSite("a");
+  std::vector<Delivered> log;
+  Record(a, &log);
+
+  ASSERT_TRUE(net_.Send(a, a, ToBytes("loop")).ok());
+  net_.CrashSite(a);
+  net_.RestartSite(a);
+  sim_.Run();
+
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+// Regression: CutLink must forget the wire's queued busy-time.  A restored
+// link used to inherit `next_free` from traffic that died with the cut, so
+// the first message after repair waited out a phantom backlog.
+TEST_F(NetworkTest, RestoredLinkStartsFromAnIdleWire) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  // 1 Mbit/s: a 125000-byte payload occupies the wire for 125 ms.
+  net_.AddLink(a, b, {10 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+
+  ASSERT_TRUE(net_.Send(a, b, Bytes(125'000, 0xaa)).ok());
+  net_.CutLink(a, b);
+  net_.RestoreLink(a, b);
+  ASSERT_TRUE(net_.Send(a, b, Bytes(125, 0xbb)).ok());
+  sim_.Run();
+
+  ASSERT_FALSE(log.empty());
+  // 125 bytes at 1 Mbit/s = 125 us of transmission + 10 ms latency.  With
+  // the stale backlog it would not land until ~135 ms.
+  EXPECT_EQ(log[0].at, 10 * kMillisecond + 125u);
+}
+
+// Regression: re-adding an existing link only updates its parameters; it
+// must not silently resurrect a link an operator cut.
+TEST_F(NetworkTest, AddLinkDoesNotResurrectCutLink) {
+  SiteId a = net_.AddSite("a");
+  SiteId b = net_.AddSite("b");
+  net_.AddLink(a, b, {10 * kMillisecond, 1'000'000});
+  std::vector<Delivered> log;
+  Record(b, &log);
+  net_.CutLink(a, b);
+
+  net_.AddLink(a, b, {20 * kMillisecond, 2'000'000});
+  EXPECT_FALSE(net_.Send(a, b, ToBytes("x")).ok());
+
+  net_.RestoreLink(a, b);
+  ASSERT_TRUE(net_.Send(a, b, ToBytes("x")).ok());
+  sim_.Run();
+  ASSERT_EQ(log.size(), 1u);
+  // The parameter update did land: 20 ms latency (plus 1 us of transmission
+  // for one byte at 2 Mbit/s), not the original 10 ms.
+  EXPECT_EQ(log[0].at, 20 * kMillisecond + 1u);
+}
+
 }  // namespace
 }  // namespace tacoma

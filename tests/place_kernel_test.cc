@@ -264,8 +264,14 @@ TEST(DeterminismTest, IdenticalWorldsProduceIdenticalRuns) {
     for (int i = 0; i < 5; ++i) {
       Briefcase bc;
       bc.SetString("N", std::to_string(i));
+      // Agents 0-2 hop on to c and stop there (the bc_set retires the
+      // condition); agents 3-4 stay at b.  A bare `jump c` repeated at c
+      // would migrate forever now that self-sends go through the event loop
+      // like any other delivery instead of recursing until the meet-depth
+      // guard killed the agent.
       bc.folder(kCodeFolder).PushBackString(
-          "cab_append t R [rng_uniform 1000]; if {[bc_get N] < 3} { jump c }");
+          "cab_append t R [rng_uniform 1000]; "
+          "if {[bc_get N] < 3} { bc_set N 9; jump c }");
       (void)kernel.TransferAgent(a, b, "ag_tacl", bc);
     }
     kernel.sim().Run();

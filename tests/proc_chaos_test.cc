@@ -1,0 +1,100 @@
+// ProcessChaos: the multi-process chaos harness (SIGKILL a child daemon on
+// a seeded schedule, respawn it).  Victims here are sleep(1) children — the
+// real daemon integration runs in ci/e17_daemon_smoke.sh.
+#include "net/proc_chaos.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tacoma {
+namespace {
+
+pid_t SpawnSleeper() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    for (;;) {
+      sleep(1);
+    }
+  }
+  return pid;
+}
+
+// Every Tick() call polls; fast schedules keep the test under a second.
+ProcessChaos::Options FastSchedule(uint64_t max_kills) {
+  ProcessChaos::Options options;
+  options.seed = 7;
+  options.min_uptime_ms = 20;
+  options.max_uptime_ms = 60;
+  options.min_downtime_ms = 10;
+  options.max_downtime_ms = 30;
+  options.max_kills = max_kills;
+  return options;
+}
+
+bool Alive(pid_t pid) { return pid > 0 && kill(pid, 0) == 0; }
+
+TEST(ProcessChaosTest, KillsAndRespawnsOnSchedule) {
+  std::vector<pid_t> incarnations;
+  ProcessChaos chaos(
+      [&incarnations] {
+        pid_t pid = SpawnSleeper();
+        incarnations.push_back(pid);
+        return pid;
+      },
+      FastSchedule(/*max_kills=*/2));
+
+  ASSERT_TRUE(chaos.Start());
+  ASSERT_TRUE(chaos.victim_up());
+  pid_t first = chaos.pid();
+  EXPECT_TRUE(Alive(first));
+
+  // Drive until both kills landed and the victim came back each time.
+  for (int i = 0; i < 5000 && chaos.report().respawns < 2; ++i) {
+    chaos.Tick();
+    usleep(1000);
+  }
+  EXPECT_EQ(chaos.report().kills, 2u);
+  EXPECT_EQ(chaos.report().respawns, 2u);
+  ASSERT_EQ(incarnations.size(), 3u);
+  EXPECT_NE(chaos.pid(), first);
+  EXPECT_TRUE(chaos.victim_up());
+  EXPECT_FALSE(Alive(first)) << "SIGKILLed incarnation still running";
+
+  // max_kills reached: the final incarnation is left alone.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(chaos.Tick());
+    usleep(1000);
+  }
+  EXPECT_EQ(chaos.report().kills, 2u);
+
+  pid_t last = chaos.pid();
+  chaos.Stop();
+  EXPECT_FALSE(chaos.victim_up());
+  EXPECT_FALSE(Alive(last));
+}
+
+TEST(ProcessChaosTest, StopPreventsFurtherFaults) {
+  ProcessChaos chaos([] { return SpawnSleeper(); }, FastSchedule(0));
+  ASSERT_TRUE(chaos.Start());
+  chaos.Stop();
+  EXPECT_FALSE(chaos.victim_up());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(chaos.Tick());
+  }
+  EXPECT_EQ(chaos.report().kills, 0u);
+  EXPECT_EQ(chaos.report().respawns, 0u);
+}
+
+TEST(ProcessChaosTest, FailedSpawnReportsFailure) {
+  ProcessChaos chaos([] { return pid_t{-1}; }, FastSchedule(1));
+  EXPECT_FALSE(chaos.Start());
+  EXPECT_FALSE(chaos.victim_up());
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,172 @@
+// Two kernels in one test process, frames over real TCP loopback sockets:
+// the daemon topology (one kernel per OS process) shrunk into a unit test.
+// Covers the kernel-over-TcpTransport seam end to end — remote-site
+// registration, agent transfer and dispatch, reliable acks, and CODE-cache
+// stub sends with NeedCode recovery — without the process-kill chaos, which
+// lives in the CI daemon smoke.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "core/kernel.h"
+#include "net/realtime.h"
+#include "net/tcp_transport.h"
+
+namespace tacoma {
+namespace {
+
+// One "process": a kernel hosting `mine`, the other site remote over TCP.
+struct Node {
+  explicit Node(const std::string& mine, KernelOptions options = {})
+      : kernel(options) {
+    for (const std::string name : {"a", "b"}) {
+      SiteId id = name == mine ? kernel.AddSite(name)
+                               : kernel.AddRemoteSite(name);
+      (name == mine ? self : peer) = id;
+    }
+    kernel.net().AddLink(self, peer);
+    EXPECT_TRUE(tcp.Listen().ok());
+  }
+
+  void Connect(Node& other) {
+    tcp.AddPeer(peer, "127.0.0.1", other.tcp.bound_port());
+    kernel.SetTransport(&tcp);
+  }
+
+  Kernel kernel;
+  TcpTransport tcp;
+  SiteId self = kInvalidSite;
+  SiteId peer = kInvalidSite;
+};
+
+// Drives both nodes until `done()` or the wall budget runs out.
+bool PumpUntil(Node& x, Node& y, const std::function<bool()>& done,
+               int budget_ms = 5000) {
+  RealtimePump px(&x.kernel.sim(), &x.tcp);
+  RealtimePump py(&y.kernel.sim(), &y.tcp);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    px.Tick(1);
+    py.Tick(1);
+    if (done()) {
+      return true;
+    }
+  }
+  return done();
+}
+
+TEST(TcpKernelTest, AgentTransfersAndRunsAcrossProcboundary) {
+  Node na("a");
+  Node nb("b");
+  na.Connect(nb);
+  nb.Connect(na);
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString("cab_set out RESULT ran-at-[site]");
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", bc).ok());
+
+  ASSERT_TRUE(PumpUntil(na, nb, [&] {
+    return nb.kernel.place(nb.self)
+        ->Cabinet("out")
+        .GetSingleString("RESULT")
+        .has_value();
+  }));
+  EXPECT_EQ(*nb.kernel.place(nb.self)->Cabinet("out").GetSingleString("RESULT"),
+            "ran-at-b");
+  EXPECT_EQ(nb.kernel.stats().transfers_delivered, 1u);
+}
+
+TEST(TcpKernelTest, ReliableTransferAcksBackOverTcp) {
+  KernelOptions reliable;
+  reliable.reliability.mode = Reliability::kReliable;
+  Node na("a", reliable);
+  Node nb("b", reliable);
+  na.Connect(nb);
+  nb.Connect(na);
+
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString("cab_set out RESULT ok");
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", bc).ok());
+
+  ASSERT_TRUE(PumpUntil(na, nb, [&] {
+    return na.kernel.stats().transfers_acked == 1 &&
+           na.kernel.pending_transfers() == 0;
+  }));
+  EXPECT_EQ(nb.kernel.stats().transfers_delivered, 1u);
+  EXPECT_EQ(nb.kernel.stats().duplicates_suppressed, 0u);
+}
+
+TEST(TcpKernelTest, RoundTripItineraryComesHome) {
+  Node na("a");
+  Node nb("b");
+  na.Connect(nb);
+  nb.Connect(na);
+
+  // The agent hops to b, works, and jumps home — two socket trips.
+  Briefcase bc;
+  bc.folder(kCodeFolder).PushBackString(
+      "cab_append t VISITS [site]; if {[site] != \"a\"} { jump a }");
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", bc).ok());
+
+  ASSERT_TRUE(PumpUntil(na, nb, [&] {
+    return na.kernel.place(na.self)->Cabinet("t").ListStrings("VISITS").size() ==
+           1;
+  }));
+  EXPECT_EQ(nb.kernel.place(nb.self)->Cabinet("t").ListStrings("VISITS").size(),
+            1u);
+}
+
+TEST(TcpKernelTest, CodeCacheStubsAndNeedCodeRecoveryOverTcp) {
+  KernelOptions cached;
+  cached.code_cache.enabled = true;
+  Node na("a", cached);
+  Node nb("b", cached);
+  na.Connect(nb);
+  nb.Connect(na);
+
+  const std::string code = "cab_append out RESULT ran";
+  auto delivered = [&](uint64_t n) {
+    return [&, n] { return nb.kernel.stats().transfers_delivered == n; };
+  };
+
+  // First send ships full CODE (the sender has no belief about b yet).
+  Briefcase first;
+  first.folder(kCodeFolder).PushBackString(code);
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", first).ok());
+  ASSERT_TRUE(PumpUntil(na, nb, delivered(1)));
+  EXPECT_EQ(na.kernel.code_cache_stats().full_sends, 1u);
+
+  // Second send of the same CODE travels as a digest stub.
+  Briefcase second;
+  second.folder(kCodeFolder).PushBackString(code);
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", second).ok());
+  ASSERT_TRUE(PumpUntil(na, nb, delivered(2)));
+  EXPECT_EQ(na.kernel.code_cache_stats().stub_sends, 1u);
+  EXPECT_EQ(nb.kernel.place(nb.self)->Cabinet("out").ListStrings("RESULT").size(),
+            2u);
+
+  // Wipe b's content store (fresh place after a crash) but leave a's belief
+  // intact: the next stub MISSES at b and the NeedCode protocol self-heals
+  // over the wire.
+  nb.kernel.CrashSite(nb.self);
+  nb.kernel.RestartSite(nb.self);
+  Briefcase third;
+  third.folder(kCodeFolder).PushBackString(code);
+  ASSERT_TRUE(na.kernel.TransferAgent(na.self, na.peer, "ag_tacl", third).ok());
+  ASSERT_TRUE(PumpUntil(na, nb, [&] {
+    return nb.kernel.place(nb.self)
+               ->Cabinet("out")
+               .ListStrings("RESULT")
+               .size() == 1;
+  }));
+  EXPECT_GE(nb.kernel.code_cache_stats().need_code_sent +
+                na.kernel.code_cache_stats().need_code_sent,
+            1u);
+  EXPECT_GE(na.kernel.code_cache_stats().full_resends, 1u);
+}
+
+}  // namespace
+}  // namespace tacoma

@@ -1,0 +1,206 @@
+// Transport-contract conformance, run identically against both backends:
+// the deterministic sim Network and the TCP/epoll loopback transport.  The
+// contract under test (see net/transport.h):
+//
+//   - frames are delivered to the destination's handler with the sender's id,
+//   - payload bytes survive the trip exactly,
+//   - a self-send is NEVER dispatched re-entrantly inside Send,
+//   - sending from within a handler is legal,
+//   - a send to a site the transport cannot reach fails up front,
+//   - transport_stats() counts sent and delivered frames.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp_transport.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tacoma {
+namespace {
+
+struct Received {
+  SiteId at;
+  SiteId from;
+  Bytes payload;
+};
+
+// A two-site world (plus one unreachable id) behind either backend.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual Transport& transport_for(SiteId site) = 0;
+  SiteId a() const { return 0; }
+  SiteId b() const { return 1; }
+  SiteId unreachable() const { return 2; }
+  // Runs the world until deliveries settle.
+  virtual void Pump() = 0;
+
+  void Install(SiteId site, std::vector<Received>* log) {
+    transport_for(site).SetHandler(
+        site, [site, log](SiteId from, const SharedBytes& payload) {
+          log->push_back({site, from, payload.ToBytes()});
+        });
+  }
+};
+
+class SimBackend : public Backend {
+ public:
+  SimBackend() : net_(&sim_) {
+    net_.AddSite("a");
+    net_.AddSite("b");
+    net_.AddSite("unreachable");  // Exists but has no links.
+    net_.AddLink(a(), b());
+  }
+  Transport& transport_for(SiteId) override { return net_; }
+  void Pump() override { sim_.Run(); }
+
+ private:
+  Simulator sim_;
+  Network net_;
+};
+
+class TcpBackend : public Backend {
+ public:
+  TcpBackend() {
+    at_a_ = std::make_unique<TcpTransport>();
+    at_b_ = std::make_unique<TcpTransport>();
+    EXPECT_TRUE(at_a_->Listen().ok());
+    EXPECT_TRUE(at_b_->Listen().ok());
+    at_a_->AddPeer(b(), "127.0.0.1", at_b_->bound_port());
+    at_b_->AddPeer(a(), "127.0.0.1", at_a_->bound_port());
+    // No peer entry for unreachable(): sends to it are refused.
+  }
+  // Each site lives in its own transport, like one process per site.
+  Transport& transport_for(SiteId site) override {
+    return site == a() ? *at_a_ : *at_b_;
+  }
+  void Pump() override {
+    int idle_rounds = 0;
+    for (int i = 0; i < 2000 && idle_rounds < 3; ++i) {
+      int dispatched = at_a_->Poll(1) + at_b_->Poll(1);
+      bool queued = at_a_->QueuedFrames(b()) > 0 || at_b_->QueuedFrames(a()) > 0;
+      idle_rounds = (dispatched == 0 && !queued) ? idle_rounds + 1 : 0;
+    }
+  }
+
+ private:
+  std::unique_ptr<TcpTransport> at_a_;
+  std::unique_ptr<TcpTransport> at_b_;
+};
+
+class TransportConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Backend> Make() {
+    if (GetParam() == "sim") {
+      return std::make_unique<SimBackend>();
+    }
+    return std::make_unique<TcpBackend>();
+  }
+};
+
+TEST_P(TransportConformanceTest, DeliversWithSenderIdentity) {
+  auto world = Make();
+  std::vector<Received> log;
+  world->Install(world->b(), &log);
+
+  ASSERT_TRUE(world->transport_for(world->a())
+                  .Send(world->a(), world->b(), ToBytes("hello"))
+                  .ok());
+  world->Pump();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, world->a());
+  EXPECT_EQ(log[0].payload, ToBytes("hello"));
+}
+
+TEST_P(TransportConformanceTest, BinaryPayloadSurvivesExactly) {
+  auto world = Make();
+  std::vector<Received> log;
+  world->Install(world->b(), &log);
+
+  // Every byte value, long enough to span several socket reads.
+  Bytes payload(70'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+  ASSERT_TRUE(world->transport_for(world->a())
+                  .Send(world->a(), world->b(), payload)
+                  .ok());
+  world->Pump();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].payload, payload);
+}
+
+TEST_P(TransportConformanceTest, SelfSendNeverRunsInsideSend) {
+  auto world = Make();
+  std::vector<Received> log;
+  world->Install(world->a(), &log);
+
+  ASSERT_TRUE(world->transport_for(world->a())
+                  .Send(world->a(), world->a(), ToBytes("self"))
+                  .ok());
+  EXPECT_TRUE(log.empty()) << "handler ran re-entrantly inside Send";
+  world->Pump();
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, world->a());
+}
+
+TEST_P(TransportConformanceTest, SendingFromInsideAHandlerIsLegal) {
+  auto world = Make();
+  std::vector<Received> a_log;
+  // b's handler answers every frame straight back from dispatch context.
+  Transport& at_b = world->transport_for(world->b());
+  SiteId a = world->a();
+  SiteId b = world->b();
+  at_b.SetHandler(b, [&at_b, a, b](SiteId from, const SharedBytes& payload) {
+    Bytes echo = payload.ToBytes();
+    echo.push_back('!');
+    ASSERT_TRUE(at_b.Send(b, from, std::move(echo)).ok());
+  });
+  world->Install(a, &a_log);
+
+  ASSERT_TRUE(world->transport_for(a).Send(a, b, ToBytes("ping")).ok());
+  world->Pump();
+
+  ASSERT_EQ(a_log.size(), 1u);
+  EXPECT_EQ(a_log[0].from, b);
+  EXPECT_EQ(a_log[0].payload, ToBytes("ping!"));
+}
+
+TEST_P(TransportConformanceTest, UnreachableDestinationRefusedUpFront) {
+  auto world = Make();
+  Status s = world->transport_for(world->a())
+                 .Send(world->a(), world->unreachable(), ToBytes("x"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_P(TransportConformanceTest, StatsCountSentAndDelivered) {
+  auto world = Make();
+  std::vector<Received> log;
+  world->Install(world->b(), &log);
+
+  Transport& at_a = world->transport_for(world->a());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(at_a.Send(world->a(), world->b(), ToBytes("n")).ok());
+  }
+  world->Pump();
+
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_GE(at_a.transport_stats().frames_sent, 5u);
+  // Delivery is counted where the handler ran.
+  EXPECT_GE(world->transport_for(world->b()).transport_stats().frames_delivered,
+            5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
+                         ::testing::Values("sim", "tcp"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace tacoma
